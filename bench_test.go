@@ -1,0 +1,293 @@
+package ccncoord
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"ccncoord/internal/experiments"
+)
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates the artifact end to end; run
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/ccnexp to print the artifacts themselves.
+
+// sinkFigure prevents dead-code elimination of figure computations.
+var sinkFigure Figure
+
+// sinkTable likewise for tables.
+var sinkTable Table
+
+func benchFigure(b *testing.B, build func() (experiments.Figure, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFigure = f
+	}
+	// Emit the artifact once per benchmark for eyeballing -benchtime
+	// runs; discarded writer keeps output clean.
+	if err := experiments.WriteFigureCSV(io.Discard, sinkFigure); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkTable = experiments.TableII()
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkTable = experiments.TableIV()
+	}
+}
+
+func BenchmarkFig4(b *testing.B)  { benchFigure(b, experiments.Fig4) }
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, experiments.Fig5) }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, experiments.Fig6) }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B)  { benchFigure(b, experiments.Fig8) }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, experiments.Fig9) }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, experiments.Fig10) }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, experiments.Fig11) }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, experiments.Fig12) }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, experiments.Fig13) }
+
+// BenchmarkModelVsSim runs this repository's own validation experiment:
+// packet simulation against the analytical model on all four
+// topologies.
+func BenchmarkModelVsSim(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ModelVsSim(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+// Ablation benchmarks: the design-choice studies DESIGN.md calls out.
+
+func BenchmarkAblationAssignment(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationAssignment(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationPolicy(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAblationSolver(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationSolver()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAblationCoordinator(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationCoordinator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkStabilityAnalysis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.StabilityAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAblationResilience(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationResilience(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAdaptiveConvergence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AdaptiveConvergence(20000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+// BenchmarkOptimizePerTopology measures the provisioning pipeline per
+// evaluation topology: extract parameters, build the model, optimize.
+func BenchmarkOptimizePerTopology(b *testing.B) {
+	for _, g := range AllTopologies() {
+		g := g
+		b.Run(g.Name(), func(b *testing.B) {
+			p, err := ExtractParams(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Model{
+				S: 0.8, N: 1e6, C: 1e3, Routers: p.N,
+				Lat:      LatencyFromGamma(1, p.TierGapHops, 5),
+				UnitCost: p.UnitCost, Alpha: 0.8, Amortization: 1e6,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.OptimalGains(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLoss(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationLoss(10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAblationCongestion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationCongestion(10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkMetricVariant(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.MetricVariant()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+func BenchmarkAdaptiveDrift(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AdaptiveDrift(10000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+// BenchmarkSimulationThroughput measures packet-simulator request
+// throughput on US-A with the coordinated placement.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	sc := Scenario{
+		Topology:      USA(),
+		CatalogSize:   10000,
+		ZipfS:         0.8,
+		Capacity:      100,
+		Coordinated:   50,
+		Policy:        PolicyCoordinated,
+		Requests:      20000,
+		Seed:          1,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != sc.Requests {
+			b.Fatalf("measured %d requests, want %d", res.Requests, sc.Requests)
+		}
+	}
+	b.ReportMetric(float64(sc.Requests), "requests/op")
+}
+
+// Example demonstrates the one-call provisioning flow.
+func Example() {
+	cfg := Model{
+		S: 0.8, N: 1e6, C: 1e3, Routers: 20,
+		Lat:      LatencyFromGamma(1, 2.2842, 5),
+		UnitCost: 26.7, Alpha: 0.8, Amortization: 1e6,
+	}
+	g, err := cfg.OptimalGains()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal coordination level: %.2f\n", g.Level)
+	// Output: optimal coordination level: 0.93
+}

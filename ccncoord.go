@@ -1,0 +1,214 @@
+// Package ccncoord is a Go reproduction of "Coordinating In-Network
+// Caching in Content-Centric Networks: Model and Analysis" (Li, Xie,
+// Wen, Zhang — IEEE ICDCS 2013).
+//
+// The paper models a content-centric network of n routers, each with
+// storage capacity c, serving N Zipf-popular contents behind an origin
+// server. Every router splits its capacity into a non-coordinated part
+// (c-x slots replicating the globally top-ranked contents) and a
+// coordinated part (x slots; the n routers jointly stripe the next n*x
+// distinct ranks). The model combines the resulting mean request latency
+// T(x) with the coordination communication cost W(x) into the convex
+// objective T_w = alpha*T + (1-alpha)*W, yields the optimal coordination
+// level l* = x*/c, and quantifies the origin-load reduction G_O and
+// routing improvement G_R achieved at the optimum.
+//
+// This facade curates the library's stable API:
+//
+//   - Model / Latency / Gains: the analytical performance-cost model
+//     (internal/model), including the Lemma 2 fixed point and the
+//     corrected Theorem 2 closed form.
+//   - Scenario / Result / Run: the packet-level CCN simulator
+//     (internal/sim) that validates the model on executable routers with
+//     content stores, PITs, and a measured coordination protocol.
+//   - Topology helpers: the paper's four evaluation topologies and the
+//     Table III parameter extraction (internal/topology).
+//   - Experiment runners: regeneration of every table and figure of the
+//     paper's evaluation (internal/experiments).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package ccncoord
+
+import (
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/experiments"
+	"ccncoord/internal/model"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/workload"
+	"ccncoord/internal/zipf"
+)
+
+// Core analytical model (paper Sections III-IV).
+type (
+	// Model is the performance-cost model configuration: Zipf exponent
+	// S, catalog size N, per-router capacity C, router count, tiered
+	// latencies, unit coordination cost and the trade-off weight Alpha.
+	Model = model.Config
+	// Latency holds the tiered latencies d0 < d1 <= d2.
+	Latency = model.Latency
+	// Gains bundles the optimal level with G_O and G_R.
+	Gains = model.Gains
+	// DiscreteModel evaluates the model with exact harmonic sums.
+	DiscreteModel = model.Discrete
+	// HeteroModel is the heterogeneous-capacity extension (paper future
+	// work).
+	HeteroModel = model.HeteroConfig
+)
+
+// Packet-level simulation (validation substrate).
+type (
+	// Scenario configures a packet-level simulation run.
+	Scenario = sim.Scenario
+	// Result is the measured outcome of a simulation run.
+	Result = sim.Result
+	// Policy selects the storage-provisioning strategy of a run.
+	Policy = sim.Policy
+	// MotivatingComparison reproduces Table I.
+	MotivatingComparison = sim.MotivatingComparison
+)
+
+// Provisioning policies for Scenario.Policy.
+const (
+	PolicyNonCoordinated = sim.PolicyNonCoordinated
+	PolicyCoordinated    = sim.PolicyCoordinated
+	PolicyLRU            = sim.PolicyLRU
+	PolicyLFU            = sim.PolicyLFU
+	PolicySLRU           = sim.PolicySLRU
+	PolicyTwoQ           = sim.PolicyTwoQ
+	PolicyProbCache      = sim.PolicyProbCache
+)
+
+// Coordinated-placement assignment strategies for Scenario.Assignment.
+const (
+	AssignStripe = sim.AssignStripe
+	AssignHash   = sim.AssignHash
+)
+
+// ContentID identifies a content object by popularity rank (1 = most
+// popular).
+type ContentID = catalog.ID
+
+// Topologies and experiment artifacts.
+type (
+	// Topology is a latency-weighted network graph.
+	Topology = topology.Graph
+	// TopologyParams are the Table III parameters extracted from a
+	// topology.
+	TopologyParams = topology.Params
+	// Figure is a regenerated paper figure.
+	Figure = experiments.Figure
+	// Table is a regenerated paper table.
+	Table = experiments.Table
+)
+
+// Coordination protocol (paper Section III-B2 and future work).
+type (
+	// NodeID identifies a router within a Topology.
+	NodeID = topology.NodeID
+	// CoordReport is one router's observed request counts for an epoch.
+	CoordReport = coord.Report
+	// CoordPlacement is a coordinator's provisioning decision.
+	CoordPlacement = coord.Placement
+	// CoordCost tallies a coordination epoch's measured messages.
+	CoordCost = coord.Cost
+	// AdaptiveCoordinator re-estimates the Zipf exponent online and
+	// re-optimizes the coordination level each epoch (paper future
+	// work).
+	AdaptiveCoordinator = coord.Adaptive
+)
+
+// Workload generation.
+type (
+	// Generator produces an endless stream of content requests.
+	Generator = workload.Generator
+	// DriftingZipf is a non-stationary request generator whose Zipf
+	// exponent and hot set drift over the stream.
+	DriftingZipf = workload.DriftingZipf
+)
+
+// NewDriftingZipf returns a drifting request generator; see
+// internal/workload for the parameter semantics.
+func NewDriftingZipf(startS, endS float64, n, horizon, epochLength, rotation, seed int64) (*DriftingZipf, error) {
+	return workload.NewDriftingZipf(startS, endS, n, horizon, epochLength, rotation, seed)
+}
+
+// AdaptiveEpoch records one epoch of the closed adaptive-provisioning
+// loop.
+type AdaptiveEpoch = sim.AdaptiveEpoch
+
+// AdaptiveRun executes the closed loop end to end on the packet
+// simulator: non-coordinated bootstrap, per-router reports, online Zipf
+// estimation, re-optimization, and installation of the estimated
+// placement for the next epoch.
+func AdaptiveRun(sc Scenario, base Model, epochs int) ([]AdaptiveEpoch, error) {
+	return sim.AdaptiveRun(sc, base, epochs)
+}
+
+// NewAdaptiveCoordinator returns the online adaptive coordinator over
+// the given routers; base supplies every model parameter except the
+// Zipf exponent, which is learned from epoch reports.
+func NewAdaptiveCoordinator(routers []NodeID, base Model) (*AdaptiveCoordinator, error) {
+	return coord.NewAdaptive(routers, base)
+}
+
+// EstimateZipf fits a Zipf exponent to observed request counts by
+// log-log regression over the top maxRanks contents (0 = all).
+func EstimateZipf(counts map[ContentID]int64, maxRanks int) (float64, error) {
+	return coord.EstimateZipf(counts, maxRanks)
+}
+
+// LatencyFromGamma builds a Latency from an anchor d0, the tier gap
+// d1-d0, and the tiered latency ratio gamma = (d2-d1)/(d1-d0).
+func LatencyFromGamma(d0, gap, gamma float64) Latency {
+	return model.LatencyFromGamma(d0, gap, gamma)
+}
+
+// NewDiscrete returns the exact-harmonic variant of the model.
+func NewDiscrete(cfg Model) (*DiscreteModel, error) { return model.NewDiscrete(cfg) }
+
+// ClosedFormLevel is Theorem 2's closed-form optimal strategy at
+// alpha = 1, in the derivation-consistent form
+// l* = 1/(1 + gamma^(-1/s) * n^(1-1/s)) (see DESIGN.md for the erratum
+// in the printed equation).
+func ClosedFormLevel(gamma float64, n int, s float64) float64 {
+	return model.ClosedFormLevel(gamma, n, s)
+}
+
+// BoundaryMass returns 1/F'(c), the request-mass scale at cache size c
+// under Eq. (6); a physically motivated choice for Model.Amortization.
+func BoundaryMass(c, s, n float64) float64 { return zipf.BoundaryMass(c, s, n) }
+
+// Run executes a packet-level simulation scenario.
+func Run(sc Scenario) (Result, error) { return sim.Run(sc) }
+
+// MotivatingExample reproduces the paper's Section II example (Table I)
+// on the packet-level simulator.
+func MotivatingExample(cycles int) (MotivatingComparison, error) {
+	return sim.MotivatingExample(cycles)
+}
+
+// Evaluation topologies (paper Table II). Each call returns a fresh
+// mutable copy.
+func Abilene() *Topology { return topology.Abilene() }
+
+// CERNET returns the synthesized CERNET evaluation topology.
+func CERNET() *Topology { return topology.CERNET() }
+
+// GEANT returns the synthesized GEANT evaluation topology.
+func GEANT() *Topology { return topology.GEANT() }
+
+// USA returns the synthesized US-A evaluation topology.
+func USA() *Topology { return topology.USA() }
+
+// AllTopologies returns the four evaluation topologies in Table II
+// order.
+func AllTopologies() []*Topology { return topology.All() }
+
+// ExtractParams computes a topology's Table III parameters.
+func ExtractParams(g *Topology) (TopologyParams, error) { return topology.ExtractParams(g) }
+
+// AllFigures regenerates Figures 4-13.
+func AllFigures() ([]Figure, error) { return experiments.AllFigures() }

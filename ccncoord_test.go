@@ -1,0 +1,118 @@
+package ccncoord
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeProvisioningFlow exercises the public API end to end:
+// topology -> parameters -> model -> optimum -> gains.
+func TestFacadeProvisioningFlow(t *testing.T) {
+	for _, g := range AllTopologies() {
+		p, err := ExtractParams(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		cfg := Model{
+			S: 0.8, N: 1e6, C: 1e3, Routers: p.N,
+			Lat:      LatencyFromGamma(1, p.TierGapHops, 5),
+			UnitCost: p.UnitCost, Alpha: 0.8, Amortization: 1e6,
+		}
+		gains, err := cfg.OptimalGains()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if gains.Level <= 0 || gains.Level > 1 {
+			t.Errorf("%s: level %v outside (0,1]", g.Name(), gains.Level)
+		}
+		if gains.OriginReduction <= 0 {
+			t.Errorf("%s: no origin load reduction", g.Name())
+		}
+	}
+}
+
+func TestFacadeClosedForm(t *testing.T) {
+	got := ClosedFormLevel(5, 20, 0.8)
+	want := 1 / (1 + math.Pow(5, -1.25)*math.Pow(20, 1-1.25))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ClosedFormLevel = %v, want %v", got, want)
+	}
+}
+
+func TestFacadeBoundaryMass(t *testing.T) {
+	if v := BoundaryMass(1e3, 0.8, 1e6); !(v > 0) || math.IsInf(v, 0) {
+		t.Errorf("BoundaryMass = %v", v)
+	}
+}
+
+func TestFacadeDiscrete(t *testing.T) {
+	cfg := Model{
+		S: 0.8, N: 10000, C: 100, Routers: 10,
+		Lat: LatencyFromGamma(1, 2, 5), Alpha: 1, UnitCost: 10,
+	}
+	d, err := NewDiscrete(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := d.OptimalX(); x < 0 || x > 100 {
+		t.Errorf("discrete x* = %d", x)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	res, err := Run(Scenario{
+		Topology:      Abilene(),
+		CatalogSize:   5000,
+		ZipfS:         0.8,
+		Capacity:      50,
+		Coordinated:   25,
+		Policy:        PolicyCoordinated,
+		Requests:      10000,
+		Seed:          3,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OriginLoad <= 0 || res.OriginLoad >= 1 {
+		t.Errorf("origin load = %v", res.OriginLoad)
+	}
+}
+
+func TestFacadeMotivatingExample(t *testing.T) {
+	cmp, err := MotivatingExample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Coordinated.OriginLoad != 0 {
+		t.Errorf("coordinated origin load = %v", cmp.Coordinated.OriginLoad)
+	}
+}
+
+func TestFacadeFigures(t *testing.T) {
+	figs, err := AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 10 {
+		t.Errorf("AllFigures = %d figures", len(figs))
+	}
+}
+
+func TestFacadeHeteroModel(t *testing.T) {
+	h := HeteroModel{
+		S: 0.8, N: 1e6,
+		Capacities: []float64{500, 1000, 1500},
+		Lat:        LatencyFromGamma(1, 2.2842, 5),
+		UnitCost:   26.7, Alpha: 0.9, Amortization: 1e6,
+	}
+	l, err := h.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 0 || l > 1 {
+		t.Errorf("hetero level = %v", l)
+	}
+}

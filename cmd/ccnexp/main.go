@@ -1,0 +1,203 @@
+// Command ccnexp regenerates the paper's evaluation artifacts: Tables
+// I-IV and Figures 4-13, plus this repository's model-versus-simulation
+// validation table.
+//
+// Usage:
+//
+//	ccnexp -list
+//	ccnexp -run fig4            # one artifact to stdout (text)
+//	ccnexp -run all -csv -out results/   # everything as CSV files
+//	ccnexp -run modelvssim -requests 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ccncoord/internal/experiments"
+	"ccncoord/internal/plot"
+)
+
+// artifact is one regenerable table or figure.
+type artifact struct {
+	id    string
+	about string
+	// exactly one of figure/table is set
+	figure func() (experiments.Figure, error)
+	table  func() (experiments.Table, error)
+}
+
+func artifacts(requests int) []artifact {
+	return []artifact{
+		{id: "table1", about: "motivating example comparison (packet-level)", table: experiments.TableI},
+		{id: "table2", about: "topology statistics", table: func() (experiments.Table, error) { return experiments.TableII(), nil }},
+		{id: "table3", about: "topological parameters", table: experiments.TableIII},
+		{id: "table4", about: "figure parameter settings", table: func() (experiments.Table, error) { return experiments.TableIV(), nil }},
+		{id: "fig4", about: "l* vs alpha (per gamma)", figure: experiments.Fig4},
+		{id: "fig5", about: "l* vs Zipf exponent (per alpha)", figure: experiments.Fig5},
+		{id: "fig6", about: "l* vs network size (per alpha)", figure: experiments.Fig6},
+		{id: "fig7", about: "l* vs unit coordination cost (per alpha)", figure: experiments.Fig7},
+		{id: "fig8", about: "G_O vs alpha (per gamma)", figure: experiments.Fig8},
+		{id: "fig9", about: "G_O vs Zipf exponent (per alpha)", figure: experiments.Fig9},
+		{id: "fig10", about: "G_O vs network size (per alpha)", figure: experiments.Fig10},
+		{id: "fig11", about: "G_O vs unit coordination cost (per alpha)", figure: experiments.Fig11},
+		{id: "fig12", about: "G_R vs alpha (per gamma)", figure: experiments.Fig12},
+		{id: "fig13", about: "G_R vs Zipf exponent (per alpha)", figure: experiments.Fig13},
+		{id: "modelvssim", about: "packet simulation vs analytical model", table: func() (experiments.Table, error) {
+			return experiments.ModelVsSim(requests)
+		}},
+		{id: "ablation-assignment", about: "rank striping vs content hashing", table: func() (experiments.Table, error) {
+			return experiments.AblationAssignment(requests)
+		}},
+		{id: "ablation-policy", about: "provisioned vs dynamic cache policies", table: func() (experiments.Table, error) {
+			return experiments.AblationPolicy(requests)
+		}},
+		{id: "ablation-solver", about: "exact vs fixed-point vs closed-form solvers", table: experiments.AblationSolver},
+		{id: "ablation-coordinator", about: "centralized vs tree-distributed coordination", table: experiments.AblationCoordinator},
+		{id: "ablation-resilience", about: "coordinated placement under link failure", table: func() (experiments.Table, error) {
+			return experiments.AblationResilience(requests)
+		}},
+		{id: "stability", about: "sensitive alpha range of l* per gamma", table: experiments.StabilityAnalysis},
+		{id: "metric-variant", about: "hop-count vs latency tier-gap metrics", table: experiments.MetricVariant},
+		{id: "measured-tiers", about: "d0/d1/d2 measured from the simulator and the l* they imply", table: func() (experiments.Table, error) {
+			return experiments.MeasuredTiers(requests)
+		}},
+		{id: "ablation-loss", about: "coordinated placement on a lossy fabric", table: func() (experiments.Table, error) {
+			return experiments.AblationLoss(requests)
+		}},
+		{id: "ablation-congestion", about: "offered load vs finite link capacity", table: func() (experiments.Table, error) {
+			return experiments.AblationCongestion(requests)
+		}},
+		{id: "ablation-regional", about: "global placement under regional interest skew", table: func() (experiments.Table, error) {
+			return experiments.AblationRegionalSkew(requests)
+		}},
+		{id: "adaptive", about: "closed-loop adaptive provisioning over epochs", table: func() (experiments.Table, error) {
+			return experiments.AdaptiveConvergence(requests, 4)
+		}},
+		{id: "adaptive-drift", about: "adaptive provisioning under popularity drift", table: func() (experiments.Table, error) {
+			return experiments.AdaptiveDrift(requests, 4)
+		}},
+	}
+}
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list artifact ids and exit")
+		run      = flag.String("run", "all", "artifact id to regenerate, or 'all'")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plotOut  = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
+		outDir   = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
+		requests = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
+	)
+	flag.Parse()
+
+	arts := artifacts(*requests)
+	if *list {
+		for _, a := range arts {
+			fmt.Printf("%-20s %s\n", a.id, a.about)
+		}
+		return
+	}
+	mode := modeText
+	switch {
+	case *csvOut && *plotOut:
+		fmt.Fprintln(os.Stderr, "ccnexp: -csv and -plot are mutually exclusive")
+		os.Exit(1)
+	case *csvOut:
+		mode = modeCSV
+	case *plotOut:
+		mode = modePlot
+	}
+	if err := runArtifacts(arts, *run, mode, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
+}
+
+// outputMode selects the rendering of artifacts.
+type outputMode int
+
+const (
+	modeText outputMode = iota
+	modeCSV
+	modePlot
+)
+
+func runArtifacts(arts []artifact, id string, mode outputMode, outDir string) error {
+	var selected []artifact
+	for _, a := range arts {
+		if id == "all" || a.id == id {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		ids := make([]string, len(arts))
+		for i, a := range arts {
+			ids[i] = a.id
+		}
+		sort.Strings(ids)
+		return fmt.Errorf("unknown artifact %q (have %v)", id, ids)
+	}
+	for _, a := range selected {
+		w := io.Writer(os.Stdout)
+		if outDir != "" {
+			ext := ".txt"
+			if mode == modeCSV {
+				ext = ".csv"
+			}
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(outDir, a.id+ext))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := emit(w, a, mode); err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+		if outDir == "" {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func emit(w io.Writer, a artifact, mode outputMode) error {
+	if a.figure != nil {
+		f, err := a.figure()
+		if err != nil {
+			return err
+		}
+		switch mode {
+		case modeCSV:
+			return experiments.WriteFigureCSV(w, f)
+		case modePlot:
+			series := make([]plot.Series, len(f.Series))
+			for i, s := range f.Series {
+				series[i] = plot.Series{Label: s.Label, X: s.X, Y: s.Y}
+			}
+			return plot.Render(w, plot.Chart{
+				Title:  fmt.Sprintf("%s: %s", f.ID, f.Title),
+				XLabel: f.XLabel, YLabel: f.YLabel,
+				Series: series,
+			})
+		default:
+			return experiments.WriteFigureText(w, f)
+		}
+	}
+	t, err := a.table()
+	if err != nil {
+		return err
+	}
+	if mode == modeCSV {
+		return experiments.WriteTableCSV(w, t)
+	}
+	return experiments.WriteTableText(w, t)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestArtifactsWellFormed(t *testing.T) {
+	arts := artifacts(1000)
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if a.id == "" || a.about == "" {
+			t.Errorf("artifact %+v missing id or description", a)
+		}
+		if seen[a.id] {
+			t.Errorf("duplicate artifact id %q", a.id)
+		}
+		seen[a.id] = true
+		if (a.figure == nil) == (a.table == nil) {
+			t.Errorf("artifact %q must set exactly one of figure/table", a.id)
+		}
+	}
+	for _, want := range []string{"table1", "fig4", "fig13", "modelvssim", "stability", "adaptive"} {
+		if !seen[want] {
+			t.Errorf("missing artifact %q", want)
+		}
+	}
+}
+
+func TestRunArtifactsUnknownID(t *testing.T) {
+	if err := runArtifacts(artifacts(1000), "nope", modeText, ""); err == nil {
+		t.Error("unknown artifact id should fail")
+	}
+}
+
+func TestRunArtifactsWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := runArtifacts(artifacts(1000), "fig4", modeCSV, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "trade-off weight alpha,") {
+		t.Errorf("unexpected CSV header: %.60s", data)
+	}
+}
+
+func TestEmitPlotMode(t *testing.T) {
+	var found *artifact
+	for _, a := range artifacts(1000) {
+		if a.id == "fig7" {
+			a := a
+			found = &a
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("fig7 artifact missing")
+	}
+	var sb strings.Builder
+	if err := emit(&sb, *found, modePlot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "alpha=1") || !strings.Contains(sb.String(), "+--") {
+		t.Errorf("plot output malformed:\n%.200s", sb.String())
+	}
+}

@@ -1,0 +1,193 @@
+// Command ccnopt computes the optimal in-network storage provisioning
+// strategy for a content-centric network from the paper's analytical
+// model: the optimal coordination level l* = x*/c, the resulting origin
+// load reduction G_O, and the routing performance improvement G_R.
+//
+// Parameters may be given explicitly or taken from one of the embedded
+// evaluation topologies (-topology), which supplies n, w, and d1-d0.
+//
+// Examples:
+//
+//	ccnopt -alpha 0.8 -gamma 5 -s 0.8 -n 20 -w 26.7 -gap 2.2842
+//	ccnopt -topology US-A -alpha 0.8 -gamma 5
+//	ccnopt -topology Abilene -alpha 1 -sweep alpha
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ccncoord/internal/model"
+	"ccncoord/internal/topology"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topology", "", "take n, w, d1-d0 from an embedded topology (Abilene, CERNET, GEANT, US-A)")
+		topoFile  = flag.String("topofile", "", "take n, w, d1-d0 from a custom JSON topology file (see ccntopo -json)")
+		alpha     = flag.Float64("alpha", 0.8, "trade-off weight: 1 = routing performance only, 0 = coordination cost only")
+		gamma     = flag.Float64("gamma", 5, "tiered latency ratio (d2-d1)/(d1-d0)")
+		s         = flag.Float64("s", 0.8, "Zipf popularity exponent, (0,1) U (1,2)")
+		n         = flag.Int("n", 20, "number of routers (overridden by -topology)")
+		w         = flag.Float64("w", 26.7, "unit coordination cost, ms (overridden by -topology)")
+		gap       = flag.Float64("gap", 2.2842, "tier gap d1-d0 (overridden by -topology)")
+		contents  = flag.Float64("N", 1e6, "number of contents")
+		capacity  = flag.Float64("c", 1e3, "per-router storage capacity, contents")
+		rho       = flag.Float64("rho", 1e6, "coordination-cost amortization (requests per epoch); see DESIGN.md")
+		sweep     = flag.String("sweep", "", "sweep one parameter over its Table IV range: alpha, s, n, or w")
+		stability = flag.Bool("stability", false, "report the sensitive alpha range of l* (slope >= 50% of peak)")
+	)
+	flag.Parse()
+
+	if *topoName != "" || *topoFile != "" {
+		p, err := paramsFor(*topoName, *topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		*n, *w, *gap = p.N, p.UnitCost, p.TierGapHops
+	}
+	cfg := model.Config{
+		S: *s, N: *contents, C: *capacity, Routers: *n,
+		Lat:      model.LatencyFromGamma(1, *gap, *gamma),
+		UnitCost: *w, Alpha: *alpha, Amortization: *rho,
+	}
+	if *sweep != "" {
+		if err := runSweep(cfg, *sweep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runPoint(cfg); err != nil {
+		fatal(err)
+	}
+	if *stability {
+		if err := runStability(cfg); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runStability(cfg model.Config) error {
+	r, err := cfg.FindSensitiveRange(0.5)
+	if err != nil {
+		return err
+	}
+	sens, err := cfg.Sensitivity()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "sensitivity dl*/dalpha at alpha=%.2f\t%.3f\n", cfg.Alpha, sens)
+	fmt.Fprintf(tw, "sensitive alpha range\t[%.3f, %.3f] (width %.3f)\n", r.Lo, r.Hi, r.Width())
+	fmt.Fprintf(tw, "steepest transition\talpha=%.3f (slope %.2f)\n", r.PeakAlpha, r.PeakSlope)
+	return tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccnopt:", err)
+	os.Exit(1)
+}
+
+func paramsFor(name, file string) (topology.Params, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return topology.Params{}, err
+		}
+		defer f.Close()
+		g, err := topology.ReadJSON(f)
+		if err != nil {
+			return topology.Params{}, err
+		}
+		return topology.ExtractParams(g)
+	}
+	for _, g := range topology.All() {
+		if g.Name() == name {
+			return topology.ExtractParams(g)
+		}
+	}
+	return topology.Params{}, fmt.Errorf("unknown topology %q", name)
+}
+
+func runPoint(cfg model.Config) error {
+	g, err := cfg.OptimalGains()
+	if err != nil {
+		return err
+	}
+	fp, err := cfg.FixedPointLevel()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "optimal coordination level l*\t%.4f\n", g.Level)
+	fmt.Fprintf(tw, "optimal coordinated slots x*\t%.1f of %g\n", g.X, cfg.C)
+	fmt.Fprintf(tw, "Lemma 2 fixed-point level\t%.4f\n", fp)
+	if cfg.Alpha == 1 {
+		fmt.Fprintf(tw, "Theorem 2 closed form\t%.4f\n",
+			model.ClosedFormLevel(cfg.Lat.Gamma(), cfg.Routers, cfg.S))
+	}
+	fmt.Fprintf(tw, "origin load reduction G_O\t%.2f%%\n", 100*g.OriginReduction)
+	fmt.Fprintf(tw, "routing improvement G_R\t%.2f%%\n", 100*g.RoutingGain)
+	fmt.Fprintf(tw, "mean latency T(x*) / T(0)\t%.3f / %.3f\n", cfg.T(g.X), cfg.T0())
+	return tw.Flush()
+}
+
+func runSweep(cfg model.Config, param string) error {
+	type point struct{ x, level, gO, gR float64 }
+	var pts []point
+	eval := func(x float64, c model.Config) error {
+		g, err := c.OptimalGains()
+		if err != nil {
+			return err
+		}
+		pts = append(pts, point{x, g.Level, g.OriginReduction, g.RoutingGain})
+		return nil
+	}
+	switch param {
+	case "alpha":
+		for a := 0.05; a < 1.0001; a += 0.05 {
+			c := cfg
+			c.Alpha = min(a, 1)
+			if err := eval(c.Alpha, c); err != nil {
+				return err
+			}
+		}
+	case "s":
+		for s := 0.1; s <= 1.9001; s += 0.1 {
+			if s > 0.95 && s < 1.05 {
+				continue
+			}
+			c := cfg
+			c.S = s
+			if err := eval(s, c); err != nil {
+				return err
+			}
+		}
+	case "n":
+		for n := 10; n <= 500; n += 20 {
+			c := cfg
+			c.Routers = n
+			if err := eval(float64(n), c); err != nil {
+				return err
+			}
+		}
+	case "w":
+		for w := 10.0; w <= 100.0; w += 5 {
+			c := cfg
+			c.UnitCost = w
+			if err := eval(w, c); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown sweep parameter %q (want alpha, s, n, or w)", param)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tl*\tG_O\tG_R\n", param)
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.4g\t%.4f\t%.4f\t%.4f\n", p.x, p.level, p.gO, p.gR)
+	}
+	return tw.Flush()
+}

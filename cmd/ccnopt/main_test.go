@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccncoord/internal/topology"
+)
+
+func TestParamsForEmbedded(t *testing.T) {
+	p, err := paramsFor("US-A", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 20 {
+		t.Errorf("US-A n = %d, want 20", p.N)
+	}
+	if _, err := paramsFor("missing", ""); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestParamsForFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Abilene().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := paramsFor("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Abilene" || p.N != 11 {
+		t.Errorf("file params = %+v", p)
+	}
+	if _, err := paramsFor("", filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

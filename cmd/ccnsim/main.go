@@ -1,0 +1,199 @@
+// Command ccnsim runs the packet-level CCN simulator on one of the
+// embedded evaluation topologies and reports the measured origin load,
+// per-tier hit ratios, latency, hop count, and coordination cost — side
+// by side with the analytical model's prediction when the coordinated or
+// non-coordinated provisioned policies are used.
+//
+// Examples:
+//
+//	ccnsim -topology US-A -policy coordinated -x 50
+//	ccnsim -topology Abilene -policy lru -requests 100000 -warmup 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ccncoord/internal/model"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/topology"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
+		policy   = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
+		catalog  = flag.Int64("N", 20000, "catalog size (contents)")
+		s        = flag.Float64("s", 0.8, "Zipf popularity exponent")
+		capacity = flag.Int64("c", 150, "per-router storage capacity")
+		x        = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
+		requests = flag.Int("requests", 60000, "measured requests")
+		warmup   = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		access   = flag.Float64("access", 5, "client access latency, ms one-way")
+		origin   = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
+		gateway  = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
+		adaptive = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
+		loss     = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
+		retx     = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0")
+	)
+	flag.Parse()
+
+	var err error
+	if *adaptive > 0 {
+		err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive)
+	} else {
+		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runAdaptive drives the closed adaptive loop and prints one row per
+// epoch.
+func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
+	requests int, seed int64, access, origin float64, gateway, epochs int) error {
+	g, err := findTopology(topoName)
+	if err != nil {
+		return err
+	}
+	sc := sim.Scenario{
+		Topology:      g,
+		CatalogSize:   catalog,
+		ZipfS:         s,
+		Capacity:      capacity,
+		Requests:      requests,
+		Seed:          seed,
+		AccessLatency: access,
+		OriginLatency: origin,
+		OriginGateway: topology.NodeID(gateway),
+	}
+	base := model.Config{
+		S: 0.5, // prior; the loop learns the real exponent
+		N: float64(catalog), C: float64(capacity), Routers: g.N(),
+		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
+		UnitCost: 26.7, Alpha: 0.95,
+	}
+	records, err := sim.AdaptiveRun(sc, base, epochs)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epoch\tpolicy\testimated s\tlevel l*\torigin load\tcoord msgs")
+	for _, e := range records {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%.4f\t%d\n",
+			e.Epoch, e.Result.Policy, e.EstimatedS, e.Level,
+			e.Result.OriginLoad, e.Result.CoordMessages)
+	}
+	return tw.Flush()
+}
+
+// findTopology resolves an embedded dataset by name.
+func findTopology(name string) (*topology.Graph, error) {
+	for _, cand := range topology.All() {
+		if cand.Name() == name {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
+	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64) error {
+	g, err := findTopology(topoName)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	sc := sim.Scenario{
+		Topology:      g,
+		CatalogSize:   catalog,
+		ZipfS:         s,
+		Capacity:      capacity,
+		Coordinated:   x,
+		Policy:        pol,
+		Requests:      requests,
+		Warmup:        warmup,
+		Seed:          seed,
+		AccessLatency: access,
+		OriginLatency: origin,
+		OriginGateway: topology.NodeID(gateway),
+		LossRate:      loss,
+	}
+	if loss > 0 {
+		sc.RetxTimeout = retx
+	}
+	if pol != sim.PolicyCoordinated {
+		sc.Coordinated = 0
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "topology\t%s (n=%d)\n", g.Name(), g.N())
+	fmt.Fprintf(tw, "policy\t%s\n", res.Policy)
+	fmt.Fprintf(tw, "measured requests\t%d\n", res.Requests)
+	fmt.Fprintf(tw, "origin load\t%.4f\n", res.OriginLoad)
+	fmt.Fprintf(tw, "local hit ratio\t%.4f\n", res.LocalHit)
+	fmt.Fprintf(tw, "peer hit ratio\t%.4f\n", res.PeerHit)
+	fmt.Fprintf(tw, "mean latency (ms)\t%.2f\n", res.MeanLatency)
+	fmt.Fprintf(tw, "mean hop count\t%.3f\n", res.MeanHops)
+	fmt.Fprintf(tw, "interest/data transmissions\t%d / %d\n",
+		res.InterestTransmissions, res.DataTransmissions)
+	if loss > 0 {
+		fmt.Fprintf(tw, "drops (interest/data)\t%d / %d\n", res.DroppedInterests, res.DroppedData)
+		fmt.Fprintf(tw, "retransmissions\t%d\n", res.Retransmissions)
+		fmt.Fprintf(tw, "latency p50/p95/p99 (ms)\t%.1f / %.1f / %.1f\n", res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+	if pol == sim.PolicyCoordinated {
+		fmt.Fprintf(tw, "coordination messages\t%d\n", res.CoordMessages)
+		fmt.Fprintf(tw, "coordination convergence (ms)\t%.1f\n", res.CoordConvergence)
+	}
+
+	// Analytical prediction for the provisioned policies.
+	if pol == sim.PolicyCoordinated || pol == sim.PolicyNonCoordinated {
+		cfg := model.Config{
+			S: s, N: float64(catalog), C: float64(capacity), Routers: g.N(),
+			Lat: model.Latency{D0: 1, D1: 2, D2: 3}, Alpha: 1,
+		}
+		d, err := model.NewDiscrete(cfg)
+		if err != nil {
+			return err
+		}
+		xs := sc.Coordinated
+		local, peer, originLoad := d.HitRatios(xs)
+		fmt.Fprintf(tw, "model origin load\t%.4f\n", originLoad)
+		fmt.Fprintf(tw, "model local/peer (rank bands)\t%.4f / %.4f\n", local, peer)
+	}
+	return tw.Flush()
+}
+
+func parsePolicy(s string) (sim.Policy, error) {
+	switch s {
+	case "non-coordinated", "noncoordinated", "nc":
+		return sim.PolicyNonCoordinated, nil
+	case "coordinated", "coord":
+		return sim.PolicyCoordinated, nil
+	case "lru":
+		return sim.PolicyLRU, nil
+	case "lfu":
+		return sim.PolicyLFU, nil
+	case "slru":
+		return sim.PolicySLRU, nil
+	case "2q", "twoq":
+		return sim.PolicyTwoQ, nil
+	case "probcache", "prob":
+		return sim.PolicyProbCache, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"coordinated", "coordinated", false},
+		{"coord", "coordinated", false},
+		{"non-coordinated", "non-coordinated", false},
+		{"nc", "non-coordinated", false},
+		{"lru", "lru", false},
+		{"lfu", "lfu", false},
+		{"bogus", "", true},
+	}
+	for _, tt := range tests {
+		got, err := parsePolicy(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parsePolicy(%q) error = %v", tt.in, err)
+			continue
+		}
+		if err == nil && got.String() != tt.want {
+			t.Errorf("parsePolicy(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFindTopology(t *testing.T) {
+	for _, name := range []string{"Abilene", "CERNET", "GEANT", "US-A"} {
+		g, err := findTopology(name)
+		if err != nil || g.Name() != name {
+			t.Errorf("findTopology(%q) = %v, %v", name, g, err)
+		}
+	}
+	if _, err := findTopology("nope"); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}

@@ -1,0 +1,92 @@
+// Command ccntopo inspects the evaluation topologies: it reproduces the
+// paper's Tables II and III from the embedded datasets and can export
+// any topology as Graphviz DOT (the paper's Figure 3 rendering).
+//
+// Usage:
+//
+//	ccntopo [-dot NAME] [-csv]
+//
+// Without flags it prints Tables II and III. With -dot it writes the
+// named topology (Abilene, CERNET, GEANT, US-A) as DOT to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccncoord/internal/experiments"
+	"ccncoord/internal/topology"
+)
+
+func main() {
+	dot := flag.String("dot", "", "write the named topology (Abilene, CERNET, GEANT, US-A) as Graphviz DOT to stdout")
+	jsonName := flag.String("json", "", "write the named topology as JSON to stdout (template for custom networks)")
+	inspect := flag.String("topofile", "", "extract Table III parameters from a custom JSON topology file")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	if err := run(*dot, *jsonName, *inspect, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ccntopo:", err)
+		os.Exit(1)
+	}
+}
+
+// lookup resolves an embedded dataset by name.
+func lookup(name string) (*topology.Graph, error) {
+	for _, g := range topology.All() {
+		if g.Name() == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q (want Abilene, CERNET, GEANT, or US-A)", name)
+}
+
+func run(dot, jsonName, inspect string, csvOut bool) error {
+	switch {
+	case dot != "":
+		g, err := lookup(dot)
+		if err != nil {
+			return err
+		}
+		return g.WriteDOT(os.Stdout)
+	case jsonName != "":
+		g, err := lookup(jsonName)
+		if err != nil {
+			return err
+		}
+		return g.WriteJSON(os.Stdout)
+	case inspect != "":
+		f, err := os.Open(inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := topology.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		p, err := topology.ExtractParams(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s n=%d  w=%.2fms  d1-d0=%.2fms  d1-d0=%.4f hops\n",
+			p.Name, p.N, p.UnitCost, p.TierGapMs, p.TierGapHops)
+		return nil
+	}
+
+	t2 := experiments.TableII()
+	t3, err := experiments.TableIII()
+	if err != nil {
+		return err
+	}
+	write := experiments.WriteTableText
+	if csvOut {
+		write = experiments.WriteTableCSV
+	}
+	if err := write(os.Stdout, t2); err != nil {
+		return err
+	}
+	fmt.Println()
+	return write(os.Stdout, t3)
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"Abilene", "CERNET", "GEANT", "US-A"} {
+		g, err := lookup(name)
+		if err != nil || g.Name() != name {
+			t.Errorf("lookup(%q) = %v, %v", name, g, err)
+		}
+	}
+	if _, err := lookup("missing"); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}

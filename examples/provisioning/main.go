@@ -1,0 +1,73 @@
+// Provisioning walkthrough: the workflow a network carrier would follow
+// with this library — load a real topology, extract its Table III
+// parameters, solve for the optimal storage split at several trade-off
+// weights, and inspect how the decision shifts with the popularity
+// skew.
+//
+// Run with:
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccncoord"
+)
+
+func main() {
+	fmt.Println("Per-topology optimal provisioning (s=0.8, gamma=5, alpha=0.8)")
+	fmt.Println()
+	fmt.Printf("%-10s %4s %8s %10s %8s %8s %8s\n",
+		"topology", "n", "w(ms)", "d1-d0(h)", "l*", "G_O", "G_R")
+	for _, g := range ccncoord.AllTopologies() {
+		p, err := ccncoord.ExtractParams(g)
+		if err != nil {
+			log.Fatalf("provisioning: %s: %v", g.Name(), err)
+		}
+		cfg := ccncoord.Model{
+			S: 0.8, N: 1e6, C: 1e3, Routers: p.N,
+			Lat:      ccncoord.LatencyFromGamma(1, p.TierGapHops, 5),
+			UnitCost: p.UnitCost, Alpha: 0.8, Amortization: 1e6,
+		}
+		gains, err := cfg.OptimalGains()
+		if err != nil {
+			log.Fatalf("provisioning: %s: %v", g.Name(), err)
+		}
+		fmt.Printf("%-10s %4d %8.1f %10.4f %8.3f %7.1f%% %7.1f%%\n",
+			p.Name, p.N, p.UnitCost, p.TierGapHops,
+			gains.Level, 100*gains.OriginReduction, 100*gains.RoutingGain)
+	}
+
+	// The paper's headline phenomenon: the two sides of s = 1 pull the
+	// optimal strategy in opposite directions as the network grows.
+	fmt.Println()
+	fmt.Println("Opposite strategies across the Zipf singular point (alpha=1, gamma=5):")
+	fmt.Printf("%8s %12s %12s\n", "routers", "l* at s=0.8", "l* at s=1.6")
+	for _, n := range []int{10, 50, 200, 1000} {
+		fmt.Printf("%8d %12.3f %12.3f\n", n,
+			ccncoord.ClosedFormLevel(5, n, 0.8),
+			ccncoord.ClosedFormLevel(5, n, 1.6))
+	}
+	fmt.Println()
+	fmt.Println("With s < 1 large networks should coordinate everything; with")
+	fmt.Println("s > 1 they should coordinate nothing — provisioning must know")
+	fmt.Println("the catalog's popularity skew before buying storage.")
+
+	// Heterogeneous capacities (the paper's future-work extension): a
+	// carrier with mixed router generations still gets a single optimal
+	// fraction.
+	h := ccncoord.HeteroModel{
+		S: 0.8, N: 1e6,
+		Capacities: []float64{250, 500, 1000, 2000, 4000},
+		Lat:        ccncoord.LatencyFromGamma(1, 2.2842, 5),
+		UnitCost:   26.7, Alpha: 0.8, Amortization: 1e6,
+	}
+	l, err := h.OptimalLevel()
+	if err != nil {
+		log.Fatalf("provisioning: heterogeneous: %v", err)
+	}
+	fmt.Println()
+	fmt.Printf("Heterogeneous fleet (250..4000 slots): coordinate fraction %.3f of each router\n", l)
+}

@@ -1,0 +1,3 @@
+module ccncoord
+
+go 1.24

@@ -1,0 +1,283 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestNegativeCapacityRejected(t *testing.T) {
+	if _, err := NewLRU(-1); err == nil {
+		t.Error("NewLRU(-1) should fail")
+	}
+	if _, err := NewFIFO(-1); err == nil {
+		t.Error("NewFIFO(-1) should fail")
+	}
+	if _, err := NewLFU(-1); err == nil {
+		t.Error("NewLFU(-1) should fail")
+	}
+}
+
+func TestZeroCapacityStores(t *testing.T) {
+	stores := map[string]Store{}
+	lru, _ := NewLRU(0)
+	fifo, _ := NewFIFO(0)
+	lfu, _ := NewLFU(0)
+	stores["lru"], stores["fifo"], stores["lfu"] = lru, fifo, lfu
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := s.Insert(1); ok {
+				t.Error("zero-capacity store evicted something")
+			}
+			if s.Lookup(1) || s.Contains(1) || s.Len() != 0 || s.Cap() != 0 {
+				t.Error("zero-capacity store admitted content")
+			}
+		})
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(1)
+	c.Insert(2)
+	if !c.Lookup(1) { // 1 becomes most recent
+		t.Fatal("expected hit on 1")
+	}
+	evicted, ok := c.Insert(3)
+	if !ok || evicted != 2 {
+		t.Errorf("evicted %d/%v, want 2/true", evicted, ok)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Error("LRU contents wrong after eviction")
+	}
+}
+
+func TestLRUReinsertIsNoop(t *testing.T) {
+	c, _ := NewLRU(2)
+	c.Insert(1)
+	if ev, ok := c.Insert(1); ok || ev != 0 {
+		t.Error("re-insert must not evict")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestFIFOEvictionIgnoresHits(t *testing.T) {
+	c, _ := NewFIFO(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Lookup(1) // FIFO ignores recency
+	evicted, ok := c.Insert(3)
+	if !ok || evicted != 1 {
+		t.Errorf("evicted %d/%v, want 1/true", evicted, ok)
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c, _ := NewLFU(3)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	// Make 1 and 3 popular.
+	for i := 0; i < 3; i++ {
+		c.Lookup(1)
+		c.Lookup(3)
+	}
+	evicted, ok := c.Insert(4)
+	if !ok || evicted != 2 {
+		t.Errorf("evicted %d/%v, want 2/true", evicted, ok)
+	}
+}
+
+func TestLFUTieBreaksByAge(t *testing.T) {
+	c, _ := NewLFU(2)
+	c.Insert(1)
+	c.Insert(2)
+	// Equal counts: the older entry (1) must go first.
+	evicted, ok := c.Insert(3)
+	if !ok || evicted != 1 {
+		t.Errorf("evicted %d/%v, want 1/true", evicted, ok)
+	}
+}
+
+func TestLFUInsertExistingBumpsCount(t *testing.T) {
+	c, _ := NewLFU(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(1) // bumps 1's count to 2
+	evicted, ok := c.Insert(3)
+	if !ok || evicted != 2 {
+		t.Errorf("evicted %d/%v, want 2/true", evicted, ok)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s, err := NewStatic([]catalog.ID{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Cap() != 3 {
+		t.Errorf("Len/Cap = %d/%d, want 3/3", s.Len(), s.Cap())
+	}
+	if !s.Lookup(5) || s.Lookup(2) {
+		t.Error("static lookup wrong")
+	}
+	if _, ok := s.Insert(2); ok {
+		t.Error("static store must not admit")
+	}
+	if s.Contains(2) {
+		t.Error("insert on static store must be a no-op")
+	}
+	if _, err := NewStatic([]catalog.ID{1, 1}); err == nil {
+		t.Error("duplicate ids should fail")
+	}
+	if _, err := NewStatic([]catalog.ID{0}); err == nil {
+		t.Error("invalid id should fail")
+	}
+}
+
+func TestTopKAndRankRange(t *testing.T) {
+	top := TopK(3)
+	if len(top) != 3 || top[0] != 1 || top[2] != 3 {
+		t.Errorf("TopK(3) = %v", top)
+	}
+	rr := RankRange(5, 7)
+	if len(rr) != 3 || rr[0] != 5 || rr[2] != 7 {
+		t.Errorf("RankRange(5,7) = %v", rr)
+	}
+	if RankRange(7, 5) != nil {
+		t.Error("inverted range should be nil")
+	}
+}
+
+func TestPartitioned(t *testing.T) {
+	local, _ := NewLRU(2)
+	coord, err := NewStatic([]catalog.ID{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitioned(local, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cap() != 4 {
+		t.Errorf("Cap = %d, want 4", p.Cap())
+	}
+	if !p.Lookup(10) {
+		t.Error("coordinated content not visible")
+	}
+	p.Insert(1)
+	if !p.Contains(1) || p.Len() != 3 {
+		t.Errorf("after insert: contains=%v len=%d", p.Contains(1), p.Len())
+	}
+	// Content already in the coordinated part must not be duplicated into
+	// the local part.
+	if _, ok := p.Insert(10); ok {
+		t.Error("insert of coordinated content evicted locally")
+	}
+	if local.Contains(10) {
+		t.Error("coordinated content duplicated into local store")
+	}
+	if _, err := NewPartitioned(nil, coord); err == nil {
+		t.Error("nil local part should fail")
+	}
+}
+
+// TestQuickCapacityInvariant property: under arbitrary insert/lookup
+// streams, no policy exceeds its capacity and Len matches Contains.
+func TestQuickCapacityInvariant(t *testing.T) {
+	mk := map[string]func() Store{
+		"lru":  func() Store { s, _ := NewLRU(8); return s },
+		"fifo": func() Store { s, _ := NewFIFO(8); return s },
+		"lfu":  func() Store { s, _ := NewLFU(8); return s },
+	}
+	for name, newStore := range mk {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				s := newStore()
+				live := make(map[catalog.ID]struct{})
+				for _, op := range ops {
+					id := catalog.ID(op%32 + 1)
+					if op%3 == 0 {
+						s.Lookup(id)
+						continue
+					}
+					evicted, ok := s.Insert(id)
+					live[id] = struct{}{}
+					if ok {
+						delete(live, evicted)
+					}
+					if s.Len() > s.Cap() {
+						return false
+					}
+				}
+				if s.Len() != len(live) {
+					return false
+				}
+				for id := range live {
+					if !s.Contains(id) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestLFUHeapConsistency property: repeated mixed operations keep the
+// eviction victim the minimum-frequency entry.
+func TestLFUHeapConsistency(t *testing.T) {
+	c, _ := NewLFU(4)
+	counts := map[catalog.ID]int64{}
+	for i := 0; i < 1000; i++ {
+		id := catalog.ID(i%7 + 1)
+		if c.Contains(id) {
+			c.Lookup(id)
+			counts[id]++
+			continue
+		}
+		evicted, ok := c.Insert(id)
+		counts[id] = 1
+		if ok {
+			// The victim's count must not exceed any survivor's count.
+			for other := range counts {
+				if other != evicted && c.Contains(other) && counts[other] < counts[evicted] {
+					t.Fatalf("iteration %d: evicted %d (count %d) while %d has count %d",
+						i, evicted, counts[evicted], other, counts[other])
+				}
+			}
+			delete(counts, evicted)
+		}
+	}
+}
+
+func BenchmarkLRUInsertLookup(b *testing.B) {
+	c, _ := NewLRU(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := catalog.ID(i%4096 + 1)
+		if !c.Lookup(id) {
+			c.Insert(id)
+		}
+	}
+}
+
+func BenchmarkLFUInsertLookup(b *testing.B) {
+	c, _ := NewLFU(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := catalog.ID(i%4096 + 1)
+		if !c.Lookup(id) {
+			c.Insert(id)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+)
+
+// ExamplePartitioned builds the paper's split store: a dynamic local
+// part plus a statically provisioned coordinated slice.
+func ExamplePartitioned() {
+	local, err := cache.NewLRU(2)
+	if err != nil {
+		panic(err)
+	}
+	coordinated, err := cache.NewStatic([]catalog.ID{101, 104}) // this router's stripe
+	if err != nil {
+		panic(err)
+	}
+	store, err := cache.NewPartitioned(local, coordinated)
+	if err != nil {
+		panic(err)
+	}
+	store.Insert(1) // popular content admitted locally
+	fmt.Println(store.Lookup(1), store.Lookup(104), store.Lookup(999))
+	// Output: true true false
+}
+
+// ExampleLRU demonstrates eviction order.
+func ExampleLRU() {
+	c, err := cache.NewLRU(2)
+	if err != nil {
+		panic(err)
+	}
+	c.Insert(1)
+	c.Insert(2)
+	c.Lookup(1)               // 1 becomes most recent
+	evicted, _ := c.Insert(3) // 2 is the LRU victim
+	fmt.Println(evicted)
+	// Output: 2
+}

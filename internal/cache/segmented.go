@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"ccncoord/internal/catalog"
+)
+
+// This file adds two scan-resistant replacement policies from the web
+// caching literature, giving the simulator stronger dynamic baselines
+// than plain LRU/LFU: Segmented LRU (SLRU) and a simplified 2Q.
+
+// SLRU is a segmented LRU cache: newly admitted contents enter a
+// probationary segment; a hit promotes a content into the protected
+// segment, which only demotes back to probation (never straight out).
+// One-shot contents therefore never displace proven-popular ones.
+type SLRU struct {
+	protectedCap int
+	probationCap int
+	protected    *list.List // front = most recent
+	probation    *list.List
+	items        map[catalog.ID]*slruEntry
+}
+
+// slruEntry locates a cached content within one of the two segments.
+type slruEntry struct {
+	el        *list.Element
+	protected bool
+}
+
+// NewSLRU returns an SLRU store with the given total capacity;
+// protectedFraction (in (0,1)) of it forms the protected segment.
+// Capacity must be at least 2 so both segments are non-empty.
+func NewSLRU(capacity int, protectedFraction float64) (*SLRU, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be >= 0, got %d", capacity)
+	}
+	if !(protectedFraction > 0 && protectedFraction < 1) {
+		return nil, fmt.Errorf("cache: protected fraction %v outside (0,1)", protectedFraction)
+	}
+	prot := int(float64(capacity) * protectedFraction)
+	if capacity > 1 && prot == 0 {
+		prot = 1
+	}
+	if prot >= capacity && capacity > 0 {
+		prot = capacity - 1
+	}
+	return &SLRU{
+		protectedCap: prot,
+		probationCap: capacity - prot,
+		protected:    list.New(),
+		probation:    list.New(),
+		items:        make(map[catalog.ID]*slruEntry, capacity),
+	}, nil
+}
+
+// Lookup implements Store.
+func (c *SLRU) Lookup(id catalog.ID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	if e.protected {
+		c.protected.MoveToFront(e.el)
+		return true
+	}
+	// Promote from probation to protected.
+	c.probation.Remove(e.el)
+	if c.protected.Len() >= c.protectedCap && c.protectedCap > 0 {
+		// Demote the protected LRU back to probation's MRU position.
+		victim := c.protected.Back()
+		vid := victim.Value.(catalog.ID)
+		c.protected.Remove(victim)
+		c.items[vid] = &slruEntry{el: c.probation.PushFront(vid), protected: false}
+	}
+	if c.protectedCap == 0 {
+		// Degenerate configuration: keep in probation.
+		c.items[id] = &slruEntry{el: c.probation.PushFront(id), protected: false}
+		c.evictProbationOverflow()
+		return true
+	}
+	c.items[id] = &slruEntry{el: c.protected.PushFront(id), protected: true}
+	c.evictProbationOverflow()
+	return true
+}
+
+// evictProbationOverflow trims probation down to its capacity.
+func (c *SLRU) evictProbationOverflow() {
+	for c.probation.Len() > c.probationCap {
+		victim := c.probation.Back()
+		vid := victim.Value.(catalog.ID)
+		c.probation.Remove(victim)
+		delete(c.items, vid)
+	}
+}
+
+// Contains implements Store.
+func (c *SLRU) Contains(id catalog.ID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Insert implements Store. New contents enter the probationary segment.
+func (c *SLRU) Insert(id catalog.ID) (catalog.ID, bool) {
+	if c.Cap() == 0 {
+		return 0, false
+	}
+	if c.Contains(id) {
+		return 0, false
+	}
+	var evicted catalog.ID
+	var did bool
+	if c.probation.Len() >= c.probationCap {
+		victim := c.probation.Back()
+		evicted = victim.Value.(catalog.ID)
+		c.probation.Remove(victim)
+		delete(c.items, evicted)
+		did = true
+	}
+	c.items[id] = &slruEntry{el: c.probation.PushFront(id), protected: false}
+	return evicted, did
+}
+
+// Len implements Store.
+func (c *SLRU) Len() int { return c.probation.Len() + c.protected.Len() }
+
+// Cap implements Store.
+func (c *SLRU) Cap() int { return c.probationCap + c.protectedCap }
+
+// TwoQ is a simplified 2Q cache (Johnson & Shasha, VLDB 1994): new
+// contents enter a FIFO admission queue (A1in); contents evicted from
+// it are remembered in a ghost list (A1out, ids only); a re-request of
+// a remembered content admits it into the main LRU (Am). Sequential
+// scans thus flow through A1in without polluting Am.
+type TwoQ struct {
+	inCap  int
+	outCap int // ghost entries (ids only, no capacity cost)
+	amCap  int
+
+	in    *list.List // FIFO: front = newest
+	out   *list.List // ghost FIFO
+	am    *list.List // LRU: front = most recent
+	items map[catalog.ID]*twoQEntry
+	ghost map[catalog.ID]*list.Element
+}
+
+// twoQEntry locates a resident content.
+type twoQEntry struct {
+	el   *list.Element
+	inAm bool
+}
+
+// NewTwoQ returns a 2Q store with the given total resident capacity.
+// The admission queue gets inFraction (in (0,1)) of it; the ghost list
+// remembers capacity ids.
+func NewTwoQ(capacity int, inFraction float64) (*TwoQ, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be >= 0, got %d", capacity)
+	}
+	if !(inFraction > 0 && inFraction < 1) {
+		return nil, fmt.Errorf("cache: admission fraction %v outside (0,1)", inFraction)
+	}
+	in := int(float64(capacity) * inFraction)
+	if capacity > 1 && in == 0 {
+		in = 1
+	}
+	if in >= capacity && capacity > 0 {
+		in = capacity - 1
+	}
+	return &TwoQ{
+		inCap:  in,
+		outCap: capacity,
+		amCap:  capacity - in,
+		in:     list.New(),
+		out:    list.New(),
+		am:     list.New(),
+		items:  make(map[catalog.ID]*twoQEntry, capacity),
+		ghost:  make(map[catalog.ID]*list.Element, capacity),
+	}, nil
+}
+
+// Lookup implements Store.
+func (c *TwoQ) Lookup(id catalog.ID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	if e.inAm {
+		c.am.MoveToFront(e.el)
+	}
+	// Hits in A1in deliberately do not promote (2Q's scan resistance).
+	return true
+}
+
+// Contains implements Store.
+func (c *TwoQ) Contains(id catalog.ID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Insert implements Store.
+func (c *TwoQ) Insert(id catalog.ID) (catalog.ID, bool) {
+	if c.Cap() == 0 {
+		return 0, false
+	}
+	if c.Contains(id) {
+		return 0, false
+	}
+	if _, remembered := c.ghost[id]; remembered || c.inCap == 0 {
+		// Recently seen: admit straight into the main LRU.
+		c.forgetGhost(id)
+		return c.insertAm(id)
+	}
+	// First sighting: admission queue.
+	var evicted catalog.ID
+	var did bool
+	if c.in.Len() >= c.inCap {
+		victim := c.in.Back()
+		evicted = victim.Value.(catalog.ID)
+		c.in.Remove(victim)
+		delete(c.items, evicted)
+		did = true
+		c.remember(evicted)
+	}
+	c.items[id] = &twoQEntry{el: c.in.PushFront(id)}
+	return evicted, did
+}
+
+// insertAm admits id into the main LRU segment.
+func (c *TwoQ) insertAm(id catalog.ID) (catalog.ID, bool) {
+	var evicted catalog.ID
+	var did bool
+	if c.am.Len() >= c.amCap {
+		victim := c.am.Back()
+		evicted = victim.Value.(catalog.ID)
+		c.am.Remove(victim)
+		delete(c.items, evicted)
+		did = true
+	}
+	c.items[id] = &twoQEntry{el: c.am.PushFront(id), inAm: true}
+	return evicted, did
+}
+
+// remember records an evicted id in the ghost list.
+func (c *TwoQ) remember(id catalog.ID) {
+	if c.outCap == 0 {
+		return
+	}
+	if c.out.Len() >= c.outCap {
+		oldest := c.out.Back()
+		delete(c.ghost, oldest.Value.(catalog.ID))
+		c.out.Remove(oldest)
+	}
+	c.ghost[id] = c.out.PushFront(id)
+}
+
+// forgetGhost removes id from the ghost list if present.
+func (c *TwoQ) forgetGhost(id catalog.ID) {
+	if el, ok := c.ghost[id]; ok {
+		c.out.Remove(el)
+		delete(c.ghost, id)
+	}
+}
+
+// Len implements Store (resident contents only; ghosts are free).
+func (c *TwoQ) Len() int { return c.in.Len() + c.am.Len() }
+
+// Cap implements Store.
+func (c *TwoQ) Cap() int { return c.inCap + c.amCap }
+
+// Interface compliance checks.
+var (
+	_ Store = (*SLRU)(nil)
+	_ Store = (*TwoQ)(nil)
+)

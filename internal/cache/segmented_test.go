@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestNewSLRUValidation(t *testing.T) {
+	if _, err := NewSLRU(-1, 0.5); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := NewSLRU(10, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := NewSLRU(10, 1); err == nil {
+		t.Error("fraction 1 should fail")
+	}
+	c, err := NewSLRU(10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cap() != 10 {
+		t.Errorf("Cap = %d, want 10", c.Cap())
+	}
+}
+
+func TestSLRUPromotionProtectsPopular(t *testing.T) {
+	// capacity 4: 2 protected + 2 probation.
+	c, err := NewSLRU(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(1)
+	c.Insert(2)
+	// Promote 1 and 2 into the protected segment.
+	if !c.Lookup(1) || !c.Lookup(2) {
+		t.Fatal("expected hits")
+	}
+	// A scan of one-shot contents flows through probation only.
+	for id := catalog.ID(10); id < 20; id++ {
+		c.Insert(id)
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Error("protected contents displaced by a scan")
+	}
+	if c.Len() > c.Cap() {
+		t.Errorf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestSLRUDemotion(t *testing.T) {
+	c, err := NewSLRU(4, 0.5) // protected cap 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := catalog.ID(1); id <= 3; id++ {
+		c.Insert(id)
+		c.Lookup(id) // promote each in turn
+	}
+	// Promoting 3 must demote the protected LRU (1) back to probation,
+	// not evict it.
+	if !c.Contains(1) {
+		t.Error("demoted content evicted outright")
+	}
+	// Everything still within capacity.
+	if c.Len() > c.Cap() {
+		t.Errorf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestSLRUZeroCapacity(t *testing.T) {
+	c, err := NewSLRU(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Insert(1); ok || c.Contains(1) || c.Len() != 0 {
+		t.Error("zero-capacity SLRU admitted content")
+	}
+}
+
+func TestNewTwoQValidation(t *testing.T) {
+	if _, err := NewTwoQ(-1, 0.25); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := NewTwoQ(10, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := NewTwoQ(10, 1); err == nil {
+		t.Error("fraction 1 should fail")
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	// capacity 8: 2 in A1in, 6 in Am.
+	c, err := NewTwoQ(8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish 1 and 2 in Am: insert, evict through A1in, re-insert.
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3) // evicts 1 from A1in -> ghost
+	c.Insert(4) // evicts 2 from A1in -> ghost
+	c.Insert(1) // remembered -> Am
+	c.Insert(2) // remembered -> Am
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("re-admitted contents missing")
+	}
+	// A long scan of fresh ids must not displace Am residents.
+	for id := catalog.ID(100); id < 140; id++ {
+		c.Insert(id)
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Error("scan displaced main-queue contents")
+	}
+	if c.Len() > c.Cap() {
+		t.Errorf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestTwoQGhostBounded(t *testing.T) {
+	c, err := NewTwoQ(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := catalog.ID(1); id <= 100; id++ {
+		c.Insert(id)
+	}
+	if c.out.Len() > c.outCap {
+		t.Errorf("ghost list %d exceeds bound %d", c.out.Len(), c.outCap)
+	}
+	if len(c.ghost) != c.out.Len() {
+		t.Errorf("ghost map %d out of sync with list %d", len(c.ghost), c.out.Len())
+	}
+}
+
+func TestTwoQZeroCapacity(t *testing.T) {
+	c, err := NewTwoQ(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Insert(1); ok || c.Contains(1) {
+		t.Error("zero-capacity 2Q admitted content")
+	}
+}
+
+// TestSegmentedQuickInvariants property: capacity bounds and
+// Len/Contains consistency hold under arbitrary operation streams for
+// both policies.
+func TestSegmentedQuickInvariants(t *testing.T) {
+	mk := map[string]func() Store{
+		"slru": func() Store { s, _ := NewSLRU(8, 0.5); return s },
+		"twoq": func() Store { s, _ := NewTwoQ(8, 0.25); return s },
+	}
+	for name, newStore := range mk {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				s := newStore()
+				for _, op := range ops {
+					id := catalog.ID(op%32 + 1)
+					if op%3 == 0 {
+						before := s.Contains(id)
+						if s.Lookup(id) != before {
+							return false
+						}
+					} else {
+						s.Insert(id)
+					}
+					if s.Len() > s.Cap() {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSLRUBeatsLRUOnScans: on a mixed popular+scan workload SLRU must
+// retain the popular set at least as well as LRU.
+func TestSLRUBeatsLRUOnScans(t *testing.T) {
+	hitRatio := func(s Store) float64 {
+		hits, total := 0, 0
+		for round := 0; round < 50; round++ {
+			// Popular working set.
+			for id := catalog.ID(1); id <= 4; id++ {
+				total++
+				if s.Lookup(id) {
+					hits++
+				} else {
+					s.Insert(id)
+				}
+			}
+			// Interfering scan.
+			for k := 0; k < 6; k++ {
+				id := catalog.ID(1000 + round*6 + k)
+				if !s.Lookup(id) {
+					s.Insert(id)
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	lru, _ := NewLRU(8)
+	slru, _ := NewSLRU(8, 0.5)
+	if hitRatio(slru) < hitRatio(lru) {
+		t.Errorf("SLRU hit ratio below LRU on scan workload")
+	}
+}

@@ -1,0 +1,90 @@
+// Package catalog models the content universe of a content-centric
+// network: N equally sized content objects identified by popularity rank,
+// each carrying a CCN-style hierarchical name. The unit-size assumption
+// follows the paper's Section III-A (contents are segmented into
+// individually named, uniformly sized objects, as CCN/NDN and BitTorrent
+// style systems do).
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID identifies a content object by its global popularity rank, starting
+// at 1 (rank 1 = most popular). The zero ID is invalid.
+type ID int64
+
+// Valid reports whether the ID is a usable rank.
+func (id ID) Valid() bool { return id >= 1 }
+
+// Catalog describes a universe of n ranked content objects. The zero
+// value is an empty catalog.
+type Catalog struct {
+	n      int64
+	prefix string
+}
+
+// New returns a catalog of n contents named under the given CCN prefix
+// (e.g. "/example/videos"). The prefix must start with '/'.
+func New(n int64, prefix string) (*Catalog, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("catalog: size must be >= 1, got %d", n)
+	}
+	if !strings.HasPrefix(prefix, "/") || strings.HasSuffix(prefix, "/") {
+		return nil, fmt.Errorf("catalog: prefix must start with '/' and not end with '/', got %q", prefix)
+	}
+	return &Catalog{n: n, prefix: prefix}, nil
+}
+
+// Size returns the number of contents N.
+func (c *Catalog) Size() int64 { return c.n }
+
+// Prefix returns the catalog's CCN name prefix.
+func (c *Catalog) Prefix() string { return c.prefix }
+
+// Contains reports whether the catalog holds the given rank.
+func (c *Catalog) Contains(id ID) bool { return id >= 1 && int64(id) <= c.n }
+
+// Name returns the hierarchical CCN name of the content with the given
+// rank, e.g. "/example/videos/obj/0000000042".
+func (c *Catalog) Name(id ID) (string, error) {
+	if !c.Contains(id) {
+		return "", fmt.Errorf("catalog: rank %d outside [1, %d]", id, c.n)
+	}
+	return fmt.Sprintf("%s/obj/%010d", c.prefix, id), nil
+}
+
+// Parse inverts Name, returning the rank encoded in a content name.
+func (c *Catalog) Parse(name string) (ID, error) {
+	rest, ok := strings.CutPrefix(name, c.prefix+"/obj/")
+	if !ok {
+		return 0, fmt.Errorf("catalog: name %q not under prefix %q", name, c.prefix)
+	}
+	v, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: name %q has malformed rank: %w", name, err)
+	}
+	id := ID(v)
+	if !c.Contains(id) {
+		return 0, fmt.Errorf("catalog: rank %d outside [1, %d]", id, c.n)
+	}
+	return id, nil
+}
+
+// Range calls fn for each rank in [from, to] (inclusive, clamped to the
+// catalog) until fn returns false.
+func (c *Catalog) Range(from, to ID, fn func(ID) bool) {
+	if from < 1 {
+		from = 1
+	}
+	if int64(to) > c.n {
+		to = ID(c.n)
+	}
+	for id := from; id <= to; id++ {
+		if !fn(id) {
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int64
+		prefix  string
+		wantErr bool
+	}{
+		{"valid", 100, "/cdn/videos", false},
+		{"zero size", 0, "/cdn", true},
+		{"negative size", -5, "/cdn", true},
+		{"no leading slash", 10, "cdn", true},
+		{"trailing slash", 10, "/cdn/", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.n, tt.prefix)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New(%d, %q) error = %v, wantErr %v", tt.n, tt.prefix, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNameParseRoundTrip(t *testing.T) {
+	c, err := New(1000, "/example/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []ID{1, 42, 1000} {
+		name, err := c.Name(id)
+		if err != nil {
+			t.Fatalf("Name(%d): %v", id, err)
+		}
+		back, err := c.Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if back != id {
+			t.Errorf("round trip %d -> %q -> %d", id, name, back)
+		}
+	}
+}
+
+func TestNameOutOfRange(t *testing.T) {
+	c, _ := New(10, "/p")
+	for _, id := range []ID{0, -1, 11} {
+		if _, err := c.Name(id); err == nil {
+			t.Errorf("Name(%d) should fail", id)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c, _ := New(10, "/p")
+	for _, name := range []string{"/q/obj/0000000001", "/p/obj/notanumber", "/p/obj/0000000999", "/p/0000000001"} {
+		if _, err := c.Parse(name); err == nil {
+			t.Errorf("Parse(%q) should fail", name)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	c, _ := New(5, "/p")
+	if !c.Contains(1) || !c.Contains(5) {
+		t.Error("boundary ranks should be contained")
+	}
+	if c.Contains(0) || c.Contains(6) {
+		t.Error("out-of-range ranks should not be contained")
+	}
+}
+
+func TestRange(t *testing.T) {
+	c, _ := New(10, "/p")
+	var got []ID
+	c.Range(-5, 100, func(id ID) bool {
+		got = append(got, id)
+		return true
+	})
+	if len(got) != 10 || got[0] != 1 || got[9] != 10 {
+		t.Errorf("Range clamping wrong: %v", got)
+	}
+	got = got[:0]
+	c.Range(3, 8, func(id ID) bool {
+		got = append(got, id)
+		return len(got) < 2 // early stop
+	})
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("Range early stop wrong: %v", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c, _ := New(1_000_000, "/cdn/v1")
+	f := func(raw uint32) bool {
+		id := ID(raw%1_000_000 + 1)
+		name, err := c.Name(id)
+		if err != nil {
+			return false
+		}
+		back, err := c.Parse(name)
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDValid(t *testing.T) {
+	if ID(0).Valid() || ID(-1).Valid() {
+		t.Error("non-positive IDs must be invalid")
+	}
+	if !ID(1).Valid() {
+		t.Error("ID 1 must be valid")
+	}
+}

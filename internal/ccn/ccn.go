@@ -1,0 +1,583 @@
+// Package ccn implements a packet-level content-centric network data
+// plane on top of the discrete-event engine: routers with content stores,
+// Pending Interest Tables (PIT) with request aggregation, FIB-style
+// forwarding along latency-shortest paths, reverse-path data delivery,
+// on-path caching modes, and an origin server attachment. The paper's
+// analytical model abstracts this machinery; the simulator exists to
+// validate the model's steady-state predictions (origin load, tier hit
+// ratios, mean latency and hop count) against an executable system.
+package ccn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// ServerKind identifies which tier ultimately served a request.
+type ServerKind int
+
+// Tiers, in the model's d0/d1/d2 order.
+const (
+	ServedLocal  ServerKind = iota // requesting router's own content store
+	ServedPeer                     // another router in the domain
+	ServedOrigin                   // the origin server
+)
+
+// String returns the tier name.
+func (k ServerKind) String() string {
+	switch k {
+	case ServedLocal:
+		return "local"
+	case ServedPeer:
+		return "peer"
+	case ServedOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("ServerKind(%d)", int(k))
+	}
+}
+
+// CachingMode selects the on-path caching decision applied to returning
+// data.
+type CachingMode int
+
+const (
+	// CacheNone never admits passing data; used with provisioned
+	// (static) stores, which ignore Insert anyway.
+	CacheNone CachingMode = iota
+	// CacheLCE ("leave copy everywhere") offers data to every router on
+	// the return path.
+	CacheLCE
+	// CacheLCD ("leave copy down") offers data only to the first router
+	// below the serving point on the return path.
+	CacheLCD
+	// CacheProb ("probabilistic caching") offers data to each on-path
+	// router independently with probability Options.CacheProbability, a
+	// common ICN baseline that thins redundant replicas.
+	CacheProb
+)
+
+// Directory resolves which router coordinately stores a content, the
+// lookup service the coordination protocol maintains.
+type Directory interface {
+	// Owner returns the router assigned to store id, if any.
+	Owner(id catalog.ID) (topology.NodeID, bool)
+}
+
+// RequestResult describes one completed content request.
+type RequestResult struct {
+	Content     catalog.ID
+	Router      topology.NodeID // first-hop router of the client
+	IssuedAt    float64
+	CompletedAt float64
+	// Hops is the number of network links (router-router, plus the
+	// origin uplink when applicable) between the serving point and the
+	// requesting router; 0 for a local hit. Client access links are not
+	// counted, matching the paper's motivating example.
+	Hops     int
+	ServedBy ServerKind
+	Server   topology.NodeID // serving router; -1 when served by origin
+}
+
+// Latency returns the client-observed request latency.
+func (r RequestResult) Latency() float64 { return r.CompletedAt - r.IssuedAt }
+
+// Options configures a Network.
+type Options struct {
+	// AccessLatency is the one-way client <-> first-hop-router latency
+	// (the model's d0 is the round trip of this access hop).
+	AccessLatency float64
+	// Stores builds the content store for each router. Required.
+	Stores func(id topology.NodeID) (cache.Store, error)
+	// Mode is the on-path caching decision for returning data.
+	Mode CachingMode
+	// Directory, when non-nil, lets routers redirect misses to the
+	// coordinated owner of a content instead of the origin.
+	Directory Directory
+
+	// LossRate is the independent per-transmission drop probability on
+	// network links (interests, data, and origin uplink exchanges).
+	// Zero means a lossless fabric. Must be in [0, 1).
+	LossRate float64
+	// RetxTimeout is the per-router interest retransmission timeout
+	// (ms): while a PIT entry is unsatisfied, its router re-sends the
+	// interest upstream every RetxTimeout. Required when LossRate > 0.
+	RetxTimeout float64
+	// LossSeed seeds the loss process and the probabilistic caching
+	// decision; runs with the same seed are reproducible. Zero selects
+	// 1.
+	LossSeed int64
+
+	// CacheProbability is the per-router admission probability under
+	// CacheProb mode; must lie in (0, 1] when that mode is selected.
+	CacheProbability float64
+
+	// LinkRate is the serialization capacity of every link in unit
+	// contents per millisecond. Data packets (unit size) occupy a link
+	// for 1/LinkRate ms and queue FIFO behind each other per directed
+	// link; interests are treated as negligibly small, as in CCN.
+	// Zero means infinite capacity (no queueing).
+	LinkRate float64
+}
+
+// originNeighbor marks the origin uplink in forwarding decisions.
+const originNeighbor topology.NodeID = -1
+
+// pendingRequest is a client request waiting in a PIT.
+type pendingRequest struct {
+	issuedAt float64
+	done     func(RequestResult)
+}
+
+// pitFace is one downstream requester of a pending interest: either a
+// neighboring router or a local client.
+type pitFace struct {
+	neighbor topology.NodeID // used when request is nil
+	request  *pendingRequest // non-nil for client faces
+}
+
+// pitEntry aggregates all downstream requesters of one content.
+type pitEntry struct {
+	faces []pitFace
+}
+
+// node is one CCN router: content store plus PIT, with activity
+// counters surfaced via Network.Stats.
+type node struct {
+	id  topology.NodeID
+	cs  cache.Store
+	pit map[catalog.ID]*pitEntry
+
+	csHits     int64
+	csMisses   int64
+	aggregated int64
+	forwarded  int64
+	pitPeak    int
+}
+
+// Network is an executable CCN domain over a topology.
+type Network struct {
+	eng   *des.Engine
+	graph *topology.Graph
+	lat   *topology.APSP
+	nodes []*node
+	cat   *catalog.Catalog
+	opts  Options
+
+	// Origin attachment: either a gateway router with an uplink, or a
+	// uniform per-router uplink.
+	originRouter  topology.NodeID
+	originLatency float64
+	uniformOrigin bool
+	attached      bool
+
+	// Counters over the whole run.
+	interestTransmissions int64
+	dataTransmissions     int64
+	droppedInterests      int64
+	droppedData           int64
+	retransmissions       int64
+
+	// rng drives the loss process; nil on lossless fabrics.
+	rng *rand.Rand
+
+	// linkBusy tracks, per directed link, when its transmitter frees up
+	// (finite LinkRate only). The origin uplink of router r is keyed as
+	// {r, originNeighbor}.
+	linkBusy map[[2]topology.NodeID]float64
+	// queueingTotal accumulates time data packets spent waiting for
+	// link transmitters; queuedPackets counts data transmissions that
+	// waited.
+	queueingTotal float64
+	queuedPackets int64
+}
+
+// NewNetwork builds a CCN data plane over the given connected topology.
+func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts Options) (*Network, error) {
+	switch {
+	case eng == nil:
+		return nil, fmt.Errorf("ccn: nil engine")
+	case g == nil || g.N() == 0:
+		return nil, fmt.Errorf("ccn: empty topology")
+	case !g.Connected():
+		return nil, fmt.Errorf("ccn: topology %q is not connected", g.Name())
+	case cat == nil:
+		return nil, fmt.Errorf("ccn: nil catalog")
+	case opts.Stores == nil:
+		return nil, fmt.Errorf("ccn: Options.Stores is required")
+	case opts.AccessLatency < 0:
+		return nil, fmt.Errorf("ccn: negative access latency %v", opts.AccessLatency)
+	case opts.LossRate < 0 || opts.LossRate >= 1:
+		return nil, fmt.Errorf("ccn: loss rate %v outside [0, 1)", opts.LossRate)
+	case opts.LossRate > 0 && !(opts.RetxTimeout > 0):
+		return nil, fmt.Errorf("ccn: lossy fabric requires a positive retransmission timeout")
+	case opts.Mode == CacheProb && !(opts.CacheProbability > 0 && opts.CacheProbability <= 1):
+		return nil, fmt.Errorf("ccn: CacheProb mode requires a probability in (0,1], got %v", opts.CacheProbability)
+	case opts.LinkRate < 0:
+		return nil, fmt.Errorf("ccn: negative link rate %v", opts.LinkRate)
+	}
+	n := &Network{
+		eng:          eng,
+		graph:        g,
+		lat:          g.ShortestPathsLatency(),
+		cat:          cat,
+		opts:         opts,
+		originRouter: -1,
+	}
+	if opts.LossRate > 0 || opts.Mode == CacheProb {
+		seed := opts.LossSeed
+		if seed == 0 {
+			seed = 1
+		}
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+	if opts.LinkRate > 0 {
+		n.linkBusy = make(map[[2]topology.NodeID]float64)
+	}
+	for _, tn := range g.Nodes() {
+		cs, err := opts.Stores(tn.ID)
+		if err != nil {
+			return nil, fmt.Errorf("ccn: building store for router %d: %w", tn.ID, err)
+		}
+		if cs == nil {
+			return nil, fmt.Errorf("ccn: nil store for router %d", tn.ID)
+		}
+		n.nodes = append(n.nodes, &node{id: tn.ID, cs: cs, pit: make(map[catalog.ID]*pitEntry)})
+	}
+	return n, nil
+}
+
+// AttachOriginAt places the origin server behind the given gateway
+// router with a one-way uplink latency. All origin-bound traffic routes
+// through the gateway.
+func (n *Network) AttachOriginAt(gateway topology.NodeID, latency float64) error {
+	if int(gateway) < 0 || int(gateway) >= len(n.nodes) {
+		return fmt.Errorf("ccn: unknown gateway router %d", gateway)
+	}
+	if !(latency > 0) {
+		return fmt.Errorf("ccn: origin uplink latency must be positive, got %v", latency)
+	}
+	n.originRouter, n.originLatency, n.uniformOrigin, n.attached = gateway, latency, false, true
+	return nil
+}
+
+// AttachOriginUniform gives every router a direct uplink to the origin
+// with the given one-way latency, matching the holistic model's uniform
+// d2 abstraction.
+func (n *Network) AttachOriginUniform(latency float64) error {
+	if !(latency > 0) {
+		return fmt.Errorf("ccn: origin uplink latency must be positive, got %v", latency)
+	}
+	n.originLatency, n.uniformOrigin, n.attached = latency, true, true
+	n.originRouter = -1
+	return nil
+}
+
+// Store returns router id's content store (for pre-population and
+// inspection).
+func (n *Network) Store(id topology.NodeID) (cache.Store, error) {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil, fmt.Errorf("ccn: unknown router %d", id)
+	}
+	return n.nodes[id].cs, nil
+}
+
+// InterestTransmissions returns the total number of interest packet
+// transmissions over network links so far.
+func (n *Network) InterestTransmissions() int64 { return n.interestTransmissions }
+
+// DataTransmissions returns the total number of data packet
+// transmissions over network links so far.
+func (n *Network) DataTransmissions() int64 { return n.dataTransmissions }
+
+// DroppedInterests returns how many interest transmissions the lossy
+// fabric discarded.
+func (n *Network) DroppedInterests() int64 { return n.droppedInterests }
+
+// DroppedData returns how many data transmissions the lossy fabric
+// discarded.
+func (n *Network) DroppedData() int64 { return n.droppedData }
+
+// Retransmissions returns how many interest retransmissions timers
+// fired for unsatisfied PIT entries.
+func (n *Network) Retransmissions() int64 { return n.retransmissions }
+
+// Request schedules a client request for content id at the given router,
+// issued at the engine's current time. done fires when the data reaches
+// the client.
+func (n *Network) Request(router topology.NodeID, id catalog.ID, done func(RequestResult)) error {
+	if !n.attached {
+		return fmt.Errorf("ccn: origin not attached; call AttachOriginAt or AttachOriginUniform")
+	}
+	if int(router) < 0 || int(router) >= len(n.nodes) {
+		return fmt.Errorf("ccn: unknown router %d", router)
+	}
+	if !n.cat.Contains(id) {
+		return fmt.Errorf("ccn: content %d outside catalog", id)
+	}
+	if done == nil {
+		done = func(RequestResult) {}
+	}
+	req := &pendingRequest{issuedAt: n.eng.Now(), done: done}
+	// The interest reaches the first-hop router after the access
+	// latency.
+	return n.eng.Schedule(n.opts.AccessLatency, func() {
+		n.handleInterest(router, id, pitFace{request: req})
+	})
+}
+
+// handleInterest processes an interest for id arriving at router nid
+// from the given downstream face.
+func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFace) {
+	nd := n.nodes[nid]
+	if nd.cs.Lookup(id) {
+		// Content store hit: data flows back to the arriving face
+		// immediately. Hops accumulate on the way down.
+		nd.csHits++
+		n.respond(nid, id, from, 0, nid)
+		return
+	}
+	nd.csMisses++
+	if entry, ok := nd.pit[id]; ok {
+		// Interest aggregation: the content is already on its way.
+		nd.aggregated++
+		entry.faces = append(entry.faces, from)
+		return
+	}
+	nd.pit[id] = &pitEntry{faces: []pitFace{from}}
+	if len(nd.pit) > nd.pitPeak {
+		nd.pitPeak = len(nd.pit)
+	}
+	nd.forwarded++
+	n.sendUpstream(nid, id)
+	n.armRetx(nid, id)
+}
+
+// sendUpstream forwards an interest from nid toward its upstream: the
+// coordinated owner if the directory knows one, otherwise the origin.
+func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID) {
+	if n.opts.Directory != nil {
+		if owner, ok := n.opts.Directory.Owner(id); ok && owner != nid {
+			n.forwardInterest(nid, n.lat.Next[nid][owner], id)
+			return
+		}
+	}
+	n.forwardToOrigin(nid, id)
+}
+
+// armRetx schedules the interest-retransmission timer for nid's pending
+// entry on a lossy fabric. The chain re-arms itself until the PIT entry
+// is satisfied.
+func (n *Network) armRetx(nid topology.NodeID, id catalog.ID) {
+	if !(n.opts.LossRate > 0) {
+		return
+	}
+	if err := n.eng.Schedule(n.opts.RetxTimeout, func() {
+		nd := n.nodes[nid]
+		if _, pending := nd.pit[id]; !pending {
+			return // satisfied; the chain ends
+		}
+		n.retransmissions++
+		n.sendUpstream(nid, id)
+		n.armRetx(nid, id)
+	}); err != nil {
+		panic(fmt.Sprintf("ccn: scheduling retransmission: %v", err))
+	}
+}
+
+// lost draws the loss process for one transmission.
+func (n *Network) lost() bool {
+	return n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate
+}
+
+// dataDelay returns the delay until data transmitted from router 'from'
+// arrives at 'to' (propagation given), reserving the directed link's
+// transmitter: on finite-capacity links the packet first waits for the
+// transmitter FIFO, then serializes for 1/LinkRate ms.
+func (n *Network) dataDelay(from, to topology.NodeID, propagation float64) float64 {
+	if n.linkBusy == nil {
+		return propagation
+	}
+	key := [2]topology.NodeID{from, to}
+	now := n.eng.Now()
+	ser := 1 / n.opts.LinkRate
+	start := now
+	if busy := n.linkBusy[key]; busy > start {
+		start = busy
+	}
+	if wait := start - now; wait > 0 {
+		n.queueingTotal += wait
+		n.queuedPackets++
+	}
+	n.linkBusy[key] = start + ser
+	return (start - now) + ser + propagation
+}
+
+// originDataDelay returns the round-trip delay of an origin fetch from
+// router nid: interest propagation up, then FIFO queueing and
+// serialization on the origin's downlink, then data propagation down.
+func (n *Network) originDataDelay(nid topology.NodeID) float64 {
+	up := n.originLatency
+	if n.linkBusy == nil {
+		return 2 * up
+	}
+	key := [2]topology.NodeID{nid, originNeighbor}
+	ser := 1 / n.opts.LinkRate
+	ready := n.eng.Now() + up // when the interest reaches the origin
+	start := ready
+	if busy := n.linkBusy[key]; busy > start {
+		start = busy
+	}
+	if wait := start - ready; wait > 0 {
+		n.queueingTotal += wait
+		n.queuedPackets++
+	}
+	n.linkBusy[key] = start + ser
+	return (start + ser + up) - n.eng.Now()
+}
+
+// MeanQueueingDelay returns the mean link-queueing wait per data
+// transmission (0 on infinite-capacity fabrics).
+func (n *Network) MeanQueueingDelay() float64 {
+	if n.dataTransmissions == 0 {
+		return 0
+	}
+	return n.queueingTotal / float64(n.dataTransmissions)
+}
+
+// QueuedPackets returns how many data transmissions had to wait for a
+// busy link transmitter.
+func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
+
+// forwardToOrigin sends the interest one hop toward the origin server.
+func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
+	if n.uniformOrigin || nid == n.originRouter {
+		// Uplink directly to the origin, which always has the content.
+		// The uplink interest and the returning data are each subject to
+		// loss.
+		n.interestTransmissions++
+		if n.lost() {
+			n.droppedInterests++
+			return
+		}
+		dataLost := n.lost() // drawn now to keep the sequence deterministic
+		if err := n.eng.Schedule(n.originDataDelay(nid), func() {
+			// Data arrives back at this router after the uplink round
+			// trip; the uplink itself counts as one hop.
+			n.dataTransmissions++
+			if dataLost {
+				n.droppedData++
+				return
+			}
+			n.dataArrival(nid, id, 1, -1)
+		}); err != nil {
+			panic(fmt.Sprintf("ccn: scheduling origin fetch: %v", err))
+		}
+		return
+	}
+	n.forwardInterest(nid, n.lat.Next[nid][n.originRouter], id)
+}
+
+// forwardInterest transmits an interest from nid to neighbor next.
+func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
+	linkLat, err := n.graph.EdgeLatency(nid, next)
+	if err != nil {
+		panic(fmt.Sprintf("ccn: forwarding over missing link %d-%d: %v", nid, next, err))
+	}
+	n.interestTransmissions++
+	if n.lost() {
+		n.droppedInterests++
+		return
+	}
+	if err := n.eng.Schedule(linkLat, func() {
+		n.handleInterest(next, id, pitFace{neighbor: nid})
+	}); err != nil {
+		panic(fmt.Sprintf("ccn: scheduling interest: %v", err))
+	}
+}
+
+// dataArrival handles data for id arriving at router nid from upstream.
+// hops is the number of network links the data has traversed from the
+// serving point; server identifies the serving router (-1 for the
+// origin). The node applies its on-path caching decision and forwards
+// the data to every PIT face.
+func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, server topology.NodeID) {
+	nd := n.nodes[nid]
+	switch n.opts.Mode {
+	case CacheLCE:
+		nd.cs.Insert(id)
+	case CacheLCD:
+		// Only the first router below the serving point admits.
+		if hops == 1 {
+			nd.cs.Insert(id)
+		}
+	case CacheProb:
+		if n.rng.Float64() < n.opts.CacheProbability {
+			nd.cs.Insert(id)
+		}
+	}
+	entry, ok := nd.pit[id]
+	if !ok {
+		return // stale data (e.g. PIT satisfied by a CS hit meanwhile)
+	}
+	delete(nd.pit, id)
+	for _, f := range entry.faces {
+		n.respond(nid, id, f, hops, server)
+	}
+}
+
+// respond sends data for id from router nid to one downstream face:
+// either completing a client request or forwarding one hop down.
+func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops int, server topology.NodeID) {
+	if f.request != nil {
+		req := f.request
+		result := RequestResult{
+			Content:     id,
+			Router:      nid,
+			IssuedAt:    req.issuedAt,
+			Hops:        hops,
+			Server:      server,
+			ServedBy:    tierOf(hops, server, nid),
+			CompletedAt: n.eng.Now() + n.opts.AccessLatency,
+		}
+		if err := n.eng.Schedule(n.opts.AccessLatency, func() { req.done(result) }); err != nil {
+			panic(fmt.Sprintf("ccn: scheduling completion: %v", err))
+		}
+		return
+	}
+	next := f.neighbor
+	linkLat, err := n.graph.EdgeLatency(nid, next)
+	if err != nil {
+		panic(fmt.Sprintf("ccn: returning data over missing link %d-%d: %v", nid, next, err))
+	}
+	n.dataTransmissions++
+	if n.lost() {
+		// The downstream router's retransmission timer recovers the
+		// loss.
+		n.droppedData++
+		return
+	}
+	h := hops + 1
+	if err := n.eng.Schedule(n.dataDelay(nid, next, linkLat), func() {
+		n.dataArrival(next, id, h, server)
+	}); err != nil {
+		panic(fmt.Sprintf("ccn: scheduling data: %v", err))
+	}
+}
+
+// tierOf classifies which tier served a request completed at router nid.
+func tierOf(hops int, server, nid topology.NodeID) ServerKind {
+	switch {
+	case server == -1:
+		return ServedOrigin
+	case hops == 0 && server == nid:
+		return ServedLocal
+	default:
+		return ServedPeer
+	}
+}

@@ -1,0 +1,303 @@
+package ccn
+
+import (
+	"math"
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// lineNet builds a 3-router line R0 - R1 - R2 with 5 ms links, origin
+// behind R0 at 50 ms, 1 ms access latency, and per-router static stores.
+func lineNet(t *testing.T, provision map[topology.NodeID][]catalog.ID, dir Directory, mode CachingMode) (*des.Engine, *Network) {
+	t.Helper()
+	g := topology.New("line3")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	cat, err := catalog.New(100, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		Mode:          mode,
+		Directory:     dir,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			if mode == CacheNone {
+				return cache.NewStatic(provision[id])
+			}
+			return cache.NewLRU(2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+// run issues one request and returns its result.
+func runOne(t *testing.T, eng *des.Engine, net *Network, router topology.NodeID, id catalog.ID) RequestResult {
+	t.Helper()
+	var got *RequestResult
+	if err := net.Request(router, id, func(r RequestResult) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got == nil {
+		t.Fatal("request never completed")
+	}
+	return *got
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	eng := &des.Engine{}
+	okStores := func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) }
+	if _, err := NewNetwork(nil, g, cat, Options{Stores: okStores}); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if _, err := NewNetwork(eng, nil, cat, Options{Stores: okStores}); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := NewNetwork(eng, g, nil, Options{Stores: okStores}); err == nil {
+		t.Error("nil catalog should fail")
+	}
+	if _, err := NewNetwork(eng, g, cat, Options{}); err == nil {
+		t.Error("missing Stores should fail")
+	}
+	if _, err := NewNetwork(eng, g, cat, Options{Stores: okStores, AccessLatency: -1}); err == nil {
+		t.Error("negative access latency should fail")
+	}
+	disc := topology.New("disc")
+	disc.AddNode("", 0, 0)
+	disc.AddNode("", 0, 0)
+	if _, err := NewNetwork(eng, disc, cat, Options{Stores: okStores}); err == nil {
+		t.Error("disconnected topology should fail")
+	}
+}
+
+func TestAttachOriginValidation(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	_ = eng
+	if err := net.AttachOriginAt(99, 10); err == nil {
+		t.Error("unknown gateway should fail")
+	}
+	if err := net.AttachOriginAt(0, 0); err == nil {
+		t.Error("zero uplink latency should fail")
+	}
+	if err := net.AttachOriginUniform(-1); err == nil {
+		t.Error("negative uniform latency should fail")
+	}
+}
+
+func TestRequestRequiresOrigin(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		Stores: func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Request(0, 1, nil); err == nil {
+		t.Error("request before origin attachment should fail")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	_ = eng
+	if err := net.Request(99, 1, nil); err == nil {
+		t.Error("unknown router should fail")
+	}
+	if err := net.Request(0, 9999, nil); err == nil {
+		t.Error("content outside catalog should fail")
+	}
+}
+
+func TestLocalHit(t *testing.T) {
+	prov := map[topology.NodeID][]catalog.ID{2: {7}}
+	eng, net := lineNet(t, prov, nil, CacheNone)
+	res := runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedLocal {
+		t.Errorf("ServedBy = %v, want local", res.ServedBy)
+	}
+	if res.Hops != 0 {
+		t.Errorf("Hops = %d, want 0", res.Hops)
+	}
+	// Latency: access up + access down = 2 ms.
+	if math.Abs(res.Latency()-2) > 1e-9 {
+		t.Errorf("latency = %v, want 2", res.Latency())
+	}
+}
+
+func TestOriginFetchThroughGateway(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	// Nothing cached: request at R2 travels R2->R1->R0->O and back.
+	res := runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedOrigin {
+		t.Errorf("ServedBy = %v, want origin", res.ServedBy)
+	}
+	if res.Hops != 3 { // two router links + uplink
+		t.Errorf("Hops = %d, want 3", res.Hops)
+	}
+	// Latency: 2*1 access + 2*(5+5) links + 2*50 uplink = 122.
+	if math.Abs(res.Latency()-122) > 1e-9 {
+		t.Errorf("latency = %v, want 122", res.Latency())
+	}
+	if res.Server != -1 {
+		t.Errorf("Server = %d, want -1", res.Server)
+	}
+}
+
+func TestDirectoryRedirect(t *testing.T) {
+	prov := map[topology.NodeID][]catalog.ID{2: {7}}
+	dir := staticDir{7: 2}
+	eng, net := lineNet(t, prov, dir, CacheNone)
+	res := runOne(t, eng, net, 0, 7)
+	if res.ServedBy != ServedPeer {
+		t.Errorf("ServedBy = %v, want peer", res.ServedBy)
+	}
+	if res.Hops != 2 {
+		t.Errorf("Hops = %d, want 2", res.Hops)
+	}
+	if res.Server != 2 {
+		t.Errorf("Server = %d, want 2", res.Server)
+	}
+	// Latency: 2*1 + 2*(5+5) = 22.
+	if math.Abs(res.Latency()-22) > 1e-9 {
+		t.Errorf("latency = %v, want 22", res.Latency())
+	}
+}
+
+// staticDir is a fixed content->owner map.
+type staticDir map[catalog.ID]topology.NodeID
+
+func (d staticDir) Owner(id catalog.ID) (topology.NodeID, bool) {
+	r, ok := d[id]
+	return r, ok
+}
+
+func TestOpportunisticOnPathHit(t *testing.T) {
+	// Content at R1 (on the path R2 -> R0 toward origin/owner R0).
+	prov := map[topology.NodeID][]catalog.ID{1: {7}}
+	eng, net := lineNet(t, prov, nil, CacheNone)
+	res := runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedPeer || res.Server != 1 || res.Hops != 1 {
+		t.Errorf("on-path hit: served=%v server=%d hops=%d", res.ServedBy, res.Server, res.Hops)
+	}
+}
+
+func TestUniformOrigin(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	if err := net.AttachOriginUniform(40); err != nil {
+		t.Fatal(err)
+	}
+	res := runOne(t, eng, net, 2, 9)
+	if res.ServedBy != ServedOrigin || res.Hops != 1 {
+		t.Errorf("uniform origin: served=%v hops=%d", res.ServedBy, res.Hops)
+	}
+	// Latency: 2*1 + 2*40 = 82.
+	if math.Abs(res.Latency()-82) > 1e-9 {
+		t.Errorf("latency = %v, want 82", res.Latency())
+	}
+}
+
+func TestInterestAggregation(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	completed := 0
+	for i := 0; i < 5; i++ {
+		if err := net.Request(2, 7, func(RequestResult) { completed++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if completed != 5 {
+		t.Fatalf("completed = %d, want 5", completed)
+	}
+	// All five concurrent requests for the same content must collapse
+	// into a single origin fetch: 3 interest transmissions up (R2->R1,
+	// R1->R0, uplink), not 15.
+	if net.InterestTransmissions() != 3 {
+		t.Errorf("interest transmissions = %d, want 3 (aggregation)", net.InterestTransmissions())
+	}
+}
+
+func TestLCECachesOnPath(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheLCE)
+	runOne(t, eng, net, 2, 7)
+	// After the first fetch, every router on the return path caches 7.
+	for _, r := range []topology.NodeID{0, 1, 2} {
+		st, err := net.Store(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Contains(7) {
+			t.Errorf("router %d missing content after LCE fetch", r)
+		}
+	}
+	// Second request is now a local hit.
+	res := runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedLocal {
+		t.Errorf("second fetch served by %v, want local", res.ServedBy)
+	}
+}
+
+func TestLCDCachesOneLevel(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheLCD)
+	runOne(t, eng, net, 2, 7)
+	// LCD admits only at the first router below the serving point (the
+	// gateway R0, hops=1).
+	for r, want := range map[topology.NodeID]bool{0: true, 1: false, 2: false} {
+		st, _ := net.Store(r)
+		if st.Contains(7) != want {
+			t.Errorf("router %d contains=%v, want %v", r, st.Contains(7), want)
+		}
+	}
+}
+
+func TestTransmissionCounters(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	runOne(t, eng, net, 2, 7)
+	if net.InterestTransmissions() != 3 || net.DataTransmissions() != 3 {
+		t.Errorf("tx counters = %d/%d, want 3/3",
+			net.InterestTransmissions(), net.DataTransmissions())
+	}
+}
+
+func TestStoreAccessor(t *testing.T) {
+	_, net := lineNet(t, nil, nil, CacheNone)
+	if _, err := net.Store(99); err == nil {
+		t.Error("unknown router should fail")
+	}
+	if st, err := net.Store(0); err != nil || st == nil {
+		t.Errorf("Store(0) = %v, %v", st, err)
+	}
+}
+
+func TestServerKindString(t *testing.T) {
+	if ServedLocal.String() != "local" || ServedPeer.String() != "peer" || ServedOrigin.String() != "origin" {
+		t.Error("ServerKind names wrong")
+	}
+	if ServerKind(42).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

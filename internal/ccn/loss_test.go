@@ -1,0 +1,221 @@
+package ccn
+
+import (
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// lossyNet builds the 3-router line with the given loss rate.
+func lossyNet(t *testing.T, lossRate float64, seed int64) (*des.Engine, *Network) {
+	t.Helper()
+	g := topology.New("line3")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	cat, err := catalog.New(100, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		LossRate:      lossRate,
+		RetxTimeout:   200,
+		LossSeed:      seed,
+		Stores: func(topology.NodeID) (cache.Store, error) {
+			return cache.NewStatic(nil)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+func TestLossOptionsValidation(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	stores := func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) }
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, LossRate: 1}); err == nil {
+		t.Error("loss rate 1 should fail")
+	}
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, LossRate: -0.1}); err == nil {
+		t.Error("negative loss rate should fail")
+	}
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, LossRate: 0.1}); err == nil {
+		t.Error("lossy fabric without retx timeout should fail")
+	}
+}
+
+// TestAllRequestsCompleteUnderLoss: retransmission recovers every loss,
+// so all requests eventually complete even on a very lossy fabric.
+func TestAllRequestsCompleteUnderLoss(t *testing.T) {
+	eng, net := lossyNet(t, 0.3, 7)
+	const total = 200
+	completed := 0
+	for i := 0; i < total; i++ {
+		id := catalog.ID(i%50 + 1)
+		if err := net.Request(2, id, func(RequestResult) { completed++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if completed != total {
+		t.Fatalf("completed %d of %d requests", completed, total)
+	}
+	if net.DroppedInterests()+net.DroppedData() == 0 {
+		t.Error("30% loss produced no drops; loss process inert?")
+	}
+	if net.Retransmissions() == 0 {
+		t.Error("no retransmissions despite drops")
+	}
+}
+
+// TestLossRaisesLatency: the same workload completes slower on a lossy
+// fabric.
+func TestLossRaisesLatency(t *testing.T) {
+	meanLatency := func(lossRate float64) float64 {
+		eng, net := lossyNet(t, lossRate, 3)
+		var sum float64
+		var count int
+		for i := 0; i < 100; i++ {
+			id := catalog.ID(i%20 + 1)
+			if err := net.Request(2, id, func(r RequestResult) {
+				sum += r.Latency()
+				count++
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		if count != 100 {
+			t.Fatalf("only %d completions", count)
+		}
+		return sum / float64(count)
+	}
+	lossless := meanLatency(0)
+	lossy := meanLatency(0.25)
+	if lossy <= lossless {
+		t.Errorf("lossy latency %v not above lossless %v", lossy, lossless)
+	}
+}
+
+// TestZeroLossIdentical: LossRate 0 must behave exactly like the
+// original lossless fabric, counters included.
+func TestZeroLossIdentical(t *testing.T) {
+	eng, net := lossyNet(t, 0, 1)
+	done := 0
+	for i := 0; i < 10; i++ {
+		if err := net.Request(2, catalog.ID(i+1), func(RequestResult) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("completed %d", done)
+	}
+	if net.DroppedInterests() != 0 || net.DroppedData() != 0 || net.Retransmissions() != 0 {
+		t.Error("lossless fabric recorded loss activity")
+	}
+}
+
+// TestLossDeterministic: the same seed reproduces the same loss
+// pattern.
+func TestLossDeterministic(t *testing.T) {
+	run := func() (int64, int64, int64) {
+		eng, net := lossyNet(t, 0.2, 42)
+		for i := 0; i < 50; i++ {
+			if err := net.Request(2, catalog.ID(i+1), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return net.DroppedInterests(), net.DroppedData(), net.Retransmissions()
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Errorf("loss process not deterministic: (%d,%d,%d) vs (%d,%d,%d)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestCacheProbValidation(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	stores := func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(2) }
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, Mode: CacheProb}); err == nil {
+		t.Error("CacheProb without probability should fail")
+	}
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, Mode: CacheProb, CacheProbability: 1.5}); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+}
+
+// TestCacheProbThinsReplicas: with a low admission probability the
+// network stores far fewer copies than LCE for the same traffic.
+func TestCacheProbThinsReplicas(t *testing.T) {
+	replicas := func(mode CachingMode, p float64) int {
+		g := topology.New("line5")
+		for i := 0; i < 5; i++ {
+			g.AddNode("", 0, 0)
+		}
+		for i := 0; i+1 < 5; i++ {
+			g.MustAddEdge(topology.NodeID(i), topology.NodeID(i+1), 5)
+		}
+		cat, err := catalog.New(10, "/t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &des.Engine{}
+		net, err := NewNetwork(eng, g, cat, Options{
+			AccessLatency: 1, Mode: mode, CacheProbability: p, LossSeed: 5,
+			Stores: func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(10) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AttachOriginAt(0, 50); err != nil {
+			t.Fatal(err)
+		}
+		// One request per content from the far end; the return path
+		// crosses all five routers.
+		for i := 1; i <= 10; i++ {
+			if err := net.Request(4, catalog.ID(i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		count := 0
+		for r := topology.NodeID(0); r < 5; r++ {
+			st, err := net.Store(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count += st.Len()
+		}
+		return count
+	}
+	lce := replicas(CacheLCE, 0)
+	prob := replicas(CacheProb, 0.2)
+	if prob >= lce {
+		t.Errorf("probabilistic caching stored %d copies, LCE stored %d", prob, lce)
+	}
+	if prob == 0 {
+		t.Error("probabilistic caching stored nothing at p=0.2 over 50 arrivals")
+	}
+}

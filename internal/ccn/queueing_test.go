@@ -1,0 +1,203 @@
+package ccn
+
+import (
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// queueNet builds a 2-router line with the given link rate; content 1
+// is stored at router 1, so every request from router 0 crosses the
+// single link.
+func queueNet(t *testing.T, linkRate float64) (*des.Engine, *Network) {
+	t.Helper()
+	g := topology.New("pair")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 5)
+	cat, err := catalog.New(10, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		LinkRate:      linkRate,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			if id == 1 {
+				return cache.NewStatic([]catalog.ID{1})
+			}
+			return cache.NewStatic(nil)
+		},
+		Directory: staticDir{1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+func TestLinkRateValidation(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	stores := func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) }
+	if _, err := NewNetwork(&des.Engine{}, g, cat, Options{Stores: stores, LinkRate: -1}); err == nil {
+		t.Error("negative link rate should fail")
+	}
+}
+
+// TestSerializationDelay: a single request on an idle 0.5 content/ms
+// link pays exactly the 2 ms serialization on the data return.
+func TestSerializationDelay(t *testing.T) {
+	eng, net := queueNet(t, 0.5)
+	var lat float64
+	if err := net.Request(0, 1, func(r RequestResult) { lat = r.Latency() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 2*access (2) + 2*propagation (10) + serialization (2) = 14.
+	if lat != 14 {
+		t.Errorf("latency = %v, want 14", lat)
+	}
+	if net.QueuedPackets() != 0 {
+		t.Errorf("idle link recorded queueing: %d", net.QueuedPackets())
+	}
+}
+
+// TestFIFOQueueing: burst arrivals serialize one after another, so
+// completion latencies spread by the serialization time.
+func TestFIFOQueueing(t *testing.T) {
+	eng, net := queueNet(t, 0.5) // 2 ms per data packet
+	var latencies []float64
+	// Aggregation would collapse identical contents; content 1 is the
+	// only one stored remotely, so issue distinct client requests that
+	// cannot aggregate: they are the same content though... PIT
+	// aggregation collapses them into one data packet. Instead issue the
+	// burst spaced past the PIT lifetime: send sequential bursts of one.
+	// Simpler: three distinct flows for content 1 from router 0 DO
+	// aggregate; so test queueing via repeated rounds instead.
+	for round := 0; round < 3; round++ {
+		at := float64(round) * 0.5 // faster than the link can serialize
+		if err := eng.At(at, func() {
+			if err := net.Request(0, 1, func(r RequestResult) {
+				latencies = append(latencies, r.Latency())
+			}); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(latencies) != 3 {
+		t.Fatalf("completed %d", len(latencies))
+	}
+	// The burst aggregates into one PIT entry and one data packet: the
+	// first requester pays the full serialized path (14 ms) while the
+	// later ones, having been issued after it, complete faster relative
+	// to their own issue times.
+	if latencies[0] != 14 {
+		t.Errorf("first request latency = %v, want 14", latencies[0])
+	}
+	for i := 1; i < len(latencies); i++ {
+		if latencies[i] > latencies[i-1] {
+			t.Errorf("aggregated request %d latency %v exceeds earlier %v",
+				i, latencies[i], latencies[i-1])
+		}
+	}
+	// One shared data packet: no queueing events.
+	if net.QueuedPackets() != 0 {
+		t.Errorf("aggregated burst recorded queueing: %d", net.QueuedPackets())
+	}
+}
+
+// TestDistinctContentsQueue: distinct contents cannot aggregate, so a
+// burst of them measurably queues on the shared link.
+func TestDistinctContentsQueue(t *testing.T) {
+	g := topology.New("pair")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 5)
+	cat, err := catalog.New(10, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	stored := []catalog.ID{1, 2, 3, 4, 5}
+	dir := staticDir{}
+	for _, id := range stored {
+		dir[id] = 1
+	}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		LinkRate:      0.5,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			if id == 1 {
+				return cache.NewStatic(stored)
+			}
+			return cache.NewStatic(nil)
+		},
+		Directory: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	var latencies []float64
+	for _, id := range stored {
+		if err := net.Request(0, id, func(r RequestResult) {
+			latencies = append(latencies, r.Latency())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(latencies) != 5 {
+		t.Fatalf("completed %d", len(latencies))
+	}
+	// Five data packets serialize at 2 ms each on one link: the last
+	// one waits 8 ms, so its latency is 14 + 8 = 22.
+	maxLat := 0.0
+	for _, l := range latencies {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	if maxLat != 22 {
+		t.Errorf("slowest burst latency = %v, want 22", maxLat)
+	}
+	if net.QueuedPackets() != 4 {
+		t.Errorf("queued packets = %d, want 4", net.QueuedPackets())
+	}
+	if net.MeanQueueingDelay() <= 0 {
+		t.Error("no queueing delay recorded")
+	}
+}
+
+// TestInfiniteCapacityUnchanged: LinkRate 0 reproduces the original
+// timing exactly.
+func TestInfiniteCapacityUnchanged(t *testing.T) {
+	eng, net := queueNet(t, 0)
+	var lat float64
+	if err := net.Request(0, 1, func(r RequestResult) { lat = r.Latency() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if lat != 12 { // 2*access + 2*propagation
+		t.Errorf("latency = %v, want 12", lat)
+	}
+	if net.MeanQueueingDelay() != 0 {
+		t.Error("infinite-capacity fabric recorded queueing")
+	}
+}

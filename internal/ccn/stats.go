@@ -1,0 +1,96 @@
+package ccn
+
+import (
+	"fmt"
+
+	"ccncoord/internal/topology"
+)
+
+// NodeStats is a per-router snapshot of data-plane activity, useful for
+// debugging placements and for the coordination protocol's enforcement
+// checks.
+type NodeStats struct {
+	Router topology.NodeID
+	// CSHits counts content-store hits at interest arrival.
+	CSHits int64
+	// CSMisses counts interests that missed the content store.
+	CSMisses int64
+	// Aggregated counts interests collapsed into an existing PIT entry.
+	Aggregated int64
+	// Forwarded counts interests sent upstream from this router.
+	Forwarded int64
+	// PITPeak is the largest number of simultaneously pending distinct
+	// contents observed.
+	PITPeak int
+	// PITPending is the current number of pending distinct contents.
+	PITPending int
+}
+
+// HitRatio returns CSHits / (CSHits + CSMisses), or 0 with no traffic.
+func (s NodeStats) HitRatio() float64 {
+	total := s.CSHits + s.CSMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CSHits) / float64(total)
+}
+
+// Stats returns the activity snapshot of one router.
+func (n *Network) Stats(id topology.NodeID) (NodeStats, error) {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return NodeStats{}, fmt.Errorf("ccn: unknown router %d", id)
+	}
+	nd := n.nodes[id]
+	return NodeStats{
+		Router:     id,
+		CSHits:     nd.csHits,
+		CSMisses:   nd.csMisses,
+		Aggregated: nd.aggregated,
+		Forwarded:  nd.forwarded,
+		PITPeak:    nd.pitPeak,
+		PITPending: len(nd.pit),
+	}, nil
+}
+
+// AllStats returns every router's snapshot in ID order.
+func (n *Network) AllStats() []NodeStats {
+	out := make([]NodeStats, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		out = append(out, NodeStats{
+			Router:     nd.id,
+			CSHits:     nd.csHits,
+			CSMisses:   nd.csMisses,
+			Aggregated: nd.aggregated,
+			Forwarded:  nd.forwarded,
+			PITPeak:    nd.pitPeak,
+			PITPending: len(nd.pit),
+		})
+	}
+	return out
+}
+
+// FailLink removes the link between a and b and recomputes all routes.
+// It fails (leaving the network unchanged) if the link does not exist or
+// if removing it would disconnect the domain — a disconnected CCN domain
+// cannot satisfy the model's assumptions, so the caller must handle
+// partition scenarios explicitly.
+func (n *Network) FailLink(a, b topology.NodeID) error {
+	if !n.graph.HasEdge(a, b) {
+		return fmt.Errorf("ccn: no link %d-%d to fail", a, b)
+	}
+	for _, nd := range n.nodes {
+		if len(nd.pit) > 0 {
+			return fmt.Errorf("ccn: cannot fail links with %d interests pending at router %d", len(nd.pit), nd.id)
+		}
+	}
+	trial := n.graph.Clone()
+	if err := trial.RemoveEdge(a, b); err != nil {
+		return fmt.Errorf("ccn: failing link %d-%d: %w", a, b, err)
+	}
+	if !trial.Connected() {
+		return fmt.Errorf("ccn: failing link %d-%d would disconnect the domain", a, b)
+	}
+	n.graph = trial
+	n.lat = trial.ShortestPathsLatency()
+	return nil
+}

@@ -1,0 +1,172 @@
+package ccn
+
+import (
+	"math"
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+func TestNodeStatsCounting(t *testing.T) {
+	prov := map[topology.NodeID][]catalog.ID{2: {7}}
+	eng, net := lineNet(t, prov, nil, CacheNone)
+
+	// One local hit at R2, one origin fetch from R2 (for content 9).
+	runOne(t, eng, net, 2, 7)
+	runOne(t, eng, net, 2, 9)
+
+	s2, err := net.Stats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CSHits != 1 || s2.CSMisses != 1 {
+		t.Errorf("R2 hits/misses = %d/%d, want 1/1", s2.CSHits, s2.CSMisses)
+	}
+	if s2.Forwarded != 1 {
+		t.Errorf("R2 forwarded = %d, want 1", s2.Forwarded)
+	}
+	if got := s2.HitRatio(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R2 hit ratio = %v, want 0.5", got)
+	}
+	if s2.PITPeak != 1 || s2.PITPending != 0 {
+		t.Errorf("R2 PIT peak/pending = %d/%d, want 1/0", s2.PITPeak, s2.PITPending)
+	}
+	// The origin fetch traversed R1 and R0, both missing.
+	for _, r := range []topology.NodeID{0, 1} {
+		s, err := net.Stats(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CSMisses != 1 || s.CSHits != 0 {
+			t.Errorf("R%d hits/misses = %d/%d, want 0/1", r, s.CSHits, s.CSMisses)
+		}
+	}
+}
+
+func TestNodeStatsAggregation(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	for i := 0; i < 4; i++ {
+		if err := net.Request(2, 7, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	s, err := net.Stats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Aggregated != 3 {
+		t.Errorf("aggregated = %d, want 3 (one fetch, three collapsed)", s.Aggregated)
+	}
+	if s.Forwarded != 1 {
+		t.Errorf("forwarded = %d, want 1", s.Forwarded)
+	}
+}
+
+func TestAllStats(t *testing.T) {
+	_, net := lineNet(t, nil, nil, CacheNone)
+	all := net.AllStats()
+	if len(all) != 3 {
+		t.Fatalf("AllStats = %d entries, want 3", len(all))
+	}
+	for i, s := range all {
+		if s.Router != topology.NodeID(i) {
+			t.Errorf("entry %d has router %d", i, s.Router)
+		}
+	}
+	if _, err := net.Stats(99); err == nil {
+		t.Error("unknown router should fail")
+	}
+}
+
+func TestHitRatioNoTraffic(t *testing.T) {
+	if got := (NodeStats{}).HitRatio(); got != 0 {
+		t.Errorf("empty HitRatio = %v, want 0", got)
+	}
+}
+
+// triangleNet builds a triangle with unequal latencies so a link failure
+// visibly reroutes traffic.
+func triangleNet(t *testing.T) (*Network, func(router topology.NodeID, id catalog.ID) RequestResult) {
+	t.Helper()
+	g := topology.New("tri")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(0, 2, 5)
+	cat, err := catalog.New(10, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := map[topology.NodeID][]catalog.ID{2: {7}}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			return cache.NewStatic(prov[id])
+		},
+		Directory: staticDir{7: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	run := func(router topology.NodeID, id catalog.ID) RequestResult {
+		var got *RequestResult
+		if err := net.Request(router, id, func(r RequestResult) { got = &r }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if got == nil {
+			t.Fatal("request never completed")
+		}
+		return *got
+	}
+	return net, run
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	net, run := triangleNet(t)
+	// Direct route R0 -> R2: 1 hop.
+	before := run(0, 7)
+	if before.Hops != 1 {
+		t.Fatalf("before failure: hops = %d, want 1", before.Hops)
+	}
+	if err := net.FailLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Now R0 reaches R2 via R1: 2 hops.
+	after := run(0, 7)
+	if after.Hops != 2 {
+		t.Errorf("after failure: hops = %d, want 2", after.Hops)
+	}
+	if after.Latency() <= before.Latency() {
+		t.Errorf("rerouted latency %v should exceed direct %v", after.Latency(), before.Latency())
+	}
+}
+
+func TestFailLinkErrors(t *testing.T) {
+	net, run := triangleNet(t)
+	if err := net.FailLink(0, 0); err == nil {
+		t.Error("failing a non-existent link should fail")
+	}
+	// Disconnecting failure is refused: drop two links first.
+	if err := net.FailLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(0, 1); err == nil {
+		t.Error("disconnecting failure should be refused")
+	}
+	// The domain still works.
+	res := run(0, 7)
+	if res.ServedBy != ServedPeer {
+		t.Errorf("after refused failure: served by %v", res.ServedBy)
+	}
+}

@@ -1,0 +1,270 @@
+package coord
+
+import (
+	"math"
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/model"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/workload"
+)
+
+func routers(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+func TestStripeByRank(t *testing.T) {
+	asg, err := StripeByRank(routers(3), []catalog.ID{10, 11, 12, 13, 14, 15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", asg.Size())
+	}
+	// Round-robin: router 0 gets ranks 10, 13; router 1 gets 11, 14; ...
+	wantOwners := map[catalog.ID]topology.NodeID{10: 0, 11: 1, 12: 2, 13: 0, 14: 1, 15: 2}
+	for id, want := range wantOwners {
+		got, ok := asg.Owner(id)
+		if !ok || got != want {
+			t.Errorf("Owner(%d) = %d/%v, want %d", id, got, ok, want)
+		}
+	}
+	if _, ok := asg.Owner(99); ok {
+		t.Error("unassigned content should have no owner")
+	}
+	c0 := asg.Contents(0)
+	if len(c0) != 2 || c0[0] != 10 || c0[1] != 13 {
+		t.Errorf("Contents(0) = %v", c0)
+	}
+}
+
+func TestStripeByRankTruncates(t *testing.T) {
+	// 2 routers x 1 slot = capacity 2; extra ranks are dropped.
+	asg, err := StripeByRank(routers(2), []catalog.ID{1, 2, 3, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Size() != 2 {
+		t.Errorf("Size = %d, want 2", asg.Size())
+	}
+	if _, ok := asg.Owner(3); ok {
+		t.Error("rank beyond capacity should be unassigned")
+	}
+}
+
+func TestStripeByRankErrors(t *testing.T) {
+	if _, err := StripeByRank(nil, []catalog.ID{1}, 1); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := StripeByRank(routers(2), []catalog.ID{1}, -1); err == nil {
+		t.Error("negative per-router should fail")
+	}
+	if _, err := StripeByRank(routers(2), []catalog.ID{0}, 1); err == nil {
+		t.Error("invalid id should fail")
+	}
+	if _, err := StripeByRank(routers(2), []catalog.ID{1, 1}, 1); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestComputePlacement(t *testing.T) {
+	reports := []Report{
+		{Router: 0, Counts: map[catalog.ID]int64{1: 50, 2: 30, 3: 10, 4: 5}},
+		{Router: 1, Counts: map[catalog.ID]int64{1: 40, 2: 35, 3: 12, 5: 6}},
+	}
+	p, err := ComputePlacement(reports, routers(2), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global counts: 1:90, 2:65, 3:22, 5:6, 4:5. Local set = {1, 2};
+	// coordinated band (2 routers x 1 slot) = {3, 5}.
+	if len(p.LocalSet) != 2 || p.LocalSet[0] != 1 || p.LocalSet[1] != 2 {
+		t.Errorf("LocalSet = %v, want [1 2]", p.LocalSet)
+	}
+	if o, ok := p.Assignment.Owner(3); !ok || o != 0 {
+		t.Errorf("Owner(3) = %d/%v, want 0", o, ok)
+	}
+	if o, ok := p.Assignment.Owner(5); !ok || o != 1 {
+		t.Errorf("Owner(5) = %d/%v, want 1", o, ok)
+	}
+}
+
+func TestComputePlacementDeterministicTies(t *testing.T) {
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{7: 5, 3: 5, 9: 5}}}
+	p1, err := ComputePlacement(reports, routers(2), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ComputePlacement(reports, routers(2), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.LocalSet[0] != p2.LocalSet[0] || p1.LocalSet[0] != 3 {
+		t.Errorf("tie-break not deterministic ascending: %v vs %v", p1.LocalSet, p2.LocalSet)
+	}
+}
+
+func TestComputePlacementErrors(t *testing.T) {
+	if _, err := ComputePlacement(nil, nil, 1, 1); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := ComputePlacement(nil, routers(2), -1, 1); err == nil {
+		t.Error("negative slots should fail")
+	}
+}
+
+func TestCentralizedCost(t *testing.T) {
+	c, err := NewCentralized(routers(20), 26.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{1: 10, 2: 5}}}
+	_, cost, err := c.RunEpoch(reports, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured message count is the model's W(x) structure: n*x per
+	// direction.
+	if cost.MessagesUp != 60 || cost.MessagesDown != 60 {
+		t.Errorf("messages = %d/%d, want 60/60", cost.MessagesUp, cost.MessagesDown)
+	}
+	if cost.Total() != 120 {
+		t.Errorf("Total = %d", cost.Total())
+	}
+	if math.Abs(cost.Convergence-2*26.7) > 1e-9 {
+		t.Errorf("Convergence = %v, want %v", cost.Convergence, 2*26.7)
+	}
+}
+
+func TestCentralizedValidation(t *testing.T) {
+	if _, err := NewCentralized(nil, 1); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := NewCentralized(routers(2), 0); err == nil {
+		t.Error("zero unit cost should fail")
+	}
+}
+
+func TestDistributedCost(t *testing.T) {
+	d, err := NewDistributed(routers(16), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{1: 1}}}
+	_, cost, err := d.RunEpoch(reports, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree aggregation: (n-1)*x messages per direction, depth log2(16)=4.
+	if cost.MessagesUp != 30 || cost.MessagesDown != 30 {
+		t.Errorf("messages = %d/%d, want 30/30", cost.MessagesUp, cost.MessagesDown)
+	}
+	if math.Abs(cost.Convergence-2*4*10) > 1e-9 {
+		t.Errorf("Convergence = %v, want 80", cost.Convergence)
+	}
+}
+
+func TestEstimateZipfRecoversExponent(t *testing.T) {
+	for _, s := range []float64{0.7, 1.0, 1.3} {
+		gen, err := workload.NewZipf(s, 5000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[catalog.ID]int64)
+		for i := 0; i < 400000; i++ {
+			counts[gen.Next()]++
+		}
+		// Fit on the head of the distribution where sampling noise is
+		// low.
+		got, err := EstimateZipf(counts, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-s) > 0.15 {
+			t.Errorf("s=%v: estimated %v", s, got)
+		}
+	}
+}
+
+func TestEstimateZipfErrors(t *testing.T) {
+	if _, err := EstimateZipf(map[catalog.ID]int64{1: 5}, 0); err == nil {
+		t.Error("too few contents should fail")
+	}
+	flat := map[catalog.ID]int64{}
+	for i := catalog.ID(1); i <= 10; i++ {
+		flat[i] = 7
+	}
+	// A perfectly flat distribution has slope 0 -> s <= 0 error.
+	if _, err := EstimateZipf(flat, 0); err == nil {
+		t.Error("flat distribution should fail to produce a positive s")
+	}
+}
+
+func TestAdaptiveEpoch(t *testing.T) {
+	const (
+		nRouters = 20
+		trueS    = 0.8
+	)
+	base := model.Config{
+		S: 0.5, // deliberately wrong initial guess
+		N: 100000, C: 100, Routers: nRouters,
+		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
+		UnitCost: 26.7, Alpha: 0.9,
+	}
+	a, err := NewAdaptive(routers(nRouters), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build reports from a true-s workload.
+	var reports []Report
+	for r := 0; r < nRouters; r++ {
+		gen, err := workload.NewZipf(trueS, 100000, int64(r+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[catalog.ID]int64)
+		for i := 0; i < 20000; i++ {
+			counts[gen.Next()]++
+		}
+		reports = append(reports, Report{Router: topology.NodeID(r), Counts: counts})
+	}
+	p, cost, err := a.Epoch(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LastEstimate()-trueS) > 0.25 {
+		t.Errorf("estimated s = %v, want ~%v", a.LastEstimate(), trueS)
+	}
+	if a.LastLevel() <= 0 || a.LastLevel() > 1 {
+		t.Errorf("level = %v outside (0,1]", a.LastLevel())
+	}
+	wantCoord := int64(math.Round(a.LastLevel() * base.C))
+	if got := int64(p.Assignment.Size()); got > wantCoord*nRouters {
+		t.Errorf("assignment size %d exceeds n*x = %d", got, wantCoord*nRouters)
+	}
+	if cost.MessagesUp != int64(nRouters)*wantCoord {
+		t.Errorf("MessagesUp = %d, want %d", cost.MessagesUp, int64(nRouters)*wantCoord)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	base := model.Config{Routers: 5, UnitCost: 1}
+	if _, err := NewAdaptive(routers(3), base); err == nil {
+		t.Error("router count mismatch should fail")
+	}
+	a, err := NewAdaptive(routers(5), model.Config{
+		S: 0.8, N: 1e6, C: 100, Routers: 5,
+		Lat: model.LatencyFromGamma(1, 2, 5), UnitCost: 10, Alpha: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Epoch(nil); err == nil {
+		t.Error("no reports should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package coord_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/topology"
+)
+
+// ExampleStripeByRank shows the paper's coordinated placement: the rank
+// band following each router's local prefix, dealt round-robin.
+func ExampleStripeByRank() {
+	routers := []topology.NodeID{0, 1, 2}
+	band := []catalog.ID{101, 102, 103, 104, 105, 106}
+	asg, err := coord.StripeByRank(routers, band, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range routers {
+		fmt.Printf("router %d stores %v\n", r, asg.Contents(r))
+	}
+	owner, _ := asg.Owner(104)
+	fmt.Printf("requests for 104 redirect to router %d\n", owner)
+	// Output:
+	// router 0 stores [101 104]
+	// router 1 stores [102 105]
+	// router 2 stores [103 106]
+	// requests for 104 redirect to router 0
+}
+
+// ExampleComputePlacement derives a placement from observed popularity
+// reports, as the coordination protocol does each epoch.
+func ExampleComputePlacement() {
+	reports := []coord.Report{
+		{Router: 0, Counts: map[catalog.ID]int64{7: 90, 3: 40, 9: 10}},
+		{Router: 1, Counts: map[catalog.ID]int64{7: 80, 3: 50, 5: 20}},
+	}
+	p, err := coord.ComputePlacement(reports, []topology.NodeID{0, 1}, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replicated everywhere: %v\n", p.LocalSet)
+	fmt.Printf("striped coordinated:   %d contents\n", p.Assignment.Size())
+	// Output:
+	// replicated everywhere: [7]
+	// striped coordinated:   2 contents
+}

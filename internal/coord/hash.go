@@ -1,0 +1,96 @@
+package coord
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/topology"
+)
+
+// HashByContent assigns each coordinated content to a router by a
+// deterministic FNV hash of its id — the DHT-style alternative to the
+// paper's rank striping. Buckets are capacity-bounded: when a content
+// hashes to a full router it probes linearly to the next one, so the
+// assignment always fits n*perRouter contents. Compared with
+// StripeByRank, hashing needs no global rank agreement but only balances
+// the *popularity* of each router's share in expectation, which the
+// assignment ablation experiment quantifies.
+func HashByContent(routers []topology.NodeID, ranks []catalog.ID, perRouter int64) (*Assignment, error) {
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("coord: no routers to hash across")
+	}
+	if perRouter < 0 {
+		return nil, fmt.Errorf("coord: negative per-router allocation %d", perRouter)
+	}
+	limit := int64(len(routers)) * perRouter
+	if int64(len(ranks)) > limit {
+		ranks = ranks[:limit]
+	}
+	a := &Assignment{
+		owners:    make(map[catalog.ID]topology.NodeID, len(ranks)),
+		perRouter: make(map[topology.NodeID][]catalog.ID, len(routers)),
+	}
+	loads := make([]int64, len(routers))
+	for i, id := range ranks {
+		if !id.Valid() {
+			return nil, fmt.Errorf("coord: invalid content id %d at position %d", id, i)
+		}
+		if _, dup := a.owners[id]; dup {
+			return nil, fmt.Errorf("coord: duplicate content id %d", id)
+		}
+		slot := int(hashID(id) % uint64(len(routers)))
+		for probes := 0; loads[slot] >= perRouter; probes++ {
+			if probes >= len(routers) {
+				return nil, fmt.Errorf("coord: no capacity left for content %d", id)
+			}
+			slot = (slot + 1) % len(routers)
+		}
+		r := routers[slot]
+		a.owners[id] = r
+		a.perRouter[r] = append(a.perRouter[r], id)
+		loads[slot]++
+	}
+	return a, nil
+}
+
+// hashID hashes a content id with FNV-1a.
+func hashID(id catalog.ID) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// PopularityImbalance measures how unevenly an assignment spreads
+// request load: the ratio of the most-loaded router's assigned
+// popularity mass to the mean router's, where pmf gives each content's
+// request probability. 1.0 is perfectly balanced.
+func PopularityImbalance(a *Assignment, routers []topology.NodeID, pmf func(catalog.ID) float64) (float64, error) {
+	if a == nil || len(routers) == 0 {
+		return 0, fmt.Errorf("coord: nil assignment or no routers")
+	}
+	if pmf == nil {
+		return 0, fmt.Errorf("coord: nil pmf")
+	}
+	var total, worst float64
+	for _, r := range routers {
+		var mass float64
+		for _, id := range a.perRouter[r] {
+			mass += pmf(id)
+		}
+		total += mass
+		if mass > worst {
+			worst = mass
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("coord: assignment carries no popularity mass")
+	}
+	mean := total / float64(len(routers))
+	return worst / mean, nil
+}

@@ -1,0 +1,219 @@
+package coord
+
+import (
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/zipf"
+)
+
+func TestHashByContentBasics(t *testing.T) {
+	rs := routers(4)
+	ranks := make([]catalog.ID, 40)
+	for i := range ranks {
+		ranks[i] = catalog.ID(i + 100)
+	}
+	asg, err := HashByContent(rs, ranks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Size() != 40 {
+		t.Fatalf("Size = %d, want 40", asg.Size())
+	}
+	// Every content has exactly one owner; per-router loads respect the
+	// quota.
+	for _, id := range ranks {
+		if _, ok := asg.Owner(id); !ok {
+			t.Errorf("content %d unassigned", id)
+		}
+	}
+	for _, r := range rs {
+		if got := len(asg.Contents(r)); got > 10 {
+			t.Errorf("router %d holds %d > quota 10", r, got)
+		}
+	}
+}
+
+func TestHashByContentDeterministic(t *testing.T) {
+	rs := routers(5)
+	ranks := cacheRange(1, 25)
+	a1, err := HashByContent(rs, ranks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := HashByContent(rs, ranks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ranks {
+		o1, _ := a1.Owner(id)
+		o2, _ := a2.Owner(id)
+		if o1 != o2 {
+			t.Fatalf("content %d owner differs: %d vs %d", id, o1, o2)
+		}
+	}
+}
+
+// cacheRange builds rank ids [from, to].
+func cacheRange(from, to int64) []catalog.ID {
+	out := make([]catalog.ID, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, catalog.ID(i))
+	}
+	return out
+}
+
+func TestHashByContentSpillsWhenFull(t *testing.T) {
+	// 2 routers x 2 slots, 4 contents: even if all hash to the same
+	// router, probing must spread them within quota.
+	asg, err := HashByContent(routers(2), cacheRange(1, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range routers(2) {
+		if got := len(asg.Contents(r)); got != 2 {
+			t.Errorf("router %d holds %d, want exactly 2", r, got)
+		}
+	}
+}
+
+func TestHashByContentTruncates(t *testing.T) {
+	asg, err := HashByContent(routers(2), cacheRange(1, 10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Size() != 4 {
+		t.Errorf("Size = %d, want 4 (capacity bound)", asg.Size())
+	}
+}
+
+func TestHashByContentErrors(t *testing.T) {
+	if _, err := HashByContent(nil, cacheRange(1, 2), 1); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := HashByContent(routers(2), cacheRange(1, 2), -1); err == nil {
+		t.Error("negative quota should fail")
+	}
+	if _, err := HashByContent(routers(2), []catalog.ID{0}, 1); err == nil {
+		t.Error("invalid id should fail")
+	}
+	if _, err := HashByContent(routers(2), []catalog.ID{3, 3}, 2); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestStripeWeighted(t *testing.T) {
+	quotas := []int64{1, 3, 2}
+	asg, err := StripeWeighted(routers(3), cacheRange(10, 15), quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", asg.Size())
+	}
+	for i, q := range quotas {
+		if got := int64(len(asg.Contents(routers(3)[i]))); got != q {
+			t.Errorf("router %d holds %d, want %d", i, got, q)
+		}
+	}
+	// Round-robin with quota skipping: 10->r0, 11->r1, 12->r2, then r0
+	// is full: 13->r1, 14->r2, 15->r1.
+	wantOwners := map[catalog.ID]int{10: 0, 11: 1, 12: 2, 13: 1, 14: 2, 15: 1}
+	for id, want := range wantOwners {
+		if o, _ := asg.Owner(id); int(o) != want {
+			t.Errorf("Owner(%d) = %d, want %d", id, o, want)
+		}
+	}
+}
+
+func TestStripeWeightedMatchesUniformStripe(t *testing.T) {
+	// Equal quotas must reproduce StripeByRank exactly.
+	rs := routers(4)
+	ranks := cacheRange(1, 20)
+	uniform, err := StripeByRank(rs, ranks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := StripeWeighted(rs, ranks, []int64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ranks {
+		a, _ := uniform.Owner(id)
+		b, _ := weighted.Owner(id)
+		if a != b {
+			t.Fatalf("owner of %d differs: %d vs %d", id, a, b)
+		}
+	}
+}
+
+func TestStripeWeightedErrors(t *testing.T) {
+	if _, err := StripeWeighted(nil, nil, nil); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := StripeWeighted(routers(2), nil, []int64{1}); err == nil {
+		t.Error("quota length mismatch should fail")
+	}
+	if _, err := StripeWeighted(routers(2), nil, []int64{1, -1}); err == nil {
+		t.Error("negative quota should fail")
+	}
+	if _, err := StripeWeighted(routers(2), []catalog.ID{0}, []int64{1, 1}); err == nil {
+		t.Error("invalid id should fail")
+	}
+	if _, err := StripeWeighted(routers(2), []catalog.ID{5, 5}, []int64{1, 1}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+// TestPopularityImbalanceStripeBeatsHash: rank striping interleaves the
+// popularity mass, so its imbalance must not exceed hashing's on a
+// skewed catalog.
+func TestPopularityImbalanceStripeBeatsHash(t *testing.T) {
+	const n = 10
+	rs := routers(n)
+	// A realistic coordinated band: the popularity head (the replicated
+	// local set) is excluded, as in the paper's placement.
+	ranks := cacheRange(101, 600)
+	dist := zipf.MustNew(1.2, 10000)
+	pmf := func(id catalog.ID) float64 { return dist.PMF(int64(id)) }
+
+	stripe, err := StripeByRank(rs, ranks, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := HashByContent(rs, ranks, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := PopularityImbalance(stripe, rs, pmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := PopularityImbalance(hash, rs, pmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si < 1 || hi < 1 {
+		t.Fatalf("imbalance below 1: stripe %v, hash %v", si, hi)
+	}
+	if si > hi {
+		t.Errorf("striping (%v) should balance popularity at least as well as hashing (%v)", si, hi)
+	}
+}
+
+func TestPopularityImbalanceErrors(t *testing.T) {
+	if _, err := PopularityImbalance(nil, routers(2), nil); err == nil {
+		t.Error("nil assignment should fail")
+	}
+	asg, err := StripeByRank(routers(2), cacheRange(1, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PopularityImbalance(asg, routers(2), nil); err == nil {
+		t.Error("nil pmf should fail")
+	}
+	zero := func(catalog.ID) float64 { return 0 }
+	if _, err := PopularityImbalance(asg, routers(2), zero); err == nil {
+		t.Error("zero-mass assignment should fail")
+	}
+}

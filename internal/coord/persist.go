@@ -1,0 +1,109 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/topology"
+)
+
+// This file persists placements as JSON, so an operator can compute a
+// provisioning decision once (or receive it from the coordinator),
+// audit it, and install the identical placement across tools and runs.
+
+// jsonPlacement is the wire form of a Placement.
+type jsonPlacement struct {
+	LocalSet []int64            `json:"local_set"`
+	Striped  map[string][]int64 `json:"striped"` // router id -> ranks
+}
+
+// WriteJSON serializes the placement.
+func (p *Placement) WriteJSON(w io.Writer) error {
+	if p == nil || p.Assignment == nil {
+		return fmt.Errorf("coord: nil placement")
+	}
+	jp := jsonPlacement{Striped: make(map[string][]int64)}
+	for _, id := range p.LocalSet {
+		jp.LocalSet = append(jp.LocalSet, int64(id))
+	}
+	routers := make([]topology.NodeID, 0, len(p.Assignment.perRouter))
+	for r := range p.Assignment.perRouter {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, r := range routers {
+		key := fmt.Sprintf("%d", r)
+		for _, id := range p.Assignment.perRouter[r] {
+			jp.Striped[key] = append(jp.Striped[key], int64(id))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jp); err != nil {
+		return fmt.Errorf("coord: encoding placement: %w", err)
+	}
+	return nil
+}
+
+// ReadPlacement parses a placement written by WriteJSON. Duplicate
+// contents (within or across the local set and stripes) are rejected.
+func ReadPlacement(r io.Reader) (*Placement, error) {
+	var jp jsonPlacement
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("coord: decoding placement: %w", err)
+	}
+	seen := make(map[catalog.ID]struct{})
+	addUnique := func(raw int64) (catalog.ID, error) {
+		id := catalog.ID(raw)
+		if !id.Valid() {
+			return 0, fmt.Errorf("coord: invalid content id %d", raw)
+		}
+		if _, dup := seen[id]; dup {
+			return 0, fmt.Errorf("coord: duplicate content id %d", raw)
+		}
+		seen[id] = struct{}{}
+		return id, nil
+	}
+	p := &Placement{
+		Assignment: &Assignment{
+			owners:    make(map[catalog.ID]topology.NodeID),
+			perRouter: make(map[topology.NodeID][]catalog.ID),
+		},
+	}
+	for _, raw := range jp.LocalSet {
+		id, err := addUnique(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.LocalSet = append(p.LocalSet, id)
+	}
+	// Deterministic router order for reproducible owners maps.
+	keys := make([]string, 0, len(jp.Striped))
+	for k := range jp.Striped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		var router topology.NodeID
+		if _, err := fmt.Sscanf(key, "%d", &router); err != nil {
+			return nil, fmt.Errorf("coord: malformed router key %q", key)
+		}
+		if router < 0 {
+			return nil, fmt.Errorf("coord: negative router id %d", router)
+		}
+		for _, raw := range jp.Striped[key] {
+			id, err := addUnique(raw)
+			if err != nil {
+				return nil, err
+			}
+			p.Assignment.owners[id] = router
+			p.Assignment.perRouter[router] = append(p.Assignment.perRouter[router], id)
+		}
+	}
+	return p, nil
+}

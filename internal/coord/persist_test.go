@@ -1,0 +1,88 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{}}}
+	for rank := int64(1); rank <= 50; rank++ {
+		reports[0].Counts[catalog.ID(rank)] = 100 - rank
+	}
+	p, err := ComputePlacement(reports, routers(4), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlacement(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.LocalSet) != len(p.LocalSet) {
+		t.Fatalf("local set %d, want %d", len(back.LocalSet), len(p.LocalSet))
+	}
+	for i := range p.LocalSet {
+		if back.LocalSet[i] != p.LocalSet[i] {
+			t.Fatalf("local set differs at %d", i)
+		}
+	}
+	if back.Assignment.Size() != p.Assignment.Size() {
+		t.Fatalf("assignment size %d, want %d", back.Assignment.Size(), p.Assignment.Size())
+	}
+	for id, owner := range p.Assignment.owners {
+		got, ok := back.Assignment.Owner(id)
+		if !ok || got != owner {
+			t.Fatalf("owner of %d: %d/%v, want %d", id, got, ok, owner)
+		}
+	}
+}
+
+func TestWritePlacementNil(t *testing.T) {
+	var sb strings.Builder
+	var p *Placement
+	if err := p.WriteJSON(&sb); err == nil {
+		t.Error("nil placement should fail")
+	}
+	if err := (&Placement{}).WriteJSON(&sb); err == nil {
+		t.Error("placement without assignment should fail")
+	}
+}
+
+func TestReadPlacementErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":        "nope",
+		"invalid id":      `{"local_set": [0], "striped": {}}`,
+		"duplicate local": `{"local_set": [1, 1], "striped": {}}`,
+		"duplicate cross": `{"local_set": [1], "striped": {"0": [1]}}`,
+		"bad router key":  `{"local_set": [], "striped": {"x": [1]}}`,
+		"negative router": `{"local_set": [], "striped": {"-2": [1]}}`,
+		"unknown field":   `{"local_set": [], "striped": {}, "extra": 1}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadPlacement(strings.NewReader(doc)); err == nil {
+				t.Errorf("document should fail: %s", doc)
+			}
+		})
+	}
+}
+
+func TestReadPlacementImplementsDirectory(t *testing.T) {
+	doc := `{"local_set": [1, 2], "striped": {"0": [3, 5], "1": [4]}}`
+	p, err := ReadPlacement(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := p.Assignment.Owner(4)
+	if !ok || owner != 1 {
+		t.Errorf("Owner(4) = %d/%v, want 1", owner, ok)
+	}
+	if _, ok := p.Assignment.Owner(1); ok {
+		t.Error("local content should have no coordinated owner")
+	}
+}

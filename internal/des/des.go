@@ -1,0 +1,113 @@
+// Package des is a minimal deterministic discrete-event simulation
+// engine: a virtual clock and a time-ordered event queue. Events
+// scheduled for the same instant fire in scheduling order, which keeps
+// simulation runs bit-for-bit reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // tie-breaker: FIFO within the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use
+// with the clock at 0.
+type Engine struct {
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+}
+
+// Now returns the current simulated time (milliseconds by convention in
+// this repository, though the engine is unit-agnostic).
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule enqueues fn to run after the given non-negative delay.
+func (e *Engine) Schedule(delay float64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("des: negative delay %v", delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At enqueues fn to run at the given absolute time, which must not be in
+// the simulated past.
+func (e *Engine) At(t float64, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("des: cannot schedule at %v, current time is %v", t, e.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: nil event callback")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Run fires events until the queue drains, advancing the clock.
+func (e *Engine) Run() {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to the deadline (if it advanced that far).
+func (e *Engine) RunUntil(deadline float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Step fires exactly one event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+}

@@ -1,0 +1,711 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/model"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/workload"
+	"ccncoord/internal/zipf"
+)
+
+// This file contains this repository's ablation studies for the design
+// choices DESIGN.md calls out: the coordinated-assignment strategy
+// (rank striping vs DHT hashing), the cache policy (provisioned vs
+// dynamic LRU/LFU), the solver (exact convex minimization vs the Lemma 2
+// fixed point vs the Theorem 2 closed form), the coordinator protocol
+// (centralized vs tree-distributed), and the stability of the optimal
+// strategy over the trade-off weight.
+
+// AblationAssignment compares the paper's rank-striped coordinated
+// placement against hash-based assignment on the packet simulator:
+// identical origin load (both store the same band) but different
+// popularity balance across routers.
+func AblationAssignment(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "ablation-assignment",
+		Title: "Coordinated placement: rank striping vs content hashing (US-A)",
+		Headers: []string{"assignment", "origin load", "peer hit", "peer hops",
+			"peer load imbalance", "popularity imbalance"},
+	}
+	g := topology.USA()
+	const (
+		catalogSize = 20000
+		capacity    = 150
+		coordinated = 75
+		s           = baseS
+	)
+	dist, err := zipf.New(s, catalogSize)
+	if err != nil {
+		return Table{}, err
+	}
+	routers := make([]topology.NodeID, g.N())
+	for i := range routers {
+		routers[i] = topology.NodeID(i)
+	}
+	for _, asgKind := range []sim.Assignment{sim.AssignStripe, sim.AssignHash} {
+		res, err := sim.Run(sim.Scenario{
+			Topology:      g,
+			CatalogSize:   catalogSize,
+			ZipfS:         s,
+			Capacity:      capacity,
+			Coordinated:   coordinated,
+			Policy:        sim.PolicyCoordinated,
+			Assignment:    asgKind,
+			Requests:      requests,
+			Seed:          11,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: assignment ablation (%v): %w", asgKind, err)
+		}
+		// Popularity imbalance of the placement itself.
+		localTop := int64(capacity - coordinated)
+		ranks := rankBand(localTop+1, localTop+int64(g.N())*coordinated)
+		var asg *coord.Assignment
+		if asgKind == sim.AssignHash {
+			asg, err = coord.HashByContent(routers, ranks, coordinated)
+		} else {
+			asg, err = coord.StripeByRank(routers, ranks, coordinated)
+		}
+		if err != nil {
+			return Table{}, err
+		}
+		pmf := func(id catalog.ID) float64 { return dist.PMF(int64(id)) }
+		imbalance, err := coord.PopularityImbalance(asg, routers, pmf)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			asgKind.String(),
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.4f", res.PeerHit),
+			fmt.Sprintf("%.3f", res.PeerHops),
+			fmt.Sprintf("%.3f", res.PeerLoadImbalance),
+			fmt.Sprintf("%.3f", imbalance),
+		})
+	}
+	return t, nil
+}
+
+// rankBand returns catalog ids for ranks [from, to].
+func rankBand(from, to int64) []catalogID {
+	out := make([]catalogID, 0, to-from+1)
+	for r := from; r <= to; r++ {
+		out = append(out, catalogID(r))
+	}
+	return out
+}
+
+// AblationPolicy compares the provisioned strategies against dynamic
+// LRU/LFU baselines at equal capacity on the packet simulator.
+func AblationPolicy(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "ablation-policy",
+		Title: "Cache policies at equal capacity (US-A)",
+		Headers: []string{"policy", "origin load", "local hit", "peer hit",
+			"mean hops", "mean latency (ms)"},
+	}
+	for _, pol := range []sim.Policy{
+		sim.PolicyNonCoordinated, sim.PolicyCoordinated,
+		sim.PolicyLRU, sim.PolicyLFU, sim.PolicySLRU, sim.PolicyTwoQ, sim.PolicyProbCache,
+	} {
+		sc := sim.Scenario{
+			Topology:      topology.USA(),
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Policy:        pol,
+			Requests:      requests,
+			Seed:          13,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		}
+		if pol == sim.PolicyCoordinated {
+			sc.Coordinated = 75
+		}
+		if pol != sim.PolicyNonCoordinated && pol != sim.PolicyCoordinated {
+			sc.Warmup = requests // dynamic policies need cache warmup
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: policy ablation (%v): %w", pol, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.String(),
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.4f", res.LocalHit),
+			fmt.Sprintf("%.4f", res.PeerHit),
+			fmt.Sprintf("%.3f", res.MeanHops),
+			fmt.Sprintf("%.2f", res.MeanLatency),
+		})
+	}
+	return t, nil
+}
+
+// AblationSolver quantifies the approximation chain of Section IV: the
+// exact convex optimum, the Lemma 2 fixed point (which replaces
+// 1+(n-1)l by n*l), and the Theorem 2 closed form (alpha=1 only),
+// across network sizes.
+func AblationSolver() (Table, error) {
+	t := Table{
+		ID:    "ablation-solver",
+		Title: "Optimal-strategy solvers vs network size (alpha=1, gamma=5, s=0.8)",
+		Headers: []string{"n", "exact l*", "fixed point", "closed form",
+			"|fp-exact|", "|cf-exact|"},
+	}
+	for _, n := range []int{5, 10, 20, 50, 100, 200, 500} {
+		cfg := figConfig(1, baseGamma, baseS, n, baseUnitCost)
+		exact, err := cfg.OptimalLevel()
+		if err != nil {
+			return Table{}, err
+		}
+		fp, err := cfg.FixedPointLevel()
+		if err != nil {
+			return Table{}, err
+		}
+		cf := model.ClosedFormLevel(baseGamma, n, baseS)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", exact),
+			fmt.Sprintf("%.4f", fp),
+			fmt.Sprintf("%.4f", cf),
+			fmt.Sprintf("%.4f", math.Abs(fp-exact)),
+			fmt.Sprintf("%.4f", math.Abs(cf-exact)),
+		})
+	}
+	return t, nil
+}
+
+// AblationCoordinator compares the centralized coordinator against the
+// tree-distributed variant: identical placements, different message and
+// convergence profiles as the network grows.
+func AblationCoordinator() (Table, error) {
+	t := Table{
+		ID:    "ablation-coordinator",
+		Title: "Coordinator protocols per epoch (x=100 coordinated slots)",
+		Headers: []string{"n", "central msgs", "central conv (ms)",
+			"distributed msgs", "distributed conv (ms)"},
+	}
+	const coordSlots = 100
+	for _, n := range []int{4, 16, 64, 256} {
+		routers := make([]topology.NodeID, n)
+		reports := make([]coord.Report, n)
+		for i := range routers {
+			routers[i] = topology.NodeID(i)
+			reports[i] = coord.Report{Router: routers[i], Counts: map[catalogID]int64{1: 10, 2: 5, 3: 1}}
+		}
+		central, err := coord.NewCentralized(routers, baseUnitCost)
+		if err != nil {
+			return Table{}, err
+		}
+		_, cCost, err := central.RunEpoch(reports, 1, coordSlots)
+		if err != nil {
+			return Table{}, err
+		}
+		distributed, err := coord.NewDistributed(routers, baseUnitCost)
+		if err != nil {
+			return Table{}, err
+		}
+		_, dCost, err := distributed.RunEpoch(reports, 1, coordSlots)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", cCost.Total()),
+			fmt.Sprintf("%.1f", cCost.Convergence),
+			fmt.Sprintf("%d", dCost.Total()),
+			fmt.Sprintf("%.1f", dCost.Convergence),
+		})
+	}
+	return t, nil
+}
+
+// AblationLoss sweeps the fabric loss rate under the coordinated
+// placement: the origin load (a placement property) stays flat while
+// latency and retransmissions grow — evidence that the provisioning
+// decision is robust to transport-level loss, a dimension the paper's
+// model abstracts away entirely.
+func AblationLoss(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "ablation-loss",
+		Title: "Coordinated placement on a lossy fabric (US-A)",
+		Headers: []string{"loss rate", "origin load", "mean latency (ms)",
+			"p99 latency (ms)", "retransmissions", "drops"},
+	}
+	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
+		sc := sim.Scenario{
+			Topology:      topology.USA(),
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Coordinated:   75,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          17,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+			LossRate:      loss,
+		}
+		if loss > 0 {
+			sc.RetxTimeout = 300
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: loss ablation at %v: %w", loss, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", loss),
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.2f", res.MeanLatency),
+			fmt.Sprintf("%.2f", res.LatencyP99),
+			fmt.Sprintf("%d", res.Retransmissions),
+			fmt.Sprintf("%d", res.DroppedInterests+res.DroppedData),
+		})
+	}
+	return t, nil
+}
+
+// AblationCongestion sweeps the offered load against a finite link
+// capacity under the coordinated placement. As utilization rises, link
+// queueing inflates latency far beyond the model's load-independent
+// latency tiers — the congestion regime the analytical model explicitly
+// abstracts away.
+func AblationCongestion(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "ablation-congestion",
+		Title: "Offered load vs finite link capacity (US-A, coordinated, 0.2 contents/ms links)",
+		Headers: []string{"mean inter-arrival (ms)", "mean latency (ms)",
+			"p99 latency (ms)", "mean queueing (ms)", "queued packets"},
+	}
+	for _, interArrival := range []float64{8, 4, 2, 1} {
+		res, err := sim.Run(sim.Scenario{
+			Topology:         topology.USA(),
+			CatalogSize:      20000,
+			ZipfS:            baseS,
+			Capacity:         150,
+			Coordinated:      75,
+			Policy:           sim.PolicyCoordinated,
+			Requests:         requests,
+			Seed:             23,
+			AccessLatency:    5,
+			OriginLatency:    60,
+			OriginGateway:    -1,
+			LinkRate:         0.2,
+			MeanInterArrival: interArrival,
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: congestion at %v: %w", interArrival, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", interArrival),
+			fmt.Sprintf("%.2f", res.MeanLatency),
+			fmt.Sprintf("%.2f", res.LatencyP99),
+			fmt.Sprintf("%.3f", res.MeanQueueingDelay),
+			fmt.Sprintf("%d", res.QueuedPackets),
+		})
+	}
+	return t, nil
+}
+
+// MetricVariant validates the paper's Section V-A remark that measuring
+// the routing performance by hop count or by pairwise latency yields
+// similar results: it computes the optimal strategy with the US-A tier
+// gap expressed in hops (Table IV's 2.2842) and in milliseconds (Table
+// III's 15.7) across the alpha sweep.
+func MetricVariant() (Table, error) {
+	t := Table{
+		ID:    "metric-variant",
+		Title: "Optimal strategy under hop-count vs latency tier gaps (US-A, gamma=5, s=0.8)",
+		Headers: []string{"alpha", "l* (d1-d0 in hops)", "l* (d1-d0 in ms)",
+			"G_O (hops)", "G_O (ms)"},
+	}
+	const msGap = 15.7 // Table III US-A d1-d0 in milliseconds
+	for _, a := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		hopCfg := figConfig(a, baseGamma, baseS, baseRouters, baseUnitCost)
+		msCfg := hopCfg
+		msCfg.Lat = model.LatencyFromGamma(1, msGap, baseGamma)
+		hopGains, err := hopCfg.OptimalGains()
+		if err != nil {
+			return Table{}, err
+		}
+		msGains, err := msCfg.OptimalGains()
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", a),
+			fmt.Sprintf("%.4f", hopGains.Level),
+			fmt.Sprintf("%.4f", msGains.Level),
+			fmt.Sprintf("%.4f", hopGains.OriginReduction),
+			fmt.Sprintf("%.4f", msGains.OriginReduction),
+		})
+	}
+	return t, nil
+}
+
+// AblationResilience measures how the coordinated placement degrades
+// when the network loses its most critical link: the edge whose removal
+// (without disconnecting the domain) raises the mean pairwise latency
+// the most. Coordinated caching keeps its origin-load advantage — the
+// distinct contents remain in the domain — but pays more hops to reach
+// them, exactly the trade-off a carrier needs to size for failures.
+func AblationResilience(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	intact := topology.USA()
+	damaged, removed, err := removeWorstLink(topology.USA())
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: resilience: %w", err)
+	}
+	t := Table{
+		ID:    "ablation-resilience",
+		Title: fmt.Sprintf("Coordinated placement under failure of link %d-%d (US-A)", removed.A, removed.B),
+		Headers: []string{"network", "origin load", "peer hit", "peer hops",
+			"mean latency (ms)"},
+	}
+	for _, tc := range []struct {
+		name string
+		g    *topology.Graph
+	}{{"intact", intact}, {"link failed", damaged}} {
+		res, err := sim.Run(sim.Scenario{
+			Topology:      tc.g,
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Coordinated:   75,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          31,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: resilience (%s): %w", tc.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			tc.name,
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.4f", res.PeerHit),
+			fmt.Sprintf("%.3f", res.PeerHops),
+			fmt.Sprintf("%.2f", res.MeanLatency),
+		})
+	}
+	return t, nil
+}
+
+// removeWorstLink deletes the connectivity-preserving edge whose removal
+// maximizes the mean pairwise latency, returning the damaged graph and
+// the removed edge.
+func removeWorstLink(g *topology.Graph) (*topology.Graph, topology.Edge, error) {
+	var worst topology.Edge
+	worstMean := -1.0
+	for _, e := range g.EdgeList() {
+		trial := g.Clone()
+		if err := trial.RemoveEdge(e.A, e.B); err != nil {
+			return nil, topology.Edge{}, err
+		}
+		if !trial.Connected() {
+			continue
+		}
+		if mean := trial.ShortestPathsLatency().MeanDist(false); mean > worstMean {
+			worstMean, worst = mean, e
+		}
+	}
+	if worstMean < 0 {
+		return nil, topology.Edge{}, fmt.Errorf("no removable link keeps the graph connected")
+	}
+	damaged := g.Clone()
+	if err := damaged.RemoveEdge(worst.A, worst.B); err != nil {
+		return nil, topology.Edge{}, err
+	}
+	return damaged, worst, nil
+}
+
+// AdaptiveConvergence runs the closed adaptive-provisioning loop on the
+// packet simulator: the coordinator starts with a wrong Zipf prior,
+// learns from measured per-router reports, and installs placements
+// computed from its own estimates. The table tracks the estimate, the
+// chosen level, and the resulting origin load per epoch.
+func AdaptiveConvergence(requests, epochs int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	if epochs < 2 {
+		epochs = 2
+	}
+	g := topology.USA()
+	const trueS = 0.8
+	sc := sim.Scenario{
+		Topology:      g,
+		CatalogSize:   20000,
+		ZipfS:         trueS,
+		Capacity:      150,
+		Requests:      requests,
+		Seed:          21,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	}
+	base := model.Config{
+		S: 0.5, // deliberately wrong prior
+		N: float64(sc.CatalogSize), C: float64(sc.Capacity), Routers: g.N(),
+		Lat:      model.LatencyFromGamma(1, baseTierGap, baseGamma),
+		UnitCost: baseUnitCost, Alpha: 0.95,
+	}
+	records, err := sim.AdaptiveRun(sc, base, epochs)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: adaptive convergence: %w", err)
+	}
+	t := Table{
+		ID:    "adaptive",
+		Title: fmt.Sprintf("Closed-loop adaptive provisioning (true s=%g, prior 0.5, US-A)", trueS),
+		Headers: []string{"epoch", "policy", "estimated s", "level l*",
+			"origin load", "coordination msgs"},
+	}
+	for _, e := range records {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", e.Epoch),
+			e.Result.Policy.String(),
+			fmt.Sprintf("%.3f", e.EstimatedS),
+			fmt.Sprintf("%.3f", e.Level),
+			fmt.Sprintf("%.4f", e.Result.OriginLoad),
+			fmt.Sprintf("%d", e.Result.CoordMessages),
+		})
+	}
+	return t, nil
+}
+
+// AblationRegionalSkew quantifies a real limitation of the paper's
+// model: it assumes every router sees the same popularity ranking. Here
+// each router's demand is rotated by a region-specific offset (still
+// Zipf, but regions disagree on what is hot), while the placement is
+// still computed from the global ranking. Both the replicated local set
+// and the coordinated band lose precision, so the origin load climbs
+// with the skew.
+func AblationRegionalSkew(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "ablation-regional",
+		Title: "Global placement under regional interest skew (US-A, coordinated)",
+		Headers: []string{"max regional offset (ranks)", "origin load",
+			"local hit", "peer hit"},
+	}
+	g := topology.USA()
+	for _, maxOffset := range []int64{0, 25, 100, 500} {
+		maxOffset := maxOffset
+		sc := sim.Scenario{
+			Topology:      g,
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Coordinated:   75,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          41,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		}
+		sc.WorkloadFactory = func(r topology.NodeID) (workload.Generator, error) {
+			inner, err := workload.NewZipf(sc.ZipfS, sc.CatalogSize, sc.Seed+int64(r)*1697)
+			if err != nil {
+				return nil, err
+			}
+			if maxOffset == 0 {
+				return inner, nil
+			}
+			// Spread offsets evenly over [0, maxOffset] across routers.
+			offset := maxOffset * int64(r) / int64(g.N()-1)
+			return workload.NewRegional(inner, offset, sc.CatalogSize)
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: regional skew %d: %w", maxOffset, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", maxOffset),
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.4f", res.LocalHit),
+			fmt.Sprintf("%.4f", res.PeerHit),
+		})
+	}
+	return t, nil
+}
+
+// MeasuredTiers closes the last input loop: instead of assuming the
+// model's tiered latencies d0/d1/d2, it measures them per topology from
+// the packet simulator's per-tier completion times, derives gamma, and
+// re-solves the optimal strategy from purely observed quantities. A
+// carrier can therefore provision without any latency assumptions.
+func MeasuredTiers(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "measured-tiers",
+		Title: "Tiered latencies measured from the packet simulator, and the l* they imply",
+		Headers: []string{"topology", "d0 (ms)", "d1 (ms)", "d2 (ms)",
+			"gamma", "l* from measurements"},
+	}
+	for _, g := range topology.All() {
+		res, err := sim.Run(sim.Scenario{
+			Topology:      g,
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Coordinated:   75,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          37,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: measured tiers on %s: %w", g.Name(), err)
+		}
+		tl := res.TierLatency
+		cfg := model.Config{
+			S: baseS, N: baseContents, C: baseCapacity, Routers: g.N(),
+			Lat:          model.Latency{D0: tl.Local, D1: tl.Peer, D2: tl.Origin},
+			UnitCost:     baseUnitCost,
+			Alpha:        0.8,
+			Amortization: baseAmortization,
+		}
+		level, err := cfg.OptimalLevel()
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: optimizing from measured tiers on %s: %w", g.Name(), err)
+		}
+		t.Rows = append(t.Rows, []string{
+			g.Name(),
+			fmt.Sprintf("%.2f", tl.Local),
+			fmt.Sprintf("%.2f", tl.Peer),
+			fmt.Sprintf("%.2f", tl.Origin),
+			fmt.Sprintf("%.2f", tl.Gamma()),
+			fmt.Sprintf("%.3f", level),
+		})
+	}
+	return t, nil
+}
+
+// AdaptiveDrift runs the closed adaptive loop against a non-stationary
+// workload whose Zipf exponent drifts from 0.6 to 1.4 across the run:
+// the coordinator must track the change and re-provision. Rows report
+// the estimate trajectory — the hard case for the paper's future-work
+// online algorithm, since yesterday's optimal split becomes wrong.
+func AdaptiveDrift(requests, epochs int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	if epochs < 3 {
+		epochs = 3
+	}
+	g := topology.USA()
+	sc := sim.Scenario{
+		Topology:      g,
+		CatalogSize:   20000,
+		ZipfS:         0.6, // nominal; the factory below overrides
+		Capacity:      150,
+		Requests:      requests,
+		Seed:          29,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	}
+	// Per-router drifting generators persist across epochs: the
+	// exponent interpolates over the whole experiment.
+	horizon := int64(requests) * int64(epochs) / int64(g.N())
+	gens := make(map[topology.NodeID]*workload.DriftingZipf, g.N())
+	sc.WorkloadFactory = func(r topology.NodeID) (workload.Generator, error) {
+		if gen, ok := gens[r]; ok {
+			return gen, nil
+		}
+		gen, err := workload.NewDriftingZipf(0.6, 1.4, sc.CatalogSize, horizon, 0, 0, 29+int64(r)*101)
+		if err != nil {
+			return nil, err
+		}
+		gens[r] = gen
+		return gen, nil
+	}
+	base := model.Config{
+		S: 0.6,
+		N: float64(sc.CatalogSize), C: float64(sc.Capacity), Routers: g.N(),
+		Lat:      model.LatencyFromGamma(1, baseTierGap, baseGamma),
+		UnitCost: baseUnitCost, Alpha: 0.95,
+	}
+	records, err := sim.AdaptiveRun(sc, base, epochs)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: adaptive drift: %w", err)
+	}
+	t := Table{
+		ID:      "adaptive-drift",
+		Title:   "Adaptive provisioning under popularity drift (s: 0.6 -> 1.4, US-A)",
+		Headers: []string{"epoch", "estimated s", "level l*", "origin load"},
+	}
+	for _, e := range records {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", e.Epoch),
+			fmt.Sprintf("%.3f", e.EstimatedS),
+			fmt.Sprintf("%.3f", e.Level),
+			fmt.Sprintf("%.4f", e.Result.OriginLoad),
+		})
+	}
+	return t, nil
+}
+
+// StabilityAnalysis reports the sensitive alpha range of the optimal
+// strategy per gamma — the quantitative version of the paper's Section
+// V-B1 stability discussion.
+func StabilityAnalysis() (Table, error) {
+	t := Table{
+		ID:    "stability",
+		Title: "Sensitive range of l*(alpha) per gamma (slope >= 50% of peak)",
+		Headers: []string{"gamma", "range lo", "range hi", "width",
+			"peak alpha", "peak slope"},
+	}
+	for _, gamma := range []float64{2, 4, 6, 8, 10} {
+		cfg := figConfig(0.5, gamma, baseS, baseRouters, baseUnitCost)
+		r, err := cfg.FindSensitiveRange(0.5)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: stability at gamma=%v: %w", gamma, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", gamma),
+			fmt.Sprintf("%.3f", r.Lo),
+			fmt.Sprintf("%.3f", r.Hi),
+			fmt.Sprintf("%.3f", r.Width()),
+			fmt.Sprintf("%.3f", r.PeakAlpha),
+			fmt.Sprintf("%.2f", r.PeakSlope),
+		})
+	}
+	return t, nil
+}
+
+// catalogID aliases the catalog rank type for brevity in this file.
+type catalogID = catalog.ID

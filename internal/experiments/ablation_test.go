@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// parseF parses a table cell as float64.
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationAssignment(t *testing.T) {
+	tab, err := AblationAssignment(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	stripe, hash := tab.Rows[0], tab.Rows[1]
+	if stripe[0] != "stripe" || hash[0] != "hash" {
+		t.Fatalf("row order: %v / %v", stripe[0], hash[0])
+	}
+	// Same band stored -> identical origin load.
+	if stripe[1] != hash[1] {
+		t.Errorf("origin load differs: %s vs %s", stripe[1], hash[1])
+	}
+	// Striping must not be worse at balancing popularity.
+	if parseF(t, stripe[5]) > parseF(t, hash[5]) {
+		t.Errorf("stripe popularity imbalance %s worse than hash %s", stripe[5], hash[5])
+	}
+}
+
+func TestAblationPolicy(t *testing.T) {
+	tab, err := AblationPolicy(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	coordLoad := parseF(t, byName["coordinated"][1])
+	ncLoad := parseF(t, byName["non-coordinated"][1])
+	if coordLoad >= ncLoad {
+		t.Errorf("coordinated origin load %v not below non-coordinated %v", coordLoad, ncLoad)
+	}
+	// The provisioned non-coordinated steady state upper-bounds what the
+	// dynamic policies can reach at equal capacity under LCE churn.
+	for _, dyn := range []string{"lru", "lfu", "slru", "2q", "probcache"} {
+		if load := parseF(t, byName[dyn][1]); load < coordLoad {
+			t.Errorf("%s origin load %v below coordinated %v", dyn, load, coordLoad)
+		}
+	}
+}
+
+func TestAblationSolver(t *testing.T) {
+	tab, err := AblationSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The fixed-point approximation error must shrink as n grows
+	// (Lemma 2 assumes large n).
+	prev := 1.0
+	for _, row := range tab.Rows {
+		e := parseF(t, row[4])
+		if e > prev+1e-9 {
+			t.Errorf("fixed-point error not shrinking at n=%s: %v after %v", row[0], e, prev)
+		}
+		prev = e
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if e := parseF(t, last[4]); e > 0.001 {
+		t.Errorf("fixed-point error at n=%s still %v", last[0], e)
+	}
+}
+
+func TestAblationCoordinator(t *testing.T) {
+	tab, err := AblationCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		central := parseF(t, row[1])
+		distributed := parseF(t, row[3])
+		if distributed > central {
+			t.Errorf("n=%s: distributed messages %v exceed centralized %v", row[0], distributed, central)
+		}
+		if parseF(t, row[4]) < parseF(t, row[2]) {
+			t.Errorf("n=%s: distributed convergence should be slower", row[0])
+		}
+	}
+}
+
+func TestAdaptiveConvergence(t *testing.T) {
+	tab, err := AdaptiveConvergence(30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "non-coordinated" {
+		t.Errorf("bootstrap epoch policy = %s", tab.Rows[0][1])
+	}
+	bootLoad := parseF(t, tab.Rows[0][4])
+	lastLoad := parseF(t, tab.Rows[len(tab.Rows)-1][4])
+	if lastLoad >= bootLoad {
+		t.Errorf("adaptive loop did not reduce origin load: %v -> %v", bootLoad, lastLoad)
+	}
+	// The learned exponent should approach the true 0.8.
+	lastS := parseF(t, tab.Rows[len(tab.Rows)-1][2])
+	if lastS < 0.55 || lastS > 1.05 {
+		t.Errorf("learned s = %v, want near 0.8", lastS)
+	}
+}
+
+func TestStabilityAnalysis(t *testing.T) {
+	tab, err := StabilityAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (gamma set)", len(tab.Rows))
+	}
+	// Higher gamma -> earlier, steeper, narrower transition under the
+	// figure-harness amortization.
+	for i := 1; i < len(tab.Rows); i++ {
+		prev, cur := tab.Rows[i-1], tab.Rows[i]
+		if parseF(t, cur[4]) >= parseF(t, prev[4]) {
+			t.Errorf("peak alpha not decreasing with gamma: %s vs %s", cur[4], prev[4])
+		}
+		if parseF(t, cur[5]) <= parseF(t, prev[5]) {
+			t.Errorf("peak slope not increasing with gamma: %s vs %s", cur[5], prev[5])
+		}
+	}
+}
+
+func TestAblationResilience(t *testing.T) {
+	tab, err := AblationResilience(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	intact, damaged := tab.Rows[0], tab.Rows[1]
+	// The placement itself is unchanged, so origin load stays equal;
+	// reaching peers costs at least as many hops.
+	if intact[1] != damaged[1] {
+		t.Errorf("origin load changed under link failure: %s vs %s", intact[1], damaged[1])
+	}
+	if parseF(t, damaged[3]) < parseF(t, intact[3]) {
+		t.Errorf("peer hops decreased under failure: %s vs %s", damaged[3], intact[3])
+	}
+}
+
+func TestMetricVariant(t *testing.T) {
+	tab, err := MetricVariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	// Both metrics must produce monotonically increasing levels over
+	// alpha, and the ms variant (cheaper relative coordination cost,
+	// w/gap smaller) must sit at or above the hop variant.
+	prevHop, prevMs := -1.0, -1.0
+	for _, row := range tab.Rows {
+		hop, ms := parseF(t, row[1]), parseF(t, row[2])
+		if hop < prevHop || ms < prevMs {
+			t.Errorf("levels not monotone at alpha=%s: hop %v ms %v", row[0], hop, ms)
+		}
+		prevHop, prevMs = hop, ms
+		if ms+1e-9 < hop {
+			t.Errorf("alpha=%s: ms-gap level %v below hop-gap level %v", row[0], ms, hop)
+		}
+	}
+}
+
+func TestAblationLoss(t *testing.T) {
+	tab, err := AblationLoss(15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	base := tab.Rows[0]
+	if parseF(t, base[4]) != 0 || parseF(t, base[5]) != 0 {
+		t.Errorf("lossless row has loss activity: %v", base)
+	}
+	for i := 1; i < len(tab.Rows); i++ {
+		row := tab.Rows[i]
+		// Origin load within noise of the lossless run.
+		if d := parseF(t, row[1]) - parseF(t, base[1]); d > 0.02 || d < -0.02 {
+			t.Errorf("loss %s: origin load %s deviates from %s", row[0], row[1], base[1])
+		}
+		// Latency and retransmissions grow with the loss rate.
+		if parseF(t, row[2]) <= parseF(t, base[2]) {
+			t.Errorf("loss %s: latency %s not above lossless %s", row[0], row[2], base[2])
+		}
+		if parseF(t, row[4]) <= parseF(t, tab.Rows[i-1][4]) {
+			t.Errorf("loss %s: retransmissions %s not increasing", row[0], row[4])
+		}
+	}
+}
+
+func TestAblationCongestion(t *testing.T) {
+	tab, err := AblationCongestion(15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Rows sweep from light to heavy load: queueing delay and latency
+	// must be nondecreasing.
+	for i := 1; i < len(tab.Rows); i++ {
+		if parseF(t, tab.Rows[i][3]) < parseF(t, tab.Rows[i-1][3]) {
+			t.Errorf("queueing delay not increasing with load at row %d", i)
+		}
+	}
+	light, heavy := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if parseF(t, heavy[1]) <= parseF(t, light[1]) {
+		t.Errorf("heavy-load latency %s not above light-load %s", heavy[1], light[1])
+	}
+	if parseF(t, heavy[4]) <= 0 {
+		t.Error("heavy load produced no queueing events")
+	}
+}
+
+func TestAdaptiveDrift(t *testing.T) {
+	tab, err := AdaptiveDrift(25000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// The estimate must track the drift upward across epochs.
+	first := parseF(t, tab.Rows[0][1])
+	last := parseF(t, tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Errorf("estimate did not track the drift: %v -> %v", first, last)
+	}
+	if last < 0.9 {
+		t.Errorf("final estimate %v too far from the drifted exponent", last)
+	}
+}
+
+func TestMeasuredTiers(t *testing.T) {
+	tab, err := MeasuredTiers(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		d0, d1, d2 := parseF(t, row[1]), parseF(t, row[2]), parseF(t, row[3])
+		if !(d0 < d1 && d1 < d2) {
+			t.Errorf("%s: tier ordering violated: %v %v %v", row[0], d0, d1, d2)
+		}
+		if g := parseF(t, row[4]); g <= 0 {
+			t.Errorf("%s: measured gamma %v", row[0], g)
+		}
+		if l := parseF(t, row[5]); l <= 0 || l > 1 {
+			t.Errorf("%s: derived level %v", row[0], l)
+		}
+	}
+}
+
+func TestAblationRegionalSkew(t *testing.T) {
+	tab, err := AblationRegionalSkew(25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Origin load must climb as regional disagreement grows.
+	for i := 1; i < len(tab.Rows); i++ {
+		if parseF(t, tab.Rows[i][1]) <= parseF(t, tab.Rows[i-1][1]) {
+			t.Errorf("origin load not increasing with skew at row %d: %s vs %s",
+				i, tab.Rows[i][1], tab.Rows[i-1][1])
+		}
+	}
+}

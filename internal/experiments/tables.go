@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ccncoord/internal/model"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/topology"
+)
+
+// TableI reproduces the motivating example's comparison (Section II) by
+// running both strategies on the packet-level simulator.
+func TableI() (Table, error) {
+	cmp, err := sim.MotivatingExample(100)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: table I: %w", err)
+	}
+	return Table{
+		ID:      "table1",
+		Title:   "Comparing the coordinated and non-coordinated strategies",
+		Headers: []string{"Metric", "Non-coordinated caching", "Coordinated caching", "Paper (non-coord)", "Paper (coord)"},
+		Rows: [][]string{
+			{"Load on origin",
+				fmt.Sprintf("%.0f%%", 100*cmp.NonCoordinated.OriginLoad),
+				fmt.Sprintf("%.0f%%", 100*cmp.Coordinated.OriginLoad),
+				"33%", "0%"},
+			{"Routing hop count",
+				fmt.Sprintf("%.2f", cmp.NonCoordinated.MeanHops),
+				fmt.Sprintf("%.2f", cmp.Coordinated.MeanHops),
+				"~0.67", "0.5"},
+			{"Coordination cost",
+				fmt.Sprintf("%d", cmp.NonCoordinated.CoordMessages),
+				fmt.Sprintf("%d", cmp.Coordinated.CoordMessages),
+				"0", "1"},
+		},
+	}, nil
+}
+
+// TableII reproduces the topology statistics table.
+func TableII() Table {
+	t := Table{
+		ID:      "table2",
+		Title:   "Topologies used in evaluations",
+		Headers: []string{"Topology", "|V|", "|E|", "Region", "Type", "Paper |V|", "Paper |E|"},
+	}
+	for _, g := range topology.All() {
+		paper := topology.PaperTable2[g.Name()]
+		t.Rows = append(t.Rows, []string{
+			g.Name(),
+			fmt.Sprintf("%d", g.N()),
+			fmt.Sprintf("%d", g.DirectedEdgeCount()),
+			paper.Region, paper.Type,
+			fmt.Sprintf("%d", paper.V),
+			fmt.Sprintf("%d", paper.E),
+		})
+	}
+	return t
+}
+
+// TableIII reproduces the topological-parameters table, extracted from
+// the datasets side by side with the paper's published values.
+func TableIII() (Table, error) {
+	t := Table{
+		ID:    "table3",
+		Title: "Topological parameters",
+		Headers: []string{"Topology", "n", "w (ms)", "d1-d0 (ms)", "d1-d0 (hops)",
+			"paper w", "paper ms", "paper hops"},
+	}
+	for _, g := range topology.All() {
+		p, err := topology.ExtractParams(g)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: table III: %w", err)
+		}
+		paper := topology.PaperTable3[g.Name()]
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%.1f", p.UnitCost),
+			fmt.Sprintf("%.1f", p.TierGapMs),
+			fmt.Sprintf("%.4f", p.TierGapHops),
+			fmt.Sprintf("%.1f", paper.UnitCost),
+			fmt.Sprintf("%.1f", paper.TierGapMs),
+			fmt.Sprintf("%.4f", paper.TierGapHops),
+		})
+	}
+	return t, nil
+}
+
+// TableIV prints the parameter settings used by the figure sweeps
+// (the paper's Table IV, US-A row).
+func TableIV() Table {
+	return Table{
+		ID:      "table4",
+		Title:   "System parameters used in analysis (Table IV base point)",
+		Headers: []string{"Parameter", "Value", "Swept in"},
+		Rows: [][]string{
+			{"alpha", "(0,1)", "Figures 4, 8, 12 (axis); rows elsewhere"},
+			{"gamma", fmt.Sprintf("%g", baseGamma), "Figures 4, 8, 12 (curves: 2,4,6,8,10)"},
+			{"s", fmt.Sprintf("%g", baseS), "Figures 5, 9, 13 (axis)"},
+			{"n", fmt.Sprintf("%d", baseRouters), "Figures 6, 10 (axis: 10~500)"},
+			{"N", fmt.Sprintf("%.0e", float64(baseContents)), "-"},
+			{"c", fmt.Sprintf("%.0e", float64(baseCapacity)), "-"},
+			{"w (ms)", fmt.Sprintf("%g", baseUnitCost), "Figures 7, 11 (axis: 10~100)"},
+			{"d1-d0 (hops)", fmt.Sprintf("%g", baseTierGap), "-"},
+			{"amortization rho", fmt.Sprintf("%.0e", float64(baseAmortization)), "see DESIGN.md section 4"},
+		},
+	}
+}
+
+// validationTopologies limits the model-vs-simulation experiment to a
+// catalog/capacity scale the packet simulator handles quickly.
+type validationCase struct {
+	graph       *topology.Graph
+	catalogSize int64
+	capacity    int64
+	coordinated int64
+	s           float64
+}
+
+// ModelVsSim is this repository's own validation experiment: for each
+// evaluation topology, run the packet-level simulator with the
+// coordinated placement and compare its measured origin load and tier
+// hit ratios against the discrete analytical model.
+func ModelVsSim(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "modelvssim",
+		Title: "Packet simulation vs analytical model (coordinated placement)",
+		Headers: []string{"Topology", "origin(sim)", "origin(model)", "local(sim)", "local(model+slice)",
+			"peer(sim)", "peer(model-slice)", "max|err|"},
+	}
+	for _, g := range topology.All() {
+		vc := validationCase{graph: g, catalogSize: 20000, capacity: 150, coordinated: 75, s: baseS}
+		sc := sim.Scenario{
+			Topology:      vc.graph,
+			CatalogSize:   vc.catalogSize,
+			ZipfS:         vc.s,
+			Capacity:      vc.capacity,
+			Coordinated:   vc.coordinated,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          42,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: model-vs-sim on %s: %w", g.Name(), err)
+		}
+		cfg := model.Config{
+			S: vc.s, N: float64(vc.catalogSize), C: float64(vc.capacity),
+			Routers: g.N(), Lat: model.Latency{D0: 1, D1: 2, D2: 3}, Alpha: 1,
+		}
+		d, err := model.NewDiscrete(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		local, peer, origin := d.HitRatios(vc.coordinated)
+		// The model counts a router's own coordinated slice as peer; the
+		// simulator correctly serves it locally. Shift the slice for an
+		// apples-to-apples comparison.
+		slice := peer / float64(g.N())
+		mLocal, mPeer := local+slice, peer-slice
+		maxErr := math.Max(math.Abs(res.OriginLoad-origin),
+			math.Max(math.Abs(res.LocalHit-mLocal), math.Abs(res.PeerHit-mPeer)))
+		t.Rows = append(t.Rows, []string{
+			g.Name(),
+			fmt.Sprintf("%.4f", res.OriginLoad),
+			fmt.Sprintf("%.4f", origin),
+			fmt.Sprintf("%.4f", res.LocalHit),
+			fmt.Sprintf("%.4f", mLocal),
+			fmt.Sprintf("%.4f", res.PeerHit),
+			fmt.Sprintf("%.4f", mPeer),
+			fmt.Sprintf("%.4f", maxErr),
+		})
+	}
+	return t, nil
+}

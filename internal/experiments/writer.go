@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteFigureCSV emits a figure as CSV: the first column is the sweep
+// axis, one column per series. All series of a figure share the same
+// axis by construction.
+func WriteFigureCSV(w io.Writer, f Figure) error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("experiments: figure %s has no series", f.ID)
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, labels(f)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := len(f.Series[0].X)
+	for _, s := range f.Series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("experiments: figure %s series %q has inconsistent length", f.ID, s.Label)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, formatFloat(f.Series[0].X[i]))
+		for _, s := range f.Series {
+			row = append(row, formatFloat(s.Y[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// labels returns the series labels of a figure in order.
+func labels(f Figure) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// formatFloat renders a float compactly.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WriteFigureText renders a figure as an aligned text table for terminal
+// inspection.
+func WriteFigureText(w io.Writer, f Figure) error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("experiments: figure %s has no series", f.ID)
+	}
+	fmt.Fprintf(w, "# %s: %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(w, "# y: %s\n", f.YLabel)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", f.XLabel)
+	for _, l := range labels(f) {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw)
+	for i := range f.Series[0].X {
+		fmt.Fprintf(tw, "%.4g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			fmt.Fprintf(tw, "\t%.4f", s.Y[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteTableText renders a table with aligned columns.
+func WriteTableText(w io.Writer, t Table) error {
+	fmt.Fprintf(w, "# %s: %s\n", strings.ToUpper(t.ID), t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteTableCSV emits a table as CSV.
+func WriteTableCSV(w io.Writer, t Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID: "figX", Title: "Sample", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{0.125, 1}},
+		},
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "x,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,0.125" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteFigureCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, Figure{ID: "empty"}); err == nil {
+		t.Error("empty figure should fail")
+	}
+	bad := sampleFigure()
+	bad.Series[1].Y = bad.Series[1].Y[:1]
+	if err := WriteFigureCSV(&sb, bad); err == nil {
+		t.Error("inconsistent series should fail")
+	}
+}
+
+func TestWriteFigureText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureText(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FIGX", "Sample", "0.5000", "0.1250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteFigureText(&sb, Figure{ID: "empty"}); err == nil {
+		t.Error("empty figure should fail")
+	}
+}
+
+func TestWriteTableTextAndCSV(t *testing.T) {
+	tab := Table{
+		ID: "t", Title: "T", Headers: []string{"h1", "h2"},
+		Rows: [][]string{{"a", "b"}, {"c", "d"}},
+	}
+	var sb strings.Builder
+	if err := WriteTableText(&sb, tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "h1") || !strings.Contains(sb.String(), "c") {
+		t.Errorf("table text wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteTableCSV(&sb, tab); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "h1,h2" || lines[2] != "c,d" {
+		t.Errorf("table CSV wrong:\n%s", sb.String())
+	}
+}

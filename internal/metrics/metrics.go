@@ -1,0 +1,147 @@
+// Package metrics provides the small statistics toolkit the simulator
+// uses to aggregate measurements: counters, running means/variances
+// (Welford), and fixed-bucket histograms with quantile estimates.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter counts occurrences of named events.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments the named event by delta.
+func (c *Counter) Add(name string, delta int64) { c.counts[name] += delta }
+
+// Inc increments the named event by one.
+func (c *Counter) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the count for name (0 if never incremented).
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Total returns the sum over all names.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Names returns all event names, sorted.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Mean accumulates a running mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(x float64) {
+	m.n++
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// N returns the number of samples.
+func (m *Mean) N() int64 { return m.n }
+
+// Value returns the running mean (0 with no samples).
+func (m *Mean) Value() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Histogram collects samples into equal-width buckets over [lo, hi);
+// out-of-range samples clamp to the edge buckets. It retains no raw
+// samples, so memory is O(buckets).
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	count   int64
+	sum     float64
+}
+
+// NewHistogram returns a histogram over [lo, hi) with the given number
+// of buckets.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("metrics: histogram range [%v, %v) is empty", lo, hi)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: need at least one bucket, got %d", buckets)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, buckets)}, nil
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	idx := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += x
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) assuming
+// uniform density within buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	q = math.Min(1, math.Max(0, q))
+	target := q * float64(h.count)
+	var acc float64
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, b := range h.buckets {
+		next := acc + float64(b)
+		if next >= target && b > 0 {
+			frac := (target - acc) / float64(b)
+			return h.lo + width*(float64(i)+frac)
+		}
+		acc = next
+	}
+	return h.hi
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("hit")
+	c.Inc("hit")
+	c.Add("miss", 5)
+	if c.Get("hit") != 2 || c.Get("miss") != 5 || c.Get("absent") != 0 {
+		t.Errorf("counter values wrong: hit=%d miss=%d", c.Get("hit"), c.Get("miss"))
+	}
+	if c.Total() != 7 {
+		t.Errorf("Total = %d, want 7", c.Total())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hit" || names[1] != "miss" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 || m.Variance() != 0 {
+		t.Error("zero-value Mean should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Observe(x)
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+	if math.Abs(m.Value()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", m.Value())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 32/7.
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", m.Variance(), 32.0/7)
+	}
+	if math.Abs(m.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %v", m.StdDev())
+	}
+}
+
+// TestMeanMatchesDirect property: Welford agrees with the two-pass
+// formula on random samples.
+func TestMeanMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 2
+		xs := make([]float64, n)
+		var m Mean
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			m.Observe(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return math.Abs(m.Value()-mean) < 1e-9 && math.Abs(m.Variance()-ss/float64(n-1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets should fail")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.5; x < 10; x++ {
+		h.Observe(x)
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", h.Mean())
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median = %v, want ~5", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles must be monotone")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	h.Observe(-100)
+	h.Observe(100)
+	if h.Count() != 2 {
+		t.Errorf("out-of-range samples dropped: count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+// TestHistogramQuantileAccuracy: on uniform data the q-quantile should be
+// close to q*range.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Float64())
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); math.Abs(got-q) > 0.02 {
+			t.Errorf("Quantile(%v) = %v", q, got)
+		}
+	}
+}

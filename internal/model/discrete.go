@@ -1,0 +1,104 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ccncoord/internal/zipf"
+)
+
+// This file provides the discrete (exact harmonic-number) counterpart of
+// the continuous model. The paper analyzes the continuous approximation of
+// Eq. (6); the discrete variant exists to quantify that approximation and
+// to ground the packet-level simulator, which necessarily deals in whole
+// content objects.
+
+// Discrete evaluates the performance-cost model with exact Zipf harmonic
+// sums instead of the continuous approximation. Construct with
+// NewDiscrete; the zero value is not usable.
+type Discrete struct {
+	cfg  Config
+	dist *zipf.Dist
+}
+
+// NewDiscrete returns the exact-harmonic model for cfg. N and C must be
+// exactly representable as integers (they count contents and slots).
+func NewDiscrete(cfg Config) (*Discrete, error) {
+	n := int64(cfg.N)
+	if float64(n) != cfg.N || n < 1 {
+		return nil, fmt.Errorf("model: discrete N must be a positive integer, got %v", cfg.N)
+	}
+	if c := int64(cfg.C); float64(c) != cfg.C || c < 1 {
+		return nil, fmt.Errorf("model: discrete C must be a positive integer, got %v", cfg.C)
+	}
+	dist, err := zipf.New(cfg.S, n)
+	if err != nil {
+		return nil, fmt.Errorf("model: discrete popularity: %w", err)
+	}
+	return &Discrete{cfg: cfg, dist: dist}, nil
+}
+
+// Config returns the underlying configuration.
+func (d *Discrete) Config() Config { return d.cfg }
+
+// F returns the exact cumulative popularity of the top-k contents.
+func (d *Discrete) F(k int64) float64 { return d.dist.CDF(k) }
+
+// T returns the exact mean request latency with x coordinated slots per
+// router (Eq. 2 with harmonic-number CDF). x is clamped to [0, C].
+func (d *Discrete) T(x int64) float64 {
+	c := int64(d.cfg.C)
+	if x < 0 {
+		x = 0
+	}
+	if x > c {
+		x = c
+	}
+	local := d.F(c - x)
+	network := d.F(c + int64(d.cfg.Routers-1)*x)
+	return local*d.cfg.Lat.D0 + (network-local)*d.cfg.Lat.D1 + (1-network)*d.cfg.Lat.D2
+}
+
+// Tw returns the exact combined objective at integer allocation x.
+func (d *Discrete) Tw(x int64) float64 {
+	return d.cfg.Alpha*d.T(x) + (1-d.cfg.Alpha)*d.cfg.W(float64(x))
+}
+
+// OptimalX minimizes Tw over integer x in [0, C] by ternary search over
+// the convex sequence, falling back to linear scan for tiny capacities.
+func (d *Discrete) OptimalX() int64 {
+	lo, hi := int64(0), int64(d.cfg.C)
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if d.Tw(m1) <= d.Tw(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	best, bestV := lo, math.Inf(1)
+	for x := lo; x <= hi; x++ {
+		if v := d.Tw(x); v < bestV {
+			best, bestV = x, v
+		}
+	}
+	return best
+}
+
+// OriginLoad returns the exact fraction of requests served by the origin
+// at allocation x: 1 - F(c + (n-1)x).
+func (d *Discrete) OriginLoad(x int64) float64 {
+	c := int64(d.cfg.C)
+	return 1 - d.F(c+int64(d.cfg.Routers-1)*x)
+}
+
+// HitRatios returns the exact fractions of requests served locally, by a
+// peer router, and by the origin at allocation x. The three values sum
+// to 1.
+func (d *Discrete) HitRatios(x int64) (local, peer, origin float64) {
+	c := int64(d.cfg.C)
+	local = d.F(c - x)
+	network := d.F(c + int64(d.cfg.Routers-1)*x)
+	return local, network - local, 1 - network
+}

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// discreteCfg returns a small integer-valued configuration the exact
+// harmonic sums can handle quickly.
+func discreteCfg(alpha, gamma, s float64) Config {
+	cfg := Config{
+		S:        s,
+		N:        100000,
+		C:        200,
+		Routers:  20,
+		Lat:      LatencyFromGamma(1, 2.2842, gamma),
+		UnitCost: 26.7,
+		Alpha:    alpha,
+	}
+	cfg.Amortization = 1 / discretePDF(cfg)
+	return cfg
+}
+
+// discretePDF mirrors the figure-harness amortization for the small N.
+func discretePDF(c Config) float64 {
+	return (1 - c.S) / (math.Pow(c.N, 1-c.S) - 1) * math.Pow(c.C, -c.S)
+}
+
+func TestNewDiscreteValidation(t *testing.T) {
+	good := discreteCfg(1, 5, 0.8)
+	if _, err := NewDiscrete(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.N = 1000.5
+	if _, err := NewDiscrete(bad); err == nil {
+		t.Error("fractional N should be rejected")
+	}
+	bad = good
+	bad.C = 0
+	if _, err := NewDiscrete(bad); err == nil {
+		t.Error("zero C should be rejected")
+	}
+	bad = good
+	bad.S = -1
+	if _, err := NewDiscrete(bad); err == nil {
+		t.Error("negative s should be rejected")
+	}
+}
+
+// TestDiscreteMatchesContinuousT: Eq. (6) is an approximation of the
+// harmonic ratio; for moderate parameters the two latencies track each
+// other within a few percent of the latency span.
+func TestDiscreteMatchesContinuousT(t *testing.T) {
+	for _, s := range []float64{0.6, 0.8, 1.3} {
+		cfg := discreteCfg(1, 5, s)
+		d, err := NewDiscrete(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := cfg.Lat.D2 - cfg.Lat.D0
+		for _, x := range []int64{0, 20, 100, 180} {
+			exact := d.T(x)
+			approx := cfg.T(float64(x))
+			if math.Abs(exact-approx) > 0.08*span {
+				t.Errorf("s=%v x=%d: discrete %v vs continuous %v (span %v)", s, x, exact, approx, span)
+			}
+		}
+	}
+}
+
+func TestDiscreteTierRatiosSumToOne(t *testing.T) {
+	d, err := NewDiscrete(discreteCfg(1, 5, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{0, 50, 150, 200} {
+		local, peer, origin := d.HitRatios(x)
+		if sum := local + peer + origin; math.Abs(sum-1) > 1e-12 {
+			t.Errorf("x=%d: ratios sum to %v", x, sum)
+		}
+		if local < 0 || peer < 0 || origin < 0 {
+			t.Errorf("x=%d: negative tier ratio (%v, %v, %v)", x, local, peer, origin)
+		}
+	}
+}
+
+func TestDiscreteOptimalBeatsGrid(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1} {
+		d, err := NewDiscrete(discreteCfg(alpha, 5, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xStar := d.OptimalX()
+		best := d.Tw(xStar)
+		for x := int64(0); x <= 200; x += 10 {
+			if d.Tw(x) < best-1e-12 {
+				t.Errorf("alpha=%v: Tw(%d)=%v beats Tw(x*=%d)=%v", alpha, x, d.Tw(x), xStar, best)
+			}
+		}
+	}
+}
+
+// TestDiscreteOptimalNearContinuous: the integer optimum should land
+// within a few slots of the continuous one.
+func TestDiscreteOptimalNearContinuous(t *testing.T) {
+	cfg := discreteCfg(0.8, 5, 0.8)
+	d, err := NewDiscrete(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, err := cfg.OptimalX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := d.OptimalX()
+	if math.Abs(float64(xd)-xc) > 0.05*cfg.C {
+		t.Errorf("discrete x* = %d vs continuous %v", xd, xc)
+	}
+}
+
+func TestDiscreteOriginLoad(t *testing.T) {
+	d, err := NewDiscrete(discreteCfg(1, 5, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0, l1 := d.OriginLoad(0), d.OriginLoad(100); l1 >= l0 {
+		t.Errorf("origin load should drop with coordination: %v -> %v", l0, l1)
+	}
+	_, _, origin := d.HitRatios(50)
+	if got := d.OriginLoad(50); math.Abs(got-origin) > 1e-12 {
+		t.Errorf("OriginLoad inconsistent with HitRatios: %v vs %v", got, origin)
+	}
+}
+
+func TestHeteroValidate(t *testing.T) {
+	good := HeteroConfig{
+		S: 0.8, N: 1e6,
+		Capacities: []float64{500, 1000, 2000},
+		Lat:        LatencyFromGamma(1, 2.2842, 5),
+		UnitCost:   26.7, Alpha: 0.8,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hetero config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*HeteroConfig)
+	}{
+		{"one router", func(h *HeteroConfig) { h.Capacities = []float64{100} }},
+		{"zero capacity", func(h *HeteroConfig) { h.Capacities = []float64{0, 100} }},
+		{"small N", func(h *HeteroConfig) { h.N = 100 }},
+		{"singular s", func(h *HeteroConfig) { h.S = 1 }},
+		{"bad latency", func(h *HeteroConfig) { h.Lat = Latency{3, 2, 1} }},
+		{"bad alpha", func(h *HeteroConfig) { h.Alpha = 2 }},
+		{"zero cost", func(h *HeteroConfig) { h.UnitCost = 0; h.Alpha = 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := good
+			h.Capacities = append([]float64(nil), good.Capacities...)
+			tt.mutate(&h)
+			if err := h.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+// TestHeteroReducesToHomogeneous: with equal capacities the heterogeneous
+// optimum must coincide with the homogeneous model's.
+func TestHeteroReducesToHomogeneous(t *testing.T) {
+	cfg := usA(0.8, 5, 0.8)
+	caps := make([]float64, cfg.Routers)
+	for i := range caps {
+		caps[i] = cfg.C
+	}
+	h := HeteroConfig{
+		S: cfg.S, N: cfg.N, Capacities: caps, Lat: cfg.Lat,
+		UnitCost: cfg.UnitCost, Alpha: cfg.Alpha, Amortization: cfg.Amortization,
+	}
+	if !h.homogeneous() {
+		t.Fatal("equal capacities not detected as homogeneous")
+	}
+	want, err := cfg.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("hetero equal-capacity l* = %v, homogeneous = %v", got, want)
+	}
+	// And the latencies agree pointwise.
+	for _, l := range []float64{0, 0.3, 0.7} {
+		if th, tc := h.T(l), cfg.T(l*cfg.C); math.Abs(th-tc) > 1e-9 {
+			t.Errorf("T mismatch at l=%v: hetero %v vs homogeneous %v", l, th, tc)
+		}
+	}
+}
+
+func TestHeteroOptimalBeatsGrid(t *testing.T) {
+	h := HeteroConfig{
+		S: 0.8, N: 1e6,
+		Capacities: []float64{200, 500, 1000, 3000, 800, 400, 900, 1500, 600, 700},
+		Lat:        LatencyFromGamma(1, 2.2842, 5),
+		UnitCost:   26.7, Alpha: 0.9,
+		Amortization: 1e6,
+	}
+	l, err := h.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := h.Tw(l)
+	for alt := 0.0; alt < 1; alt += 0.05 {
+		if h.Tw(alt) < best-1e-6*math.Abs(best) {
+			t.Errorf("Tw(%v)=%v beats Tw(l*=%v)=%v", alt, h.Tw(alt), l, best)
+		}
+	}
+}
+
+func TestHeteroAlphaZero(t *testing.T) {
+	h := HeteroConfig{
+		S: 0.8, N: 1e6,
+		Capacities: []float64{500, 1000},
+		Lat:        LatencyFromGamma(1, 2.2842, 5),
+		UnitCost:   26.7, Alpha: 0,
+	}
+	l, err := h.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 {
+		t.Errorf("alpha=0: l* = %v, want 0", l)
+	}
+}
+
+func TestHeteroTotalCapacity(t *testing.T) {
+	h := HeteroConfig{Capacities: []float64{1, 2, 3.5}}
+	if got := h.TotalCapacity(); got != 6.5 {
+		t.Errorf("TotalCapacity = %v, want 6.5", got)
+	}
+}

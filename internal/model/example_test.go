@@ -1,0 +1,45 @@
+package model_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/model"
+)
+
+// ExampleConfig_OptimalGains provisions a 20-router network at the
+// paper's Table IV base point.
+func ExampleConfig_OptimalGains() {
+	cfg := model.Config{
+		S: 0.8, N: 1e6, C: 1e3, Routers: 20,
+		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
+		UnitCost: 26.7, Alpha: 0.8, Amortization: 1e6,
+	}
+	g, err := cfg.OptimalGains()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("l* = %.3f, G_O = %.1f%%, G_R = %.1f%%\n",
+		g.Level, 100*g.OriginReduction, 100*g.RoutingGain)
+	// Output: l* = 0.927, G_O = 26.6%, G_R = 18.3%
+}
+
+// ExampleClosedFormLevel shows the paper's headline asymmetry: the two
+// sides of the Zipf singular point s = 1 demand opposite strategies in
+// large networks.
+func ExampleClosedFormLevel() {
+	for _, n := range []int{10, 1000} {
+		fmt.Printf("n=%4d: s=0.8 -> %.2f, s=1.6 -> %.2f\n",
+			n, model.ClosedFormLevel(5, n, 0.8), model.ClosedFormLevel(5, n, 1.6))
+	}
+	// Output:
+	// n=  10: s=0.8 -> 0.93, s=1.6 -> 0.54
+	// n=1000: s=0.8 -> 0.98, s=1.6 -> 0.17
+}
+
+// ExampleLatency_Gamma derives the tiered latency ratio from measured
+// latencies.
+func ExampleLatency_Gamma() {
+	l := model.Latency{D0: 10, D1: 30, D2: 130}
+	fmt.Printf("gamma = %g\n", l.Gamma())
+	// Output: gamma = 5
+}

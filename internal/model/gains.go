@@ -1,0 +1,61 @@
+package model
+
+// This file implements Section IV-E: the performance gains obtained by
+// provisioning storage at the optimal strategy instead of the fully
+// non-coordinated baseline (x = 0).
+
+// OriginLoadReduction returns G_O, the relative reduction of traffic load
+// on the origin server when the network runs at coordinated allocation x
+// instead of x = 0:
+//
+//	G_O = 1 - (1 - F(c+(n-1)x)) / (1 - F(c))
+//	    = ((c+(n-1)x)^(1-s) - c^(1-s)) / (N^(1-s) - c^(1-s)).
+//
+// The result lies in [0, 1]; 1 means the origin serves no requests at all.
+func (c Config) OriginLoadReduction(x float64) float64 {
+	x = clamp(x, 0, c.C)
+	baseline := 1 - c.F(c.C)
+	if baseline <= 0 {
+		return 0 // a single cache already absorbs everything
+	}
+	coordinated := 1 - c.F(c.C+float64(c.Routers-1)*x)
+	return 1 - coordinated/baseline
+}
+
+// RoutingImprovement returns G_R, the relative improvement of the mean
+// routing latency at coordinated allocation x versus x = 0:
+//
+//	G_R = 1 - T(x) / T(0).
+//
+// It lies in [0, 1) whenever coordination helps and can be negative if x
+// is worse than no coordination (e.g., forced over-coordination under
+// s > 1 with few routers).
+func (c Config) RoutingImprovement(x float64) float64 {
+	t0 := c.T0()
+	if t0 <= 0 {
+		return 0
+	}
+	return 1 - c.T(x)/t0
+}
+
+// Gains bundles both Section IV-E metrics at the model's optimal strategy.
+type Gains struct {
+	Level           float64 // l* = x*/c
+	X               float64 // x*
+	OriginReduction float64 // G_O at x*
+	RoutingGain     float64 // G_R at x*
+}
+
+// OptimalGains computes the optimal allocation and both gains in one call.
+func (c Config) OptimalGains() (Gains, error) {
+	x, err := c.OptimalX()
+	if err != nil {
+		return Gains{}, err
+	}
+	return Gains{
+		Level:           x / c.C,
+		X:               x,
+		OriginReduction: c.OriginLoadReduction(x),
+		RoutingGain:     c.RoutingImprovement(x),
+	}, nil
+}

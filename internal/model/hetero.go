@@ -1,0 +1,167 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ccncoord/internal/solve"
+	"ccncoord/internal/zipf"
+)
+
+// This file implements the paper's first future-work direction: a
+// heterogeneous model in which routers have different storage capacities.
+// Router i dedicates the fraction l of its own capacity c_i to the
+// coordinated pool, so the network jointly stores sum_i(l*c_i) distinct
+// coordinated contents while router i keeps its top (1-l)*c_i contents
+// locally. The mean latency averages Eq. (2) over routers (requests are
+// assumed to arrive uniformly across first-hop routers, matching the
+// homogeneous model's implicit assumption).
+
+// HeteroConfig is the heterogeneous-capacity variant of Config.
+type HeteroConfig struct {
+	S          float64   // Zipf exponent
+	N          float64   // number of contents
+	Capacities []float64 // c_i per router; length defines n
+	Lat        Latency
+	UnitCost   float64 // w
+	FixedCost  float64
+	Alpha      float64
+	// Amortization as in Config; zero means 1.
+	Amortization float64
+}
+
+// Validate checks the heterogeneous analogue of the Lemma 1 conditions.
+func (h HeteroConfig) Validate() error {
+	if len(h.Capacities) <= 1 {
+		return fmt.Errorf("model: heterogeneous network needs more than one router, got %d", len(h.Capacities))
+	}
+	var total float64
+	for i, c := range h.Capacities {
+		if !(c > 0) {
+			return fmt.Errorf("model: capacity of router %d must be positive, got %v", i, c)
+		}
+		total += c
+	}
+	switch {
+	case !(h.N > total):
+		return fmt.Errorf("model: N (%v) should exceed total network storage (%v)", h.N, total)
+	case !(h.S > 0 && h.S < 2) || h.S == 1:
+		return fmt.Errorf("model: Zipf exponent s must lie in (0,1) U (1,2), got %v", h.S)
+	case !h.Lat.Valid():
+		return fmt.Errorf("model: latencies must satisfy 0 < d0 < d1 <= d2, got %+v", h.Lat)
+	case h.Alpha < 0 || h.Alpha > 1:
+		return fmt.Errorf("model: alpha must lie in [0,1], got %v", h.Alpha)
+	case h.Alpha < 1 && !(h.UnitCost > 0):
+		return fmt.Errorf("model: unit cost w must be positive when alpha < 1, got %v", h.UnitCost)
+	}
+	return nil
+}
+
+// rho returns the effective amortization divisor.
+func (h HeteroConfig) rho() float64 {
+	if h.Amortization > 0 {
+		return h.Amortization
+	}
+	return 1
+}
+
+// TotalCapacity returns sum_i c_i.
+func (h HeteroConfig) TotalCapacity() float64 {
+	var total float64
+	for _, c := range h.Capacities {
+		total += c
+	}
+	return total
+}
+
+// homogeneous reports whether all capacities are equal, in which case the
+// heterogeneous model must coincide with Config.
+func (h HeteroConfig) homogeneous() bool {
+	for _, c := range h.Capacities[1:] {
+		if c != h.Capacities[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// T returns the router-averaged mean latency at coordination level
+// l in [0, 1]. Coordinated contents occupy the rank band following each
+// router's local prefix; as in the homogeneous model, the band is shared,
+// so a request at router i is local within its own top (1-l)c_i, served by
+// a peer within the next pooled+local span, and by the origin otherwise.
+func (h HeteroConfig) T(l float64) float64 {
+	l = clamp(l, 0, 1)
+	pool := l * h.TotalCapacity()
+	var sum float64
+	for _, ci := range h.Capacities {
+		localTop := (1 - l) * ci
+		local := ContinuousF(localTop, h.S, h.N)
+		// Distinct contents reachable in-network from router i: its own
+		// local prefix plus the pooled coordinated band plus peers' local
+		// prefixes beyond its own are duplicates of the same top ranks, so
+		// the in-network span is max over peers' local prefix + pool.
+		span := h.maxLocalTop(l) + pool
+		network := ContinuousF(span, h.S, h.N)
+		if network < local {
+			network = local
+		}
+		sum += local*h.Lat.D0 + (network-local)*h.Lat.D1 + (1-network)*h.Lat.D2
+	}
+	return sum / float64(len(h.Capacities))
+}
+
+// maxLocalTop returns the largest local prefix across routers at level l.
+func (h HeteroConfig) maxLocalTop(l float64) float64 {
+	var m float64
+	for _, ci := range h.Capacities {
+		if v := (1 - l) * ci; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// W returns the coordination cost at level l: each router contributes
+// messages proportional to its coordinated share l*c_i.
+func (h HeteroConfig) W(l float64) float64 {
+	return (h.UnitCost*l*h.TotalCapacity() + h.FixedCost) / h.rho()
+}
+
+// Tw returns the combined objective at level l.
+func (h HeteroConfig) Tw(l float64) float64 {
+	return h.Alpha*h.T(l) + (1-h.Alpha)*h.W(l)
+}
+
+// OptimalLevel minimizes Tw over l in [0, 1] by golden-section search
+// (the objective is convex in l for the same reasons as Lemma 1; we avoid
+// relying on a closed-form derivative for the max term).
+func (h HeteroConfig) OptimalLevel() (float64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	if h.Alpha == 0 {
+		return 0, nil
+	}
+	minC := math.Inf(1)
+	for _, c := range h.Capacities {
+		minC = math.Min(minC, c)
+	}
+	// Stay one content object away from the l=1 singularity of the
+	// smallest router's local prefix.
+	hi := 1 - 1/minC
+	if hi <= 0 {
+		return 0, nil
+	}
+	l, err := solve.GoldenSection(h.Tw, 0, hi, 1e-10)
+	if err != nil {
+		return 0, fmt.Errorf("model: heterogeneous optimization: %w", err)
+	}
+	return l, nil
+}
+
+// ContinuousF exposes the Eq. (6) CDF at package level for callers that
+// have raw parameters rather than a Config.
+func ContinuousF(x, s, n float64) float64 {
+	return zipf.ContinuousCDF(x, s, n)
+}

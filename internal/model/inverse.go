@@ -1,0 +1,112 @@
+package model
+
+import (
+	"fmt"
+
+	"ccncoord/internal/solve"
+)
+
+// This file provides inverse queries on the optimal strategy, useful
+// when a carrier works backwards from a provisioning target ("how much
+// must we value performance to justify coordinating half the fleet?").
+
+// AlphaForLevel returns the trade-off weight alpha at which the optimal
+// coordination level first reaches target (in (0, 1)). Because l*(alpha)
+// is nondecreasing, the answer is unique up to flat regions; the lowest
+// such alpha is returned. It fails if even alpha = 1 cannot reach the
+// target. The configuration's own Alpha is ignored.
+func (c Config) AlphaForLevel(target float64) (float64, error) {
+	if !(target > 0 && target < 1) {
+		return 0, fmt.Errorf("model: target level %v outside (0, 1)", target)
+	}
+	probe := c
+	probe.Alpha = 1
+	if err := probe.Validate(); err != nil {
+		return 0, err
+	}
+	levelAt := func(alpha float64) (float64, error) {
+		probe := c
+		probe.Alpha = alpha
+		return probe.OptimalLevel()
+	}
+	top, err := levelAt(1)
+	if err != nil {
+		return 0, err
+	}
+	if top < target {
+		return 0, fmt.Errorf("model: target level %v unreachable; l*(alpha=1) = %v", target, top)
+	}
+	const eps = 1e-6
+	bottom, err := levelAt(eps)
+	if err != nil {
+		return 0, err
+	}
+	if bottom >= target {
+		return eps, nil
+	}
+	root, err := solve.Bisect(func(a float64) float64 {
+		l, err := levelAt(a)
+		if err != nil {
+			// Force the bracket away from invalid regions; Validate only
+			// rejects alpha outside [0,1], which Bisect never probes.
+			return -1
+		}
+		return l - target
+	}, eps, 1, 1e-6)
+	if err != nil {
+		return 0, fmt.Errorf("model: inverting l*(alpha): %w", err)
+	}
+	return root, nil
+}
+
+// CostBudgetForLevel returns the largest unit coordination cost w under
+// which the optimal level still reaches target, holding everything else
+// (including Alpha < 1) fixed. l*(w) is nonincreasing, so the answer is
+// the unique crossing; it fails if the target is unreachable even at
+// negligible cost or if Alpha = 1 (then w is irrelevant).
+func (c Config) CostBudgetForLevel(target float64) (float64, error) {
+	if !(target > 0 && target < 1) {
+		return 0, fmt.Errorf("model: target level %v outside (0, 1)", target)
+	}
+	if c.Alpha >= 1 {
+		return 0, fmt.Errorf("model: cost budget is undefined at alpha = 1 (cost never matters)")
+	}
+	levelAt := func(w float64) (float64, error) {
+		probe := c
+		probe.UnitCost = w
+		return probe.OptimalLevel()
+	}
+	const wMin, wMax = 1e-9, 1e9
+	if err := func() error {
+		probe := c
+		probe.UnitCost = wMin
+		return probe.Validate()
+	}(); err != nil {
+		return 0, err
+	}
+	atMin, err := levelAt(wMin)
+	if err != nil {
+		return 0, err
+	}
+	if atMin < target {
+		return 0, fmt.Errorf("model: target level %v unreachable even at negligible cost (l* = %v)", target, atMin)
+	}
+	atMax, err := levelAt(wMax)
+	if err != nil {
+		return 0, err
+	}
+	if atMax >= target {
+		return wMax, nil
+	}
+	root, err := solve.Bisect(func(w float64) float64 {
+		l, err := levelAt(w)
+		if err != nil {
+			return -1
+		}
+		return l - target
+	}, wMin, wMax, 1e-6)
+	if err != nil {
+		return 0, fmt.Errorf("model: inverting l*(w): %w", err)
+	}
+	return root, nil
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlphaForLevelRoundTrip(t *testing.T) {
+	cfg := usA(0.5, 5, 0.8)
+	cfg.Amortization = cfg.N
+	for _, target := range []float64{0.2, 0.5, 0.8} {
+		alpha, err := cfg.AlphaForLevel(target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		probe := cfg
+		probe.Alpha = alpha
+		l, err := probe.OptimalLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(l-target) > 0.01 {
+			t.Errorf("target %v: l*(alpha=%v) = %v", target, alpha, l)
+		}
+	}
+}
+
+func TestAlphaForLevelMonotone(t *testing.T) {
+	cfg := usA(0.5, 5, 0.8)
+	cfg.Amortization = cfg.N
+	a1, err := cfg.AlphaForLevel(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cfg.AlphaForLevel(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 >= a2 {
+		t.Errorf("higher targets need higher alpha: %v vs %v", a1, a2)
+	}
+}
+
+func TestAlphaForLevelUnreachable(t *testing.T) {
+	// With s close to 2 and few routers, l*(alpha=1) stays moderate; a
+	// target above it must be rejected.
+	cfg := usA(1, 2, 1.9)
+	top, err := cfg.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.AlphaForLevel(math.Min(0.99, top+0.2)); err == nil {
+		t.Errorf("target above l*(1) = %v should fail", top)
+	}
+}
+
+func TestAlphaForLevelValidation(t *testing.T) {
+	cfg := usA(0.5, 5, 0.8)
+	if _, err := cfg.AlphaForLevel(0); err == nil {
+		t.Error("target 0 should fail")
+	}
+	if _, err := cfg.AlphaForLevel(1); err == nil {
+		t.Error("target 1 should fail")
+	}
+	bad := cfg
+	bad.S = 1
+	if _, err := bad.AlphaForLevel(0.5); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestCostBudgetForLevelRoundTrip(t *testing.T) {
+	cfg := usA(0.6, 5, 0.8)
+	cfg.Amortization = cfg.N
+	target := 0.5
+	w, err := cfg.CostBudgetForLevel(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := cfg
+	probe.UnitCost = w
+	l, err := probe.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-target) > 0.01 {
+		t.Errorf("l*(w=%v) = %v, want %v", w, l, target)
+	}
+	// Cheaper coordination must reach at least the target.
+	probe.UnitCost = w / 2
+	l2, err := probe.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 < target {
+		t.Errorf("halving the cost dropped the level to %v", l2)
+	}
+}
+
+func TestCostBudgetForLevelValidation(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	if _, err := cfg.CostBudgetForLevel(0.5); err == nil {
+		t.Error("alpha = 1 should fail (cost never matters)")
+	}
+	cfg = usA(0.6, 5, 0.8)
+	if _, err := cfg.CostBudgetForLevel(1.5); err == nil {
+		t.Error("target outside (0,1) should fail")
+	}
+}
+
+func TestCostBudgetForLevelUnreachable(t *testing.T) {
+	// At very low alpha the cost term dominates regardless of w... but a
+	// vanishing w always recovers the alpha=1 optimum, so pick a target
+	// above even that.
+	cfg := usA(0.4, 2, 1.9)
+	probe := cfg
+	probe.UnitCost = 1e-9
+	top, err := probe.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top >= 0.95 {
+		t.Skip("free-coordination level too high for this check")
+	}
+	if _, err := cfg.CostBudgetForLevel(math.Min(0.99, top+0.04)); err == nil {
+		t.Errorf("target above free-coordination level %v should fail", top)
+	}
+}

@@ -1,0 +1,294 @@
+// Package model implements the paper's holistic performance-cost model for
+// coordinated in-network caching in content-centric networks (Li, Xie, Wen,
+// Zhang — ICDCS 2013, Sections III-IV).
+//
+// A network of n identical routers, each with storage capacity c (in unit
+// contents), serves requests for N contents whose popularity is Zipf with
+// exponent s. Each router dedicates c-x slots to non-coordinated caching
+// (everyone stores the top-ranked contents) and x slots to coordinated
+// caching (the n routers jointly store the next n*x distinct contents).
+// Serving tiers have mean latencies d0 (local), d1 (peer router), d2
+// (origin). The model combines the mean request latency T(x) (Eq. 2) with
+// the coordination cost W(x) (Eq. 3) into the convex objective T_w (Eq. 4)
+// and exposes the optimal coordination level l* = x*/c along with the
+// origin-load and routing-performance gains of Section IV-E.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ccncoord/internal/solve"
+	"ccncoord/internal/zipf"
+)
+
+// Latency holds the three tiered mean latencies of the model. Any time
+// unit may be used as long as it is consistent; the paper uses
+// milliseconds. The model's optimal strategy depends only on the tier
+// ratio Gamma (the "latency scale free" property of Theorem 2).
+type Latency struct {
+	D0 float64 // client <-> first-hop router, content served locally
+	D1 float64 // content fetched from a peer router in the same domain
+	D2 float64 // content fetched from the origin server
+}
+
+// Valid reports whether d0 < d1 <= d2 and all are positive, the latency
+// ordering required by Lemma 1.
+func (l Latency) Valid() bool {
+	return l.D0 > 0 && l.D0 < l.D1 && l.D1 <= l.D2
+}
+
+// T1 returns the first-tier latency ratio t1 = d1/d0.
+func (l Latency) T1() float64 { return l.D1 / l.D0 }
+
+// T2 returns the second-tier latency ratio t2 = d2/d1.
+func (l Latency) T2() float64 { return l.D2 / l.D1 }
+
+// Gamma returns the tiered latency ratio gamma = (d2-d1)/(d1-d0).
+func (l Latency) Gamma() float64 { return (l.D2 - l.D1) / (l.D1 - l.D0) }
+
+// LatencyFromGamma builds a Latency with the given tier gap d1-d0 and
+// tiered ratio gamma, anchored at d0. It is the inverse of Gamma for
+// constructing figure-parameter configurations: d1 = d0 + gap and
+// d2 = d1 + gamma*gap.
+func LatencyFromGamma(d0, gap, gamma float64) Latency {
+	d1 := d0 + gap
+	return Latency{D0: d0, D1: d1, D2: d1 + gamma*gap}
+}
+
+// Config collects every parameter of the performance-cost model. The zero
+// value is not usable; fill in all fields (Amortization may be left 0 for
+// the paper-literal cost formula). See Table IV of the paper for the
+// empirical ranges.
+type Config struct {
+	S       float64 // Zipf exponent, (0,1) U (1,2) per the paper
+	N       float64 // number of contents (>> 1)
+	C       float64 // per-router storage capacity, unit contents
+	Routers int     // n, number of routers (> 1)
+	Lat     Latency // tiered latencies d0 < d1 <= d2
+
+	UnitCost  float64 // w: communication cost per coordinated content per router
+	FixedCost float64 // w-hat: constant computational + enforcement cost
+	Alpha     float64 // trade-off weight in [0,1]; 1 = pure routing performance
+
+	// Amortization (rho) divides the coordination cost, expressing it per
+	// served request rather than per epoch. Zero or negative means 1, the
+	// paper-literal Eq. (3). The figure harness sets it to the
+	// cache-boundary request mass 1/F'(c) (see DESIGN.md section 4).
+	Amortization float64
+}
+
+// rho returns the effective amortization divisor.
+func (c Config) rho() float64 {
+	if c.Amortization > 0 {
+		return c.Amortization
+	}
+	return 1
+}
+
+// Validate checks the Lemma 1 conditions for existence of the optimal
+// strategy. It returns a descriptive error for the first violated
+// condition, or nil if the optimum is guaranteed to exist and be unique.
+func (c Config) Validate() error {
+	switch {
+	case !(c.C > 0):
+		return fmt.Errorf("model: capacity c must be positive, got %v", c.C)
+	case !(c.N > 1):
+		return fmt.Errorf("model: content population N must exceed 1, got %v", c.N)
+	case c.Routers <= 1:
+		return fmt.Errorf("model: router count n must exceed 1, got %d", c.Routers)
+	case !(c.S > 0 && c.S < 2):
+		return fmt.Errorf("model: Zipf exponent s must lie in (0,2), got %v", c.S)
+	case c.S == 1:
+		return fmt.Errorf("model: Zipf exponent s = 1 is the singular point excluded by the paper")
+	case !c.Lat.Valid():
+		return fmt.Errorf("model: latencies must satisfy 0 < d0 < d1 <= d2, got %+v", c.Lat)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("model: trade-off weight alpha must lie in [0,1], got %v", c.Alpha)
+	case c.Alpha < 1 && !(c.UnitCost > 0):
+		return fmt.Errorf("model: unit coordination cost w must be positive when alpha < 1, got %v", c.UnitCost)
+	case c.N < c.C*float64(c.Routers):
+		return fmt.Errorf("model: N (%v) should exceed the total network storage n*c (%v) for the model to be meaningful", c.N, c.C*float64(c.Routers))
+	}
+	return nil
+}
+
+// F returns the continuous cumulative popularity F(y; s, N) of Eq. (6).
+func (c Config) F(y float64) float64 {
+	return zipf.ContinuousCDF(y, c.S, c.N)
+}
+
+// T returns the mean request latency of Eq. (2) at coordinated allocation
+// x in [0, c]:
+//
+//	T(x) = F(c-x) d0 + [F(c+(n-1)x) - F(c-x)] d1 + [1 - F(c+(n-1)x)] d2.
+//
+// Arguments outside [0, c] are clamped.
+func (c Config) T(x float64) float64 {
+	x = clamp(x, 0, c.C)
+	local := c.F(c.C - x)
+	network := c.F(c.C + float64(c.Routers-1)*x)
+	if network < local {
+		network = local // guard against rounding at the domain edges
+	}
+	return local*c.Lat.D0 + (network-local)*c.Lat.D1 + (1-network)*c.Lat.D2
+}
+
+// T0 returns the non-coordinated mean latency T(0).
+func (c Config) T0() float64 { return c.T(0) }
+
+// W returns the coordination cost of Eq. (3), amortized by rho:
+//
+//	W(x) = (w n x + w-hat) / rho.
+func (c Config) W(x float64) float64 {
+	return (c.UnitCost*float64(c.Routers)*x + c.FixedCost) / c.rho()
+}
+
+// Tw returns the combined objective of Eq. (4):
+// alpha*T(x) + (1-alpha)*W(x).
+func (c Config) Tw(x float64) float64 {
+	return c.Alpha*c.T(x) + (1-c.Alpha)*c.W(x)
+}
+
+// DTw returns the analytic first derivative of Tw (Appendix Eq. 10),
+// valid on the interior domain 1 <= c-x and c+(n-1)x <= N:
+//
+//	(1-s) alpha / (N^(1-s)-1) * [ (d1-d0)(c-x)^-s - (d2-d1)(n-1)(c+(n-1)x)^-s ]
+//	+ (1-alpha) w n / rho.
+func (c Config) DTw(x float64) float64 {
+	n := float64(c.Routers)
+	dLocal := zipf.ContinuousPDF(c.C-x, c.S, c.N)
+	dNetwork := zipf.ContinuousPDF(c.C+(n-1)*x, c.S, c.N)
+	perf := (c.Lat.D1-c.Lat.D0)*dLocal - (c.Lat.D2-c.Lat.D1)*(n-1)*dNetwork
+	return c.Alpha*perf + (1-c.Alpha)*c.UnitCost*n/c.rho()
+}
+
+// D2Tw returns the analytic second derivative of Tw on the interior
+// domain; positivity is the convexity claim of Lemma 1.
+func (c Config) D2Tw(x float64) float64 {
+	n := float64(c.Routers)
+	s := c.S
+	coeff := func(y float64) float64 {
+		if y <= 1 || y >= c.N {
+			return 0
+		}
+		// d/dy of F'(y) = -s * F'(y) / y
+		return -s * zipf.ContinuousPDF(y, s, c.N) / y
+	}
+	// d/dx F'(c-x) = -coeff(c-x); d/dx F'(c+(n-1)x) = (n-1)*coeff(...).
+	// coeff is negative, so both contributions below are positive.
+	perf := -(c.Lat.D1-c.Lat.D0)*coeff(c.C-x) - (c.Lat.D2-c.Lat.D1)*(n-1)*(n-1)*coeff(c.C+(n-1)*x)
+	return c.Alpha * perf
+}
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// optTol is the absolute tolerance on x for the convex minimization; with
+// capacities of 10^3..10^9 contents a 1e-9-relative tolerance is far below
+// one content object.
+const optTol = 1e-12
+
+// OptimalX minimizes Tw over x in [0, c] (Eq. 5) and returns the optimal
+// coordinated allocation x*. The search runs on [0, c-1] because the last
+// unit of local storage makes F(c-x) reach its domain edge; the omitted
+// sliver is below one content object of resolution.
+func (c Config) OptimalX() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if c.Alpha == 0 {
+		// Pure cost: W increases in x, so no coordination.
+		return 0, nil
+	}
+	hi := c.C - 1
+	if hi <= 0 {
+		return 0, nil
+	}
+	x, err := solve.MinimizeConvexBounded(c.DTw, 0, hi, optTol*c.C)
+	if err != nil {
+		return 0, fmt.Errorf("model: optimizing Tw: %w", err)
+	}
+	return x, nil
+}
+
+// OptimalLevel returns the optimal strategy l* = x*/c in [0, 1].
+func (c Config) OptimalLevel() (float64, error) {
+	x, err := c.OptimalX()
+	if err != nil {
+		return 0, err
+	}
+	return x / c.C, nil
+}
+
+// A returns the fixed-point coefficient a ~= gamma * n^(1-s) of Lemma 2.
+func (c Config) A() float64 {
+	return c.Lat.Gamma() * math.Pow(float64(c.Routers), 1-c.S)
+}
+
+// B returns the fixed-point coefficient of Lemma 2,
+//
+//	b ~= (1-alpha)/alpha * (N^(1-s)-1)/(1-s) * (n-1) w c^s / ((d1-d0) rho),
+//
+// which is nonnegative for all s in (0,1) U (1,2). It is +Inf at alpha=0
+// and 0 at alpha=1.
+func (c Config) B() float64 {
+	if c.Alpha == 0 {
+		return math.Inf(1)
+	}
+	popScale := (math.Pow(c.N, 1-c.S) - 1) / (1 - c.S)
+	return (1 - c.Alpha) / c.Alpha * popScale *
+		float64(c.Routers-1) * c.UnitCost * math.Pow(c.C, c.S) /
+		((c.Lat.D1 - c.Lat.D0) * c.rho())
+}
+
+// FixedPointLevel solves Lemma 2's equation a*l^-s = (1-l)^-s + b for the
+// optimal strategy l* on (0,1). Theorem 1 guarantees a unique solution:
+// the left side decreases monotonically from +Inf to a while the right
+// side increases from 1+b to +Inf. It is an approximation of OptimalLevel
+// that replaces 1+(n-1)l by n*l (accurate for large n*l).
+func (c Config) FixedPointLevel() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if c.Alpha == 0 {
+		return 0, nil
+	}
+	a, b := c.A(), c.B()
+	if math.IsInf(b, 1) {
+		return 0, nil
+	}
+	g := func(l float64) float64 {
+		return a*math.Pow(l, -c.S) - math.Pow(1-l, -c.S) - b
+	}
+	const eps = 1e-12
+	root, err := solve.Brent(g, eps, 1-eps, 1e-14)
+	if err != nil {
+		return 0, fmt.Errorf("model: fixed point of Lemma 2: %w", err)
+	}
+	return root, nil
+}
+
+// ClosedFormLevel returns Theorem 2's closed-form optimal strategy for
+// alpha = 1:
+//
+//	l* = 1 / (1 + gamma^(-1/s) * n^(1-1/s)).
+//
+// Note the gamma exponent: the paper's Eq. (8) prints gamma^(+1/s), which
+// contradicts its own Eq. (7)/(9), the Figure 4 claim that larger gamma
+// yields more coordination, and the quoted l*(s->2) ~= 0.35 at gamma=5,
+// n=20. This is the derivation-consistent form; see PaperClosedFormLevel
+// for the printed one. The asymptotics match the paper's discussion:
+// s in (0,1) gives l* -> 1 and s in (1,2) gives l* -> 0 as n grows.
+func ClosedFormLevel(gamma float64, n int, s float64) float64 {
+	return 1 / (1 + math.Pow(gamma, -1/s)*math.Pow(float64(n), 1-1/s))
+}
+
+// PaperClosedFormLevel returns Eq. (8) exactly as printed,
+// l* = 1/(gamma^(1/s) n^(1-1/s) + 1). Retained for documentation and the
+// erratum tests; use ClosedFormLevel for actual provisioning.
+func PaperClosedFormLevel(gamma float64, n int, s float64) float64 {
+	return 1 / (math.Pow(gamma, 1/s)*math.Pow(float64(n), 1-1/s) + 1)
+}

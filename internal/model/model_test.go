@@ -1,0 +1,589 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccncoord/internal/solve"
+	"ccncoord/internal/zipf"
+)
+
+// usA returns the paper's Table IV base configuration (US-A topology
+// parameters: n=20, w=26.7, d1-d0=2.2842 hops) with the figure-harness
+// amortization. Callers override fields as needed.
+func usA(alpha, gamma, s float64) Config {
+	const (
+		nContents = 1e6
+		capacity  = 1e3
+	)
+	return Config{
+		S:            s,
+		N:            nContents,
+		C:            capacity,
+		Routers:      20,
+		Lat:          LatencyFromGamma(1, 2.2842, gamma),
+		UnitCost:     26.7,
+		Alpha:        alpha,
+		Amortization: zipf.BoundaryMass(capacity, s, nContents),
+	}
+}
+
+func TestLatencyRatios(t *testing.T) {
+	l := Latency{D0: 10, D1: 30, D2: 130}
+	if got := l.T1(); got != 3 {
+		t.Errorf("T1 = %v, want 3", got)
+	}
+	if got := l.T2(); math.Abs(got-130.0/30) > 1e-15 {
+		t.Errorf("T2 = %v, want %v", got, 130.0/30)
+	}
+	if got := l.Gamma(); got != 5 {
+		t.Errorf("Gamma = %v, want 5", got)
+	}
+	if !l.Valid() {
+		t.Error("latency should be valid")
+	}
+}
+
+func TestLatencyValid(t *testing.T) {
+	tests := []struct {
+		name string
+		l    Latency
+		want bool
+	}{
+		{"ordered", Latency{1, 3, 10}, true},
+		{"d1 == d2", Latency{1, 3, 3}, true},
+		{"d0 == d1", Latency{3, 3, 10}, false},
+		{"d0 > d1", Latency{5, 3, 10}, false},
+		{"d2 < d1", Latency{1, 5, 3}, false},
+		{"zero d0", Latency{0, 3, 10}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.Valid(); got != tt.want {
+				t.Errorf("Valid() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLatencyFromGamma(t *testing.T) {
+	l := LatencyFromGamma(2, 3, 5)
+	if l.D0 != 2 || l.D1 != 5 || l.D2 != 20 {
+		t.Errorf("LatencyFromGamma = %+v, want {2 5 20}", l)
+	}
+	if got := l.Gamma(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("round-trip Gamma = %v, want 5", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := usA(0.5, 5, 0.8)
+	mutate := func(f func(*Config)) Config {
+		c := base
+		f(&c)
+		return c
+	}
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", base, false},
+		{"zero capacity", mutate(func(c *Config) { c.C = 0 }), true},
+		{"tiny N", mutate(func(c *Config) { c.N = 1 }), true},
+		{"one router", mutate(func(c *Config) { c.Routers = 1 }), true},
+		{"s=0", mutate(func(c *Config) { c.S = 0 }), true},
+		{"s=1 singular", mutate(func(c *Config) { c.S = 1 }), true},
+		{"s=2", mutate(func(c *Config) { c.S = 2 }), true},
+		{"bad latency order", mutate(func(c *Config) { c.Lat = Latency{5, 3, 10} }), true},
+		{"alpha out of range", mutate(func(c *Config) { c.Alpha = 1.5 }), true},
+		{"negative alpha", mutate(func(c *Config) { c.Alpha = -0.1 }), true},
+		{"zero cost with alpha<1", mutate(func(c *Config) { c.UnitCost = 0 }), true},
+		{"zero cost ok at alpha=1", mutate(func(c *Config) { c.UnitCost = 0; c.Alpha = 1 }), false},
+		{"N below network storage", mutate(func(c *Config) { c.N = 1e4 }), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestTNonCoordinatedClosedForm checks T(0) against the paper's closed
+// form in Section IV-E2:
+//
+//	T(0) = ((N^(1-s)-c^(1-s)) d2 + (c^(1-s)-1) d0) / (N^(1-s)-1).
+func TestTNonCoordinatedClosedForm(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.3, 1.9} {
+		cfg := usA(1, 5, s)
+		num := (math.Pow(cfg.N, 1-s)-math.Pow(cfg.C, 1-s))*cfg.Lat.D2 +
+			(math.Pow(cfg.C, 1-s)-1)*cfg.Lat.D0
+		want := num / (math.Pow(cfg.N, 1-s) - 1)
+		if got := cfg.T0(); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("s=%v: T(0) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestTTierWeightsSumToOne(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	for _, x := range []float64{0, 10, 100, 500, 999} {
+		local := cfg.F(cfg.C - x)
+		network := cfg.F(cfg.C + float64(cfg.Routers-1)*x)
+		total := local + (network - local) + (1 - network)
+		if math.Abs(total-1) > 1e-12 {
+			t.Errorf("x=%v: tier probabilities sum to %v", x, total)
+		}
+	}
+}
+
+func TestTBounds(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	for x := 0.0; x <= cfg.C; x += 50 {
+		v := cfg.T(x)
+		if v < cfg.Lat.D0 || v > cfg.Lat.D2 {
+			t.Errorf("T(%v) = %v outside [d0=%v, d2=%v]", x, v, cfg.Lat.D0, cfg.Lat.D2)
+		}
+	}
+}
+
+func TestTClampsArguments(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	if got, want := cfg.T(-50), cfg.T(0); got != want {
+		t.Errorf("T(-50) = %v, want T(0) = %v", got, want)
+	}
+	if got, want := cfg.T(cfg.C+50), cfg.T(cfg.C); got != want {
+		t.Errorf("T(c+50) = %v, want T(c) = %v", got, want)
+	}
+}
+
+func TestWLinear(t *testing.T) {
+	cfg := Config{UnitCost: 2, FixedCost: 7, Routers: 10}
+	if got := cfg.W(0); got != 7 {
+		t.Errorf("W(0) = %v, want fixed cost 7", got)
+	}
+	if got := cfg.W(3); got != 2*10*3+7 {
+		t.Errorf("W(3) = %v, want 67", got)
+	}
+	cfg.Amortization = 10
+	if got := cfg.W(3); got != 6.7 {
+		t.Errorf("amortized W(3) = %v, want 6.7", got)
+	}
+}
+
+// TestDTwMatchesNumericDerivative verifies the analytic Eq. (10) gradient
+// against central differences of Tw across the interior domain.
+func TestDTwMatchesNumericDerivative(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.3, 1.9} {
+		for _, alpha := range []float64{0.3, 0.7, 1} {
+			cfg := usA(alpha, 5, s)
+			for _, x := range []float64{10, 100, 400, 900} {
+				h := 1e-3
+				num := (cfg.Tw(x+h) - cfg.Tw(x-h)) / (2 * h)
+				ana := cfg.DTw(x)
+				scale := math.Max(math.Abs(num), math.Abs(ana))
+				if math.Abs(num-ana) > 1e-5*math.Max(scale, 1e-9) {
+					t.Errorf("s=%v alpha=%v x=%v: numeric %v vs analytic %v", s, alpha, x, num, ana)
+				}
+			}
+		}
+	}
+}
+
+// TestConvexity is Lemma 1: the second derivative is positive on the
+// interior domain for all admissible parameter combinations.
+func TestConvexity(t *testing.T) {
+	for _, s := range []float64{0.1, 0.5, 0.8, 1.2, 1.9} {
+		for _, alpha := range []float64{0.2, 0.5, 1} {
+			cfg := usA(alpha, 5, s)
+			for _, x := range []float64{1, 10, 100, 500, 990} {
+				if d2 := cfg.D2Tw(x); d2 <= 0 && alpha > 0 {
+					t.Errorf("s=%v alpha=%v x=%v: D2Tw = %v, want > 0", s, alpha, x, d2)
+				}
+				num := (cfg.Tw(x+1) - 2*cfg.Tw(x) + cfg.Tw(x-1))
+				if num < -1e-9 {
+					t.Errorf("s=%v alpha=%v x=%v: numeric curvature %v negative", s, alpha, x, num)
+				}
+			}
+		}
+	}
+}
+
+func TestD2TwMatchesNumeric(t *testing.T) {
+	cfg := usA(0.7, 5, 0.8)
+	for _, x := range []float64{50, 200, 600} {
+		h := 0.5
+		num := (cfg.Tw(x+h) - 2*cfg.Tw(x) + cfg.Tw(x-h)) / (h * h)
+		ana := cfg.D2Tw(x)
+		if math.Abs(num-ana) > 1e-4*math.Max(math.Abs(ana), 1e-12) {
+			t.Errorf("x=%v: numeric %v vs analytic %v", x, num, ana)
+		}
+	}
+}
+
+func TestOptimalXStationarity(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.3} {
+		for _, alpha := range []float64{0.4, 0.8, 1} {
+			cfg := usA(alpha, 5, s)
+			x, err := cfg.OptimalX()
+			if err != nil {
+				t.Fatalf("s=%v alpha=%v: %v", s, alpha, err)
+			}
+			if x < 0 || x > cfg.C {
+				t.Fatalf("x* = %v outside [0, c]", x)
+			}
+			// Interior optimum: gradient vanishes. Boundary: gradient
+			// points outward.
+			switch {
+			case x == 0:
+				if cfg.DTw(0) < 0 {
+					t.Errorf("x*=0 but DTw(0) = %v < 0", cfg.DTw(0))
+				}
+			case x >= cfg.C-1:
+				if cfg.DTw(cfg.C-1) > 0 {
+					t.Errorf("x*=c-1 but DTw(c-1) = %v > 0", cfg.DTw(cfg.C-1))
+				}
+			default:
+				if g := cfg.DTw(x); math.Abs(g) > 1e-6*math.Abs(cfg.DTw(0)) {
+					t.Errorf("s=%v alpha=%v: |DTw(x*)| = %v not ~ 0", s, alpha, g)
+				}
+			}
+			// x* must beat a grid of alternatives.
+			best := cfg.Tw(x)
+			for _, alt := range []float64{0, 10, 100, 250, 500, 750, 999} {
+				if cfg.Tw(alt) < best-1e-9*math.Abs(best) {
+					t.Errorf("s=%v alpha=%v: Tw(%v)=%v beats Tw(x*=%v)=%v",
+						s, alpha, alt, cfg.Tw(alt), x, best)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalXInvalidConfig(t *testing.T) {
+	cfg := usA(0.5, 5, 0.8)
+	cfg.S = 1
+	if _, err := cfg.OptimalX(); err == nil {
+		t.Error("OptimalX on singular s=1 should fail")
+	}
+}
+
+func TestOptimalLevelAlphaZero(t *testing.T) {
+	cfg := usA(0, 5, 0.8)
+	l, err := cfg.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 {
+		t.Errorf("alpha=0: l* = %v, want 0 (pure cost minimization)", l)
+	}
+}
+
+// TestOptimalLevelMonotoneInAlpha reproduces the Figure 4 trend: more
+// weight on routing performance means more coordination.
+func TestOptimalLevelMonotoneInAlpha(t *testing.T) {
+	for _, gamma := range []float64{2, 6, 10} {
+		prev := -1.0
+		for alpha := 0.05; alpha <= 1.0; alpha += 0.05 {
+			cfg := usA(alpha, gamma, 0.8)
+			l, err := cfg.OptimalLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l < prev-1e-9 {
+				t.Errorf("gamma=%v: l*(%v) = %v < l* at previous alpha %v", gamma, alpha, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+// TestOptimalLevelMonotoneInGamma reproduces the other Figure 4 trend:
+// for fixed alpha, a larger tiered latency ratio favors coordination.
+func TestOptimalLevelMonotoneInGamma(t *testing.T) {
+	for _, alpha := range []float64{0.5, 0.8, 1} {
+		prev := -1.0
+		for _, gamma := range []float64{2, 4, 6, 8, 10} {
+			l, err := usA(alpha, gamma, 0.8).OptimalLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l < prev-1e-9 {
+				t.Errorf("alpha=%v: l* not monotone in gamma at %v: %v < %v", alpha, gamma, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+// TestScaleFreeProperty is Theorem 2's latency-scale-free property: at
+// alpha = 1 the optimal level depends only on gamma, not on absolute
+// latencies.
+func TestScaleFreeProperty(t *testing.T) {
+	base := usA(1, 5, 0.8)
+	l0, err := base.OptimalLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{0.1, 3, 42} {
+		scaled := base
+		scaled.Lat = Latency{D0: base.Lat.D0 * k, D1: base.Lat.D1 * k, D2: base.Lat.D2 * k}
+		l, err := scaled.OptimalLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(l-l0) > 1e-9 {
+			t.Errorf("scale %v: l* = %v, want %v", k, l, l0)
+		}
+	}
+}
+
+// TestFixedPointMatchesExact compares the Lemma 2 fixed-point solution
+// with direct convex minimization; they differ only by the n*l ~ 1+(n-1)l
+// approximation, so they should agree within a few percent at n=20.
+func TestFixedPointMatchesExact(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.3} {
+		for _, alpha := range []float64{0.5, 0.8, 1} {
+			cfg := usA(alpha, 5, s)
+			exact, err := cfg.OptimalLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := cfg.FixedPointLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(exact-fp) > 0.08 {
+				t.Errorf("s=%v alpha=%v: exact %v vs fixed-point %v", s, alpha, exact, fp)
+			}
+		}
+	}
+}
+
+// TestFixedPointUniqueResidual verifies Theorem 1 numerically: the
+// residual a*l^-s - (1-l)^-s - b is strictly decreasing, so the root the
+// solver finds is the unique one.
+func TestFixedPointUniqueResidual(t *testing.T) {
+	cfg := usA(0.6, 5, 0.8)
+	a, b := cfg.A(), cfg.B()
+	res := func(l float64) float64 {
+		return a*math.Pow(l, -cfg.S) - math.Pow(1-l, -cfg.S) - b
+	}
+	prev := math.Inf(1)
+	for l := 0.001; l < 1; l += 0.001 {
+		v := res(l)
+		if v >= prev {
+			t.Fatalf("residual not strictly decreasing at l=%v", l)
+		}
+		prev = v
+	}
+}
+
+func TestABCoefficients(t *testing.T) {
+	cfg := usA(0.5, 5, 0.8)
+	wantA := 5 * math.Pow(20, 0.2)
+	if got := cfg.A(); math.Abs(got-wantA) > 1e-12 {
+		t.Errorf("A = %v, want %v", got, wantA)
+	}
+	// With rho = c^s (N^(1-s)-1)/(1-s), b collapses to
+	// (1-alpha)/alpha * (n-1) w / (d1-d0).
+	wantB := (0.5 / 0.5) * 19 * 26.7 / 2.2842
+	if got := cfg.B(); math.Abs(got-wantB) > 1e-9*wantB {
+		t.Errorf("B = %v, want %v", got, wantB)
+	}
+	cfg.Alpha = 0
+	if !math.IsInf(cfg.B(), 1) {
+		t.Errorf("B at alpha=0 = %v, want +Inf", cfg.B())
+	}
+}
+
+// TestClosedFormMatchesFixedPoint: at alpha = 1 the closed form solves
+// the b = 0 fixed point exactly (both use the n*l approximation).
+func TestClosedFormMatchesFixedPoint(t *testing.T) {
+	for _, s := range []float64{0.3, 0.8, 1.5, 1.9} {
+		for _, gamma := range []float64{2, 5, 10} {
+			cfg := usA(1, gamma, s)
+			fp, err := cfg.FixedPointLevel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cf := ClosedFormLevel(gamma, cfg.Routers, s)
+			if math.Abs(fp-cf) > 1e-6 {
+				t.Errorf("s=%v gamma=%v: fixed point %v vs closed form %v", s, gamma, fp, cf)
+			}
+		}
+	}
+}
+
+// TestClosedFormPaperQuote checks the value the paper quotes in Section
+// V-B2: at gamma=5, n=20, l* falls to about 0.35 as s approaches 2.
+func TestClosedFormPaperQuote(t *testing.T) {
+	l := ClosedFormLevel(5, 20, 1.9)
+	if l < 0.3 || l > 0.42 {
+		t.Errorf("l*(gamma=5, n=20, s=1.9) = %v, want ~0.35 per the paper", l)
+	}
+	// The printed Eq. (8) form gives ~0.09 instead, which is the erratum
+	// documented in DESIGN.md.
+	if p := PaperClosedFormLevel(5, 20, 1.9); p > 0.15 {
+		t.Errorf("printed Eq.(8) value = %v; expected it to disagree (~0.09)", p)
+	}
+}
+
+// TestClosedFormAsymptotics is the paper's headline phenomenon: opposite
+// optimal strategies on the two sides of s = 1 as the network grows.
+func TestClosedFormAsymptotics(t *testing.T) {
+	if l := ClosedFormLevel(5, 100000, 0.8); l < 0.95 {
+		t.Errorf("s<1, large n: l* = %v, want -> 1", l)
+	}
+	if l := ClosedFormLevel(5, 100000, 1.8); l > 0.05 {
+		t.Errorf("s>1, large n: l* = %v, want -> 0", l)
+	}
+	// Convergence is slow near s=1: the same n at s=1.2 still sits at an
+	// intermediate level, but it must decrease as n grows.
+	if ClosedFormLevel(5, 1000, 1.2) <= ClosedFormLevel(5, 1_000_000, 1.2) {
+		t.Error("s>1: l* should decrease with n")
+	}
+	if ClosedFormLevel(5, 1000, 0.8) >= ClosedFormLevel(5, 1_000_000, 0.8) {
+		t.Error("s<1: l* should increase with n")
+	}
+	// Monotone in gamma (more expensive origin -> more coordination).
+	if ClosedFormLevel(2, 20, 0.8) >= ClosedFormLevel(10, 20, 0.8) {
+		t.Error("closed form not increasing in gamma")
+	}
+}
+
+// TestQuickOptimalLevelInRange property: for random admissible parameters
+// the optimizer returns a level in [0,1] with vanishing interior gradient.
+func TestQuickOptimalLevelInRange(t *testing.T) {
+	f := func(a, g, sSeed uint8) bool {
+		alpha := float64(a%100)/100 + 0.005
+		if alpha > 1 {
+			alpha = 1
+		}
+		gamma := 1 + float64(g%90)/10
+		s := 0.1 + float64(sSeed%180)/100
+		if math.Abs(s-1) < 0.02 {
+			s = 1.05
+		}
+		cfg := usA(alpha, gamma, s)
+		l, err := cfg.OptimalLevel()
+		return err == nil && l >= 0 && l <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGainsBasics(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	g, err := cfg.OptimalGains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Level <= 0 || g.Level > 1 {
+		t.Errorf("Level = %v, want in (0,1]", g.Level)
+	}
+	if g.OriginReduction <= 0 || g.OriginReduction > 1 {
+		t.Errorf("G_O = %v, want in (0,1]", g.OriginReduction)
+	}
+	if g.RoutingGain <= 0 || g.RoutingGain >= 1 {
+		t.Errorf("G_R = %v, want in (0,1)", g.RoutingGain)
+	}
+	if math.Abs(g.X-g.Level*cfg.C) > 1e-9 {
+		t.Errorf("X = %v inconsistent with Level %v", g.X, g.Level)
+	}
+}
+
+// TestOriginLoadReductionClosedForm checks G_O against the paper's
+// explicit expression.
+func TestOriginLoadReductionClosedForm(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.3} {
+		cfg := usA(1, 5, s)
+		for _, x := range []float64{10, 100, 500} {
+			K := cfg.C + float64(cfg.Routers-1)*x
+			want := (math.Pow(K, 1-s) - math.Pow(cfg.C, 1-s)) /
+				(math.Pow(cfg.N, 1-s) - math.Pow(cfg.C, 1-s))
+			got := cfg.OriginLoadReduction(x)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("s=%v x=%v: G_O = %v, want %v", s, x, got, want)
+			}
+		}
+	}
+}
+
+func TestOriginLoadReductionMonotone(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	prev := -1.0
+	for x := 0.0; x <= cfg.C; x += 100 {
+		g := cfg.OriginLoadReduction(x)
+		if g < prev {
+			t.Fatalf("G_O not monotone at x=%v", x)
+		}
+		prev = g
+	}
+	if g0 := cfg.OriginLoadReduction(0); g0 != 0 {
+		t.Errorf("G_O(0) = %v, want 0", g0)
+	}
+}
+
+func TestRoutingImprovementAtZero(t *testing.T) {
+	cfg := usA(1, 5, 0.8)
+	if g := cfg.RoutingImprovement(0); g != 0 {
+		t.Errorf("G_R(0) = %v, want 0", g)
+	}
+}
+
+func BenchmarkOptimalLevel(b *testing.B) {
+	cfg := usA(0.7, 5, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.OptimalLevel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedPointLevel(b *testing.B) {
+	cfg := usA(0.7, 5, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.FixedPointLevel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOptimizerCrossValidation property: the derivative-based convex
+// minimizer agrees with direct golden-section minimization of Tw on
+// random admissible configurations.
+func TestOptimizerCrossValidation(t *testing.T) {
+	f := func(a, g, sSeed, wSeed uint8) bool {
+		alpha := 0.1 + float64(a%90)/100
+		gamma := 1 + float64(g%90)/10
+		s := 0.1 + float64(sSeed%180)/100
+		if s > 0.95 && s < 1.05 {
+			s = 1.1
+		}
+		w := 5 + float64(wSeed%96)
+		cfg := usA(alpha, gamma, s)
+		cfg.UnitCost = w
+		x1, err := cfg.OptimalX()
+		if err != nil {
+			return false
+		}
+		x2, err := solve.GoldenSection(cfg.Tw, 0, cfg.C-1, 1e-9)
+		if err != nil {
+			return false
+		}
+		// Compare objective values, not abscissas: flat optima can have
+		// distant minimizers with equal cost.
+		return math.Abs(cfg.Tw(x1)-cfg.Tw(x2)) < 1e-6*math.Max(1, math.Abs(cfg.Tw(x1)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

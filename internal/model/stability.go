@@ -1,0 +1,111 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file quantifies the stability of the optimal strategy — the
+// paper's Section V-B observation that l*(alpha) has a "sensitive range"
+// in which small changes of the trade-off weight swing the provisioning
+// decision, and that this range is governed by parameters such as gamma.
+// The analysis is numerical: l* has no closed form for alpha < 1.
+
+// Sensitivity returns d l*/d alpha at the configuration's Alpha,
+// estimated by a symmetric difference clamped to [0, 1]. A large value
+// means the provisioning decision is unstable against small changes in
+// how the carrier weighs performance versus cost.
+func (c Config) Sensitivity() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	h := 0.01
+	lo := math.Max(1e-4, c.Alpha-h)
+	hi := math.Min(1, c.Alpha+h)
+	if hi <= lo {
+		return 0, fmt.Errorf("model: degenerate alpha neighborhood [%v, %v]", lo, hi)
+	}
+	cLo, cHi := c, c
+	cLo.Alpha, cHi.Alpha = lo, hi
+	lLo, err := cLo.OptimalLevel()
+	if err != nil {
+		return 0, err
+	}
+	lHi, err := cHi.OptimalLevel()
+	if err != nil {
+		return 0, err
+	}
+	return (lHi - lLo) / (hi - lo), nil
+}
+
+// SensitiveRange is the alpha interval in which the optimal strategy
+// moves fastest.
+type SensitiveRange struct {
+	Lo, Hi float64 // alpha bounds of the range
+	// PeakAlpha is where d l*/d alpha is largest, and PeakSlope its
+	// value there.
+	PeakAlpha float64
+	PeakSlope float64
+}
+
+// Width returns the size of the sensitive interval.
+func (r SensitiveRange) Width() float64 { return r.Hi - r.Lo }
+
+// FindSensitiveRange scans alpha over (0, 1) and returns the interval
+// where the slope d l*/d alpha is at least frac (in (0, 1]) of its peak
+// value. This is the quantitative version of the paper's "sensitive
+// range is around alpha in [0.2, 0.4]" observations (Section V-B1).
+// The configuration's own Alpha is ignored.
+func (c Config) FindSensitiveRange(frac float64) (SensitiveRange, error) {
+	if !(frac > 0 && frac <= 1) {
+		return SensitiveRange{}, fmt.Errorf("model: fraction must lie in (0, 1], got %v", frac)
+	}
+	probe := c
+	probe.Alpha = 0.5
+	if err := probe.Validate(); err != nil {
+		return SensitiveRange{}, err
+	}
+	const steps = 200
+	alphas := make([]float64, 0, steps)
+	levels := make([]float64, 0, steps)
+	for i := 1; i < steps; i++ {
+		a := float64(i) / steps
+		probe.Alpha = a
+		l, err := probe.OptimalLevel()
+		if err != nil {
+			return SensitiveRange{}, err
+		}
+		alphas = append(alphas, a)
+		levels = append(levels, l)
+	}
+	slopes := make([]float64, len(levels))
+	peak := 0
+	for i := 1; i < len(levels); i++ {
+		slopes[i] = (levels[i] - levels[i-1]) / (alphas[i] - alphas[i-1])
+		if slopes[i] > slopes[peak] {
+			peak = i
+		}
+	}
+	if slopes[peak] <= 0 {
+		return SensitiveRange{}, fmt.Errorf("model: optimal level never increases over alpha")
+	}
+	threshold := frac * slopes[peak]
+	lo, hi := alphas[peak], alphas[peak]
+	for i := peak; i >= 1; i-- {
+		if slopes[i] < threshold {
+			break
+		}
+		lo = alphas[i-1]
+	}
+	for i := peak; i < len(slopes); i++ {
+		if slopes[i] < threshold {
+			break
+		}
+		hi = alphas[i]
+	}
+	return SensitiveRange{
+		Lo: lo, Hi: hi,
+		PeakAlpha: alphas[peak],
+		PeakSlope: slopes[peak],
+	}, nil
+}

@@ -1,0 +1,133 @@
+// Package plot renders line charts as ASCII art, so the experiment
+// runner can display the reproduced paper figures directly in a
+// terminal without any plotting dependency. Each series gets a distinct
+// glyph; axes are annotated with min/max ticks.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Chart describes one plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the canvas size in characters (excluding
+	// axes); zero values select 64 x 20.
+	Width  int
+	Height int
+}
+
+// glyphs assigns one marker per series, cycling if there are many.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render writes the chart to w.
+func Render(w io.Writer, c Chart) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if width < 8 || height < 4 {
+		return fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				return fmt.Errorf("plot: series %q has a non-finite point at index %d", s.Label, i)
+			}
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return fmt.Errorf("plot: all series are empty")
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	// Paint the canvas.
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		glyph := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1)))
+			canvas[height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", yMax)
+	yBot := fmt.Sprintf("%.3g", yMin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r, line := range canvas {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yTop, margin)
+		case height - 1:
+			label = pad(yBot, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	xTicks := fmt.Sprintf("%.3g%s%.3g", xMin,
+		strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%.3g", xMin))-len(fmt.Sprintf("%.3g", xMax)))), xMax)
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), xTicks)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), glyphs[si%len(glyphs)], s.Label)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pad right-aligns s to width characters.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}
+
+// finite reports whether v is a usable coordinate.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() Chart {
+	return Chart{
+		Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Label: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* up", "o down", "x: x   y: y", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Axis tick labels carry the data range.
+	if !strings.Contains(out, "2") || !strings.Contains(out, "0") {
+		t.Error("missing axis ticks")
+	}
+}
+
+func TestRenderGlyphPlacement(t *testing.T) {
+	c := Chart{
+		Width: 11, Height: 5,
+		Series: []Series{{Label: "s", X: []float64{0, 10}, Y: []float64{0, 1}}},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	// First canvas row holds the max-y point at the rightmost column;
+	// the last canvas row holds the min-y point at the leftmost column.
+	if !strings.HasSuffix(strings.TrimRight(lines[0], " "), "*") {
+		t.Errorf("top row should end with the max point: %q", lines[0])
+	}
+	bottom := lines[4]
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("bottom row should start with the min point: %q", bottom)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, Chart{}); err == nil {
+		t.Error("no series should fail")
+	}
+	if err := Render(&sb, Chart{Width: 2, Height: 2, Series: sample().Series}); err == nil {
+		t.Error("tiny canvas should fail")
+	}
+	bad := sample()
+	bad.Series[0].Y = bad.Series[0].Y[:2]
+	if err := Render(&sb, bad); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	nan := Chart{Series: []Series{{Label: "n", X: []float64{0}, Y: []float64{math.NaN()}}}}
+	if err := Render(&sb, nan); err == nil {
+		t.Error("NaN point should fail")
+	}
+	empty := Chart{Series: []Series{{Label: "e"}}}
+	if err := Render(&sb, empty); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "flat", X: []float64{1, 1}, Y: []float64{3, 3}}}}
+	var sb strings.Builder
+	if err := Render(&sb, c); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+
+	"ccncoord/internal/coord"
+	"ccncoord/internal/model"
+	"ccncoord/internal/topology"
+)
+
+// This file closes the loop of the paper's first future-work direction
+// end to end: the network starts non-coordinated, routers report the
+// request counts they actually observed in the packet simulation, the
+// adaptive coordinator estimates the Zipf exponent and re-optimizes the
+// coordination level, the resulting placement (built from *estimated*
+// popularity, not ground truth) is installed, and the next epoch runs on
+// it. No component ever sees the true workload parameters.
+
+// AdaptiveEpoch records one epoch of the closed loop.
+type AdaptiveEpoch struct {
+	Epoch      int
+	EstimatedS float64 // coordinator's Zipf estimate after this epoch's reports
+	Level      float64 // re-optimized coordination level installed for the next epoch
+	Result     Result  // measured network behavior during this epoch
+	Cost       coord.Cost
+}
+
+// AdaptiveRun executes the closed adaptive-provisioning loop for the
+// given number of epochs (>= 2: the first epoch is the non-coordinated
+// bootstrap). base supplies the cost-model parameters; its S field is
+// only the initial guess. The scenario's Policy, Coordinated, Placement
+// and CollectReports fields are managed by the loop.
+func AdaptiveRun(sc Scenario, base model.Config, epochs int) ([]AdaptiveEpoch, error) {
+	if epochs < 2 {
+		return nil, fmt.Errorf("sim: adaptive run needs at least 2 epochs, got %d", epochs)
+	}
+	if sc.Topology == nil {
+		return nil, fmt.Errorf("sim: adaptive run needs a topology")
+	}
+	if base.Routers != sc.Topology.N() {
+		return nil, fmt.Errorf("sim: model says %d routers, topology has %d", base.Routers, sc.Topology.N())
+	}
+	routers := make([]topology.NodeID, sc.Topology.N())
+	for i := range routers {
+		routers[i] = topology.NodeID(i)
+	}
+	adaptive, err := coord.NewAdaptive(routers, base)
+	if err != nil {
+		return nil, fmt.Errorf("sim: adaptive run: %w", err)
+	}
+
+	sc.CollectReports = true
+	sc.Placement = nil
+	sc.Policy = PolicyNonCoordinated // bootstrap epoch
+
+	out := make([]AdaptiveEpoch, 0, epochs)
+	for epoch := 1; epoch <= epochs; epoch++ {
+		sc.Seed += int64(epoch) * 10007 // fresh workload per epoch
+		res, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: adaptive epoch %d: %w", epoch, err)
+		}
+		placement, cost, err := adaptive.Epoch(res.Reports)
+		if err != nil {
+			return nil, fmt.Errorf("sim: adaptive epoch %d: %w", epoch, err)
+		}
+		res.Reports = nil // drop bulk data from the record
+		out = append(out, AdaptiveEpoch{
+			Epoch:      epoch,
+			EstimatedS: adaptive.LastEstimate(),
+			Level:      adaptive.LastLevel(),
+			Result:     res,
+			Cost:       cost,
+		})
+		// Install the estimated placement for the next epoch.
+		sc.Policy = PolicyCoordinated
+		sc.Placement = placement
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/model"
+	"ccncoord/internal/topology"
+)
+
+func adaptiveBase(g *topology.Graph, catalogSize, capacity int64) model.Config {
+	return model.Config{
+		S: 0.5, // wrong initial guess on purpose
+		N: float64(catalogSize), C: float64(capacity), Routers: g.N(),
+		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
+		UnitCost: 26.7, Alpha: 0.95,
+	}
+}
+
+// TestAdaptiveRunClosedLoop exercises the full loop: bootstrap epoch is
+// non-coordinated; the coordinator learns the true Zipf exponent from
+// measured traffic and installs an estimated placement that reduces the
+// origin load in later epochs.
+func TestAdaptiveRunClosedLoop(t *testing.T) {
+	const trueS = 0.8
+	g := topology.USA()
+	sc := Scenario{
+		Topology:      g,
+		CatalogSize:   20000,
+		ZipfS:         trueS,
+		Capacity:      150,
+		Requests:      40000,
+		Seed:          5,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	}
+	epochs, err := AdaptiveRun(sc, adaptiveBase(g, sc.CatalogSize, sc.Capacity), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 {
+		t.Fatalf("epochs = %d, want 3", len(epochs))
+	}
+	first, last := epochs[0], epochs[len(epochs)-1]
+	if first.Result.Policy != PolicyNonCoordinated {
+		t.Errorf("bootstrap epoch policy = %v", first.Result.Policy)
+	}
+	if last.Result.Policy != PolicyCoordinated {
+		t.Errorf("final epoch policy = %v", last.Result.Policy)
+	}
+	// The estimate must have moved from the wrong prior toward the true
+	// exponent.
+	if math.Abs(last.EstimatedS-trueS) > 0.25 {
+		t.Errorf("estimated s = %v, want near %v", last.EstimatedS, trueS)
+	}
+	// Coordination learned from measurements must reduce origin load
+	// versus the non-coordinated bootstrap.
+	if last.Result.OriginLoad >= first.Result.OriginLoad {
+		t.Errorf("origin load did not improve: %v -> %v",
+			first.Result.OriginLoad, last.Result.OriginLoad)
+	}
+	// The installed level matches what the coordinator chose.
+	if last.Level <= 0 || last.Level > 1 {
+		t.Errorf("level = %v", last.Level)
+	}
+	// Reports must not leak into the records.
+	for _, e := range epochs {
+		if e.Result.Reports != nil {
+			t.Error("bulk reports retained in epoch record")
+		}
+	}
+	// Coordination messages were measured for the installed placements.
+	if last.Cost.Total() <= 0 {
+		t.Errorf("no coordination cost measured: %+v", last.Cost)
+	}
+}
+
+func TestAdaptiveRunValidation(t *testing.T) {
+	g := topology.USA()
+	sc := Scenario{Topology: g}
+	if _, err := AdaptiveRun(sc, adaptiveBase(g, 1000, 10), 1); err == nil {
+		t.Error("fewer than 2 epochs should fail")
+	}
+	if _, err := AdaptiveRun(Scenario{}, adaptiveBase(g, 1000, 10), 2); err == nil {
+		t.Error("missing topology should fail")
+	}
+	base := adaptiveBase(g, 1000, 10)
+	base.Routers = 3
+	if _, err := AdaptiveRun(sc, base, 2); err == nil {
+		t.Error("router count mismatch should fail")
+	}
+}
+
+func TestExternalPlacement(t *testing.T) {
+	sc := testScenario()
+	sc.Requests = 10000
+	// Derive a placement from synthetic reports and install it.
+	routers := make([]topology.NodeID, sc.Topology.N())
+	counts := map[catalogID]int64{}
+	for i := range routers {
+		routers[i] = topology.NodeID(i)
+	}
+	for rank := int64(1); rank <= 2000; rank++ {
+		counts[catalogID(rank)] = 3000 - rank
+	}
+	placement, err := computePlacement(routers, counts, sc.Capacity-sc.Coordinated, sc.Coordinated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Placement = placement
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeerHit <= 0 {
+		t.Errorf("external placement produced no peer traffic")
+	}
+	wantMsgs := 2 * int64(placement.Assignment.Size())
+	if res.CoordMessages != wantMsgs {
+		t.Errorf("CoordMessages = %d, want %d", res.CoordMessages, wantMsgs)
+	}
+	// Placement with a non-coordinated policy is rejected.
+	sc.Policy = PolicyNonCoordinated
+	if err := sc.Validate(); err == nil {
+		t.Error("placement with non-coordinated policy should fail validation")
+	}
+}
+
+// TestCollectReports: the per-router counts must sum to the measured
+// request total.
+func TestCollectReports(t *testing.T) {
+	sc := testScenario()
+	sc.Requests = 8000
+	sc.CollectReports = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != sc.Topology.N() {
+		t.Fatalf("reports = %d, want %d", len(res.Reports), sc.Topology.N())
+	}
+	var total int64
+	for _, rep := range res.Reports {
+		for _, c := range rep.Counts {
+			total += c
+		}
+	}
+	if total != int64(res.Requests) {
+		t.Errorf("report counts sum to %d, measured %d", total, res.Requests)
+	}
+}
+
+// catalogID and computePlacement adapt the coord package's helpers for
+// this test file.
+type catalogID = catalog.ID
+
+func computePlacement(routers []topology.NodeID, counts map[catalogID]int64, localSlots, coordSlots int64) (*coord.Placement, error) {
+	reports := []coord.Report{{Router: routers[0], Counts: counts}}
+	return coord.ComputePlacement(reports, routers, localSlots, coordSlots)
+}

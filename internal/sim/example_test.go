@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/sim"
+)
+
+// ExampleMotivatingExample reproduces the paper's Table I on the
+// packet-level data plane.
+func ExampleMotivatingExample() {
+	cmp, err := sim.MotivatingExample(100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("non-coordinated: origin %.0f%%, hops %.2f, messages %d\n",
+		100*cmp.NonCoordinated.OriginLoad, cmp.NonCoordinated.MeanHops, cmp.NonCoordinated.CoordMessages)
+	fmt.Printf("coordinated:     origin %.0f%%, hops %.2f, messages %d\n",
+		100*cmp.Coordinated.OriginLoad, cmp.Coordinated.MeanHops, cmp.Coordinated.CoordMessages)
+	// Output:
+	// non-coordinated: origin 33%, hops 0.67, messages 0
+	// coordinated:     origin 0%, hops 0.50, messages 1
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/ccn"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/des"
+	"ccncoord/internal/metrics"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/workload"
+)
+
+// This file reproduces the paper's Section II motivating example
+// (Figure 1 / Table I) behaviorally on the packet-level data plane: three
+// routers R0, R1, R2 where only R1 and R2 can store a single content;
+// an origin server O behind R0 serving contents a and b; and two
+// identical client flows {a, a, b} entering at R1 and R2.
+
+// MotivatingMetrics are Table I's three comparison metrics for one
+// strategy.
+type MotivatingMetrics struct {
+	OriginLoad float64 // fraction of requests served by O
+	MeanHops   float64 // mean links traversed among R0, R1, R2, O
+	// CoordMessages is the minimum number of messages exchanged among
+	// storing routers to agree on the placement (0 without
+	// coordination; the paper argues at least 1 with it).
+	CoordMessages int64
+}
+
+// MotivatingComparison holds Table I's two columns.
+type MotivatingComparison struct {
+	NonCoordinated MotivatingMetrics
+	Coordinated    MotivatingMetrics
+}
+
+// contentA and contentB are the two objects of the example.
+const (
+	contentA catalog.ID = 1
+	contentB catalog.ID = 2
+)
+
+// MotivatingExample runs both strategies of the Section II example for
+// the given number of request cycles (each cycle is one {a,a,b} flow at
+// each of R1 and R2) and returns the measured Table I metrics.
+func MotivatingExample(cycles int) (MotivatingComparison, error) {
+	if cycles < 1 {
+		return MotivatingComparison{}, fmt.Errorf("sim: need at least one cycle, got %d", cycles)
+	}
+	nonCoord, err := runMotivating(cycles, false)
+	if err != nil {
+		return MotivatingComparison{}, err
+	}
+	coordRes, err := runMotivating(cycles, true)
+	if err != nil {
+		return MotivatingComparison{}, err
+	}
+	return MotivatingComparison{NonCoordinated: nonCoord, Coordinated: coordRes}, nil
+}
+
+// runMotivating executes one strategy of the example.
+func runMotivating(cycles int, coordinated bool) (MotivatingMetrics, error) {
+	// Figure 1's topology: a triangle of routers; O attaches behind R0.
+	g := topology.New("motivating")
+	r0 := g.AddNode("R0", 0, 0)
+	r1 := g.AddNode("R1", 0, 0)
+	r2 := g.AddNode("R2", 0, 0)
+	const linkMs = 5.0
+	for _, pair := range [][2]topology.NodeID{{r0, r1}, {r0, r2}, {r1, r2}} {
+		if err := g.AddEdge(pair[0], pair[1], linkMs); err != nil {
+			return MotivatingMetrics{}, fmt.Errorf("sim: motivating topology: %w", err)
+		}
+	}
+	cat, err := catalog.New(2, "/motivating")
+	if err != nil {
+		return MotivatingMetrics{}, err
+	}
+
+	// Steady-state stores per Section II: non-coordinated lets both R1
+	// and R2 keep the more popular a; coordinated splits a and b.
+	var directory ccn.Directory
+	var messages int64
+	provision := map[topology.NodeID][]catalog.ID{
+		r0: nil, // R0 has no storage capacity
+		r1: {contentA},
+		r2: {contentA},
+	}
+	if coordinated {
+		provision[r2] = []catalog.ID{contentB}
+		asg, err := coord.StripeByRank([]topology.NodeID{r1, r2}, []catalog.ID{contentA, contentB}, 1)
+		if err != nil {
+			return MotivatingMetrics{}, err
+		}
+		directory = asg
+		// Minimal pairwise agreement: one message between the two
+		// storing routers (the paper's Table I convention).
+		messages = int64(len(provision[r1])) * (2 - 1)
+	}
+
+	eng := &des.Engine{}
+	net, err := ccn.NewNetwork(eng, g, cat, ccn.Options{
+		AccessLatency: 1,
+		Mode:          ccn.CacheNone,
+		Directory:     directory,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			return cache.NewStatic(provision[id])
+		},
+	})
+	if err != nil {
+		return MotivatingMetrics{}, err
+	}
+	if err := net.AttachOriginAt(r0, 50); err != nil {
+		return MotivatingMetrics{}, err
+	}
+
+	// Two identical flows {a, a, b} at R1 and R2.
+	var hops metrics.Mean
+	counts := metrics.NewCounter()
+	done := func(res ccn.RequestResult) {
+		hops.Observe(float64(res.Hops))
+		counts.Inc(res.ServedBy.String())
+	}
+	for _, router := range []topology.NodeID{r1, r2} {
+		flow, err := workload.NewSequence([]catalog.ID{contentA, contentA, contentB})
+		if err != nil {
+			return MotivatingMetrics{}, err
+		}
+		router := router
+		// Space requests far enough apart that cycles do not overlap;
+		// the example reasons about sequential steady-state requests.
+		for k := 0; k < 3*cycles; k++ {
+			id := flow.Next()
+			if err := eng.At(float64(k)*1000, func() {
+				if err := net.Request(router, id, done); err != nil {
+					panic(fmt.Sprintf("sim: motivating request: %v", err))
+				}
+			}); err != nil {
+				return MotivatingMetrics{}, err
+			}
+		}
+	}
+	eng.Run()
+
+	total := hops.N()
+	if total == 0 {
+		return MotivatingMetrics{}, fmt.Errorf("sim: no requests completed")
+	}
+	return MotivatingMetrics{
+		OriginLoad:    float64(counts.Get("origin")) / float64(total),
+		MeanHops:      hops.Value(),
+		CoordMessages: messages,
+	}, nil
+}

@@ -1,0 +1,598 @@
+// Package sim wires the substrates into runnable experiments: it builds a
+// CCN data plane over a topology, provisions content stores according to
+// a caching policy (non-coordinated, the paper's partitioned coordinated
+// placement, or dynamic LRU/LFU baselines), drives Zipf request workloads
+// through it, and measures what the analytical model predicts: origin
+// load, per-tier hit ratios, mean latency, and mean hop count.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/ccn"
+	"ccncoord/internal/coord"
+	"ccncoord/internal/des"
+	"ccncoord/internal/metrics"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/workload"
+)
+
+// Policy selects how router storage is provisioned.
+type Policy int
+
+const (
+	// PolicyNonCoordinated pins every router to the top-c contents, the
+	// steady state of independent popularity-based caching (the paper's
+	// non-coordinated strategy).
+	PolicyNonCoordinated Policy = iota
+	// PolicyCoordinated applies the paper's partitioned placement:
+	// top c-x replicated locally everywhere, the next n*x ranks striped
+	// across routers, with directory-based redirection.
+	PolicyCoordinated
+	// PolicyLRU runs dynamic LRU stores with leave-copy-everywhere
+	// on-path caching and no coordination.
+	PolicyLRU
+	// PolicyLFU runs dynamic LFU stores with leave-copy-everywhere
+	// on-path caching and no coordination.
+	PolicyLFU
+	// PolicySLRU runs dynamic segmented-LRU stores (scan resistant) with
+	// leave-copy-everywhere on-path caching.
+	PolicySLRU
+	// PolicyTwoQ runs dynamic 2Q stores with leave-copy-everywhere
+	// on-path caching.
+	PolicyTwoQ
+	// PolicyProbCache runs dynamic LRU stores with probabilistic on-path
+	// caching (admission probability 0.3), the replica-thinning ICN
+	// baseline.
+	PolicyProbCache
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNonCoordinated:
+		return "non-coordinated"
+	case PolicyCoordinated:
+		return "coordinated"
+	case PolicyLRU:
+		return "lru"
+	case PolicyLFU:
+		return "lfu"
+	case PolicySLRU:
+		return "slru"
+	case PolicyTwoQ:
+		return "2q"
+	case PolicyProbCache:
+		return "probcache"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Assignment selects how coordinated contents are mapped to routers.
+type Assignment int
+
+const (
+	// AssignStripe is the paper's placement: the coordinated rank band
+	// dealt round-robin across routers, balancing popularity mass.
+	AssignStripe Assignment = iota
+	// AssignHash maps contents to routers by content-id hash (DHT
+	// style); popularity balance then holds only in expectation.
+	AssignHash
+)
+
+// String returns the assignment name.
+func (a Assignment) String() string {
+	switch a {
+	case AssignStripe:
+		return "stripe"
+	case AssignHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+// Scenario describes one simulation run.
+type Scenario struct {
+	Topology    *topology.Graph
+	CatalogSize int64
+	ZipfS       float64
+	Capacity    int64 // c: slots per router
+	Coordinated int64 // x: coordinated slots per router (PolicyCoordinated)
+	Policy      Policy
+	// Assignment selects the coordinated placement strategy
+	// (PolicyCoordinated only); the zero value is the paper's striping.
+	Assignment Assignment
+
+	// Capacities optionally overrides Capacity per router
+	// (heterogeneous networks, the paper's future work). When set, its
+	// length must equal the topology size; Coordinated then denotes the
+	// coordinated *fraction* numerator applied per router as
+	// floor(Coordinated * c_i / Capacity), keeping the same global
+	// split ratio.
+	Capacities []int64
+
+	// Placement, when non-nil, installs an externally computed
+	// provisioning decision (e.g. from the coordination protocol's
+	// estimated popularity) instead of deriving the ideal one from true
+	// ranks. Requires PolicyCoordinated.
+	Placement *coord.Placement
+
+	// CollectReports records per-router request counts into
+	// Result.Reports, the input the coordination protocol consumes.
+	CollectReports bool
+
+	Requests int // measured requests
+	Warmup   int // unmeasured leading requests (cache warmup)
+	Seed     int64
+
+	AccessLatency float64 // one-way client <-> router, ms
+	OriginLatency float64 // one-way router <-> origin uplink, ms
+	// OriginGateway attaches the origin behind one router; when
+	// negative, every router has a direct uplink (the model's uniform
+	// d2 abstraction).
+	OriginGateway topology.NodeID
+
+	// MeanInterArrival is the per-router mean of the exponential
+	// inter-arrival time (ms). Zero selects 1 ms.
+	MeanInterArrival float64
+
+	// LossRate is the per-transmission drop probability on network
+	// links; zero means a lossless fabric. When positive, RetxTimeout
+	// must be set (see internal/ccn).
+	LossRate float64
+	// RetxTimeout is the per-router interest retransmission timeout
+	// (ms) on lossy fabrics.
+	RetxTimeout float64
+
+	// LinkRate is the per-link serialization capacity in contents per
+	// millisecond; zero means infinite (no queueing). See internal/ccn.
+	LinkRate float64
+
+	// WorkloadFactory, when non-nil, supplies each router's request
+	// generator instead of the default stationary Zipf(ZipfS) stream —
+	// e.g. a workload.DriftingZipf for non-stationary demand. The
+	// factory may capture state that persists across Run calls (the
+	// adaptive loop exploits this to drift across epochs).
+	WorkloadFactory func(router topology.NodeID) (workload.Generator, error)
+}
+
+// Validate checks the scenario parameters.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Topology == nil || s.Topology.N() < 2:
+		return fmt.Errorf("sim: need a topology with at least 2 routers")
+	case !s.Topology.Connected():
+		return fmt.Errorf("sim: topology is not connected")
+	case s.CatalogSize < 1:
+		return fmt.Errorf("sim: catalog size %d < 1", s.CatalogSize)
+	case !(s.ZipfS > 0):
+		return fmt.Errorf("sim: Zipf exponent must be positive, got %v", s.ZipfS)
+	case s.Capacity < 0:
+		return fmt.Errorf("sim: negative capacity %d", s.Capacity)
+	case s.Coordinated < 0 || s.Coordinated > s.Capacity:
+		return fmt.Errorf("sim: coordinated slots %d outside [0, %d]", s.Coordinated, s.Capacity)
+	case s.Capacities != nil && len(s.Capacities) != s.Topology.N():
+		return fmt.Errorf("sim: %d per-router capacities for %d routers", len(s.Capacities), s.Topology.N())
+	case s.Assignment != AssignStripe && s.Assignment != AssignHash:
+		return fmt.Errorf("sim: unknown assignment strategy %d", s.Assignment)
+	case s.Placement != nil && s.Policy != PolicyCoordinated:
+		return fmt.Errorf("sim: external placement requires the coordinated policy")
+	case s.Requests < 1:
+		return fmt.Errorf("sim: need at least 1 measured request, got %d", s.Requests)
+	case s.Warmup < 0:
+		return fmt.Errorf("sim: negative warmup %d", s.Warmup)
+	case s.AccessLatency < 0:
+		return fmt.Errorf("sim: negative access latency %v", s.AccessLatency)
+	case !(s.OriginLatency > 0):
+		return fmt.Errorf("sim: origin latency must be positive, got %v", s.OriginLatency)
+	case int(s.OriginGateway) >= s.Topology.N():
+		return fmt.Errorf("sim: origin gateway %d outside topology", s.OriginGateway)
+	case s.LossRate < 0 || s.LossRate >= 1:
+		return fmt.Errorf("sim: loss rate %v outside [0, 1)", s.LossRate)
+	case s.LossRate > 0 && !(s.RetxTimeout > 0):
+		return fmt.Errorf("sim: lossy fabric requires a positive retransmission timeout")
+	case s.LinkRate < 0:
+		return fmt.Errorf("sim: negative link rate %v", s.LinkRate)
+	}
+	return nil
+}
+
+// Result aggregates the measured behavior of one run.
+type Result struct {
+	Policy   Policy
+	Requests int
+
+	OriginLoad float64 // fraction of requests served by the origin
+	LocalHit   float64 // fraction served from the first-hop router
+	PeerHit    float64 // fraction served by another router
+
+	MeanLatency float64 // client-observed, ms
+	MeanHops    float64 // network links between server and first-hop router
+
+	// LatencyP50, LatencyP95 and LatencyP99 are client-latency quantile
+	// estimates (ms) over the measured requests.
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+
+	// TierLatency holds the measured mean latency per serving tier —
+	// the empirical d0, d1, d2 of the analytical model. Entries are 0
+	// when the tier served no requests.
+	TierLatency TierLatencies
+
+	// PeerHops is the mean hop count among peer-served requests only
+	// (0 when there were none) — the distance cost of the coordinated
+	// placement.
+	PeerHops float64
+	// PeerLoadImbalance is the max/mean ratio of per-router
+	// peer-serving counts (1 = perfectly balanced, 0 when no peer
+	// traffic); it quantifies how evenly an assignment spreads load.
+	PeerLoadImbalance float64
+
+	// Coordination cost, measured by the protocol (PolicyCoordinated
+	// only): content-state messages exchanged to install the placement.
+	CoordMessages    int64
+	CoordConvergence float64
+
+	InterestTransmissions int64
+	DataTransmissions     int64
+
+	// Loss-process activity (zero on lossless fabrics).
+	DroppedInterests int64
+	DroppedData      int64
+	Retransmissions  int64
+
+	// Link-queueing activity (zero on infinite-capacity fabrics).
+	MeanQueueingDelay float64
+	QueuedPackets     int64
+
+	// Reports holds per-router request counts (measured requests only)
+	// when Scenario.CollectReports is set; otherwise nil. It is the
+	// input the coordination protocol consumes.
+	Reports []coord.Report
+}
+
+// TierLatencies are the measured mean latencies of the three serving
+// tiers (the model's d0, d1, d2).
+type TierLatencies struct {
+	Local  float64 // served by the first-hop router
+	Peer   float64 // served by another router in the domain
+	Origin float64 // served by the origin server
+}
+
+// Gamma returns the measured tiered latency ratio
+// (d2-d1)/(d1-d0), or 0 if any tier lacks samples or the ordering
+// degenerates.
+func (t TierLatencies) Gamma() float64 {
+	if t.Local <= 0 || t.Peer <= t.Local || t.Origin < t.Peer {
+		return 0
+	}
+	return (t.Origin - t.Peer) / (t.Peer - t.Local)
+}
+
+// Run executes the scenario and returns the measured result.
+func Run(sc Scenario) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng := &des.Engine{}
+	cat, err := catalog.New(sc.CatalogSize, "/sim")
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	res := Result{Policy: sc.Policy}
+
+	// Provision stores and optional directory according to the policy.
+	routers := make([]topology.NodeID, sc.Topology.N())
+	for i := range routers {
+		routers[i] = topology.NodeID(i)
+	}
+	var directory ccn.Directory
+	mode := ccn.CacheNone
+	var stores func(topology.NodeID) (cache.Store, error)
+
+	// capOf returns router r's storage capacity (heterogeneous override
+	// or the uniform Capacity).
+	capOf := func(r topology.NodeID) int64 {
+		if sc.Capacities != nil {
+			return sc.Capacities[r]
+		}
+		return sc.Capacity
+	}
+	// coordOf returns router r's coordinated slots, preserving the
+	// global split ratio under heterogeneous capacities.
+	coordOf := func(r topology.NodeID) int64 {
+		if sc.Capacities == nil || sc.Capacity == 0 {
+			return sc.Coordinated
+		}
+		return sc.Coordinated * capOf(r) / sc.Capacity
+	}
+
+	switch sc.Policy {
+	case PolicyNonCoordinated:
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewStatic(cache.TopK(min64(capOf(r), sc.CatalogSize)))
+		}
+	case PolicyCoordinated:
+		if sc.Placement != nil {
+			// Externally computed provisioning (e.g. the coordination
+			// protocol's estimate): install it verbatim.
+			p := sc.Placement
+			directory = p.Assignment
+			res.CoordMessages = 2 * int64(p.Assignment.Size())
+			stores = func(r topology.NodeID) (cache.Store, error) {
+				local, err := cache.NewStatic(p.LocalSet)
+				if err != nil {
+					return nil, err
+				}
+				coordPart, err := cache.NewStatic(p.Assignment.Contents(r))
+				if err != nil {
+					return nil, err
+				}
+				return cache.NewPartitioned(local, coordPart)
+			}
+			break
+		}
+		// The replicated local prefix must be common across routers for
+		// the striped band to start at a well-defined rank; use the
+		// largest local prefix (matching model.HeteroConfig).
+		var maxLocal, totalCoord int64
+		quotas := make([]int64, len(routers))
+		for i, r := range routers {
+			local := capOf(r) - coordOf(r)
+			if local > maxLocal {
+				maxLocal = local
+			}
+			quotas[i] = coordOf(r)
+			totalCoord += quotas[i]
+		}
+		band := cache.RankRange(maxLocal+1, min64(maxLocal+totalCoord, sc.CatalogSize))
+		var asg *coord.Assignment
+		var err error
+		switch sc.Assignment {
+		case AssignHash:
+			if sc.Capacities != nil {
+				return Result{}, fmt.Errorf("sim: hash assignment does not support heterogeneous capacities")
+			}
+			asg, err = coord.HashByContent(routers, band, sc.Coordinated)
+		default:
+			asg, err = coord.StripeWeighted(routers, band, quotas)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: assigning coordinated band: %w", err)
+		}
+		directory = asg
+		// The placement installation costs one state message up and one
+		// directive down per coordinated content (the protocol's
+		// measured counterpart of W(x) = w*n*x).
+		res.CoordMessages = 2 * totalCoord
+		res.CoordConvergence = 0
+		if m := sc.Topology.MeasuredLatencies(); m != nil {
+			var maxLat float64
+			for i := range m {
+				for j := range m[i] {
+					maxLat = math.Max(maxLat, m[i][j])
+				}
+			}
+			res.CoordConvergence = 2 * maxLat
+		}
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			local, err := cache.NewStatic(cache.TopK(min64(capOf(r)-coordOf(r), sc.CatalogSize)))
+			if err != nil {
+				return nil, err
+			}
+			coordPart, err := cache.NewStatic(asg.Contents(r))
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewPartitioned(local, coordPart)
+		}
+	case PolicyLRU:
+		mode = ccn.CacheLCE
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewLRU(int(capOf(r)))
+		}
+	case PolicyLFU:
+		mode = ccn.CacheLCE
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewLFU(int(capOf(r)))
+		}
+	case PolicySLRU:
+		mode = ccn.CacheLCE
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewSLRU(int(capOf(r)), 0.8)
+		}
+	case PolicyTwoQ:
+		mode = ccn.CacheLCE
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewTwoQ(int(capOf(r)), 0.25)
+		}
+	case PolicyProbCache:
+		mode = ccn.CacheProb
+		stores = func(r topology.NodeID) (cache.Store, error) {
+			return cache.NewLRU(int(capOf(r)))
+		}
+	default:
+		return Result{}, fmt.Errorf("sim: unknown policy %d", sc.Policy)
+	}
+
+	net, err := ccn.NewNetwork(eng, sc.Topology, cat, ccn.Options{
+		AccessLatency:    sc.AccessLatency,
+		Stores:           stores,
+		Mode:             mode,
+		Directory:        directory,
+		LossRate:         sc.LossRate,
+		RetxTimeout:      sc.RetxTimeout,
+		LossSeed:         sc.Seed + 7,
+		CacheProbability: probCacheAdmission,
+		LinkRate:         sc.LinkRate,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	if sc.OriginGateway >= 0 {
+		err = net.AttachOriginAt(sc.OriginGateway, sc.OriginLatency)
+	} else {
+		err = net.AttachOriginUniform(sc.OriginLatency)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	// Per-router workloads and Poisson arrival processes.
+	interArrival := sc.MeanInterArrival
+	if interArrival <= 0 {
+		interArrival = 1
+	}
+	total := sc.Requests + sc.Warmup
+	perRouter := total / len(routers)
+	extra := total % len(routers)
+	warmPerRouter := sc.Warmup / len(routers)
+	warmExtra := sc.Warmup % len(routers)
+
+	var latency, hops, peerHops metrics.Mean
+	var tierLat [3]metrics.Mean
+	// The histogram range covers the worst possible round trip: access,
+	// the network diameter twice, and the origin uplink, doubled for
+	// slack.
+	maxRTT := 2 * (sc.AccessLatency + 2*sc.Topology.ShortestPathsLatency().MaxDist() + sc.OriginLatency) * 2
+	latencyHist, err := metrics.NewHistogram(0, math.Max(maxRTT, 1), 2048)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	counts := metrics.NewCounter()
+	peerServes := make(map[topology.NodeID]int64)
+	var reportCounts []map[catalog.ID]int64
+	if sc.CollectReports {
+		reportCounts = make([]map[catalog.ID]int64, len(routers))
+		for i := range reportCounts {
+			reportCounts[i] = make(map[catalog.ID]int64)
+		}
+	}
+	measured := 0
+
+	for i, r := range routers {
+		var gen workload.Generator
+		var err error
+		if sc.WorkloadFactory != nil {
+			gen, err = sc.WorkloadFactory(r)
+		} else {
+			gen, err = workload.NewZipf(sc.ZipfS, sc.CatalogSize, sc.Seed+int64(i)*1697)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: workload for router %d: %w", r, err)
+		}
+		if gen == nil {
+			return Result{}, fmt.Errorf("sim: nil workload generator for router %d", r)
+		}
+		nReq := perRouter
+		if i < extra {
+			nReq++
+		}
+		nWarm := warmPerRouter
+		if i < warmExtra {
+			nWarm++
+		}
+		rng := rand.New(rand.NewSource(sc.Seed ^ int64(i)*7907))
+		t := 0.0
+		for k := 0; k < nReq; k++ {
+			t += rng.ExpFloat64() * interArrival
+			id := gen.Next()
+			// Per-router arrivals are time-ordered, so the first nWarm
+			// requests of each router form the warmup phase.
+			isWarm := k < nWarm
+			r := r
+			err := eng.At(t, func() {
+				reqErr := net.Request(r, id, func(result ccn.RequestResult) {
+					if isWarm {
+						return
+					}
+					measured++
+					latency.Observe(result.Latency())
+					latencyHist.Observe(result.Latency())
+					hops.Observe(float64(result.Hops))
+					counts.Inc(result.ServedBy.String())
+					tierLat[int(result.ServedBy)].Observe(result.Latency())
+					if result.ServedBy == ccn.ServedPeer {
+						peerHops.Observe(float64(result.Hops))
+						peerServes[result.Server]++
+					}
+					if reportCounts != nil {
+						reportCounts[result.Router][result.Content]++
+					}
+				})
+				if reqErr != nil {
+					panic(fmt.Sprintf("sim: issuing request: %v", reqErr))
+				}
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: scheduling request: %w", err)
+			}
+		}
+	}
+
+	eng.Run()
+
+	if measured == 0 {
+		return Result{}, fmt.Errorf("sim: no measured requests completed")
+	}
+	res.Requests = measured
+	res.OriginLoad = float64(counts.Get("origin")) / float64(measured)
+	res.LocalHit = float64(counts.Get("local")) / float64(measured)
+	res.PeerHit = float64(counts.Get("peer")) / float64(measured)
+	res.MeanLatency = latency.Value()
+	res.LatencyP50 = latencyHist.Quantile(0.50)
+	res.LatencyP95 = latencyHist.Quantile(0.95)
+	res.LatencyP99 = latencyHist.Quantile(0.99)
+	res.MeanHops = hops.Value()
+	res.TierLatency = TierLatencies{
+		Local:  tierLat[int(ccn.ServedLocal)].Value(),
+		Peer:   tierLat[int(ccn.ServedPeer)].Value(),
+		Origin: tierLat[int(ccn.ServedOrigin)].Value(),
+	}
+	res.PeerHops = peerHops.Value()
+	if len(peerServes) > 0 {
+		var total, worst int64
+		for _, c := range peerServes {
+			total += c
+			if c > worst {
+				worst = c
+			}
+		}
+		mean := float64(total) / float64(len(peerServes))
+		res.PeerLoadImbalance = float64(worst) / mean
+	}
+	res.InterestTransmissions = net.InterestTransmissions()
+	res.DataTransmissions = net.DataTransmissions()
+	res.DroppedInterests = net.DroppedInterests()
+	res.DroppedData = net.DroppedData()
+	res.Retransmissions = net.Retransmissions()
+	res.MeanQueueingDelay = net.MeanQueueingDelay()
+	res.QueuedPackets = net.QueuedPackets()
+	if reportCounts != nil {
+		res.Reports = make([]coord.Report, len(routers))
+		for i, r := range routers {
+			res.Reports[i] = coord.Report{Router: r, Counts: reportCounts[i]}
+		}
+	}
+	return res, nil
+}
+
+// min64 returns the smaller of a and b.
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// probCacheAdmission is the per-router admission probability used by
+// PolicyProbCache.
+const probCacheAdmission = 0.3

@@ -1,0 +1,238 @@
+// Package solve provides the one-dimensional root finders and minimizers
+// the analytical model needs: bisection, Brent's method, Newton iteration,
+// golden-section search, and central-difference differentiation. Go's
+// ecosystem has no stdlib equivalent of SciPy's optimize module, so these
+// are implemented from scratch on top of math only.
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket reports that a root finder was given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("solve: interval does not bracket a root")
+
+// ErrMaxIter reports that an iterative method exhausted its iteration
+// budget before converging.
+var ErrMaxIter = errors.New("solve: maximum iterations exceeded")
+
+// defaultMaxIter bounds every iterative method in this package.
+const defaultMaxIter = 200
+
+// Func is a scalar function of one variable.
+type Func func(float64) float64
+
+// Bisect finds a root of f in [lo, hi] by bisection. The endpoints must
+// bracket a sign change (f(lo)*f(hi) <= 0). It converges unconditionally
+// and returns a point where the interval width has shrunk below tol.
+func Bisect(f Func, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for i := 0; i < 500; i++ {
+		mid := lo + (hi-lo)/2
+		if hi-lo < tol || mid == lo || mid == hi {
+			return mid, nil
+		}
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fmid) == math.Signbit(flo) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). The endpoints must
+// bracket a sign change. It typically converges superlinearly and is the
+// preferred root finder for smooth functions.
+func Brent(f Func, lo, hi, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	c, fc := a, fa
+	var d, e float64 = b - a, b - a
+	for i := 0; i < defaultMaxIter; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.Nextafter(math.Abs(b), math.Inf(1))*0x1p-52 + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				// Secant step.
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				// Inverse quadratic interpolation.
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if math.Signbit(fb) == math.Signbit(fc) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return 0, fmt.Errorf("%w: Brent after %d iterations", ErrMaxIter, defaultMaxIter)
+}
+
+// Newton finds a root of f starting from x0 using Newton-Raphson iteration
+// with derivative df. It fails if the derivative vanishes or the iteration
+// budget runs out before |f(x)| or the step drops below tol.
+func Newton(f, df Func, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	x := x0
+	for i := 0; i < defaultMaxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) < tol {
+			return x, nil
+		}
+		dfx := df(x)
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			return 0, fmt.Errorf("solve: Newton derivative unusable (%g) at x=%g", dfx, x)
+		}
+		step := fx / dfx
+		x -= step
+		if math.Abs(step) < tol {
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: Newton after %d iterations", ErrMaxIter, defaultMaxIter)
+}
+
+// invPhi is 1/phi, the golden-section reduction factor.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal f on [lo, hi] and returns the
+// minimizing abscissa to within tol. For convex functions (the model's
+// objective T_w is convex by Lemma 1) unimodality always holds.
+func GoldenSection(f Func, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x1 := hi - invPhi*(hi-lo)
+	x2 := lo + invPhi*(hi-lo)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 500 && hi-lo > tol; i++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - invPhi*(hi-lo)
+			f1 = f(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + invPhi*(hi-lo)
+			f2 = f(x2)
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Derivative estimates f'(x) with a symmetric central difference of
+// half-width h. If h <= 0 a scale-aware default is used.
+func Derivative(f Func, x, h float64) float64 {
+	if h <= 0 {
+		h = 1e-6 * math.Max(1, math.Abs(x))
+	}
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative estimates f”(x) with a second-order central
+// difference of half-width h. If h <= 0 a scale-aware default is used.
+func SecondDerivative(f Func, x, h float64) float64 {
+	if h <= 0 {
+		h = 1e-4 * math.Max(1, math.Abs(x))
+	}
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// MinimizeConvexBounded minimizes a differentiable convex f on [lo, hi]
+// given its derivative df. It first checks the boundary gradients — if
+// df(lo) >= 0 the minimum is at lo; if df(hi) <= 0 it is at hi — and
+// otherwise finds the interior stationary point by Brent root finding on
+// df (falling back to bisection if Brent stalls).
+func MinimizeConvexBounded(df Func, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("solve: invalid interval [%g, %g]", lo, hi)
+	}
+	dlo, dhi := df(lo), df(hi)
+	if dlo >= 0 {
+		return lo, nil
+	}
+	if dhi <= 0 {
+		return hi, nil
+	}
+	x, err := Brent(df, lo, hi, tol)
+	if err != nil {
+		x, err = Bisect(df, lo, hi, tol)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("solve: convex minimization failed: %w", err)
+	}
+	return x, nil
+}

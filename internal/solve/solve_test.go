@@ -1,0 +1,237 @@
+package solve
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectBasicRoots(t *testing.T) {
+	tests := []struct {
+		name   string
+		f      Func
+		lo, hi float64
+		want   float64
+	}{
+		{"linear", func(x float64) float64 { return 2*x - 4 }, 0, 10, 2},
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cubic", func(x float64) float64 { return x*x*x - 27 }, 0, 10, 3},
+		{"cosine", math.Cos, 0, 3, math.Pi / 2},
+		{"reversed interval", func(x float64) float64 { return x - 1 }, 5, 0, 1},
+		{"root at lo", func(x float64) float64 { return x }, 0, 1, 0},
+		{"root at hi", func(x float64) float64 { return x - 1 }, 0, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Bisect(tt.f, tt.lo, tt.hi, 1e-12)
+			if err != nil {
+				t.Fatalf("Bisect: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Bisect = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentBasicRoots(t *testing.T) {
+	tests := []struct {
+		name   string
+		f      Func
+		lo, hi float64
+		want   float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"exp crossing", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+		{"steep power", func(x float64) float64 { return math.Pow(x, -0.8) - 3 }, 1e-6, 1, math.Pow(3, -1.25)},
+		{"root at lo", func(x float64) float64 { return x }, 0, 1, 0},
+		{"root at hi", func(x float64) float64 { return x - 1 }, 0, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Brent(tt.f, tt.lo, tt.hi, 1e-13)
+			if err != nil {
+				t.Fatalf("Brent: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-8 {
+				t.Errorf("Brent = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	_, err := Brent(func(x float64) float64 { return 1 + x*x }, -2, 2, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+// TestBrentAgreesWithBisect property test: on random monotone lines the
+// two root finders must agree.
+func TestBrentAgreesWithBisect(t *testing.T) {
+	f := func(a, b uint16) bool {
+		slope := 0.1 + float64(a%1000)/100
+		root := float64(b%500)/100 + 0.5 // in (0.5, 5.5)
+		fn := func(x float64) float64 { return slope * (x - root) }
+		r1, err1 := Bisect(fn, 0, 6, 1e-12)
+		r2, err2 := Brent(fn, 0, 6, 1e-12)
+		return err1 == nil && err2 == nil && math.Abs(r1-r2) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewton(t *testing.T) {
+	got, err := Newton(
+		func(x float64) float64 { return x*x - 2 },
+		func(x float64) float64 { return 2 * x },
+		1.0, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt2) > 1e-10 {
+		t.Errorf("Newton = %v, want sqrt2", got)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	_, err := Newton(
+		func(x float64) float64 { return x*x + 1 },
+		func(x float64) float64 { return 0 },
+		1.0, 1e-12)
+	if err == nil {
+		t.Error("Newton with zero derivative should fail")
+	}
+}
+
+func TestNewtonDiverges(t *testing.T) {
+	// atan has a well-known Newton divergence for large starting points.
+	_, err := Newton(math.Atan, func(x float64) float64 { return 1 / (1 + x*x) }, 1e8, 1e-15)
+	if err == nil {
+		t.Skip("converged anyway; acceptable")
+	}
+	if !errors.Is(err, ErrMaxIter) && err != nil {
+		t.Logf("failed with: %v", err) // any failure mode is acceptable
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	tests := []struct {
+		name   string
+		f      Func
+		lo, hi float64
+		want   float64
+	}{
+		{"parabola", func(x float64) float64 { return (x - 3) * (x - 3) }, 0, 10, 3},
+		{"quartic", func(x float64) float64 { return math.Pow(x-1.5, 4) }, -5, 5, 1.5},
+		{"boundary min lo", func(x float64) float64 { return x }, 2, 5, 2},
+		{"boundary min hi", func(x float64) float64 { return -x }, 2, 5, 5},
+		{"reversed", func(x float64) float64 { return (x - 3) * (x - 3) }, 10, 0, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := GoldenSection(tt.f, tt.lo, tt.hi, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-6 {
+				t.Errorf("GoldenSection = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func
+		x    float64
+		want float64
+	}{
+		{"x^2 at 3", func(x float64) float64 { return x * x }, 3, 6},
+		{"sin at 0", math.Sin, 0, 1},
+		{"exp at 1", math.Exp, 1, math.E},
+		{"x^-0.8 at 2", func(x float64) float64 { return math.Pow(x, -0.8) }, 2, -0.8 * math.Pow(2, -1.8)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Derivative(tt.f, tt.x, 0)
+			if math.Abs(got-tt.want) > 1e-6*math.Max(1, math.Abs(tt.want)) {
+				t.Errorf("Derivative = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	got := SecondDerivative(func(x float64) float64 { return x * x * x }, 2, 0)
+	if math.Abs(got-12) > 1e-4 {
+		t.Errorf("SecondDerivative(x^3, 2) = %v, want 12", got)
+	}
+}
+
+func TestMinimizeConvexBounded(t *testing.T) {
+	tests := []struct {
+		name   string
+		df     Func
+		lo, hi float64
+		want   float64
+	}{
+		{"interior", func(x float64) float64 { return 2 * (x - 3) }, 0, 10, 3},
+		{"clamped lo", func(x float64) float64 { return 2 * (x + 1) }, 0, 10, 0},
+		{"clamped hi", func(x float64) float64 { return 2 * (x - 20) }, 0, 10, 10},
+		{"singular edge", func(x float64) float64 { return math.Pow(1-x, -0.8) - math.Pow(x, -0.8) }, 1e-9, 1 - 1e-9, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MinimizeConvexBounded(tt.df, tt.lo, tt.hi, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-6 {
+				t.Errorf("MinimizeConvexBounded = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinimizeConvexBoundedBadInterval(t *testing.T) {
+	if _, err := MinimizeConvexBounded(func(x float64) float64 { return x }, 5, 1, 1e-9); err == nil {
+		t.Error("want error for inverted interval")
+	}
+}
+
+// TestMinimizeMatchesGoldenSection cross-checks the two minimizers on a
+// family of shifted convex functions.
+func TestMinimizeMatchesGoldenSection(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := 0.5 + float64(seed%90)/10 // minimum in (0.5, 9.5)
+		fn := func(x float64) float64 { return (x - m) * (x - m) * (1 + 0.1*(x-m)*(x-m)) }
+		dfn := func(x float64) float64 { return Derivative(fn, x, 1e-7) }
+		x1, err1 := GoldenSection(fn, 0, 10, 1e-10)
+		x2, err2 := MinimizeConvexBounded(dfn, 0, 10, 1e-10)
+		return err1 == nil && err2 == nil && math.Abs(x1-x2) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBrent(b *testing.B) {
+	f := func(x float64) float64 { return math.Pow(x, -0.8) - math.Pow(1-x, -0.8) - 2 }
+	for i := 0; i < b.N; i++ {
+		if _, err := Brent(f, 1e-9, 1-1e-9, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

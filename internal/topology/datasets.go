@@ -1,0 +1,261 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// This file embeds the four evaluation topologies of the paper's Table II.
+//
+// Abilene uses the real Internet2/Abilene backbone map (11 aggregation
+// points, 14 undirected links) with latencies derived from great-circle
+// fiber distances. The paper's CERNET, GEANT and US-A latency matrices are
+// not publicly available in machine-readable form (US-A is an anonymized
+// tier-1 carrier by construction), so those graphs are synthesized with a
+// geometric (Waxman) generator at the exact |V| and |E| of Table II, with
+// the generator seed chosen so the mean pairwise hop count matches Table
+// III, and link latencies affinely calibrated so the extracted parameters
+// (w = max pairwise latency, d1-d0 = mean pairwise latency) reproduce
+// Table III. All downstream evaluation consumes only those extracted
+// parameters, so the substitution is behavior-preserving (DESIGN.md §4).
+
+// PaperParams holds Table III's published values for comparison against
+// extracted parameters.
+type PaperParams struct {
+	N           int
+	UnitCost    float64 // w, ms
+	TierGapMs   float64 // d1-d0, ms
+	TierGapHops float64 // d1-d0, hops
+}
+
+// PaperTable3 maps topology name to the parameters published in Table III.
+var PaperTable3 = map[string]PaperParams{
+	"Abilene": {N: 11, UnitCost: 22.3, TierGapMs: 14.3, TierGapHops: 2.4182},
+	"CERNET":  {N: 36, UnitCost: 33.3, TierGapMs: 16.2, TierGapHops: 2.8238},
+	"GEANT":   {N: 23, UnitCost: 27.8, TierGapMs: 16.0, TierGapHops: 2.6008},
+	"US-A":    {N: 20, UnitCost: 26.7, TierGapMs: 15.7, TierGapHops: 2.2842},
+}
+
+// PaperTable2 maps topology name to Table II's size statistics (|E| in
+// the paper's directed-edge convention) and metadata.
+var PaperTable2 = map[string]struct {
+	V, E         int
+	Region, Type string
+}{
+	"Abilene": {11, 28, "North America", "Educational"},
+	"CERNET":  {36, 112, "East Asia", "Educational"},
+	"GEANT":   {23, 74, "Europe", "Educational"},
+	"US-A":    {20, 80, "North America", "Commercial"},
+}
+
+// abileneCity is one Abilene aggregation point.
+type abileneCity struct {
+	name     string
+	lat, lon float64
+}
+
+var abileneCities = []abileneCity{
+	{"Seattle", 47.61, -122.33},      // 0
+	{"Sunnyvale", 37.37, -122.04},    // 1
+	{"Los Angeles", 34.05, -118.24},  // 2
+	{"Denver", 39.74, -104.99},       // 3
+	{"Kansas City", 39.10, -94.58},   // 4
+	{"Houston", 29.76, -95.37},       // 5
+	{"Chicago", 41.88, -87.63},       // 6
+	{"Indianapolis", 39.77, -86.16},  // 7
+	{"Atlanta", 33.75, -84.39},       // 8
+	{"Washington DC", 38.91, -77.04}, // 9
+	{"New York", 40.71, -74.01},      // 10
+}
+
+// abileneLinks is the classic Abilene backbone (Internet2 map, 2004-2007).
+var abileneLinks = [][2]int{
+	{0, 1},  // Seattle - Sunnyvale
+	{0, 3},  // Seattle - Denver
+	{1, 2},  // Sunnyvale - Los Angeles
+	{1, 3},  // Sunnyvale - Denver
+	{2, 5},  // Los Angeles - Houston
+	{3, 4},  // Denver - Kansas City
+	{4, 5},  // Kansas City - Houston
+	{4, 7},  // Kansas City - Indianapolis
+	{5, 8},  // Houston - Atlanta
+	{6, 7},  // Chicago - Indianapolis
+	{6, 10}, // Chicago - New York
+	{7, 8},  // Indianapolis - Atlanta
+	{8, 9},  // Atlanta - Washington DC
+	{9, 10}, // Washington DC - New York
+}
+
+// fiberDetourFactor inflates great-circle distance to typical fiber-route
+// distance.
+const fiberDetourFactor = 1.3
+
+// buildAbilene constructs the real Abilene graph and calibrates its link
+// latencies against Table III.
+func buildAbilene() *Graph {
+	g := New("Abilene")
+	for _, c := range abileneCities {
+		g.AddNode(c.name, c.lat, c.lon)
+	}
+	for _, ln := range abileneLinks {
+		a, b := abileneCities[ln[0]], abileneCities[ln[1]]
+		km := GreatCircleKm(a.lat, a.lon, b.lat, b.lon)
+		g.MustAddEdge(NodeID(ln[0]), NodeID(ln[1]), PropagationMs(km*fiberDetourFactor)+0.3)
+	}
+	target := PaperTable3["Abilene"]
+	calibrate(g, target, 11)
+	return g
+}
+
+// synthSpec drives the synthesis of one unavailable dataset.
+type synthSpec struct {
+	name     string
+	nodes    int
+	links    int // undirected
+	fieldKm  float64
+	perHopMs float64
+}
+
+var synthSpecs = []synthSpec{
+	{"CERNET", 36, 56, 3200, 0.4},
+	{"GEANT", 23, 37, 3400, 0.4},
+	{"US-A", 20, 40, 4200, 0.4},
+}
+
+// buildSynth generates the named dataset: a seed search minimizes the
+// mean-hop-count error against Table III, then latencies are calibrated.
+func buildSynth(spec synthSpec) *Graph {
+	target := PaperTable3[spec.name]
+	const seedTrials = 300
+	var best *Graph
+	var bestSeed int64
+	bestErr := math.Inf(1)
+	consider := func(g *Graph, err error, seed int64) {
+		if err != nil || !g.Connected() {
+			return
+		}
+		hops := g.ShortestPathsHops().MeanDist(false)
+		if e := math.Abs(hops - target.TierGapHops); e < bestErr {
+			best, bestErr, bestSeed = g, e, seed
+		}
+	}
+	for seed := int64(1); seed <= seedTrials; seed++ {
+		g, err := Waxman(spec.name, spec.nodes, spec.links, spec.fieldKm, spec.perHopMs, seed)
+		consider(g, err, seed)
+		// Non-geometric wiring reaches hop statistics the geometric
+		// generator cannot; latencies are recalibrated afterwards either
+		// way.
+		g, err = RandomConnected(spec.nodes, spec.links, 2, 12, seed)
+		if err == nil {
+			g.name = spec.name
+		}
+		consider(g, err, seed)
+	}
+	if best == nil {
+		panic(fmt.Sprintf("topology: could not synthesize %s", spec.name))
+	}
+	calibrate(best, target, bestSeed)
+	return best
+}
+
+// calibrate attaches a measured pairwise latency matrix whose mean and
+// max off-diagonal entries equal Table III's d1-d0 (ms) and w exactly.
+//
+// The paper's datasets provide measured d_ij per router pair, which — as
+// with real measurements — need not be additive along shortest paths.
+// The matrix is derived from the graph's shortest-path latencies with a
+// deterministic +-10% measurement jitter, then mapped affinely
+// (d -> a*d + t, which shifts mean and max by the same transform) onto
+// the targets. Link latencies are also rescaled so the link-level mean
+// matches the target, keeping the graph itself plausible.
+func calibrate(g *Graph, target PaperParams, seed int64) {
+	lat := g.ShortestPathsLatency()
+	if cur := lat.MeanDist(false); cur > 0 {
+		_ = g.ScaleLatencies(target.TierGapMs / cur)
+		lat = g.ShortestPathsLatency()
+	}
+
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed * 7919))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jit := 0.9 + 0.2*rng.Float64()
+			v := lat.Dist[i][j] * jit
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	curMean := matrixMean(m)
+	curMax := matrixMax(m)
+	curMin := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && m[i][j] < curMin {
+				curMin = m[i][j]
+			}
+		}
+	}
+	a, t := 1.0, 0.0
+	if curMax > curMean {
+		a = (target.UnitCost - target.TierGapMs) / (curMax - curMean)
+		t = target.TierGapMs - a*curMean
+	}
+	if !(a > 0) || a*curMin+t <= 0.01 {
+		// Degenerate spread; fall back to matching the mean only.
+		a, t = target.TierGapMs/curMean, 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m[i][j] = a*m[i][j] + t
+			}
+		}
+	}
+	if err := g.SetMeasuredLatencies(m); err != nil {
+		panic(fmt.Sprintf("topology: calibrating %s: %v", g.Name(), err))
+	}
+}
+
+var (
+	abileneOnce sync.Once
+	abileneG    *Graph
+	synthOnce   sync.Once
+	synthG      map[string]*Graph
+)
+
+// Abilene returns the real Internet2/Abilene topology calibrated to Table
+// III. The returned graph is a fresh copy; callers may mutate it.
+func Abilene() *Graph {
+	abileneOnce.Do(func() { abileneG = buildAbilene() })
+	return abileneG.Clone()
+}
+
+func synth(name string) *Graph {
+	synthOnce.Do(func() {
+		synthG = make(map[string]*Graph, len(synthSpecs))
+		for _, spec := range synthSpecs {
+			synthG[spec.name] = buildSynth(spec)
+		}
+	})
+	return synthG[name].Clone()
+}
+
+// CERNET returns the synthesized CERNET dataset (see package comment).
+func CERNET() *Graph { return synth("CERNET") }
+
+// GEANT returns the synthesized GEANT dataset (see package comment).
+func GEANT() *Graph { return synth("GEANT") }
+
+// USA returns the synthesized US-A dataset (see package comment).
+func USA() *Graph { return synth("US-A") }
+
+// All returns the four evaluation topologies in the paper's Table II
+// order.
+func All() []*Graph {
+	return []*Graph{Abilene(), CERNET(), GEANT(), USA()}
+}

@@ -1,0 +1,25 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the topology in Graphviz DOT format, with link
+// latencies as edge labels. It is used by the ccntopo CLI to export maps
+// like the paper's Figure 3.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.name)
+	b.WriteString("  node [shape=ellipse fontsize=10];\n")
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, n.Name)
+	}
+	for _, e := range g.EdgeList() {
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%.1fms\"];\n", e.A, e.B, e.Latency)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,38 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/topology"
+)
+
+// ExampleExtractParams reproduces the paper's Table III row for the
+// real Abilene backbone.
+func ExampleExtractParams() {
+	p, err := topology.ExtractParams(topology.Abilene())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: n=%d w=%.1fms d1-d0=%.1fms (%.4f hops)\n",
+		p.Name, p.N, p.UnitCost, p.TierGapMs, p.TierGapHops)
+	// Output: Abilene: n=11 w=22.3ms d1-d0=14.3ms (2.4182 hops)
+}
+
+// ExampleGraph_ShortestPathsLatency routes around an expensive direct
+// link.
+func ExampleGraph_ShortestPathsLatency() {
+	g := topology.New("triangle")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 0, 0)
+	c := g.AddNode("c", 0, 0)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(a, c, 10)
+	sp := g.ShortestPathsLatency()
+	path, err := sp.Path(a, c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sp.Dist[a][c], path)
+	// Output: 3 [0 1 2]
+}

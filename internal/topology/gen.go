@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file provides deterministic topology generators. They are used for
+// the paper's network-size sweeps (Figures 6 and 10) and to synthesize
+// the CERNET/GEANT/US-A evaluation topologies whose measured latency
+// matrices are not publicly available (see DESIGN.md section 4).
+
+// Ring returns a cycle of n >= 3 nodes with the given uniform link
+// latency.
+func Ring(n int, latency float64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 nodes, got %d", n)
+	}
+	g := New(fmt.Sprintf("ring-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i), 0, 0)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID((i+1)%n), latency); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star returns a hub-and-spoke topology with n >= 2 nodes (node 0 is the
+// hub) and the given uniform link latency.
+func Star(n int, latency float64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs at least 2 nodes, got %d", n)
+	}
+	g := New(fmt.Sprintf("star-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i), 0, 0)
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(0, NodeID(i), latency); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows x cols lattice with the given uniform link latency.
+func Grid(rows, cols int, latency float64) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: grid %dx%d too small", rows, cols)
+	}
+	g := New(fmt.Sprintf("grid-%dx%d", rows, cols))
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(fmt.Sprintf("r%d_%d", r, c), float64(r), float64(c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1), latency); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c), latency); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomConnected returns a connected graph with exactly n nodes and m
+// undirected edges: a uniformly random spanning tree plus random extra
+// links. Link latencies are drawn uniformly from [minLat, maxLat). The
+// same seed always yields the same graph.
+func RandomConnected(n, m int, minLat, maxLat float64, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		return nil, fmt.Errorf("topology: edge count %d outside [n-1=%d, %d]", m, n-1, maxM)
+	}
+	if !(minLat > 0) || maxLat < minLat {
+		return nil, fmt.Errorf("topology: invalid latency range [%v, %v)", minLat, maxLat)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(fmt.Sprintf("random-%d-%d", n, m))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i), 0, 0)
+	}
+	draw := func() float64 {
+		if maxLat == minLat {
+			return minLat
+		}
+		return minLat + rng.Float64()*(maxLat-minLat)
+	}
+	// Random spanning tree: attach each new node to a uniformly chosen
+	// earlier node (random recursive tree).
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := NodeID(perm[i])
+		b := NodeID(perm[rng.Intn(i)])
+		if err := g.AddEdge(a, b, draw()); err != nil {
+			return nil, err
+		}
+	}
+	for g.Edges() < m {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		if err := g.AddEdge(a, b, draw()); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Waxman returns a connected geometric random graph: n nodes placed
+// uniformly in a fieldKm x fieldKm plane, connected by a minimum-style
+// spanning structure plus Waxman-probability extra links until exactly m
+// edges exist. Link latencies are propagation delays of the node
+// distances plus perHopMs of fixed processing delay, which makes the
+// synthesized graphs' latency spreads resemble real backbone networks.
+func Waxman(name string, n, m int, fieldKm, perHopMs float64, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		return nil, fmt.Errorf("topology: edge count %d outside [n-1=%d, %d]", m, n-1, maxM)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(name)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * fieldKm
+		ys[i] = rng.Float64() * fieldKm
+		g.AddNode(fmt.Sprintf("%s-%d", name, i), ys[i], xs[i])
+	}
+	distKm := func(a, b int) float64 {
+		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	}
+	latency := func(a, b int) float64 {
+		return PropagationMs(distKm(a, b)) + perHopMs
+	}
+	// Greedy short-edge spanning tree: connect each unvisited node to its
+	// nearest visited node (Prim's algorithm), mimicking how backbones
+	// link nearby cities.
+	visited := []int{0}
+	inTree := make([]bool, n)
+	inTree[0] = true
+	for len(visited) < n {
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for _, u := range visited {
+			for v := 0; v < n; v++ {
+				if !inTree[v] && distKm(u, v) < bestD {
+					bestU, bestV, bestD = u, v, distKm(u, v)
+				}
+			}
+		}
+		if err := g.AddEdge(NodeID(bestU), NodeID(bestV), latency(bestU, bestV)); err != nil {
+			return nil, err
+		}
+		inTree[bestV] = true
+		visited = append(visited, bestV)
+	}
+	// Extra links by Waxman probability beta*exp(-d/(alphaW*L)), retried
+	// until the target edge count is met. Candidates are shuffled
+	// deterministically for reproducibility.
+	const beta, alphaW = 0.6, 0.25
+	maxD := fieldKm * math.Sqrt2
+	type cand struct{ a, b int }
+	var cands []cand
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			cands = append(cands, cand{a, b})
+		}
+	}
+	for g.Edges() < m {
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		added := false
+		for _, cd := range cands {
+			if g.Edges() >= m {
+				break
+			}
+			if g.HasEdge(NodeID(cd.a), NodeID(cd.b)) {
+				continue
+			}
+			p := beta * math.Exp(-distKm(cd.a, cd.b)/(alphaW*maxD))
+			if rng.Float64() < p {
+				if err := g.AddEdge(NodeID(cd.a), NodeID(cd.b), latency(cd.a, cd.b)); err != nil {
+					return nil, err
+				}
+				added = true
+			}
+		}
+		if !added {
+			// Degenerate acceptance round; force the closest missing pair
+			// so the loop always terminates.
+			sort.Slice(cands, func(i, j int) bool {
+				return distKm(cands[i].a, cands[i].b) < distKm(cands[j].a, cands[j].b)
+			})
+			for _, cd := range cands {
+				if !g.HasEdge(NodeID(cd.a), NodeID(cd.b)) {
+					if err := g.AddEdge(NodeID(cd.a), NodeID(cd.b), latency(cd.a, cd.b)); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New("tri")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 0, 0)
+	c := g.AddNode("c", 0, 0)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(a, c, 10)
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 0, 0)
+	tests := []struct {
+		name    string
+		a, b    NodeID
+		latency float64
+	}{
+		{"self loop", a, a, 1},
+		{"unknown node", a, 99, 1},
+		{"negative node", -1, b, 1},
+		{"zero latency", a, b, 0},
+		{"negative latency", a, b, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.a, tt.b, tt.latency); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if err := g.AddEdge(a, b, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(b, a, 2); err == nil {
+		t.Error("duplicate edge (reversed) accepted")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 || g.Edges() != 3 || g.DirectedEdgeCount() != 6 {
+		t.Errorf("N=%d Edges=%d Directed=%d, want 3/3/6", g.N(), g.Edges(), g.DirectedEdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 99) {
+		t.Error("HasEdge with unknown node should be false")
+	}
+	n, err := g.Node(1)
+	if err != nil || n.Name != "b" {
+		t.Errorf("Node(1) = %+v, %v", n, err)
+	}
+	if _, err := g.Node(42); err == nil {
+		t.Error("Node(42) should fail")
+	}
+	if lat, err := g.EdgeLatency(1, 2); err != nil || lat != 2 {
+		t.Errorf("EdgeLatency(1,2) = %v, %v", lat, err)
+	}
+	if _, err := g.EdgeLatency(0, 42); err == nil {
+		t.Error("EdgeLatency on missing edge should fail")
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 {
+		t.Errorf("Neighbors(0) = %v, want 2 entries", nb)
+	}
+	if g.Neighbors(99) != nil {
+		t.Error("Neighbors of unknown node should be nil")
+	}
+	edges := g.EdgeList()
+	if len(edges) != 3 || edges[0].A > edges[0].B {
+		t.Errorf("EdgeList = %+v", edges)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := triangle(t)
+	if !g.Connected() {
+		t.Error("triangle should be connected")
+	}
+	g.AddNode("isolated", 0, 0)
+	if g.Connected() {
+		t.Error("graph with isolated node should not be connected")
+	}
+	empty := New("e")
+	if !empty.Connected() {
+		t.Error("empty graph is connected by convention")
+	}
+}
+
+func TestScaleAndTransformLatencies(t *testing.T) {
+	g := triangle(t)
+	if err := g.ScaleLatencies(2); err != nil {
+		t.Fatal(err)
+	}
+	if lat, _ := g.EdgeLatency(0, 1); lat != 2 {
+		t.Errorf("scaled latency = %v, want 2", lat)
+	}
+	if err := g.ScaleLatencies(0); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if err := g.TransformLatencies(func(l float64) float64 { return l + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if lat, _ := g.EdgeLatency(0, 1); lat != 3 {
+		t.Errorf("transformed latency = %v, want 3", lat)
+	}
+	before, _ := g.EdgeLatency(1, 2)
+	if err := g.TransformLatencies(func(l float64) float64 { return l - 100 }); err == nil {
+		t.Error("transform to negative latency should fail")
+	}
+	if after, _ := g.EdgeLatency(1, 2); after != before {
+		t.Error("failed transform must leave the graph unchanged")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle(t)
+	m := [][]float64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}}
+	if err := g.SetMeasuredLatencies(m); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.ScaleLatencies(10); err != nil {
+		t.Fatal(err)
+	}
+	if lat, _ := g.EdgeLatency(0, 1); lat != 1 {
+		t.Error("mutating clone affected original links")
+	}
+	cm := c.MeasuredLatencies()
+	cm[0][1] = 999
+	if g.MeasuredLatencies()[0][1] != 1 {
+		t.Error("measured matrix not deep-copied")
+	}
+}
+
+func TestSetMeasuredLatenciesValidation(t *testing.T) {
+	g := triangle(t)
+	tests := []struct {
+		name string
+		m    [][]float64
+	}{
+		{"wrong rows", [][]float64{{0, 1}, {1, 0}}},
+		{"ragged", [][]float64{{0, 1, 2}, {1, 0}, {2, 3, 0}}},
+		{"nonzero diagonal", [][]float64{{1, 1, 2}, {1, 0, 3}, {2, 3, 0}}},
+		{"zero off-diagonal", [][]float64{{0, 0, 2}, {0, 0, 3}, {2, 3, 0}}},
+		{"asymmetric", [][]float64{{0, 1, 2}, {5, 0, 3}, {2, 3, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.SetMeasuredLatencies(tt.m); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if g.MeasuredLatencies() != nil {
+		t.Error("failed SetMeasuredLatencies must not attach a matrix")
+	}
+}
+
+func TestGreatCircleKm(t *testing.T) {
+	// New York <-> Los Angeles is about 3940 km.
+	d := GreatCircleKm(40.71, -74.01, 34.05, -118.24)
+	if d < 3800 || d > 4100 {
+		t.Errorf("NY-LA distance = %v km, want ~3940", d)
+	}
+	if GreatCircleKm(10, 20, 10, 20) != 0 {
+		t.Error("distance to self should be 0")
+	}
+}
+
+func TestPropagationMs(t *testing.T) {
+	if got := PropagationMs(1000); math.Abs(got-5) > 1e-12 {
+		t.Errorf("PropagationMs(1000) = %v, want 5", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := triangle(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "tri"`, `n0 [label="a"]`, "n0 -- n1", "n1 -- n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := triangle(t)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge still present after removal")
+	}
+	if g.Edges() != 2 {
+		t.Errorf("Edges = %d, want 2", g.Edges())
+	}
+	if !g.Connected() {
+		t.Error("triangle minus one edge should stay connected")
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Error("removing a missing edge should fail")
+	}
+	// Shortest paths reroute around the removed edge.
+	sp := g.ShortestPathsLatency()
+	if got := sp.Dist[0][1]; got != 12 { // 0-2 (10) + 2-1 (2)
+		t.Errorf("rerouted dist(0,1) = %v, want 12", got)
+	}
+}

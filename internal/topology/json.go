@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file serializes topologies as JSON so carriers can run the tools
+// on their own networks instead of the embedded datasets.
+
+// jsonGraph is the wire form of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+	// Measured is the optional pairwise latency matrix (ms).
+	Measured [][]float64 `json:"measured,omitempty"`
+}
+
+type jsonNode struct {
+	Name string  `json:"name"`
+	Lat  float64 `json:"lat,omitempty"`
+	Lon  float64 `json:"lon,omitempty"`
+}
+
+type jsonEdge struct {
+	A       int     `json:"a"`
+	B       int     `json:"b"`
+	Latency float64 `json:"latency_ms"`
+}
+
+// WriteJSON serializes the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.name, Measured: g.measured}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, Lat: n.Lat, Lon: n.Lon})
+	}
+	for _, e := range g.EdgeList() {
+		jg.Edges = append(jg.Edges, jsonEdge{A: int(e.A), B: int(e.B), Latency: e.Latency})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jg); err != nil {
+		return fmt.Errorf("topology: encoding %q: %w", g.name, err)
+	}
+	return nil
+}
+
+// ReadJSON parses a topology written by WriteJSON (or hand-authored in
+// the same schema). The graph must be non-empty; edges must reference
+// declared nodes and carry positive latencies; an optional measured
+// matrix must pass SetMeasuredLatencies validation.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("topology: decoding JSON: %w", err)
+	}
+	if len(jg.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: JSON topology %q has no nodes", jg.Name)
+	}
+	if jg.Name == "" {
+		jg.Name = "unnamed"
+	}
+	g := New(jg.Name)
+	for _, n := range jg.Nodes {
+		g.AddNode(n.Name, n.Lat, n.Lon)
+	}
+	for i, e := range jg.Edges {
+		if err := g.AddEdge(NodeID(e.A), NodeID(e.B), e.Latency); err != nil {
+			return nil, fmt.Errorf("topology: JSON edge %d: %w", i, err)
+		}
+	}
+	if jg.Measured != nil {
+		if err := g.SetMeasuredLatencies(jg.Measured); err != nil {
+			return nil, fmt.Errorf("topology: JSON measured matrix: %w", err)
+		}
+	}
+	return g, nil
+}

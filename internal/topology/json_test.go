@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := Abilene()
+	var sb strings.Builder
+	if err := g.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != g.Name() || back.N() != g.N() || back.Edges() != g.Edges() {
+		t.Fatalf("round trip mismatch: %s %d/%d vs %s %d/%d",
+			back.Name(), back.N(), back.Edges(), g.Name(), g.N(), g.Edges())
+	}
+	// Extracted parameters survive the trip (measured matrix included).
+	p1, err := ExtractParams(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ExtractParams(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("parameters changed: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestReadJSONHandAuthored(t *testing.T) {
+	const doc = `{
+	  "name": "toy",
+	  "nodes": [{"name": "a"}, {"name": "b"}, {"name": "c"}],
+	  "edges": [
+	    {"a": 0, "b": 1, "latency_ms": 3},
+	    {"a": 1, "b": 2, "latency_ms": 4}
+	  ]
+	}`
+	g, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.Edges() != 2 || !g.Connected() {
+		t.Errorf("parsed graph malformed: N=%d E=%d", g.N(), g.Edges())
+	}
+	if lat, _ := g.EdgeLatency(1, 2); lat != 4 {
+		t.Errorf("edge latency = %v, want 4", lat)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":      "not json at all",
+		"no nodes":      `{"name": "x", "nodes": [], "edges": []}`,
+		"bad edge ref":  `{"nodes": [{"name":"a"}], "edges": [{"a":0,"b":9,"latency_ms":1}]}`,
+		"zero latency":  `{"nodes": [{"name":"a"},{"name":"b"}], "edges": [{"a":0,"b":1,"latency_ms":0}]}`,
+		"unknown field": `{"nodes": [{"name":"a"}], "edges": [], "bogus": 1}`,
+		"bad matrix":    `{"nodes": [{"name":"a"},{"name":"b"}], "edges": [{"a":0,"b":1,"latency_ms":1}], "measured": [[0,1]]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+				t.Errorf("document should fail: %s", doc)
+			}
+		})
+	}
+}
+
+func TestReadJSONDefaultsName(t *testing.T) {
+	g, err := ReadJSON(strings.NewReader(`{"nodes": [{"name":"a"},{"name":"b"}], "edges": [{"a":0,"b":1,"latency_ms":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "unnamed" {
+		t.Errorf("default name = %q", g.Name())
+	}
+}

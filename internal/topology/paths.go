@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// APSP holds all-pairs shortest-path results for one metric. Dist[i][j]
+// is the shortest-path length from i to j (0 on the diagonal, +Inf if
+// unreachable) and Next[i][j] is the first hop on a shortest path from i
+// toward j (-1 on the diagonal or if unreachable). Next matrices drive
+// the packet simulator's FIB construction.
+type APSP struct {
+	Dist [][]float64
+	Next [][]NodeID
+}
+
+// ShortestPathsLatency runs Dijkstra from every node over link latencies.
+func (g *Graph) ShortestPathsLatency() *APSP {
+	return g.apsp(func(he halfEdge) float64 { return he.latency })
+}
+
+// ShortestPathsHops runs Dijkstra from every node with unit link weights,
+// yielding hop-count distances.
+func (g *Graph) ShortestPathsHops() *APSP {
+	return g.apsp(func(halfEdge) float64 { return 1 })
+}
+
+// apsp runs Dijkstra from every source with the given edge-weight
+// function.
+func (g *Graph) apsp(weight func(halfEdge) float64) *APSP {
+	n := len(g.nodes)
+	out := &APSP{
+		Dist: make([][]float64, n),
+		Next: make([][]NodeID, n),
+	}
+	for src := 0; src < n; src++ {
+		out.Dist[src], out.Next[src] = g.dijkstra(NodeID(src), weight)
+	}
+	return out
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+// pq implements heap.Interface over pqItem by distance.
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// dijkstra returns distances from src and, for every destination, the
+// first hop out of src along a shortest path.
+func (g *Graph) dijkstra(src NodeID, weight func(halfEdge) float64) ([]float64, []NodeID) {
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, he := range g.adj[it.node] {
+			if d := it.dist + weight(he); d < dist[he.to] {
+				dist[he.to] = d
+				prev[he.to] = it.node
+				heap.Push(q, pqItem{node: he.to, dist: d})
+			}
+		}
+	}
+	// Convert predecessor tree into first-hop-from-src pointers.
+	next := make([]NodeID, n)
+	for v := range next {
+		next[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if NodeID(v) == src || math.IsInf(dist[v], 1) {
+			continue
+		}
+		hop := NodeID(v)
+		for prev[hop] != src {
+			hop = prev[hop]
+		}
+		next[v] = hop
+	}
+	return dist, next
+}
+
+// Path returns the node sequence from src to dst (inclusive) following
+// the APSP first-hop matrix, or an error if dst is unreachable.
+func (a *APSP) Path(src, dst NodeID) ([]NodeID, error) {
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	if int(src) >= len(a.Next) || int(dst) >= len(a.Next) || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("topology: path endpoints (%d,%d) out of range", src, dst)
+	}
+	path := []NodeID{src}
+	cur := src
+	for cur != dst {
+		nxt := a.Next[cur][dst]
+		if nxt < 0 {
+			return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > len(a.Next)+1 {
+			return nil, fmt.Errorf("topology: first-hop matrix contains a loop between %d and %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// MaxDist returns the largest finite off-diagonal distance (the weighted
+// diameter). It returns 0 for graphs with fewer than two nodes.
+func (a *APSP) MaxDist() float64 {
+	var m float64
+	for i := range a.Dist {
+		for j, d := range a.Dist[i] {
+			if i != j && !math.IsInf(d, 1) && d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// MeanDist returns the mean off-diagonal pairwise distance. With
+// includeDiagonal true it divides by |V|^2 (the paper's Section V-A
+// convention); otherwise by |V|*(|V|-1).
+func (a *APSP) MeanDist(includeDiagonal bool) float64 {
+	n := len(a.Dist)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := range a.Dist {
+		for j, d := range a.Dist[i] {
+			if i != j && !math.IsInf(d, 1) {
+				sum += d
+			}
+		}
+	}
+	if includeDiagonal {
+		return sum / float64(n*n)
+	}
+	return sum / float64(n*(n-1))
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/zipf"
+)
+
+// This file models non-stationary demand: real content popularity
+// drifts (new releases displace old hits), which is exactly the regime
+// the paper's future-work online adaptive algorithm must track.
+
+// DriftingZipf generates Zipf-distributed requests whose parameters
+// change over the stream: both the exponent and the identity of the
+// popular contents can drift. The rank permutation is rotated by
+// rotation positions every epochLength requests, modelling churn in
+// which contents are hot, while the exponent interpolates linearly
+// from StartS to EndS over the whole horizon.
+type DriftingZipf struct {
+	n           int64
+	startS      float64
+	endS        float64
+	horizon     int64 // requests over which s interpolates
+	epochLength int64
+	rotation    int64
+
+	issued  int64
+	offset  int64
+	rng     *rand.Rand
+	sampler *zipf.Sampler
+	curS    float64
+}
+
+// NewDriftingZipf returns a drifting generator over n contents. The
+// exponent moves linearly from startS to endS across horizon requests
+// (clamping afterwards); every epochLength requests the popularity
+// ranking rotates by rotation positions. epochLength <= 0 disables
+// rotation.
+func NewDriftingZipf(startS, endS float64, n, horizon, epochLength, rotation, seed int64) (*DriftingZipf, error) {
+	if !(startS > 0) || !(endS > 0) {
+		return nil, fmt.Errorf("workload: drifting exponents must be positive, got %v -> %v", startS, endS)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: population %d < 1", n)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("workload: horizon %d < 1", horizon)
+	}
+	d := &DriftingZipf{
+		n:           n,
+		startS:      startS,
+		endS:        endS,
+		horizon:     horizon,
+		epochLength: epochLength,
+		rotation:    rotation,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	if err := d.reseed(startS); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// reseed rebuilds the underlying sampler at exponent s.
+func (d *DriftingZipf) reseed(s float64) error {
+	sm, err := zipf.NewSampler(s, d.n, d.rng)
+	if err != nil {
+		return fmt.Errorf("workload: drifting sampler: %w", err)
+	}
+	d.sampler, d.curS = sm, s
+	return nil
+}
+
+// CurrentS returns the exponent currently in effect.
+func (d *DriftingZipf) CurrentS() float64 { return d.curS }
+
+// Next implements Generator.
+func (d *DriftingZipf) Next() catalog.ID {
+	// Interpolate the exponent; rebuild the sampler when it moved
+	// meaningfully (cheap: construction is O(1)).
+	progress := float64(d.issued) / float64(d.horizon)
+	if progress > 1 {
+		progress = 1
+	}
+	want := d.startS + (d.endS-d.startS)*progress
+	if diff := want - d.curS; diff > 0.01 || diff < -0.01 {
+		// Construction with valid arguments cannot fail here.
+		if err := d.reseed(want); err != nil {
+			panic(err)
+		}
+	}
+	if d.epochLength > 0 && d.issued > 0 && d.issued%d.epochLength == 0 {
+		d.offset = (d.offset + d.rotation) % d.n
+	}
+	d.issued++
+	raw := d.sampler.Next()
+	// Rotate the rank space: today's rank-1 content is yesterday's
+	// rank-(1+offset) content.
+	return catalog.ID((raw-1+d.offset)%d.n + 1)
+}
+
+// Interface compliance check.
+var _ Generator = (*DriftingZipf)(nil)

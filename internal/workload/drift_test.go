@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestNewDriftingZipfValidation(t *testing.T) {
+	cases := []struct {
+		name                              string
+		startS, endS                      float64
+		n, horizon, epochLength, rotation int64
+	}{
+		{"zero start", 0, 1, 100, 1000, 0, 0},
+		{"zero end", 1, 0, 100, 1000, 0, 0},
+		{"zero population", 1, 1, 0, 1000, 0, 0},
+		{"zero horizon", 1, 1, 100, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewDriftingZipf(tc.startS, tc.endS, tc.n, tc.horizon, tc.epochLength, tc.rotation, 1); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestDriftingZipfExponentMoves(t *testing.T) {
+	d, err := NewDriftingZipf(0.5, 1.5, 1000, 10000, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CurrentS() != 0.5 {
+		t.Errorf("initial s = %v", d.CurrentS())
+	}
+	for i := 0; i < 10000; i++ {
+		id := d.Next()
+		if id < 1 || id > 1000 {
+			t.Fatalf("request %d outside catalog", id)
+		}
+	}
+	if s := d.CurrentS(); s < 1.4 {
+		t.Errorf("final s = %v, want ~1.5", s)
+	}
+	// Past the horizon the exponent clamps.
+	for i := 0; i < 1000; i++ {
+		d.Next()
+	}
+	if s := d.CurrentS(); s < 1.45 || s > 1.55 {
+		t.Errorf("clamped s = %v", s)
+	}
+}
+
+// TestDriftingZipfRotationMovesHotSet: after a rotation, the empirically
+// hottest content shifts by the rotation amount.
+func TestDriftingZipfRotationMovesHotSet(t *testing.T) {
+	const n, epoch, rot = 1000, 20000, 100
+	d, err := NewDriftingZipf(1.2, 1.2, n, 1<<40, epoch, rot, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hottest := func() catalog.ID {
+		counts := map[catalog.ID]int{}
+		best, bestC := catalog.ID(0), -1
+		for i := 0; i < epoch; i++ {
+			id := d.Next()
+			counts[id]++
+			if counts[id] > bestC {
+				best, bestC = id, counts[id]
+			}
+		}
+		return best
+	}
+	first := hottest()
+	second := hottest()
+	want := catalog.ID((int64(first)-1+rot)%n + 1)
+	if second != want {
+		t.Errorf("hot content after rotation = %d, want %d (was %d)", second, want, first)
+	}
+}
+
+func TestDriftingZipfDeterministic(t *testing.T) {
+	mk := func() *DriftingZipf {
+		d, err := NewDriftingZipf(0.6, 1.4, 500, 5000, 1000, 37, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 3000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/workload"
+)
+
+// ExampleSequence replays the motivating example's {a, a, b} flow.
+func ExampleSequence() {
+	flow, err := workload.NewSequence([]catalog.ID{1, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 5; i++ {
+		fmt.Print(flow.Next(), " ")
+	}
+	fmt.Println()
+	// Output: 1 1 2 1 1
+}
+
+// ExampleTrace records a workload, persists it, and replays it — the
+// trace-driven methodology for reproducible experiments.
+func ExampleTrace() {
+	gen, err := workload.NewZipf(0.8, 100, 42)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := workload.Record(gen, 5)
+	if err != nil {
+		panic(err)
+	}
+	var buf strings.Builder
+	if _, err := tr.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	back, err := workload.ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(back.Requests) == len(tr.Requests))
+	// Output: true
+}

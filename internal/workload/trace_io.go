@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ccncoord/internal/catalog"
+)
+
+// This file persists request traces in a one-rank-per-line text format,
+// so workloads can be recorded once and replayed across runs, tools, or
+// machines (the trace-driven methodology of, e.g., Tyson et al., ICCCN
+// 2012, which the paper cites).
+
+// WriteTo streams the trace as one decimal rank per line.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, id := range t.Requests {
+		written, err := fmt.Fprintf(bw, "%d\n", id)
+		n += int64(written)
+		if err != nil {
+			return n, fmt.Errorf("workload: writing trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("workload: flushing trace: %w", err)
+	}
+	return n, nil
+}
+
+// ReadTrace parses a trace written by WriteTo. Blank lines are ignored;
+// any other malformed line is an error.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		id := catalog.ID(v)
+		if !id.Valid() {
+			return nil, fmt.Errorf("workload: trace line %d: invalid rank %d", line, v)
+		}
+		tr.Requests = append(tr.Requests, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(tr.Requests) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return tr, nil
+}

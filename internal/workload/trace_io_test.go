@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestTraceWriteReadRoundTrip(t *testing.T) {
+	g, err := NewZipf(0.8, 500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip length %d, want %d", len(back.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if back.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs: %d vs %d", i, back.Requests[i], tr.Requests[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader("1\n\n2\n\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 || tr.Requests[2] != catalog.ID(3) {
+		t.Errorf("requests = %v", tr.Requests)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"garbage":      "1\nxyz\n",
+		"zero rank":    "1\n0\n",
+		"negative":     "-5\n",
+		"empty stream": "",
+		"only blanks":  "\n\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(input)); err == nil {
+				t.Errorf("input %q should fail", input)
+			}
+		})
+	}
+}
+
+func TestWriteToByteCount(t *testing.T) {
+	tr := &Trace{Requests: []catalog.ID{1, 22, 333}}
+	var sb strings.Builder
+	n, err := tr.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(sb.String())) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, len(sb.String()))
+	}
+}

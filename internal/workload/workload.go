@@ -1,0 +1,173 @@
+// Package workload generates content request streams for the simulator:
+// seeded Zipf-distributed generators matching the paper's popularity
+// model, deterministic repeating sequences (the motivating example's
+// {a,a,b} flows), and trace recording/replay.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/zipf"
+)
+
+// Generator produces an endless stream of content requests.
+type Generator interface {
+	// Next returns the rank of the next requested content.
+	Next() catalog.ID
+}
+
+// ZipfGenerator draws i.i.d. requests from a Zipf popularity
+// distribution.
+type ZipfGenerator struct {
+	sampler *zipf.Sampler
+}
+
+// NewZipf returns a seeded Zipf request generator over n contents with
+// exponent s.
+func NewZipf(s float64, n int64, seed int64) (*ZipfGenerator, error) {
+	sm, err := zipf.NewSampler(s, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &ZipfGenerator{sampler: sm}, nil
+}
+
+// Next implements Generator.
+func (g *ZipfGenerator) Next() catalog.ID { return catalog.ID(g.sampler.Next()) }
+
+// Sequence replays a fixed pattern of requests cyclically. The motivating
+// example's flows {a, a, b} are Sequence{1, 1, 2}.
+type Sequence struct {
+	pattern []catalog.ID
+	pos     int
+}
+
+// NewSequence returns a cyclic generator over the given non-empty
+// pattern.
+func NewSequence(pattern []catalog.ID) (*Sequence, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("workload: empty request pattern")
+	}
+	for i, id := range pattern {
+		if !id.Valid() {
+			return nil, fmt.Errorf("workload: pattern element %d is invalid id %d", i, id)
+		}
+	}
+	return &Sequence{pattern: append([]catalog.ID(nil), pattern...)}, nil
+}
+
+// Next implements Generator.
+func (s *Sequence) Next() catalog.ID {
+	id := s.pattern[s.pos]
+	s.pos = (s.pos + 1) % len(s.pattern)
+	return id
+}
+
+// Trace is a recorded request stream that can be replayed.
+type Trace struct {
+	Requests []catalog.ID
+}
+
+// Record captures the next n requests from g into a Trace.
+func Record(g Generator, n int) (*Trace, error) {
+	if g == nil {
+		return nil, fmt.Errorf("workload: nil generator")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative trace length %d", n)
+	}
+	tr := &Trace{Requests: make([]catalog.ID, n)}
+	for i := 0; i < n; i++ {
+		tr.Requests[i] = g.Next()
+	}
+	return tr, nil
+}
+
+// Replay returns a generator that replays the trace cyclically.
+func (t *Trace) Replay() (Generator, error) {
+	return NewSequence(t.Requests)
+}
+
+// Popularity returns the empirical request frequency of each content in
+// the trace, keyed by rank.
+func (t *Trace) Popularity() map[catalog.ID]float64 {
+	counts := make(map[catalog.ID]int64)
+	for _, id := range t.Requests {
+		counts[id]++
+	}
+	out := make(map[catalog.ID]float64, len(counts))
+	total := float64(len(t.Requests))
+	for id, c := range counts {
+		out[id] = float64(c) / total
+	}
+	return out
+}
+
+// Regional wraps a generator with a region-specific rank rotation: the
+// region's rank-1 content is the global rank-(1+offset) content. It
+// models geographic interest skew — every region's demand is Zipf, but
+// regions disagree about which contents are hot, which undermines any
+// placement computed from global ranks.
+type Regional struct {
+	inner  Generator
+	offset int64
+	n      int64
+}
+
+// NewRegional wraps inner with the given rotation offset over an
+// n-content catalog.
+func NewRegional(inner Generator, offset, n int64) (*Regional, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: nil inner generator")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: population %d < 1", n)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("workload: negative offset %d", offset)
+	}
+	return &Regional{inner: inner, offset: offset % n, n: n}, nil
+}
+
+// Next implements Generator.
+func (r *Regional) Next() catalog.ID {
+	raw := int64(r.inner.Next())
+	return catalog.ID((raw-1+r.offset)%r.n + 1)
+}
+
+// Interleave round-robins several generators into one stream, modelling
+// the aggregate demand several client populations impose on one router.
+type Interleave struct {
+	gens []Generator
+	pos  int
+}
+
+// NewInterleave returns a round-robin interleaving of the given
+// generators.
+func NewInterleave(gens ...Generator) (*Interleave, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("workload: no generators to interleave")
+	}
+	for i, g := range gens {
+		if g == nil {
+			return nil, fmt.Errorf("workload: generator %d is nil", i)
+		}
+	}
+	return &Interleave{gens: append([]Generator(nil), gens...)}, nil
+}
+
+// Next implements Generator.
+func (in *Interleave) Next() catalog.ID {
+	id := in.gens[in.pos].Next()
+	in.pos = (in.pos + 1) % len(in.gens)
+	return id
+}
+
+// Interface compliance checks.
+var (
+	_ Generator = (*ZipfGenerator)(nil)
+	_ Generator = (*Sequence)(nil)
+	_ Generator = (*Interleave)(nil)
+)

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 100, 1); err == nil {
+		t.Error("zero exponent should fail")
+	}
+	if _, err := NewZipf(0.8, 0, 1); err == nil {
+		t.Error("zero population should fail")
+	}
+}
+
+func TestZipfGeneratorSkew(t *testing.T) {
+	g, err := NewZipf(0.8, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[catalog.ID]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		id := g.Next()
+		if id < 1 || id > 1000 {
+			t.Fatalf("request %d outside catalog", id)
+		}
+		counts[id]++
+	}
+	if counts[1] <= counts[100] {
+		t.Errorf("rank 1 (%d) should be requested more than rank 100 (%d)", counts[1], counts[100])
+	}
+}
+
+func TestZipfGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewZipf(0.8, 1000, 7)
+	g2, _ := NewZipf(0.8, 1000, 7)
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s, err := NewSequence([]catalog.ID{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []catalog.ID{1, 1, 2, 1, 1, 2, 1}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("request %d = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewSequence(nil); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if _, err := NewSequence([]catalog.ID{0}); err == nil {
+		t.Error("invalid id in pattern should fail")
+	}
+}
+
+func TestSequenceCopiesPattern(t *testing.T) {
+	pattern := []catalog.ID{1, 2}
+	s, _ := NewSequence(pattern)
+	pattern[0] = 99
+	if got := s.Next(); got != 1 {
+		t.Errorf("mutating caller slice changed the sequence: got %d", got)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	g, _ := NewZipf(0.8, 100, 3)
+	tr, err := Record(g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 50 {
+		t.Fatalf("trace length = %d", len(tr.Requests))
+	}
+	rp, err := tr.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tr.Requests {
+		if got := rp.Next(); got != want {
+			t.Fatalf("replay diverges at %d: %d vs %d", i, got, want)
+		}
+	}
+	if _, err := Record(nil, 5); err == nil {
+		t.Error("nil generator should fail")
+	}
+	if _, err := Record(g, -1); err == nil {
+		t.Error("negative length should fail")
+	}
+}
+
+func TestTracePopularity(t *testing.T) {
+	tr := &Trace{Requests: []catalog.ID{1, 1, 2, 3}}
+	pop := tr.Popularity()
+	if math.Abs(pop[1]-0.5) > 1e-12 || math.Abs(pop[2]-0.25) > 1e-12 {
+		t.Errorf("popularity = %v", pop)
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a, _ := NewSequence([]catalog.ID{1})
+	b, _ := NewSequence([]catalog.ID{2})
+	in, err := NewInterleave(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []catalog.ID{1, 2, 1, 2}
+	for i, w := range want {
+		if got := in.Next(); got != w {
+			t.Errorf("interleave %d = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewInterleave(); err == nil {
+		t.Error("no generators should fail")
+	}
+	if _, err := NewInterleave(a, nil); err == nil {
+		t.Error("nil generator should fail")
+	}
+}
+
+func TestRegional(t *testing.T) {
+	inner, err := NewSequence([]catalog.ID{1, 2, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegional(inner, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []catalog.ID{11, 12, 10} // 100+10 wraps to 10
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Errorf("request %d = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := NewRegional(nil, 1, 10); err == nil {
+		t.Error("nil inner should fail")
+	}
+	if _, err := NewRegional(inner, -1, 10); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := NewRegional(inner, 1, 0); err == nil {
+		t.Error("empty catalog should fail")
+	}
+}

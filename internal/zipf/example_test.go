@@ -1,0 +1,39 @@
+package zipf_test
+
+import (
+	"fmt"
+
+	"ccncoord/internal/zipf"
+)
+
+// ExampleDist shows how concentrated a Zipf(0.8) catalog is: the top
+// 0.1% of a million contents draws a disproportionate share of
+// requests.
+func ExampleDist() {
+	d := zipf.MustNew(0.8, 1_000_000)
+	fmt.Printf("top-1 share:    %.4f\n", d.PMF(1))
+	fmt.Printf("top-1000 share: %.4f\n", d.CDF(1000))
+	// Output:
+	// top-1 share:    0.0134
+	// top-1000 share: 0.2068
+}
+
+// ExampleContinuousCDF compares Eq. (6)'s continuous approximation with
+// the exact harmonic ratio.
+func ExampleContinuousCDF() {
+	exact := zipf.MustNew(0.8, 1_000_000).CDF(1000)
+	approx := zipf.ContinuousCDF(1000, 0.8, 1e6)
+	fmt.Printf("exact %.4f vs continuous %.4f\n", exact, approx)
+	// Output: exact 0.2068 vs continuous 0.2008
+}
+
+// ExampleRankForMass answers the capacity-planning question "how many
+// contents cover 90% of requests?".
+func ExampleRankForMass() {
+	x, err := zipf.RankForMass(0.9, 0.8, 1e6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f contents cover 90%% of requests\n", x)
+	// Output: 611481 contents cover 90% of requests
+}

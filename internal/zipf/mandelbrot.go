@@ -1,0 +1,103 @@
+package zipf
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Zipf-Mandelbrot generalization
+// f(i) ∝ (i+q)^-s, whose flattened head (q > 0) matches measured web and
+// video popularity better than pure Zipf in several of the measurement
+// studies the paper cites. The model itself uses pure Zipf (q = 0); the
+// Mandelbrot form quantifies how sensitive conclusions are to the
+// head-flattening.
+
+// Mandelbrot is a Zipf-Mandelbrot distribution over ranks 1..N with
+// exponent S and shift Q. Construct with NewMandelbrot.
+type Mandelbrot struct {
+	s  float64
+	q  float64
+	n  int64
+	hn float64 // sum_{j=1..n} (j+q)^-s
+}
+
+// NewMandelbrot returns a Zipf-Mandelbrot distribution. It requires
+// s > 0, q >= 0, and n >= 1; q = 0 degenerates to pure Zipf.
+func NewMandelbrot(s, q float64, n int64) (*Mandelbrot, error) {
+	if !(s > 0) || math.IsNaN(s) || math.IsInf(s, 1) {
+		return nil, fmt.Errorf("zipf: Mandelbrot exponent must be positive and finite, got %v", s)
+	}
+	if !(q >= 0) || math.IsInf(q, 1) {
+		return nil, fmt.Errorf("zipf: Mandelbrot shift must be >= 0 and finite, got %v", q)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("zipf: population size must be >= 1, got %d", n)
+	}
+	return &Mandelbrot{s: s, q: q, n: n, hn: shiftedHarmonic(n, q, s)}, nil
+}
+
+// shiftedHarmonic returns sum_{j=1..k} (j+q)^-s, reusing the
+// Euler-Maclaurin machinery through a change of variable.
+func shiftedHarmonic(k int64, q, s float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k <= exactHarmonicLimit {
+		var sum, comp float64
+		for j := k; j >= 1; j-- {
+			term := math.Pow(float64(j)+q, -s)
+			y := term - comp
+			t := sum + y
+			comp = (t - sum) - y
+			sum = t
+		}
+		return sum
+	}
+	head := shiftedHarmonic(exactHarmonicLimit, q, s)
+	m, kf := float64(exactHarmonicLimit)+q, float64(k)+q
+	fm, fk := math.Pow(m, -s), math.Pow(kf, -s)
+	integral := integralPow(m, kf, s)
+	dfm := -s * fm / m
+	dfk := -s * fk / kf
+	return head + integral + (fk-fm)/2 + (dfk-dfm)/12
+}
+
+// S returns the exponent.
+func (m *Mandelbrot) S() float64 { return m.s }
+
+// Q returns the shift.
+func (m *Mandelbrot) Q() float64 { return m.q }
+
+// N returns the population size.
+func (m *Mandelbrot) N() int64 { return m.n }
+
+// PMF returns the request probability of the i-th ranked content.
+func (m *Mandelbrot) PMF(i int64) float64 {
+	if i < 1 || i > m.n {
+		return 0
+	}
+	return math.Pow(float64(i)+m.q, -m.s) / m.hn
+}
+
+// CDF returns the total request probability of the top-k contents.
+func (m *Mandelbrot) CDF(k int64) float64 {
+	switch {
+	case k <= 0:
+		return 0
+	case k >= m.n:
+		return 1
+	default:
+		return shiftedHarmonic(k, m.q, m.s) / m.hn
+	}
+}
+
+// HeadFlattening returns PMF(1)/PMF(k) — how dominant the top content
+// is relative to rank k. Pure Zipf gives k^s; a positive shift
+// compresses it, which is the distribution's defining feature.
+func (m *Mandelbrot) HeadFlattening(k int64) float64 {
+	pk := m.PMF(k)
+	if pk == 0 {
+		return math.Inf(1)
+	}
+	return m.PMF(1) / pk
+}

@@ -1,0 +1,110 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMandelbrotValidation(t *testing.T) {
+	if _, err := NewMandelbrot(0, 1, 10); err == nil {
+		t.Error("zero exponent should fail")
+	}
+	if _, err := NewMandelbrot(0.8, -1, 10); err == nil {
+		t.Error("negative shift should fail")
+	}
+	if _, err := NewMandelbrot(0.8, 1, 0); err == nil {
+		t.Error("empty population should fail")
+	}
+}
+
+// TestMandelbrotDegeneratesToZipf: q = 0 must reproduce pure Zipf
+// exactly.
+func TestMandelbrotDegeneratesToZipf(t *testing.T) {
+	const n = 5000
+	for _, s := range []float64{0.5, 0.8, 1.3} {
+		m, err := NewMandelbrot(s, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := MustNew(s, n)
+		for _, i := range []int64{1, 7, 100, n} {
+			if !almostEqual(m.PMF(i), d.PMF(i), 1e-12) {
+				t.Errorf("s=%v: PMF(%d) %v vs Zipf %v", s, i, m.PMF(i), d.PMF(i))
+			}
+		}
+		for _, k := range []int64{1, 50, 2500, n} {
+			if !almostEqual(m.CDF(k), d.CDF(k), 1e-12) {
+				t.Errorf("s=%v: CDF(%d) %v vs Zipf %v", s, k, m.CDF(k), d.CDF(k))
+			}
+		}
+	}
+}
+
+func TestMandelbrotPMFSumsToOne(t *testing.T) {
+	m, err := NewMandelbrot(0.8, 25, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := int64(1); i <= m.N(); i++ {
+		sum += m.PMF(i)
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if m.CDF(0) != 0 || m.CDF(m.N()) != 1 || m.CDF(m.N()+5) != 1 {
+		t.Error("CDF endpoints wrong")
+	}
+}
+
+// TestMandelbrotFlattensHead: a positive shift reduces the dominance of
+// rank 1 relative to deeper ranks.
+func TestMandelbrotFlattensHead(t *testing.T) {
+	pure, err := NewMandelbrot(0.8, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := NewMandelbrot(0.8, 50, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.HeadFlattening(100) >= pure.HeadFlattening(100) {
+		t.Errorf("shift did not flatten the head: %v vs %v",
+			shifted.HeadFlattening(100), pure.HeadFlattening(100))
+	}
+	// Pure Zipf's dominance ratio is exactly k^s.
+	if !almostEqual(pure.HeadFlattening(100), math.Pow(100, 0.8), 1e-9) {
+		t.Errorf("pure head flattening = %v, want %v", pure.HeadFlattening(100), math.Pow(100, 0.8))
+	}
+}
+
+// TestShiftedHarmonicTail checks the Euler-Maclaurin path against brute
+// force past the exact limit.
+func TestShiftedHarmonicTail(t *testing.T) {
+	const k = exactHarmonicLimit * 3
+	for _, q := range []float64{0.5, 10, 200} {
+		for _, s := range []float64{0.6, 1.0, 1.4} {
+			var want float64
+			for j := int64(k); j >= 1; j-- {
+				want += math.Pow(float64(j)+q, -s)
+			}
+			got := shiftedHarmonic(k, q, s)
+			if !almostEqual(got, want, 1e-10) {
+				t.Errorf("q=%v s=%v: %v vs brute force %v", q, s, got, want)
+			}
+		}
+	}
+}
+
+func TestMandelbrotAccessors(t *testing.T) {
+	m, err := NewMandelbrot(1.1, 7, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.S() != 1.1 || m.Q() != 7 || m.N() != 99 {
+		t.Errorf("accessors wrong: %v %v %v", m.S(), m.Q(), m.N())
+	}
+	if m.PMF(0) != 0 || m.PMF(100) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+}

@@ -1,0 +1,53 @@
+package zipf
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds capacity-planning helpers built on the continuous
+// approximation of Eq. (6): inverses and mass queries a carrier needs
+// when sizing content stores ("how many contents cover 90% of
+// requests?").
+
+// RankForMass returns the smallest catalog prefix x such that the
+// continuous CDF F(x; s, N) reaches q, i.e. the number of top-ranked
+// contents covering a q fraction of requests. q must lie in [0, 1].
+func RankForMass(q, s, n float64) (float64, error) {
+	switch {
+	case q < 0 || q > 1:
+		return 0, fmt.Errorf("zipf: mass fraction %v outside [0,1]", q)
+	case !(n > 1):
+		return 0, fmt.Errorf("zipf: population %v must exceed 1", n)
+	case !(s > 0):
+		return 0, fmt.Errorf("zipf: exponent %v must be positive", s)
+	case q == 0:
+		return 1, nil
+	case q == 1:
+		return n, nil
+	}
+	if s == 1 {
+		return math.Pow(n, q), nil // F(x) = ln x / ln N
+	}
+	// Invert F(x) = (x^(1-s)-1)/(N^(1-s)-1).
+	v := 1 + q*(math.Pow(n, 1-s)-1)
+	return math.Pow(v, 1/(1-s)), nil
+}
+
+// TailMass returns 1 - F(k; s, N): the request fraction falling outside
+// the top-k contents — the long tail that the paper argues makes
+// non-coordinated caching suffer.
+func TailMass(k, s, n float64) float64 {
+	return 1 - ContinuousCDF(k, s, n)
+}
+
+// CoverageGain returns the multiplier on served request mass obtained by
+// pooling n routers' coordinated storage: F(c + (n-1)x) / F(c). It is the
+// intuition behind the paper's G_O in ratio form.
+func CoverageGain(c, x, s, n, routers float64) float64 {
+	base := ContinuousCDF(c, s, n)
+	if base == 0 {
+		return 0
+	}
+	return ContinuousCDF(c+(routers-1)*x, s, n) / base
+}

@@ -1,0 +1,92 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankForMassRoundTrip(t *testing.T) {
+	const n = 1e6
+	for _, s := range []float64{0.5, 0.8, 1.0, 1.3} {
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			x, err := RankForMass(q, s, n)
+			if err != nil {
+				t.Fatalf("s=%v q=%v: %v", s, q, err)
+			}
+			if got := ContinuousCDF(x, s, n); math.Abs(got-q) > 1e-9 {
+				t.Errorf("s=%v: F(RankForMass(%v)) = %v", s, q, got)
+			}
+		}
+	}
+}
+
+func TestRankForMassEndpoints(t *testing.T) {
+	x, err := RankForMass(0, 0.8, 1000)
+	if err != nil || x != 1 {
+		t.Errorf("RankForMass(0) = %v, %v", x, err)
+	}
+	x, err = RankForMass(1, 0.8, 1000)
+	if err != nil || x != 1000 {
+		t.Errorf("RankForMass(1) = %v, %v", x, err)
+	}
+}
+
+func TestRankForMassErrors(t *testing.T) {
+	if _, err := RankForMass(-0.1, 0.8, 100); err == nil {
+		t.Error("negative mass should fail")
+	}
+	if _, err := RankForMass(1.1, 0.8, 100); err == nil {
+		t.Error("mass > 1 should fail")
+	}
+	if _, err := RankForMass(0.5, 0, 100); err == nil {
+		t.Error("zero exponent should fail")
+	}
+	if _, err := RankForMass(0.5, 0.8, 1); err == nil {
+		t.Error("unit population should fail")
+	}
+}
+
+func TestRankForMassQuickMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		qa, qb := float64(a)/256, float64(b)/256
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		xa, err1 := RankForMass(qa, 0.8, 1e6)
+		xb, err2 := RankForMass(qb, 0.8, 1e6)
+		return err1 == nil && err2 == nil && xa <= xb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTailMass(t *testing.T) {
+	const n = 1e6
+	if got := TailMass(1, 0.8, n); got != 1 {
+		t.Errorf("TailMass(1) = %v, want 1 (F clamps at x<=1)", got)
+	}
+	if got := TailMass(n, 0.8, n); got != 0 {
+		t.Errorf("TailMass(N) = %v, want 0", got)
+	}
+	// The defining long-tail property: even a large cache leaves
+	// substantial tail mass when s < 1.
+	if got := TailMass(1e3, 0.8, n); got < 0.5 {
+		t.Errorf("TailMass(1000) = %v, expected a heavy tail for s=0.8", got)
+	}
+}
+
+func TestCoverageGain(t *testing.T) {
+	// Pooling 20 routers multiplies covered mass.
+	g := CoverageGain(1000, 500, 0.8, 1e6, 20)
+	if g <= 1 {
+		t.Errorf("CoverageGain = %v, want > 1", g)
+	}
+	if got := CoverageGain(1000, 0, 0.8, 1e6, 20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CoverageGain at x=0 = %v, want 1", got)
+	}
+	if got := CoverageGain(0.5, 10, 0.8, 1e6, 20); got != 0 {
+		t.Errorf("CoverageGain with empty base = %v, want 0", got)
+	}
+}

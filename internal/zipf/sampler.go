@@ -1,0 +1,142 @@
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler draws ranks from a Zipf distribution with any exponent s > 0.
+//
+// It implements the rejection-inversion method of Hörmann and Derflinger
+// ("Rejection-inversion to generate variates from monotone discrete
+// distributions", ACM TOMACS 1996). Unlike math/rand's Zipf generator it
+// supports the empirically dominant range s in (0,1) and runs in O(1)
+// expected time per sample regardless of N, which lets the simulator use
+// catalogs of 10^6..10^12 contents without a CDF table.
+type Sampler struct {
+	s   float64
+	n   int64
+	rng *rand.Rand
+
+	hx1      float64 // H(1.5) - 1
+	hn       float64 // H(N + 0.5)
+	sMinus   float64 // acceptance shortcut threshold
+	oneMinus float64 // 1 - s, cached
+}
+
+// NewSampler returns a sampler over ranks 1..n with exponent s, driven by
+// the given seeded source. The rng must not be shared across goroutines.
+func NewSampler(s float64, n int64, rng *rand.Rand) (*Sampler, error) {
+	if !(s > 0) || math.IsNaN(s) || math.IsInf(s, 1) {
+		return nil, fmt.Errorf("zipf: sampler exponent must be positive and finite, got %v", s)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("zipf: sampler population must be >= 1, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("zipf: sampler requires a non-nil *rand.Rand")
+	}
+	sm := &Sampler{s: s, n: n, rng: rng, oneMinus: 1 - s}
+	sm.hx1 = sm.hIntegral(1.5) - 1
+	sm.hn = sm.hIntegral(float64(n) + 0.5)
+	sm.sMinus = 2 - sm.hIntegralInverse(sm.hIntegral(2.5)-sm.h(2))
+	return sm, nil
+}
+
+// h is the unnormalized density x^-s.
+func (sm *Sampler) h(x float64) float64 { return math.Pow(x, -sm.s) }
+
+// hIntegral is an antiderivative of h: (x^(1-s)-1)/(1-s), or ln x at s=1.
+func (sm *Sampler) hIntegral(x float64) float64 {
+	lx := math.Log(x)
+	return helper2(sm.oneMinus*lx) * lx
+}
+
+// hIntegralInverse inverts hIntegral.
+func (sm *Sampler) hIntegralInverse(x float64) float64 {
+	t := x * sm.oneMinus
+	if t < -1 {
+		// Numerical round-off can push t slightly below the domain
+		// boundary; clamp so Exp below stays finite.
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// Next returns the next sampled rank in [1, n].
+func (sm *Sampler) Next() int64 {
+	for {
+		u := sm.hn + sm.rng.Float64()*(sm.hx1-sm.hn)
+		x := sm.hIntegralInverse(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > sm.n {
+			k = sm.n
+		}
+		if float64(k)-x <= sm.sMinus || u >= sm.hIntegral(float64(k)+0.5)-sm.h(float64(k)) {
+			return k
+		}
+	}
+}
+
+// helper1 computes log1p(x)/x with a series fallback near 0, so that the
+// inversion stays accurate when s is close to 1.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with a series fallback near 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+// TableSampler draws ranks by inverse-CDF lookup over a precomputed table.
+// It is exact (no approximation) but requires O(N) memory, so it is only
+// suitable for small catalogs; the tests use it as an oracle against
+// Sampler.
+type TableSampler struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewTableSampler builds an exact inverse-CDF sampler for d.
+func NewTableSampler(d *Dist, rng *rand.Rand) (*TableSampler, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("zipf: table sampler requires a non-nil *rand.Rand")
+	}
+	const maxTable = 1 << 24
+	if d.n > maxTable {
+		return nil, fmt.Errorf("zipf: table sampler population %d exceeds limit %d", d.n, maxTable)
+	}
+	cdf := make([]float64, d.n)
+	var acc float64
+	for i := int64(1); i <= d.n; i++ {
+		acc += d.PMF(i)
+		cdf[i-1] = acc
+	}
+	cdf[d.n-1] = 1 // force exactness at the top despite rounding
+	return &TableSampler{cdf: cdf, rng: rng}, nil
+}
+
+// Next returns the next sampled rank in [1, len(table)].
+func (ts *TableSampler) Next() int64 {
+	u := ts.rng.Float64()
+	lo, hi := 0, len(ts.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo + 1)
+}

@@ -1,0 +1,188 @@
+// Package zipf implements the Zipf content-popularity model used
+// throughout the paper "Coordinating In-Network Caching in Content-Centric
+// Networks" (ICDCS 2013): the probability mass function f(i;s,N) of Eq. (1),
+// the cumulative popularity F(k;s,N), generalized harmonic numbers, the
+// continuous approximation of Eq. (6), and a random sampler that is valid
+// for any exponent s > 0 (the standard library's math/rand Zipf requires
+// s > 1, which excludes the empirically common range s in (0,1)).
+package zipf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// exactHarmonicLimit is the largest k for which Harmonic sums term by
+// term. Beyond it an Euler-Maclaurin tail keeps evaluation O(1) while
+// staying accurate to well below 1e-10 relative error.
+const exactHarmonicLimit = 1 << 16
+
+// Harmonic returns the generalized harmonic number H_{k,s} = sum_{j=1..k} j^-s.
+// It returns 0 for k <= 0. The exponent s may be any real number, although
+// the paper (and this repository) use s in (0,2).
+func Harmonic(k int64, s float64) float64 {
+	switch {
+	case k <= 0:
+		return 0
+	case k <= exactHarmonicLimit:
+		return harmonicExact(k, s)
+	default:
+		head := harmonicExact(exactHarmonicLimit, s)
+		return head + harmonicTail(exactHarmonicLimit, k, s)
+	}
+}
+
+// harmonicExact sums j^-s for j = 1..k with Kahan compensation. Summation
+// runs from the smallest terms (largest j) upward to limit cancellation.
+func harmonicExact(k int64, s float64) float64 {
+	var sum, comp float64
+	for j := k; j >= 1; j-- {
+		term := math.Pow(float64(j), -s)
+		y := term - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// harmonicTail approximates sum_{j=m+1..k} j^-s via the Euler-Maclaurin
+// formula on [m, k]:
+//
+//	sum = integral_m^k t^-s dt + (f(k)-f(m))/2 + (f'(k)-f'(m))/12 + ...
+//
+// With m = 2^16 the first correction terms already put the error far below
+// floating-point noise for the s range used here.
+func harmonicTail(m, k int64, s float64) float64 {
+	fm, fk := math.Pow(float64(m), -s), math.Pow(float64(k), -s)
+	integral := integralPow(float64(m), float64(k), s)
+	// f'(t) = -s * t^(-s-1)
+	dfm := -s * fm / float64(m)
+	dfk := -s * fk / float64(k)
+	return integral + (fk-fm)/2 + (dfk-dfm)/12
+}
+
+// integralPow returns the integral of t^-s dt over [lo, hi], handling the
+// logarithmic s = 1 case.
+func integralPow(lo, hi, s float64) float64 {
+	if s == 1 {
+		return math.Log(hi / lo)
+	}
+	return (math.Pow(hi, 1-s) - math.Pow(lo, 1-s)) / (1 - s)
+}
+
+// Dist is a Zipf distribution with exponent S over ranks 1..N.
+// The zero value is not usable; construct with New.
+type Dist struct {
+	s  float64
+	n  int64
+	hn float64 // H_{N,s}
+}
+
+// New returns a Zipf distribution with exponent s over n ranked contents.
+// It requires s > 0 and n >= 1. The paper restricts s to (0,1) U (1,2) for
+// the analytical model; the distribution itself is well defined for any
+// positive exponent, including s = 1.
+func New(s float64, n int64) (*Dist, error) {
+	if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
+		return nil, fmt.Errorf("zipf: exponent s must be a positive finite number, got %v", s)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("zipf: population size must be >= 1, got %d", n)
+	}
+	return &Dist{s: s, n: n, hn: Harmonic(n, s)}, nil
+}
+
+// MustNew is New but panics on invalid parameters. It is intended for
+// package-level tables and tests where the parameters are constants.
+func MustNew(s float64, n int64) *Dist {
+	d, err := New(s, n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// S returns the Zipf exponent.
+func (d *Dist) S() float64 { return d.s }
+
+// N returns the population size.
+func (d *Dist) N() int64 { return d.n }
+
+// PMF returns f(i; s, N) = i^-s / H_{N,s}, the request probability of the
+// i-th ranked content (Eq. 1). Ranks outside [1, N] have probability 0.
+func (d *Dist) PMF(i int64) float64 {
+	if i < 1 || i > d.n {
+		return 0
+	}
+	return math.Pow(float64(i), -d.s) / d.hn
+}
+
+// CDF returns F(k; s, N) = H_{k,s} / H_{N,s}, the total request probability
+// of the top-k ranked contents. It is 0 for k <= 0 and 1 for k >= N.
+func (d *Dist) CDF(k int64) float64 {
+	switch {
+	case k <= 0:
+		return 0
+	case k >= d.n:
+		return 1
+	default:
+		return Harmonic(k, d.s) / d.hn
+	}
+}
+
+// ErrRange reports a continuous-approximation argument outside its domain.
+var ErrRange = errors.New("zipf: argument outside (0, N]")
+
+// ContinuousCDF returns the paper's Eq. (6) continuous approximation
+//
+//	F(x; s, N) ~= (x^(1-s) - 1) / (N^(1-s) - 1)
+//
+// extended with the logarithmic limit ln(x)/ln(N) at s = 1. The result is
+// clamped to [0, 1]; x below 1 maps to 0 and x above N maps to 1, matching
+// how the model consumes it (cache sizes below one content cache nothing).
+func ContinuousCDF(x, s, n float64) float64 {
+	switch {
+	case x <= 1:
+		return 0
+	case x >= n:
+		return 1
+	}
+	var v float64
+	if s == 1 {
+		v = math.Log(x) / math.Log(n)
+	} else {
+		v = (math.Pow(x, 1-s) - 1) / (math.Pow(n, 1-s) - 1)
+	}
+	return math.Min(1, math.Max(0, v))
+}
+
+// ContinuousPDF returns d/dx of ContinuousCDF on (1, N):
+//
+//	F'(x) = (1-s)/(N^(1-s)-1) * x^-s      (s != 1)
+//	F'(x) = 1/(ln N) * x^-1               (s == 1)
+//
+// Outside [1, N] the density is 0; at the endpoints the one-sided
+// derivative from inside the domain is returned, so optimizers see the
+// correct gradient at the boundary.
+func ContinuousPDF(x, s, n float64) float64 {
+	if x < 1 || x > n {
+		return 0
+	}
+	if s == 1 {
+		return 1 / (math.Log(n) * x)
+	}
+	return (1 - s) / (math.Pow(n, 1-s) - 1) * math.Pow(x, -s)
+}
+
+// BoundaryMass returns 1/F'(c), the request-mass scale at cache size c.
+// The figure harness uses it as the coordination-cost amortization rho
+// (see DESIGN.md section 4): rho = c^s * (N^(1-s)-1)/(1-s).
+func BoundaryMass(c, s, n float64) float64 {
+	p := ContinuousPDF(c, s, n)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / p
+}

@@ -1,0 +1,378 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if a == 0 || b == 0 {
+		return diff < tol
+	}
+	return diff/math.Max(math.Abs(a), math.Abs(b)) < tol
+}
+
+func TestHarmonicSmallValues(t *testing.T) {
+	tests := []struct {
+		name string
+		k    int64
+		s    float64
+		want float64
+	}{
+		{"k=0", 0, 0.8, 0},
+		{"k=-3", -3, 0.8, 0},
+		{"k=1 any s", 1, 1.7, 1},
+		{"k=2 s=1", 2, 1, 1.5},
+		{"k=3 s=1", 3, 1, 1 + 0.5 + 1.0/3.0},
+		{"k=2 s=2", 2, 2, 1.25},
+		{"k=4 s=0.5", 4, 0.5, 1 + 1/math.Sqrt2 + 1/math.Sqrt(3) + 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Harmonic(tt.k, tt.s); !almostEqual(got, tt.want, 1e-14) {
+				t.Errorf("Harmonic(%d, %v) = %v, want %v", tt.k, tt.s, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestHarmonicTailAgreesWithDirectSum checks the Euler-Maclaurin path
+// against brute-force summation just past the exact/approximate boundary.
+func TestHarmonicTailAgreesWithDirectSum(t *testing.T) {
+	const k = exactHarmonicLimit * 4
+	for _, s := range []float64{0.2, 0.5, 0.8, 1.0, 1.2, 1.5, 1.9} {
+		want := harmonicExact(k, s)
+		got := Harmonic(k, s)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("s=%v: Harmonic(%d) = %.15g, direct sum = %.15g", s, k, got, want)
+		}
+	}
+}
+
+func TestHarmonicMonotoneInK(t *testing.T) {
+	for _, s := range []float64{0.3, 1.0, 1.8} {
+		prev := 0.0
+		for _, k := range []int64{1, 2, 10, 100, exactHarmonicLimit, exactHarmonicLimit + 1, 1 << 20} {
+			h := Harmonic(k, s)
+			if h <= prev {
+				t.Errorf("s=%v: Harmonic not strictly increasing at k=%d: %v <= %v", s, k, h, prev)
+			}
+			prev = h
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		s       float64
+		n       int64
+		wantErr bool
+	}{
+		{"valid s<1", 0.8, 1000, false},
+		{"valid s>1", 1.3, 1000, false},
+		{"valid s=1", 1.0, 10, false},
+		{"zero s", 0, 10, true},
+		{"negative s", -0.5, 10, true},
+		{"NaN s", math.NaN(), 10, true},
+		{"Inf s", math.Inf(1), 10, true},
+		{"zero n", 0.8, 0, true},
+		{"negative n", 0.8, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.s, tt.n)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New(%v, %d) error = %v, wantErr %v", tt.s, tt.n, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(-1, 10) did not panic")
+		}
+	}()
+	MustNew(-1, 10)
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 1.0, 1.3} {
+		d := MustNew(s, 500)
+		var sum float64
+		for i := int64(1); i <= d.N(); i++ {
+			sum += d.PMF(i)
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Errorf("s=%v: PMF sums to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestPMFOutOfRange(t *testing.T) {
+	d := MustNew(0.8, 100)
+	for _, i := range []int64{0, -1, 101, 1 << 40} {
+		if p := d.PMF(i); p != 0 {
+			t.Errorf("PMF(%d) = %v, want 0", i, p)
+		}
+	}
+}
+
+func TestPMFDecreasing(t *testing.T) {
+	d := MustNew(0.8, 1000)
+	for i := int64(2); i <= d.N(); i++ {
+		if d.PMF(i) >= d.PMF(i-1) {
+			t.Fatalf("PMF not strictly decreasing at rank %d", i)
+		}
+	}
+}
+
+func TestCDFBoundsAndEndpoints(t *testing.T) {
+	d := MustNew(1.2, 1000)
+	if got := d.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := d.CDF(-5); got != 0 {
+		t.Errorf("CDF(-5) = %v, want 0", got)
+	}
+	if got := d.CDF(1000); got != 1 {
+		t.Errorf("CDF(N) = %v, want 1", got)
+	}
+	if got := d.CDF(5000); got != 1 {
+		t.Errorf("CDF(5N) = %v, want 1", got)
+	}
+	if got := d.CDF(1); !almostEqual(got, d.PMF(1), 1e-14) {
+		t.Errorf("CDF(1) = %v, want PMF(1) = %v", got, d.PMF(1))
+	}
+}
+
+// TestCDFMatchesPMFSum property: F(k) == sum of f(1..k).
+func TestCDFMatchesPMFSum(t *testing.T) {
+	d := MustNew(0.8, 2000)
+	var acc float64
+	for k := int64(1); k < d.N(); k++ {
+		acc += d.PMF(k)
+		if !almostEqual(d.CDF(k), acc, 1e-10) {
+			t.Fatalf("CDF(%d) = %v, cumulative PMF = %v", k, d.CDF(k), acc)
+		}
+	}
+}
+
+func TestCDFQuickMonotone(t *testing.T) {
+	d := MustNew(0.9, 1_000_000)
+	f := func(a, b uint32) bool {
+		ka, kb := int64(a%1_000_000)+1, int64(b%1_000_000)+1
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		return d.CDF(ka) <= d.CDF(kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContinuousCDFProperties(t *testing.T) {
+	const n = 1e6
+	for _, s := range []float64{0.1, 0.8, 1.0, 1.3, 1.9} {
+		if got := ContinuousCDF(0.5, s, n); got != 0 {
+			t.Errorf("s=%v: F(0.5) = %v, want 0", s, got)
+		}
+		if got := ContinuousCDF(1, s, n); got != 0 {
+			t.Errorf("s=%v: F(1) = %v, want 0", s, got)
+		}
+		if got := ContinuousCDF(n, s, n); got != 1 {
+			t.Errorf("s=%v: F(N) = %v, want 1", s, got)
+		}
+		if got := ContinuousCDF(n*10, s, n); got != 1 {
+			t.Errorf("s=%v: F(10N) = %v, want 1", s, got)
+		}
+		prev := -1.0
+		for x := 1.0; x <= n; x *= 3 {
+			v := ContinuousCDF(x, s, n)
+			if v < prev {
+				t.Errorf("s=%v: ContinuousCDF not monotone at x=%v", s, x)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestContinuousApproximatesDiscrete checks Eq. (6) against the exact
+// harmonic ratio: the relative error should be small for moderate k and N.
+func TestContinuousApproximatesDiscrete(t *testing.T) {
+	const n = 100000
+	d := MustNew(0.8, n)
+	for _, k := range []int64{100, 1000, 10000} {
+		exact := d.CDF(k)
+		approx := ContinuousCDF(float64(k), 0.8, n)
+		if math.Abs(exact-approx) > 0.05 {
+			t.Errorf("k=%d: |exact %v - approx %v| too large", k, exact, approx)
+		}
+	}
+}
+
+func TestContinuousPDFIsDerivative(t *testing.T) {
+	const n, h = 1e6, 1e-3
+	for _, s := range []float64{0.5, 1.0, 1.5} {
+		for _, x := range []float64{10, 1000, 1e5} {
+			num := (ContinuousCDF(x+h, s, n) - ContinuousCDF(x-h, s, n)) / (2 * h)
+			ana := ContinuousPDF(x, s, n)
+			if !almostEqual(num, ana, 1e-5) {
+				t.Errorf("s=%v x=%v: numeric %v vs analytic %v", s, x, num, ana)
+			}
+		}
+	}
+}
+
+func TestContinuousPDFOutsideDomain(t *testing.T) {
+	if got := ContinuousPDF(0.5, 0.8, 100); got != 0 {
+		t.Errorf("PDF(0.5) = %v, want 0", got)
+	}
+	if got := ContinuousPDF(200, 0.8, 100); got != 0 {
+		t.Errorf("PDF(200) = %v, want 0", got)
+	}
+}
+
+func TestBoundaryMass(t *testing.T) {
+	// rho = 1/F'(c) = c^s (N^(1-s)-1)/(1-s) for s != 1.
+	const c, s, n = 1000.0, 0.8, 1e6
+	want := math.Pow(c, s) * (math.Pow(n, 1-s) - 1) / (1 - s)
+	if got := BoundaryMass(c, s, n); !almostEqual(got, want, 1e-12) {
+		t.Errorf("BoundaryMass = %v, want %v", got, want)
+	}
+	if got := BoundaryMass(0.5, s, n); !math.IsInf(got, 1) {
+		t.Errorf("BoundaryMass outside domain = %v, want +Inf", got)
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSampler(0, 10, rng); err == nil {
+		t.Error("NewSampler(0, ...) should fail")
+	}
+	if _, err := NewSampler(0.8, 0, rng); err == nil {
+		t.Error("NewSampler(_, 0, ...) should fail")
+	}
+	if _, err := NewSampler(0.8, 10, nil); err == nil {
+		t.Error("NewSampler with nil rng should fail")
+	}
+}
+
+func TestSamplerRange(t *testing.T) {
+	for _, s := range []float64{0.3, 0.8, 1.0, 1.5} {
+		rng := rand.New(rand.NewSource(42))
+		sm, err := NewSampler(s, 1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20000; i++ {
+			k := sm.Next()
+			if k < 1 || k > 1000 {
+				t.Fatalf("s=%v: sample %d outside [1,1000]", s, k)
+			}
+		}
+	}
+}
+
+// TestSamplerMatchesPMF draws a large sample and checks empirical
+// frequencies of the head ranks against the exact PMF.
+func TestSamplerMatchesPMF(t *testing.T) {
+	const n, draws = 1000, 400000
+	for _, s := range []float64{0.6, 0.8, 1.2} {
+		rng := rand.New(rand.NewSource(7))
+		sm, err := NewSampler(s, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n+1)
+		for i := 0; i < draws; i++ {
+			counts[sm.Next()]++
+		}
+		d := MustNew(s, n)
+		for rank := int64(1); rank <= 5; rank++ {
+			emp := float64(counts[rank]) / draws
+			exp := d.PMF(rank)
+			if math.Abs(emp-exp) > 0.01+0.1*exp {
+				t.Errorf("s=%v rank=%d: empirical %v vs pmf %v", s, rank, emp, exp)
+			}
+		}
+	}
+}
+
+// TestSamplerAgainstTableOracle compares rejection-inversion with the exact
+// inverse-CDF table sampler on aggregate statistics.
+func TestSamplerAgainstTableOracle(t *testing.T) {
+	const n, draws = 200, 200000
+	for _, s := range []float64{0.5, 1.0, 1.7} {
+		d := MustNew(s, n)
+		ts, err := NewTableSampler(d, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := NewSampler(s, n, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sumT, sumR float64
+		for i := 0; i < draws; i++ {
+			sumT += float64(ts.Next())
+			sumR += float64(ri.Next())
+		}
+		meanT, meanR := sumT/draws, sumR/draws
+		if math.Abs(meanT-meanR) > 0.05*meanT+1 {
+			t.Errorf("s=%v: table mean %v vs rejection mean %v", s, meanT, meanR)
+		}
+	}
+}
+
+func TestSamplerHugePopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sm, err := NewSampler(0.8, 1_000_000_000_000, rng) // 10^12 per Table IV upper range
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		k := sm.Next()
+		if k < 1 || k > 1_000_000_000_000 {
+			t.Fatalf("sample %d outside range", k)
+		}
+	}
+}
+
+func TestTableSamplerValidation(t *testing.T) {
+	d := MustNew(0.8, 10)
+	if _, err := NewTableSampler(d, nil); err == nil {
+		t.Error("NewTableSampler with nil rng should fail")
+	}
+	huge := MustNew(0.8, 1<<25)
+	if _, err := NewTableSampler(huge, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("NewTableSampler beyond table limit should fail")
+	}
+}
+
+func BenchmarkHarmonicLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Harmonic(1_000_000_000, 0.8)
+	}
+}
+
+func BenchmarkSamplerNext(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sm, err := NewSampler(0.8, 1_000_000, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Next()
+	}
+}
