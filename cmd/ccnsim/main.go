@@ -14,8 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
+	"ccncoord/internal/fault"
 	"ccncoord/internal/model"
 	"ccncoord/internal/sim"
 	"ccncoord/internal/topology"
@@ -23,21 +26,25 @@ import (
 
 func main() {
 	var (
-		topoName = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
-		policy   = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
-		catalog  = flag.Int64("N", 20000, "catalog size (contents)")
-		s        = flag.Float64("s", 0.8, "Zipf popularity exponent")
-		capacity = flag.Int64("c", 150, "per-router storage capacity")
-		x        = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
-		requests = flag.Int("requests", 60000, "measured requests")
-		warmup   = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		access   = flag.Float64("access", 5, "client access latency, ms one-way")
-		origin   = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
-		gateway  = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
-		adaptive = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
-		loss     = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
-		retx     = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0")
+		topoName  = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
+		policy    = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
+		catalog   = flag.Int64("N", 20000, "catalog size (contents)")
+		s         = flag.Float64("s", 0.8, "Zipf popularity exponent")
+		capacity  = flag.Int64("c", 150, "per-router storage capacity")
+		x         = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
+		requests  = flag.Int("requests", 60000, "measured requests")
+		warmup    = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		access    = flag.Float64("access", 5, "client access latency, ms one-way")
+		origin    = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
+		gateway   = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
+		adaptive  = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
+		loss      = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
+		retx      = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0 or faults are injected")
+		mtbf      = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
+		mttr      = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
+		faultSeed = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
+		failSpec  = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
 	)
 	flag.Parse()
 
@@ -45,7 +52,8 @@ func main() {
 	if *adaptive > 0 {
 		err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive)
 	} else {
-		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx)
+		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
+			*mtbf, *mttr, *faultSeed, *failSpec)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
@@ -102,8 +110,53 @@ func findTopology(name string) (*topology.Graph, error) {
 	return nil, fmt.Errorf("unknown topology %q", name)
 }
 
+// parseFailSpec parses the -fail flag: a comma-separated list of
+// scripted router crashes, each "router@start" (crash forever) or
+// "router@start-end" (crash at start, recover at end), times in ms.
+func parseFailSpec(spec string, n int) ([]fault.Event, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var events []fault.Event
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		at := strings.SplitN(part, "@", 2)
+		if len(at) != 2 {
+			return nil, fmt.Errorf("fail spec %q: want router@start[-end]", part)
+		}
+		router, err := strconv.Atoi(at[0])
+		if err != nil {
+			return nil, fmt.Errorf("fail spec %q: bad router id: %v", part, err)
+		}
+		if router < 0 || router >= n {
+			return nil, fmt.Errorf("fail spec %q: unknown router %d (topology has %d)", part, router, n)
+		}
+		window := strings.SplitN(at[1], "-", 2)
+		start, err := strconv.ParseFloat(window[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fail spec %q: bad start time: %v", part, err)
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("fail spec %q: negative start time %v", part, start)
+		}
+		events = append(events, fault.Event{At: start, Kind: fault.RouterDown, Node: topology.NodeID(router)})
+		if len(window) == 2 {
+			end, err := strconv.ParseFloat(window[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fail spec %q: bad end time: %v", part, err)
+			}
+			if end <= start {
+				return nil, fmt.Errorf("fail spec %q: end %v not after start %v", part, end, start)
+			}
+			events = append(events, fault.Event{At: end, Kind: fault.RouterUp, Node: topology.NodeID(router)})
+		}
+	}
+	return events, nil
+}
+
 func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
-	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64) error {
+	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64,
+	mtbf, mttr float64, faultSeed int64, failSpec string) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -112,6 +165,19 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	if err != nil {
 		return err
 	}
+	switch {
+	case mtbf < 0:
+		return fmt.Errorf("-mtbf must be non-negative, got %v", mtbf)
+	case mttr < 0:
+		return fmt.Errorf("-mttr must be non-negative, got %v", mttr)
+	case (mtbf > 0) != (mttr > 0):
+		return fmt.Errorf("-mtbf and -mttr must be set together")
+	}
+	script, err := parseFailSpec(failSpec, g.N())
+	if err != nil {
+		return err
+	}
+	faultsOn := mtbf > 0 || len(script) > 0
 	sc := sim.Scenario{
 		Topology:      g,
 		CatalogSize:   catalog,
@@ -126,8 +192,12 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		OriginLatency: origin,
 		OriginGateway: topology.NodeID(gateway),
 		LossRate:      loss,
+		FaultScript:   script,
+		MTBF:          mtbf,
+		MTTR:          mttr,
+		FaultSeed:     faultSeed,
 	}
-	if loss > 0 {
+	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
 	}
 	if pol != sim.PolicyCoordinated {
@@ -157,6 +227,21 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	if pol == sim.PolicyCoordinated {
 		fmt.Fprintf(tw, "coordination messages\t%d\n", res.CoordMessages)
 		fmt.Fprintf(tw, "coordination convergence (ms)\t%.1f\n", res.CoordConvergence)
+	}
+	if faultsOn {
+		fmt.Fprintf(tw, "availability\t%.4f (%d failed)\n", res.Availability, res.FailedRequests)
+		fmt.Fprintf(tw, "fault drops / expired interests\t%d / %d\n", res.FaultDrops, res.ExpiredInterests)
+		fmt.Fprintf(tw, "route recomputes\t%d\n", res.RouteRecomputes)
+		fmt.Fprintf(tw, "router downtime (ms)\t%.1f\n", res.RouterDowntime)
+		fmt.Fprintf(tw, "origin load outage / steady\t%.4f / %.4f\n", res.OutageOriginLoad, res.SteadyOriginLoad)
+		if pol == sim.PolicyCoordinated {
+			fmt.Fprintf(tw, "heartbeat / repair messages\t%d / %d\n", res.HeartbeatMessages, res.RepairMessages)
+			fmt.Fprintf(tw, "mean time to repair (ms)\t%.1f\n", res.MeanTimeToRepair)
+			for _, rep := range res.Repairs {
+				fmt.Fprintf(tw, "repair\trouter %d crashed %.1f detected %.1f moved %d contents\n",
+					rep.Router, rep.CrashedAt, rep.DetectedAt, rep.Moved)
+			}
+		}
 	}
 
 	// Analytical prediction for the provisioned policies.

@@ -28,6 +28,68 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+func TestParseFailSpec(t *testing.T) {
+	const n = 10
+	valid := []struct {
+		in   string
+		want int // events
+	}{
+		{"", 0},
+		{"3@500", 1},
+		{"3@500-2000", 2},
+		{"3@500-2000, 7@100", 3},
+	}
+	for _, tt := range valid {
+		events, err := parseFailSpec(tt.in, n)
+		if err != nil {
+			t.Errorf("parseFailSpec(%q) error: %v", tt.in, err)
+			continue
+		}
+		if len(events) != tt.want {
+			t.Errorf("parseFailSpec(%q) = %d events, want %d", tt.in, len(events), tt.want)
+		}
+	}
+	invalid := []string{
+		"3",          // missing @start
+		"x@500",      // bad router id
+		"12@500",     // unknown router
+		"-1@500",     // negative router
+		"3@-5",       // negative start
+		"3@500-400",  // end before start
+		"3@500-500",  // empty window
+		"3@500-oops", // bad end time
+	}
+	for _, in := range invalid {
+		if _, err := parseFailSpec(in, n); err == nil {
+			t.Errorf("parseFailSpec(%q) passed, want error", in)
+		}
+	}
+}
+
+func TestRunRejectsBadFaultConfig(t *testing.T) {
+	// run validates the fault flags before simulating; every case here
+	// must error out early.
+	cases := []struct {
+		name       string
+		mtbf, mttr float64
+		fail       string
+	}{
+		{"negative mtbf", -1, 100, ""},
+		{"negative mttr", 100, -1, ""},
+		{"mtbf without mttr", 100, 0, ""},
+		{"mttr without mtbf", 0, 100, ""},
+		{"fail on unknown node", 0, 0, "999@100"},
+		{"malformed fail spec", 0, 0, "1:100"},
+	}
+	for _, tc := range cases {
+		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
+			tc.mtbf, tc.mttr, 1, tc.fail)
+		if err == nil {
+			t.Errorf("%s: run accepted the config, want error", tc.name)
+		}
+	}
+}
+
 func TestFindTopology(t *testing.T) {
 	for _, name := range []string{"Abilene", "CERNET", "GEANT", "US-A"} {
 		g, err := findTopology(name)

@@ -10,7 +10,9 @@ package ccn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"ccncoord/internal/cache"
 	"ccncoord/internal/catalog"
@@ -26,6 +28,9 @@ const (
 	ServedLocal  ServerKind = iota // requesting router's own content store
 	ServedPeer                     // another router in the domain
 	ServedOrigin                   // the origin server
+	// ServedNone marks a failed request: the retry budget was exhausted
+	// without data arriving (only possible on faulty fabrics).
+	ServedNone
 )
 
 // String returns the tier name.
@@ -37,6 +42,8 @@ func (k ServerKind) String() string {
 		return "peer"
 	case ServedOrigin:
 		return "origin"
+	case ServedNone:
+		return "failed"
 	default:
 		return fmt.Sprintf("ServerKind(%d)", int(k))
 	}
@@ -82,6 +89,10 @@ type RequestResult struct {
 	Hops     int
 	ServedBy ServerKind
 	Server   topology.NodeID // serving router; -1 when served by origin
+	// Failed marks a request the network gave up on: its first-hop
+	// router was crashed, or the bounded retry budget was exhausted
+	// without data arriving. ServedBy is ServedNone and Server is -1.
+	Failed bool
 }
 
 // Latency returns the client-observed request latency.
@@ -104,14 +115,44 @@ type Options struct {
 	// network links (interests, data, and origin uplink exchanges).
 	// Zero means a lossless fabric. Must be in [0, 1).
 	LossRate float64
-	// RetxTimeout is the per-router interest retransmission timeout
-	// (ms): while a PIT entry is unsatisfied, its router re-sends the
-	// interest upstream every RetxTimeout. Required when LossRate > 0.
+	// RetxTimeout is the base per-router interest retransmission
+	// timeout (ms): while a PIT entry is unsatisfied, its router
+	// re-sends the interest upstream with exponential backoff starting
+	// from this value. Required when LossRate > 0 or Faults is set.
 	RetxTimeout float64
-	// LossSeed seeds the loss process and the probabilistic caching
-	// decision; runs with the same seed are reproducible. Zero selects
-	// 1.
+	// LossSeed seeds the loss process, the retransmission jitter, and
+	// the probabilistic caching decision; runs with the same seed are
+	// reproducible. Zero selects 1.
 	LossSeed int64
+
+	// Faults enables the fault-aware data plane: routers and links may
+	// be taken down via SetRouterState/SetLinkState, routes are
+	// recomputed around outages, and retransmission timers arm even on
+	// lossless fabrics so redirected interests recover from crashed
+	// owners. Requires a positive RetxTimeout.
+	Faults bool
+	// MaxRetries bounds the retransmissions per PIT entry; after the
+	// initial send plus MaxRetries retries the entry expires and client
+	// requests complete as Failed. Zero selects DefaultMaxRetries.
+	// Applies whenever retransmission is active (lossy or faulty
+	// fabrics).
+	MaxRetries int
+	// RetxBackoff is the exponential backoff multiplier between
+	// successive retries; must be >= 1 when set. Zero selects
+	// DefaultRetxBackoff.
+	RetxBackoff float64
+	// RetxJitter spreads each retry timeout uniformly over
+	// [timeout, timeout*(1+RetxJitter)), de-synchronizing retry storms.
+	// Must lie in [0, 1); zero means no jitter.
+	RetxJitter float64
+	// OriginFallbackRetries is the number of directory-redirected
+	// retries before a retrying router bypasses the directory and goes
+	// straight to the origin — the graceful-degradation path when a
+	// coordinated owner is unreachable. It applies only on fault-aware
+	// planes (Options.Faults): on a merely lossy fabric the owner is
+	// alive, so retries keep following the directory. Zero selects
+	// DefaultOriginFallbackRetries; negative disables the fallback.
+	OriginFallbackRetries int
 
 	// CacheProbability is the per-router admission probability under
 	// CacheProb mode; must lie in (0, 1] when that mode is selected.
@@ -128,6 +169,21 @@ type Options struct {
 // originNeighbor marks the origin uplink in forwarding decisions.
 const originNeighbor topology.NodeID = -1
 
+// Retransmission policy defaults (see Options).
+const (
+	// DefaultMaxRetries is the per-PIT-entry retry budget when
+	// Options.MaxRetries is zero.
+	DefaultMaxRetries = 8
+	// DefaultRetxBackoff doubles the timeout on every retry.
+	DefaultRetxBackoff = 2.0
+	// DefaultOriginFallbackRetries is how many retries keep following
+	// the directory before degrading to the origin.
+	DefaultOriginFallbackRetries = 2
+	// maxBackoffExponent clamps the exponential backoff so late retries
+	// do not wait unboundedly long.
+	maxBackoffExponent = 5
+)
+
 // pendingRequest is a client request waiting in a PIT.
 type pendingRequest struct {
 	issuedAt float64
@@ -141,9 +197,13 @@ type pitFace struct {
 	request  *pendingRequest // non-nil for client faces
 }
 
-// pitEntry aggregates all downstream requesters of one content.
+// pitEntry aggregates all downstream requesters of one content and
+// tracks its bounded retransmission state.
 type pitEntry struct {
 	faces []pitFace
+	// attempts counts upstream sends so far (1 after the initial
+	// forward); the retry budget caps it at 1+MaxRetries.
+	attempts int
 }
 
 // node is one CCN router: content store plus PIT, with activity
@@ -152,6 +212,10 @@ type node struct {
 	id  topology.NodeID
 	cs  cache.Store
 	pit map[catalog.ID]*pitEntry
+
+	// crashed marks a failed router: it neither forwards, serves, nor
+	// accepts packets until recovery.
+	crashed bool
 
 	csHits     int64
 	csMisses   int64
@@ -183,7 +247,15 @@ type Network struct {
 	droppedData           int64
 	retransmissions       int64
 
-	// rng drives the loss process; nil on lossless fabrics.
+	// Fault-layer state and counters (Options.Faults only).
+	downLinks       map[[2]topology.NodeID]bool
+	faultDrops      int64 // transmissions blackholed by down links/routers
+	expiredEntries  int64 // PIT entries whose retry budget ran out
+	failedRequests  int64 // client requests completed as Failed
+	routeRecomputes int64
+
+	// rng drives the loss process and retransmission jitter; nil on
+	// lossless, fault-free fabrics.
 	rng *rand.Rand
 
 	// linkBusy tracks, per directed link, when its transmitter frees up
@@ -216,10 +288,27 @@ func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts O
 		return nil, fmt.Errorf("ccn: loss rate %v outside [0, 1)", opts.LossRate)
 	case opts.LossRate > 0 && !(opts.RetxTimeout > 0):
 		return nil, fmt.Errorf("ccn: lossy fabric requires a positive retransmission timeout")
+	case opts.Faults && !(opts.RetxTimeout > 0):
+		return nil, fmt.Errorf("ccn: fault-aware fabric requires a positive retransmission timeout")
+	case opts.MaxRetries < 0:
+		return nil, fmt.Errorf("ccn: negative retry budget %d", opts.MaxRetries)
+	case opts.RetxBackoff != 0 && opts.RetxBackoff < 1:
+		return nil, fmt.Errorf("ccn: retransmission backoff %v below 1", opts.RetxBackoff)
+	case opts.RetxJitter < 0 || opts.RetxJitter >= 1:
+		return nil, fmt.Errorf("ccn: retransmission jitter %v outside [0, 1)", opts.RetxJitter)
 	case opts.Mode == CacheProb && !(opts.CacheProbability > 0 && opts.CacheProbability <= 1):
 		return nil, fmt.Errorf("ccn: CacheProb mode requires a probability in (0,1], got %v", opts.CacheProbability)
 	case opts.LinkRate < 0:
 		return nil, fmt.Errorf("ccn: negative link rate %v", opts.LinkRate)
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.RetxBackoff == 0 {
+		opts.RetxBackoff = DefaultRetxBackoff
+	}
+	if opts.OriginFallbackRetries == 0 {
+		opts.OriginFallbackRetries = DefaultOriginFallbackRetries
 	}
 	n := &Network{
 		eng:          eng,
@@ -229,12 +318,15 @@ func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts O
 		opts:         opts,
 		originRouter: -1,
 	}
-	if opts.LossRate > 0 || opts.Mode == CacheProb {
+	if opts.LossRate > 0 || opts.Faults || opts.Mode == CacheProb {
 		seed := opts.LossSeed
 		if seed == 0 {
 			seed = 1
 		}
 		n.rng = rand.New(rand.NewSource(seed))
+	}
+	if opts.Faults {
+		n.downLinks = make(map[[2]topology.NodeID]bool)
 	}
 	if opts.LinkRate > 0 {
 		n.linkBusy = make(map[[2]topology.NodeID]float64)
@@ -307,6 +399,168 @@ func (n *Network) DroppedData() int64 { return n.droppedData }
 // fired for unsatisfied PIT entries.
 func (n *Network) Retransmissions() int64 { return n.retransmissions }
 
+// FaultDrops returns how many transmissions were blackholed by down
+// links or crashed routers.
+func (n *Network) FaultDrops() int64 { return n.faultDrops }
+
+// ExpiredInterests returns how many PIT entries exhausted their retry
+// budget without being satisfied.
+func (n *Network) ExpiredInterests() int64 { return n.expiredEntries }
+
+// FailedRequests returns how many client requests completed as Failed.
+func (n *Network) FailedRequests() int64 { return n.failedRequests }
+
+// RouteRecomputes returns how many times the forwarding tables were
+// rebuilt after a topology change.
+func (n *Network) RouteRecomputes() int64 { return n.routeRecomputes }
+
+// retxActive reports whether retransmission timers arm for new PIT
+// entries: on lossy fabrics (the timers recover drops) and on
+// fault-aware fabrics (they recover interests blackholed by outages).
+func (n *Network) retxActive() bool {
+	return n.opts.LossRate > 0 || n.opts.Faults
+}
+
+// SetRouterState crashes (up=false) or recovers (up=true) router r,
+// implementing fault.Target. Crashing flushes the router's PIT —
+// pending client requests there complete as Failed, neighbor faces are
+// dropped (their routers' own retry timers recover) — and removes the
+// router from the forwarding tables. Requires Options.Faults.
+func (n *Network) SetRouterState(r topology.NodeID, up bool) error {
+	if !n.opts.Faults {
+		return fmt.Errorf("ccn: fault injection requires Options.Faults")
+	}
+	if int(r) < 0 || int(r) >= len(n.nodes) {
+		return fmt.Errorf("ccn: unknown router %d", r)
+	}
+	nd := n.nodes[r]
+	if nd.crashed == !up {
+		return nil // idempotent
+	}
+	nd.crashed = !up
+	if nd.crashed {
+		n.flushPIT(nd)
+	}
+	n.recomputeRoutes()
+	return nil
+}
+
+// SetLinkState takes the undirected link (a, b) down or up,
+// implementing fault.Target. Packets are not forwarded over down
+// links; routes are recomputed around them. Requires Options.Faults.
+func (n *Network) SetLinkState(a, b topology.NodeID, up bool) error {
+	if !n.opts.Faults {
+		return fmt.Errorf("ccn: fault injection requires Options.Faults")
+	}
+	if !n.graph.HasEdge(a, b) {
+		return fmt.Errorf("ccn: no link (%d,%d)", a, b)
+	}
+	key := linkKey(a, b)
+	if n.downLinks[key] == !up {
+		return nil // idempotent
+	}
+	if up {
+		delete(n.downLinks, key)
+	} else {
+		n.downLinks[key] = true
+	}
+	n.recomputeRoutes()
+	return nil
+}
+
+// linkKey normalizes an undirected link to a map key.
+func linkKey(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// linkDown reports whether the link (a, b) is out of service.
+func (n *Network) linkDown(a, b topology.NodeID) bool {
+	return len(n.downLinks) > 0 && n.downLinks[linkKey(a, b)]
+}
+
+// crashed reports whether router r is down.
+func (n *Network) crashedRouter(r topology.NodeID) bool {
+	return n.opts.Faults && n.nodes[r].crashed
+}
+
+// recomputeRoutes rebuilds the latency-shortest forwarding tables over
+// the alive subgraph: down links and every link incident to a crashed
+// router are excluded, modeling an instantly converged routing plane
+// (the data plane's retry timers cover the packets in flight during
+// the transition).
+func (n *Network) recomputeRoutes() {
+	n.routeRecomputes++
+	anyDown := len(n.downLinks) > 0
+	if !anyDown {
+		for _, nd := range n.nodes {
+			if nd.crashed {
+				anyDown = true
+				break
+			}
+		}
+	}
+	if !anyDown {
+		n.lat = n.graph.ShortestPathsLatency()
+		return
+	}
+	alive := n.graph.Clone()
+	for _, e := range n.graph.EdgeList() {
+		if n.linkDown(e.A, e.B) || n.nodes[e.A].crashed || n.nodes[e.B].crashed {
+			if err := alive.RemoveEdge(e.A, e.B); err != nil {
+				panic(fmt.Sprintf("ccn: filtering dead link %d-%d: %v", e.A, e.B, err))
+			}
+		}
+	}
+	n.lat = alive.ShortestPathsLatency()
+}
+
+// flushPIT drops every pending entry of a crashing router: client
+// faces complete as Failed, neighbor faces are abandoned (downstream
+// retransmission recovers them). Entries flush in content-id order so
+// the completion stream stays deterministic.
+func (n *Network) flushPIT(nd *node) {
+	if len(nd.pit) == 0 {
+		return
+	}
+	ids := make([]catalog.ID, 0, len(nd.pit))
+	for id := range nd.pit {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		entry := nd.pit[id]
+		delete(nd.pit, id)
+		n.expiredEntries++
+		for _, f := range entry.faces {
+			if f.request != nil {
+				n.failRequest(nd.id, id, f.request)
+			}
+		}
+	}
+}
+
+// failRequest completes a client request as Failed after the access
+// hop back to the client.
+func (n *Network) failRequest(nid topology.NodeID, id catalog.ID, req *pendingRequest) {
+	n.failedRequests++
+	result := RequestResult{
+		Content:     id,
+		Router:      nid,
+		IssuedAt:    req.issuedAt,
+		Hops:        0,
+		Server:      -1,
+		ServedBy:    ServedNone,
+		Failed:      true,
+		CompletedAt: n.eng.Now() + n.opts.AccessLatency,
+	}
+	if err := n.eng.Schedule(n.opts.AccessLatency, func() { req.done(result) }); err != nil {
+		panic(fmt.Sprintf("ccn: scheduling failure completion: %v", err))
+	}
+}
+
 // Request schedules a client request for content id at the given router,
 // issued at the engine's current time. done fires when the data reaches
 // the client.
@@ -335,6 +589,16 @@ func (n *Network) Request(router topology.NodeID, id catalog.ID, done func(Reque
 // from the given downstream face.
 func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFace) {
 	nd := n.nodes[nid]
+	if n.crashedRouter(nid) {
+		// A crashed router blackholes interests. Client requests fail
+		// immediately (their first-hop router is gone); neighbor faces
+		// are covered by the downstream router's retry timer.
+		n.faultDrops++
+		if from.request != nil {
+			n.failRequest(nid, id, from.request)
+		}
+		return
+	}
 	if nd.cs.Lookup(id) {
 		// Content store hit: data flows back to the arriving face
 		// immediately. Hops accumulate on the way down.
@@ -349,42 +613,78 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 		entry.faces = append(entry.faces, from)
 		return
 	}
-	nd.pit[id] = &pitEntry{faces: []pitFace{from}}
+	entry := &pitEntry{faces: []pitFace{from}, attempts: 1}
+	nd.pit[id] = entry
 	if len(nd.pit) > nd.pitPeak {
 		nd.pitPeak = len(nd.pit)
 	}
 	nd.forwarded++
-	n.sendUpstream(nid, id)
-	n.armRetx(nid, id)
+	n.sendUpstream(nid, id, false)
+	n.armRetx(nid, id, entry)
 }
 
 // sendUpstream forwards an interest from nid toward its upstream: the
-// coordinated owner if the directory knows one, otherwise the origin.
-func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID) {
-	if n.opts.Directory != nil {
+// coordinated owner if the directory knows one and a route to it
+// exists, otherwise the origin. forceOrigin bypasses the directory —
+// the graceful-degradation path late in a retry budget.
+func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID, forceOrigin bool) {
+	if !forceOrigin && n.opts.Directory != nil {
 		if owner, ok := n.opts.Directory.Owner(id); ok && owner != nid {
-			n.forwardInterest(nid, n.lat.Next[nid][owner], id)
-			return
+			if next := n.lat.Next[nid][owner]; next >= 0 {
+				n.forwardInterest(nid, next, id)
+				return
+			}
+			// The owner is unreachable (crashed or partitioned): fall
+			// through to the origin.
 		}
 	}
 	n.forwardToOrigin(nid, id)
 }
 
-// armRetx schedules the interest-retransmission timer for nid's pending
-// entry on a lossy fabric. The chain re-arms itself until the PIT entry
-// is satisfied.
-func (n *Network) armRetx(nid topology.NodeID, id catalog.ID) {
-	if !(n.opts.LossRate > 0) {
+// armRetx schedules the bounded interest-retransmission timer for
+// nid's pending entry. Each retry backs off exponentially (with
+// optional jitter); once the budget is exhausted the entry expires and
+// client requests fail. Late retries past OriginFallbackRetries bypass
+// the directory so a dead owner degrades to the origin instead of
+// spinning.
+func (n *Network) armRetx(nid topology.NodeID, id catalog.ID, entry *pitEntry) {
+	if !n.retxActive() {
 		return
 	}
-	if err := n.eng.Schedule(n.opts.RetxTimeout, func() {
+	exp := entry.attempts - 1
+	if exp > maxBackoffExponent {
+		exp = maxBackoffExponent
+	}
+	delay := n.opts.RetxTimeout * math.Pow(n.opts.RetxBackoff, float64(exp))
+	if n.opts.RetxJitter > 0 {
+		delay *= 1 + n.opts.RetxJitter*n.rng.Float64()
+	}
+	if err := n.eng.Schedule(delay, func() {
 		nd := n.nodes[nid]
-		if _, pending := nd.pit[id]; !pending {
-			return // satisfied; the chain ends
+		if cur, pending := nd.pit[id]; !pending || cur != entry {
+			return // satisfied or flushed; the chain ends
+		}
+		if n.crashedRouter(nid) {
+			return // the router died after arming; flushPIT handled it
+		}
+		if entry.attempts > n.opts.MaxRetries {
+			// Budget exhausted: expire the entry. Client faces fail;
+			// neighbor faces are covered by their own routers' timers.
+			delete(nd.pit, id)
+			n.expiredEntries++
+			for _, f := range entry.faces {
+				if f.request != nil {
+					n.failRequest(nid, id, f.request)
+				}
+			}
+			return
 		}
 		n.retransmissions++
-		n.sendUpstream(nid, id)
-		n.armRetx(nid, id)
+		entry.attempts++
+		forceOrigin := n.opts.Faults && n.opts.OriginFallbackRetries > 0 &&
+			entry.attempts > 1+n.opts.OriginFallbackRetries
+		n.sendUpstream(nid, id, forceOrigin)
+		n.armRetx(nid, id, entry)
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling retransmission: %v", err))
 	}
@@ -455,6 +755,8 @@ func (n *Network) MeanQueueingDelay() float64 {
 func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
 
 // forwardToOrigin sends the interest one hop toward the origin server.
+// When the origin gateway is unreachable the interest is blackholed;
+// the PIT entry's retry timer bounds the damage.
 func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 	if n.uniformOrigin || nid == n.originRouter {
 		// Uplink directly to the origin, which always has the content.
@@ -480,7 +782,13 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 		}
 		return
 	}
-	n.forwardInterest(nid, n.lat.Next[nid][n.originRouter], id)
+	next := n.lat.Next[nid][n.originRouter]
+	if next < 0 {
+		// Partitioned from the origin gateway: nowhere to send.
+		n.faultDrops++
+		return
+	}
+	n.forwardInterest(nid, next, id)
 }
 
 // forwardInterest transmits an interest from nid to neighbor next.
@@ -488,6 +796,12 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
 	linkLat, err := n.graph.EdgeLatency(nid, next)
 	if err != nil {
 		panic(fmt.Sprintf("ccn: forwarding over missing link %d-%d: %v", nid, next, err))
+	}
+	if n.linkDown(nid, next) {
+		// The link died under an in-flight forwarding decision; the
+		// retry timer recovers over the recomputed route.
+		n.faultDrops++
+		return
 	}
 	n.interestTransmissions++
 	if n.lost() {
@@ -508,6 +822,12 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
 // the data to every PIT face.
 func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, server topology.NodeID) {
 	nd := n.nodes[nid]
+	if n.crashedRouter(nid) {
+		// Data reaching a crashed router is lost; its PIT was flushed
+		// at crash time, so nothing downstream waits on this copy here.
+		n.faultDrops++
+		return
+	}
 	switch n.opts.Mode {
 	case CacheLCE:
 		nd.cs.Insert(id)
@@ -554,6 +874,12 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 	linkLat, err := n.graph.EdgeLatency(nid, next)
 	if err != nil {
 		panic(fmt.Sprintf("ccn: returning data over missing link %d-%d: %v", nid, next, err))
+	}
+	if n.linkDown(nid, next) {
+		// The reverse-path link is down; the downstream router's retry
+		// timer re-fetches over the recomputed route.
+		n.faultDrops++
+		return
 	}
 	n.dataTransmissions++
 	if n.lost() {

@@ -1,0 +1,274 @@
+package ccn
+
+import (
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// mapDirectory is a fixed content -> owner table for tests.
+type mapDirectory map[catalog.ID]topology.NodeID
+
+func (d mapDirectory) Owner(id catalog.ID) (topology.NodeID, bool) {
+	r, ok := d[id]
+	return r, ok
+}
+
+// triangle builds the 3-router full mesh 0-1-2 with the origin behind
+// gateway 0, router 1 provisioned with ids 1..10, and a directory
+// redirecting those ids to router 1.
+func triangle(t *testing.T, opts func(*Options)) (*des.Engine, *Network) {
+	t.Helper()
+	g := topology.New("triangle")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(0, 2, 5)
+	cat, err := catalog.New(100, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := mapDirectory{}
+	for i := 1; i <= 10; i++ {
+		dir[catalog.ID(i)] = 1
+	}
+	o := Options{
+		AccessLatency: 1,
+		Faults:        true,
+		RetxTimeout:   100,
+		Directory:     dir,
+		Stores: func(r topology.NodeID) (cache.Store, error) {
+			if r == 1 {
+				return cache.NewStatic(cache.RankRange(1, 10))
+			}
+			return cache.NewStatic(nil)
+		},
+	}
+	if opts != nil {
+		opts(&o)
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+func TestFaultOptionsValidation(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	stores := func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) }
+	cases := []Options{
+		{Stores: stores, Faults: true},                                   // no retx timeout
+		{Stores: stores, MaxRetries: -1},                                 // negative budget
+		{Stores: stores, RetxBackoff: 0.5},                               // backoff below 1
+		{Stores: stores, Faults: true, RetxTimeout: 10, RetxJitter: 1.0}, // jitter outside [0,1)
+	}
+	for i, o := range cases {
+		if _, err := NewNetwork(&des.Engine{}, g, cat, o); err == nil {
+			t.Errorf("case %d: options %+v should fail", i, o)
+		}
+	}
+}
+
+func TestSetStateRequiresFaults(t *testing.T) {
+	g := topology.New("g")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	g.MustAddEdge(0, 1, 1)
+	cat, _ := catalog.New(10, "/t")
+	net, err := NewNetwork(&des.Engine{}, g, cat, Options{
+		Stores: func(topology.NodeID) (cache.Store, error) { return cache.NewLRU(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetRouterState(0, false); err == nil {
+		t.Error("SetRouterState without Options.Faults should fail")
+	}
+	if err := net.SetLinkState(0, 1, false); err == nil {
+		t.Error("SetLinkState without Options.Faults should fail")
+	}
+}
+
+// TestCrashedOwnerFailsOverToOrigin: with the directory owner up,
+// redirected interests are peer-served; after the owner crashes the
+// recomputed routes send them to the origin instead, and recovery
+// restores the peer path.
+func TestCrashedOwnerFailsOverToOrigin(t *testing.T) {
+	eng, net := triangle(t, nil)
+	ask := func(id catalog.ID) RequestResult {
+		var res RequestResult
+		if err := net.Request(2, id, func(r RequestResult) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return res
+	}
+
+	if r := ask(3); r.ServedBy != ServedPeer || r.Server != 1 {
+		t.Fatalf("pre-crash request served by %v (server %d), want peer 1", r.ServedBy, r.Server)
+	}
+	if err := net.SetRouterState(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if r := ask(4); r.ServedBy != ServedOrigin || r.Failed {
+		t.Fatalf("post-crash request served by %v (failed=%t), want origin", r.ServedBy, r.Failed)
+	}
+	if err := net.SetRouterState(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if r := ask(5); r.ServedBy != ServedPeer {
+		t.Fatalf("post-recovery request served by %v, want peer", r.ServedBy)
+	}
+}
+
+// TestNeverSatisfiableInterestTerminates is the regression test for the
+// unbounded-retransmission hazard: with the origin gateway crashed
+// forever, an interest has no satisfiable upstream. The retry budget
+// must terminate it — the request completes as Failed and the event
+// queue drains instead of growing without bound.
+func TestNeverSatisfiableInterestTerminates(t *testing.T) {
+	eng, net := triangle(t, func(o *Options) {
+		o.MaxRetries = 3
+		o.Directory = nil // force the origin path
+	})
+	if err := net.SetRouterState(0, false); err != nil {
+		t.Fatal(err)
+	}
+	var res RequestResult
+	completed := false
+	if err := net.Request(2, 50, func(r RequestResult) { res, completed = r, true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // must return: bounded retries guarantee the queue drains
+	if !completed {
+		t.Fatal("request hung: no completion after the retry budget")
+	}
+	if !res.Failed || res.ServedBy != ServedNone {
+		t.Errorf("result = %+v, want Failed/ServedNone", res)
+	}
+	if got := net.Retransmissions(); got != 3 {
+		t.Errorf("retransmissions = %d, want exactly MaxRetries = 3", got)
+	}
+	if net.ExpiredInterests() == 0 {
+		t.Error("no PIT entry expired")
+	}
+	if net.FailedRequests() != 1 {
+		t.Errorf("FailedRequests = %d, want 1", net.FailedRequests())
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("%d events still pending after Run", eng.Pending())
+	}
+}
+
+// TestLinkDownReroutes: taking a link down forces traffic onto the
+// longer alive path; restoring it returns to the short one.
+func TestLinkDownReroutes(t *testing.T) {
+	eng, net := triangle(t, func(o *Options) { o.Directory = nil })
+	ask := func(id catalog.ID) RequestResult {
+		var res RequestResult
+		if err := net.Request(2, id, func(r RequestResult) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return res
+	}
+	if r := ask(60); r.Hops != 2 { // 2 -> 0 direct, plus the uplink
+		t.Fatalf("pre-fault hops = %d, want 2", r.Hops)
+	}
+	if err := net.SetLinkState(0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if r := ask(61); r.Hops != 3 || r.ServedBy != ServedOrigin {
+		t.Fatalf("rerouted request: hops=%d served=%v, want 3/origin via router 1", r.Hops, r.ServedBy)
+	}
+	if err := net.SetLinkState(0, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if r := ask(62); r.Hops != 2 {
+		t.Fatalf("post-restore hops = %d, want 2", r.Hops)
+	}
+	if net.RouteRecomputes() != 2 {
+		t.Errorf("route recomputes = %d, want 2", net.RouteRecomputes())
+	}
+}
+
+// TestPITFlushOnCrashFailsClients: a router crashing with pending
+// client requests completes them as Failed instead of leaving them
+// hanging.
+func TestPITFlushOnCrashFailsClients(t *testing.T) {
+	eng, net := triangle(t, func(o *Options) { o.Directory = nil })
+	var results []RequestResult
+	for _, id := range []catalog.ID{70, 71} {
+		if err := net.Request(2, id, func(r RequestResult) { results = append(results, r) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The origin round trip takes >100ms; crash the first-hop router at
+	// t=20 while both requests are pending in its PIT.
+	if err := eng.At(20, func() {
+		if err := net.SetRouterState(2, false); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(results) != 2 {
+		t.Fatalf("%d completions, want 2", len(results))
+	}
+	for _, r := range results {
+		if !r.Failed {
+			t.Errorf("request for %d completed as %v, want Failed", r.Content, r.ServedBy)
+		}
+	}
+	// Deterministic flush order: entries fail in content-id order.
+	if results[0].Content != 70 || results[1].Content != 71 {
+		t.Errorf("flush order %d, %d; want 70, 71", results[0].Content, results[1].Content)
+	}
+}
+
+// TestInFlightCrashRecoversByRetry: the owner crashes while an interest
+// is in flight toward it; the requesting router's retry timer recovers
+// the request via the origin within the budget.
+func TestInFlightCrashRecoversByRetry(t *testing.T) {
+	eng, net := triangle(t, nil)
+	var res RequestResult
+	completed := false
+	if err := net.Request(2, 7, func(r RequestResult) { res, completed = r, true }); err != nil {
+		t.Fatal(err)
+	}
+	// The interest leaves the client at t=0, reaches router 2 at t=1,
+	// and is forwarded toward owner 1 (arriving t=6). Crash the owner at
+	// t=3, mid-flight.
+	if err := eng.At(3, func() {
+		if err := net.SetRouterState(1, false); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !completed {
+		t.Fatal("request hung after in-flight crash")
+	}
+	if res.Failed || res.ServedBy != ServedOrigin {
+		t.Errorf("result = %+v, want origin-served recovery", res)
+	}
+	if net.Retransmissions() == 0 {
+		t.Error("recovery happened without a retransmission?")
+	}
+}

@@ -151,6 +151,84 @@ func TestLossDeterministic(t *testing.T) {
 	}
 }
 
+// TestLossyCoordinatedOwnerPath exercises the directory-redirection
+// path under loss: interests for coordinated contents are redirected to
+// the owner router over a lossy fabric, and retransmission recovers
+// every drop, so all requests complete peer-served.
+func TestLossyCoordinatedOwnerPath(t *testing.T) {
+	g := topology.New("line3")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	cat, err := catalog.New(100, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := mapDirectory{}
+	for i := 1; i <= 20; i++ {
+		dir[catalog.ID(i)] = 1
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		LossRate:      0.25,
+		RetxTimeout:   200,
+		LossSeed:      11,
+		Directory:     dir,
+		// Keep every retry on the owner path: this test pins down the
+		// redirection machinery itself, not the degradation to origin.
+		// (The fallback is already inert without Options.Faults; the
+		// explicit -1 keeps the test self-contained.)
+		OriginFallbackRetries: -1,
+		Stores: func(r topology.NodeID) (cache.Store, error) {
+			if r == 1 {
+				return cache.NewStatic(cache.RankRange(1, 20))
+			}
+			return cache.NewStatic(nil)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	const total = 100
+	completed, peer, failed := 0, 0, 0
+	for i := 0; i < total; i++ {
+		id := catalog.ID(i%20 + 1) // all redirected to owner 1
+		if err := net.Request(2, id, func(r RequestResult) {
+			completed++
+			if r.Failed {
+				failed++
+			}
+			if r.ServedBy == ServedPeer {
+				peer++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if completed != total {
+		t.Fatalf("completed %d of %d requests", completed, total)
+	}
+	if failed != 0 {
+		t.Errorf("%d requests failed; the owner is up, retries should recover", failed)
+	}
+	if peer != total {
+		t.Errorf("%d of %d served by the owner; directory redirection under loss broken?", peer, total)
+	}
+	if net.DroppedInterests()+net.DroppedData() == 0 {
+		t.Error("25% loss produced no drops on the owner path")
+	}
+	if net.Retransmissions() == 0 {
+		t.Error("no retransmissions despite drops on the owner path")
+	}
+}
+
 func TestCacheProbValidation(t *testing.T) {
 	g := topology.New("g")
 	g.AddNode("", 0, 0)

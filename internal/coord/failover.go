@@ -1,0 +1,204 @@
+// Failure detection and placement repair: the coordination protocol's
+// answer to the single-point-of-failure the paper's striping creates.
+// A heartbeat/timeout detector at the coordinator declares a router
+// dead after consecutive missed heartbeats, and a repair pass
+// reassigns the dead router's coordinated stripe across the survivors
+// with consistent-hash-style minimal movement — only the dead stripe
+// moves. Every heartbeat and repair directive is counted, extending
+// the model's measurable W(x) communication cost with a repair cost
+// W_repair.
+package coord
+
+import (
+	"fmt"
+	"sort"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// Reassign moves the dead router's assigned contents onto the
+// survivors and removes the dead router from the assignment. Placement
+// is consistent-hash style — each moved content starts at its id-hash
+// slot among the survivors and probes linearly past survivors already
+// at the post-repair balance quota — so contents owned by survivors
+// never move and the repaired load stays balanced. It returns the
+// moved contents in the dead router's stripe order. Reassigning a
+// router with no assigned contents is a no-op.
+func (a *Assignment) Reassign(dead topology.NodeID, survivors []topology.NodeID) ([]catalog.ID, error) {
+	if a == nil {
+		return nil, fmt.Errorf("coord: nil assignment")
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("coord: no survivors to absorb router %d's stripe", dead)
+	}
+	for _, s := range survivors {
+		if s == dead {
+			return nil, fmt.Errorf("coord: dead router %d listed as survivor", dead)
+		}
+	}
+	moved := append([]catalog.ID(nil), a.perRouter[dead]...)
+	if len(moved) == 0 {
+		delete(a.perRouter, dead)
+		return nil, nil
+	}
+	// Quota: ceiling of the post-repair mean load over the survivors,
+	// so probing always terminates and no survivor absorbs more than
+	// its balanced share plus one.
+	total := len(a.owners)
+	quota := (total + len(survivors) - 1) / len(survivors)
+	for _, id := range moved {
+		slot := int(hashID(id) % uint64(len(survivors)))
+		probes := 0
+		for len(a.perRouter[survivors[slot]]) >= quota {
+			slot = (slot + 1) % len(survivors)
+			probes++
+			if probes > len(survivors) {
+				// All survivors at quota (rounding); relax onto the
+				// hash slot.
+				break
+			}
+		}
+		r := survivors[slot]
+		a.owners[id] = r
+		a.perRouter[r] = append(a.perRouter[r], id)
+	}
+	delete(a.perRouter, dead)
+	return moved, nil
+}
+
+// RepairCost tallies one repair pass in protocol messages: one
+// directive per moved content (coordinator -> new owner) and one
+// content transfer to install the replica, the measurable W_repair
+// counterpart of the model's W(x).
+type RepairCost struct {
+	Moved      int   // contents reassigned
+	Directives int64 // placement directives sent
+	Transfers  int64 // content installations at new owners
+}
+
+// Total returns all repair messages exchanged.
+func (c RepairCost) Total() int64 { return c.Directives + c.Transfers }
+
+// CostOfRepair derives the message cost of moving the given contents.
+func CostOfRepair(moved []catalog.ID) RepairCost {
+	return RepairCost{
+		Moved:      len(moved),
+		Directives: int64(len(moved)),
+		Transfers:  int64(len(moved)),
+	}
+}
+
+// Detector is a heartbeat/timeout failure detector running at the
+// coordinator on the discrete-event engine: every Interval each alive
+// router sends one heartbeat (counted); a router that misses Misses
+// consecutive intervals is declared dead, once, via OnDown. Detection
+// is sticky — a recovered router is not re-admitted to the
+// coordinated placement (rejoin is a future protocol extension).
+type Detector struct {
+	// Interval is the heartbeat period (ms). Required, positive.
+	Interval float64
+	// Misses is how many consecutive missed heartbeats declare a
+	// router dead. Required, positive.
+	Misses int
+	// Alive reports whether a router is currently up — the injector's
+	// view. Required.
+	Alive func(topology.NodeID) bool
+	// OnDown fires once per declared router with the detection time
+	// and the surviving (not yet declared dead) routers in id order.
+	OnDown func(dead topology.NodeID, at float64, survivors []topology.NodeID)
+
+	routers    []topology.NodeID
+	heartbeats int64
+	missed     map[topology.NodeID]int
+	declared   map[topology.NodeID]bool
+}
+
+// NewDetector returns a detector over the given routers. Configure the
+// exported fields, then Start it.
+func NewDetector(routers []topology.NodeID, interval float64, misses int) (*Detector, error) {
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("coord: no routers to monitor")
+	}
+	if !(interval > 0) {
+		return nil, fmt.Errorf("coord: heartbeat interval must be positive, got %v", interval)
+	}
+	if misses < 1 {
+		return nil, fmt.Errorf("coord: miss threshold must be at least 1, got %d", misses)
+	}
+	rs := append([]topology.NodeID(nil), routers...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return &Detector{
+		Interval: interval,
+		Misses:   misses,
+		routers:  rs,
+		missed:   make(map[topology.NodeID]int),
+		declared: make(map[topology.NodeID]bool),
+	}, nil
+}
+
+// Start schedules heartbeat rounds on the engine until the horizon.
+// Alive must be set first.
+func (d *Detector) Start(eng *des.Engine, horizon float64) error {
+	if eng == nil {
+		return fmt.Errorf("coord: nil engine")
+	}
+	if d.Alive == nil {
+		return fmt.Errorf("coord: detector needs an Alive probe")
+	}
+	if !(horizon > 0) {
+		return fmt.Errorf("coord: detector horizon must be positive, got %v", horizon)
+	}
+	var tick func()
+	tick = func() {
+		d.round(eng.Now())
+		next := eng.Now() + d.Interval
+		if next > horizon {
+			return
+		}
+		if err := eng.Schedule(d.Interval, tick); err != nil {
+			panic(fmt.Sprintf("coord: scheduling heartbeat round: %v", err))
+		}
+	}
+	return eng.Schedule(d.Interval, tick)
+}
+
+// round runs one heartbeat exchange.
+func (d *Detector) round(now float64) {
+	for _, r := range d.routers {
+		if d.declared[r] {
+			continue
+		}
+		if d.Alive(r) {
+			d.heartbeats++
+			d.missed[r] = 0
+			continue
+		}
+		d.missed[r]++
+		if d.missed[r] >= d.Misses {
+			d.declared[r] = true
+			if d.OnDown != nil {
+				d.OnDown(r, now, d.survivors())
+			}
+		}
+	}
+}
+
+// survivors returns the monitored routers not declared dead, in id
+// order.
+func (d *Detector) survivors() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(d.routers))
+	for _, r := range d.routers {
+		if !d.declared[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Heartbeats returns the heartbeat messages exchanged so far.
+func (d *Detector) Heartbeats() int64 { return d.heartbeats }
+
+// Declared reports whether r has been declared dead.
+func (d *Detector) Declared(r topology.NodeID) bool { return d.declared[r] }

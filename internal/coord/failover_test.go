@@ -1,0 +1,222 @@
+package coord
+
+import (
+	"reflect"
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+func TestReassignMovesOnlyDeadStripe(t *testing.T) {
+	routers := []topology.NodeID{0, 1, 2, 3}
+	ranks := make([]catalog.ID, 40)
+	for i := range ranks {
+		ranks[i] = catalog.ID(i + 1)
+	}
+	a, err := StripeByRank(routers, ranks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[catalog.ID]topology.NodeID)
+	for _, r := range routers {
+		for _, id := range a.Contents(r) {
+			before[id] = r
+		}
+	}
+	deadStripe := a.Contents(2)
+
+	moved, err := a.Reassign(2, []topology.NodeID{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moved, deadStripe) {
+		t.Errorf("moved %v, want the dead stripe %v", moved, deadStripe)
+	}
+	if len(a.Contents(2)) != 0 {
+		t.Errorf("dead router still owns %v", a.Contents(2))
+	}
+	// Minimal movement: every content not owned by the dead router
+	// keeps its owner.
+	movedSet := make(map[catalog.ID]bool, len(moved))
+	for _, id := range moved {
+		movedSet[id] = true
+	}
+	for id, owner := range before {
+		now, ok := a.Owner(id)
+		if !ok {
+			t.Fatalf("content %d lost its owner", id)
+		}
+		if !movedSet[id] && now != owner {
+			t.Errorf("surviving content %d moved %d -> %d", id, owner, now)
+		}
+		if movedSet[id] && now == 2 {
+			t.Errorf("content %d still assigned to the dead router", id)
+		}
+	}
+	// Balance: no survivor exceeds the ceiling quota by more than one.
+	quota := (a.Size() + 2) / 3
+	for _, r := range []topology.NodeID{0, 1, 3} {
+		if n := len(a.Contents(r)); n > quota+1 {
+			t.Errorf("survivor %d holds %d contents, quota %d", r, n, quota)
+		}
+	}
+	if a.Size() != 40 {
+		t.Errorf("assignment shrank to %d contents", a.Size())
+	}
+}
+
+func TestReassignDeterministic(t *testing.T) {
+	build := func() *Assignment {
+		a, err := StripeByRank([]topology.NodeID{0, 1, 2}, rankIDs(30), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Reassign(1, []topology.NodeID{0, 2}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := build(), build()
+	for _, r := range []topology.NodeID{0, 2} {
+		if !reflect.DeepEqual(a.Contents(r), b.Contents(r)) {
+			t.Errorf("repair not deterministic for router %d: %v vs %v", r, a.Contents(r), b.Contents(r))
+		}
+	}
+}
+
+// rankIDs returns ids 1..n, a shared fixture.
+func rankIDs(n int) []catalog.ID {
+	ids := make([]catalog.ID, n)
+	for i := range ids {
+		ids[i] = catalog.ID(i + 1)
+	}
+	return ids
+}
+
+func TestReassignValidation(t *testing.T) {
+	a, err := StripeByRank([]topology.NodeID{0, 1}, rankIDs(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Reassign(0, nil); err == nil {
+		t.Error("no survivors should fail")
+	}
+	if _, err := a.Reassign(0, []topology.NodeID{0, 1}); err == nil {
+		t.Error("dead router among survivors should fail")
+	}
+	// Reassigning a router with no stripe is a no-op.
+	moved, err := a.Reassign(7, []topology.NodeID{0, 1})
+	if err != nil || len(moved) != 0 {
+		t.Errorf("empty reassignment = %v, %v; want nil, nil", moved, err)
+	}
+}
+
+func TestCostOfRepair(t *testing.T) {
+	c := CostOfRepair(rankIDs(5))
+	if c.Moved != 5 || c.Directives != 5 || c.Transfers != 5 || c.Total() != 10 {
+		t.Errorf("unexpected repair cost %+v", c)
+	}
+}
+
+func TestDetectorDeclaresAfterMisses(t *testing.T) {
+	routers := []topology.NodeID{0, 1, 2}
+	det, err := NewDetector(routers, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashedAt := 120.0
+	eng := &des.Engine{}
+	alive := map[topology.NodeID]bool{0: true, 1: true, 2: true}
+	det.Alive = func(r topology.NodeID) bool { return alive[r] }
+	type detection struct {
+		dead      topology.NodeID
+		at        float64
+		survivors []topology.NodeID
+	}
+	var got []detection
+	det.OnDown = func(dead topology.NodeID, at float64, survivors []topology.NodeID) {
+		got = append(got, detection{dead, at, survivors})
+	}
+	if err := eng.At(crashedAt, func() { alive[1] = false }); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Start(eng, 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("%d detections, want 1", len(got))
+	}
+	d := got[0]
+	if d.dead != 1 {
+		t.Errorf("declared router %d, want 1", d.dead)
+	}
+	// Crash at t=120: rounds at 150, 200, 250 miss -> declared at 250.
+	if d.at != 250 {
+		t.Errorf("detected at %v, want 250", d.at)
+	}
+	if !reflect.DeepEqual(d.survivors, []topology.NodeID{0, 2}) {
+		t.Errorf("survivors %v, want [0 2]", d.survivors)
+	}
+	if !det.Declared(1) || det.Declared(0) {
+		t.Error("declared set wrong")
+	}
+	// Heartbeats: rounds at 50..1000 (20 rounds). Routers 0 and 2 beat
+	// every round; router 1 beats in the first two rounds only.
+	if want := int64(20*2 + 2); det.Heartbeats() != want {
+		t.Errorf("heartbeats = %d, want %d", det.Heartbeats(), want)
+	}
+}
+
+func TestDetectorSticky(t *testing.T) {
+	det, err := NewDetector([]topology.NodeID{0, 1}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	alive := map[topology.NodeID]bool{0: true, 1: false}
+	det.Alive = func(r topology.NodeID) bool { return alive[r] }
+	count := 0
+	det.OnDown = func(dead topology.NodeID, at float64, survivors []topology.NodeID) { count++ }
+	// Router 1 recovers after being declared; the declaration must not
+	// repeat or be withdrawn.
+	if err := eng.At(35, func() { alive[1] = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Start(eng, 200); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if count != 1 {
+		t.Errorf("%d declarations, want 1", count)
+	}
+	if !det.Declared(1) {
+		t.Error("declaration should be sticky across recovery")
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(nil, 10, 1); err == nil {
+		t.Error("no routers should fail")
+	}
+	if _, err := NewDetector([]topology.NodeID{0}, 0, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := NewDetector([]topology.NodeID{0}, 10, 0); err == nil {
+		t.Error("zero miss threshold should fail")
+	}
+	det, _ := NewDetector([]topology.NodeID{0}, 10, 1)
+	if err := det.Start(&des.Engine{}, 100); err == nil {
+		t.Error("Start without Alive probe should fail")
+	}
+	det.Alive = func(topology.NodeID) bool { return true }
+	if err := det.Start(nil, 100); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if err := det.Start(&des.Engine{}, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}

@@ -1,6 +1,7 @@
 // Package metrics provides the small statistics toolkit the simulator
 // uses to aggregate measurements: counters, running means/variances
-// (Welford), and fixed-bucket histograms with quantile estimates.
+// (Welford), fixed-bucket histograms with quantile estimates, and the
+// fault-experiment aggregates (request availability, downtime spans).
 package metrics
 
 import (
@@ -144,4 +145,83 @@ func (h *Histogram) Quantile(q float64) float64 {
 		acc = next
 	}
 	return h.hi
+}
+
+// Availability counts request outcomes and reports the fraction
+// served successfully — the per-run availability of a fault
+// experiment. The zero value is ready to use.
+type Availability struct {
+	ok     int64
+	failed int64
+}
+
+// ObserveOK records a successfully served request.
+func (a *Availability) ObserveOK() { a.ok++ }
+
+// ObserveFailed records a request the network gave up on.
+func (a *Availability) ObserveFailed() { a.failed++ }
+
+// OK returns the successful-request count.
+func (a *Availability) OK() int64 { return a.ok }
+
+// Failed returns the failed-request count.
+func (a *Availability) Failed() int64 { return a.failed }
+
+// Value returns ok / (ok + failed), or 1 with no observations (an
+// idle system is trivially available).
+func (a *Availability) Value() float64 {
+	total := a.ok + a.failed
+	if total == 0 {
+		return 1
+	}
+	return float64(a.ok) / float64(total)
+}
+
+// Downtime accumulates outage spans on a virtual clock: Down opens a
+// span, Up closes it, and Total reports the accumulated downtime up to
+// a given end time, including any span still open. Overlapping Down
+// calls merge (the tracker counts wall-clock with >= 1 fault active,
+// not fault-seconds). The zero value is ready to use.
+type Downtime struct {
+	active    int     // currently-open Down calls
+	openedAt  float64 // when active went 0 -> positive
+	accrued   float64
+	spanCount int64
+}
+
+// Down marks one entity failing at time t.
+func (d *Downtime) Down(t float64) {
+	if d.active == 0 {
+		d.openedAt = t
+		d.spanCount++
+	}
+	d.active++
+}
+
+// Up marks one entity recovering at time t. Unmatched Up calls are
+// ignored.
+func (d *Downtime) Up(t float64) {
+	if d.active == 0 {
+		return
+	}
+	d.active--
+	if d.active == 0 {
+		d.accrued += t - d.openedAt
+	}
+}
+
+// Spans returns how many distinct outage windows opened.
+func (d *Downtime) Spans() int64 { return d.spanCount }
+
+// Active reports whether at least one entity is currently down.
+func (d *Downtime) Active() bool { return d.active > 0 }
+
+// Total returns the accumulated downtime up to end, closing any open
+// span at end for the computation (without mutating state).
+func (d *Downtime) Total(end float64) float64 {
+	total := d.accrued
+	if d.active > 0 && end > d.openedAt {
+		total += end - d.openedAt
+	}
+	return total
 }

@@ -7,6 +7,64 @@ import (
 	"testing/quick"
 )
 
+func TestAvailability(t *testing.T) {
+	var a Availability
+	if a.Value() != 1 {
+		t.Errorf("empty availability = %v, want 1", a.Value())
+	}
+	for i := 0; i < 9; i++ {
+		a.ObserveOK()
+	}
+	a.ObserveFailed()
+	if a.Value() != 0.9 {
+		t.Errorf("availability = %v, want 0.9", a.Value())
+	}
+	if a.OK() != 9 || a.Failed() != 1 {
+		t.Errorf("counts = %d ok, %d failed", a.OK(), a.Failed())
+	}
+}
+
+func TestDowntimeMergesOverlaps(t *testing.T) {
+	var d Downtime
+	if d.Active() || d.Total(100) != 0 {
+		t.Error("zero value should report no downtime")
+	}
+	d.Down(10) // span opens
+	d.Down(20) // overlapping fault: same span
+	if !d.Active() {
+		t.Error("should be active with two faults down")
+	}
+	d.Up(30)
+	if d.Total(35) != 25 {
+		t.Errorf("mid-span total = %v, want 25 (span still open)", d.Total(35))
+	}
+	d.Up(40) // span closes: 10..40
+	d.Down(60)
+	d.Up(70) // second span: 60..70
+	if got := d.Total(100); got != 40 {
+		t.Errorf("total downtime = %v, want 40", got)
+	}
+	if d.Spans() != 2 {
+		t.Errorf("spans = %d, want 2", d.Spans())
+	}
+	// Unmatched Up is ignored.
+	d.Up(80)
+	if d.Active() || d.Total(100) != 40 {
+		t.Error("unmatched Up corrupted the tracker")
+	}
+}
+
+func TestDowntimeOpenSpanAtEnd(t *testing.T) {
+	var d Downtime
+	d.Down(90)
+	if got := d.Total(100); got != 10 {
+		t.Errorf("open span total = %v, want 10", got)
+	}
+	if got := d.Total(80); got != 0 {
+		t.Errorf("end before span opened should contribute 0, got %v", got)
+	}
+}
+
 func TestCounter(t *testing.T) {
 	c := NewCounter()
 	c.Inc("hit")

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ccncoord/internal/ccn"
+	"ccncoord/internal/fault"
+	"ccncoord/internal/topology"
+)
+
+// mesh4 builds a 4-router full mesh (every pair connected, latency 5),
+// so the network stays connected through any single router crash.
+func mesh4(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New("mesh4")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.MustAddEdge(topology.NodeID(a), topology.NodeID(b), 5)
+		}
+	}
+	return g
+}
+
+func TestFaultScenarioValidation(t *testing.T) {
+	base := Scenario{
+		Topology: mesh4(t), CatalogSize: 100, ZipfS: 0.8,
+		Capacity: 10, Coordinated: 5, Policy: PolicyCoordinated,
+		Requests: 10, Seed: 1,
+		AccessLatency: 1, OriginLatency: 50, OriginGateway: 0,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"negative MTBF", func(s *Scenario) { s.MTBF = -1; s.MTTR = 1; s.RetxTimeout = 100 }},
+		{"negative MTTR", func(s *Scenario) { s.MTBF = 1; s.MTTR = -1; s.RetxTimeout = 100 }},
+		{"MTBF without MTTR", func(s *Scenario) { s.MTBF = 100; s.RetxTimeout = 100 }},
+		{"faults without retx timeout", func(s *Scenario) { s.MTBF = 100; s.MTTR = 50 }},
+		{"negative heartbeat interval", func(s *Scenario) { s.HeartbeatInterval = -1 }},
+		{"negative heartbeat misses", func(s *Scenario) { s.HeartbeatMisses = -1 }},
+		{"script targets unknown router", func(s *Scenario) {
+			s.RetxTimeout = 100
+			s.FaultScript = []fault.Event{{At: 10, Kind: fault.RouterDown, Node: 99}}
+		}},
+	}
+	for _, tc := range cases {
+		sc := base
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base scenario invalid: %v", err)
+	}
+}
+
+// TestCrashedStripeOwnerFailsOverAndRepairs is the acceptance scenario:
+// crash a stripe owner mid-run under the coordinated policy and verify
+// graceful degradation (affected interests fall back to the origin
+// within the retry budget, every request completes, no hangs), that the
+// coordinator detects the crash and reassigns the dead stripe, that
+// post-repair hit ratios recover, and that the detection/repair message
+// counts are reported.
+func TestCrashedStripeOwnerFailsOverAndRepairs(t *testing.T) {
+	const (
+		crashAt    = 300.0
+		dead       = topology.NodeID(1)
+		hbInterval = 50.0
+		hbMisses   = 2
+	)
+	var events []ccn.RequestResult
+	sc := Scenario{
+		Topology:    mesh4(t),
+		CatalogSize: 100,
+		ZipfS:       0.8,
+		Capacity:    10,
+		Coordinated: 5,
+		Policy:      PolicyCoordinated,
+		Requests:    4000,
+		Seed:        42,
+
+		AccessLatency: 1,
+		OriginLatency: 50,
+		OriginGateway: 0,
+		RetxTimeout:   150,
+
+		HeartbeatInterval: hbInterval,
+		HeartbeatMisses:   hbMisses,
+		FaultScript:       []fault.Event{{At: crashAt, Kind: fault.RouterDown, Node: dead}},
+		Observer:          func(r ccn.RequestResult) { events = append(events, r) },
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No hangs: every scheduled request completed (served or failed).
+	if res.Requests != sc.Requests || len(events) != sc.Requests {
+		t.Fatalf("completed %d of %d requests (%d observed)", res.Requests, sc.Requests, len(events))
+	}
+
+	// Detection and repair happened exactly once, for the right router,
+	// within a few heartbeat rounds of the crash.
+	if len(res.Repairs) != 1 {
+		t.Fatalf("%d repairs, want 1: %+v", len(res.Repairs), res.Repairs)
+	}
+	rep := res.Repairs[0]
+	if rep.Router != dead {
+		t.Errorf("repaired router %d, want %d", rep.Router, dead)
+	}
+	if rep.CrashedAt != crashAt {
+		t.Errorf("crash recorded at %v, want %v", rep.CrashedAt, crashAt)
+	}
+	if rep.DetectedAt <= crashAt || rep.DetectedAt > crashAt+float64(hbMisses+1)*hbInterval {
+		t.Errorf("detected at %v, want within (%v, %v]", rep.DetectedAt, crashAt, crashAt+float64(hbMisses+1)*hbInterval)
+	}
+	// The dead router owned a quarter of the 20-content striped band.
+	if rep.Moved != 5 {
+		t.Errorf("moved %d contents, want 5", rep.Moved)
+	}
+	if rep.Messages != 10 || res.RepairMessages != 10 {
+		t.Errorf("repair messages %d (run total %d), want 10 each", rep.Messages, res.RepairMessages)
+	}
+	if res.HeartbeatMessages == 0 {
+		t.Error("no heartbeat messages counted")
+	}
+	if got := rep.DetectedAt - rep.CrashedAt; res.MeanTimeToRepair != got {
+		t.Errorf("mean time to repair %v, want %v", res.MeanTimeToRepair, got)
+	}
+	if res.RouterDowntime == 0 {
+		t.Error("no router downtime recorded despite a permanent crash")
+	}
+
+	// Graceful degradation: clients of the crashed router fail, but the
+	// rest of the network keeps serving.
+	if res.FailedRequests == 0 {
+		t.Error("no failed requests despite a permanently crashed first-hop router")
+	}
+	if res.Availability >= 1 || res.Availability < 0.5 {
+		t.Errorf("availability %v, want in [0.5, 1)", res.Availability)
+	}
+
+	// Windowed behavior at the surviving routers: compare the pre-crash
+	// steady state, the outage window (crash -> repair), and the
+	// post-repair tail.
+	var preHit, preTotal, outOrigin, outTotal, postHit, postTotal, postFailed float64
+	for _, ev := range events {
+		if ev.Router == dead {
+			continue
+		}
+		switch {
+		case ev.IssuedAt < crashAt:
+			preTotal++
+			if !ev.Failed && ev.ServedBy != ccn.ServedOrigin {
+				preHit++
+			}
+		case ev.IssuedAt < rep.DetectedAt:
+			if !ev.Failed {
+				outTotal++
+				if ev.ServedBy == ccn.ServedOrigin {
+					outOrigin++
+				}
+			}
+		case ev.IssuedAt > rep.DetectedAt+100:
+			postTotal++
+			if ev.Failed {
+				postFailed++
+			} else if ev.ServedBy != ccn.ServedOrigin {
+				postHit++
+			}
+		}
+	}
+	if preTotal == 0 || outTotal == 0 || postTotal == 0 {
+		t.Fatalf("empty analysis window: pre=%v out=%v post=%v", preTotal, outTotal, postTotal)
+	}
+	// During the outage the dead stripe degrades to the origin, so the
+	// origin share among survivors exceeds the steady state.
+	steadyOrigin := 1 - preHit/preTotal
+	if outOrigin/outTotal <= steadyOrigin {
+		t.Errorf("outage origin share %v not above steady %v", outOrigin/outTotal, steadyOrigin)
+	}
+	if res.OutageOriginLoad == 0 {
+		t.Error("no outage origin load reported despite a crash window")
+	}
+	// After the repair the survivors' hit ratio recovers to within
+	// tolerance of the pre-crash level, and survivors stop failing.
+	if postFailed != 0 {
+		t.Errorf("%d survivor requests failed after the repair", int(postFailed))
+	}
+	if pre, post := preHit/preTotal, postHit/postTotal; post < pre-0.1 {
+		t.Errorf("post-repair hit ratio %v fell more than 0.1 below pre-crash %v", post, pre)
+	}
+}
+
+// TestFaultRunsAreDeterministic: identical scenario + fault seeds must
+// produce bit-identical request-result streams, repair logs, and
+// aggregate results.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	run := func() (Result, []ccn.RequestResult) {
+		var events []ccn.RequestResult
+		sc := Scenario{
+			Topology:    mesh4(t),
+			CatalogSize: 100,
+			ZipfS:       0.8,
+			Capacity:    10,
+			Coordinated: 5,
+			Policy:      PolicyCoordinated,
+			Requests:    2000,
+			Seed:        7,
+
+			AccessLatency: 1,
+			OriginLatency: 50,
+			OriginGateway: 0,
+			RetxTimeout:   150,
+
+			MTBF:      400,
+			MTTR:      150,
+			FaultSeed: 9,
+			Observer:  func(r ccn.RequestResult) { events = append(events, r) },
+		}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, events
+	}
+	res1, ev1 := run()
+	res2, ev2 := run()
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Error("request-result streams differ between identical runs")
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("results differ between identical runs:\n%+v\n%+v", res1, res2)
+	}
+	// The stochastic process actually produced faults (otherwise this
+	// test pins down nothing).
+	if res1.RouterDowntime == 0 {
+		t.Error("stochastic fault process produced no downtime; scenario inert")
+	}
+}

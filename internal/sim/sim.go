@@ -16,6 +16,7 @@ import (
 	"ccncoord/internal/ccn"
 	"ccncoord/internal/coord"
 	"ccncoord/internal/des"
+	"ccncoord/internal/fault"
 	"ccncoord/internal/metrics"
 	"ccncoord/internal/topology"
 	"ccncoord/internal/workload"
@@ -160,7 +161,45 @@ type Scenario struct {
 	// factory may capture state that persists across Run calls (the
 	// adaptive loop exploits this to drift across epochs).
 	WorkloadFactory func(router topology.NodeID) (workload.Generator, error)
+
+	// Fault experiments. Faults are active when FaultScript is
+	// non-empty or MTBF is positive; either requires RetxTimeout, since
+	// the bounded-retry machinery is what keeps a faulty run live.
+
+	// FaultScript is an explicit fault timeline for scripted
+	// experiments (crash the stripe owner at t=500, recover at t=2000).
+	FaultScript []fault.Event
+	// MTBF and MTTR parameterize a stochastic router-failure process:
+	// every router alternates exponentially distributed up-times (mean
+	// MTBF, ms) and down-times (mean MTTR, ms). Both must be set
+	// together.
+	MTBF float64
+	MTTR float64
+	// FaultSeed drives the stochastic failure process; identical seeds
+	// reproduce identical fault timelines. Zero selects 1.
+	FaultSeed int64
+	// HeartbeatInterval is the coordinator's failure-detector period
+	// (ms); zero selects DefaultHeartbeatInterval. HeartbeatMisses is
+	// the consecutive-miss threshold that declares a router dead; zero
+	// selects DefaultHeartbeatMisses. The detector (and repair) runs
+	// only for PolicyCoordinated under faults.
+	HeartbeatInterval float64
+	HeartbeatMisses   int
+
+	// Observer, when non-nil, receives every measured request
+	// completion in completion order — the hook determinism probes and
+	// custom accounting use.
+	Observer func(ccn.RequestResult)
 }
+
+// Failure-detector defaults (see Scenario.HeartbeatInterval).
+const (
+	DefaultHeartbeatInterval = 100.0
+	DefaultHeartbeatMisses   = 3
+)
+
+// faultsEnabled reports whether the scenario injects any faults.
+func (s Scenario) faultsEnabled() bool { return len(s.FaultScript) > 0 || s.MTBF > 0 }
 
 // Validate checks the scenario parameters.
 func (s Scenario) Validate() error {
@@ -199,6 +238,27 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("sim: lossy fabric requires a positive retransmission timeout")
 	case s.LinkRate < 0:
 		return fmt.Errorf("sim: negative link rate %v", s.LinkRate)
+	case s.MTBF < 0:
+		return fmt.Errorf("sim: negative MTBF %v", s.MTBF)
+	case s.MTTR < 0:
+		return fmt.Errorf("sim: negative MTTR %v", s.MTTR)
+	case (s.MTBF > 0) != (s.MTTR > 0):
+		return fmt.Errorf("sim: MTBF and MTTR must be set together")
+	case s.faultsEnabled() && !(s.RetxTimeout > 0):
+		return fmt.Errorf("sim: fault injection requires a positive retransmission timeout")
+	case s.HeartbeatInterval < 0:
+		return fmt.Errorf("sim: negative heartbeat interval %v", s.HeartbeatInterval)
+	case s.HeartbeatMisses < 0:
+		return fmt.Errorf("sim: negative heartbeat miss threshold %d", s.HeartbeatMisses)
+	}
+	if s.faultsEnabled() {
+		sched, err := fault.Scripted(s.FaultScript...)
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if err := sched.Validate(s.Topology.N()); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	return nil
 }
@@ -256,6 +316,51 @@ type Result struct {
 	// when Scenario.CollectReports is set; otherwise nil. It is the
 	// input the coordination protocol consumes.
 	Reports []coord.Report
+
+	// Fault-experiment outcomes (zero when the scenario injects no
+	// faults).
+
+	// FailedRequests counts measured requests the network gave up on
+	// after exhausting the retry budget; Availability is the fraction
+	// of measured requests served (1 with no failures).
+	FailedRequests int64
+	Availability   float64
+	// FaultDrops counts packets dropped at down links or crashed
+	// routers; ExpiredInterests counts PIT entries that exhausted their
+	// retry budget; RouteRecomputes counts forwarding-table rebuilds
+	// after topology transitions.
+	FaultDrops       int64
+	ExpiredInterests int64
+	RouteRecomputes  int64
+	// RouterDowntime is the wall-clock time (ms) during which at least
+	// one router was down (overlapping outages merged).
+	RouterDowntime float64
+
+	// Coordination failover cost and outcome (PolicyCoordinated under
+	// faults): heartbeat traffic, repair traffic (W_repair: one
+	// directive plus one transfer per moved content), the repair log,
+	// and the mean crash-to-repair delay over repaired routers.
+	HeartbeatMessages int64
+	RepairMessages    int64
+	Repairs           []RepairEvent
+	MeanTimeToRepair  float64
+
+	// OutageOriginLoad and SteadyOriginLoad split the origin-served
+	// fraction by whether any fault was active when the request
+	// completed — the excess origin load an outage induces. Each is 0
+	// when its window saw no completions.
+	OutageOriginLoad float64
+	SteadyOriginLoad float64
+}
+
+// RepairEvent records one failure detection and the repair pass it
+// triggered.
+type RepairEvent struct {
+	Router     topology.NodeID // the router declared dead
+	CrashedAt  float64         // when it actually went down
+	DetectedAt float64         // when the detector declared it
+	Moved      int             // contents reassigned onto survivors
+	Messages   int64           // repair messages (directives + transfers)
 }
 
 // TierLatencies are the measured mean latencies of the three serving
@@ -295,6 +400,10 @@ func Run(sc Scenario) (Result, error) {
 		routers[i] = topology.NodeID(i)
 	}
 	var directory ccn.Directory
+	// coordAsg is the live coordinated assignment (PolicyCoordinated);
+	// the failover repair mutates it in place, which also redirects the
+	// directory.
+	var coordAsg *coord.Assignment
 	mode := ccn.CacheNone
 	var stores func(topology.NodeID) (cache.Store, error)
 
@@ -326,6 +435,7 @@ func Run(sc Scenario) (Result, error) {
 			// protocol's estimate): install it verbatim.
 			p := sc.Placement
 			directory = p.Assignment
+			coordAsg = p.Assignment
 			res.CoordMessages = 2 * int64(p.Assignment.Size())
 			stores = func(r topology.NodeID) (cache.Store, error) {
 				local, err := cache.NewStatic(p.LocalSet)
@@ -369,6 +479,7 @@ func Run(sc Scenario) (Result, error) {
 			return Result{}, fmt.Errorf("sim: assigning coordinated band: %w", err)
 		}
 		directory = asg
+		coordAsg = asg
 		// The placement installation costs one state message up and one
 		// directive down per coordinated content (the protocol's
 		// measured counterpart of W(x) = w*n*x).
@@ -433,6 +544,7 @@ func Run(sc Scenario) (Result, error) {
 		LossSeed:         sc.Seed + 7,
 		CacheProbability: probCacheAdmission,
 		LinkRate:         sc.LinkRate,
+		Faults:           sc.faultsEnabled(),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -478,6 +590,15 @@ func Run(sc Scenario) (Result, error) {
 	}
 	measured := 0
 
+	// Fault accounting. inj is assigned after the workload is laid out
+	// (the stochastic horizon needs the last arrival time) but before
+	// eng.Run, so the completion callbacks below may consult it.
+	var inj *fault.Injector
+	var avail metrics.Availability
+	var downtime metrics.Downtime
+	var outageOrigin, outageTotal, steadyOrigin, steadyTotal int64
+	maxArrival := 0.0
+
 	for i, r := range routers {
 		var gen workload.Generator
 		var err error
@@ -504,6 +625,9 @@ func Run(sc Scenario) (Result, error) {
 		t := 0.0
 		for k := 0; k < nReq; k++ {
 			t += rng.ExpFloat64() * interArrival
+			if t > maxArrival {
+				maxArrival = t
+			}
 			id := gen.Next()
 			// Per-router arrivals are time-ordered, so the first nWarm
 			// requests of each router form the warmup phase.
@@ -515,10 +639,31 @@ func Run(sc Scenario) (Result, error) {
 						return
 					}
 					measured++
+					if sc.Observer != nil {
+						sc.Observer(result)
+					}
+					counts.Inc(result.ServedBy.String())
+					if inj != nil {
+						if inj.ActiveFaults() > 0 {
+							outageTotal++
+							if result.ServedBy == ccn.ServedOrigin {
+								outageOrigin++
+							}
+						} else {
+							steadyTotal++
+							if result.ServedBy == ccn.ServedOrigin {
+								steadyOrigin++
+							}
+						}
+					}
+					if result.Failed {
+						avail.ObserveFailed()
+						return
+					}
+					avail.ObserveOK()
 					latency.Observe(result.Latency())
 					latencyHist.Observe(result.Latency())
 					hops.Observe(float64(result.Hops))
-					counts.Inc(result.ServedBy.String())
 					tierLat[int(result.ServedBy)].Observe(result.Latency())
 					if result.ServedBy == ccn.ServedPeer {
 						peerHops.Observe(float64(result.Hops))
@@ -534,6 +679,113 @@ func Run(sc Scenario) (Result, error) {
 			})
 			if err != nil {
 				return Result{}, fmt.Errorf("sim: scheduling request: %w", err)
+			}
+		}
+	}
+
+	// Install the fault timeline and, for the coordinated policy, the
+	// coordinator's failure detector + repair pass.
+	var det *coord.Detector
+	var repairs []RepairEvent
+	var repairMessages int64
+	if sc.faultsEnabled() {
+		horizon := math.Max(maxArrival, 1)
+		events := append([]fault.Event(nil), sc.FaultScript...)
+		if sc.MTBF > 0 {
+			st, err := fault.Stochastic(fault.StochasticConfig{
+				MTBF:    sc.MTBF,
+				MTTR:    sc.MTTR,
+				Horizon: horizon,
+				Seed:    sc.FaultSeed,
+				Routers: routers,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %w", err)
+			}
+			events = append(events, st.Events()...)
+		}
+		sched, err := fault.Scripted(events...)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		if err := sched.Validate(len(routers)); err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		inj, err = fault.NewInjector(eng, sched, net)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		// Track merged router downtime; the injector applies redundant
+		// events idempotently, so mirror its state transitions here.
+		downNow := make(map[topology.NodeID]bool)
+		inj.OnEvent = func(e fault.Event) {
+			switch e.Kind {
+			case fault.RouterDown:
+				if !downNow[e.Node] {
+					downNow[e.Node] = true
+					downtime.Down(eng.Now())
+				}
+			case fault.RouterUp:
+				if downNow[e.Node] {
+					delete(downNow, e.Node)
+					downtime.Up(eng.Now())
+				}
+			}
+		}
+		if err := inj.Install(); err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+
+		if coordAsg != nil {
+			hbInterval := sc.HeartbeatInterval
+			if hbInterval == 0 {
+				hbInterval = DefaultHeartbeatInterval
+			}
+			hbMisses := sc.HeartbeatMisses
+			if hbMisses == 0 {
+				hbMisses = DefaultHeartbeatMisses
+			}
+			det, err = coord.NewDetector(routers, hbInterval, hbMisses)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %w", err)
+			}
+			det.Alive = inj.RouterAlive
+			det.OnDown = func(dead topology.NodeID, at float64, survivors []topology.NodeID) {
+				ev := RepairEvent{Router: dead, CrashedAt: at, DetectedAt: at}
+				if t0, ok := inj.DownSince(dead); ok {
+					ev.CrashedAt = t0
+				}
+				if len(survivors) > 0 {
+					moved, err := coordAsg.Reassign(dead, survivors)
+					if err != nil {
+						panic(fmt.Sprintf("sim: repairing assignment: %v", err))
+					}
+					cost := coord.CostOfRepair(moved)
+					ev.Moved = cost.Moved
+					ev.Messages = cost.Total()
+					repairMessages += cost.Total()
+					// Install the repaired stripes so survivors actually
+					// serve the contents they absorbed.
+					for _, s := range survivors {
+						st, err := net.Store(s)
+						if err != nil {
+							panic(fmt.Sprintf("sim: repairing store %d: %v", s, err))
+						}
+						part, ok := st.(*cache.Partitioned)
+						if !ok {
+							continue
+						}
+						repaired, err := cache.NewStatic(coordAsg.Contents(s))
+						if err != nil {
+							panic(fmt.Sprintf("sim: repairing store %d: %v", s, err))
+						}
+						part.Coordinated = repaired
+					}
+				}
+				repairs = append(repairs, ev)
+			}
+			if err := det.Start(eng, horizon); err != nil {
+				return Result{}, fmt.Errorf("sim: %w", err)
 			}
 		}
 	}
@@ -576,6 +828,32 @@ func Run(sc Scenario) (Result, error) {
 	res.Retransmissions = net.Retransmissions()
 	res.MeanQueueingDelay = net.MeanQueueingDelay()
 	res.QueuedPackets = net.QueuedPackets()
+	res.FailedRequests = net.FailedRequests()
+	res.Availability = avail.Value()
+	res.FaultDrops = net.FaultDrops()
+	res.ExpiredInterests = net.ExpiredInterests()
+	res.RouteRecomputes = net.RouteRecomputes()
+	if inj != nil {
+		res.RouterDowntime = downtime.Total(eng.Now())
+	}
+	if det != nil {
+		res.HeartbeatMessages = det.Heartbeats()
+	}
+	res.Repairs = repairs
+	res.RepairMessages = repairMessages
+	if len(repairs) > 0 {
+		var sum float64
+		for _, ev := range repairs {
+			sum += ev.DetectedAt - ev.CrashedAt
+		}
+		res.MeanTimeToRepair = sum / float64(len(repairs))
+	}
+	if outageTotal > 0 {
+		res.OutageOriginLoad = float64(outageOrigin) / float64(outageTotal)
+	}
+	if steadyTotal > 0 {
+		res.SteadyOriginLoad = float64(steadyOrigin) / float64(steadyTotal)
+	}
 	if reportCounts != nil {
 		res.Reports = make([]coord.Report, len(routers))
 		for i, r := range routers {
