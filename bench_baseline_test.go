@@ -1,0 +1,77 @@
+package ccncoord
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"ccncoord/internal/benchjson"
+)
+
+// TestBenchBaseline checks the committed BENCH_<date>.json performance
+// baselines: every file must parse, carry a date matching its filename,
+// and contain a record for every benchmark in the suite — so a stale
+// baseline (regenerated before a benchmark was added) fails loudly
+// instead of silently missing the new numbers. Regenerate with
+// cmd/ccnbench from the module root.
+func TestBenchBaseline(t *testing.T) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed BENCH_<date>.json baseline; run cmd/ccnbench")
+	}
+	// Top-level benchmarks of bench_test.go plus their fixed
+	// sub-benchmarks. Keep in sync when adding benchmarks.
+	required := []string{
+		"BenchmarkTableI", "BenchmarkTableII", "BenchmarkTableIII", "BenchmarkTableIV",
+		"BenchmarkFig4", "BenchmarkFig5", "BenchmarkFig6", "BenchmarkFig7",
+		"BenchmarkFig8", "BenchmarkFig9", "BenchmarkFig10", "BenchmarkFig11",
+		"BenchmarkFig12", "BenchmarkFig13",
+		"BenchmarkModelVsSim",
+		"BenchmarkAblationAssignment", "BenchmarkAblationPolicy",
+		"BenchmarkAblationSolver", "BenchmarkAblationCoordinator",
+		"BenchmarkStabilityAnalysis", "BenchmarkAblationResilience",
+		"BenchmarkAdaptiveConvergence",
+		"BenchmarkOptimizePerTopology/Abilene", "BenchmarkOptimizePerTopology/CERNET",
+		"BenchmarkOptimizePerTopology/GEANT", "BenchmarkOptimizePerTopology/US-A",
+		"BenchmarkAblationLoss", "BenchmarkAblationCongestion",
+		"BenchmarkMetricVariant", "BenchmarkAdaptiveDrift",
+		"BenchmarkSimRun/Coordinated/US-A", "BenchmarkSimRun/LRU/US-A",
+		"BenchmarkSimulationThroughput",
+	}
+	dateRe := regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})\.json$`)
+	for _, path := range matches {
+		m := dateRe.FindStringSubmatch(filepath.Base(path))
+		if m == nil {
+			t.Errorf("%s: name does not match BENCH_<YYYY-MM-DD>.json", path)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		suite, err := benchjson.Read(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if suite.Date != m[1] {
+			t.Errorf("%s: date field %q does not match filename", path, suite.Date)
+		}
+		for _, name := range required {
+			rec := suite.Find(name)
+			if rec == nil {
+				t.Errorf("%s: missing benchmark %q", path, name)
+				continue
+			}
+			if rec.NsPerOp <= 0 || rec.Iterations <= 0 {
+				t.Errorf("%s: %s has empty measurements: %+v", path, name, rec)
+			}
+		}
+	}
+}

@@ -248,6 +248,56 @@ func BenchmarkAdaptiveDrift(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRun is the simulator regression benchmark that the
+// cmd/ccnbench harness records into BENCH_<date>.json: one fixed-seed
+// sim.Run per iteration on US-A, once with the provisioned coordinated
+// placement and once with the dynamic LRU baseline (which exercises the
+// eviction path the provisioned policies skip). Compare ns/op, B/op and
+// allocs/op against the committed baselines before merging simulator
+// changes.
+func BenchmarkSimRun(b *testing.B) {
+	base := Scenario{
+		CatalogSize:   10000,
+		ZipfS:         0.8,
+		Capacity:      100,
+		Requests:      20000,
+		Seed:          1,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+	}
+	variants := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"Coordinated/US-A", func(sc *Scenario) {
+			sc.Policy = PolicyCoordinated
+			sc.Coordinated = 50
+		}},
+		{"LRU/US-A", func(sc *Scenario) {
+			sc.Policy = PolicyLRU
+			sc.Warmup = 10000
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			sc := base
+			v.mut(&sc)
+			sc.Topology = USA()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Requests != sc.Requests {
+					b.Fatalf("measured %d requests, want %d", res.Requests, sc.Requests)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulationThroughput measures packet-simulator request
 // throughput on US-A with the coordinated placement.
 func BenchmarkSimulationThroughput(b *testing.B) {

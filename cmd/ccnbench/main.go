@@ -1,0 +1,108 @@
+// Command ccnbench runs the repository's benchmark suite and records
+// the results as a committed baseline file BENCH_<date>.json, so
+// simulator and experiment-harness performance can be diffed across
+// changes.
+//
+// Usage (from the module root):
+//
+//	ccnbench                          # full suite, BENCH_<today>.json
+//	ccnbench -bench 'SimRun' -benchtime 5x
+//	ccnbench -out results/ -date 2026-08-05
+//
+// The command shells out to `go test`, parses the benchmark output with
+// internal/benchjson, and writes the JSON next to (or at) -out. Compare
+// two baselines with any JSON diff; the records carry ns/op, B/op and
+// allocs/op per benchmark.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"ccncoord/internal/benchjson"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selector passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value (e.g. 1x, 5x, 2s)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "", "output directory or file; default BENCH_<date>.json in the current directory")
+		date      = flag.String("date", "", "date stamp for the baseline, YYYY-MM-DD; default today")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *pkg, *out, *date); err != nil {
+		fmt.Fprintln(os.Stderr, "ccnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, pkg, out, date string) error {
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+	path := fmt.Sprintf("BENCH_%s.json", date)
+	if out != "" {
+		if info, err := os.Stat(out); err == nil && info.IsDir() {
+			path = filepath.Join(out, path)
+		} else {
+			path = out
+		}
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, pkg}
+	fmt.Fprintln(os.Stderr, "ccnbench: go", argsString(args))
+	cmd := exec.Command("go", args...)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		// Surface the captured output: it usually holds the failure.
+		os.Stderr.Write(outBuf.Bytes())
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	suite, err := benchjson.Parse(&outBuf)
+	if err != nil {
+		return err
+	}
+	if len(suite.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks matched -bench %q in %s", bench, pkg)
+	}
+	suite.Date = date
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchjson.Write(f, suite); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(suite.Benchmarks))
+	for _, r := range suite.Benchmarks {
+		fmt.Printf("  %-50s %14.0f ns/op %12.0f B/op %10.0f allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+// argsString joins args for the progress line.
+func argsString(args []string) string {
+	var buf bytes.Buffer
+	for i, a := range args {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		buf.WriteString(a)
+	}
+	return buf.String()
+}

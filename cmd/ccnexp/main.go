@@ -8,9 +8,15 @@
 //	ccnexp -run fig4            # one artifact to stdout (text)
 //	ccnexp -run all -csv -out results/   # everything as CSV files
 //	ccnexp -run modelvssim -requests 100000
+//	ccnexp -run all -workers 8  # bound the worker pool explicitly
+//
+// Artifacts render concurrently on a bounded worker pool but always
+// emit in a fixed order, so the output is byte-identical whatever
+// -workers is set to.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -19,7 +25,9 @@ import (
 	"sort"
 
 	"ccncoord/internal/experiments"
+	"ccncoord/internal/par"
 	"ccncoord/internal/plot"
+	"ccncoord/internal/prof"
 )
 
 // artifact is one regenerable table or figure.
@@ -31,7 +39,7 @@ type artifact struct {
 	table  func() (experiments.Table, error)
 }
 
-func artifacts(requests int) []artifact {
+func artifacts(requests, replicas int) []artifact {
 	return []artifact{
 		{id: "table1", about: "motivating example comparison (packet-level)", table: experiments.TableI},
 		{id: "table2", about: "topology statistics", table: func() (experiments.Table, error) { return experiments.TableII(), nil }},
@@ -75,6 +83,9 @@ func artifacts(requests int) []artifact {
 		{id: "ablation-regional", about: "global placement under regional interest skew", table: func() (experiments.Table, error) {
 			return experiments.AblationRegionalSkew(requests)
 		}},
+		{id: "ablation-replicas", about: "strategy comparison over seeded replicas (mean ± stderr)", table: func() (experiments.Table, error) {
+			return experiments.AblationReplicas(requests, replicas)
+		}},
 		{id: "adaptive", about: "closed-loop adaptive provisioning over epochs", table: func() (experiments.Table, error) {
 			return experiments.AdaptiveConvergence(requests, 4)
 		}},
@@ -86,16 +97,26 @@ func artifacts(requests int) []artifact {
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list artifact ids and exit")
-		run      = flag.String("run", "all", "artifact id to regenerate, or 'all'")
-		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plotOut  = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
-		outDir   = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
-		requests = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
+		list       = flag.Bool("list", false, "list artifact ids and exit")
+		run        = flag.String("run", "all", "artifact id to regenerate, or 'all'")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plotOut    = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
+		outDir     = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
+		requests   = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
+		replicas   = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
+		workers    = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation heap profile to this file")
 	)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
 
-	arts := artifacts(*requests)
+	arts := artifacts(*requests, *replicas)
 	if *list {
 		for _, a := range arts {
 			fmt.Printf("%-20s %s\n", a.id, a.about)
@@ -113,6 +134,10 @@ func main() {
 		mode = modePlot
 	}
 	if err := runArtifacts(arts, *run, mode, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "ccnexp:", err)
 		os.Exit(1)
 	}
@@ -142,28 +167,38 @@ func runArtifacts(arts []artifact, id string, mode outputMode, outDir string) er
 		sort.Strings(ids)
 		return fmt.Errorf("unknown artifact %q (have %v)", id, ids)
 	}
-	for _, a := range selected {
-		w := io.Writer(os.Stdout)
-		if outDir != "" {
-			ext := ".txt"
-			if mode == modeCSV {
-				ext = ".csv"
-			}
-			if err := os.MkdirAll(outDir, 0o755); err != nil {
-				return err
-			}
-			f, err := os.Create(filepath.Join(outDir, a.id+ext))
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+	// Render every artifact concurrently, then emit sequentially in
+	// selection order: the bytes on stdout or disk never depend on the
+	// pool width or completion order.
+	rendered, err := par.Map(experiments.Workers(), len(selected), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := emit(&buf, selected[i], mode); err != nil {
+			return nil, fmt.Errorf("%s: %w", selected[i].id, err)
 		}
-		if err := emit(w, a, mode); err != nil {
-			return fmt.Errorf("%s: %w", a.id, err)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
 		}
+	}
+	for i, a := range selected {
 		if outDir == "" {
-			fmt.Fprintln(w)
+			if _, err := os.Stdout.Write(rendered[i]); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		ext := ".txt"
+		if mode == modeCSV {
+			ext = ".csv"
+		}
+		if err := os.WriteFile(filepath.Join(outDir, a.id+ext), rendered[i], 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

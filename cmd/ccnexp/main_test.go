@@ -8,7 +8,7 @@ import (
 )
 
 func TestArtifactsWellFormed(t *testing.T) {
-	arts := artifacts(1000)
+	arts := artifacts(1000, 2)
 	seen := map[string]bool{}
 	for _, a := range arts {
 		if a.id == "" || a.about == "" {
@@ -30,14 +30,14 @@ func TestArtifactsWellFormed(t *testing.T) {
 }
 
 func TestRunArtifactsUnknownID(t *testing.T) {
-	if err := runArtifacts(artifacts(1000), "nope", modeText, ""); err == nil {
+	if err := runArtifacts(artifacts(1000, 2), "nope", modeText, ""); err == nil {
 		t.Error("unknown artifact id should fail")
 	}
 }
 
 func TestRunArtifactsWritesFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := runArtifacts(artifacts(1000), "fig4", modeCSV, dir); err != nil {
+	if err := runArtifacts(artifacts(1000, 2), "fig4", modeCSV, dir); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
@@ -51,7 +51,7 @@ func TestRunArtifactsWritesFiles(t *testing.T) {
 
 func TestEmitPlotMode(t *testing.T) {
 	var found *artifact
-	for _, a := range artifacts(1000) {
+	for _, a := range artifacts(1000, 2) {
 		if a.id == "fig7" {
 			a := a
 			found = &a

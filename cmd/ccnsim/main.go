@@ -20,40 +20,50 @@ import (
 
 	"ccncoord/internal/fault"
 	"ccncoord/internal/model"
+	"ccncoord/internal/prof"
 	"ccncoord/internal/sim"
 	"ccncoord/internal/topology"
 )
 
 func main() {
 	var (
-		topoName  = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
-		policy    = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
-		catalog   = flag.Int64("N", 20000, "catalog size (contents)")
-		s         = flag.Float64("s", 0.8, "Zipf popularity exponent")
-		capacity  = flag.Int64("c", 150, "per-router storage capacity")
-		x         = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
-		requests  = flag.Int("requests", 60000, "measured requests")
-		warmup    = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		access    = flag.Float64("access", 5, "client access latency, ms one-way")
-		origin    = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
-		gateway   = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
-		adaptive  = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
-		loss      = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
-		retx      = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0 or faults are injected")
-		mtbf      = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
-		mttr      = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
-		faultSeed = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
-		failSpec  = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
+		topoName   = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
+		policy     = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
+		catalog    = flag.Int64("N", 20000, "catalog size (contents)")
+		s          = flag.Float64("s", 0.8, "Zipf popularity exponent")
+		capacity   = flag.Int64("c", 150, "per-router storage capacity")
+		x          = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
+		requests   = flag.Int("requests", 60000, "measured requests")
+		warmup     = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		access     = flag.Float64("access", 5, "client access latency, ms one-way")
+		origin     = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
+		gateway    = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
+		adaptive   = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
+		loss       = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
+		retx       = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0 or faults are injected")
+		mtbf       = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
+		mttr       = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
+		faultSeed  = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
+		failSpec   = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation heap profile to this file")
 	)
 	flag.Parse()
 
-	var err error
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnsim:", err)
+		os.Exit(1)
+	}
 	if *adaptive > 0 {
 		err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive)
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
 			*mtbf, *mttr, *faultSeed, *failSpec)
+	}
+	if err == nil {
+		err = stopProf()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)

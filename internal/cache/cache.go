@@ -306,6 +306,44 @@ func (c *Static) Len() int { return len(c.items) }
 // Cap implements Store.
 func (c *Static) Cap() int { return c.capacity }
 
+// StaticRange is a static store pinned to the contiguous rank interval
+// [lo, hi]. It behaves exactly like NewStatic(RankRange(lo, hi)) but
+// holds O(1) state instead of an O(hi-lo) set, which removes the
+// per-router id-slice and map construction from the simulator's
+// provisioning path: the non-coordinated local prefix of every policy is
+// a contiguous top-k band. A StaticRange is immutable and safe to share.
+type StaticRange struct {
+	lo, hi catalog.ID
+}
+
+// NewStaticRange returns a static store over ranks [lo, hi] inclusive.
+// hi = lo-1 denotes an empty store (the paper's R0 router); hi < lo-1 or
+// lo < 1 is rejected.
+func NewStaticRange(lo, hi int64) (*StaticRange, error) {
+	if lo < 1 {
+		return nil, fmt.Errorf("cache: static range start %d < 1", lo)
+	}
+	if hi < lo-1 {
+		return nil, fmt.Errorf("cache: static range [%d, %d] is inverted", lo, hi)
+	}
+	return &StaticRange{lo: catalog.ID(lo), hi: catalog.ID(hi)}, nil
+}
+
+// Lookup implements Store.
+func (c *StaticRange) Lookup(id catalog.ID) bool { return c.Contains(id) }
+
+// Contains implements Store.
+func (c *StaticRange) Contains(id catalog.ID) bool { return id >= c.lo && id <= c.hi }
+
+// Insert implements Store; static stores never admit new contents.
+func (c *StaticRange) Insert(catalog.ID) (catalog.ID, bool) { return 0, false }
+
+// Len implements Store.
+func (c *StaticRange) Len() int { return int(c.hi - c.lo + 1) }
+
+// Cap implements Store.
+func (c *StaticRange) Cap() int { return c.Len() }
+
 // TopK returns the ids of ranks 1..k, the non-coordinated steady state.
 func TopK(k int64) []catalog.ID {
 	ids := make([]catalog.ID, 0, k)
@@ -383,5 +421,6 @@ var (
 	_ Store = (*FIFO)(nil)
 	_ Store = (*LFU)(nil)
 	_ Store = (*Static)(nil)
+	_ Store = (*StaticRange)(nil)
 	_ Store = (*Partitioned)(nil)
 )

@@ -5,7 +5,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -16,25 +15,63 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap over (at, seq).
+// eventHeap is a hand-rolled min-heap over (at, seq). It deliberately
+// avoids container/heap: that interface boxes every pushed event into an
+// `any`, allocating once per Schedule/At call, which dominated the
+// simulator's allocation profile. Operating on the []event slice
+// directly keeps scheduling allocation-free after the backing array has
+// grown.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+// push appends e and restores the heap invariant.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the callback for GC
+	q = q[:n]
+	*h = q
+	// Sift the displaced tail element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use
@@ -54,7 +91,7 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns how many events are scheduled but not yet fired.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule enqueues fn to run after the given non-negative delay.
 func (e *Engine) Schedule(delay float64, fn func()) error {
@@ -74,13 +111,13 @@ func (e *Engine) At(t float64, fn func()) error {
 		return fmt.Errorf("des: nil event callback")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 	return nil
 }
 
 // Run fires events until the queue drains, advancing the clock.
 func (e *Engine) Run() {
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		e.step()
 	}
 }
@@ -88,7 +125,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline, then sets the clock
 // to the deadline (if it advanced that far).
 func (e *Engine) RunUntil(deadline float64) {
-	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.step()
 	}
 	if e.now < deadline {
@@ -98,7 +135,7 @@ func (e *Engine) RunUntil(deadline float64) {
 
 // Step fires exactly one event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
 	e.step()
@@ -106,7 +143,7 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.processed++
 	ev.fn()

@@ -7,6 +7,7 @@ import (
 	"ccncoord/internal/catalog"
 	"ccncoord/internal/coord"
 	"ccncoord/internal/model"
+	"ccncoord/internal/par"
 	"ccncoord/internal/sim"
 	"ccncoord/internal/topology"
 	"ccncoord/internal/workload"
@@ -50,9 +51,11 @@ func AblationAssignment(requests int) (Table, error) {
 	for i := range routers {
 		routers[i] = topology.NodeID(i)
 	}
-	for _, asgKind := range []sim.Assignment{sim.AssignStripe, sim.AssignHash} {
+	kinds := []sim.Assignment{sim.AssignStripe, sim.AssignHash}
+	rows, err := parRows(len(kinds), func(i int) ([]string, error) {
+		asgKind := kinds[i]
 		res, err := sim.Run(sim.Scenario{
-			Topology:      g,
+			Topology:      g.Clone(),
 			CatalogSize:   catalogSize,
 			ZipfS:         s,
 			Capacity:      capacity,
@@ -66,7 +69,7 @@ func AblationAssignment(requests int) (Table, error) {
 			OriginGateway: -1,
 		})
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: assignment ablation (%v): %w", asgKind, err)
+			return nil, fmt.Errorf("experiments: assignment ablation (%v): %w", asgKind, err)
 		}
 		// Popularity imbalance of the placement itself.
 		localTop := int64(capacity - coordinated)
@@ -78,22 +81,26 @@ func AblationAssignment(requests int) (Table, error) {
 			asg, err = coord.StripeByRank(routers, ranks, coordinated)
 		}
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		pmf := func(id catalog.ID) float64 { return dist.PMF(int64(id)) }
 		imbalance, err := coord.PopularityImbalance(asg, routers, pmf)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			asgKind.String(),
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.4f", res.PeerHit),
 			fmt.Sprintf("%.3f", res.PeerHops),
 			fmt.Sprintf("%.3f", res.PeerLoadImbalance),
 			fmt.Sprintf("%.3f", imbalance),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -118,10 +125,12 @@ func AblationPolicy(requests int) (Table, error) {
 		Headers: []string{"policy", "origin load", "local hit", "peer hit",
 			"mean hops", "mean latency (ms)"},
 	}
-	for _, pol := range []sim.Policy{
+	policies := []sim.Policy{
 		sim.PolicyNonCoordinated, sim.PolicyCoordinated,
 		sim.PolicyLRU, sim.PolicyLFU, sim.PolicySLRU, sim.PolicyTwoQ, sim.PolicyProbCache,
-	} {
+	}
+	rows, err := parRows(len(policies), func(i int) ([]string, error) {
+		pol := policies[i]
 		sc := sim.Scenario{
 			Topology:      topology.USA(),
 			CatalogSize:   20000,
@@ -142,15 +151,77 @@ func AblationPolicy(requests int) (Table, error) {
 		}
 		res, err := sim.Run(sc)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: policy ablation (%v): %w", pol, err)
+			return nil, fmt.Errorf("experiments: policy ablation (%v): %w", pol, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			pol.String(),
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.4f", res.LocalHit),
 			fmt.Sprintf("%.4f", res.PeerHit),
 			fmt.Sprintf("%.3f", res.MeanHops),
 			fmt.Sprintf("%.2f", res.MeanLatency),
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// AblationReplicas reruns the headline strategy comparison over
+// independently seeded replicas, fanned out on the worker pool, and
+// reports each metric as mean ± standard error. One seed per cell is
+// enough for the deterministic placements; this table quantifies how
+// much of the measured gap is seed noise.
+func AblationReplicas(requests, replicas int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	t := Table{
+		ID:    "ablation-replicas",
+		Title: fmt.Sprintf("Strategy comparison over %d seeded replicas (US-A, mean ± stderr)", replicas),
+		Headers: []string{"policy", "origin load", "±", "mean latency (ms)", "±",
+			"peer hit", "±"},
+	}
+	for _, pol := range []sim.Policy{sim.PolicyNonCoordinated, sim.PolicyCoordinated, sim.PolicyLRU} {
+		sc := sim.Scenario{
+			Topology:      topology.USA(),
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Policy:        pol,
+			Requests:      requests,
+			Seed:          47,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+		}
+		if pol == sim.PolicyCoordinated {
+			sc.Coordinated = 75
+		}
+		if pol == sim.PolicyLRU {
+			sc.Warmup = requests
+		}
+		results, err := RunReplicas(sc, replicas)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: replica ablation (%v): %w", pol, err)
+		}
+		origin := make([]float64, len(results))
+		latency := make([]float64, len(results))
+		peer := make([]float64, len(results))
+		for i, r := range results {
+			origin[i], latency[i], peer[i] = r.OriginLoad, r.MeanLatency, r.PeerHit
+		}
+		o, l, p := replicaStats(origin), replicaStats(latency), replicaStats(peer)
+		t.Rows = append(t.Rows, []string{
+			pol.String(),
+			fmt.Sprintf("%.4f", o.Mean), fmt.Sprintf("%.4f", o.StdErr),
+			fmt.Sprintf("%.2f", l.Mean), fmt.Sprintf("%.2f", l.StdErr),
+			fmt.Sprintf("%.4f", p.Mean), fmt.Sprintf("%.4f", p.StdErr),
 		})
 	}
 	return t, nil
@@ -250,7 +321,9 @@ func AblationLoss(requests int) (Table, error) {
 		Headers: []string{"loss rate", "origin load", "mean latency (ms)",
 			"p99 latency (ms)", "retransmissions", "drops"},
 	}
-	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
+	losses := []float64{0, 0.05, 0.1, 0.2}
+	rows, err := parRows(len(losses), func(i int) ([]string, error) {
+		loss := losses[i]
 		sc := sim.Scenario{
 			Topology:      topology.USA(),
 			CatalogSize:   20000,
@@ -270,17 +343,21 @@ func AblationLoss(requests int) (Table, error) {
 		}
 		res, err := sim.Run(sc)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: loss ablation at %v: %w", loss, err)
+			return nil, fmt.Errorf("experiments: loss ablation at %v: %w", loss, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%g", loss),
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.2f", res.MeanLatency),
 			fmt.Sprintf("%.2f", res.LatencyP99),
 			fmt.Sprintf("%d", res.Retransmissions),
 			fmt.Sprintf("%d", res.DroppedInterests+res.DroppedData),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -299,7 +376,9 @@ func AblationCongestion(requests int) (Table, error) {
 		Headers: []string{"mean inter-arrival (ms)", "mean latency (ms)",
 			"p99 latency (ms)", "mean queueing (ms)", "queued packets"},
 	}
-	for _, interArrival := range []float64{8, 4, 2, 1} {
+	arrivals := []float64{8, 4, 2, 1}
+	rows, err := parRows(len(arrivals), func(i int) ([]string, error) {
+		interArrival := arrivals[i]
 		res, err := sim.Run(sim.Scenario{
 			Topology:         topology.USA(),
 			CatalogSize:      20000,
@@ -316,16 +395,20 @@ func AblationCongestion(requests int) (Table, error) {
 			MeanInterArrival: interArrival,
 		})
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: congestion at %v: %w", interArrival, err)
+			return nil, fmt.Errorf("experiments: congestion at %v: %w", interArrival, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%g", interArrival),
 			fmt.Sprintf("%.2f", res.MeanLatency),
 			fmt.Sprintf("%.2f", res.LatencyP99),
 			fmt.Sprintf("%.3f", res.MeanQueueingDelay),
 			fmt.Sprintf("%d", res.QueuedPackets),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -386,10 +469,12 @@ func AblationResilience(requests int) (Table, error) {
 		Headers: []string{"network", "origin load", "peer hit", "peer hops",
 			"mean latency (ms)"},
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		g    *topology.Graph
-	}{{"intact", intact}, {"link failed", damaged}} {
+	}{{"intact", intact}, {"link failed", damaged}}
+	rows, err := parRows(len(cases), func(i int) ([]string, error) {
+		tc := cases[i]
 		res, err := sim.Run(sim.Scenario{
 			Topology:      tc.g,
 			CatalogSize:   20000,
@@ -404,35 +489,49 @@ func AblationResilience(requests int) (Table, error) {
 			OriginGateway: -1,
 		})
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: resilience (%s): %w", tc.name, err)
+			return nil, fmt.Errorf("experiments: resilience (%s): %w", tc.name, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			tc.name,
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.4f", res.PeerHit),
 			fmt.Sprintf("%.3f", res.PeerHops),
 			fmt.Sprintf("%.2f", res.MeanLatency),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // removeWorstLink deletes the connectivity-preserving edge whose removal
 // maximizes the mean pairwise latency, returning the damaged graph and
-// the removed edge.
+// the removed edge. Each candidate edge costs an all-pairs shortest-path
+// computation, so the trials run on the worker pool; the reduction scans
+// the per-edge means in edge order, keeping the selection identical to a
+// serial scan.
 func removeWorstLink(g *topology.Graph) (*topology.Graph, topology.Edge, error) {
-	var worst topology.Edge
-	worstMean := -1.0
-	for _, e := range g.EdgeList() {
+	edges := g.EdgeList()
+	means, err := par.Map(Workers(), len(edges), func(i int) (float64, error) {
 		trial := g.Clone()
-		if err := trial.RemoveEdge(e.A, e.B); err != nil {
-			return nil, topology.Edge{}, err
+		if err := trial.RemoveEdge(edges[i].A, edges[i].B); err != nil {
+			return 0, err
 		}
 		if !trial.Connected() {
-			continue
+			return -1, nil // removal would disconnect the domain
 		}
-		if mean := trial.ShortestPathsLatency().MeanDist(false); mean > worstMean {
-			worstMean, worst = mean, e
+		return trial.ShortestPathsLatency().MeanDist(false), nil
+	})
+	if err != nil {
+		return nil, topology.Edge{}, err
+	}
+	var worst topology.Edge
+	worstMean := -1.0
+	for i, mean := range means {
+		if mean > worstMean {
+			worstMean, worst = mean, edges[i]
 		}
 	}
 	if worstMean < 0 {
@@ -516,9 +615,10 @@ func AblationRegionalSkew(requests int) (Table, error) {
 		Headers: []string{"max regional offset (ranks)", "origin load",
 			"local hit", "peer hit"},
 	}
-	g := topology.USA()
-	for _, maxOffset := range []int64{0, 25, 100, 500} {
-		maxOffset := maxOffset
+	offsets := []int64{0, 25, 100, 500}
+	rows, err := parRows(len(offsets), func(i int) ([]string, error) {
+		maxOffset := offsets[i]
+		g := topology.USA()
 		sc := sim.Scenario{
 			Topology:      g,
 			CatalogSize:   20000,
@@ -533,7 +633,7 @@ func AblationRegionalSkew(requests int) (Table, error) {
 			OriginGateway: -1,
 		}
 		sc.WorkloadFactory = func(r topology.NodeID) (workload.Generator, error) {
-			inner, err := workload.NewZipf(sc.ZipfS, sc.CatalogSize, sc.Seed+int64(r)*1697)
+			inner, err := workload.NewZipf(sc.ZipfS, sc.CatalogSize, sim.WorkloadSeed(sc.Seed, int(r)))
 			if err != nil {
 				return nil, err
 			}
@@ -546,15 +646,19 @@ func AblationRegionalSkew(requests int) (Table, error) {
 		}
 		res, err := sim.Run(sc)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: regional skew %d: %w", maxOffset, err)
+			return nil, fmt.Errorf("experiments: regional skew %d: %w", maxOffset, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", maxOffset),
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.4f", res.LocalHit),
 			fmt.Sprintf("%.4f", res.PeerHit),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -573,7 +677,9 @@ func MeasuredTiers(requests int) (Table, error) {
 		Headers: []string{"topology", "d0 (ms)", "d1 (ms)", "d2 (ms)",
 			"gamma", "l* from measurements"},
 	}
-	for _, g := range topology.All() {
+	graphs := topology.All()
+	rows, err := parRows(len(graphs), func(i int) ([]string, error) {
+		g := graphs[i]
 		res, err := sim.Run(sim.Scenario{
 			Topology:      g,
 			CatalogSize:   20000,
@@ -588,7 +694,7 @@ func MeasuredTiers(requests int) (Table, error) {
 			OriginGateway: -1,
 		})
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: measured tiers on %s: %w", g.Name(), err)
+			return nil, fmt.Errorf("experiments: measured tiers on %s: %w", g.Name(), err)
 		}
 		tl := res.TierLatency
 		cfg := model.Config{
@@ -600,17 +706,21 @@ func MeasuredTiers(requests int) (Table, error) {
 		}
 		level, err := cfg.OptimalLevel()
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: optimizing from measured tiers on %s: %w", g.Name(), err)
+			return nil, fmt.Errorf("experiments: optimizing from measured tiers on %s: %w", g.Name(), err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			g.Name(),
 			fmt.Sprintf("%.2f", tl.Local),
 			fmt.Sprintf("%.2f", tl.Peer),
 			fmt.Sprintf("%.2f", tl.Origin),
 			fmt.Sprintf("%.2f", tl.Gamma()),
 			fmt.Sprintf("%.3f", level),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

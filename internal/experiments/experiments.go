@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ccncoord/internal/model"
+	"ccncoord/internal/par"
 )
 
 // Series is one labeled curve of a figure.
@@ -156,17 +157,19 @@ func wGrid() []float64 {
 // per gamma in {2,4,6,8,10}.
 func sweepAlpha(id, title, ylabel string, m metric) (Figure, error) {
 	fig := Figure{ID: id, Title: title, XLabel: "trade-off weight alpha", YLabel: ylabel}
-	for _, gamma := range []float64{2, 4, 6, 8, 10} {
-		s := Series{Label: fmt.Sprintf("gamma=%g", gamma)}
-		for _, a := range alphaGrid() {
+	err := sweep(&fig,
+		[]float64{2, 4, 6, 8, 10},
+		func(gamma float64) string { return fmt.Sprintf("gamma=%g", gamma) },
+		alphaGrid(),
+		func(gamma, a float64) (float64, error) {
 			v, err := evalAt(figConfig(a, gamma, baseS, baseRouters, baseUnitCost), m)
 			if err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s at alpha=%v gamma=%v: %w", id, a, gamma, err)
+				return 0, fmt.Errorf("experiments: %s at alpha=%v gamma=%v: %w", id, a, gamma, err)
 			}
-			s.X = append(s.X, a)
-			s.Y = append(s.Y, v)
-		}
-		fig.Series = append(fig.Series, s)
+			return v, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -175,17 +178,19 @@ func sweepAlpha(id, title, ylabel string, m metric) (Figure, error) {
 // curve per alpha.
 func sweepS(id, title, ylabel string, m metric) (Figure, error) {
 	fig := Figure{ID: id, Title: title, XLabel: "Zipf exponent s", YLabel: ylabel}
-	for _, a := range alphaRows {
-		s := Series{Label: fmt.Sprintf("alpha=%g", a)}
-		for _, sv := range sGrid() {
+	err := sweep(&fig,
+		alphaRows,
+		func(a float64) string { return fmt.Sprintf("alpha=%g", a) },
+		sGrid(),
+		func(a, sv float64) (float64, error) {
 			v, err := evalAt(figConfig(a, baseGamma, sv, baseRouters, baseUnitCost), m)
 			if err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s at s=%v alpha=%v: %w", id, sv, a, err)
+				return 0, fmt.Errorf("experiments: %s at s=%v alpha=%v: %w", id, sv, a, err)
 			}
-			s.X = append(s.X, sv)
-			s.Y = append(s.Y, v)
-		}
-		fig.Series = append(fig.Series, s)
+			return v, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -193,17 +198,19 @@ func sweepS(id, title, ylabel string, m metric) (Figure, error) {
 // sweepN builds the Figure 6/10 family: metric vs router count.
 func sweepN(id, title, ylabel string, m metric) (Figure, error) {
 	fig := Figure{ID: id, Title: title, XLabel: "number of routers n", YLabel: ylabel}
-	for _, a := range alphaRows {
-		s := Series{Label: fmt.Sprintf("alpha=%g", a)}
-		for _, nv := range nGrid() {
+	err := sweep(&fig,
+		alphaRows,
+		func(a float64) string { return fmt.Sprintf("alpha=%g", a) },
+		nGrid(),
+		func(a, nv float64) (float64, error) {
 			v, err := evalAt(figConfig(a, baseGamma, baseS, int(nv), baseUnitCost), m)
 			if err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s at n=%v alpha=%v: %w", id, nv, a, err)
+				return 0, fmt.Errorf("experiments: %s at n=%v alpha=%v: %w", id, nv, a, err)
 			}
-			s.X = append(s.X, nv)
-			s.Y = append(s.Y, v)
-		}
-		fig.Series = append(fig.Series, s)
+			return v, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -212,17 +219,19 @@ func sweepN(id, title, ylabel string, m metric) (Figure, error) {
 // cost.
 func sweepW(id, title, ylabel string, m metric) (Figure, error) {
 	fig := Figure{ID: id, Title: title, XLabel: "unit coordination cost w (ms)", YLabel: ylabel}
-	for _, a := range alphaRows {
-		s := Series{Label: fmt.Sprintf("alpha=%g", a)}
-		for _, wv := range wGrid() {
+	err := sweep(&fig,
+		alphaRows,
+		func(a float64) string { return fmt.Sprintf("alpha=%g", a) },
+		wGrid(),
+		func(a, wv float64) (float64, error) {
 			v, err := evalAt(figConfig(a, baseGamma, baseS, baseRouters, wv), m)
 			if err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s at w=%v alpha=%v: %w", id, wv, a, err)
+				return 0, fmt.Errorf("experiments: %s at w=%v alpha=%v: %w", id, wv, a, err)
 			}
-			s.X = append(s.X, wv)
-			s.Y = append(s.Y, v)
-		}
-		fig.Series = append(fig.Series, s)
+			return v, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -281,18 +290,13 @@ func Fig13() (Figure, error) {
 	return sweepS("fig13", "Routing improvement vs Zipf exponent", "routing improvement G_R", metricRoutingGain)
 }
 
-// AllFigures regenerates Figures 4-13 in order.
+// AllFigures regenerates Figures 4-13. Figure builders run on the shared
+// worker pool but the returned slice is always in figure order.
 func AllFigures() ([]Figure, error) {
 	builders := []func() (Figure, error){
 		Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13,
 	}
-	figs := make([]Figure, 0, len(builders))
-	for _, b := range builders {
-		f, err := b()
-		if err != nil {
-			return nil, err
-		}
-		figs = append(figs, f)
-	}
-	return figs, nil
+	return par.Map(Workers(), len(builders), func(i int) (Figure, error) {
+		return builders[i]()
+	})
 }

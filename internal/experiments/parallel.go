@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"ccncoord/internal/par"
+	"ccncoord/internal/sim"
+)
+
+// The experiment harness fans independent work units — figure grid
+// points, table rows, seeded replicas — across a bounded worker pool.
+// Every unit writes only its own pre-assigned result slot, so parallel
+// output is byte-identical to a serial run: the pool changes wall-clock
+// time, never results.
+
+// workerCount holds the configured pool width; 0 selects
+// par.DefaultWorkers (GOMAXPROCS).
+var workerCount atomic.Int32
+
+// SetWorkers sets the worker-pool width used by all experiment
+// generators. Non-positive restores the default (GOMAXPROCS). Safe to
+// call concurrently, though the intent is one call at program start
+// (cmd/ccnexp's -workers flag).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers returns the effective worker-pool width.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return par.DefaultWorkers()
+}
+
+// forEach runs fn over [0, n) on the configured pool.
+func forEach(n int, fn func(i int) error) error {
+	return par.ForEach(Workers(), n, fn)
+}
+
+// parRows evaluates n table rows on the pool, in deterministic order.
+func parRows(n int, row func(i int) ([]string, error)) ([][]string, error) {
+	return par.Map(Workers(), n, row)
+}
+
+// sweep fills fig with one series per curve value, evaluating every
+// (curve, point) grid cell on the worker pool. Each cell writes only its
+// own Y slot, so the resulting figure is identical to a serial fill.
+func sweep(fig *Figure, curves []float64, label func(c float64) string, xs []float64,
+	eval func(c, x float64) (float64, error)) error {
+	fig.Series = make([]Series, len(curves))
+	for i, c := range curves {
+		fig.Series[i] = Series{
+			Label: label(c),
+			X:     append([]float64(nil), xs...),
+			Y:     make([]float64, len(xs)),
+		}
+	}
+	return forEach(len(curves)*len(xs), func(idx int) error {
+		ci, xi := idx/len(xs), idx%len(xs)
+		v, err := eval(curves[ci], xs[xi])
+		if err != nil {
+			return err
+		}
+		fig.Series[ci].Y[xi] = v
+		return nil
+	})
+}
+
+// ReplicaStats aggregates one metric over independently seeded replicas.
+type ReplicaStats struct {
+	Mean   float64
+	StdErr float64 // standard error of the mean (0 with one replica)
+}
+
+// replicaStats reduces per-replica samples in input order, so the result
+// does not depend on completion order.
+func replicaStats(samples []float64) ReplicaStats {
+	n := float64(len(samples))
+	if n == 0 {
+		return ReplicaStats{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / n
+	if len(samples) < 2 {
+		return ReplicaStats{Mean: mean}
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	variance := ss / (n - 1)
+	return ReplicaStats{Mean: mean, StdErr: math.Sqrt(variance / n)}
+}
+
+// RunReplicas executes replicas of sc with decorrelated seeds on the
+// worker pool and returns the per-replica results in replica order. The
+// scenario's own seed yields replica 0; further replicas derive their
+// seeds by mixing the replica index, matching the simulator's per-router
+// derivation quality (no two replicas share workload or arrival
+// streams).
+func RunReplicas(sc sim.Scenario, replicas int) ([]sim.Result, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("experiments: need at least 1 replica, got %d", replicas)
+	}
+	return par.Map(Workers(), replicas, func(i int) (sim.Result, error) {
+		rsc := sc
+		if i > 0 {
+			rsc.Seed = sim.ReplicaSeed(sc.Seed, i)
+		}
+		// Clone the topology so parallel replicas never share graph
+		// state, whatever the data plane does with it.
+		rsc.Topology = sc.Topology.Clone()
+		res, err := sim.Run(rsc)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: replica %d: %w", i, err)
+		}
+		return res, nil
+	})
+}

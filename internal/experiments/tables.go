@@ -132,7 +132,9 @@ func ModelVsSim(requests int) (Table, error) {
 		Headers: []string{"Topology", "origin(sim)", "origin(model)", "local(sim)", "local(model+slice)",
 			"peer(sim)", "peer(model-slice)", "max|err|"},
 	}
-	for _, g := range topology.All() {
+	graphs := topology.All()
+	rows, err := parRows(len(graphs), func(i int) ([]string, error) {
+		g := graphs[i]
 		vc := validationCase{graph: g, catalogSize: 20000, capacity: 150, coordinated: 75, s: baseS}
 		sc := sim.Scenario{
 			Topology:      vc.graph,
@@ -149,7 +151,7 @@ func ModelVsSim(requests int) (Table, error) {
 		}
 		res, err := sim.Run(sc)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: model-vs-sim on %s: %w", g.Name(), err)
+			return nil, fmt.Errorf("experiments: model-vs-sim on %s: %w", g.Name(), err)
 		}
 		cfg := model.Config{
 			S: vc.s, N: float64(vc.catalogSize), C: float64(vc.capacity),
@@ -157,7 +159,7 @@ func ModelVsSim(requests int) (Table, error) {
 		}
 		d, err := model.NewDiscrete(cfg)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		local, peer, origin := d.HitRatios(vc.coordinated)
 		// The model counts a router's own coordinated slice as peer; the
@@ -167,7 +169,7 @@ func ModelVsSim(requests int) (Table, error) {
 		mLocal, mPeer := local+slice, peer-slice
 		maxErr := math.Max(math.Abs(res.OriginLoad-origin),
 			math.Max(math.Abs(res.LocalHit-mLocal), math.Abs(res.PeerHit-mPeer)))
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			g.Name(),
 			fmt.Sprintf("%.4f", res.OriginLoad),
 			fmt.Sprintf("%.4f", origin),
@@ -176,7 +178,11 @@ func ModelVsSim(requests int) (Table, error) {
 			fmt.Sprintf("%.4f", res.PeerHit),
 			fmt.Sprintf("%.4f", mPeer),
 			fmt.Sprintf("%.4f", maxErr),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

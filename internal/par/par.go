@@ -1,0 +1,107 @@
+// Package par provides the bounded worker pool the experiment harness
+// and CLI tools use to fan independent work units across CPUs while
+// keeping results in deterministic input order. Tasks communicate only
+// through their own result slot, so a pool run is race-clean as long as
+// the tasks themselves share no mutable state.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool width: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a requested pool width: non-positive selects
+// the default, and a pool never needs more workers than tasks.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of the given width
+// (non-positive selects DefaultWorkers). The first error encountered —
+// in task-index order — is returned, and outstanding tasks that have
+// not yet started are cancelled. ForEach returns only after every
+// started task has finished, so fn's writes are visible to the caller.
+//
+// With workers == 1 the tasks run sequentially on the calling
+// goroutine in index order, which is the serial reference the
+// determinism tests compare against.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next task index to claim
+		cancel   atomic.Bool  // set once any task fails
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int = -1
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Keep the error of the lowest task index so the reported
+		// failure matches what a serial run would have hit first.
+		if firstIdx < 0 || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cancel.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					cancel.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in input
+// order. On error the partial results are discarded and the first
+// (lowest-index) error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

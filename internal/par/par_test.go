@@ -1,0 +1,98 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 53
+		hits := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 32, func(i int) error {
+			if i == 5 || i == 20 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		// With one worker the scan stops at 5; with several, 5 must win
+		// over 20 because it is the lower index among failures that ran.
+		if got := err.Error(); got != "task 5 failed" && workers == 1 {
+			t.Fatalf("workers=%d: got %q", workers, got)
+		}
+	}
+}
+
+func TestForEachCancelsAfterError(t *testing.T) {
+	const n = 100000
+	var ran atomic.Int32
+	err := ForEach(2, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		runtime.Gosched() // give the failing worker a chance to flag cancellation
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d tasks ran despite an immediate failure; cancellation is not working", got)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(3, 10, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("nope")
+		}
+		return "ok", nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want nil results and an error", out, err)
+	}
+}

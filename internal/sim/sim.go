@@ -427,7 +427,9 @@ func Run(sc Scenario) (Result, error) {
 	switch sc.Policy {
 	case PolicyNonCoordinated:
 		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewStatic(cache.TopK(min64(capOf(r), sc.CatalogSize)))
+			// The non-coordinated steady state is the contiguous top-k
+			// band; an interval store avoids materializing it per router.
+			return cache.NewStaticRange(1, min64(capOf(r), sc.CatalogSize))
 		}
 	case PolicyCoordinated:
 		if sc.Placement != nil {
@@ -495,7 +497,7 @@ func Run(sc Scenario) (Result, error) {
 			res.CoordConvergence = 2 * maxLat
 		}
 		stores = func(r topology.NodeID) (cache.Store, error) {
-			local, err := cache.NewStatic(cache.TopK(min64(capOf(r)-coordOf(r), sc.CatalogSize)))
+			local, err := cache.NewStaticRange(1, min64(capOf(r)-coordOf(r), sc.CatalogSize))
 			if err != nil {
 				return nil, err
 			}
@@ -558,7 +560,12 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 
-	// Per-router workloads and Poisson arrival processes.
+	// Per-router workloads and Poisson arrival processes. Arrivals are
+	// scheduled lazily: one self-rescheduling event per router draws the
+	// next inter-arrival gap and content when it fires, so the pending
+	// event count stays O(routers + in-flight) instead of O(total
+	// requests) — the request pre-materialization loop this replaces put
+	// one heap closure per request on the event queue up front.
 	interArrival := sc.MeanInterArrival
 	if interArrival <= 0 {
 		interArrival = 1
@@ -568,6 +575,18 @@ func Run(sc Scenario) (Result, error) {
 	extra := total % len(routers)
 	warmPerRouter := sc.Warmup / len(routers)
 	warmExtra := sc.Warmup % len(routers)
+	// reqsOf returns router i's request and warmup quota.
+	reqsOf := func(i int) (nReq, nWarm int) {
+		nReq = perRouter
+		if i < extra {
+			nReq++
+		}
+		nWarm = warmPerRouter
+		if i < warmExtra {
+			nWarm++
+		}
+		return nReq, nWarm
+	}
 
 	var latency, hops, peerHops metrics.Mean
 	var tierLat [3]metrics.Mean
@@ -590,14 +609,104 @@ func Run(sc Scenario) (Result, error) {
 	}
 	measured := 0
 
-	// Fault accounting. inj is assigned after the workload is laid out
-	// (the stochastic horizon needs the last arrival time) but before
-	// eng.Run, so the completion callbacks below may consult it.
+	// Fault accounting. inj is assigned after the arrival processes are
+	// laid out (the stochastic horizon needs the last arrival time) but
+	// before eng.Run, so the completion callbacks below may consult it.
 	var inj *fault.Injector
 	var avail metrics.Availability
 	var downtime metrics.Downtime
 	var outageOrigin, outageTotal, steadyOrigin, steadyTotal int64
-	maxArrival := 0.0
+
+	// runErr records the first data-plane wiring failure hit inside a
+	// scheduled callback; it stops the arrival streams and fails the run
+	// instead of panicking out of the event loop.
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	// The completion callbacks are shared across all requests: warmup
+	// completions are discarded wholesale, measured ones feed the
+	// aggregators. Sharing them keeps the per-request allocation cost at
+	// zero closures.
+	warmCB := func(ccn.RequestResult) {}
+	measuredCB := func(result ccn.RequestResult) {
+		measured++
+		if sc.Observer != nil {
+			sc.Observer(result)
+		}
+		counts.Inc(result.ServedBy.String())
+		if inj != nil {
+			if inj.ActiveFaults() > 0 {
+				outageTotal++
+				if result.ServedBy == ccn.ServedOrigin {
+					outageOrigin++
+				}
+			} else {
+				steadyTotal++
+				if result.ServedBy == ccn.ServedOrigin {
+					steadyOrigin++
+				}
+			}
+		}
+		if result.Failed {
+			avail.ObserveFailed()
+			return
+		}
+		avail.ObserveOK()
+		latency.Observe(result.Latency())
+		latencyHist.Observe(result.Latency())
+		hops.Observe(float64(result.Hops))
+		tierLat[int(result.ServedBy)].Observe(result.Latency())
+		if result.ServedBy == ccn.ServedPeer {
+			peerHops.Observe(float64(result.Hops))
+			peerServes[result.Server]++
+		}
+		if reportCounts != nil {
+			reportCounts[result.Router][result.Content]++
+		}
+	}
+
+	// The default stationary workload shares one immutable Zipf
+	// distribution across routers — the per-(s, N) sampler setup is paid
+	// once, and per-router generators differ only in their RNG stream.
+	var family *workload.ZipfFamily
+	if sc.WorkloadFactory == nil {
+		family, err = workload.NewZipfFamily(sc.ZipfS, sc.CatalogSize)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+	}
+
+	// issue fires one arrival of p: draw the content (the k-th gen.Next
+	// call, exactly as the eager layout drew it), issue the request, and
+	// reschedule the router's single arrival event for the next draw.
+	// Per-router arrivals are time-ordered, so the first nWarm requests
+	// of each router form the warmup phase.
+	var issue func(p *arrivalProc)
+	issue = func(p *arrivalProc) {
+		if runErr != nil {
+			return // the run already failed; let the queue drain quietly
+		}
+		id := p.gen.Next()
+		cb := measuredCB
+		if p.k < p.nWarm {
+			cb = warmCB
+		}
+		p.k++
+		if err := net.Request(p.router, id, cb); err != nil {
+			fail(fmt.Errorf("sim: issuing request at router %d: %w", p.router, err))
+			return
+		}
+		if p.k < p.nReq {
+			p.t += p.rng.ExpFloat64() * interArrival
+			if err := eng.At(p.t, p.tick); err != nil {
+				fail(fmt.Errorf("sim: scheduling request: %w", err))
+			}
+		}
+	}
 
 	for i, r := range routers {
 		var gen workload.Generator
@@ -605,7 +714,7 @@ func Run(sc Scenario) (Result, error) {
 		if sc.WorkloadFactory != nil {
 			gen, err = sc.WorkloadFactory(r)
 		} else {
-			gen, err = workload.NewZipf(sc.ZipfS, sc.CatalogSize, sc.Seed+int64(i)*1697)
+			gen, err = family.Gen(WorkloadSeed(sc.Seed, i))
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: workload for router %d: %w", r, err)
@@ -613,72 +722,39 @@ func Run(sc Scenario) (Result, error) {
 		if gen == nil {
 			return Result{}, fmt.Errorf("sim: nil workload generator for router %d", r)
 		}
-		nReq := perRouter
-		if i < extra {
-			nReq++
+		nReq, nWarm := reqsOf(i)
+		if nReq == 0 {
+			continue
 		}
-		nWarm := warmPerRouter
-		if i < warmExtra {
-			nWarm++
+		p := &arrivalProc{
+			router: r,
+			gen:    gen,
+			rng:    rand.New(rand.NewSource(ArrivalSeed(sc.Seed, i))),
+			nReq:   nReq,
+			nWarm:  nWarm,
 		}
-		rng := rand.New(rand.NewSource(sc.Seed ^ int64(i)*7907))
-		t := 0.0
-		for k := 0; k < nReq; k++ {
-			t += rng.ExpFloat64() * interArrival
+		p.tick = func() { issue(p) }
+		p.t = p.rng.ExpFloat64() * interArrival
+		if err := eng.At(p.t, p.tick); err != nil {
+			return Result{}, fmt.Errorf("sim: scheduling request: %w", err)
+		}
+	}
+
+	// The stochastic fault horizon needs the time of the last arrival,
+	// which lazy scheduling no longer materializes up front. Replay each
+	// router's arrival clock on a scratch RNG seeded identically —
+	// allocation-free and exact, and only paid on fault runs.
+	maxArrival := 0.0
+	if sc.faultsEnabled() {
+		for i := range routers {
+			nReq, _ := reqsOf(i)
+			rng := rand.New(rand.NewSource(ArrivalSeed(sc.Seed, i)))
+			t := 0.0
+			for k := 0; k < nReq; k++ {
+				t += rng.ExpFloat64() * interArrival
+			}
 			if t > maxArrival {
 				maxArrival = t
-			}
-			id := gen.Next()
-			// Per-router arrivals are time-ordered, so the first nWarm
-			// requests of each router form the warmup phase.
-			isWarm := k < nWarm
-			r := r
-			err := eng.At(t, func() {
-				reqErr := net.Request(r, id, func(result ccn.RequestResult) {
-					if isWarm {
-						return
-					}
-					measured++
-					if sc.Observer != nil {
-						sc.Observer(result)
-					}
-					counts.Inc(result.ServedBy.String())
-					if inj != nil {
-						if inj.ActiveFaults() > 0 {
-							outageTotal++
-							if result.ServedBy == ccn.ServedOrigin {
-								outageOrigin++
-							}
-						} else {
-							steadyTotal++
-							if result.ServedBy == ccn.ServedOrigin {
-								steadyOrigin++
-							}
-						}
-					}
-					if result.Failed {
-						avail.ObserveFailed()
-						return
-					}
-					avail.ObserveOK()
-					latency.Observe(result.Latency())
-					latencyHist.Observe(result.Latency())
-					hops.Observe(float64(result.Hops))
-					tierLat[int(result.ServedBy)].Observe(result.Latency())
-					if result.ServedBy == ccn.ServedPeer {
-						peerHops.Observe(float64(result.Hops))
-						peerServes[result.Server]++
-					}
-					if reportCounts != nil {
-						reportCounts[result.Router][result.Content]++
-					}
-				})
-				if reqErr != nil {
-					panic(fmt.Sprintf("sim: issuing request: %v", reqErr))
-				}
-			})
-			if err != nil {
-				return Result{}, fmt.Errorf("sim: scheduling request: %w", err)
 			}
 		}
 	}
@@ -758,7 +834,8 @@ func Run(sc Scenario) (Result, error) {
 				if len(survivors) > 0 {
 					moved, err := coordAsg.Reassign(dead, survivors)
 					if err != nil {
-						panic(fmt.Sprintf("sim: repairing assignment: %v", err))
+						fail(fmt.Errorf("sim: repairing assignment: %w", err))
+						return
 					}
 					cost := coord.CostOfRepair(moved)
 					ev.Moved = cost.Moved
@@ -769,7 +846,8 @@ func Run(sc Scenario) (Result, error) {
 					for _, s := range survivors {
 						st, err := net.Store(s)
 						if err != nil {
-							panic(fmt.Sprintf("sim: repairing store %d: %v", s, err))
+							fail(fmt.Errorf("sim: repairing store %d: %w", s, err))
+							return
 						}
 						part, ok := st.(*cache.Partitioned)
 						if !ok {
@@ -777,7 +855,8 @@ func Run(sc Scenario) (Result, error) {
 						}
 						repaired, err := cache.NewStatic(coordAsg.Contents(s))
 						if err != nil {
-							panic(fmt.Sprintf("sim: repairing store %d: %v", s, err))
+							fail(fmt.Errorf("sim: repairing store %d: %w", s, err))
+							return
 						}
 						part.Coordinated = repaired
 					}
@@ -792,6 +871,9 @@ func Run(sc Scenario) (Result, error) {
 
 	eng.Run()
 
+	if runErr != nil {
+		return Result{}, runErr
+	}
 	if measured == 0 {
 		return Result{}, fmt.Errorf("sim: no measured requests completed")
 	}
@@ -861,6 +943,21 @@ func Run(sc Scenario) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// arrivalProc is one router's self-rescheduling Poisson arrival process.
+// Exactly one event per process is pending at any time; tick is the
+// single closure the process reschedules, so steady-state arrival
+// scheduling allocates nothing per request.
+type arrivalProc struct {
+	router topology.NodeID
+	gen    workload.Generator
+	rng    *rand.Rand // arrival clock; draws one ExpFloat64 per request
+	tick   func()
+	t      float64 // absolute time of the pending arrival
+	k      int     // requests issued so far
+	nReq   int     // total requests to issue
+	nWarm  int     // leading unmeasured requests
 }
 
 // min64 returns the smaller of a and b.

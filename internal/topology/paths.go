@@ -1,7 +1,6 @@
 package topology
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -47,14 +46,53 @@ type pqItem struct {
 	dist float64
 }
 
-// pq implements heap.Interface over pqItem by distance.
+// pq is a hand-rolled min-heap of pqItem by distance. It avoids
+// container/heap, whose interface boxes every pushed item into an `any`
+// and therefore allocates once per edge relaxation — a dominant
+// allocation source when all-pairs shortest paths run per simulation.
 type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+// push appends it and restores the heap invariant.
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum-distance item.
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].dist < h[smallest].dist {
+			smallest = l
+		}
+		if r < n && h[r].dist < h[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
 
 // dijkstra returns distances from src and, for every destination, the
 // first hop out of src along a shortest path.
@@ -68,9 +106,9 @@ func (g *Graph) dijkstra(src NodeID, weight func(halfEdge) float64) ([]float64, 
 		prev[i] = -1
 	}
 	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	q := pq{{node: src, dist: 0}}
+	for len(q) > 0 {
+		it := q.pop()
 		if done[it.node] {
 			continue
 		}
@@ -79,7 +117,7 @@ func (g *Graph) dijkstra(src NodeID, weight func(halfEdge) float64) ([]float64, 
 			if d := it.dist + weight(he); d < dist[he.to] {
 				dist[he.to] = d
 				prev[he.to] = it.node
-				heap.Push(q, pqItem{node: he.to, dist: d})
+				q.push(pqItem{node: he.to, dist: d})
 			}
 		}
 	}

@@ -25,17 +25,49 @@ type ZipfGenerator struct {
 }
 
 // NewZipf returns a seeded Zipf request generator over n contents with
-// exponent s.
+// exponent s. Callers that need many generators with identical (s, n) —
+// one per router, say — should build one ZipfFamily instead so the
+// sampler's precomputed state is shared rather than rebuilt per
+// generator.
 func NewZipf(s float64, n int64, seed int64) (*ZipfGenerator, error) {
-	sm, err := zipf.NewSampler(s, n, rand.New(rand.NewSource(seed)))
+	f, err := NewZipfFamily(s, n)
+	if err != nil {
+		return nil, err
+	}
+	return f.Gen(seed)
+}
+
+// Next implements Generator.
+func (g *ZipfGenerator) Next() catalog.ID { return catalog.ID(g.sampler.Next()) }
+
+// ZipfFamily is a shared immutable Zipf distribution from which any
+// number of independently seeded generators can be drawn. The expensive
+// per-(s, N) sampler setup is done once; generators differ only in
+// their RNG stream, so two generators with the same seed produce
+// identical request sequences.
+type ZipfFamily struct {
+	shape *zipf.Shape
+}
+
+// NewZipfFamily precomputes the shared sampler state for exponent s over
+// n contents.
+func NewZipfFamily(s float64, n int64) (*ZipfFamily, error) {
+	sh, err := zipf.NewShape(s, n)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &ZipfFamily{shape: sh}, nil
+}
+
+// Gen returns a generator over the family's distribution driven by the
+// given seed.
+func (f *ZipfFamily) Gen(seed int64) (*ZipfGenerator, error) {
+	sm, err := f.shape.Sampler(rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 	return &ZipfGenerator{sampler: sm}, nil
 }
-
-// Next implements Generator.
-func (g *ZipfGenerator) Next() catalog.ID { return catalog.ID(g.sampler.Next()) }
 
 // Sequence replays a fixed pattern of requests cyclically. The motivating
 // example's flows {a, a, b} are Sequence{1, 1, 2}.

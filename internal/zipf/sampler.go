@@ -6,18 +6,15 @@ import (
 	"math/rand"
 )
 
-// Sampler draws ranks from a Zipf distribution with any exponent s > 0.
-//
-// It implements the rejection-inversion method of Hörmann and Derflinger
-// ("Rejection-inversion to generate variates from monotone discrete
-// distributions", ACM TOMACS 1996). Unlike math/rand's Zipf generator it
-// supports the empirically dominant range s in (0,1) and runs in O(1)
-// expected time per sample regardless of N, which lets the simulator use
-// catalogs of 10^6..10^12 contents without a CDF table.
-type Sampler struct {
-	s   float64
-	n   int64
-	rng *rand.Rand
+// Shape is the RNG-independent precomputed state of a rejection-inversion
+// Zipf sampler: the distribution parameters plus the transformed-density
+// constants every draw consults. A Shape is immutable after construction
+// and safe to share across goroutines and across any number of samplers,
+// so the per-(s, N) setup cost is paid once per simulation run instead of
+// once per router.
+type Shape struct {
+	s float64
+	n int64
 
 	hx1      float64 // H(1.5) - 1
 	hn       float64 // H(N + 0.5)
@@ -25,37 +22,49 @@ type Sampler struct {
 	oneMinus float64 // 1 - s, cached
 }
 
-// NewSampler returns a sampler over ranks 1..n with exponent s, driven by
-// the given seeded source. The rng must not be shared across goroutines.
-func NewSampler(s float64, n int64, rng *rand.Rand) (*Sampler, error) {
+// NewShape precomputes the sampler constants for exponent s over ranks
+// 1..n.
+func NewShape(s float64, n int64) (*Shape, error) {
 	if !(s > 0) || math.IsNaN(s) || math.IsInf(s, 1) {
 		return nil, fmt.Errorf("zipf: sampler exponent must be positive and finite, got %v", s)
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("zipf: sampler population must be >= 1, got %d", n)
 	}
+	sh := &Shape{s: s, n: n, oneMinus: 1 - s}
+	sh.hx1 = sh.hIntegral(1.5) - 1
+	sh.hn = sh.hIntegral(float64(n) + 0.5)
+	sh.sMinus = 2 - sh.hIntegralInverse(sh.hIntegral(2.5)-sh.h(2))
+	return sh, nil
+}
+
+// S returns the exponent.
+func (sh *Shape) S() float64 { return sh.s }
+
+// N returns the population size.
+func (sh *Shape) N() int64 { return sh.n }
+
+// Sampler returns a sampler over this shape driven by the given seeded
+// source. The rng must not be shared across goroutines.
+func (sh *Shape) Sampler(rng *rand.Rand) (*Sampler, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("zipf: sampler requires a non-nil *rand.Rand")
 	}
-	sm := &Sampler{s: s, n: n, rng: rng, oneMinus: 1 - s}
-	sm.hx1 = sm.hIntegral(1.5) - 1
-	sm.hn = sm.hIntegral(float64(n) + 0.5)
-	sm.sMinus = 2 - sm.hIntegralInverse(sm.hIntegral(2.5)-sm.h(2))
-	return sm, nil
+	return &Sampler{shape: sh, rng: rng}, nil
 }
 
 // h is the unnormalized density x^-s.
-func (sm *Sampler) h(x float64) float64 { return math.Pow(x, -sm.s) }
+func (sh *Shape) h(x float64) float64 { return math.Pow(x, -sh.s) }
 
 // hIntegral is an antiderivative of h: (x^(1-s)-1)/(1-s), or ln x at s=1.
-func (sm *Sampler) hIntegral(x float64) float64 {
+func (sh *Shape) hIntegral(x float64) float64 {
 	lx := math.Log(x)
-	return helper2(sm.oneMinus*lx) * lx
+	return helper2(sh.oneMinus*lx) * lx
 }
 
 // hIntegralInverse inverts hIntegral.
-func (sm *Sampler) hIntegralInverse(x float64) float64 {
-	t := x * sm.oneMinus
+func (sh *Shape) hIntegralInverse(x float64) float64 {
+	t := x * sh.oneMinus
 	if t < -1 {
 		// Numerical round-off can push t slightly below the domain
 		// boundary; clamp so Exp below stays finite.
@@ -64,18 +73,45 @@ func (sm *Sampler) hIntegralInverse(x float64) float64 {
 	return math.Exp(helper1(t) * x)
 }
 
+// Sampler draws ranks from a Zipf distribution with any exponent s > 0.
+//
+// It implements the rejection-inversion method of Hörmann and Derflinger
+// ("Rejection-inversion to generate variates from monotone discrete
+// distributions", ACM TOMACS 1996). Unlike math/rand's Zipf generator it
+// supports the empirically dominant range s in (0,1) and runs in O(1)
+// expected time per sample regardless of N, which lets the simulator use
+// catalogs of 10^6..10^12 contents without a CDF table. Samplers sharing
+// a Shape differ only in their RNG stream.
+type Sampler struct {
+	shape *Shape
+	rng   *rand.Rand
+}
+
+// NewSampler returns a sampler over ranks 1..n with exponent s, driven by
+// the given seeded source. The rng must not be shared across goroutines.
+// Callers creating many samplers with identical (s, n) should build one
+// Shape and call Shape.Sampler instead to share the precomputed state.
+func NewSampler(s float64, n int64, rng *rand.Rand) (*Sampler, error) {
+	sh, err := NewShape(s, n)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Sampler(rng)
+}
+
 // Next returns the next sampled rank in [1, n].
 func (sm *Sampler) Next() int64 {
+	sh := sm.shape
 	for {
-		u := sm.hn + sm.rng.Float64()*(sm.hx1-sm.hn)
-		x := sm.hIntegralInverse(u)
+		u := sh.hn + sm.rng.Float64()*(sh.hx1-sh.hn)
+		x := sh.hIntegralInverse(u)
 		k := int64(x + 0.5)
 		if k < 1 {
 			k = 1
-		} else if k > sm.n {
-			k = sm.n
+		} else if k > sh.n {
+			k = sh.n
 		}
-		if float64(k)-x <= sm.sMinus || u >= sm.hIntegral(float64(k)+0.5)-sm.h(float64(k)) {
+		if float64(k)-x <= sh.sMinus || u >= sh.hIntegral(float64(k)+0.5)-sh.h(float64(k)) {
 			return k
 		}
 	}
