@@ -41,6 +41,9 @@ func TestBenchBaseline(t *testing.T) {
 		"BenchmarkMetricVariant", "BenchmarkAdaptiveDrift",
 		"BenchmarkSimRun/Coordinated/US-A", "BenchmarkSimRun/LRU/US-A",
 		"BenchmarkSimulationThroughput",
+		"BenchmarkAPSP/Abilene", "BenchmarkAPSP/CERNET",
+		"BenchmarkAPSP/GEANT", "BenchmarkAPSP/US-A",
+		"BenchmarkTopologyAll",
 	}
 	dateRe := regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})\.json$`)
 	for _, path := range matches {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ccncoord/internal/experiments"
+	"ccncoord/internal/topology"
 )
 
 // This file holds one benchmark per table and figure of the paper's
@@ -325,6 +326,41 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sc.Requests), "requests/op")
+}
+
+// benchAPSPSink prevents dead-code elimination of shortest-path runs.
+var benchAPSPSink *topology.APSP
+
+// BenchmarkAPSP measures one full all-pairs shortest-path recompute per
+// evaluation topology. ScaleLatencies(1) leaves every latency unchanged
+// but bumps the graph's cache generation, so each iteration pays the
+// real solve rather than a cache hit.
+func BenchmarkAPSP(b *testing.B) {
+	for _, g := range topology.All() {
+		b.Run(g.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := g.ScaleLatencies(1); err != nil {
+					b.Fatal(err)
+				}
+				benchAPSPSink = g.ShortestPathsLatency()
+			}
+		})
+	}
+}
+
+// benchTopoSink prevents dead-code elimination of dataset construction.
+var benchTopoSink []*topology.Graph
+
+// BenchmarkTopologyAll measures handing out the four calibrated
+// evaluation datasets. The first call ever pays the memoized build
+// (seed search + calibration); steady state is four clones sharing the
+// precomputed routing caches.
+func BenchmarkTopologyAll(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchTopoSink = topology.All()
+	}
 }
 
 // Example demonstrates the one-call provisioning flow.

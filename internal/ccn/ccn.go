@@ -247,7 +247,10 @@ type Network struct {
 	droppedData           int64
 	retransmissions       int64
 
-	// Fault-layer state and counters (Options.Faults only).
+	// Fault-layer state and counters (Options.Faults only). dyn is the
+	// incremental rerouting engine, attached lazily on the first fault
+	// event; n.lat always points at its current matrix afterwards.
+	dyn             *topology.DynAPSP
 	downLinks       map[[2]topology.NodeID]bool
 	faultDrops      int64 // transmissions blackholed by down links/routers
 	expiredEntries  int64 // PIT entries whose retry budget ran out
@@ -437,11 +440,13 @@ func (n *Network) SetRouterState(r topology.NodeID, up bool) error {
 	if nd.crashed == !up {
 		return nil // idempotent
 	}
+	n.ensureDyn()
 	nd.crashed = !up
 	if nd.crashed {
 		n.flushPIT(nd)
 	}
-	n.recomputeRoutes()
+	n.routeRecomputes++
+	n.lat = n.dyn.SetNode(r, up)
 	return nil
 }
 
@@ -459,12 +464,14 @@ func (n *Network) SetLinkState(a, b topology.NodeID, up bool) error {
 	if n.downLinks[key] == !up {
 		return nil // idempotent
 	}
+	n.ensureDyn()
 	if up {
 		delete(n.downLinks, key)
 	} else {
 		n.downLinks[key] = true
 	}
-	n.recomputeRoutes()
+	n.routeRecomputes++
+	n.lat = n.dyn.SetLink(a, b, up)
 	return nil
 }
 
@@ -486,35 +493,37 @@ func (n *Network) crashedRouter(r topology.NodeID) bool {
 	return n.opts.Faults && n.nodes[r].crashed
 }
 
-// recomputeRoutes rebuilds the latency-shortest forwarding tables over
-// the alive subgraph: down links and every link incident to a crashed
-// router are excluded, modeling an instantly converged routing plane
-// (the data plane's retry timers cover the packets in flight during
-// the transition).
-func (n *Network) recomputeRoutes() {
-	n.routeRecomputes++
-	anyDown := len(n.downLinks) > 0
-	if !anyDown {
-		for _, nd := range n.nodes {
-			if nd.crashed {
-				anyDown = true
-				break
-			}
-		}
-	}
-	if !anyDown {
-		n.lat = n.graph.ShortestPathsLatency()
+// ensureDyn lazily attaches the incremental rerouting engine, which
+// repairs forwarding tables per fault event — recomputing only sources
+// whose shortest-path tree used the failed element — instead of
+// rebuilding the alive subgraph from scratch. Down links and every link
+// incident to a crashed router are excluded from routing, modeling an
+// instantly converged routing plane (the data plane's retry timers
+// cover the packets in flight during the transition). If fault state
+// already exists when the engine attaches (only possible after a
+// permanent FailLink reset it), the seed state is ordered
+// deterministically.
+func (n *Network) ensureDyn() {
+	if n.dyn != nil {
 		return
 	}
-	alive := n.graph.Clone()
-	for _, e := range n.graph.EdgeList() {
-		if n.linkDown(e.A, e.B) || n.nodes[e.A].crashed || n.nodes[e.B].crashed {
-			if err := alive.RemoveEdge(e.A, e.B); err != nil {
-				panic(fmt.Sprintf("ccn: filtering dead link %d-%d: %v", e.A, e.B, err))
-			}
+	var downNodes []topology.NodeID
+	for _, nd := range n.nodes {
+		if nd.crashed {
+			downNodes = append(downNodes, nd.id)
 		}
 	}
-	n.lat = alive.ShortestPathsLatency()
+	downLinks := make([][2]topology.NodeID, 0, len(n.downLinks))
+	for key := range n.downLinks {
+		downLinks = append(downLinks, key)
+	}
+	sort.Slice(downLinks, func(i, j int) bool {
+		if downLinks[i][0] != downLinks[j][0] {
+			return downLinks[i][0] < downLinks[j][0]
+		}
+		return downLinks[i][1] < downLinks[j][1]
+	})
+	n.dyn = topology.NewDynAPSP(n.graph, downNodes, downLinks)
 }
 
 // flushPIT drops every pending entry of a crashing router: client
@@ -630,7 +639,7 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID, forceOrigin bool) {
 	if !forceOrigin && n.opts.Directory != nil {
 		if owner, ok := n.opts.Directory.Owner(id); ok && owner != nid {
-			if next := n.lat.Next[nid][owner]; next >= 0 {
+			if next := n.lat.Next(nid, owner); next >= 0 {
 				n.forwardInterest(nid, next, id)
 				return
 			}
@@ -782,7 +791,7 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 		}
 		return
 	}
-	next := n.lat.Next[nid][n.originRouter]
+	next := n.lat.Next(nid, n.originRouter)
 	if next < 0 {
 		// Partitioned from the origin gateway: nowhere to send.
 		n.faultDrops++

@@ -92,5 +92,9 @@ func (n *Network) FailLink(a, b topology.NodeID) error {
 	}
 	n.graph = trial
 	n.lat = trial.ShortestPathsLatency()
+	// The permanent topology change invalidates any attached incremental
+	// rerouting engine; the next fault event re-attaches one to the new
+	// graph, seeded with whatever down state still exists.
+	n.dyn = nil
 	return nil
 }

@@ -590,9 +590,12 @@ func Run(sc Scenario) (Result, error) {
 
 	var latency, hops, peerHops metrics.Mean
 	var tierLat [3]metrics.Mean
-	// The histogram range covers the worst possible round trip: access,
-	// the network diameter twice, and the origin uplink, doubled for
-	// slack.
+	// The histogram range covers the worst possible round trip — the
+	// leading 2 converts the one-way sum (access latency + there-and-back
+	// network diameter + origin uplink) to a round trip, and the trailing
+	// *2 is headroom for retransmission delays. ShortestPathsLatency here
+	// is the same cached matrix the embedded ccn.Network builds its FIBs
+	// from (NewNetwork ran first), so this line no longer costs an APSP.
 	maxRTT := 2 * (sc.AccessLatency + 2*sc.Topology.ShortestPathsLatency().MaxDist() + sc.OriginLatency) * 2
 	latencyHist, err := metrics.NewHistogram(0, math.Max(maxRTT, 1), 2048)
 	if err != nil {

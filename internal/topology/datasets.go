@@ -132,22 +132,44 @@ func buildSynth(spec synthSpec) *Graph {
 	var best *Graph
 	var bestSeed int64
 	bestErr := math.Inf(1)
+	// The search scores candidates by mean pairwise hop count, which BFS
+	// computes with reusable scratch instead of a full Dijkstra APSP per
+	// candidate (unit weights make the distances identical, and integer
+	// sums are exact in float64, so the selected seed is unchanged). One
+	// rand source serves every trial — Seed fully resets it, yielding the
+	// same streams as a fresh source per seed — and node names, which
+	// depend only on the spec, are built once.
+	src := rand.NewSource(0)
+	rng := rand.New(src)
+	bfs := newBFSScratch(spec.nodes)
+	ws := newWaxScratch(spec.nodes)
+	waxNames := make([]string, spec.nodes)
+	rcNames := make([]string, spec.nodes)
+	for i := range waxNames {
+		waxNames[i] = fmt.Sprintf("%s-%d", spec.name, i)
+		rcNames[i] = fmt.Sprintf("r%d", i)
+	}
 	consider := func(g *Graph, err error, seed int64) {
-		if err != nil || !g.Connected() {
+		if err != nil {
 			return
 		}
-		hops := g.ShortestPathsHops().MeanDist(false)
+		hops, ok := g.meanHopsConnected(bfs)
+		if !ok {
+			return
+		}
 		if e := math.Abs(hops - target.TierGapHops); e < bestErr {
 			best, bestErr, bestSeed = g, e, seed
 		}
 	}
 	for seed := int64(1); seed <= seedTrials; seed++ {
-		g, err := Waxman(spec.name, spec.nodes, spec.links, spec.fieldKm, spec.perHopMs, seed)
+		src.Seed(seed)
+		g, err := waxmanRNG(rng, spec.name, spec.nodes, spec.links, spec.fieldKm, spec.perHopMs, waxNames, ws)
 		consider(g, err, seed)
 		// Non-geometric wiring reaches hop statistics the geometric
 		// generator cannot; latencies are recalibrated afterwards either
 		// way.
-		g, err = RandomConnected(spec.nodes, spec.links, 2, 12, seed)
+		src.Seed(seed)
+		g, err = randomConnectedRNG(rng, spec.nodes, spec.links, 2, 12, rcNames)
 		if err == nil {
 			g.name = spec.name
 		}
@@ -186,7 +208,7 @@ func calibrate(g *Graph, target PaperParams, seed int64) {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			jit := 0.9 + 0.2*rng.Float64()
-			v := lat.Dist[i][j] * jit
+			v := lat.Dist(NodeID(i), NodeID(j)) * jit
 			m[i][j], m[j][i] = v, v
 		}
 	}
@@ -229,9 +251,15 @@ var (
 )
 
 // Abilene returns the real Internet2/Abilene topology calibrated to Table
-// III. The returned graph is a fresh copy; callers may mutate it.
+// III. The dataset is built once behind a sync.Once with its
+// shortest-path caches pre-warmed; the returned graph is a fresh Clone
+// sharing those caches, and callers may mutate it freely (the first
+// mutation invalidates only the clone's cache).
 func Abilene() *Graph {
-	abileneOnce.Do(func() { abileneG = buildAbilene() })
+	abileneOnce.Do(func() {
+		abileneG = buildAbilene()
+		abileneG.warmRouteCache()
+	})
 	return abileneG.Clone()
 }
 
@@ -239,7 +267,9 @@ func synth(name string) *Graph {
 	synthOnce.Do(func() {
 		synthG = make(map[string]*Graph, len(synthSpecs))
 		for _, spec := range synthSpecs {
-			synthG[spec.name] = buildSynth(spec)
+			g := buildSynth(spec)
+			g.warmRouteCache()
+			synthG[spec.name] = g
 		}
 	})
 	return synthG[name].Clone()

@@ -1,0 +1,296 @@
+package topology
+
+import "math"
+
+// DynAPSP maintains latency shortest paths over the alive subgraph of a
+// base graph under a sequence of single-element fault events (link or
+// node down/up). Instead of rerunning Dijkstra from every source per
+// event — the cost the fault-aware forwarding plane used to pay — it
+// repairs only the sources whose shortest-path trees actually involve
+// the changed element, detected from the Parent matrix:
+//
+//   - link (a,b) down: source s is affected iff its tree uses the edge,
+//     i.e. Parent(s,b)==a or Parent(s,a)==b.
+//   - link (a,b) up: s is affected iff an endpoint improves
+//     (Dist(s,a)+w < Dist(s,b) or vice versa); by the triangle
+//     inequality no other destination can improve if neither does.
+//   - node v down: sources routing through v (some Parent(s,u)==v) are
+//     recomputed; for every other source v was at most a leaf, so only
+//     the (s,v) entries are patched to unreachable.
+//   - node v up: v's own row is recomputed, then s is affected iff some
+//     destination improves via v (Dist(v,s)+Dist(v,d) < Dist(s,d) for
+//     d != v); otherwise only column v is patched, using the symmetry
+//     of the undirected alive subgraph (Next(s,v)=Parent(v,s),
+//     Parent(s,v)=Next(v,s)).
+//
+// When the last fault clears, the matrix is restored by copying the
+// pristine all-up base, so arbitrarily long fault/repair schedules
+// never accumulate drift. Repaired rows are produced by the same
+// Dijkstra (same adjacency iteration order — RemoveEdge preserves
+// relative edge order, and the alive scan skips dead edges in place) as
+// a full recompute over the alive subgraph, so distances match a fresh
+// computation exactly; under exactly equal-cost multipath ties the
+// retained unaffected rows may pick a different (equally shortest)
+// first hop than a from-scratch run would. The evaluation topologies
+// carry continuous float latencies where exact ties do not occur.
+//
+// DynAPSP is not safe for concurrent use; the base graph must not be
+// mutated while attached.
+type DynAPSP struct {
+	g        *Graph
+	base     *APSP // pristine all-up matrix (shared cache entry; immutable)
+	cur      *APSP // current alive-subgraph matrix (owned, mutable)
+	nodeDown []bool
+	numDown  int
+	linkDown map[[2]NodeID]bool
+	scratch  *spScratch
+}
+
+// dynKey normalizes an undirected link to a map key.
+func dynKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// NewDynAPSP attaches an incremental shortest-path maintainer to g,
+// optionally seeded with already-down elements (downNodes in ID order
+// and downLinks in sorted-key order keep the construction
+// deterministic). With no initial faults the current matrix is a copy
+// of the graph's cached all-up APSP; otherwise every source is solved
+// once over the alive subgraph.
+func NewDynAPSP(g *Graph, downNodes []NodeID, downLinks [][2]NodeID) *DynAPSP {
+	d := &DynAPSP{
+		g:        g,
+		base:     g.ShortestPathsLatency(),
+		nodeDown: make([]bool, g.N()),
+		linkDown: make(map[[2]NodeID]bool),
+		scratch:  newSPScratch(g.N(), g.Edges()),
+	}
+	d.cur = d.base.clone()
+	for _, v := range downNodes {
+		if !d.nodeDown[v] {
+			d.nodeDown[v] = true
+			d.numDown++
+		}
+	}
+	for _, l := range downLinks {
+		d.linkDown[dynKey(l[0], l[1])] = true
+	}
+	if d.numDown > 0 || len(d.linkDown) > 0 {
+		for s := 0; s < d.cur.n; s++ {
+			d.recomputeSource(NodeID(s))
+		}
+	}
+	return d
+}
+
+// Current returns the matrix for the present alive subgraph. It is
+// repaired in place: the pointer stays valid across events and must be
+// treated as read-only by callers.
+func (d *DynAPSP) Current() *APSP { return d.cur }
+
+// allUp reports whether no element is currently down.
+func (d *DynAPSP) allUp() bool { return d.numDown == 0 && len(d.linkDown) == 0 }
+
+// SetLink marks the undirected link (a, b) down or up and repairs the
+// affected sources. It returns the current matrix.
+func (d *DynAPSP) SetLink(a, b NodeID, up bool) *APSP {
+	key := dynKey(a, b)
+	if d.linkDown[key] != up {
+		return d.cur // idempotent
+	}
+	if up {
+		delete(d.linkDown, key)
+		if d.allUp() {
+			d.cur.copyFrom(d.base)
+			return d.cur
+		}
+		d.repairLinkUp(a, b)
+	} else {
+		d.linkDown[key] = true
+		d.repairLinkDown(a, b)
+	}
+	return d.cur
+}
+
+// SetNode marks router v down or up and repairs the affected sources.
+// It returns the current matrix.
+func (d *DynAPSP) SetNode(v NodeID, up bool) *APSP {
+	if d.nodeDown[v] != up {
+		return d.cur // idempotent
+	}
+	if up {
+		d.nodeDown[v] = false
+		d.numDown--
+		if d.allUp() {
+			d.cur.copyFrom(d.base)
+			return d.cur
+		}
+		d.repairNodeUp(v)
+	} else {
+		d.nodeDown[v] = true
+		d.numDown++
+		d.repairNodeDown(v)
+	}
+	return d.cur
+}
+
+// repairLinkDown recomputes every source whose shortest-path tree used
+// the now-dead edge (a, b). Rows of down sources are already isolated
+// (all parents -1), so they never match.
+func (d *DynAPSP) repairLinkDown(a, b NodeID) {
+	for s := 0; s < d.cur.n; s++ {
+		src := NodeID(s)
+		if d.cur.Parent(src, b) == a || d.cur.Parent(src, a) == b {
+			d.recomputeSource(src)
+		}
+	}
+}
+
+// repairLinkUp recomputes every source for which the restored edge
+// shortens a path. If either endpoint is down the edge stays
+// effectively dead and nothing changes.
+func (d *DynAPSP) repairLinkUp(a, b NodeID) {
+	if d.nodeDown[a] || d.nodeDown[b] {
+		return
+	}
+	w, err := d.g.EdgeLatency(a, b)
+	if err != nil {
+		return // link no longer in the base graph; nothing to restore
+	}
+	for s := 0; s < d.cur.n; s++ {
+		src := NodeID(s)
+		if d.nodeDown[src] {
+			continue
+		}
+		da, db := d.cur.Dist(src, a), d.cur.Dist(src, b)
+		if da+w < db || db+w < da {
+			d.recomputeSource(src)
+		}
+	}
+}
+
+// repairNodeDown isolates v's row and repairs the sources that routed
+// through v; for sources where v was a leaf of the tree only the (s,v)
+// entries change.
+func (d *DynAPSP) repairNodeDown(v NodeID) {
+	d.recomputeSource(v) // nodeDown[v] is set: the row becomes isolated
+	n := d.cur.n
+	for s := 0; s < n; s++ {
+		src := NodeID(s)
+		if src == v || d.nodeDown[src] {
+			continue
+		}
+		row := d.cur.parent[s*n : s*n+n]
+		through := false
+		for _, p := range row {
+			if p == v {
+				through = true
+				break
+			}
+		}
+		if through {
+			d.recomputeSource(src)
+			continue
+		}
+		d.cur.dist[s*n+int(v)] = math.Inf(1)
+		d.cur.next[s*n+int(v)] = -1
+		d.cur.parent[s*n+int(v)] = -1
+	}
+}
+
+// repairNodeUp recomputes v's row over the alive subgraph, then repairs
+// every source that gains a shorter path through v; the remaining
+// sources only need their column-v entries, derived from v's row by
+// undirected symmetry. (The symmetric distance is copied from v's run,
+// whose additions happened in reverse path order; forwarding consumes
+// only Next, so a last-ulp asymmetry cannot surface.)
+func (d *DynAPSP) repairNodeUp(v NodeID) {
+	d.recomputeSource(v)
+	n := d.cur.n
+	vd := d.cur.dist[int(v)*n : int(v)*n+n]
+	for s := 0; s < n; s++ {
+		src := NodeID(s)
+		if src == v || d.nodeDown[src] {
+			continue
+		}
+		dvs := vd[s]
+		if math.IsInf(dvs, 1) {
+			continue // v cannot reach s, so s cannot route via v
+		}
+		srow := d.cur.dist[s*n : s*n+n]
+		improved := false
+		for dst := 0; dst < n; dst++ {
+			if dst == int(v) {
+				continue
+			}
+			if dvs+vd[dst] < srow[dst] {
+				improved = true
+				break
+			}
+		}
+		if improved {
+			d.recomputeSource(src)
+			continue
+		}
+		d.cur.dist[s*n+int(v)] = dvs
+		d.cur.next[s*n+int(v)] = d.cur.Parent(v, src)
+		d.cur.parent[s*n+int(v)] = d.cur.Next(v, src)
+	}
+}
+
+// recomputeSource runs Dijkstra from src over the alive subgraph,
+// rewriting src's rows in place. Down nodes never enter the heap: every
+// edge into one is skipped, and a down source yields an isolated row.
+func (d *DynAPSP) recomputeSource(src NodeID) {
+	out := d.cur
+	n := out.n
+	base := int(src) * n
+	dist := out.dist[base : base+n]
+	next := out.next[base : base+n]
+	parent := out.parent[base : base+n]
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		next[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	if d.nodeDown[src] {
+		return
+	}
+	s := d.scratch
+	for i := range s.done {
+		s.done[i] = false
+	}
+	s.order = s.order[:0]
+	s.heap = s.heap[:0]
+	s.heap.push(pqItem{node: src, dist: 0})
+	anyLink := len(d.linkDown) > 0
+	for len(s.heap) > 0 {
+		it := s.heap.pop()
+		if s.done[it.node] {
+			continue
+		}
+		s.done[it.node] = true
+		s.order = append(s.order, it.node)
+		for _, he := range d.g.adj[it.node] {
+			if d.nodeDown[he.to] || (anyLink && d.linkDown[dynKey(it.node, he.to)]) {
+				continue
+			}
+			if dd := it.dist + he.latency; dd < dist[he.to] {
+				dist[he.to] = dd
+				parent[he.to] = it.node
+				s.heap.push(pqItem{node: he.to, dist: dd})
+			}
+		}
+	}
+	for _, v := range s.order[1:] {
+		if parent[v] == src {
+			next[v] = v
+		} else {
+			next[v] = next[parent[v]]
+		}
+	}
+}

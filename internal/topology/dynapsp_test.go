@@ -1,0 +1,321 @@
+package topology
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// refAlive computes the reference routing state the fault-aware CCN
+// layer used before incremental repair existed: clone the base graph,
+// remove every down link and every link incident to a down node, and
+// solve all-pairs shortest paths from scratch.
+func refAlive(t *testing.T, g *Graph, nodeDown map[NodeID]bool, linkDown map[[2]NodeID]bool) *APSP {
+	t.Helper()
+	alive := g.Clone()
+	for _, e := range g.EdgeList() {
+		if nodeDown[e.A] || nodeDown[e.B] || linkDown[dynKey(e.A, e.B)] {
+			if err := alive.RemoveEdge(e.A, e.B); err != nil {
+				t.Fatalf("removing %d-%d: %v", e.A, e.B, err)
+			}
+		}
+	}
+	return alive.ShortestPathsLatency()
+}
+
+// checkDynMatches asserts the incrementally repaired matrix is
+// equivalent to the full recompute: distances agree within 1e-9 (the
+// symmetry patch on node recovery may reverse a float addition order)
+// and every finite Next pointer walks an alive path of exactly the
+// reported length.
+func checkDynMatches(t *testing.T, stage string, g *Graph, dyn, ref *APSP, nodeDown map[NodeID]bool, linkDown map[[2]NodeID]bool) {
+	t.Helper()
+	n := dyn.N()
+	if n != ref.N() {
+		t.Fatalf("%s: size mismatch %d vs %d", stage, n, ref.N())
+	}
+	for s := NodeID(0); int(s) < n; s++ {
+		for d := NodeID(0); int(d) < n; d++ {
+			dd, rd := dyn.Dist(s, d), ref.Dist(s, d)
+			switch {
+			case math.IsInf(dd, 1) != math.IsInf(rd, 1):
+				t.Fatalf("%s: reachability of (%d,%d) diverged: dyn %v, ref %v", stage, s, d, dd, rd)
+			case math.IsInf(dd, 1):
+				if dyn.Next(s, d) != -1 {
+					t.Fatalf("%s: unreachable (%d,%d) has next %d", stage, s, d, dyn.Next(s, d))
+				}
+				continue
+			case math.Abs(dd-rd) > 1e-9:
+				t.Fatalf("%s: dist(%d,%d) = %v, full recompute %v", stage, s, d, dd, rd)
+			}
+			if s == d {
+				continue
+			}
+			// Walk dyn's first-hop pointers: every hop must be an alive
+			// link and the accumulated latency must equal the distance.
+			var sum float64
+			cur := s
+			for steps := 0; cur != d; steps++ {
+				if steps > n {
+					t.Fatalf("%s: next-pointer loop from %d to %d", stage, s, d)
+				}
+				nxt := dyn.Next(cur, d)
+				if nxt < 0 {
+					t.Fatalf("%s: path %d->%d dead-ends at %d", stage, s, d, cur)
+				}
+				if nodeDown[cur] || nodeDown[nxt] || linkDown[dynKey(cur, nxt)] {
+					t.Fatalf("%s: path %d->%d crosses dead element %d-%d", stage, s, d, cur, nxt)
+				}
+				w, err := g.EdgeLatency(cur, nxt)
+				if err != nil {
+					t.Fatalf("%s: path %d->%d uses missing link: %v", stage, s, d, err)
+				}
+				sum += w
+				cur = nxt
+			}
+			if math.Abs(sum-dd) > 1e-9 {
+				t.Fatalf("%s: path %d->%d walks %v, dist says %v", stage, s, d, sum, dd)
+			}
+		}
+	}
+}
+
+// TestDynAPSPMatchesFullRecompute drives a scripted schedule of link
+// and router fault/repair events — including overlapping faults, a
+// link event under a crashed endpoint, and idempotent repeats — and
+// checks the incremental repair against a from-scratch recompute after
+// every event.
+func TestDynAPSPMatchesFullRecompute(t *testing.T) {
+	g, err := Waxman("dyntest", 20, 40, 4000, 0.4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.EdgeList()
+	// A node with degree > 1 so taking it down reroutes traffic, plus
+	// one of its incident links for the overlap cases.
+	center := edges[0].A
+	var incident Edge
+	for _, e := range edges {
+		if e.A == center || e.B == center {
+			incident = e
+			break
+		}
+	}
+	far := edges[len(edges)-1]
+
+	dyn := NewDynAPSP(g, nil, nil)
+	nodeDown := map[NodeID]bool{}
+	linkDown := map[[2]NodeID]bool{}
+
+	type event struct {
+		name string
+		run  func() *APSP
+	}
+	link := func(e Edge, up bool) func() *APSP {
+		return func() *APSP {
+			if up {
+				delete(linkDown, dynKey(e.A, e.B))
+			} else {
+				linkDown[dynKey(e.A, e.B)] = true
+			}
+			return dyn.SetLink(e.A, e.B, up)
+		}
+	}
+	node := func(v NodeID, up bool) func() *APSP {
+		return func() *APSP {
+			if up {
+				delete(nodeDown, v)
+			} else {
+				nodeDown[v] = true
+			}
+			return dyn.SetNode(v, up)
+		}
+	}
+	schedule := []event{
+		{"far link down", link(far, false)},
+		{"incident link down", link(incident, false)},
+		{"center node down", node(center, false)},
+		{"far link up", link(far, true)},
+		{"incident link up under crashed node", link(incident, true)},
+		{"second node down", node(far.B, false)},
+		{"center node up", node(center, true)},
+		{"far link down again", link(far, false)},
+		{"second node up", node(far.B, true)},
+		{"far link up", link(far, true)},
+	}
+	for _, ev := range schedule {
+		cur := ev.run()
+		ref := refAlive(t, g, nodeDown, linkDown)
+		checkDynMatches(t, ev.name, g, cur, ref, nodeDown, linkDown)
+	}
+
+	// Everything is back up: the matrix must be restored bit-for-bit
+	// from the pristine base.
+	base := g.ShortestPathsLatency()
+	cur := dyn.Current()
+	for s := NodeID(0); int(s) < cur.N(); s++ {
+		for d := NodeID(0); int(d) < cur.N(); d++ {
+			if cur.Dist(s, d) != base.Dist(s, d) || cur.Next(s, d) != base.Next(s, d) {
+				t.Fatalf("all-up state not pristine at (%d,%d)", s, d)
+			}
+		}
+	}
+
+	// Idempotent repeats must not change anything.
+	if got := dyn.SetLink(far.A, far.B, true); got != cur {
+		t.Fatal("idempotent link-up replaced the matrix")
+	}
+	if got := dyn.SetNode(center, true); got != cur {
+		t.Fatal("idempotent node-up replaced the matrix")
+	}
+}
+
+// TestDynAPSPSeededConstruction checks that attaching the maintainer to
+// a graph with pre-existing fault state solves the alive subgraph, not
+// the pristine one.
+func TestDynAPSPSeededConstruction(t *testing.T) {
+	g, err := Waxman("dynseed", 15, 25, 3000, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.EdgeList()[3]
+	var v NodeID
+	for _, cand := range g.Nodes() {
+		if cand.ID != e.A && cand.ID != e.B {
+			v = cand.ID
+			break
+		}
+	}
+	dyn := NewDynAPSP(g, []NodeID{v}, [][2]NodeID{{e.A, e.B}})
+	nodeDown := map[NodeID]bool{v: true}
+	linkDown := map[[2]NodeID]bool{dynKey(e.A, e.B): true}
+	ref := refAlive(t, g, nodeDown, linkDown)
+	checkDynMatches(t, "seeded", g, dyn.Current(), ref, nodeDown, linkDown)
+}
+
+// TestAPSPCacheInvalidation checks the generation-stamped cache: every
+// mutator invalidates it, an unchanged graph returns the same matrix
+// pointer, cached results equal a fresh solve exactly, and clones share
+// the cache until they diverge.
+func TestAPSPCacheInvalidation(t *testing.T) {
+	g, err := RandomConnected(12, 20, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAPSP := func(a, b *APSP) bool {
+		if a.n != b.n {
+			return false
+		}
+		for i := range a.dist {
+			// NaN-free by construction; direct comparison is exact.
+			if a.dist[i] != b.dist[i] || a.next[i] != b.next[i] || a.parent[i] != b.parent[i] {
+				return false
+			}
+		}
+		return true
+	}
+	check := func(stage string) {
+		t.Helper()
+		lat := g.ShortestPathsLatency()
+		if !sameAPSP(lat, g.shortestPathsLatencyFresh()) {
+			t.Fatalf("%s: cached latency APSP differs from fresh solve", stage)
+		}
+		if g.ShortestPathsLatency() != lat {
+			t.Fatalf("%s: unchanged graph recomputed its latency cache", stage)
+		}
+		hops := g.ShortestPathsHops()
+		if !sameAPSP(hops, g.shortestPathsHopsFresh()) {
+			t.Fatalf("%s: cached hops APSP differs from fresh solve", stage)
+		}
+		if g.ShortestPathsHops() != hops {
+			t.Fatalf("%s: unchanged graph recomputed its hops cache", stage)
+		}
+	}
+
+	check("initial")
+	prev := g.ShortestPathsLatency()
+
+	m := make([][]float64, g.N())
+	for i := range m {
+		m[i] = make([]float64, g.N())
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 1 + math.Abs(float64(i-j))
+			}
+		}
+	}
+	if err := g.SetMeasuredLatencies(m); err != nil {
+		t.Fatal(err)
+	}
+	check("SetMeasuredLatencies")
+
+	if err := g.ScaleLatencies(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if g.ShortestPathsLatency() == prev {
+		t.Fatal("ScaleLatencies did not invalidate the cache")
+	}
+	check("ScaleLatencies")
+
+	if err := g.TransformLatencies(func(l float64) float64 { return l + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	check("TransformLatencies")
+
+	e := g.EdgeList()[0]
+	if err := g.RemoveEdge(e.A, e.B); err != nil {
+		t.Fatal(err)
+	}
+	check("RemoveEdge")
+
+	id := g.AddNode("late", 0, 0)
+	check("AddNode") // disconnected node: Inf rows must match fresh
+
+	if err := g.AddEdge(id, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	check("AddEdge")
+
+	// Clones share the cache until they diverge.
+	shared := g.ShortestPathsLatency()
+	c := g.Clone()
+	if c.ShortestPathsLatency() != shared {
+		t.Fatal("clone does not share the cached APSP")
+	}
+	if err := c.ScaleLatencies(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.ShortestPathsLatency() == shared {
+		t.Fatal("mutated clone still serves the shared APSP")
+	}
+	if g.ShortestPathsLatency() != shared {
+		t.Fatal("mutating the clone invalidated the original's cache")
+	}
+}
+
+// TestConcurrentDatasetAccess hammers the memoized datasets from many
+// goroutines — cloning, reading the shared routing caches, and mutating
+// private clones — and relies on -race to flag unsynchronized access.
+func TestConcurrentDatasetAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, g := range All() {
+				lat := g.ShortestPathsLatency()
+				_ = lat.MaxDist()
+				_ = g.ShortestPathsHops().MeanDist(false)
+				if err := g.ScaleLatencies(2); err != nil {
+					t.Error(err)
+					return
+				}
+				if g.ShortestPathsLatency() == lat {
+					t.Error("mutated dataset clone kept its shared cache")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

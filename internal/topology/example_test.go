@@ -33,6 +33,6 @@ func ExampleGraph_ShortestPathsLatency() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(sp.Dist[a][c], path)
+	fmt.Println(sp.Dist(a, c), path)
 	// Output: 3 [0 1 2]
 }

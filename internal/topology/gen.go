@@ -82,6 +82,14 @@ func Grid(rows, cols int, latency float64) (*Graph, error) {
 // links. Link latencies are drawn uniformly from [minLat, maxLat). The
 // same seed always yields the same graph.
 func RandomConnected(n, m int, minLat, maxLat float64, seed int64) (*Graph, error) {
+	return randomConnectedRNG(rand.New(rand.NewSource(seed)), n, m, minLat, maxLat, nil)
+}
+
+// randomConnectedRNG is RandomConnected with an injected generator and
+// optional precomputed node names, letting the dataset seed search reuse
+// one rand source (Seed fully resets it, so streams match fresh
+// per-seed sources) and one names slice across hundreds of trials.
+func randomConnectedRNG(rng *rand.Rand, n, m int, minLat, maxLat float64, names []string) (*Graph, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
 	}
@@ -92,10 +100,14 @@ func RandomConnected(n, m int, minLat, maxLat float64, seed int64) (*Graph, erro
 	if !(minLat > 0) || maxLat < minLat {
 		return nil, fmt.Errorf("topology: invalid latency range [%v, %v)", minLat, maxLat)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	g := New(fmt.Sprintf("random-%d-%d", n, m))
+	g.grow(n)
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("r%d", i), 0, 0)
+		if names != nil {
+			g.AddNode(names[i], 0, 0)
+		} else {
+			g.AddNode(fmt.Sprintf("r%d", i), 0, 0)
+		}
 	}
 	draw := func() float64 {
 		if maxLat == minLat {
@@ -133,6 +145,40 @@ func RandomConnected(n, m int, minLat, maxLat float64, seed int64) (*Graph, erro
 // distances plus perHopMs of fixed processing delay, which makes the
 // synthesized graphs' latency spreads resemble real backbone networks.
 func Waxman(name string, n, m int, fieldKm, perHopMs float64, seed int64) (*Graph, error) {
+	return waxmanRNG(rand.New(rand.NewSource(seed)), name, n, m, fieldKm, perHopMs, nil, nil)
+}
+
+// waxCand is one candidate extra link of the Waxman generator.
+type waxCand struct{ a, b int }
+
+// waxScratch reuses the Waxman generator's per-trial working arrays
+// across invocations; the dataset seed search runs hundreds of trials,
+// so reallocating them dominated the build cost.
+type waxScratch struct {
+	xs, ys []float64
+	distM  []float64 // n x n pairwise node distance, km
+	bestD  []float64 // Prim: distance from each out-node to the tree
+	bestU  []int     // Prim: nearest tree node per out-node
+	inTree []bool
+	cands  []waxCand
+}
+
+// newWaxScratch sizes scratch for n-node trials.
+func newWaxScratch(n int) *waxScratch {
+	return &waxScratch{
+		xs:     make([]float64, n),
+		ys:     make([]float64, n),
+		distM:  make([]float64, n*n),
+		bestD:  make([]float64, n),
+		bestU:  make([]int, n),
+		inTree: make([]bool, n),
+		cands:  make([]waxCand, 0, n*(n-1)/2),
+	}
+}
+
+// waxmanRNG is Waxman with an injected generator, optional precomputed
+// node names, and optional reusable scratch; see randomConnectedRNG.
+func waxmanRNG(rng *rand.Rand, name string, n, m int, fieldKm, perHopMs float64, names []string, ws *waxScratch) (*Graph, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
 	}
@@ -140,52 +186,75 @@ func Waxman(name string, n, m int, fieldKm, perHopMs float64, seed int64) (*Grap
 	if m < n-1 || m > maxM {
 		return nil, fmt.Errorf("topology: edge count %d outside [n-1=%d, %d]", m, n-1, maxM)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if ws == nil {
+		ws = newWaxScratch(n)
+	}
 	g := New(name)
-	xs := make([]float64, n)
-	ys := make([]float64, n)
+	g.grow(n)
+	xs, ys := ws.xs[:n], ws.ys[:n]
 	for i := 0; i < n; i++ {
 		xs[i] = rng.Float64() * fieldKm
 		ys[i] = rng.Float64() * fieldKm
-		g.AddNode(fmt.Sprintf("%s-%d", name, i), ys[i], xs[i])
+		if names != nil {
+			g.AddNode(names[i], ys[i], xs[i])
+		} else {
+			g.AddNode(fmt.Sprintf("%s-%d", name, i), ys[i], xs[i])
+		}
 	}
-	distKm := func(a, b int) float64 {
-		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	// Pairwise distances once up front: the spanning-tree and extra-link
+	// phases below read each pair many times.
+	distM := ws.distM[: n*n : n*n]
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+			distM[a*n+b], distM[b*n+a] = d, d
+		}
 	}
 	latency := func(a, b int) float64 {
-		return PropagationMs(distKm(a, b)) + perHopMs
+		return PropagationMs(distM[a*n+b]) + perHopMs
 	}
 	// Greedy short-edge spanning tree: connect each unvisited node to its
 	// nearest visited node (Prim's algorithm), mimicking how backbones
-	// link nearby cities.
-	visited := []int{0}
-	inTree := make([]bool, n)
+	// link nearby cities. Each out-node tracks its nearest tree node, so
+	// one step is two linear scans; node coordinates are continuous
+	// random draws, so the strict minimum each step is unique and the
+	// tree matches the naive all-pairs scan.
+	inTree := ws.inTree[:n]
+	bestD, bestU := ws.bestD[:n], ws.bestU[:n]
+	for v := 1; v < n; v++ {
+		inTree[v] = false
+		bestD[v] = distM[v] // row 0
+		bestU[v] = 0
+	}
 	inTree[0] = true
-	for len(visited) < n {
-		bestU, bestV, bestD := -1, -1, math.Inf(1)
-		for _, u := range visited {
-			for v := 0; v < n; v++ {
-				if !inTree[v] && distKm(u, v) < bestD {
-					bestU, bestV, bestD = u, v, distKm(u, v)
-				}
+	for added := 1; added < n; added++ {
+		bv, bd := -1, math.Inf(1)
+		for v := 1; v < n; v++ {
+			if !inTree[v] && bestD[v] < bd {
+				bv, bd = v, bestD[v]
 			}
 		}
-		if err := g.AddEdge(NodeID(bestU), NodeID(bestV), latency(bestU, bestV)); err != nil {
+		if err := g.AddEdge(NodeID(bestU[bv]), NodeID(bv), latency(bestU[bv], bv)); err != nil {
 			return nil, err
 		}
-		inTree[bestV] = true
-		visited = append(visited, bestV)
+		inTree[bv] = true
+		row := distM[bv*n : bv*n+n]
+		for v := 1; v < n; v++ {
+			if !inTree[v] && row[v] < bestD[v] {
+				bestD[v] = row[v]
+				bestU[v] = bv
+			}
+		}
 	}
 	// Extra links by Waxman probability beta*exp(-d/(alphaW*L)), retried
 	// until the target edge count is met. Candidates are shuffled
 	// deterministically for reproducibility.
 	const beta, alphaW = 0.6, 0.25
 	maxD := fieldKm * math.Sqrt2
-	type cand struct{ a, b int }
-	var cands []cand
+	cands := ws.cands[:0]
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			cands = append(cands, cand{a, b})
+			cands = append(cands, waxCand{a, b})
 		}
 	}
 	for g.Edges() < m {
@@ -198,7 +267,7 @@ func Waxman(name string, n, m int, fieldKm, perHopMs float64, seed int64) (*Grap
 			if g.HasEdge(NodeID(cd.a), NodeID(cd.b)) {
 				continue
 			}
-			p := beta * math.Exp(-distKm(cd.a, cd.b)/(alphaW*maxD))
+			p := beta * math.Exp(-distM[cd.a*n+cd.b]/(alphaW*maxD))
 			if rng.Float64() < p {
 				if err := g.AddEdge(NodeID(cd.a), NodeID(cd.b), latency(cd.a, cd.b)); err != nil {
 					return nil, err
@@ -210,7 +279,7 @@ func Waxman(name string, n, m int, fieldKm, perHopMs float64, seed int64) (*Grap
 			// Degenerate acceptance round; force the closest missing pair
 			// so the loop always terminates.
 			sort.Slice(cands, func(i, j int) bool {
-				return distKm(cands[i].a, cands[i].b) < distKm(cands[j].a, cands[j].b)
+				return distM[cands[i].a*n+cands[i].b] < distM[cands[j].a*n+cands[j].b]
 			})
 			for _, cd := range cands {
 				if !g.HasEdge(NodeID(cd.a), NodeID(cd.b)) {

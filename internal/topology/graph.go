@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node within a Graph; IDs are dense indices assigned
@@ -52,6 +53,61 @@ type Graph struct {
 	// datasets report latency. It may disagree with shortest-path sums
 	// over the links, exactly as real measurements do.
 	measured [][]float64
+
+	// gen stamps the graph's mutation generation: every mutator bumps
+	// it, invalidating the cached all-pairs shortest-path matrices
+	// below. Clones inherit the cache (they are structurally identical
+	// until mutated), so handing out dataset copies does not re-run
+	// APSP. The cache mutex serializes lazy fills and cache reads;
+	// mutators themselves require external synchronization, as does all
+	// Graph mutation.
+	gen     uint64
+	cacheMu sync.Mutex
+	latSP   *APSP
+	latGen  uint64
+	hopSP   *APSP
+	hopGen  uint64
+}
+
+// bump invalidates the cached shortest-path matrices after a mutation.
+func (g *Graph) bump() { g.gen++ }
+
+// Generation returns the graph's mutation generation; mutators
+// increment it, and cached APSP results are valid only for the
+// generation they were computed at.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// ShortestPathsLatency returns all-pairs shortest paths by link
+// latency. The result is computed on first use and cached until a
+// mutator bumps the graph's generation; the returned matrix is shared
+// across callers (and across Clones taken while it is valid), so treat
+// it as immutable.
+func (g *Graph) ShortestPathsLatency() *APSP {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	if g.latSP == nil || g.latGen != g.gen {
+		g.latSP, g.latGen = g.shortestPathsLatencyFresh(), g.gen
+	}
+	return g.latSP
+}
+
+// ShortestPathsHops returns all-pairs shortest paths by hop count,
+// cached like ShortestPathsLatency.
+func (g *Graph) ShortestPathsHops() *APSP {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	if g.hopSP == nil || g.hopGen != g.gen {
+		g.hopSP, g.hopGen = g.shortestPathsHopsFresh(), g.gen
+	}
+	return g.hopSP
+}
+
+// warmRouteCache fills both shortest-path caches; the dataset builders
+// call it once at build time so every handed-out clone starts with the
+// matrices precomputed.
+func (g *Graph) warmRouteCache() {
+	g.ShortestPathsLatency()
+	g.ShortestPathsHops()
 }
 
 // New returns an empty graph with the given display name.
@@ -67,7 +123,22 @@ func (g *Graph) AddNode(name string, lat, lon float64) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Lat: lat, Lon: lon})
 	g.adj = append(g.adj, nil)
+	g.bump()
 	return id
+}
+
+// grow pre-sizes the node and adjacency slices for n upcoming AddNode
+// calls; the deterministic generators use it to avoid append growth
+// during the dataset seed search.
+func (g *Graph) grow(n int) {
+	if cap(g.nodes)-len(g.nodes) < n {
+		nodes := make([]Node, len(g.nodes), len(g.nodes)+n)
+		copy(nodes, g.nodes)
+		g.nodes = nodes
+		adj := make([][]halfEdge, len(g.adj), len(g.adj)+n)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
 }
 
 // AddEdge inserts an undirected link between a and b with the given
@@ -87,6 +158,7 @@ func (g *Graph) AddEdge(a, b NodeID, latency float64) error {
 	g.adj[a] = append(g.adj[a], halfEdge{to: b, latency: latency})
 	g.adj[b] = append(g.adj[b], halfEdge{to: a, latency: latency})
 	g.edges++
+	g.bump()
 	return nil
 }
 
@@ -217,6 +289,7 @@ func (g *Graph) ScaleLatencies(factor float64) error {
 			g.adj[a][i].latency *= factor
 		}
 	}
+	g.bump()
 	return nil
 }
 
@@ -239,6 +312,7 @@ func (g *Graph) RemoveEdge(a, b NodeID) error {
 	remove(a, b)
 	remove(b, a)
 	g.edges--
+	g.bump()
 	return nil
 }
 
@@ -269,6 +343,7 @@ func (g *Graph) SetMeasuredLatencies(m [][]float64) error {
 	for i := range m {
 		g.measured[i] = append([]float64(nil), m[i]...)
 	}
+	g.bump()
 	return nil
 }
 
@@ -306,11 +381,15 @@ func (g *Graph) TransformLatencies(f func(float64) float64) error {
 	for _, u := range updates {
 		g.adj[u.a][u.i].latency = u.v
 	}
+	g.bump()
 	return nil
 }
 
 // Clone returns a deep copy of the graph, including any measured
-// latency matrix.
+// latency matrix. The copy shares the source's cached shortest-path
+// matrices (they describe the identical structure); a later mutation
+// of either graph invalidates only that graph's cache, so clones of
+// the memoized datasets start with routing precomputed for free.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{name: g.name, edges: g.edges}
 	c.nodes = append([]Node(nil), g.nodes...)
@@ -324,6 +403,11 @@ func (g *Graph) Clone() *Graph {
 			c.measured[i] = append([]float64(nil), g.measured[i]...)
 		}
 	}
+	g.cacheMu.Lock()
+	c.gen = g.gen
+	c.latSP, c.latGen = g.latSP, g.latGen
+	c.hopSP, c.hopGen = g.hopSP, g.hopGen
+	g.cacheMu.Unlock()
 	return c
 }
 

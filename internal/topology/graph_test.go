@@ -220,7 +220,7 @@ func TestRemoveEdge(t *testing.T) {
 	}
 	// Shortest paths reroute around the removed edge.
 	sp := g.ShortestPathsLatency()
-	if got := sp.Dist[0][1]; got != 12 { // 0-2 (10) + 2-1 (2)
+	if got := sp.Dist(0, 1); got != 12 { // 0-2 (10) + 2-1 (2)
 		t.Errorf("rerouted dist(0,1) = %v, want 12", got)
 	}
 }
