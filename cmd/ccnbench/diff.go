@@ -1,0 +1,134 @@
+// The -diff mode: a structural numeric diff of two JSON documents. It
+// is schema-agnostic — bench baselines (BENCH_<date>.json), run
+// manifests (ccnsim -manifest), and artifact manifests (ccnexp
+// -manifest) all flatten to dotted numeric leaves and diff the same
+// way.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// flatten walks a decoded JSON value and collects every leaf under a
+// dotted path. Array elements key by position, except arrays of objects
+// carrying a "name" or "id" field, which key by that label — so two
+// bench baselines align by benchmark name even when the suite order or
+// length changed.
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			label := fmt.Sprintf("[%d]", i)
+			if m, ok := child.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					label = "[" + name + "]"
+				} else if id, ok := m["id"].(string); ok && id != "" {
+					label = "[" + id + "]"
+				}
+			}
+			flatten(prefix+label, child, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+// loadFlat reads one JSON file into its flattened leaf map.
+func loadFlat(path string) (map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]any)
+	flatten("", v, out)
+	return out, nil
+}
+
+// runDiff prints the leaves that differ between two JSON files. Numeric
+// leaves show old, new, and relative change; other leaves show their
+// values; keys present on one side only are listed as added/removed.
+// Equal files print a single summary line.
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldFlat, err := loadFlat(oldPath)
+	if err != nil {
+		return err
+	}
+	newFlat, err := loadFlat(newPath)
+	if err != nil {
+		return err
+	}
+	keys := make(map[string]bool, len(oldFlat)+len(newFlat))
+	for k := range oldFlat {
+		keys[k] = true
+	}
+	for k := range newFlat {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	changed := 0
+	for _, k := range sorted {
+		ov, oldOK := oldFlat[k]
+		nv, newOK := newFlat[k]
+		switch {
+		case !oldOK:
+			changed++
+			fmt.Fprintf(tw, "+ %s\t\t%v\n", k, nv)
+		case !newOK:
+			changed++
+			fmt.Fprintf(tw, "- %s\t%v\t\n", k, ov)
+		default:
+			on, oldNum := ov.(float64)
+			nn, newNum := nv.(float64)
+			if oldNum && newNum {
+				if on == nn {
+					continue
+				}
+				changed++
+				fmt.Fprintf(tw, "~ %s\t%v\t%v\t%s\n", k, on, nn, relChange(on, nn))
+				continue
+			}
+			if ov != nv {
+				changed++
+				fmt.Fprintf(tw, "~ %s\t%v\t%v\n", k, ov, nv)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d of %d leaves differ (%s -> %s)\n", changed, len(sorted), oldPath, newPath)
+	return nil
+}
+
+// relChange formats the relative change from old to new.
+func relChange(old, new float64) string {
+	if old == 0 {
+		return ""
+	}
+	pct := 100 * (new - old) / math.Abs(old)
+	return fmt.Sprintf("%+.1f%%", pct)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJSON drops one JSON document into a temp file.
+func writeJSON(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiffBenchBaselines(t *testing.T) {
+	dir := t.TempDir()
+	old := writeJSON(t, dir, "old.json", `{
+		"date": "2026-08-05",
+		"benchmarks": [
+			{"name": "BenchmarkTableII-8", "ns_per_op": 30000, "allocs_per_op": 10},
+			{"name": "BenchmarkGone-8", "ns_per_op": 5}
+		]
+	}`)
+	new := writeJSON(t, dir, "new.json", `{
+		"date": "2026-09-01",
+		"benchmarks": [
+			{"name": "BenchmarkTableII-8", "ns_per_op": 33000, "allocs_per_op": 10},
+			{"name": "BenchmarkNew-8", "ns_per_op": 7}
+		]
+	}`)
+	var buf bytes.Buffer
+	if err := runDiff(&buf, old, new); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Benchmarks align by name, not position: the shared one diffs with
+	// a relative change, the renamed ones show as removed/added, and the
+	// unchanged allocs leaf is silent.
+	for _, want := range []string{
+		"benchmarks[BenchmarkTableII-8].ns_per_op",
+		"+10.0%",
+		"- benchmarks[BenchmarkGone-8].ns_per_op",
+		"+ benchmarks[BenchmarkNew-8].ns_per_op",
+		"~ date",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "allocs_per_op") {
+		t.Errorf("unchanged leaf reported:\n%s", out)
+	}
+}
+
+func TestRunDiffIdenticalFiles(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"summary": {"origin_load": 0.25}, "nodes": [{"router": 0, "cs_hits": 4}]}`
+	a := writeJSON(t, dir, "a.json", body)
+	b := writeJSON(t, dir, "b.json", body)
+	var buf bytes.Buffer
+	if err := runDiff(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "0 of ") {
+		t.Errorf("identical files reported differences:\n%s", buf.String())
+	}
+}
+
+func TestRunDiffRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeJSON(t, dir, "bad.json", "{not json")
+	good := writeJSON(t, dir, "good.json", "{}")
+	if err := runDiff(&bytes.Buffer{}, bad, good); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := runDiff(&bytes.Buffer{}, good, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

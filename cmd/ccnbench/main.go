@@ -8,11 +8,15 @@
 //	ccnbench                          # full suite, BENCH_<today>.json
 //	ccnbench -bench 'SimRun' -benchtime 5x
 //	ccnbench -out results/ -date 2026-08-05
+//	ccnbench -diff BENCH_2026-08-05.json BENCH_2026-09-01.json
+//	ccnbench -diff old-manifest.json new-manifest.json
 //
 // The command shells out to `go test`, parses the benchmark output with
-// internal/benchjson, and writes the JSON next to (or at) -out. Compare
-// two baselines with any JSON diff; the records carry ns/op, B/op and
-// allocs/op per benchmark.
+// internal/benchjson, and writes the JSON next to (or at) -out; the
+// records carry ns/op, B/op and allocs/op per benchmark. The -diff mode
+// compares any two JSON documents leaf by leaf — bench baselines align
+// by benchmark name, and run/artifact manifests (ccnsim/ccnexp
+// -manifest) diff the same way.
 package main
 
 import (
@@ -34,8 +38,20 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "", "output directory or file; default BENCH_<date>.json in the current directory")
 		date      = flag.String("date", "", "date stamp for the baseline, YYYY-MM-DD; default today")
+		diff      = flag.Bool("diff", false, "diff two JSON files (bench baselines or manifests): ccnbench -diff old.json new.json")
 	)
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "ccnbench: -diff needs exactly two files")
+			os.Exit(1)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "ccnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*bench, *benchtime, *pkg, *out, *date); err != nil {
 		fmt.Fprintln(os.Stderr, "ccnbench:", err)
 		os.Exit(1)

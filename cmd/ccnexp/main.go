@@ -17,6 +17,9 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +31,7 @@ import (
 	"ccncoord/internal/par"
 	"ccncoord/internal/plot"
 	"ccncoord/internal/prof"
+	"ccncoord/internal/trace"
 )
 
 // artifact is one regenerable table or figure.
@@ -104,12 +108,36 @@ func main() {
 		outDir     = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
 		requests   = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
 		replicas   = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
-		workers    = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation heap profile to this file")
+		workers     = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace of every simulation run to this file")
+		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 writes every 100th event")
+		manifest    = flag.String("manifest", "", "write an artifact manifest (ids, sizes, sha256 digests) to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation heap profile to this file")
 	)
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	traceDone := func() error { return nil }
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccnexp:", err)
+			os.Exit(1)
+		}
+		tr, err := trace.NewSampled(f, *traceSample)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccnexp:", err)
+			os.Exit(1)
+		}
+		experiments.SetTracer(tr)
+		traceDone = func() error {
+			if err := tr.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnexp:", err)
@@ -133,7 +161,11 @@ func main() {
 	case *plotOut:
 		mode = modePlot
 	}
-	if err := runArtifacts(arts, *run, mode, *outDir); err != nil {
+	if err := runArtifacts(arts, *run, mode, *outDir, *manifest); err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
+	if err := traceDone(); err != nil {
 		fmt.Fprintln(os.Stderr, "ccnexp:", err)
 		os.Exit(1)
 	}
@@ -152,7 +184,63 @@ const (
 	modePlot
 )
 
-func runArtifacts(arts []artifact, id string, mode outputMode, outDir string) error {
+// artifactManifest digests one ccnexp invocation: which artifacts were
+// rendered, in what mode, and the exact bytes each produced. It
+// deliberately excludes schedule-dependent values (the -workers width,
+// trace sampling counts), so the manifest of a given selection is
+// byte-identical however the pool is sized.
+type artifactManifest struct {
+	Schema    string           `json:"schema"`
+	Run       string           `json:"run"`
+	Mode      string           `json:"mode"`
+	Artifacts []artifactDigest `json:"artifacts"`
+}
+
+// artifactDigest is one artifact's rendered size and content hash.
+type artifactDigest struct {
+	ID     string `json:"id"`
+	Bytes  int    `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// artifactManifestSchema identifies the artifact-manifest JSON layout.
+const artifactManifestSchema = "ccncoord/artifact-manifest/v1"
+
+func (m outputMode) String() string {
+	switch m {
+	case modeCSV:
+		return "csv"
+	case modePlot:
+		return "plot"
+	default:
+		return "text"
+	}
+}
+
+// writeArtifactManifest digests the rendered artifacts to path.
+func writeArtifactManifest(path, run string, mode outputMode, selected []artifact, rendered [][]byte) error {
+	m := artifactManifest{
+		Schema:    artifactManifestSchema,
+		Run:       run,
+		Mode:      mode.String(),
+		Artifacts: make([]artifactDigest, len(selected)),
+	}
+	for i, a := range selected {
+		sum := sha256.Sum256(rendered[i])
+		m.Artifacts[i] = artifactDigest{
+			ID:     a.id,
+			Bytes:  len(rendered[i]),
+			SHA256: hex.EncodeToString(sum[:]),
+		}
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling artifact manifest: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func runArtifacts(arts []artifact, id string, mode outputMode, outDir, manifestPath string) error {
 	var selected []artifact
 	for _, a := range arts {
 		if id == "all" || a.id == id {
@@ -179,6 +267,11 @@ func runArtifacts(arts []artifact, id string, mode outputMode, outDir string) er
 	})
 	if err != nil {
 		return err
+	}
+	if manifestPath != "" {
+		if err := writeArtifactManifest(manifestPath, id, mode, selected, rendered); err != nil {
+			return err
+		}
 	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {

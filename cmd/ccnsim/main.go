@@ -23,6 +23,7 @@ import (
 	"ccncoord/internal/prof"
 	"ccncoord/internal/sim"
 	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
 )
 
 func main() {
@@ -45,9 +46,12 @@ func main() {
 		mtbf       = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
 		mttr       = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
 		faultSeed  = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
-		failSpec   = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation heap profile to this file")
+		failSpec    = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (see internal/trace)")
+		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 writes every 100th event")
+		manifest    = flag.String("manifest", "", "write the run's observability manifest (JSON) to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation heap profile to this file")
 	)
 	flag.Parse()
 
@@ -56,11 +60,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
 		os.Exit(1)
 	}
+	obs := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest}
 	if *adaptive > 0 {
-		err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive)
+		if *manifest != "" {
+			err = fmt.Errorf("-manifest applies to single runs, not -adaptive")
+		} else {
+			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, obs)
+		}
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
-			*mtbf, *mttr, *faultSeed, *failSpec)
+			*mtbf, *mttr, *faultSeed, *failSpec, obs)
 	}
 	if err == nil {
 		err = stopProf()
@@ -71,11 +80,66 @@ func main() {
 	}
 }
 
+// obsFlags carries the observability flags shared by the run modes.
+type obsFlags struct {
+	tracePath    string
+	traceSample  float64
+	manifestPath string
+}
+
+// openTracer builds the tracer from the flags, or returns nils when
+// tracing is off. done flushes and closes the trace file.
+func (o obsFlags) openTracer() (tr *trace.Tracer, done func() error, err error) {
+	if o.tracePath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(o.tracePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creating trace file: %w", err)
+	}
+	tr, err = trace.NewSampled(f, o.traceSample)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	done = func() error {
+		if err := tr.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return tr, done, nil
+}
+
+// writeManifest serializes the run manifest to the flagged path.
+func (o obsFlags) writeManifest(m *sim.RunManifest) error {
+	if o.manifestPath == "" {
+		return nil
+	}
+	if m == nil {
+		return fmt.Errorf("run produced no manifest")
+	}
+	f, err := os.Create(o.manifestPath)
+	if err != nil {
+		return fmt.Errorf("creating manifest file: %w", err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runAdaptive drives the closed adaptive loop and prints one row per
 // epoch.
 func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
-	requests int, seed int64, access, origin float64, gateway, epochs int) error {
+	requests int, seed int64, access, origin float64, gateway, epochs int, obs obsFlags) error {
 	g, err := findTopology(topoName)
+	if err != nil {
+		return err
+	}
+	tr, traceDone, err := obs.openTracer()
 	if err != nil {
 		return err
 	}
@@ -89,6 +153,7 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 		AccessLatency: access,
 		OriginLatency: origin,
 		OriginGateway: topology.NodeID(gateway),
+		Tracer:        tr,
 	}
 	base := model.Config{
 		S: 0.5, // prior; the loop learns the real exponent
@@ -107,7 +172,10 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 			e.Epoch, e.Result.Policy, e.EstimatedS, e.Level,
 			e.Result.OriginLoad, e.Result.CoordMessages)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return traceDone()
 }
 
 // findTopology resolves an embedded dataset by name.
@@ -166,7 +234,7 @@ func parseFailSpec(spec string, n int) ([]fault.Event, error) {
 
 func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64,
-	mtbf, mttr float64, faultSeed int64, failSpec string) error {
+	mtbf, mttr float64, faultSeed int64, failSpec string, obs obsFlags) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -188,6 +256,10 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		return err
 	}
 	faultsOn := mtbf > 0 || len(script) > 0
+	tr, traceDone, err := obs.openTracer()
+	if err != nil {
+		return err
+	}
 	sc := sim.Scenario{
 		Topology:      g,
 		CatalogSize:   catalog,
@@ -206,6 +278,8 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		MTBF:          mtbf,
 		MTTR:          mttr,
 		FaultSeed:     faultSeed,
+		Tracer:        tr,
+		EmitManifest:  obs.manifestPath != "",
 	}
 	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
@@ -215,6 +289,12 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	}
 	res, err := sim.Run(sc)
 	if err != nil {
+		return err
+	}
+	if err := traceDone(); err != nil {
+		return err
+	}
+	if err := obs.writeManifest(res.Manifest); err != nil {
 		return err
 	}
 

@@ -83,7 +83,7 @@ func TestRunRejectsBadFaultConfig(t *testing.T) {
 	}
 	for _, tc := range cases {
 		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
-			tc.mtbf, tc.mttr, 1, tc.fail)
+			tc.mtbf, tc.mttr, 1, tc.fail, obsFlags{})
 		if err == nil {
 			t.Errorf("%s: run accepted the config, want error", tc.name)
 		}

@@ -18,6 +18,7 @@ import (
 	"ccncoord/internal/catalog"
 	"ccncoord/internal/des"
 	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
 )
 
 // ServerKind identifies which tier ultimately served a request.
@@ -157,6 +158,13 @@ type Options struct {
 	// CacheProbability is the per-router admission probability under
 	// CacheProb mode; must lie in (0, 1] when that mode is selected.
 	CacheProbability float64
+
+	// Tracer, when non-nil, receives a structured event per packet
+	// transmission, drop, retry, PIT expiry and fault transition (see
+	// internal/trace for the schema). Every emission site nil-checks
+	// first, so a disabled tracer costs one branch on the hot path and
+	// never perturbs the simulation.
+	Tracer *trace.Tracer
 
 	// LinkRate is the serialization capacity of every link in unit
 	// contents per millisecond. Data packets (unit size) occupy a link
@@ -442,6 +450,13 @@ func (n *Network) SetRouterState(r topology.NodeID, up bool) error {
 	}
 	n.ensureDyn()
 	nd.crashed = !up
+	if n.opts.Tracer != nil {
+		detail := "router-up"
+		if !up {
+			detail = "router-down"
+		}
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindFault, Router: int(r), Detail: detail})
+	}
 	if nd.crashed {
 		n.flushPIT(nd)
 	}
@@ -469,6 +484,13 @@ func (n *Network) SetLinkState(a, b topology.NodeID, up bool) error {
 		delete(n.downLinks, key)
 	} else {
 		n.downLinks[key] = true
+	}
+	if n.opts.Tracer != nil {
+		detail := "link-up"
+		if !up {
+			detail = "link-down"
+		}
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindFault, Router: int(a), Peer: int(b), Detail: detail})
 	}
 	n.routeRecomputes++
 	n.lat = n.dyn.SetLink(a, b, up)
@@ -543,6 +565,9 @@ func (n *Network) flushPIT(nd *node) {
 		entry := nd.pit[id]
 		delete(nd.pit, id)
 		n.expiredEntries++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nd.id), Content: int64(id), Detail: "crash-flush"})
+		}
 		for _, f := range entry.faces {
 			if f.request != nil {
 				n.failRequest(nd.id, id, f.request)
@@ -603,6 +628,9 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 		// immediately (their first-hop router is gone); neighbor faces
 		// are covered by the downstream router's retry timer.
 		n.faultDrops++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault"})
+		}
 		if from.request != nil {
 			n.failRequest(nid, id, from.request)
 		}
@@ -681,6 +709,9 @@ func (n *Network) armRetx(nid topology.NodeID, id catalog.ID, entry *pitEntry) {
 			// neighbor faces are covered by their own routers' timers.
 			delete(nd.pit, id)
 			n.expiredEntries++
+			if n.opts.Tracer != nil {
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nid), Content: int64(id), N: int64(entry.attempts)})
+			}
 			for _, f := range entry.faces {
 				if f.request != nil {
 					n.failRequest(nid, id, f.request)
@@ -690,6 +721,9 @@ func (n *Network) armRetx(nid topology.NodeID, id catalog.ID, entry *pitEntry) {
 		}
 		n.retransmissions++
 		entry.attempts++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindRetry, Router: int(nid), Content: int64(id), N: int64(entry.attempts)})
+		}
 		forceOrigin := n.opts.Faults && n.opts.OriginFallbackRetries > 0 &&
 			entry.attempts > 1+n.opts.OriginFallbackRetries
 		n.sendUpstream(nid, id, forceOrigin)
@@ -772,8 +806,14 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 		// The uplink interest and the returning data are each subject to
 		// loss.
 		n.interestTransmissions++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: -1, Content: int64(id)})
+		}
 		if n.lost() {
 			n.droppedInterests++
+			if n.opts.Tracer != nil {
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "loss-interest"})
+			}
 			return
 		}
 		dataLost := n.lost() // drawn now to keep the sequence deterministic
@@ -781,8 +821,14 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 			// Data arrives back at this router after the uplink round
 			// trip; the uplink itself counts as one hop.
 			n.dataTransmissions++
+			if n.opts.Tracer != nil {
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: -1, Peer: int(nid), Content: int64(id), Hops: 1})
+			}
 			if dataLost {
 				n.droppedData++
+				if n.opts.Tracer != nil {
+					n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: -1, Peer: int(nid), Content: int64(id), Detail: "loss-data"})
+				}
 				return
 			}
 			n.dataArrival(nid, id, 1, -1)
@@ -795,6 +841,9 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 	if next < 0 {
 		// Partitioned from the origin gateway: nowhere to send.
 		n.faultDrops++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "fault"})
+		}
 		return
 	}
 	n.forwardInterest(nid, next, id)
@@ -810,11 +859,20 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
 		// The link died under an in-flight forwarding decision; the
 		// retry timer recovers over the recomputed route.
 		n.faultDrops++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault"})
+		}
 		return
 	}
 	n.interestTransmissions++
+	if n.opts.Tracer != nil {
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: int(next), Content: int64(id)})
+	}
 	if n.lost() {
 		n.droppedInterests++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-interest"})
+		}
 		return
 	}
 	if err := n.eng.Schedule(linkLat, func() {
@@ -835,6 +893,9 @@ func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, serv
 		// Data reaching a crashed router is lost; its PIT was flushed
 		// at crash time, so nothing downstream waits on this copy here.
 		n.faultDrops++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault"})
+		}
 		return
 	}
 	switch n.opts.Mode {
@@ -888,13 +949,22 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 		// The reverse-path link is down; the downstream router's retry
 		// timer re-fetches over the recomputed route.
 		n.faultDrops++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault"})
+		}
 		return
 	}
 	n.dataTransmissions++
+	if n.opts.Tracer != nil {
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: int(nid), Peer: int(next), Content: int64(id), Hops: hops})
+	}
 	if n.lost() {
 		// The downstream router's retransmission timer recovers the
 		// loss.
 		n.droppedData++
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-data"})
+		}
 		return
 	}
 	h := hops + 1

@@ -10,20 +10,20 @@ import (
 // debugging placements and for the coordination protocol's enforcement
 // checks.
 type NodeStats struct {
-	Router topology.NodeID
+	Router topology.NodeID `json:"router"`
 	// CSHits counts content-store hits at interest arrival.
-	CSHits int64
+	CSHits int64 `json:"cs_hits"`
 	// CSMisses counts interests that missed the content store.
-	CSMisses int64
+	CSMisses int64 `json:"cs_misses"`
 	// Aggregated counts interests collapsed into an existing PIT entry.
-	Aggregated int64
+	Aggregated int64 `json:"aggregated"`
 	// Forwarded counts interests sent upstream from this router.
-	Forwarded int64
+	Forwarded int64 `json:"forwarded"`
 	// PITPeak is the largest number of simultaneously pending distinct
 	// contents observed.
-	PITPeak int
+	PITPeak int `json:"pit_peak"`
 	// PITPending is the current number of pending distinct contents.
-	PITPending int
+	PITPending int `json:"pit_pending"`
 }
 
 // HitRatio returns CSHits / (CSHits + CSMisses), or 0 with no traffic.
@@ -67,6 +67,27 @@ func (n *Network) AllStats() []NodeStats {
 		})
 	}
 	return out
+}
+
+// StatsTotals is the network-wide sum of per-router activity, the
+// aggregate a run manifest records next to the per-router snapshots.
+type StatsTotals struct {
+	CSHits     int64 `json:"cs_hits"`
+	CSMisses   int64 `json:"cs_misses"`
+	Aggregated int64 `json:"aggregated"`
+	Forwarded  int64 `json:"forwarded"`
+}
+
+// SumStats totals the given per-router snapshots.
+func SumStats(all []NodeStats) StatsTotals {
+	var t StatsTotals
+	for _, s := range all {
+		t.CSHits += s.CSHits
+		t.CSMisses += s.CSMisses
+		t.Aggregated += s.Aggregated
+		t.Forwarded += s.Forwarded
+	}
+	return t
 }
 
 // FailLink removes the link between a and b and recomputes all routes.

@@ -108,6 +108,11 @@ type Detector struct {
 	// OnDown fires once per declared router with the detection time
 	// and the surviving (not yet declared dead) routers in id order.
 	OnDown func(dead topology.NodeID, at float64, survivors []topology.NodeID)
+	// OnProbe, when non-nil, observes every heartbeat probe: the
+	// router, the probe time, and whether the heartbeat arrived. The
+	// simulator wires this to the run tracer; detection behavior is
+	// unaffected.
+	OnProbe func(r topology.NodeID, at float64, alive bool)
 
 	routers    []topology.NodeID
 	heartbeats int64
@@ -170,7 +175,11 @@ func (d *Detector) round(now float64) {
 		if d.declared[r] {
 			continue
 		}
-		if d.Alive(r) {
+		alive := d.Alive(r)
+		if d.OnProbe != nil {
+			d.OnProbe(r, now, alive)
+		}
+		if alive {
 			d.heartbeats++
 			d.missed[r] = 0
 			continue

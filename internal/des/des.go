@@ -81,6 +81,7 @@ type Engine struct {
 	seq       uint64
 	queue     eventHeap
 	processed uint64
+	peak      int
 }
 
 // Now returns the current simulated time (milliseconds by convention in
@@ -92,6 +93,11 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns how many events are scheduled but not yet fired.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// PendingPeak returns the largest pending-queue length observed — the
+// run's event-queue high-water mark, a capacity signal the run
+// manifest records.
+func (e *Engine) PendingPeak() int { return e.peak }
 
 // Schedule enqueues fn to run after the given non-negative delay.
 func (e *Engine) Schedule(delay float64, fn func()) error {
@@ -112,6 +118,9 @@ func (e *Engine) At(t float64, fn func()) error {
 	}
 	e.seq++
 	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	if len(e.queue) > e.peak {
+		e.peak = len(e.queue)
+	}
 	return nil
 }
 

@@ -139,3 +139,33 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestPendingPeak(t *testing.T) {
+	var e Engine
+	if e.PendingPeak() != 0 {
+		t.Errorf("fresh engine peak = %d, want 0", e.PendingPeak())
+	}
+	noop := func() {}
+	for i := 1; i <= 5; i++ {
+		if err := e.Schedule(float64(i), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.PendingPeak() != 5 {
+		t.Errorf("peak after 5 schedules = %d, want 5", e.PendingPeak())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d", e.Pending())
+	}
+	if e.PendingPeak() != 5 {
+		t.Errorf("peak must not decay after the queue drains, got %d", e.PendingPeak())
+	}
+	// One more event cannot lower the recorded peak.
+	if err := e.Schedule(1, noop); err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingPeak() != 5 {
+		t.Errorf("peak = %d after a single new event, want 5", e.PendingPeak())
+	}
+}

@@ -54,7 +54,7 @@ func AblationAssignment(requests int) (Table, error) {
 	kinds := []sim.Assignment{sim.AssignStripe, sim.AssignHash}
 	rows, err := parRows(len(kinds), func(i int) ([]string, error) {
 		asgKind := kinds[i]
-		res, err := sim.Run(sim.Scenario{
+		res, err := runSim(sim.Scenario{
 			Topology:      g.Clone(),
 			CatalogSize:   catalogSize,
 			ZipfS:         s,
@@ -149,7 +149,7 @@ func AblationPolicy(requests int) (Table, error) {
 		if pol != sim.PolicyNonCoordinated && pol != sim.PolicyCoordinated {
 			sc.Warmup = requests // dynamic policies need cache warmup
 		}
-		res, err := sim.Run(sc)
+		res, err := runSim(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: policy ablation (%v): %w", pol, err)
 		}
@@ -341,7 +341,7 @@ func AblationLoss(requests int) (Table, error) {
 		if loss > 0 {
 			sc.RetxTimeout = 300
 		}
-		res, err := sim.Run(sc)
+		res, err := runSim(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: loss ablation at %v: %w", loss, err)
 		}
@@ -379,7 +379,7 @@ func AblationCongestion(requests int) (Table, error) {
 	arrivals := []float64{8, 4, 2, 1}
 	rows, err := parRows(len(arrivals), func(i int) ([]string, error) {
 		interArrival := arrivals[i]
-		res, err := sim.Run(sim.Scenario{
+		res, err := runSim(sim.Scenario{
 			Topology:         topology.USA(),
 			CatalogSize:      20000,
 			ZipfS:            baseS,
@@ -475,7 +475,7 @@ func AblationResilience(requests int) (Table, error) {
 	}{{"intact", intact}, {"link failed", damaged}}
 	rows, err := parRows(len(cases), func(i int) ([]string, error) {
 		tc := cases[i]
-		res, err := sim.Run(sim.Scenario{
+		res, err := runSim(sim.Scenario{
 			Topology:      tc.g,
 			CatalogSize:   20000,
 			ZipfS:         baseS,
@@ -575,6 +575,7 @@ func AdaptiveConvergence(requests, epochs int) (Table, error) {
 		Lat:      model.LatencyFromGamma(1, baseTierGap, baseGamma),
 		UnitCost: baseUnitCost, Alpha: 0.95,
 	}
+	sc.Tracer = Tracer()
 	records, err := sim.AdaptiveRun(sc, base, epochs)
 	if err != nil {
 		return Table{}, fmt.Errorf("experiments: adaptive convergence: %w", err)
@@ -644,7 +645,7 @@ func AblationRegionalSkew(requests int) (Table, error) {
 			offset := maxOffset * int64(r) / int64(g.N()-1)
 			return workload.NewRegional(inner, offset, sc.CatalogSize)
 		}
-		res, err := sim.Run(sc)
+		res, err := runSim(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: regional skew %d: %w", maxOffset, err)
 		}
@@ -680,7 +681,7 @@ func MeasuredTiers(requests int) (Table, error) {
 	graphs := topology.All()
 	rows, err := parRows(len(graphs), func(i int) ([]string, error) {
 		g := graphs[i]
-		res, err := sim.Run(sim.Scenario{
+		res, err := runSim(sim.Scenario{
 			Topology:      g,
 			CatalogSize:   20000,
 			ZipfS:         baseS,
@@ -769,6 +770,7 @@ func AdaptiveDrift(requests, epochs int) (Table, error) {
 		Lat:      model.LatencyFromGamma(1, baseTierGap, baseGamma),
 		UnitCost: baseUnitCost, Alpha: 0.95,
 	}
+	sc.Tracer = Tracer()
 	records, err := sim.AdaptiveRun(sc, base, epochs)
 	if err != nil {
 		return Table{}, fmt.Errorf("experiments: adaptive drift: %w", err)

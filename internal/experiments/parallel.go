@@ -7,6 +7,7 @@ import (
 
 	"ccncoord/internal/par"
 	"ccncoord/internal/sim"
+	"ccncoord/internal/trace"
 )
 
 // The experiment harness fans independent work units — figure grid
@@ -36,6 +37,30 @@ func Workers() int {
 		return n
 	}
 	return par.DefaultWorkers()
+}
+
+// runTracer holds the optional tracer shared by every simulation the
+// experiment generators run (cmd/ccnexp's -trace flag).
+var runTracer atomic.Pointer[trace.Tracer]
+
+// SetTracer attaches a tracer to every simulation run the experiment
+// generators perform; nil detaches. Tracing never perturbs results, but
+// with a pool width above 1 the sampling stride applies to the
+// interleaved event stream of concurrent runs, so the selected events
+// (not the results) depend on scheduling — see internal/trace.
+func SetTracer(tr *trace.Tracer) { runTracer.Store(tr) }
+
+// Tracer returns the tracer attached with SetTracer, or nil.
+func Tracer() *trace.Tracer { return runTracer.Load() }
+
+// runSim executes one scenario with the package tracer attached. All
+// experiment generators funnel their simulations through here, so one
+// SetTracer call traces every run of an artifact sweep.
+func runSim(sc sim.Scenario) (sim.Result, error) {
+	if sc.Tracer == nil {
+		sc.Tracer = Tracer()
+	}
+	return sim.Run(sc)
 }
 
 // forEach runs fn over [0, n) on the configured pool.
@@ -120,7 +145,7 @@ func RunReplicas(sc sim.Scenario, replicas int) ([]sim.Result, error) {
 		// Clone the topology so parallel replicas never share graph
 		// state, whatever the data plane does with it.
 		rsc.Topology = sc.Topology.Clone()
-		res, err := sim.Run(rsc)
+		res, err := runSim(rsc)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: replica %d: %w", i, err)
 		}

@@ -149,7 +149,7 @@ func ModelVsSim(requests int) (Table, error) {
 			OriginLatency: 60,
 			OriginGateway: -1,
 		}
-		res, err := sim.Run(sc)
+		res, err := runSim(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: model-vs-sim on %s: %w", g.Name(), err)
 		}

@@ -1,7 +1,9 @@
 // Package metrics provides the small statistics toolkit the simulator
 // uses to aggregate measurements: counters, running means/variances
-// (Welford), fixed-bucket histograms with quantile estimates, and the
-// fault-experiment aggregates (request availability, downtime spans).
+// (Welford), fixed-bucket histograms with quantile estimates, the
+// fault-experiment aggregates (request availability, downtime spans),
+// and a registry that snapshots named metrics into serializable form
+// for run manifests. The zero value of every aggregate is ready to use.
 package metrics
 
 import (
@@ -10,7 +12,8 @@ import (
 	"sort"
 )
 
-// Counter counts occurrences of named events.
+// Counter counts occurrences of named events. The zero value is ready
+// to use.
 type Counter struct {
 	counts map[string]int64
 }
@@ -19,7 +22,12 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
 
 // Add increments the named event by delta.
-func (c *Counter) Add(name string, delta int64) { c.counts[name] += delta }
+func (c *Counter) Add(name string, delta int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+}
 
 // Inc increments the named event by one.
 func (c *Counter) Inc(name string) { c.Add(name, 1) }
@@ -79,14 +87,21 @@ func (m *Mean) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
-// Histogram collects samples into equal-width buckets over [lo, hi);
-// out-of-range samples clamp to the edge buckets. It retains no raw
-// samples, so memory is O(buckets).
+// Histogram collects samples into equal-width buckets over [lo, hi).
+// Out-of-range samples are tracked in explicit underflow/overflow
+// counters (they count toward Count, Sum and Mean but land in no
+// bucket) so quantile estimates saturate at the range edges instead of
+// fabricating in-range values. NaN and ±Inf observations are rejected
+// and counted separately — they would otherwise poison the running sum.
+// It retains no raw samples, so memory is O(buckets).
 type Histogram struct {
-	lo, hi  float64
-	buckets []int64
-	count   int64
-	sum     float64
+	lo, hi    float64
+	buckets   []int64
+	count     int64
+	sum       float64
+	underflow int64
+	overflow  int64
+	rejected  int64
 }
 
 // NewHistogram returns a histogram over [lo, hi) with the given number
@@ -101,22 +116,44 @@ func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
 	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, buckets)}, nil
 }
 
-// Observe adds one sample.
+// Observe adds one sample. Non-finite samples (NaN, ±Inf) are rejected
+// and counted via Rejected; samples outside [lo, hi) are accepted into
+// the underflow/overflow counters without occupying a bucket.
 func (h *Histogram) Observe(x float64) {
-	idx := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.rejected++
+		return
 	}
-	if idx >= len(h.buckets) {
-		idx = len(h.buckets) - 1
-	}
-	h.buckets[idx]++
 	h.count++
 	h.sum += x
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if idx >= len(h.buckets) {
+			// Float rounding at the top edge can compute len(buckets)
+			// for x just below hi; it belongs to the last bucket.
+			idx = len(h.buckets) - 1
+		}
+		h.buckets[idx]++
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of accepted samples, including out-of-range
+// ones.
 func (h *Histogram) Count() int64 { return h.count }
+
+// Underflow returns how many accepted samples fell below lo.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns how many accepted samples fell at or above hi.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Rejected returns how many non-finite observations were discarded.
+func (h *Histogram) Rejected() int64 { return h.rejected }
 
 // Mean returns the exact sample mean (0 with no samples).
 func (h *Histogram) Mean() float64 {
@@ -127,23 +164,34 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]) assuming
-// uniform density within buckets.
+// uniform density within buckets. Quantiles that fall inside the
+// underflow (overflow) mass saturate at lo (hi) — the histogram cannot
+// resolve them, and reporting the range edge is honest where the old
+// clamping behavior fabricated an in-range value.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
 	q = math.Min(1, math.Max(0, q))
 	target := q * float64(h.count)
-	var acc float64
+	acc := float64(h.underflow)
+	if h.underflow > 0 && acc >= target {
+		return h.lo
+	}
 	width := (h.hi - h.lo) / float64(len(h.buckets))
 	for i, b := range h.buckets {
 		next := acc + float64(b)
 		if next >= target && b > 0 {
 			frac := (target - acc) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
 			return h.lo + width*(float64(i)+frac)
 		}
 		acc = next
 	}
+	// The remaining mass is overflow (or the target rounded past the
+	// last occupied bucket): saturate at the range edge.
 	return h.hi
 }
 

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCounterZeroValue: the package documents zero-value readiness; a
+// declared Counter must work without NewCounter (this panicked with a
+// nil map write before the lazy initialization).
+func TestCounterZeroValue(t *testing.T) {
+	var c Counter
+	c.Inc("x")
+	c.Add("y", 3)
+	if c.Get("x") != 1 || c.Get("y") != 3 {
+		t.Errorf("zero-value counter: x=%d y=%d, want 1, 3", c.Get("x"), c.Get("y"))
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d, want 4", c.Total())
+	}
+	var empty Counter
+	if empty.Get("absent") != 0 || empty.Total() != 0 || len(empty.Names()) != 0 {
+		t.Error("reads on an untouched zero-value counter should report zeros")
+	}
+}
+
+// TestHistogramOutOfRangeAccounting: samples outside [lo, hi) must be
+// counted explicitly instead of being clamped into the edge buckets.
+// Against the old clamping behavior the overflow sample inflated the
+// last bucket, so Quantile(1) "resolved" to an in-range value below hi
+// and the underflow sample dragged the first bucket's quantiles to lo's
+// neighborhood while the mean said otherwise.
+func TestHistogramOutOfRangeAccounting(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(-100)
+	h.Observe(5)
+	h.Observe(1000)
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("underflow=%d overflow=%d, want 1, 1", h.Underflow(), h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3 (out-of-range samples still count)", h.Count())
+	}
+	if got, want := h.Mean(), (-100.0+5+1000)/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v (exact, including out-of-range mass)", got, want)
+	}
+	// The top third of the mass is overflow: its quantiles saturate at
+	// hi instead of pretending the sample fell inside the last bucket.
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want saturation at hi=10", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("Quantile(0.99) = %v, want saturation at hi=10", got)
+	}
+	// The bottom third is underflow: saturation at lo.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want saturation at lo=0", got)
+	}
+}
+
+// TestHistogramRejectsNonFinite: a NaN observation used to convert to an
+// implementation-defined bucket index and poison sum, making Mean NaN
+// forever; non-finite samples must be rejected and counted.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h, err := NewHistogram(0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Rejected() != 3 {
+		t.Errorf("Rejected = %d, want 3", h.Rejected())
+	}
+	if h.Count() != 0 || h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Errorf("non-finite samples leaked into counts: count=%d under=%d over=%d",
+			h.Count(), h.Underflow(), h.Overflow())
+	}
+	h.Observe(5)
+	if math.IsNaN(h.Mean()) || math.Abs(h.Mean()-5) > 1e-12 {
+		t.Errorf("Mean after NaN rejection = %v, want 5", h.Mean())
+	}
+}
+
+// TestHistogramQuantileEdges: table-driven edge cases of the quantile
+// estimator.
+func TestHistogramQuantileEdges(t *testing.T) {
+	tests := []struct {
+		name    string
+		lo, hi  float64
+		buckets int
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"q0 returns lower edge of first occupied bucket", 0, 10, 10, []float64{5.5, 7.5}, 0, 5},
+		{"q1 returns upper edge of last occupied bucket", 0, 10, 10, []float64{5.5, 7.5}, 1, 8},
+		{"single bucket interpolates within the range", 0, 1, 1, []float64{0.2, 0.4, 0.6, 0.8}, 0.5, 0.5},
+		{"single bucket q1 is hi", 0, 1, 1, []float64{0.5}, 1, 1},
+		{"all mass in overflow saturates at hi", 0, 10, 5, []float64{100, 200, 300}, 0.5, 10},
+		{"all mass in underflow saturates at lo", 0, 10, 5, []float64{-1, -2, -3}, 0.5, 0},
+		{"median below the overflow mass stays in range", 0, 10, 5, []float64{1, 1, 1, 100}, 0.5, 4.0 / 3},
+		{"tail inside the overflow mass saturates", 0, 10, 5, []float64{1, 1, 100, 200}, 0.9, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h, err := NewHistogram(tt.lo, tt.hi, tt.buckets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range tt.samples {
+				h.Observe(x)
+			}
+			if got := h.Quantile(tt.q); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestHistogramInRangeUnchanged: purely in-range data must behave
+// exactly as before the out-of-range accounting (the simulator's
+// headroom-sized histograms rely on this).
+func TestHistogramInRangeUnchanged(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.5; x < 10; x++ {
+		h.Observe(x)
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 || h.Rejected() != 0 {
+		t.Error("in-range data should not touch the out-of-range counters")
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("median = %v, want 5", got)
+	}
+}
+
+// TestDowntimeTotalInsideOverlappingOpenSpan: Total queried while an
+// overlap-merged span is still open must count from the span's opening,
+// and an end before the opening contributes nothing.
+func TestDowntimeTotalInsideOverlappingOpenSpan(t *testing.T) {
+	var d Downtime
+	d.Down(10)
+	d.Down(20) // overlap: still the same span
+	d.Up(22)   // one of the two faults recovers; span stays open
+	if !d.Active() {
+		t.Fatal("span should still be open with one fault down")
+	}
+	if got := d.Total(25); got != 15 {
+		t.Errorf("Total(25) inside open span = %v, want 15", got)
+	}
+	if got := d.Total(5); got != 0 {
+		t.Errorf("Total(5) before the span opened = %v, want 0", got)
+	}
+	if d.Spans() != 1 {
+		t.Errorf("Spans = %d, want 1 (overlaps merge)", d.Spans())
+	}
+}
+
+// TestAvailabilityZeroObservations: an idle system is trivially
+// available — no observations must read as availability 1 with zero
+// counts, in both the live value and the snapshot.
+func TestAvailabilityZeroObservations(t *testing.T) {
+	var a Availability
+	if a.Value() != 1 {
+		t.Errorf("Value with no observations = %v, want 1", a.Value())
+	}
+	if a.OK() != 0 || a.Failed() != 0 {
+		t.Errorf("counts = %d ok, %d failed, want zeros", a.OK(), a.Failed())
+	}
+	s := a.Snapshot()
+	if s.OK != 0 || s.Failed != 0 || s.Value != 1 {
+		t.Errorf("snapshot = %+v, want zeros with value 1", s)
+	}
+}

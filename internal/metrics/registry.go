@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the serialization side of the package: point-in-time
+// snapshots of each aggregate, and a Registry that names live metrics
+// and snapshots them all at once. Snapshots are plain data with stable
+// field names, so a run manifest marshals them directly.
+
+// HistogramSnapshot is a serializable point-in-time view of a
+// Histogram. Buckets lists only occupied buckets as {index, count}
+// pairs in index order — latency histograms are sparse, and the pair
+// form keeps manifests compact and deterministic.
+type HistogramSnapshot struct {
+	Lo        float64    `json:"lo"`
+	Hi        float64    `json:"hi"`
+	NumBucket int        `json:"num_buckets"`
+	Buckets   [][2]int64 `json:"buckets,omitempty"`
+	Count     int64      `json:"count"`
+	Sum       float64    `json:"sum"`
+	Underflow int64      `json:"underflow"`
+	Overflow  int64      `json:"overflow"`
+	Rejected  int64      `json:"rejected"`
+	Mean      float64    `json:"mean"`
+	P50       float64    `json:"p50"`
+	P95       float64    `json:"p95"`
+	P99       float64    `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Lo:        h.lo,
+		Hi:        h.hi,
+		NumBucket: len(h.buckets),
+		Count:     h.count,
+		Sum:       h.sum,
+		Underflow: h.underflow,
+		Overflow:  h.overflow,
+		Rejected:  h.rejected,
+		Mean:      h.Mean(),
+		P50:       h.Quantile(0.50),
+		P95:       h.Quantile(0.95),
+		P99:       h.Quantile(0.99),
+	}
+	for i, b := range h.buckets {
+		if b > 0 {
+			s.Buckets = append(s.Buckets, [2]int64{int64(i), b})
+		}
+	}
+	return s
+}
+
+// CounterSnapshot is a serializable view of a Counter: the per-name
+// counts and their total.
+type CounterSnapshot struct {
+	Counts map[string]int64 `json:"counts"`
+	Total  int64            `json:"total"`
+}
+
+// Snapshot captures the counter's current state.
+func (c *Counter) Snapshot() CounterSnapshot {
+	s := CounterSnapshot{Counts: make(map[string]int64, len(c.counts)), Total: c.Total()}
+	for n, v := range c.counts {
+		s.Counts[n] = v
+	}
+	return s
+}
+
+// MeanSnapshot is a serializable view of a Mean.
+type MeanSnapshot struct {
+	N      int64   `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Snapshot captures the running mean's current state.
+func (m *Mean) Snapshot() MeanSnapshot {
+	return MeanSnapshot{N: m.N(), Mean: m.Value(), StdDev: m.StdDev()}
+}
+
+// AvailabilitySnapshot is a serializable view of an Availability.
+type AvailabilitySnapshot struct {
+	OK     int64   `json:"ok"`
+	Failed int64   `json:"failed"`
+	Value  float64 `json:"value"`
+}
+
+// Snapshot captures the availability tracker's current state.
+func (a *Availability) Snapshot() AvailabilitySnapshot {
+	return AvailabilitySnapshot{OK: a.ok, Failed: a.failed, Value: a.Value()}
+}
+
+// Registry names live metrics so a run can snapshot every aggregate it
+// maintains in one call. Metrics are created on first use (counters,
+// means) or registered explicitly (histograms, which need a range).
+// The registry itself is not safe for concurrent use — the simulator
+// is single-threaded per run, and each run owns its registry.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	means    map[string]*Mean
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		means:    make(map[string]*Mean),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Mean returns the named running mean, creating it on first use.
+func (r *Registry) Mean(name string) *Mean {
+	m, ok := r.means[name]
+	if !ok {
+		m = &Mean{}
+		r.means[name] = m
+	}
+	return m
+}
+
+// Histogram registers (or returns) the named histogram. Re-registering
+// an existing name returns the existing histogram and ignores the
+// range arguments; registering a new name with an invalid range fails.
+func (r *Registry) Histogram(name string, lo, hi float64, buckets int) (*Histogram, error) {
+	if h, ok := r.hists[name]; ok {
+		return h, nil
+	}
+	h, err := NewHistogram(lo, hi, buckets)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: registering %q: %w", name, err)
+	}
+	r.hists[name] = h
+	return h, nil
+}
+
+// RegistrySnapshot is the serializable state of every registered
+// metric, keyed by name.
+type RegistrySnapshot struct {
+	Counters   map[string]CounterSnapshot   `json:"counters,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Means      map[string]MeanSnapshot      `json:"means,omitempty"`
+}
+
+// Names returns every registered metric name, sorted and de-duplicated
+// across kinds.
+func (r *Registry) Names() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for n := range r.counters {
+		seen[n] = true
+	}
+	for n := range r.hists {
+		seen[n] = true
+	}
+	for n := range r.means {
+		seen[n] = true
+	}
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures every registered metric. Map keys serialize in
+// sorted order under encoding/json, so marshaling a snapshot is
+// deterministic.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var s RegistrySnapshot
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]CounterSnapshot, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Snapshot()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	if len(r.means) > 0 {
+		s.Means = make(map[string]MeanSnapshot, len(r.means))
+		for n, m := range r.means {
+			s.Means[n] = m.Snapshot()
+		}
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRegistryCreateOnUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("served")
+	c.Inc("local")
+	if r.Counter("served").Get("local") != 1 {
+		t.Error("second Counter call should return the same counter")
+	}
+	m := r.Mean("latency")
+	m.Observe(4)
+	m.Observe(6)
+	if r.Mean("latency").Value() != 5 {
+		t.Error("second Mean call should return the same mean")
+	}
+	h, err := r.Histogram("rtt", 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(42)
+	again, err := r.Histogram("rtt", 5, 7, 1) // range args ignored on re-registration
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Count() != 1 {
+		t.Error("re-registering a histogram should return the existing one")
+	}
+	if _, err := r.Histogram("bad", 5, 5, 3); err == nil {
+		t.Error("registering a histogram with an empty range should fail")
+	}
+	want := []string{"latency", "rtt", "served"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add("origin", 7)
+	r.Mean("hops").Observe(3)
+	h, err := r.Histogram("latency_ms", 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(2.5)
+	h.Observe(-1)
+	h.Observe(99)
+
+	s := r.Snapshot()
+	if s.Counters["served"].Total != 7 {
+		t.Errorf("counter total = %d, want 7", s.Counters["served"].Total)
+	}
+	if s.Means["hops"].N != 1 || s.Means["hops"].Mean != 3 {
+		t.Errorf("mean snapshot = %+v", s.Means["hops"])
+	}
+	hs := s.Histograms["latency_ms"]
+	if hs.Count != 3 || hs.Underflow != 1 || hs.Overflow != 1 {
+		t.Errorf("histogram snapshot = %+v, want count 3 with one sample off each end", hs)
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets[0] != [2]int64{1, 1} {
+		t.Errorf("sparse buckets = %v, want [[1 1]] (2.5 lands in bucket 1 of 5)", hs.Buckets)
+	}
+	if math.Abs(hs.Mean-(2.5-1+99)/3) > 1e-12 {
+		t.Errorf("snapshot mean = %v", hs.Mean)
+	}
+
+	// Snapshots marshal deterministically: encoding/json sorts map keys.
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("repeated snapshots of an unchanged registry should marshal identically")
+	}
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	if s.NumBucket != 4 || s.Lo != 0 || s.Hi != 1 {
+		t.Errorf("range metadata lost: %+v", s)
+	}
+}
+
+func TestCounterSnapshotIsolated(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a")
+	s := c.Snapshot()
+	c.Inc("a")
+	if s.Counts["a"] != 1 || s.Total != 1 {
+		t.Error("snapshot should be a copy, not a view")
+	}
+}

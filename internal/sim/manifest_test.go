@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/ccn"
+	"ccncoord/internal/fault"
+	"ccncoord/internal/trace"
+)
+
+// faultTraceScenario is a small coordinated run with one scripted crash,
+// exercising every observability surface: data-plane packets, retries,
+// fault drops, heartbeats, and a repair pass.
+func faultTraceScenario(t *testing.T) Scenario {
+	t.Helper()
+	return Scenario{
+		Topology:    mesh4(t),
+		CatalogSize: 100,
+		ZipfS:       0.8,
+		Capacity:    10,
+		Coordinated: 5,
+		Policy:      PolicyCoordinated,
+		Requests:    2000,
+		Seed:        42,
+
+		AccessLatency: 1,
+		OriginLatency: 50,
+		OriginGateway: 0,
+		RetxTimeout:   150,
+
+		HeartbeatInterval: 50,
+		HeartbeatMisses:   2,
+		FaultScript:       []fault.Event{{At: 300, Kind: fault.RouterDown, Node: 1}},
+	}
+}
+
+// TestManifestTotalsMatchRun verifies the central manifest invariant:
+// every number in the manifest equals the corresponding Result field or
+// network accessor — the manifest serializes the run's accounting, it
+// does not re-measure.
+func TestManifestTotalsMatchRun(t *testing.T) {
+	sc := faultTraceScenario(t)
+	sc.EmitManifest = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m == nil {
+		t.Fatal("EmitManifest set but Result.Manifest is nil")
+	}
+	if m.Schema != ManifestSchema {
+		t.Errorf("schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Policy != sc.Policy.String() || m.Assignment != sc.Assignment.String() {
+		t.Errorf("policy/assignment %q/%q, want %q/%q", m.Policy, m.Assignment, sc.Policy, sc.Assignment)
+	}
+	if m.Routers != sc.Topology.N() || m.Seed != sc.Seed || m.Requests != res.Requests {
+		t.Errorf("header mismatch: %+v", m)
+	}
+
+	// The served-by counter totals exactly the measured requests.
+	served, ok := m.Metrics.Counters["served_by"]
+	if !ok {
+		t.Fatal("manifest lacks the served_by counter")
+	}
+	if served.Total != int64(res.Requests) {
+		t.Errorf("served_by total %d, want %d measured requests", served.Total, res.Requests)
+	}
+
+	// The latency histogram observed every successful request, and its
+	// out-of-range accounting is internally consistent.
+	hist, ok := m.Metrics.Histograms["latency_ms"]
+	if !ok {
+		t.Fatal("manifest lacks the latency_ms histogram")
+	}
+	if hist.Count != m.Availability.OK {
+		t.Errorf("latency histogram count %d, want %d successful requests", hist.Count, m.Availability.OK)
+	}
+	var inBuckets int64
+	for _, b := range hist.Buckets {
+		inBuckets += b[1]
+	}
+	if inBuckets+hist.Underflow+hist.Overflow != hist.Count {
+		t.Errorf("bucket mass %d + under %d + over %d != count %d", inBuckets, hist.Underflow, hist.Overflow, hist.Count)
+	}
+
+	// Transport mirrors the Result counters exactly.
+	wantTransport := ManifestTransport{
+		InterestTransmissions: res.InterestTransmissions,
+		DataTransmissions:     res.DataTransmissions,
+		DroppedInterests:      res.DroppedInterests,
+		DroppedData:           res.DroppedData,
+		Retransmissions:       res.Retransmissions,
+		FaultDrops:            res.FaultDrops,
+		ExpiredInterests:      res.ExpiredInterests,
+		FailedRequests:        res.FailedRequests,
+		RouteRecomputes:       res.RouteRecomputes,
+		QueuedPackets:         res.QueuedPackets,
+		MeanQueueingDelayMs:   res.MeanQueueingDelay,
+	}
+	if m.Transport != wantTransport {
+		t.Errorf("transport %+v, want %+v", m.Transport, wantTransport)
+	}
+
+	// Coordination mirrors the protocol counters exactly.
+	wantCoord := ManifestCoordination{
+		Messages:           res.CoordMessages,
+		ConvergenceMs:      res.CoordConvergence,
+		Heartbeats:         res.HeartbeatMessages,
+		RepairMessages:     res.RepairMessages,
+		Repairs:            len(res.Repairs),
+		MeanTimeToRepairMs: res.MeanTimeToRepair,
+	}
+	if m.Coordination != wantCoord {
+		t.Errorf("coordination %+v, want %+v", m.Coordination, wantCoord)
+	}
+	if m.Coordination.Heartbeats == 0 || m.Coordination.Repairs == 0 {
+		t.Error("fault scenario produced no heartbeats or repairs in the manifest")
+	}
+
+	// Per-router stats sum to the recorded totals, and every router is
+	// present in ID order.
+	if len(m.Nodes) != sc.Topology.N() {
+		t.Fatalf("%d node snapshots, want %d", len(m.Nodes), sc.Topology.N())
+	}
+	for i, n := range m.Nodes {
+		if int(n.Router) != i {
+			t.Errorf("node %d has router id %d", i, n.Router)
+		}
+	}
+	if got := ccn.SumStats(m.Nodes); got != m.NodeTotals {
+		t.Errorf("node totals %+v, want sum %+v", m.NodeTotals, got)
+	}
+
+	if m.Summary.Availability != res.Availability || m.Summary.DowntimeMs != res.RouterDowntime {
+		t.Errorf("summary availability/downtime %v/%v, want %v/%v",
+			m.Summary.Availability, m.Summary.DowntimeMs, res.Availability, res.RouterDowntime)
+	}
+	if m.Summary.MeanLatencyMs != res.MeanLatency || m.Summary.OriginLoad != res.OriginLoad {
+		t.Errorf("summary %+v does not mirror result", m.Summary)
+	}
+	if m.Engine.EventsProcessed == 0 || m.Engine.PendingPeak == 0 {
+		t.Errorf("engine gauges empty: %+v", m.Engine)
+	}
+	if m.Trace != nil {
+		t.Error("untraced run has a trace section")
+	}
+}
+
+// TestTracingDoesNotPerturbResult is the determinism guarantee: a run
+// with a stride-1 tracer attached produces the identical Result, and
+// the trace itself is valid JSONL whose accounting matches the tracer.
+func TestTracingDoesNotPerturbResult(t *testing.T) {
+	base, err := Run(faultTraceScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := faultTraceScenario(t)
+	sc.Tracer = tr
+	sc.EmitManifest = true
+	traced, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := traced.Manifest
+	traced.Manifest = nil
+	if !reflect.DeepEqual(base, traced) {
+		t.Errorf("tracing perturbed the result:\nbase:   %+v\ntraced: %+v", base, traced)
+	}
+
+	// Every line is one valid Event; line count matches the tracer's
+	// accounting; stride 1 sampled everything.
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if uint64(len(lines)) != tr.Emitted() {
+		t.Fatalf("%d trace lines, tracer reports %d emitted", len(lines), tr.Emitted())
+	}
+	if tr.Seen() != tr.Emitted() {
+		t.Errorf("stride 1 saw %d but emitted %d", tr.Seen(), tr.Emitted())
+	}
+	kinds := make(map[string]int)
+	for i, line := range lines {
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not a valid event: %v\n%s", i+1, err, line)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("line %d has no kind: %s", i+1, line)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{
+		trace.KindInterest, trace.KindData, trace.KindRequest,
+		trace.KindFault, trace.KindHeartbeat, trace.KindRepair, trace.KindDrop,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("trace contains no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	// Stride-1 cross-checks against the run's own accounting.
+	if got := kinds[trace.KindRequest]; got != base.Requests {
+		t.Errorf("%d request events, want %d", got, base.Requests)
+	}
+	if got := int64(kinds[trace.KindHeartbeat]); got < base.HeartbeatMessages {
+		t.Errorf("%d heartbeat events, want at least the %d delivered heartbeats", got, base.HeartbeatMessages)
+	}
+	if got := len(base.Repairs); kinds[trace.KindRepair] != got {
+		t.Errorf("%d repair events, want %d", kinds[trace.KindRepair], got)
+	}
+
+	if m == nil || m.Trace == nil {
+		t.Fatal("traced manifest lacks the trace section")
+	}
+	if m.Trace.Stride != 1 || m.Trace.Seen != tr.Seen() || m.Trace.Emitted != tr.Emitted() {
+		t.Errorf("manifest trace %+v, tracer reports stride=1 seen=%d emitted=%d", m.Trace, tr.Seen(), tr.Emitted())
+	}
+}
+
+// TestManifestBytesDeterministic runs the same scenario twice and
+// requires byte-identical serialized manifests.
+func TestManifestBytesDeterministic(t *testing.T) {
+	emit := func() []byte {
+		sc := faultTraceScenario(t)
+		sc.EmitManifest = true
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Manifest.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Error("identical scenarios produced different manifest bytes")
+	}
+	// The manifest round-trips through JSON.
+	var m RunManifest
+	if err := json.Unmarshal(a, &m); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if m.Schema != ManifestSchema {
+		t.Errorf("round-tripped schema %q", m.Schema)
+	}
+}
+
+// TestTraceSampledRun verifies stride sampling end to end: a stride-100
+// tracer emits ceil(seen/100) lines and the run is still unperturbed.
+func TestTraceSampledRun(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := trace.NewSampled(&buf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := faultTraceScenario(t)
+	sc.Tracer = tr
+	if _, err := Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := (tr.Seen() + 99) / 100
+	if tr.Emitted() != want {
+		t.Errorf("emitted %d of %d seen, want %d at stride 100", tr.Emitted(), tr.Seen(), want)
+	}
+	if got := uint64(bytes.Count(buf.Bytes(), []byte("\n"))); got != tr.Emitted() {
+		t.Errorf("%d trace lines, tracer reports %d", got, tr.Emitted())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"ccncoord/internal/fault"
 	"ccncoord/internal/metrics"
 	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
 	"ccncoord/internal/workload"
 )
 
@@ -190,6 +191,20 @@ type Scenario struct {
 	// completion in completion order — the hook determinism probes and
 	// custom accounting use.
 	Observer func(ccn.RequestResult)
+
+	// Tracer, when non-nil, streams sampled structured events (packet
+	// transmissions, drops, retries, faults, heartbeats, repairs,
+	// request completions) as JSONL; see internal/trace. Tracing never
+	// perturbs the simulation: the tracer draws from no simulation RNG
+	// stream, so results are identical with tracing on or off.
+	Tracer *trace.Tracer
+
+	// EmitManifest populates Result.Manifest with the run's
+	// observability manifest — per-router data-plane stats, the latency
+	// histogram with underflow/overflow accounting, availability,
+	// downtime, coordination message counts, and engine gauges — ready
+	// to serialize next to experiment artifacts.
+	EmitManifest bool
 }
 
 // Failure-detector defaults (see Scenario.HeartbeatInterval).
@@ -351,6 +366,10 @@ type Result struct {
 	// when its window saw no completions.
 	OutageOriginLoad float64
 	SteadyOriginLoad float64
+
+	// Manifest is the run's observability manifest, populated only when
+	// Scenario.EmitManifest is set.
+	Manifest *RunManifest
 }
 
 // RepairEvent records one failure detection and the repair pass it
@@ -547,6 +566,7 @@ func Run(sc Scenario) (Result, error) {
 		CacheProbability: probCacheAdmission,
 		LinkRate:         sc.LinkRate,
 		Faults:           sc.faultsEnabled(),
+		Tracer:           sc.Tracer,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -588,20 +608,33 @@ func Run(sc Scenario) (Result, error) {
 		return nReq, nWarm
 	}
 
-	var latency, hops, peerHops metrics.Mean
-	var tierLat [3]metrics.Mean
+	// The run's scalar aggregates live in a named registry so the
+	// manifest can snapshot them all at once; the hot path holds direct
+	// pointers, so the registry costs nothing per request.
+	reg := metrics.NewRegistry()
+	latency := reg.Mean("latency_ms")
+	hops := reg.Mean("hops")
+	peerHops := reg.Mean("peer_hops")
+	tierLat := [3]*metrics.Mean{
+		reg.Mean("tier_latency_local_ms"),
+		reg.Mean("tier_latency_peer_ms"),
+		reg.Mean("tier_latency_origin_ms"),
+	}
 	// The histogram range covers the worst possible round trip — the
 	// leading 2 converts the one-way sum (access latency + there-and-back
 	// network diameter + origin uplink) to a round trip, and the trailing
-	// *2 is headroom for retransmission delays. ShortestPathsLatency here
-	// is the same cached matrix the embedded ccn.Network builds its FIBs
-	// from (NewNetwork ran first), so this line no longer costs an APSP.
+	// *2 is headroom for retransmission delays. Samples past the headroom
+	// (deep retry backoff) land in the histogram's overflow counter and
+	// saturate quantile estimates at the range edge instead of skewing
+	// them. ShortestPathsLatency here is the same cached matrix the
+	// embedded ccn.Network builds its FIBs from (NewNetwork ran first),
+	// so this line no longer costs an APSP.
 	maxRTT := 2 * (sc.AccessLatency + 2*sc.Topology.ShortestPathsLatency().MaxDist() + sc.OriginLatency) * 2
-	latencyHist, err := metrics.NewHistogram(0, math.Max(maxRTT, 1), 2048)
+	latencyHist, err := reg.Histogram("latency_ms", 0, math.Max(maxRTT, 1), 2048)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
-	counts := metrics.NewCounter()
+	counts := reg.Counter("served_by")
 	peerServes := make(map[topology.NodeID]int64)
 	var reportCounts []map[catalog.ID]int64
 	if sc.CollectReports {
@@ -639,6 +672,21 @@ func Run(sc Scenario) (Result, error) {
 		measured++
 		if sc.Observer != nil {
 			sc.Observer(result)
+		}
+		if sc.Tracer != nil {
+			detail := ""
+			if result.Failed {
+				detail = "failed"
+			}
+			sc.Tracer.Emit(trace.Event{
+				T:       result.CompletedAt,
+				Kind:    trace.KindRequest,
+				Router:  int(result.Router),
+				Content: int64(result.Content),
+				Hops:    result.Hops,
+				Tier:    result.ServedBy.String(),
+				Detail:  detail,
+			})
 		}
 		counts.Inc(result.ServedBy.String())
 		if inj != nil {
@@ -829,6 +877,15 @@ func Run(sc Scenario) (Result, error) {
 				return Result{}, fmt.Errorf("sim: %w", err)
 			}
 			det.Alive = inj.RouterAlive
+			if sc.Tracer != nil {
+				det.OnProbe = func(r topology.NodeID, at float64, alive bool) {
+					var ok int64
+					if alive {
+						ok = 1
+					}
+					sc.Tracer.Emit(trace.Event{T: at, Kind: trace.KindHeartbeat, Router: int(r), N: ok})
+				}
+			}
 			det.OnDown = func(dead topology.NodeID, at float64, survivors []topology.NodeID) {
 				ev := RepairEvent{Router: dead, CrashedAt: at, DetectedAt: at}
 				if t0, ok := inj.DownSince(dead); ok {
@@ -865,6 +922,9 @@ func Run(sc Scenario) (Result, error) {
 					}
 				}
 				repairs = append(repairs, ev)
+				if sc.Tracer != nil {
+					sc.Tracer.Emit(trace.Event{T: at, Kind: trace.KindRepair, Router: int(dead), N: int64(ev.Moved)})
+				}
 			}
 			if err := det.Start(eng, horizon); err != nil {
 				return Result{}, fmt.Errorf("sim: %w", err)
@@ -944,6 +1004,9 @@ func Run(sc Scenario) (Result, error) {
 		for i, r := range routers {
 			res.Reports[i] = coord.Report{Router: r, Counts: reportCounts[i]}
 		}
+	}
+	if sc.EmitManifest {
+		res.Manifest = buildManifest(sc, res, eng, net, reg, avail.Snapshot())
 	}
 	return res, nil
 }

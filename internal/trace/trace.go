@@ -1,0 +1,197 @@
+// Package trace is the run-wide structured event tracer: simulator
+// layers emit typed events (interest and data transmissions, retries,
+// faults, coordination actions, request completions) and the tracer
+// writes them as JSON Lines, one object per line, optionally sampled.
+//
+// The tracer is built for a hot path that is usually cold: every emit
+// site guards with a nil check (`if tr != nil { tr.Emit(...) }`), so a
+// disabled tracer costs one predictable branch and zero allocations —
+// the event struct is only constructed inside the guard. All methods
+// are additionally nil-safe, so a *Tracer can be threaded through
+// options structs without ceremony.
+//
+// Sampling is a deterministic stride over the event stream, not a coin
+// flip: with sample rate r, every round(1/r)-th event seen is written.
+// The tracer never draws from the simulation's RNG streams, so enabling
+// tracing cannot perturb simulation results. Within a single-threaded
+// run the sampled subsequence is reproducible; when several concurrent
+// runs share one tracer (the parallel experiment engine), the stride
+// applies to the interleaved stream and the selected events depend on
+// scheduling — the trace stays valid JSONL, but not byte-stable.
+//
+// Emit is safe for concurrent use.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Event kinds. Every event carries Kind plus whichever of the optional
+// fields apply; consumers must tolerate unknown kinds (the schema is
+// append-only).
+const (
+	// KindInterest is one interest-packet transmission Router -> Peer
+	// (Peer -1 = the origin uplink).
+	KindInterest = "interest"
+	// KindData is one data-packet transmission arriving at Router from
+	// Peer (Peer -1 = the origin), after Hops network links.
+	KindData = "data"
+	// KindRetry is a retransmission timer firing at Router for Content;
+	// N is the attempt number.
+	KindRetry = "retry"
+	// KindExpire is a PIT entry at Router giving up on Content (retry
+	// budget exhausted, or Detail "crash-flush" when the router died).
+	KindExpire = "expire"
+	// KindDrop is a discarded transmission; Detail qualifies the cause
+	// ("loss-interest", "loss-data", "fault").
+	KindDrop = "drop"
+	// KindFault is a topology transition applied to the data plane;
+	// Detail is "router-down", "router-up", "link-down" or "link-up"
+	// (links name their far end in Peer).
+	KindFault = "fault"
+	// KindHeartbeat is one failure-detector probe of Router; N is 1
+	// when the probe succeeded, 0 when it missed.
+	KindHeartbeat = "hb"
+	// KindRepair is a coordination repair pass after Router was
+	// declared dead; N is the number of contents moved.
+	KindRepair = "repair"
+	// KindRequest is a measured client request completing at its
+	// first-hop Router: Tier names the serving tier, Hops the network
+	// distance, Detail "failed" marks an exhausted retry budget.
+	KindRequest = "request"
+)
+
+// Event is one structured trace record. T is virtual simulation time in
+// milliseconds. Integer fields use -1 (origin) only where documented;
+// zero-valued optional fields are omitted from the JSON, so absent
+// means zero.
+type Event struct {
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Router  int     `json:"router"`
+	Peer    int     `json:"peer,omitempty"`
+	Content int64   `json:"content,omitempty"`
+	Hops    int     `json:"hops,omitempty"`
+	N       int64   `json:"n,omitempty"`
+	Tier    string  `json:"tier,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Tracer writes sampled events as JSON Lines. The zero value is not
+// useful; construct with New. A nil *Tracer is a valid disabled tracer:
+// every method no-ops (Emit) or returns zeros.
+type Tracer struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	every   uint64
+	seen    uint64
+	emitted uint64
+	err     error
+}
+
+// New returns a tracer writing every stride-th event to w as JSONL.
+// stride 1 writes everything. The caller owns w; call Flush before
+// closing it.
+func New(w io.Writer, stride uint64) (*Tracer, error) {
+	if w == nil {
+		return nil, fmt.Errorf("trace: nil writer")
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("trace: stride must be at least 1, got %d", stride)
+	}
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), every: stride}, nil
+}
+
+// NewSampled returns a tracer with sample rate in (0, 1]: rate 1 traces
+// everything, rate 0.01 writes every 100th event (deterministic stride,
+// see the package comment).
+func NewSampled(w io.Writer, rate float64) (*Tracer, error) {
+	if !(rate > 0 && rate <= 1) || math.IsNaN(rate) {
+		return nil, fmt.Errorf("trace: sample rate %v outside (0, 1]", rate)
+	}
+	return New(w, uint64(math.Round(1/rate)))
+}
+
+// Emit records one event, writing it if it falls on the sampling
+// stride. Safe on a nil tracer and for concurrent use. Write errors are
+// sticky and surfaced by Flush/Err; emission continues counting so the
+// seen/emitted accounting stays truthful.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seen++
+	if (t.seen-1)%t.every == 0 {
+		t.emitted++
+		if t.err == nil {
+			if err := t.enc.Encode(ev); err != nil {
+				t.err = fmt.Errorf("trace: writing event: %w", err)
+			}
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Seen returns how many events were offered to the tracer.
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
+}
+
+// Emitted returns how many events were written (seen/stride, rounded
+// up).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Stride returns the sampling stride (0 on a nil tracer).
+func (t *Tracer) Stride() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Flush drains buffered events to the underlying writer and returns
+// the first write error encountered, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.err = fmt.Errorf("trace: flushing: %w", err)
+	}
+	return t.err
+}
+
+// Err returns the sticky write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindInterest}) // must not panic
+	if tr.Seen() != 0 || tr.Emitted() != 0 || tr.Stride() != 0 {
+		t.Error("nil tracer should report zeros")
+	}
+	if tr.Flush() != nil || tr.Err() != nil {
+		t.Error("nil tracer should report no errors")
+	}
+}
+
+func TestEmitWritesValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{T: 1.5, Kind: KindInterest, Router: 3, Peer: 7, Content: 42},
+		{T: 2.5, Kind: KindData, Router: 7, Peer: -1, Content: 42, Hops: 1},
+		{T: 9, Kind: KindRequest, Router: 3, Content: 42, Hops: 2, Tier: "peer"},
+		{T: 12, Kind: KindFault, Router: 5, Detail: "router-down"},
+	}
+	for _, ev := range events {
+		tr.Emit(ev)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("wrote %d lines, want %d", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got Event
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if got != events[i] {
+			t.Errorf("line %d round-tripped to %+v, want %+v", i, got, events[i])
+		}
+	}
+	if tr.Seen() != 4 || tr.Emitted() != 4 {
+		t.Errorf("seen/emitted = %d/%d, want 4/4", tr.Seen(), tr.Emitted())
+	}
+}
+
+func TestZeroFieldsOmitted(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(Event{T: 3, Kind: KindExpire, Router: 0})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line != `{"t":3,"kind":"expire","router":0}` {
+		t.Errorf("unexpected encoding: %s", line)
+	}
+}
+
+func TestStrideSampling(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := NewSampled(&buf, 0.25) // stride 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stride() != 4 {
+		t.Fatalf("stride = %d, want 4", tr.Stride())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{T: float64(i), Kind: KindInterest, Router: i})
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Events 0, 4, 8 fall on the stride.
+	var routers []int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		routers = append(routers, ev.Router)
+	}
+	if want := []int{0, 4, 8}; fmt.Sprint(routers) != fmt.Sprint(want) {
+		t.Errorf("sampled routers = %v, want %v", routers, want)
+	}
+	if tr.Seen() != 10 || tr.Emitted() != 3 {
+		t.Errorf("seen/emitted = %d/%d, want 10/3", tr.Seen(), tr.Emitted())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("nil writer should fail")
+	}
+	if _, err := New(&bytes.Buffer{}, 0); err == nil {
+		t.Error("zero stride should fail")
+	}
+	for _, rate := range []float64{0, -1, 1.5} {
+		if _, err := NewSampled(&bytes.Buffer{}, rate); err == nil {
+			t.Errorf("sample rate %v should fail", rate)
+		}
+	}
+	if _, err := NewSampled(&bytes.Buffer{}, 1); err != nil {
+		t.Errorf("rate 1: %v", err)
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestStickyWriteError(t *testing.T) {
+	tr, err := New(&errWriter{n: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ { // overrun the bufio buffer to force the write
+		tr.Emit(Event{T: float64(i), Kind: KindData, Router: 1})
+	}
+	if tr.Flush() == nil || tr.Err() == nil {
+		t.Error("write error should stick and surface via Flush/Err")
+	}
+	if tr.Seen() != 10000 {
+		t.Errorf("seen = %d; accounting must continue past write errors", tr.Seen())
+	}
+}
+
+// TestConcurrentEmit exercises the mutex under the race detector: the
+// parallel experiment engine shares one tracer across worker
+// goroutines.
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := New(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit(Event{T: float64(i), Kind: KindInterest, Router: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seen() != workers*perWorker {
+		t.Errorf("seen = %d, want %d", tr.Seen(), workers*perWorker)
+	}
+	want := uint64((workers*perWorker + 2) / 3)
+	if tr.Emitted() != want {
+		t.Errorf("emitted = %d, want %d", tr.Emitted(), want)
+	}
+	// Every line must still be a valid, complete JSON object.
+	sc := bufio.NewScanner(&buf)
+	var lines uint64
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("corrupt line under concurrency: %v", err)
+		}
+		lines++
+	}
+	if lines != tr.Emitted() {
+		t.Errorf("file has %d lines, tracer reports %d emitted", lines, tr.Emitted())
+	}
+}
