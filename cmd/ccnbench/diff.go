@@ -65,8 +65,11 @@ func loadFlat(path string) (map[string]any, error) {
 // runDiff prints the leaves that differ between two JSON files. Numeric
 // leaves show old, new, and relative change; other leaves show their
 // values; keys present on one side only are listed as added/removed.
-// Equal files print a single summary line.
-func runDiff(w io.Writer, oldPath, newPath string) error {
+// Equal files print a single summary line. tol is the relative
+// tolerance under which two numeric leaves count as equal (0 = exact):
+// noisy benchmark baselines diff cleanly with -tol 0.05 while
+// deterministic manifests keep the exact default.
+func runDiff(w io.Writer, oldPath, newPath string, tol float64) error {
 	oldFlat, err := loadFlat(oldPath)
 	if err != nil {
 		return err
@@ -104,7 +107,7 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 			on, oldNum := ov.(float64)
 			nn, newNum := nv.(float64)
 			if oldNum && newNum {
-				if on == nn {
+				if withinTol(on, nn, tol) {
 					continue
 				}
 				changed++
@@ -122,6 +125,16 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 	}
 	fmt.Fprintf(w, "%d of %d leaves differ (%s -> %s)\n", changed, len(sorted), oldPath, newPath)
 	return nil
+}
+
+// withinTol reports whether two numeric leaves are equal under the
+// relative tolerance: |a-b| <= tol*max(|a|,|b|). tol 0 is exact
+// equality, so a zero leaf only ever matches another zero.
+func withinTol(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // relChange formats the relative change from old to new.

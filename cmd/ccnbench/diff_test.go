@@ -35,7 +35,7 @@ func TestRunDiffBenchBaselines(t *testing.T) {
 		]
 	}`)
 	var buf bytes.Buffer
-	if err := runDiff(&buf, old, new); err != nil {
+	if err := runDiff(&buf, old, new, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +64,7 @@ func TestRunDiffIdenticalFiles(t *testing.T) {
 	a := writeJSON(t, dir, "a.json", body)
 	b := writeJSON(t, dir, "b.json", body)
 	var buf bytes.Buffer
-	if err := runDiff(&buf, a, b); err != nil {
+	if err := runDiff(&buf, a, b, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "0 of ") {
@@ -72,14 +72,49 @@ func TestRunDiffIdenticalFiles(t *testing.T) {
 	}
 }
 
+func TestRunDiffTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old := writeJSON(t, dir, "old.json", `{"a": 100, "b": 100, "c": 0, "d": "x"}`)
+	new := writeJSON(t, dir, "new.json", `{"a": 104, "b": 110, "c": 0.001, "d": "y"}`)
+
+	// Exact mode reports every numeric change.
+	var exact bytes.Buffer
+	if err := runDiff(&exact, old, new, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exact.String(), "4 of 4 leaves differ") {
+		t.Errorf("exact diff summary wrong:\n%s", exact.String())
+	}
+
+	// 5% tolerance: a (+4%) is absorbed, b (+10%) and c (zero vs
+	// non-zero: |a-b| > tol*max) still differ, and non-numeric leaves
+	// are never tolerance-matched.
+	var tol bytes.Buffer
+	if err := runDiff(&tol, old, new, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := tol.String()
+	if strings.Contains(out, "~ a\t") || strings.Contains(out, "~ a ") {
+		t.Errorf("4%% change reported under -tol 0.05:\n%s", out)
+	}
+	for _, want := range []string{"~ b", "~ c", "~ d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tolerant diff lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "3 of 4 leaves differ") {
+		t.Errorf("tolerant diff summary wrong:\n%s", out)
+	}
+}
+
 func TestRunDiffRejectsBadInput(t *testing.T) {
 	dir := t.TempDir()
 	bad := writeJSON(t, dir, "bad.json", "{not json")
 	good := writeJSON(t, dir, "good.json", "{}")
-	if err := runDiff(&bytes.Buffer{}, bad, good); err == nil {
+	if err := runDiff(&bytes.Buffer{}, bad, good, 0); err == nil {
 		t.Error("malformed JSON accepted")
 	}
-	if err := runDiff(&bytes.Buffer{}, good, filepath.Join(dir, "missing.json")); err == nil {
+	if err := runDiff(&bytes.Buffer{}, good, filepath.Join(dir, "missing.json"), 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }

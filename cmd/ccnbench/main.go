@@ -39,6 +39,7 @@ func main() {
 		out       = flag.String("out", "", "output directory or file; default BENCH_<date>.json in the current directory")
 		date      = flag.String("date", "", "date stamp for the baseline, YYYY-MM-DD; default today")
 		diff      = flag.Bool("diff", false, "diff two JSON files (bench baselines or manifests): ccnbench -diff old.json new.json")
+		tol       = flag.Float64("tol", 0, "relative tolerance for -diff numeric leaves: 0.05 treats values within 5% as equal (default exact)")
 	)
 	flag.Parse()
 	if *diff {
@@ -46,7 +47,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ccnbench: -diff needs exactly two files")
 			os.Exit(1)
 		}
-		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		if *tol < 0 {
+			fmt.Fprintln(os.Stderr, "ccnbench: -tol must be non-negative")
+			os.Exit(1)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "ccnbench:", err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -26,8 +27,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"ccncoord/internal/experiments"
+	"ccncoord/internal/obs"
 	"ccncoord/internal/par"
 	"ccncoord/internal/plot"
 	"ccncoord/internal/prof"
@@ -96,6 +99,9 @@ func artifacts(requests, replicas int) []artifact {
 		{id: "adaptive-drift", about: "adaptive provisioning under popularity drift", table: func() (experiments.Table, error) {
 			return experiments.AdaptiveDrift(requests, 4)
 		}},
+		{id: "validation-spans", about: "span-level per-rank-band behavior vs analytical bands", table: func() (experiments.Table, error) {
+			return experiments.ValidationSpans(requests)
+		}},
 	}
 }
 
@@ -109,8 +115,9 @@ func main() {
 		requests   = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
 		replicas   = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
 		workers     = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
-		tracePath   = flag.String("trace", "", "write a JSONL event trace of every simulation run to this file")
-		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 writes every 100th event")
+		httpAddr    = flag.String("http", "", "serve live run progress, metrics and pprof on this address (e.g. 127.0.0.1:8080)")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace of every simulation run to this file (.gz compresses)")
+		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
 		manifest    = flag.String("manifest", "", "write an artifact manifest (ids, sizes, sha256 digests) to this file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation heap profile to this file")
@@ -119,23 +126,29 @@ func main() {
 	experiments.SetWorkers(*workers)
 	traceDone := func() error { return nil }
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccnexp:", err)
-			os.Exit(1)
-		}
-		tr, err := trace.NewSampled(f, *traceSample)
+		tr, done, err := trace.OpenFile(*tracePath, *traceSample)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccnexp:", err)
 			os.Exit(1)
 		}
 		experiments.SetTracer(tr)
-		traceDone = func() error {
-			if err := tr.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
+		traceDone = done
+	}
+	var progress *obs.Progress
+	obsDone := func() error { return nil }
+	if *httpAddr != "" {
+		progress = obs.NewProgress()
+		experiments.SetProgress(progress)
+		addr, shutdown, err := obs.Start(*httpAddr, obs.NewMux(progress))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccnexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccnexp: serving metrics on http://%s/metrics\n", addr)
+		obsDone = func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return shutdown(ctx)
 		}
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -161,11 +174,15 @@ func main() {
 	case *plotOut:
 		mode = modePlot
 	}
-	if err := runArtifacts(arts, *run, mode, *outDir, *manifest); err != nil {
+	if err := runArtifacts(arts, *run, mode, *outDir, *manifest, progress); err != nil {
 		fmt.Fprintln(os.Stderr, "ccnexp:", err)
 		os.Exit(1)
 	}
 	if err := traceDone(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
+	if err := obsDone(); err != nil {
 		fmt.Fprintln(os.Stderr, "ccnexp:", err)
 		os.Exit(1)
 	}
@@ -240,7 +257,7 @@ func writeArtifactManifest(path, run string, mode outputMode, selected []artifac
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-func runArtifacts(arts []artifact, id string, mode outputMode, outDir, manifestPath string) error {
+func runArtifacts(arts []artifact, id string, mode outputMode, outDir, manifestPath string, progress *obs.Progress) error {
 	var selected []artifact
 	for _, a := range arts {
 		if id == "all" || a.id == id {
@@ -255,6 +272,9 @@ func runArtifacts(arts []artifact, id string, mode outputMode, outDir, manifestP
 		sort.Strings(ids)
 		return fmt.Errorf("unknown artifact %q (have %v)", id, ids)
 	}
+	if progress != nil {
+		progress.SetArtifactsTotal(len(selected))
+	}
 	// Render every artifact concurrently, then emit sequentially in
 	// selection order: the bytes on stdout or disk never depend on the
 	// pool width or completion order.
@@ -262,6 +282,9 @@ func runArtifacts(arts []artifact, id string, mode outputMode, outDir, manifestP
 		var buf bytes.Buffer
 		if err := emit(&buf, selected[i], mode); err != nil {
 			return nil, fmt.Errorf("%s: %w", selected[i].id, err)
+		}
+		if progress != nil {
+			progress.ArtifactDone()
 		}
 		return buf.Bytes(), nil
 	})

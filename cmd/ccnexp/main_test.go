@@ -30,14 +30,14 @@ func TestArtifactsWellFormed(t *testing.T) {
 }
 
 func TestRunArtifactsUnknownID(t *testing.T) {
-	if err := runArtifacts(artifacts(1000, 2), "nope", modeText, "", ""); err == nil {
+	if err := runArtifacts(artifacts(1000, 2), "nope", modeText, "", "", nil); err == nil {
 		t.Error("unknown artifact id should fail")
 	}
 }
 
 func TestRunArtifactsWritesFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := runArtifacts(artifacts(1000, 2), "fig4", modeCSV, dir, ""); err != nil {
+	if err := runArtifacts(artifacts(1000, 2), "fig4", modeCSV, dir, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))

@@ -11,15 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"ccncoord/internal/fault"
 	"ccncoord/internal/model"
+	"ccncoord/internal/obs"
 	"ccncoord/internal/prof"
 	"ccncoord/internal/sim"
 	"ccncoord/internal/topology"
@@ -47,8 +50,9 @@ func main() {
 		mttr       = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
 		faultSeed  = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
 		failSpec    = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
-		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (see internal/trace)")
-		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 writes every 100th event")
+		httpAddr    = flag.String("http", "", "serve run progress, metrics and pprof on this address for the duration of the run")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses; see internal/trace)")
+		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
 		manifest    = flag.String("manifest", "", "write the run's observability manifest (JSON) to this file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation heap profile to this file")
@@ -60,19 +64,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
 		os.Exit(1)
 	}
-	obs := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest}
+	obsf := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest}
+	obsDone := func() error { return nil }
+	if *httpAddr != "" {
+		obsf.progress = obs.NewProgress()
+		addr, shutdown, serr := obs.Start(*httpAddr, obs.NewMux(obsf.progress))
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "ccnsim:", serr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccnsim: serving metrics on http://%s/metrics\n", addr)
+		obsDone = func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return shutdown(ctx)
+		}
+	}
 	if *adaptive > 0 {
 		if *manifest != "" {
 			err = fmt.Errorf("-manifest applies to single runs, not -adaptive")
 		} else {
-			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, obs)
+			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, obsf)
 		}
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
-			*mtbf, *mttr, *faultSeed, *failSpec, obs)
+			*mtbf, *mttr, *faultSeed, *failSpec, obsf)
 	}
 	if err == nil {
 		err = stopProf()
+	}
+	if err == nil {
+		err = obsDone()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
@@ -80,36 +102,42 @@ func main() {
 	}
 }
 
-// obsFlags carries the observability flags shared by the run modes.
+// obsFlags carries the observability options shared by the run modes.
 type obsFlags struct {
 	tracePath    string
 	traceSample  float64
 	manifestPath string
+	progress     *obs.Progress // nil unless -http is serving
 }
 
 // openTracer builds the tracer from the flags, or returns nils when
-// tracing is off. done flushes and closes the trace file.
+// tracing is off. done flushes and closes the trace file (and its gzip
+// layer for .gz paths).
 func (o obsFlags) openTracer() (tr *trace.Tracer, done func() error, err error) {
 	if o.tracePath == "" {
 		return nil, func() error { return nil }, nil
 	}
-	f, err := os.Create(o.tracePath)
-	if err != nil {
-		return nil, nil, fmt.Errorf("creating trace file: %w", err)
+	return trace.OpenFile(o.tracePath, o.traceSample)
+}
+
+// simStarted ticks the live progress tracker, if serving.
+func (o obsFlags) simStarted() {
+	if o.progress != nil {
+		o.progress.SimStarted()
 	}
-	tr, err = trace.NewSampled(f, o.traceSample)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
+}
+
+// simFinished ticks the live progress tracker and publishes the run's
+// metrics snapshot for /metrics, if serving.
+func (o obsFlags) simFinished(res *sim.Result) {
+	if o.progress == nil {
+		return
 	}
-	done = func() error {
-		if err := tr.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+	o.progress.SimFinished(int64(res.Requests))
+	if res.Manifest != nil {
+		snap := res.Manifest.Metrics
+		o.progress.Publish(&snap)
 	}
-	return tr, done, nil
 }
 
 // writeManifest serializes the run manifest to the flagged path.
@@ -161,9 +189,17 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
 		UnitCost: 26.7, Alpha: 0.95,
 	}
+	obs.simStarted()
 	records, err := sim.AdaptiveRun(sc, base, epochs)
 	if err != nil {
 		return err
+	}
+	if obs.progress != nil {
+		var reqs int64
+		for _, e := range records {
+			reqs += int64(e.Result.Requests)
+		}
+		obs.progress.SimFinished(reqs)
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "epoch\tpolicy\testimated s\tlevel l*\torigin load\tcoord msgs")
@@ -279,7 +315,7 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		MTTR:          mttr,
 		FaultSeed:     faultSeed,
 		Tracer:        tr,
-		EmitManifest:  obs.manifestPath != "",
+		EmitManifest:  obs.manifestPath != "" || obs.progress != nil,
 	}
 	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
@@ -287,10 +323,12 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	if pol != sim.PolicyCoordinated {
 		sc.Coordinated = 0
 	}
+	obs.simStarted()
 	res, err := sim.Run(sc)
 	if err != nil {
 		return err
 	}
+	obs.simFinished(&res)
 	if err := traceDone(); err != nil {
 		return err
 	}

@@ -1,0 +1,453 @@
+// Command ccntrace analyzes JSONL event traces written by ccnsim and
+// ccnexp (-trace): it reconstructs per-request spans with their latency
+// decomposition (internal/spans) and reports on them. Plain and
+// gzip-compressed traces are both read transparently.
+//
+// Usage:
+//
+//	ccntrace summary trace.jsonl          # aggregate span statistics
+//	ccntrace summary -json trace.jsonl.gz
+//	ccntrace spans -router 3 -tier origin trace.jsonl   # filtered span list (JSONL)
+//	ccntrace spans -from 500 -to 1500 -content 42 trace.jsonl
+//	ccntrace slow -top 10 trace.jsonl     # slowest requests, worst first
+//	ccntrace export -chrome trace.jsonl > trace.chrome.json
+//
+// The Chrome export loads directly into Perfetto (ui.perfetto.dev) or
+// chrome://tracing: each request becomes a complete slice on its
+// first-hop router's track, with instant markers for retries, drops
+// and control-plane events.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"ccncoord/internal/spans"
+	"ccncoord/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = summaryCmd(os.Args[2:], os.Stdout)
+	case "spans":
+		err = spansCmd(os.Args[2:], os.Stdout)
+	case "slow":
+		err = slowCmd(os.Args[2:], os.Stdout)
+	case "export":
+		err = exportCmd(os.Args[2:], os.Stdout)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ccntrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccntrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ccntrace <command> [flags] <trace-file>
+
+commands:
+  summary   aggregate span statistics (counts, tiers, latency decomposition)
+  spans     list reconstructed spans as JSONL, with filters
+  slow      list the slowest requests, worst first
+  export    convert the trace for external viewers (-chrome for Perfetto)
+
+Trace files are JSONL as written by ccnsim/ccnexp -trace; a .gz suffix
+(or gzip content under any name) is decompressed transparently.`)
+}
+
+// traceArg extracts the single positional trace-file argument.
+func traceArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("want exactly one trace file argument, got %d", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+// summaryStats is the machine-readable summary document.
+type summaryStats struct {
+	Spans      int   `json:"spans"`
+	Incomplete int   `json:"incomplete"`
+	Orphans    int   `json:"orphans"`
+	Truncated  bool  `json:"truncated"`
+	Failed     int64 `json:"failed"`
+	Aggregated int64 `json:"aggregated"`
+	Retries    int64 `json:"retries"`
+	Drops      int64 `json:"drops"`
+
+	Tiers   map[string]int64 `json:"tiers"`
+	Kinds   map[string]int   `json:"kinds"`
+	Control map[string]int   `json:"control,omitempty"`
+
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	// Mean latency decomposition across all complete spans; the five
+	// components sum to MeanMs (propagation absorbs rounding).
+	MeanAccessMs      float64 `json:"mean_access_ms"`
+	MeanPropagationMs float64 `json:"mean_propagation_ms"`
+	MeanRetxBackoffMs float64 `json:"mean_retx_backoff_ms"`
+	MeanOriginSvcMs   float64 `json:"mean_origin_svc_ms"`
+	MeanAggWaitMs     float64 `json:"mean_agg_wait_ms"`
+}
+
+func summarize(set *spans.Set) summaryStats {
+	st := summaryStats{
+		Spans:      len(set.Spans),
+		Incomplete: set.Incomplete,
+		Orphans:    set.Orphans,
+		Truncated:  set.Truncated,
+		Tiers:      set.TierCounts(),
+		Kinds:      set.Kinds,
+		Control:    set.Control,
+	}
+	if len(set.Spans) == 0 {
+		return st
+	}
+	totals := make([]float64, 0, len(set.Spans))
+	for i := range set.Spans {
+		sp := &set.Spans[i]
+		t := sp.TotalMs()
+		totals = append(totals, t)
+		st.MeanMs += t
+		st.MeanAccessMs += sp.AccessMs
+		st.MeanPropagationMs += sp.PropagationMs
+		st.MeanRetxBackoffMs += sp.RetxBackoffMs
+		st.MeanOriginSvcMs += sp.OriginSvcMs
+		st.MeanAggWaitMs += sp.AggWaitMs
+		st.Retries += int64(sp.Retries)
+		st.Drops += int64(sp.Drops)
+		if sp.Failed {
+			st.Failed++
+		}
+		if sp.Aggregated {
+			st.Aggregated++
+		}
+	}
+	n := float64(len(totals))
+	st.MeanMs /= n
+	st.MeanAccessMs /= n
+	st.MeanPropagationMs /= n
+	st.MeanRetxBackoffMs /= n
+	st.MeanOriginSvcMs /= n
+	st.MeanAggWaitMs /= n
+	sort.Float64s(totals)
+	st.P50Ms = percentile(totals, 0.50)
+	st.P95Ms = percentile(totals, 0.95)
+	st.P99Ms = percentile(totals, 0.99)
+	st.MaxMs = totals[len(totals)-1]
+	return st
+}
+
+// percentile reads the p-quantile from an ascending slice
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func summaryCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := traceArg(fs)
+	if err != nil {
+		return err
+	}
+	set, err := spans.Load(path)
+	if err != nil {
+		return err
+	}
+	st := summarize(set)
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "spans (complete)\t%d\n", st.Spans)
+	fmt.Fprintf(tw, "incomplete / orphans\t%d / %d\n", st.Incomplete, st.Orphans)
+	if st.Truncated {
+		fmt.Fprintf(tw, "truncated\ttrace ends mid-stream\n")
+	}
+	for _, tier := range sortedKeys(st.Tiers) {
+		fmt.Fprintf(tw, "tier %s\t%d\n", tier, st.Tiers[tier])
+	}
+	fmt.Fprintf(tw, "failed / aggregated\t%d / %d\n", st.Failed, st.Aggregated)
+	fmt.Fprintf(tw, "retries / drops\t%d / %d\n", st.Retries, st.Drops)
+	fmt.Fprintf(tw, "latency mean / p50 / p95 / p99 / max (ms)\t%.2f / %.2f / %.2f / %.2f / %.2f\n",
+		st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs)
+	fmt.Fprintf(tw, "mean decomposition (ms)\taccess %.2f, propagation %.2f, retx %.2f, origin %.2f, agg-wait %.2f\n",
+		st.MeanAccessMs, st.MeanPropagationMs, st.MeanRetxBackoffMs, st.MeanOriginSvcMs, st.MeanAggWaitMs)
+	return tw.Flush()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// spanFilter is the predicate built from the spans-command flags.
+type spanFilter struct {
+	router, content int64
+	tier, kind      string
+	from, to        float64
+}
+
+func (f spanFilter) match(sp *spans.Span) bool {
+	if f.router >= 0 && int64(sp.Router) != f.router {
+		return false
+	}
+	if f.content > 0 && sp.Content != f.content {
+		return false
+	}
+	if f.tier != "" && sp.Tier != f.tier {
+		return false
+	}
+	if f.kind != "" {
+		found := false
+		for _, ev := range sp.Events {
+			if ev.Kind == f.kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if sp.End < f.from {
+		return false
+	}
+	if f.to >= 0 && sp.Start > f.to {
+		return false
+	}
+	return true
+}
+
+// writeSpans prints spans as JSONL, stripping the event list unless
+// withEvents is set.
+func writeSpans(w io.Writer, list []spans.Span, withEvents bool) error {
+	enc := json.NewEncoder(w)
+	for i := range list {
+		sp := list[i]
+		if !withEvents {
+			sp.Events = nil
+		}
+		if err := enc.Encode(&sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func spansCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	var f spanFilter
+	fs.Int64Var(&f.router, "router", -1, "keep spans issued at this first-hop router")
+	fs.Int64Var(&f.content, "content", 0, "keep spans for this content rank")
+	fs.StringVar(&f.tier, "tier", "", "keep spans served by this tier (local, peer, origin, failed)")
+	fs.StringVar(&f.kind, "kind", "", "keep spans whose lifecycle contains an event of this kind (e.g. retry, drop, agg)")
+	fs.Float64Var(&f.from, "from", 0, "keep spans overlapping [from, to] ms (span end >= from)")
+	fs.Float64Var(&f.to, "to", -1, "keep spans overlapping [from, to] ms (span start <= to; -1 = open)")
+	withEvents := fs.Bool("events", false, "include each span's full event list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := traceArg(fs)
+	if err != nil {
+		return err
+	}
+	set, err := spans.Load(path)
+	if err != nil {
+		return err
+	}
+	var matched []spans.Span
+	for i := range set.Spans {
+		if f.match(&set.Spans[i]) {
+			matched = append(matched, set.Spans[i])
+		}
+	}
+	return writeSpans(w, matched, *withEvents)
+}
+
+func slowCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("slow", flag.ExitOnError)
+	top := fs.Int("top", 10, "how many of the slowest requests to list")
+	withEvents := fs.Bool("events", false, "include each span's full event list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *top < 1 {
+		return fmt.Errorf("-top must be positive, got %d", *top)
+	}
+	path, err := traceArg(fs)
+	if err != nil {
+		return err
+	}
+	set, err := spans.Load(path)
+	if err != nil {
+		return err
+	}
+	list := append([]spans.Span(nil), set.Spans...)
+	sort.SliceStable(list, func(i, j int) bool {
+		ti, tj := list[i].TotalMs(), list[j].TotalMs()
+		if ti != tj {
+			return ti > tj
+		}
+		return list[i].Req < list[j].Req
+	})
+	if len(list) > *top {
+		list = list[:*top]
+	}
+	return writeSpans(w, list, *withEvents)
+}
+
+func exportCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	chrome := fs.Bool("chrome", false, "emit Chrome trace-event JSON (Perfetto, chrome://tracing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*chrome {
+		return fmt.Errorf("export: no format selected (want -chrome)")
+	}
+	path, err := traceArg(fs)
+	if err != nil {
+		return err
+	}
+	f, err := spans.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Collect spans and, separately, the control-plane events the span
+	// set only counts: the export shows both.
+	c := spans.NewCollector()
+	var control []trace.Event
+	truncated, err := spans.Decode(f, func(ev trace.Event) error {
+		if ev.Req <= 0 {
+			control = append(control, ev)
+		}
+		c.Add(ev)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	set := c.Finish()
+	set.Truncated = truncated
+	return writeChrome(w, set, control)
+}
+
+// chromeEvent is one record of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are microseconds; the simulator's virtual
+// milliseconds are scaled by 1000.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object form of the trace-event file.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// writeChrome renders the span set as Chrome trace-event JSON: one
+// complete ("X") slice per request on its first-hop router's track,
+// instant markers for retries and drops on the routers where they
+// fired, and global instants for control-plane events.
+func writeChrome(w io.Writer, set *spans.Set, control []trace.Event) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i := range set.Spans {
+		sp := &set.Spans[i]
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("req %d rank %d", sp.Req, sp.Content),
+			Cat:  sp.Tier,
+			Ph:   "X",
+			Ts:   sp.Start * 1000,
+			Dur:  sp.TotalMs() * 1000,
+			Pid:  0,
+			Tid:  sp.Router,
+			Args: map[string]any{
+				"tier": sp.Tier, "hops": sp.Hops, "failed": sp.Failed,
+				"access_ms": sp.AccessMs, "propagation_ms": sp.PropagationMs,
+				"retx_backoff_ms": sp.RetxBackoffMs, "origin_svc_ms": sp.OriginSvcMs,
+				"agg_wait_ms": sp.AggWaitMs,
+			},
+		})
+		for _, ev := range sp.Events {
+			switch ev.Kind {
+			case trace.KindRetry, trace.KindDrop, trace.KindExpire:
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: ev.Kind,
+					Cat:  ev.Kind,
+					Ph:   "i",
+					Ts:   ev.T * 1000,
+					Pid:  0,
+					Tid:  ev.Router,
+					S:    "t",
+					Args: map[string]any{"req": ev.Req, "content": ev.Content, "detail": ev.Detail},
+				})
+			}
+		}
+	}
+	for _, ev := range control {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("%s %s", ev.Kind, ev.Detail),
+			Cat:  "control",
+			Ph:   "i",
+			Ts:   ev.T * 1000,
+			Pid:  0,
+			Tid:  ev.Router,
+			S:    "g",
+			Args: map[string]any{"n": ev.N, "peer": ev.Peer},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/fault"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/spans"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
+)
+
+// writeTestTrace runs a small faulty scenario at stride 1 and writes
+// the trace to dir, returning the path and the run result.
+func writeTestTrace(t *testing.T, dir, name string) (string, sim.Result) {
+	t.Helper()
+	g := topology.New("mesh4")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.MustAddEdge(topology.NodeID(a), topology.NodeID(b), 5)
+		}
+	}
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Scenario{
+		Topology:    g,
+		CatalogSize: 100,
+		ZipfS:       0.8,
+		Capacity:    10,
+		Coordinated: 5,
+		Policy:      sim.PolicyCoordinated,
+		Requests:    500,
+		Seed:        7,
+
+		AccessLatency: 1,
+		OriginLatency: 50,
+		OriginGateway: 0,
+		RetxTimeout:   150,
+
+		HeartbeatInterval: 50,
+		HeartbeatMisses:   2,
+		FaultScript:       []fault.Event{{At: 100, Kind: fault.RouterDown, Node: 1}},
+
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	var data []byte
+	if strings.HasSuffix(name, ".gz") {
+		var gz bytes.Buffer
+		zw := gzip.NewWriter(&gz)
+		if _, err := zw.Write(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data = gz.Bytes()
+	} else {
+		data = buf.Bytes()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, res
+}
+
+func TestSummaryJSON(t *testing.T) {
+	for _, name := range []string{"t.jsonl", "t.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path, res := writeTestTrace(t, t.TempDir(), name)
+			var out bytes.Buffer
+			if err := summaryCmd([]string{"-json", path}, &out); err != nil {
+				t.Fatal(err)
+			}
+			var st summaryStats
+			if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+				t.Fatalf("summary -json output is not JSON: %v\n%s", err, out.String())
+			}
+			if st.Spans != res.Requests {
+				t.Errorf("summary reports %d spans, run measured %d requests", st.Spans, res.Requests)
+			}
+			if st.Incomplete != 0 || st.Truncated {
+				t.Errorf("complete trace reported incomplete=%d truncated=%v", st.Incomplete, st.Truncated)
+			}
+			if st.MeanMs <= 0 || st.MaxMs < st.P99Ms || st.P99Ms < st.P50Ms {
+				t.Errorf("implausible latency stats: %+v", st)
+			}
+			sum := st.MeanAccessMs + st.MeanPropagationMs + st.MeanRetxBackoffMs +
+				st.MeanOriginSvcMs + st.MeanAggWaitMs
+			if diff := sum - st.MeanMs; diff < -0.01 {
+				t.Errorf("mean decomposition %v under-sums mean latency %v", sum, st.MeanMs)
+			}
+		})
+	}
+}
+
+func TestSummaryText(t *testing.T) {
+	path, _ := writeTestTrace(t, t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	if err := summaryCmd([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spans (complete)", "tier ", "latency mean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary text missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSpansFilters(t *testing.T) {
+	path, _ := writeTestTrace(t, t.TempDir(), "t.jsonl")
+	decode := func(out *bytes.Buffer) []spans.Span {
+		t.Helper()
+		var list []spans.Span
+		dec := json.NewDecoder(out)
+		for dec.More() {
+			var sp spans.Span
+			if err := dec.Decode(&sp); err != nil {
+				t.Fatal(err)
+			}
+			list = append(list, sp)
+		}
+		return list
+	}
+
+	var all bytes.Buffer
+	if err := spansCmd([]string{path}, &all); err != nil {
+		t.Fatal(err)
+	}
+	unfiltered := decode(&all)
+	if len(unfiltered) == 0 {
+		t.Fatal("no spans listed")
+	}
+	for i := range unfiltered {
+		if len(unfiltered[i].Events) != 0 {
+			t.Fatal("event lists included without -events")
+		}
+	}
+
+	var byRouter bytes.Buffer
+	if err := spansCmd([]string{"-router", "2", "-tier", "origin", path}, &byRouter); err != nil {
+		t.Fatal(err)
+	}
+	filtered := decode(&byRouter)
+	if len(filtered) == 0 || len(filtered) >= len(unfiltered) {
+		t.Fatalf("filter kept %d of %d spans", len(filtered), len(unfiltered))
+	}
+	for i := range filtered {
+		if filtered[i].Router != 2 || filtered[i].Tier != "origin" {
+			t.Errorf("span %d escaped the filter: router %d tier %s",
+				filtered[i].Req, filtered[i].Router, filtered[i].Tier)
+		}
+	}
+
+	var windowed bytes.Buffer
+	if err := spansCmd([]string{"-from", "100", "-to", "200", path}, &windowed); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range decode(&windowed) {
+		if sp.End < 100 || sp.Start > 200 {
+			t.Errorf("span %d [%v, %v] outside window [100, 200]", sp.Req, sp.Start, sp.End)
+		}
+	}
+
+	var byKind bytes.Buffer
+	if err := spansCmd([]string{"-kind", "drop", path}, &byKind); err != nil {
+		t.Fatal(err)
+	}
+	dropped := decode(&byKind)
+	if len(dropped) == 0 || len(dropped) >= len(unfiltered) {
+		t.Fatalf("-kind drop kept %d of %d spans", len(dropped), len(unfiltered))
+	}
+	for i := range dropped {
+		if dropped[i].Drops == 0 {
+			t.Errorf("span %d has no drops but matched -kind drop", dropped[i].Req)
+		}
+	}
+
+	var withEvents bytes.Buffer
+	if err := spansCmd([]string{"-events", "-router", "2", path}, &withEvents); err != nil {
+		t.Fatal(err)
+	}
+	evSpans := decode(&withEvents)
+	if len(evSpans) == 0 || len(evSpans[0].Events) == 0 {
+		t.Error("-events did not include event lists")
+	}
+}
+
+func TestSlowOrdering(t *testing.T) {
+	path, _ := writeTestTrace(t, t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	if err := slowCmd([]string{"-top", "5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var prev = -1.0
+	n := 0
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var sp spans.Span
+		if err := dec.Decode(&sp); err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && sp.TotalMs() > prev {
+			t.Errorf("slow list not descending: %v after %v", sp.TotalMs(), prev)
+		}
+		prev = sp.TotalMs()
+		n++
+	}
+	if n != 5 {
+		t.Errorf("listed %d spans, want 5", n)
+	}
+}
+
+func TestExportChrome(t *testing.T) {
+	path, res := writeTestTrace(t, t.TempDir(), "t.jsonl.gz")
+	var out bytes.Buffer
+	if err := exportCmd([]string{"-chrome", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", doc.DisplayTimeUnit)
+	}
+	var slices, instants, controls int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("slice %q has ts %v dur %v", ev.Name, ev.Ts, ev.Dur)
+			}
+		case "i":
+			instants++
+			if ev.Cat == "control" {
+				controls++
+				if ev.S != "g" {
+					t.Errorf("control instant %q has scope %q, want g", ev.Name, ev.S)
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices != res.Requests {
+		t.Errorf("%d slices, want one per measured request (%d)", slices, res.Requests)
+	}
+	if controls == 0 {
+		t.Error("no control-plane instants despite an injected fault")
+	}
+
+	// Microsecond scaling: the earliest slice starts at issue time, in
+	// virtual ms, scaled by 1000.
+	set, err := spans.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTs := set.Spans[0].Start * 1000
+	var got = -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			got = ev.Ts
+			break
+		}
+	}
+	if got != wantTs {
+		t.Errorf("first slice ts %v, want %v (µs)", got, wantTs)
+	}
+}
+
+func TestExportRequiresFormat(t *testing.T) {
+	path, _ := writeTestTrace(t, t.TempDir(), "t.jsonl")
+	if err := exportCmd([]string{path}, new(bytes.Buffer)); err == nil {
+		t.Error("export without -chrome succeeded")
+	}
+}

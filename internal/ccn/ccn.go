@@ -94,6 +94,10 @@ type RequestResult struct {
 	// router was crashed, or the bounded retry budget was exhausted
 	// without data arriving. ServedBy is ServedNone and Server is -1.
 	Failed bool
+	// Req is the request's monotonic per-run identity (1-based,
+	// allocated in issue order across all client requests, warmup
+	// included). Trace events caused by this request carry the same ID.
+	Req int64
 }
 
 // Latency returns the client-observed request latency.
@@ -196,13 +200,17 @@ const (
 type pendingRequest struct {
 	issuedAt float64
 	done     func(RequestResult)
+	req      int64 // the request's per-run identity
 }
 
 // pitFace is one downstream requester of a pending interest: either a
-// neighboring router or a local client.
+// neighboring router or a local client. req is the identity of the
+// client request whose lifecycle opened this face — the faces slice of
+// an entry is therefore the full set of request IDs aggregated on it.
 type pitFace struct {
 	neighbor topology.NodeID // used when request is nil
 	request  *pendingRequest // non-nil for client faces
+	req      int64
 }
 
 // pitEntry aggregates all downstream requesters of one content and
@@ -212,6 +220,11 @@ type pitEntry struct {
 	// attempts counts upstream sends so far (1 after the initial
 	// forward); the retry budget caps it at 1+MaxRetries.
 	attempts int
+	// primaryReq is the request that created the entry and drove the
+	// upstream send; retries, expiries and the upstream data leg are
+	// attributed to it (aggregated requests observe recovery only
+	// through their own return-path events).
+	primaryReq int64
 }
 
 // node is one CCN router: content store plus PIT, with activity
@@ -268,6 +281,11 @@ type Network struct {
 	// rng drives the loss process and retransmission jitter; nil on
 	// lossless, fault-free fabrics.
 	rng *rand.Rand
+
+	// nextReq is the last allocated request identity; Request allocates
+	// IDs monotonically in issue order, so they are deterministic for a
+	// given arrival schedule regardless of tracing.
+	nextReq int64
 
 	// linkBusy tracks, per directed link, when its transmitter frees up
 	// (finite LinkRate only). The origin uplink of router r is keyed as
@@ -566,7 +584,7 @@ func (n *Network) flushPIT(nd *node) {
 		delete(nd.pit, id)
 		n.expiredEntries++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nd.id), Content: int64(id), Detail: "crash-flush"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nd.id), Content: int64(id), Detail: "crash-flush", Req: entry.primaryReq})
 		}
 		for _, f := range entry.faces {
 			if f.request != nil {
@@ -589,6 +607,7 @@ func (n *Network) failRequest(nid topology.NodeID, id catalog.ID, req *pendingRe
 		ServedBy:    ServedNone,
 		Failed:      true,
 		CompletedAt: n.eng.Now() + n.opts.AccessLatency,
+		Req:         req.req,
 	}
 	if err := n.eng.Schedule(n.opts.AccessLatency, func() { req.done(result) }); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling failure completion: %v", err))
@@ -599,23 +618,33 @@ func (n *Network) failRequest(nid topology.NodeID, id catalog.ID, req *pendingRe
 // issued at the engine's current time. done fires when the data reaches
 // the client.
 func (n *Network) Request(router topology.NodeID, id catalog.ID, done func(RequestResult)) error {
+	_, err := n.RequestID(router, id, done)
+	return err
+}
+
+// RequestID is Request returning the allocated request identity: a
+// monotonic 1-based per-run ID, assigned in issue order. Every trace
+// event caused by this request's lifecycle carries the same ID, and the
+// completion's RequestResult.Req echoes it.
+func (n *Network) RequestID(router topology.NodeID, id catalog.ID, done func(RequestResult)) (int64, error) {
 	if !n.attached {
-		return fmt.Errorf("ccn: origin not attached; call AttachOriginAt or AttachOriginUniform")
+		return 0, fmt.Errorf("ccn: origin not attached; call AttachOriginAt or AttachOriginUniform")
 	}
 	if int(router) < 0 || int(router) >= len(n.nodes) {
-		return fmt.Errorf("ccn: unknown router %d", router)
+		return 0, fmt.Errorf("ccn: unknown router %d", router)
 	}
 	if !n.cat.Contains(id) {
-		return fmt.Errorf("ccn: content %d outside catalog", id)
+		return 0, fmt.Errorf("ccn: content %d outside catalog", id)
 	}
 	if done == nil {
 		done = func(RequestResult) {}
 	}
-	req := &pendingRequest{issuedAt: n.eng.Now(), done: done}
+	n.nextReq++
+	req := &pendingRequest{issuedAt: n.eng.Now(), done: done, req: n.nextReq}
 	// The interest reaches the first-hop router after the access
 	// latency.
-	return n.eng.Schedule(n.opts.AccessLatency, func() {
-		n.handleInterest(router, id, pitFace{request: req})
+	return n.nextReq, n.eng.Schedule(n.opts.AccessLatency, func() {
+		n.handleInterest(router, id, pitFace{request: req, req: req.req})
 	})
 }
 
@@ -629,7 +658,7 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 		// are covered by the downstream router's retry timer.
 		n.faultDrops++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault", Req: from.req})
 		}
 		if from.request != nil {
 			n.failRequest(nid, id, from.request)
@@ -645,37 +674,44 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 	}
 	nd.csMisses++
 	if entry, ok := nd.pit[id]; ok {
-		// Interest aggregation: the content is already on its way.
+		// Interest aggregation: the content is already on its way. An
+		// equal Req/N pair marks a retransmitted interest rejoining its
+		// own entry, not a true aggregation.
 		nd.aggregated++
 		entry.faces = append(entry.faces, from)
+		if n.opts.Tracer != nil {
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindAggregate, Router: int(nid), Content: int64(id), Req: from.req, N: entry.primaryReq})
+		}
 		return
 	}
-	entry := &pitEntry{faces: []pitFace{from}, attempts: 1}
+	entry := &pitEntry{faces: []pitFace{from}, attempts: 1, primaryReq: from.req}
 	nd.pit[id] = entry
 	if len(nd.pit) > nd.pitPeak {
 		nd.pitPeak = len(nd.pit)
 	}
 	nd.forwarded++
-	n.sendUpstream(nid, id, false)
+	n.sendUpstream(nid, id, false, from.req, "")
 	n.armRetx(nid, id, entry)
 }
 
 // sendUpstream forwards an interest from nid toward its upstream: the
 // coordinated owner if the directory knows one and a route to it
 // exists, otherwise the origin. forceOrigin bypasses the directory —
-// the graceful-degradation path late in a retry budget.
-func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID, forceOrigin bool) {
+// the graceful-degradation path late in a retry budget. req/cause
+// carry the causal request identity and send qualifier ("", "retx",
+// "fallback") onto the emitted interest events.
+func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID, forceOrigin bool, req int64, cause string) {
 	if !forceOrigin && n.opts.Directory != nil {
 		if owner, ok := n.opts.Directory.Owner(id); ok && owner != nid {
 			if next := n.lat.Next(nid, owner); next >= 0 {
-				n.forwardInterest(nid, next, id)
+				n.forwardInterest(nid, next, id, req, cause)
 				return
 			}
 			// The owner is unreachable (crashed or partitioned): fall
 			// through to the origin.
 		}
 	}
-	n.forwardToOrigin(nid, id)
+	n.forwardToOrigin(nid, id, req, cause)
 }
 
 // armRetx schedules the bounded interest-retransmission timer for
@@ -710,7 +746,7 @@ func (n *Network) armRetx(nid topology.NodeID, id catalog.ID, entry *pitEntry) {
 			delete(nd.pit, id)
 			n.expiredEntries++
 			if n.opts.Tracer != nil {
-				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nid), Content: int64(id), N: int64(entry.attempts)})
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindExpire, Router: int(nid), Content: int64(id), N: int64(entry.attempts), Req: entry.primaryReq})
 			}
 			for _, f := range entry.faces {
 				if f.request != nil {
@@ -722,11 +758,15 @@ func (n *Network) armRetx(nid topology.NodeID, id catalog.ID, entry *pitEntry) {
 		n.retransmissions++
 		entry.attempts++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindRetry, Router: int(nid), Content: int64(id), N: int64(entry.attempts)})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindRetry, Router: int(nid), Content: int64(id), N: int64(entry.attempts), Req: entry.primaryReq})
 		}
 		forceOrigin := n.opts.Faults && n.opts.OriginFallbackRetries > 0 &&
 			entry.attempts > 1+n.opts.OriginFallbackRetries
-		n.sendUpstream(nid, id, forceOrigin)
+		cause := "retx"
+		if forceOrigin {
+			cause = "fallback"
+		}
+		n.sendUpstream(nid, id, forceOrigin, entry.primaryReq, cause)
 		n.armRetx(nid, id, entry)
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling retransmission: %v", err))
@@ -800,19 +840,19 @@ func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
 // forwardToOrigin sends the interest one hop toward the origin server.
 // When the origin gateway is unreachable the interest is blackholed;
 // the PIT entry's retry timer bounds the damage.
-func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
+func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID, req int64, cause string) {
 	if n.uniformOrigin || nid == n.originRouter {
 		// Uplink directly to the origin, which always has the content.
 		// The uplink interest and the returning data are each subject to
 		// loss.
 		n.interestTransmissions++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: -1, Content: int64(id)})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: -1, Content: int64(id), Req: req, Cause: cause})
 		}
 		if n.lost() {
 			n.droppedInterests++
 			if n.opts.Tracer != nil {
-				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "loss-interest"})
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "loss-interest", Req: req})
 			}
 			return
 		}
@@ -822,16 +862,16 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 			// trip; the uplink itself counts as one hop.
 			n.dataTransmissions++
 			if n.opts.Tracer != nil {
-				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: -1, Peer: int(nid), Content: int64(id), Hops: 1})
+				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: -1, Peer: int(nid), Content: int64(id), Hops: 1, Req: req})
 			}
 			if dataLost {
 				n.droppedData++
 				if n.opts.Tracer != nil {
-					n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: -1, Peer: int(nid), Content: int64(id), Detail: "loss-data"})
+					n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: -1, Peer: int(nid), Content: int64(id), Detail: "loss-data", Req: req})
 				}
 				return
 			}
-			n.dataArrival(nid, id, 1, -1)
+			n.dataArrival(nid, id, 1, -1, req)
 		}); err != nil {
 			panic(fmt.Sprintf("ccn: scheduling origin fetch: %v", err))
 		}
@@ -842,15 +882,15 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID) {
 		// Partitioned from the origin gateway: nowhere to send.
 		n.faultDrops++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "fault"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: -1, Content: int64(id), Detail: "fault", Req: req})
 		}
 		return
 	}
-	n.forwardInterest(nid, next, id)
+	n.forwardInterest(nid, next, id, req, cause)
 }
 
 // forwardInterest transmits an interest from nid to neighbor next.
-func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
+func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID, req int64, cause string) {
 	linkLat, err := n.graph.EdgeLatency(nid, next)
 	if err != nil {
 		panic(fmt.Sprintf("ccn: forwarding over missing link %d-%d: %v", nid, next, err))
@@ -860,23 +900,23 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
 		// retry timer recovers over the recomputed route.
 		n.faultDrops++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault", Req: req})
 		}
 		return
 	}
 	n.interestTransmissions++
 	if n.opts.Tracer != nil {
-		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: int(next), Content: int64(id)})
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: int(next), Content: int64(id), Req: req, Cause: cause})
 	}
 	if n.lost() {
 		n.droppedInterests++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-interest"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-interest", Req: req})
 		}
 		return
 	}
 	if err := n.eng.Schedule(linkLat, func() {
-		n.handleInterest(next, id, pitFace{neighbor: nid})
+		n.handleInterest(next, id, pitFace{neighbor: nid, req: req})
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling interest: %v", err))
 	}
@@ -886,15 +926,16 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID) {
 // hops is the number of network links the data has traversed from the
 // serving point; server identifies the serving router (-1 for the
 // origin). The node applies its on-path caching decision and forwards
-// the data to every PIT face.
-func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, server topology.NodeID) {
+// the data to every PIT face, each leg carrying its own face's request
+// identity.
+func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, server topology.NodeID, req int64) {
 	nd := n.nodes[nid]
 	if n.crashedRouter(nid) {
 		// Data reaching a crashed router is lost; its PIT was flushed
 		// at crash time, so nothing downstream waits on this copy here.
 		n.faultDrops++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Content: int64(id), Detail: "fault", Req: req})
 		}
 		return
 	}
@@ -934,6 +975,7 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 			Server:      server,
 			ServedBy:    tierOf(hops, server, nid),
 			CompletedAt: n.eng.Now() + n.opts.AccessLatency,
+			Req:         req.req,
 		}
 		if err := n.eng.Schedule(n.opts.AccessLatency, func() { req.done(result) }); err != nil {
 			panic(fmt.Sprintf("ccn: scheduling completion: %v", err))
@@ -950,26 +992,26 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 		// timer re-fetches over the recomputed route.
 		n.faultDrops++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "fault", Req: f.req})
 		}
 		return
 	}
 	n.dataTransmissions++
 	if n.opts.Tracer != nil {
-		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: int(nid), Peer: int(next), Content: int64(id), Hops: hops})
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: int(nid), Peer: int(next), Content: int64(id), Hops: hops, Req: f.req})
 	}
 	if n.lost() {
 		// The downstream router's retransmission timer recovers the
 		// loss.
 		n.droppedData++
 		if n.opts.Tracer != nil {
-			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-data"})
+			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindDrop, Router: int(nid), Peer: int(next), Content: int64(id), Detail: "loss-data", Req: f.req})
 		}
 		return
 	}
 	h := hops + 1
 	if err := n.eng.Schedule(n.dataDelay(nid, next, linkLat), func() {
-		n.dataArrival(next, id, h, server)
+		n.dataArrival(next, id, h, server, f.req)
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling data: %v", err))
 	}

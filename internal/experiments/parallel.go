@@ -53,14 +53,48 @@ func SetTracer(tr *trace.Tracer) { runTracer.Store(tr) }
 // Tracer returns the tracer attached with SetTracer, or nil.
 func Tracer() *trace.Tracer { return runTracer.Load() }
 
-// runSim executes one scenario with the package tracer attached. All
-// experiment generators funnel their simulations through here, so one
-// SetTracer call traces every run of an artifact sweep.
+// Progress is the subset of a live-observability tracker the
+// experiment engine drives: one SimStarted/SimFinished pair brackets
+// every simulation, from any worker goroutine.
+type Progress interface {
+	SimStarted()
+	SimFinished(requests int64)
+}
+
+// progressBox wraps the interface so it can live in an atomic.Pointer.
+type progressBox struct{ p Progress }
+
+var runProgress atomic.Pointer[progressBox]
+
+// SetProgress attaches a progress tracker to every simulation the
+// experiment generators run (cmd/ccnexp's -http flag); nil detaches.
+// Progress ticks are pure observation — they never influence results.
+func SetProgress(p Progress) {
+	if p == nil {
+		runProgress.Store(nil)
+		return
+	}
+	runProgress.Store(&progressBox{p: p})
+}
+
+// runSim executes one scenario with the package tracer attached and
+// the progress tracker ticked. All experiment generators funnel their
+// simulations through here, so one SetTracer call traces every run of
+// an artifact sweep.
 func runSim(sc sim.Scenario) (sim.Result, error) {
 	if sc.Tracer == nil {
 		sc.Tracer = Tracer()
 	}
-	return sim.Run(sc)
+	var prog Progress
+	if b := runProgress.Load(); b != nil {
+		prog = b.p
+		prog.SimStarted()
+	}
+	res, err := sim.Run(sc)
+	if prog != nil {
+		prog.SimFinished(int64(res.Requests))
+	}
+	return res, err
 }
 
 // forEach runs fn over [0, n) on the configured pool.

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"ccncoord/internal/sim"
+	"ccncoord/internal/spans"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
+)
+
+// ValidationSpans is the span-level validation experiment: each
+// evaluation topology runs the coordinated scenario under a private
+// stride-1 tracer, the trace is reconstructed into per-request spans,
+// and the spans are aggregated over the model's own popularity-rank
+// bands — [1, c-x] cached everywhere, (c-x, c+(n-1)x] coordinated in
+// the domain, the rest at the origin — so the measured per-band hit
+// probabilities and hop counts sit directly against the analytical
+// prediction, with the mean latency decomposition alongside.
+//
+// The tracer is deliberately private and per-run (never the shared
+// SetTracer one): the artifact's bytes depend only on the scenario, so
+// the table is identical at every worker-pool width and diffable with
+// ccnbench -diff.
+func ValidationSpans(requests int) (Table, error) {
+	if requests < 1000 {
+		requests = 1000
+	}
+	t := Table{
+		ID:    "validation-spans",
+		Title: "Span-level validation: measured per-rank-band behavior vs analytical bands (coordinated placement)",
+		Headers: []string{"Topology", "band", "ranks", "spans",
+			"local(sim)", "local(model)", "peer(sim)", "peer(model)", "origin(sim)", "origin(model)",
+			"hops(sim)", "hops(model)", "access(ms)", "prop(ms)", "retx(ms)", "originsvc(ms)", "aggwait(ms)"},
+	}
+	graphs := topology.All()
+	perGraph, err := parRows(len(graphs), func(i int) ([]string, error) {
+		rows, err := spanRowsFor(graphs[i], requests)
+		if err != nil {
+			return nil, err
+		}
+		return flattenRows(rows), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, flat := range perGraph {
+		t.Rows = append(t.Rows, unflattenRows(flat, len(t.Headers))...)
+	}
+	return t, nil
+}
+
+// flattenRows/unflattenRows pack a topology's row group through the
+// one-slot-per-unit parRows contract without losing determinism.
+func flattenRows(rows [][]string) []string {
+	var flat []string
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	return flat
+}
+
+func unflattenRows(flat []string, width int) [][]string {
+	var rows [][]string
+	for i := 0; i+width <= len(flat); i += width {
+		rows = append(rows, flat[i:i+width])
+	}
+	return rows
+}
+
+// spanRowsFor runs one topology's traced scenario and renders its band
+// rows.
+func spanRowsFor(g *topology.Graph, requests int) ([][]string, error) {
+	const (
+		catalogSize = int64(20000)
+		capacity    = int64(150)
+		coordinated = int64(75)
+	)
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.Scenario{
+		Topology:      g.Clone(),
+		CatalogSize:   catalogSize,
+		ZipfS:         baseS,
+		Capacity:      capacity,
+		Coordinated:   coordinated,
+		Policy:        sim.PolicyCoordinated,
+		Requests:      requests,
+		Seed:          42,
+		AccessLatency: 5,
+		OriginLatency: 60,
+		OriginGateway: -1,
+		Tracer:        tr,
+	}
+	// runSim only attaches the shared tracer when none is set; the
+	// private stride-1 tracer above therefore always wins, keeping the
+	// artifact schedule-independent while progress still ticks.
+	res, err := runSim(sc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: validation-spans on %s: %w", g.Name(), err)
+	}
+	if err := tr.Flush(); err != nil {
+		return nil, err
+	}
+	set, err := spans.Read(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: validation-spans on %s: %w", g.Name(), err)
+	}
+	// Reconstruction must be exhaustive at stride 1: every measured
+	// request becomes exactly one complete span.
+	if len(set.Spans) != res.Requests || set.Incomplete != 0 {
+		return nil, fmt.Errorf("experiments: validation-spans on %s: %d spans (%d incomplete) from %d requests",
+			g.Name(), len(set.Spans), set.Incomplete, res.Requests)
+	}
+
+	n := g.N()
+	p, err := topology.ExtractParams(g)
+	if err != nil {
+		return nil, err
+	}
+	// The model's deterministic rank bands at allocation x.
+	e1 := capacity - coordinated
+	e2 := capacity + int64(n-1)*coordinated
+	edges := []int64{e1, e2, catalogSize}
+	buckets := spans.Buckets(set, edges)
+	decomp := bandDecomposition(set, edges)
+
+	frac := 1 / float64(n) // the requester's own coordinated slice
+	bands := []struct {
+		name                string
+		local, peer, origin float64
+		hops                float64
+	}{
+		{"cached", 1, 0, 0, 0},
+		{"domain", frac, 1 - frac, 0, p.TierGapHops * (1 - frac)},
+		{"origin", 0, 0, 1, 1}, // uniform uplink: one origin hop
+	}
+	var rows [][]string
+	for i, b := range buckets {
+		if i >= len(bands) {
+			break // overflow bucket cannot occur: edges cover the catalog
+		}
+		m := bands[i]
+		d := decomp[i]
+		rows = append(rows, []string{
+			g.Name(), m.name, fmt.Sprintf("%d-%d", b.Lo, b.Hi), fmt.Sprintf("%d", b.Requests),
+			fmt.Sprintf("%.4f", b.LocalRatio()), fmt.Sprintf("%.4f", m.local),
+			fmt.Sprintf("%.4f", b.PeerRatio()), fmt.Sprintf("%.4f", m.peer),
+			fmt.Sprintf("%.4f", b.OriginRatio()), fmt.Sprintf("%.4f", m.origin),
+			fmt.Sprintf("%.2f", b.MeanHops()), fmt.Sprintf("%.2f", m.hops),
+			fmt.Sprintf("%.2f", d.access), fmt.Sprintf("%.2f", d.prop),
+			fmt.Sprintf("%.2f", d.retx), fmt.Sprintf("%.2f", d.origin),
+			fmt.Sprintf("%.2f", d.agg),
+		})
+	}
+	return rows, nil
+}
+
+// bandDecomposition averages the latency decomposition of the set's
+// spans per rank band (same inclusive upper edges as spans.Buckets).
+type bandMeans struct {
+	access, prop, retx, origin, agg float64
+}
+
+func bandDecomposition(set *spans.Set, edges []int64) []bandMeans {
+	sums := make([]bandMeans, len(edges))
+	counts := make([]int64, len(edges))
+	for i := range set.Spans {
+		sp := &set.Spans[i]
+		idx := len(edges) - 1
+		for j, hi := range edges {
+			if sp.Content <= hi {
+				idx = j
+				break
+			}
+		}
+		counts[idx]++
+		sums[idx].access += sp.AccessMs
+		sums[idx].prop += sp.PropagationMs
+		sums[idx].retx += sp.RetxBackoffMs
+		sums[idx].origin += sp.OriginSvcMs
+		sums[idx].agg += sp.AggWaitMs
+	}
+	for i := range sums {
+		if counts[i] == 0 {
+			continue
+		}
+		f := 1 / float64(counts[i])
+		sums[i].access *= f
+		sums[i].prop *= f
+		sums[i].retx *= f
+		sums[i].origin *= f
+		sums[i].agg *= f
+	}
+	return sums
+}

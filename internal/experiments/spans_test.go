@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestValidationSpansDeterministic pins the artifact's byte-level
+// determinism across worker-pool widths — the property that makes it
+// diffable with ccnbench -diff — and sanity-checks the band structure.
+func TestValidationSpansDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs traced simulations on every topology")
+	}
+	build := func(workers int) Table {
+		old := Workers()
+		SetWorkers(workers)
+		defer SetWorkers(old)
+		tab, err := ValidationSpans(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	serial := build(1)
+	wide := build(8)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("validation-spans differs between -workers 1 and 8")
+	}
+
+	if len(serial.Rows) == 0 || len(serial.Rows)%3 != 0 {
+		t.Fatalf("%d rows, want three bands per topology", len(serial.Rows))
+	}
+	for _, row := range serial.Rows {
+		if len(row) != len(serial.Headers) {
+			t.Fatalf("row width %d, header width %d", len(row), len(serial.Headers))
+		}
+		local, _ := strconv.ParseFloat(row[4], 64)
+		peer, _ := strconv.ParseFloat(row[6], 64)
+		origin, _ := strconv.ParseFloat(row[8], 64)
+		if s := local + peer + origin; s < 0.99 || s > 1.01 {
+			t.Errorf("band %s/%s tier ratios sum to %v", row[0], row[1], s)
+		}
+	}
+	// The cached band must be (nearly) all local, the origin band all
+	// origin: the model's bands are deterministic, the simulator should
+	// agree closely after warmup-free steady state.
+	for _, row := range serial.Rows {
+		switch row[1] {
+		case "cached":
+			if v, _ := strconv.ParseFloat(row[4], 64); v < 0.95 {
+				t.Errorf("%s cached band local ratio %v", row[0], v)
+			}
+		case "origin":
+			if v, _ := strconv.ParseFloat(row[8], 64); v < 0.95 {
+				t.Errorf("%s origin band origin ratio %v", row[0], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Prometheus text exposition for registry snapshots. The writer
+// operates on immutable RegistrySnapshot values rather than live
+// registries: the registry is not safe for concurrent use, so a serving
+// goroutine publishes snapshots (e.g. through an atomic pointer) and
+// renders those. Output is byte-deterministic for a given snapshot —
+// families and series are emitted in sorted order — so exposition can
+// be diffed and tested exactly.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes name into a legal Prometheus metric-name segment:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func promLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (shortest exact
+// decimal; +Inf for the terminal histogram bucket).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (v0.0.4). Every metric name is prefixed with
+// namespace and sanitized via PromName. Counters become counter
+// families with one series per event name (label "name"); histograms
+// become native Prometheus histograms with cumulative le buckets
+// (only occupied upper edges are listed, plus the mandatory +Inf);
+// means become gauge triples (_mean, _stddev, _samples). Families are
+// written in sorted name order within each kind, so the output is
+// byte-identical for equal snapshots.
+func WritePrometheus(w io.Writer, s *RegistrySnapshot, namespace string) error {
+	if s == nil {
+		return nil
+	}
+	ns := PromName(namespace)
+	if ns != "" {
+		ns += "_"
+	}
+
+	for _, name := range sortedSnapshotKeys(s.Counters) {
+		c := s.Counters[name]
+		fam := ns + PromName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+			return err
+		}
+		labels := make([]string, 0, len(c.Counts))
+		for l := range c.Counts {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			if _, err := fmt.Fprintf(w, "%s{name=\"%s\"} %d\n", fam, promLabel(l), c.Counts[l]); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range sortedSnapshotKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fam := ns + PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		// The snapshot stores occupied equal-width buckets as {index,
+		// count} pairs in index order; the exposition needs cumulative
+		// counts at each listed upper edge. Underflow mass sits below
+		// every edge; overflow mass only reaches +Inf.
+		width := (h.Hi - h.Lo) / float64(h.NumBucket)
+		cum := h.Underflow
+		for _, pair := range h.Buckets {
+			cum += pair[1]
+			edge := h.Lo + width*float64(pair[0]+1)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", fam, promFloat(edge), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", fam, promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", fam, h.Count); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range sortedSnapshotKeys(s.Means) {
+		m := s.Means[name]
+		fam := ns + PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_mean gauge\n%s_mean %s\n",
+			fam, fam, promFloat(m.Mean)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_stddev gauge\n%s_stddev %s\n",
+			fam, fam, promFloat(m.StdDev)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_samples gauge\n%s_samples %d\n",
+			fam, fam, m.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedSnapshotKeys returns the map's keys in sorted order.
+func sortedSnapshotKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func promSnapshot(t *testing.T) RegistrySnapshot {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("served_by")
+	c.Add("local", 7)
+	c.Add("origin", 3)
+	c.Add(`odd"name\with`+"\nnewline", 1)
+	h, err := r.Histogram("latency_ms", 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 5, 15, 95, 150, -3} {
+		h.Observe(v)
+	}
+	m := r.Mean("hops")
+	m.Observe(2)
+	m.Observe(4)
+	return r.Snapshot()
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	s := promSnapshot(t)
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, &s, "ccncoord"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, &s, "ccncoord"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two expositions of one snapshot differ")
+	}
+	out := a.String()
+
+	// Counter series, sorted by label, with escaped label values.
+	wantLines := []string{
+		"# TYPE ccncoord_served_by_total counter",
+		`ccncoord_served_by_total{name="local"} 7`,
+		`ccncoord_served_by_total{name="odd\"name\\with\nnewline"} 1`,
+		`ccncoord_served_by_total{name="origin"} 3`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", want, out)
+		}
+	}
+	// The escaped label must sort between "local" and "origin" (byte
+	// order on the raw name, 'o' > 'l').
+	if i, j := strings.Index(out, `name="local"`), strings.Index(out, `name="odd`); i > j {
+		t.Error("counter series not in sorted label order")
+	}
+
+	// Histogram: cumulative buckets at occupied edges; underflow counts
+	// toward every bucket; overflow only reaches +Inf.
+	// Samples: -3 underflow; 5,5 -> bucket [0,10); 15 -> [10,20);
+	// 95 -> [90,100); 150 overflow. Cumulative: le=10 -> 3, le=20 -> 4,
+	// le=100 -> 5, +Inf -> 6.
+	for _, want := range []string{
+		"# TYPE ccncoord_latency_ms histogram",
+		`ccncoord_latency_ms_bucket{le="10"} 3`,
+		`ccncoord_latency_ms_bucket{le="20"} 4`,
+		`ccncoord_latency_ms_bucket{le="100"} 5`,
+		`ccncoord_latency_ms_bucket{le="+Inf"} 6`,
+		"ccncoord_latency_ms_sum 267",
+		"ccncoord_latency_ms_count 6",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", want, out)
+		}
+	}
+
+	// Mean gauges.
+	for _, want := range []string{
+		"ccncoord_hops_mean 3",
+		"ccncoord_hops_samples 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", want, out)
+		}
+	}
+
+	// Every non-comment line is "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil snapshot produced output %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"served_by":   "served_by",
+		"latency-ms":  "latency_ms",
+		"9lives":      "_9lives",
+		"a.b/c d":     "a_b_c_d",
+		"ok:subsys_x": "ok:subsys_x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package obs is the live observability surface of the command-line
+// tools: a lock-free Progress tracker the run loops update, and an
+// HTTP server exposing run progress plus the latest metrics snapshot
+// in the Prometheus text format, with pprof handlers alongside — one
+// mux, one port, opt-in via -http.
+//
+// Concurrency model: the simulator's Registry is single-threaded, so
+// the serving goroutine never touches a live registry. Publishers call
+// Publish with an immutable RegistrySnapshot; /metrics renders the
+// latest published snapshot (if any) via metrics.WritePrometheus.
+// Progress counters are plain atomics updated from any goroutine.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"ccncoord/internal/metrics"
+)
+
+// Progress tracks a run's live counters. All methods are safe for
+// concurrent use; the zero value is NOT ready (construct with
+// NewProgress so the rate baseline is set).
+type Progress struct {
+	start time.Time
+
+	artifactsTotal atomic.Int64
+	artifactsDone  atomic.Int64
+	simsActive     atomic.Int64
+	simsDone       atomic.Int64
+	requestsDone   atomic.Int64
+
+	snap atomic.Pointer[metrics.RegistrySnapshot]
+}
+
+// NewProgress returns a progress tracker with the rate baseline at
+// now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// SetArtifactsTotal declares how many artifacts the run will render.
+func (p *Progress) SetArtifactsTotal(n int) { p.artifactsTotal.Store(int64(n)) }
+
+// ArtifactDone records one completed artifact.
+func (p *Progress) ArtifactDone() { p.artifactsDone.Add(1) }
+
+// SimStarted records one simulation entering a worker.
+func (p *Progress) SimStarted() { p.simsActive.Add(1) }
+
+// SimFinished records one simulation leaving its worker after serving
+// the given number of measured requests.
+func (p *Progress) SimFinished(requests int64) {
+	p.simsActive.Add(-1)
+	p.simsDone.Add(1)
+	p.requestsDone.Add(requests)
+}
+
+// Publish makes snap the snapshot /metrics renders. The caller must
+// not mutate snap afterwards.
+func (p *Progress) Publish(snap *metrics.RegistrySnapshot) { p.snap.Store(snap) }
+
+// Snapshot returns the last published metrics snapshot, or nil.
+func (p *Progress) Snapshot() *metrics.RegistrySnapshot { return p.snap.Load() }
+
+// writeProgress renders the progress gauges in Prometheus text form.
+func (p *Progress) writeProgress(w http.ResponseWriter) {
+	elapsed := time.Since(p.start).Seconds()
+	requests := p.requestsDone.Load()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(requests) / elapsed
+	}
+	for _, g := range []struct {
+		name string
+		val  string
+	}{
+		{"ccncoord_run_artifacts_total", fmt.Sprintf("%d", p.artifactsTotal.Load())},
+		{"ccncoord_run_artifacts_done", fmt.Sprintf("%d", p.artifactsDone.Load())},
+		{"ccncoord_run_sims_active", fmt.Sprintf("%d", p.simsActive.Load())},
+		{"ccncoord_run_sims_done", fmt.Sprintf("%d", p.simsDone.Load())},
+		{"ccncoord_run_requests_done", fmt.Sprintf("%d", requests)},
+		{"ccncoord_run_requests_per_second", fmt.Sprintf("%g", rate)},
+		{"ccncoord_run_uptime_seconds", fmt.Sprintf("%g", elapsed)},
+	} {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.name, g.name, g.val)
+	}
+}
+
+// NewMux builds the observability mux: /metrics (progress gauges plus
+// the latest published registry snapshot), /healthz, and the pprof
+// suite under /debug/pprof/.
+func NewMux(p *Progress) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.writeProgress(w)
+		if snap := p.Snapshot(); snap != nil {
+			// Render errors here are client-connection failures; the
+			// snapshot itself cannot fail to serialize.
+			_ = metrics.WritePrometheus(w, snap, "ccncoord_sim")
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves the mux in a
+// background goroutine. It returns the bound address — useful with
+// port 0 — and a shutdown function. Serving errors after shutdown are
+// suppressed; asynchronous serve failures surface on shutdown.
+func Start(addr string, handler http.Handler) (string, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	shutdown := func(ctx context.Context) error {
+		err := srv.Shutdown(ctx)
+		if serr := <-errc; err == nil && serr != nil {
+			err = serr
+		}
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccncoord/internal/metrics"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	p := NewProgress()
+	p.SetArtifactsTotal(7)
+	p.ArtifactDone()
+	p.SimStarted()
+	p.SimFinished(1500)
+
+	srv := httptest.NewServer(NewMux(p))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"ccncoord_run_artifacts_total 7",
+		"ccncoord_run_artifacts_done 1",
+		"ccncoord_run_sims_active 0",
+		"ccncoord_run_sims_done 1",
+		"ccncoord_run_requests_done 1500",
+		"ccncoord_run_requests_per_second",
+		"ccncoord_run_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "ccncoord_sim_") {
+		t.Error("registry metrics served before any snapshot was published")
+	}
+
+	// Publish a snapshot; the next scrape includes it.
+	r := metrics.NewRegistry()
+	r.Counter("served_by").Add("local", 3)
+	snap := r.Snapshot()
+	p.Publish(&snap)
+	if _, body := get(t, srv, "/metrics"); !strings.Contains(body, `ccncoord_sim_served_by_total{name="local"} 3`) {
+		t.Errorf("/metrics missing published registry metric:\n%s", body)
+	}
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+func TestStartShutdown(t *testing.T) {
+	p := NewProgress()
+	addr, shutdown, err := Start("127.0.0.1:0", NewMux(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz over Start: code %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}

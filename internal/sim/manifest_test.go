@@ -204,7 +204,7 @@ func TestTracingDoesNotPerturbResult(t *testing.T) {
 		kinds[ev.Kind]++
 	}
 	for _, want := range []string{
-		trace.KindInterest, trace.KindData, trace.KindRequest,
+		trace.KindIssue, trace.KindInterest, trace.KindData, trace.KindRequest,
 		trace.KindFault, trace.KindHeartbeat, trace.KindRepair, trace.KindDrop,
 	} {
 		if kinds[want] == 0 {
@@ -214,6 +214,9 @@ func TestTracingDoesNotPerturbResult(t *testing.T) {
 	// Stride-1 cross-checks against the run's own accounting.
 	if got := kinds[trace.KindRequest]; got != base.Requests {
 		t.Errorf("%d request events, want %d", got, base.Requests)
+	}
+	if got := kinds[trace.KindIssue]; got != base.Requests {
+		t.Errorf("%d issue events, want %d", got, base.Requests)
 	}
 	if got := int64(kinds[trace.KindHeartbeat]); got < base.HeartbeatMessages {
 		t.Errorf("%d heartbeat events, want at least the %d delivered heartbeats", got, base.HeartbeatMessages)
@@ -260,9 +263,16 @@ func TestManifestBytesDeterministic(t *testing.T) {
 	}
 }
 
-// TestTraceSampledRun verifies stride sampling end to end: a stride-100
-// tracer emits ceil(seen/100) lines and the run is still unperturbed.
+// TestTraceSampledRun verifies request-coherent sampling end to end: a
+// stride-100 tracer keeps only lifecycles of requests on the stride
+// (never fragments of others), always keeps control-plane events, and
+// leaves the run unperturbed.
 func TestTraceSampledRun(t *testing.T) {
+	base, err := Run(faultTraceScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	var buf bytes.Buffer
 	tr, err := trace.NewSampled(&buf, 0.01)
 	if err != nil {
@@ -270,17 +280,53 @@ func TestTraceSampledRun(t *testing.T) {
 	}
 	sc := faultTraceScenario(t)
 	sc.Tracer = tr
-	if _, err := Run(sc); err != nil {
+	sampled, err := Run(sc)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	want := (tr.Seen() + 99) / 100
-	if tr.Emitted() != want {
-		t.Errorf("emitted %d of %d seen, want %d at stride 100", tr.Emitted(), tr.Seen(), want)
+	if !reflect.DeepEqual(base, sampled) {
+		t.Error("sampled tracing perturbed the result")
 	}
 	if got := uint64(bytes.Count(buf.Bytes(), []byte("\n"))); got != tr.Emitted() {
 		t.Errorf("%d trace lines, tracer reports %d", got, tr.Emitted())
+	}
+	if tr.Emitted() == 0 || tr.Emitted() >= tr.Seen() {
+		t.Fatalf("stride 100 emitted %d of %d seen", tr.Emitted(), tr.Seen())
+	}
+	// Every emitted data-plane event belongs to a request on the
+	// stride; every sampled request's lifecycle is complete (it has its
+	// own issue event whenever it has any event at all, measured
+	// requests only).
+	issued := make(map[int64]bool)
+	other := make(map[int64]bool)
+	for _, line := range bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n")) {
+		var ev trace.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("invalid trace line: %v\n%s", err, line)
+		}
+		if ev.Req == 0 {
+			switch ev.Kind {
+			case trace.KindFault, trace.KindHeartbeat, trace.KindRepair:
+				// Control-plane events carry no request identity and
+				// always pass the sampler.
+			default:
+				t.Fatalf("data-plane event without request identity: %s", line)
+			}
+			continue
+		}
+		if (ev.Req-1)%100 != 0 {
+			t.Fatalf("event off the request stride: %s", line)
+		}
+		if ev.Kind == trace.KindIssue {
+			issued[ev.Req] = true
+		} else {
+			other[ev.Req] = true
+		}
+	}
+	if len(issued) == 0 {
+		t.Fatal("no issue events sampled")
 	}
 }

@@ -686,6 +686,7 @@ func Run(sc Scenario) (Result, error) {
 				Hops:    result.Hops,
 				Tier:    result.ServedBy.String(),
 				Detail:  detail,
+				Req:     result.Req,
 			})
 		}
 		counts.Inc(result.ServedBy.String())
@@ -742,14 +743,23 @@ func Run(sc Scenario) (Result, error) {
 			return // the run already failed; let the queue drain quietly
 		}
 		id := p.gen.Next()
+		measuredReq := p.k >= p.nWarm
 		cb := measuredCB
-		if p.k < p.nWarm {
+		if !measuredReq {
 			cb = warmCB
 		}
 		p.k++
-		if err := net.Request(p.router, id, cb); err != nil {
+		req, err := net.RequestID(p.router, id, cb)
+		if err != nil {
 			fail(fmt.Errorf("sim: issuing request at router %d: %w", p.router, err))
 			return
+		}
+		// Anchor the request's span at its issue time. Warmup requests
+		// still consume IDs but are deliberately unanchored: span
+		// reconstruction treats ID groups without an issue event as
+		// orphans, keeping measured-span counts aligned with Requests.
+		if measuredReq && sc.Tracer != nil {
+			sc.Tracer.Emit(trace.Event{T: eng.Now(), Kind: trace.KindIssue, Router: int(p.router), Content: int64(id), Req: req})
 		}
 		if p.k < p.nReq {
 			p.t += p.rng.ExpFloat64() * interArrival

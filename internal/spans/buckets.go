@@ -1,0 +1,107 @@
+// Rank-bucket aggregation: the paper's model makes per-rank predictions
+// (rank-k content is a local hit iff k fits the local slice, a domain
+// hit iff it fits the coordinated store, else an origin fetch), so the
+// measured spans are aggregated over popularity-rank buckets for
+// comparison. Content IDs are popularity ranks (rank 1 = most popular,
+// see internal/catalog), so bucketing keys directly on Span.Content.
+package spans
+
+import "sort"
+
+// Bucket aggregates the complete spans whose content rank lies in
+// [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+
+	Requests int64
+	Local    int64
+	Peer     int64
+	Origin   int64
+	Failed   int64
+
+	hopsSum    float64
+	latencySum float64
+}
+
+// MeanHops returns the bucket's mean network hop count (0 when empty).
+func (b Bucket) MeanHops() float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return b.hopsSum / float64(b.Requests)
+}
+
+// MeanLatencyMs returns the bucket's mean request latency (0 when
+// empty).
+func (b Bucket) MeanLatencyMs() float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return b.latencySum / float64(b.Requests)
+}
+
+// ratio divides hits by requests, 0 when empty.
+func (b Bucket) ratio(hits int64) float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return float64(hits) / float64(b.Requests)
+}
+
+// LocalRatio returns the bucket's measured local hit probability.
+func (b Bucket) LocalRatio() float64 { return b.ratio(b.Local) }
+
+// PeerRatio returns the bucket's measured peer (domain) hit probability.
+func (b Bucket) PeerRatio() float64 { return b.ratio(b.Peer) }
+
+// OriginRatio returns the bucket's measured origin fetch probability.
+func (b Bucket) OriginRatio() float64 { return b.ratio(b.Origin) }
+
+// Buckets aggregates the set's complete spans over rank buckets whose
+// inclusive upper edges are given in ascending order: edges [10, 100]
+// yield buckets [1,10] and [11,100]. Ranks beyond the last edge are
+// collected into a final overflow bucket only if any exist.
+func Buckets(set *Set, edges []int64) []Bucket {
+	if len(edges) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buckets := make([]Bucket, len(sorted))
+	lo := int64(1)
+	for i, hi := range sorted {
+		buckets[i] = Bucket{Lo: lo, Hi: hi}
+		lo = hi + 1
+	}
+	var overflow *Bucket
+	for i := range set.Spans {
+		sp := &set.Spans[i]
+		idx := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= sp.Content })
+		var b *Bucket
+		if idx < len(sorted) {
+			b = &buckets[idx]
+		} else {
+			if overflow == nil {
+				overflow = &Bucket{Lo: sorted[len(sorted)-1] + 1, Hi: -1}
+			}
+			b = overflow
+		}
+		b.Requests++
+		b.hopsSum += float64(sp.Hops)
+		b.latencySum += sp.TotalMs()
+		switch sp.Tier {
+		case "local":
+			b.Local++
+		case "peer":
+			b.Peer++
+		case "origin":
+			b.Origin++
+		default:
+			b.Failed++
+		}
+	}
+	if overflow != nil {
+		buckets = append(buckets, *overflow)
+	}
+	return buckets
+}

@@ -1,0 +1,134 @@
+package spans_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ccncoord/internal/fault"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/spans"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
+)
+
+// mesh4 builds a 4-router full mesh, connected through any single
+// crash.
+func mesh4(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New("mesh4")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.MustAddEdge(topology.NodeID(a), topology.NodeID(b), 5)
+		}
+	}
+	return g
+}
+
+// TestSpansMatchManifest is the exhaustiveness guarantee for span
+// reconstruction, the spans-layer analogue of TestManifestTotalsMatchRun:
+// at stride 1 the reconstructed span count equals the run's measured
+// requests, the per-tier span totals equal the manifest's served_by
+// counter exactly, warmup lifecycles surface as orphans and nothing is
+// incomplete. The scenario exercises retries, fault drops, aggregation
+// and a crashed router so every event kind flows through reconstruction.
+func TestSpansMatchManifest(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Topology:    mesh4(t),
+		CatalogSize: 100,
+		ZipfS:       0.8,
+		Capacity:    10,
+		Coordinated: 5,
+		Policy:      sim.PolicyCoordinated,
+		Requests:    2000,
+		Warmup:      200,
+		Seed:        42,
+
+		AccessLatency: 1,
+		OriginLatency: 50,
+		OriginGateway: 0,
+		RetxTimeout:   150,
+
+		HeartbeatInterval: 50,
+		HeartbeatMisses:   2,
+		FaultScript:       []fault.Event{{At: 300, Kind: fault.RouterDown, Node: 1}},
+
+		Tracer:       tr,
+		EmitManifest: true,
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := spans.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if set.Truncated {
+		t.Error("complete trace flagged as truncated")
+	}
+	if set.Incomplete != 0 {
+		t.Errorf("%d incomplete spans in a complete stride-1 trace", set.Incomplete)
+	}
+	if len(set.Spans) != res.Requests {
+		t.Errorf("%d spans reconstructed, want %d measured requests", len(set.Spans), res.Requests)
+	}
+
+	// Per-tier totals match the manifest's served_by counter value for
+	// value, including the failed tier.
+	served := res.Manifest.Metrics.Counters["served_by"]
+	tiers := set.TierCounts()
+	for tier, want := range served.Counts {
+		if got := tiers[tier]; got != want {
+			t.Errorf("tier %q: %d spans, manifest counts %d", tier, got, want)
+		}
+	}
+	var total int64
+	for _, n := range tiers {
+		total += n
+	}
+	if total != served.Total {
+		t.Errorf("span tier totals sum to %d, served_by total is %d", total, served.Total)
+	}
+
+	// Warmup lifecycles consume request IDs but have no issue anchor:
+	// they must all surface as orphans, not as spans.
+	if set.Orphans == 0 {
+		t.Error("warmup lifecycles produced no orphan groups")
+	}
+	if set.Orphans > sc.Warmup {
+		t.Errorf("%d orphans exceed the %d warmup requests", set.Orphans, sc.Warmup)
+	}
+
+	// Every span's decomposition sums to its total latency.
+	for i := range set.Spans {
+		sp := &set.Spans[i]
+		sum := sp.AccessMs + sp.PropagationMs + sp.RetxBackoffMs + sp.OriginSvcMs + sp.AggWaitMs
+		if diff := sum - sp.TotalMs(); diff > 1e-6 || diff < -1e-6 {
+			if sp.PropagationMs != 0 {
+				t.Fatalf("span %d decomposition sums to %v, total %v: %+v", sp.Req, sum, sp.TotalMs(), sp)
+			}
+			// PropagationMs clamped at zero: only legal when the raw
+			// remainder was negative, i.e. sum < total never happens.
+			if sum < sp.TotalMs()-1e-6 {
+				t.Fatalf("span %d under-decomposed: sum %v < total %v", sp.Req, sum, sp.TotalMs())
+			}
+		}
+	}
+
+	// The run's fault produced control-plane events, all kept.
+	if set.Control[trace.KindFault] == 0 || set.Control[trace.KindHeartbeat] == 0 {
+		t.Errorf("control events missing: %v", set.Control)
+	}
+}

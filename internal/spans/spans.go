@@ -1,0 +1,409 @@
+// Package spans reconstructs per-request span trees from a JSONL event
+// trace (internal/trace) and decomposes each request's latency into
+// where the time actually went: client access hops, network
+// propagation, retransmission backoff, origin service, and
+// PIT-aggregation wait.
+//
+// The reconstruction keys on the request identity every data-plane
+// event carries (trace.Event.Req). A measured request's lifecycle is
+// anchored by its "issue" event and closed by its "request" completion
+// event; everything between them with the same ID — interest
+// transmissions, aggregation joins, retries, drops, data legs — hangs
+// off the span. Because sampling is request-coherent (whole lifecycles,
+// never fragments), a sampled trace reconstructs exactly like a full
+// one, just for fewer requests.
+//
+// The package is deliberately forgiving about imperfect input: a trace
+// cut mid-request (crash, disk-full, ctrl-C) yields a clean Incomplete
+// count, never a panic or a silently wrong decomposition; request-ID
+// groups without an issue anchor (warmup lifecycles, which consume IDs
+// but are not measured) are tallied as Orphans and excluded from span
+// statistics. Reconstruction assumes the trace comes from a single run:
+// request IDs are per-Network, so traces shared across concurrent runs
+// (ccnexp -trace with -workers > 1) interleave colliding IDs and should
+// be analyzed per run instead.
+package spans
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ccncoord/internal/trace"
+)
+
+// Span is one reconstructed request lifecycle with its latency
+// decomposition. All durations are virtual simulation milliseconds.
+type Span struct {
+	Req     int64   `json:"req"`
+	Content int64   `json:"content"`
+	Router  int     `json:"router"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+	Tier    string  `json:"tier"`
+	Hops    int     `json:"hops"`
+	Failed  bool    `json:"failed,omitempty"`
+
+	// Retries counts retransmission timer firings attributed to this
+	// request; Drops counts transmissions of its lifecycle that were
+	// discarded (loss or fault). Aggregated marks a request that joined
+	// another request's PIT entry somewhere on its path.
+	Retries    int  `json:"retries,omitempty"`
+	Drops      int  `json:"drops,omitempty"`
+	Aggregated bool `json:"aggregated,omitempty"`
+
+	// The latency decomposition. Access is the client access round
+	// trip; Propagation is in-network link time; RetxBackoff is idle
+	// time waiting for retransmission timers; OriginSvc is time inside
+	// origin uplink round trips; AggWait is time parked on another
+	// request's PIT entry. They sum to Total (Propagation absorbs the
+	// remainder and is clamped at zero).
+	AccessMs      float64 `json:"access_ms"`
+	PropagationMs float64 `json:"propagation_ms"`
+	RetxBackoffMs float64 `json:"retx_backoff_ms"`
+	OriginSvcMs   float64 `json:"origin_svc_ms"`
+	AggWaitMs     float64 `json:"agg_wait_ms"`
+
+	// Events is the span's full event list in time order, including the
+	// issue and request anchors.
+	Events []trace.Event `json:"events,omitempty"`
+}
+
+// TotalMs returns the client-observed request latency.
+func (s *Span) TotalMs() float64 { return s.End - s.Start }
+
+// Set is the result of reconstructing one trace.
+type Set struct {
+	// Spans holds the complete spans (issue and completion both seen),
+	// ordered by request ID.
+	Spans []Span
+	// Incomplete counts request IDs whose lifecycle was anchored by an
+	// issue event but never completed — the signature of a truncated
+	// trace.
+	Incomplete int
+	// Orphans counts request IDs with events but no issue anchor:
+	// warmup lifecycles, or lifecycles whose head was cut off.
+	Orphans int
+	// Control counts control-plane events (no request identity) by
+	// kind.
+	Control map[string]int
+	// Kinds counts every decoded event by kind.
+	Kinds map[string]int
+	// Truncated reports that the trace ended mid-line or mid-stream;
+	// the spans up to the cut are still reconstructed.
+	Truncated bool
+}
+
+// TierCounts returns the number of complete spans per serving tier.
+func (s *Set) TierCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range s.Spans {
+		out[s.Spans[i].Tier]++
+	}
+	return out
+}
+
+// Collector accumulates streamed events into request groups. Add events
+// in file order, then Finish once.
+type Collector struct {
+	groups  map[int64][]trace.Event
+	control map[string]int
+	kinds   map[string]int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		groups:  make(map[int64][]trace.Event),
+		control: make(map[string]int),
+		kinds:   make(map[string]int),
+	}
+}
+
+// Add feeds one decoded event.
+func (c *Collector) Add(ev trace.Event) {
+	c.kinds[ev.Kind]++
+	if ev.Req <= 0 {
+		c.control[ev.Kind]++
+		return
+	}
+	c.groups[ev.Req] = append(c.groups[ev.Req], ev)
+}
+
+// Finish reconstructs every request group and returns the set. The
+// collector must not be reused afterwards.
+func (c *Collector) Finish() *Set {
+	set := &Set{Control: c.control, Kinds: c.kinds}
+	reqs := make([]int64, 0, len(c.groups))
+	for req := range c.groups {
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	for _, req := range reqs {
+		evs := c.groups[req]
+		// Events of one lifecycle are time-ordered already in a
+		// single-run trace; the stable sort is cheap insurance against
+		// interleaved writers.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+		sp, state := build(req, evs)
+		switch state {
+		case spanComplete:
+			set.Spans = append(set.Spans, sp)
+		case spanIncomplete:
+			set.Incomplete++
+		case spanOrphan:
+			set.Orphans++
+		}
+	}
+	return set
+}
+
+type spanState int
+
+const (
+	spanComplete spanState = iota
+	spanIncomplete
+	spanOrphan
+)
+
+// build assembles one request group into a span and classifies it.
+func build(req int64, evs []trace.Event) (Span, spanState) {
+	var issue, done *trace.Event
+	for i := range evs {
+		switch evs[i].Kind {
+		case trace.KindIssue:
+			if issue == nil {
+				issue = &evs[i]
+			}
+		case trace.KindRequest:
+			if done == nil {
+				done = &evs[i]
+			}
+		}
+	}
+	if issue == nil {
+		return Span{}, spanOrphan
+	}
+	if done == nil {
+		return Span{}, spanIncomplete
+	}
+	sp := Span{
+		Req:     req,
+		Content: issue.Content,
+		Router:  issue.Router,
+		Start:   issue.T,
+		End:     done.T,
+		Tier:    done.Tier,
+		Hops:    done.Hops,
+		Failed:  done.Detail == "failed",
+		Events:  evs,
+	}
+	decompose(&sp, issue, done)
+	return sp, spanComplete
+}
+
+// decompose splits the span's total latency into its components. The
+// access round trip is inferred from the gap between issue time and the
+// first in-network event (the interest reaches the first-hop router one
+// access latency after issue, and the data pays the same hop back);
+// origin service sums uplink round trips (interest to origin paired
+// with the data it returned); retransmission backoff sums the idle gaps
+// between a router's last send and its retry timer firing;
+// aggregation wait is the time parked on another request's PIT entry
+// until data (or the end of the network phase) arrived; propagation
+// absorbs the remaining in-network time.
+func decompose(sp *Span, issue, done *trace.Event) {
+	total := sp.End - sp.Start
+	var net []trace.Event
+	for _, ev := range sp.Events {
+		if ev.Kind == trace.KindIssue || ev.Kind == trace.KindRequest {
+			continue
+		}
+		net = append(net, ev)
+		switch ev.Kind {
+		case trace.KindRetry:
+			sp.Retries++
+		case trace.KindDrop:
+			sp.Drops++
+		case trace.KindAggregate:
+			if ev.N != sp.Req {
+				sp.Aggregated = true
+			}
+		}
+	}
+	if len(net) == 0 {
+		// Local hit (or first-hop failure): the whole latency is the
+		// client access round trip.
+		sp.AccessMs = total
+		return
+	}
+	firstNet := net[0].T
+	oneWay := firstNet - sp.Start
+	sp.AccessMs = 2 * oneWay
+	netEnd := sp.End - oneWay // when data left the first-hop router
+	netTime := netEnd - firstNet
+
+	lastSend := make(map[int]float64)
+	lastUplink := -1.0
+	var aggT = -1.0
+	var firstData = -1.0
+	for _, ev := range net {
+		switch ev.Kind {
+		case trace.KindInterest:
+			lastSend[ev.Router] = ev.T
+			if ev.Peer == -1 {
+				lastUplink = ev.T
+			}
+		case trace.KindData:
+			if firstData < 0 {
+				firstData = ev.T
+			}
+			if ev.Router == -1 && lastUplink >= 0 {
+				sp.OriginSvcMs += ev.T - lastUplink
+				lastUplink = -1
+			}
+		case trace.KindRetry:
+			if t0, ok := lastSend[ev.Router]; ok && ev.T > t0 {
+				sp.RetxBackoffMs += ev.T - t0
+			}
+		case trace.KindAggregate:
+			if ev.N != sp.Req && aggT < 0 {
+				aggT = ev.T
+			}
+		}
+	}
+	if aggT >= 0 {
+		until := netEnd
+		if firstData >= aggT {
+			until = firstData
+		}
+		if until > aggT {
+			sp.AggWaitMs = until - aggT
+		}
+	}
+	sp.PropagationMs = netTime - sp.OriginSvcMs - sp.RetxBackoffMs - sp.AggWaitMs
+	if sp.PropagationMs < 0 {
+		sp.PropagationMs = 0
+	}
+}
+
+// Decode streams JSONL events from r into fn. It tolerates truncation:
+// a partial trailing line or a stream cut mid-gzip yields truncated ==
+// true rather than an error. A malformed line that is not the last one
+// is a real error, as is any error returned by fn (which aborts the
+// stream).
+func Decode(r io.Reader, fn func(trace.Event) error) (truncated bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var pendingErr error // malformed line, fatal unless it was the last
+	for sc.Scan() {
+		if pendingErr != nil {
+			return false, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev trace.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			pendingErr = fmt.Errorf("spans: malformed trace line: %w", err)
+			continue
+		}
+		if err := fn(ev); err != nil {
+			return false, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if err == io.ErrUnexpectedEOF || strings.Contains(err.Error(), "unexpected EOF") {
+			return true, nil
+		}
+		return false, fmt.Errorf("spans: reading trace: %w", err)
+	}
+	if pendingErr != nil {
+		// The malformed line was the file's last: a truncated write.
+		return true, nil
+	}
+	return false, nil
+}
+
+// Open opens a trace file for reading, transparently decompressing
+// gzip. Detection is by content (the gzip magic bytes), not file name,
+// so renamed files still open correctly.
+func Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spans: %w", err)
+	}
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("spans: opening gzip trace: %w", err)
+		}
+		return &gzipFile{gz: gz, f: f}, nil
+	}
+	return &plainFile{Reader: br, f: f}, nil
+}
+
+type gzipFile struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) {
+	n, err := g.gz.Read(p)
+	// A stream cut mid-gzip surfaces as io.ErrUnexpectedEOF; map gzip's
+	// internal flate errors onto it too so Decode classifies the cut as
+	// truncation.
+	if err != nil && err != io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (g *gzipFile) Close() error {
+	gzErr := g.gz.Close()
+	if err := g.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
+}
+
+type plainFile struct {
+	*bufio.Reader
+	f *os.File
+}
+
+func (p *plainFile) Close() error { return p.f.Close() }
+
+// Read reconstructs the spans of one trace stream.
+func Read(r io.Reader) (*Set, error) {
+	c := NewCollector()
+	truncated, err := Decode(r, func(ev trace.Event) error {
+		c.Add(ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := c.Finish()
+	set.Truncated = truncated
+	return set, nil
+}
+
+// Load reconstructs the spans of a trace file (plain or gzip JSONL).
+func Load(path string) (*Set, error) {
+	f, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

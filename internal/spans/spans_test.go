@@ -1,0 +1,272 @@
+package spans
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccncoord/internal/trace"
+)
+
+// encode renders events as the tracer would: one JSON object per line.
+func encode(t *testing.T, evs []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// originLifecycle is a full origin-fetch span: access hop, one network
+// interest, an origin uplink round trip, and the data path back.
+func originLifecycle() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindIssue, Router: 0, Content: 5, Req: 1},
+		{T: 1, Kind: trace.KindInterest, Router: 0, Peer: 1, Content: 5, Req: 1},
+		{T: 3, Kind: trace.KindInterest, Router: 1, Peer: -1, Content: 5, Req: 1},
+		{T: 13, Kind: trace.KindData, Router: -1, Peer: 1, Content: 5, Hops: 1, Req: 1},
+		{T: 15, Kind: trace.KindData, Router: 1, Peer: 0, Content: 5, Hops: 1, Req: 1},
+		{T: 17, Kind: trace.KindRequest, Router: 0, Content: 5, Hops: 2, Tier: "origin", Req: 1},
+	}
+}
+
+func TestDecomposeOriginFetch(t *testing.T) {
+	set, err := Read(bytes.NewReader(encode(t, originLifecycle())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Spans) != 1 || set.Incomplete != 0 || set.Orphans != 0 || set.Truncated {
+		t.Fatalf("set = %+v, want exactly one complete span", set)
+	}
+	sp := set.Spans[0]
+	if sp.Req != 1 || sp.Content != 5 || sp.Tier != "origin" || sp.Hops != 2 {
+		t.Errorf("span header %+v", sp)
+	}
+	if !approx(sp.TotalMs(), 17) {
+		t.Errorf("total = %v, want 17", sp.TotalMs())
+	}
+	if !approx(sp.AccessMs, 2) || !approx(sp.OriginSvcMs, 10) || !approx(sp.PropagationMs, 5) ||
+		sp.RetxBackoffMs != 0 || sp.AggWaitMs != 0 {
+		t.Errorf("decomposition access=%v origin=%v prop=%v retx=%v agg=%v, want 2/10/5/0/0",
+			sp.AccessMs, sp.OriginSvcMs, sp.PropagationMs, sp.RetxBackoffMs, sp.AggWaitMs)
+	}
+	sum := sp.AccessMs + sp.PropagationMs + sp.RetxBackoffMs + sp.OriginSvcMs + sp.AggWaitMs
+	if !approx(sum, sp.TotalMs()) {
+		t.Errorf("components sum to %v, total is %v", sum, sp.TotalMs())
+	}
+}
+
+func TestDecomposeRetxBackoff(t *testing.T) {
+	evs := []trace.Event{
+		{T: 0, Kind: trace.KindIssue, Router: 0, Content: 9, Req: 4},
+		{T: 1, Kind: trace.KindInterest, Router: 0, Peer: 1, Content: 9, Req: 4},
+		{T: 1, Kind: trace.KindDrop, Router: 0, Peer: 1, Content: 9, Detail: "loss-interest", Req: 4},
+		{T: 151, Kind: trace.KindRetry, Router: 0, Content: 9, N: 2, Req: 4},
+		{T: 151, Kind: trace.KindInterest, Router: 0, Peer: 1, Content: 9, Req: 4, Cause: "retx"},
+		{T: 153, Kind: trace.KindData, Router: 1, Peer: 0, Content: 9, Hops: 1, Req: 4},
+		{T: 155, Kind: trace.KindRequest, Router: 0, Content: 9, Hops: 1, Tier: "peer", Req: 4},
+	}
+	set, err := Read(bytes.NewReader(encode(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.Spans[0]
+	if sp.Retries != 1 || sp.Drops != 1 {
+		t.Errorf("retries/drops = %d/%d, want 1/1", sp.Retries, sp.Drops)
+	}
+	if !approx(sp.RetxBackoffMs, 150) {
+		t.Errorf("retx backoff = %v, want 150", sp.RetxBackoffMs)
+	}
+	if !approx(sp.AccessMs, 2) || !approx(sp.PropagationMs, 3) {
+		t.Errorf("access/propagation = %v/%v, want 2/3", sp.AccessMs, sp.PropagationMs)
+	}
+}
+
+func TestDecomposeAggregationWait(t *testing.T) {
+	evs := []trace.Event{
+		{T: 0, Kind: trace.KindIssue, Router: 0, Content: 2, Req: 7},
+		{T: 1, Kind: trace.KindAggregate, Router: 0, Content: 2, Req: 7, N: 3},
+		{T: 10, Kind: trace.KindRequest, Router: 0, Content: 2, Hops: 2, Tier: "peer", Req: 7},
+	}
+	set, err := Read(bytes.NewReader(encode(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.Spans[0]
+	if !sp.Aggregated {
+		t.Error("span not marked aggregated")
+	}
+	if !approx(sp.AggWaitMs, 8) || !approx(sp.AccessMs, 2) || sp.PropagationMs != 0 {
+		t.Errorf("agg wait/access/prop = %v/%v/%v, want 8/2/0", sp.AggWaitMs, sp.AccessMs, sp.PropagationMs)
+	}
+	// A retransmitted interest rejoining its own entry (N == Req) is
+	// not an aggregation.
+	evs[1].N = 7
+	set, err = Read(bytes.NewReader(encode(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Spans[0].Aggregated || set.Spans[0].AggWaitMs != 0 {
+		t.Error("self-rejoin counted as aggregation")
+	}
+}
+
+func TestLocalHitIsAllAccess(t *testing.T) {
+	evs := []trace.Event{
+		{T: 5, Kind: trace.KindIssue, Router: 2, Content: 1, Req: 9},
+		{T: 7, Kind: trace.KindRequest, Router: 2, Content: 1, Tier: "local", Req: 9},
+	}
+	set, err := Read(bytes.NewReader(encode(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.Spans[0]
+	if !approx(sp.AccessMs, 2) || sp.PropagationMs != 0 || sp.TotalMs() != 2 {
+		t.Errorf("local hit decomposition %+v", sp)
+	}
+}
+
+func TestOrphansAndControl(t *testing.T) {
+	evs := []trace.Event{
+		// Warmup lifecycle: events but no issue anchor.
+		{T: 1, Kind: trace.KindInterest, Router: 0, Peer: 1, Content: 3, Req: 11},
+		{T: 3, Kind: trace.KindData, Router: 1, Peer: 0, Content: 3, Hops: 1, Req: 11},
+		// Control-plane events carry no request identity.
+		{T: 2, Kind: trace.KindFault, Router: 1, Detail: "router-down"},
+		{T: 4, Kind: trace.KindHeartbeat, Router: 1, N: 0},
+	}
+	set, err := Read(bytes.NewReader(encode(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Spans) != 0 || set.Orphans != 1 {
+		t.Errorf("spans/orphans = %d/%d, want 0/1", len(set.Spans), set.Orphans)
+	}
+	if set.Control[trace.KindFault] != 1 || set.Control[trace.KindHeartbeat] != 1 {
+		t.Errorf("control counts %v", set.Control)
+	}
+}
+
+// TestTruncatedTrace cuts a trace at every possible byte boundary: each
+// prefix must reconstruct without error, and once the completion line is
+// gone the span must surface as Incomplete, never as a wrong span.
+func TestTruncatedTrace(t *testing.T) {
+	full := encode(t, originLifecycle())
+	for cut := 0; cut <= len(full); cut++ {
+		set, err := Read(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut at %d bytes: %v", cut, err)
+		}
+		switch {
+		// Losing only the trailing newline keeps the completion line
+		// intact, so those two cuts still reconstruct fully.
+		case cut >= len(full)-1:
+			if len(set.Spans) != 1 || set.Incomplete != 0 {
+				t.Fatalf("cut at %d bytes gave %d spans, %d incomplete", cut, len(set.Spans), set.Incomplete)
+			}
+		case len(set.Spans) != 0:
+			t.Fatalf("cut at %d bytes still produced a complete span", cut)
+		}
+		// Any cut that decoded the issue line but lost the completion
+		// must count one incomplete lifecycle.
+		if cut < len(full)-1 && set.Incomplete+set.Orphans == 0 && set.Kinds[trace.KindIssue] > 0 {
+			t.Fatalf("cut at %d bytes lost the lifecycle silently", cut)
+		}
+	}
+	// A cut mid-line is flagged as truncation.
+	set, err := Read(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Truncated {
+		t.Error("mid-line cut not flagged as truncated")
+	}
+}
+
+func TestMalformedMidFileIsError(t *testing.T) {
+	data := []byte("{\"t\":1,\"kind\":\"issue\",\"router\":0,\"req\":1}\nnot json at all\n{\"t\":2,\"kind\":\"request\",\"router\":0,\"req\":1}\n")
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("mid-file garbage should be an error, not silent truncation")
+	}
+}
+
+func TestOpenGzipAndTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	raw := encode(t, originLifecycle())
+	var gzBuf bytes.Buffer
+	gz := gzip.NewWriter(&gzBuf)
+	gz.Write(raw)
+	gz.Close()
+
+	full := filepath.Join(dir, "trace.jsonl.gz")
+	if err := os.WriteFile(full, gzBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := Load(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Spans) != 1 || set.Truncated {
+		t.Errorf("gzip trace: %d spans, truncated=%v", len(set.Spans), set.Truncated)
+	}
+
+	// Cut the gzip stream: reconstruction survives and flags truncation.
+	cut := filepath.Join(dir, "cut.jsonl.gz")
+	if err := os.WriteFile(cut, gzBuf.Bytes()[:gzBuf.Len()-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err = Load(cut)
+	if err != nil {
+		t.Fatalf("truncated gzip must not error: %v", err)
+	}
+	if !set.Truncated {
+		t.Error("truncated gzip not flagged")
+	}
+
+	// Content detection: a plain-text trace with a .gz name still opens.
+	plain := filepath.Join(dir, "plain.jsonl.gz")
+	if err := os.WriteFile(plain, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if set, err = Load(plain); err != nil || len(set.Spans) != 1 {
+		t.Errorf("plain file with .gz name: set=%+v err=%v", set, err)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	set := &Set{Spans: []Span{
+		{Content: 1, Tier: "local", Hops: 0, Start: 0, End: 2},
+		{Content: 2, Tier: "local", Hops: 0, Start: 0, End: 2},
+		{Content: 15, Tier: "peer", Hops: 2, Start: 0, End: 8},
+		{Content: 90, Tier: "origin", Hops: 3, Start: 0, End: 100},
+		{Content: 500, Tier: "origin", Hops: 1, Start: 0, End: 100},
+	}}
+	buckets := Buckets(set, []int64{10, 100})
+	if len(buckets) != 3 { // two edges + overflow for rank 500
+		t.Fatalf("%d buckets, want 3", len(buckets))
+	}
+	b0 := buckets[0]
+	if b0.Requests != 2 || b0.Local != 2 || !approx(b0.LocalRatio(), 1) || !approx(b0.MeanLatencyMs(), 2) {
+		t.Errorf("bucket[1,10] = %+v", b0)
+	}
+	b1 := buckets[1]
+	if b1.Requests != 2 || b1.Peer != 1 || b1.Origin != 1 || !approx(b1.MeanHops(), 2.5) {
+		t.Errorf("bucket[11,100] = %+v", b1)
+	}
+	if buckets[2].Requests != 1 || buckets[2].Origin != 1 {
+		t.Errorf("overflow bucket = %+v", buckets[2])
+	}
+	if got := set.TierCounts(); got["local"] != 2 || got["peer"] != 1 || got["origin"] != 2 {
+		t.Errorf("tier counts %v", got)
+	}
+}

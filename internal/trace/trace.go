@@ -10,24 +10,34 @@
 // are additionally nil-safe, so a *Tracer can be threaded through
 // options structs without ceremony.
 //
-// Sampling is a deterministic stride over the event stream, not a coin
-// flip: with sample rate r, every round(1/r)-th event seen is written.
-// The tracer never draws from the simulation's RNG streams, so enabling
-// tracing cannot perturb simulation results. Within a single-threaded
-// run the sampled subsequence is reproducible; when several concurrent
-// runs share one tracer (the parallel experiment engine), the stride
-// applies to the interleaved stream and the selected events depend on
-// scheduling — the trace stays valid JSONL, but not byte-stable.
+// Sampling is request-coherent: every data-plane event carries the
+// request ID that caused it (Event.Req), and with sample stride k the
+// tracer keeps the complete lifecycle of every k-th request — issue,
+// interests, aggregation joins, retries, drops, data legs, completion —
+// and drops the other lifecycles whole. A sampled trace therefore never
+// contains fragments: span reconstruction (internal/spans) is always
+// complete for the requests it sees. Events without request identity
+// (faults, heartbeats, repairs: Req == 0) are control-plane events and
+// are always written; they are rare by construction. Because the
+// sampling predicate depends only on the event's own request ID, the
+// set of sampled events is schedule-independent — concurrent runs
+// sharing one tracer (the parallel experiment engine) interleave line
+// order but select the same lifecycles at any pool width. The tracer
+// never draws from the simulation's RNG streams, so enabling tracing
+// cannot perturb simulation results.
 //
 // Emit is safe for concurrent use.
 package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"strings"
 	"sync"
 )
 
@@ -35,14 +45,27 @@ import (
 // fields apply; consumers must tolerate unknown kinds (the schema is
 // append-only).
 const (
+	// KindIssue is a measured client request entering the system at its
+	// first-hop Router; T is the issue time at the client, before the
+	// access hop. It anchors the request's span.
+	KindIssue = "issue"
 	// KindInterest is one interest-packet transmission Router -> Peer
-	// (Peer -1 = the origin uplink).
+	// (Peer -1 = the origin uplink). Cause is "" for the initial
+	// forward, "retx" for a retransmission, "fallback" for a
+	// directory-bypassing origin-fallback retry.
 	KindInterest = "interest"
+	// KindAggregate is an interest for Content joining an existing PIT
+	// entry at Router: Req is the joining request, N the request that
+	// created the entry (N == Req marks a retransmitted interest
+	// rejoining its own entry, not a true aggregation).
+	KindAggregate = "agg"
 	// KindData is one data-packet transmission arriving at Router from
 	// Peer (Peer -1 = the origin), after Hops network links.
 	KindData = "data"
 	// KindRetry is a retransmission timer firing at Router for Content;
-	// N is the attempt number.
+	// N is the attempt number. Req is the request that created the PIT
+	// entry (aggregated requests observe the recovery only through
+	// their own data/completion events).
 	KindRetry = "retry"
 	// KindExpire is a PIT entry at Router giving up on Content (retry
 	// budget exhausted, or Detail "crash-flush" when the router died).
@@ -80,11 +103,19 @@ type Event struct {
 	N       int64   `json:"n,omitempty"`
 	Tier    string  `json:"tier,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
+	// Req is the identity of the client request whose lifecycle caused
+	// this event: a monotonic per-run ID allocated at each client
+	// request. 0 means the event has no request identity (control-plane
+	// events: faults, heartbeats, repairs).
+	Req int64 `json:"req,omitempty"`
+	// Cause qualifies why the event happened within its kind ("retx",
+	// "fallback"); "" is the unqualified default.
+	Cause string `json:"cause,omitempty"`
 }
 
-// Tracer writes sampled events as JSON Lines. The zero value is not
-// useful; construct with New. A nil *Tracer is a valid disabled tracer:
-// every method no-ops (Emit) or returns zeros.
+// Tracer writes request-coherent sampled events as JSON Lines. The zero
+// value is not useful; construct with New. A nil *Tracer is a valid
+// disabled tracer: every method no-ops (Emit) or returns zeros.
 type Tracer struct {
 	mu      sync.Mutex
 	bw      *bufio.Writer
@@ -95,9 +126,11 @@ type Tracer struct {
 	err     error
 }
 
-// New returns a tracer writing every stride-th event to w as JSONL.
-// stride 1 writes everything. The caller owns w; call Flush before
-// closing it.
+// New returns a tracer writing every stride-th request lifecycle to w
+// as JSONL: an event carrying request identity req is written iff
+// (req-1) % stride == 0, and events without request identity (Req 0)
+// are always written. stride 1 writes everything. The caller owns w;
+// call Flush before closing it.
 func New(w io.Writer, stride uint64) (*Tracer, error) {
 	if w == nil {
 		return nil, fmt.Errorf("trace: nil writer")
@@ -110,8 +143,8 @@ func New(w io.Writer, stride uint64) (*Tracer, error) {
 }
 
 // NewSampled returns a tracer with sample rate in (0, 1]: rate 1 traces
-// everything, rate 0.01 writes every 100th event (deterministic stride,
-// see the package comment).
+// everything, rate 0.01 keeps every 100th request lifecycle
+// (request-coherent stride, see the package comment).
 func NewSampled(w io.Writer, rate float64) (*Tracer, error) {
 	if !(rate > 0 && rate <= 1) || math.IsNaN(rate) {
 		return nil, fmt.Errorf("trace: sample rate %v outside (0, 1]", rate)
@@ -119,17 +152,62 @@ func NewSampled(w io.Writer, rate float64) (*Tracer, error) {
 	return New(w, uint64(math.Round(1/rate)))
 }
 
-// Emit records one event, writing it if it falls on the sampling
-// stride. Safe on a nil tracer and for concurrent use. Write errors are
-// sticky and surfaced by Flush/Err; emission continues counting so the
-// seen/emitted accounting stays truthful.
+// OpenFile creates path and returns a tracer with the given sample rate
+// writing to it, plus a close function that flushes the tracer and
+// closes the file. A path ending in ".gz" writes gzip-compressed JSONL
+// transparently (internal/spans and ccntrace read both forms).
+func OpenFile(path string, rate float64) (*Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: creating trace file: %w", err)
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	tr, err := NewSampled(w, rate)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	done := func() error {
+		err := tr.Flush()
+		if gz != nil {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return tr, done, nil
+}
+
+// sampled reports whether an event with the given request identity
+// falls on the sampling stride. Control-plane events (req 0) are always
+// kept.
+func (t *Tracer) sampled(req int64) bool {
+	if t.every == 1 || req <= 0 {
+		return true
+	}
+	return uint64(req-1)%t.every == 0
+}
+
+// Emit records one event, writing it if its request lifecycle falls on
+// the sampling stride. Safe on a nil tracer and for concurrent use.
+// Write errors are sticky and surfaced by Flush/Err; emission continues
+// counting so the seen/emitted accounting stays truthful.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.seen++
-	if (t.seen-1)%t.every == 0 {
+	if t.sampled(ev.Req) {
 		t.emitted++
 		if t.err == nil {
 			if err := t.enc.Encode(ev); err != nil {
@@ -150,8 +228,7 @@ func (t *Tracer) Seen() uint64 {
 	return t.seen
 }
 
-// Emitted returns how many events were written (seen/stride, rounded
-// up).
+// Emitted returns how many events were written.
 func (t *Tracer) Emitted() uint64 {
 	if t == nil {
 		return 0

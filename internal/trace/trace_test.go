@@ -3,8 +3,12 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -73,7 +77,10 @@ func TestZeroFieldsOmitted(t *testing.T) {
 	}
 }
 
-func TestStrideSampling(t *testing.T) {
+// TestRequestCoherentSampling pins the sampling contract: requests 1,
+// 5, 9, ... fall on a stride of 4, every event of a sampled request is
+// kept (never fragments), and control-plane events (Req 0) always pass.
+func TestRequestCoherentSampling(t *testing.T) {
 	var buf bytes.Buffer
 	tr, err := NewSampled(&buf, 0.25) // stride 4
 	if err != nil {
@@ -82,27 +89,116 @@ func TestStrideSampling(t *testing.T) {
 	if tr.Stride() != 4 {
 		t.Fatalf("stride = %d, want 4", tr.Stride())
 	}
-	for i := 0; i < 10; i++ {
-		tr.Emit(Event{T: float64(i), Kind: KindInterest, Router: i})
+	// Three events per request lifecycle, plus interleaved control
+	// events.
+	for req := int64(1); req <= 10; req++ {
+		tr.Emit(Event{T: float64(req), Kind: KindIssue, Router: 0, Req: req})
+		tr.Emit(Event{T: float64(req), Kind: KindInterest, Router: 0, Peer: 1, Req: req})
+		tr.Emit(Event{T: float64(req), Kind: KindRequest, Router: 0, Req: req})
 	}
+	tr.Emit(Event{T: 99, Kind: KindFault, Router: 5, Detail: "router-down"})
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Events 0, 4, 8 fall on the stride.
-	var routers []int
+	perReq := make(map[int64]int)
+	control := 0
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		var ev Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatal(err)
 		}
-		routers = append(routers, ev.Router)
+		if ev.Req == 0 {
+			control++
+			continue
+		}
+		perReq[ev.Req]++
 	}
-	if want := []int{0, 4, 8}; fmt.Sprint(routers) != fmt.Sprint(want) {
-		t.Errorf("sampled routers = %v, want %v", routers, want)
+	if control != 1 {
+		t.Errorf("control events written = %d, want 1", control)
 	}
-	if tr.Seen() != 10 || tr.Emitted() != 3 {
-		t.Errorf("seen/emitted = %d/%d, want 10/3", tr.Seen(), tr.Emitted())
+	want := map[int64]int{1: 3, 5: 3, 9: 3}
+	if fmt.Sprint(perReq) != fmt.Sprint(want) {
+		t.Errorf("events per sampled request = %v, want %v", perReq, want)
+	}
+	if tr.Seen() != 31 || tr.Emitted() != 10 {
+		t.Errorf("seen/emitted = %d/%d, want 31/10", tr.Seen(), tr.Emitted())
+	}
+}
+
+func TestReqCauseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{T: 4, Kind: KindInterest, Router: 2, Peer: 6, Content: 17, Req: 321, Cause: "retx"}
+	tr.Emit(ev)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != ev {
+		t.Errorf("round-tripped to %+v, want %+v", got, ev)
+	}
+	// Zero req/cause stay off the wire: absent means zero.
+	buf.Reset()
+	tr2, _ := New(&buf, 1)
+	tr2.Emit(Event{T: 1, Kind: KindFault, Router: 3, Detail: "router-down"})
+	tr2.Flush()
+	if s := buf.String(); strings.Contains(s, "req") || strings.Contains(s, "cause") {
+		t.Errorf("zero req/cause leaked into encoding: %s", s)
+	}
+}
+
+func TestOpenFileGzip(t *testing.T) {
+	for _, name := range []string{"t.jsonl", "t.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			tr, done, err := OpenFile(path, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []Event{
+				{T: 1, Kind: KindIssue, Router: 2, Content: 7, Req: 1},
+				{T: 2, Kind: KindRequest, Router: 2, Content: 7, Tier: "local", Req: 1},
+			}
+			for _, ev := range want {
+				tr.Emit(ev)
+			}
+			if err := done(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var r io.Reader = f
+			if strings.HasSuffix(name, ".gz") {
+				gz, err := gzip.NewReader(f)
+				if err != nil {
+					t.Fatalf("not gzip despite .gz suffix: %v", err)
+				}
+				defer gz.Close()
+				r = gz
+			}
+			var got []Event
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				var ev Event
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ev)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("read back %v, want %v", got, want)
+			}
+		})
 	}
 }
 
@@ -166,7 +262,9 @@ func TestConcurrentEmit(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				tr.Emit(Event{T: float64(i), Kind: KindInterest, Router: w})
+				// Distinct request IDs 1..workers*perWorker, one event
+				// each, interleaved across goroutines.
+				tr.Emit(Event{T: float64(i), Kind: KindInterest, Router: w, Req: int64(w*perWorker + i + 1)})
 			}
 		}(w)
 	}
