@@ -102,18 +102,21 @@ func artifacts(requests, replicas int) []artifact {
 		{id: "validation-spans", about: "span-level per-rank-band behavior vs analytical bands", table: func() (experiments.Table, error) {
 			return experiments.ValidationSpans(requests)
 		}},
+		{id: "chaos", about: "resilience under composed chaos scenarios (coordinator crash, partition, loss, cascade)", table: func() (experiments.Table, error) {
+			return experiments.ChaosResilience(requests)
+		}},
 	}
 }
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list artifact ids and exit")
-		run        = flag.String("run", "all", "artifact id to regenerate, or 'all'")
-		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plotOut    = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
-		outDir     = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
-		requests   = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
-		replicas   = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
+		list        = flag.Bool("list", false, "list artifact ids and exit")
+		run         = flag.String("run", "all", "artifact id to regenerate, or 'all'")
+		csvOut      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plotOut     = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
+		outDir      = flag.String("out", "", "write each artifact to DIR/<id>.{txt,csv} instead of stdout")
+		requests    = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
+		replicas    = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
 		workers     = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
 		httpAddr    = flag.String("http", "", "serve live run progress, metrics and pprof on this address (e.g. 127.0.0.1:8080)")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace of every simulation run to this file (.gz compresses)")

@@ -22,7 +22,7 @@ func TestArtifactsWellFormed(t *testing.T) {
 			t.Errorf("artifact %q must set exactly one of figure/table", a.id)
 		}
 	}
-	for _, want := range []string{"table1", "fig4", "fig13", "modelvssim", "stability", "adaptive"} {
+	for _, want := range []string{"table1", "fig4", "fig13", "modelvssim", "stability", "adaptive", "chaos"} {
 		if !seen[want] {
 			t.Errorf("missing artifact %q", want)
 		}

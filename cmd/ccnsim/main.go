@@ -31,25 +31,28 @@ import (
 
 func main() {
 	var (
-		topoName   = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
-		policy     = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
-		catalog    = flag.Int64("N", 20000, "catalog size (contents)")
-		s          = flag.Float64("s", 0.8, "Zipf popularity exponent")
-		capacity   = flag.Int64("c", 150, "per-router storage capacity")
-		x          = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
-		requests   = flag.Int("requests", 60000, "measured requests")
-		warmup     = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		access     = flag.Float64("access", 5, "client access latency, ms one-way")
-		origin     = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
-		gateway    = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
-		adaptive   = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
-		loss       = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
-		retx       = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0 or faults are injected")
-		mtbf       = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
-		mttr       = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
-		faultSeed  = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
+		topoName    = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
+		policy      = flag.String("policy", "coordinated", "provisioning policy: non-coordinated, coordinated, lru, lfu, slru, 2q, probcache")
+		catalog     = flag.Int64("N", 20000, "catalog size (contents)")
+		s           = flag.Float64("s", 0.8, "Zipf popularity exponent")
+		capacity    = flag.Int64("c", 150, "per-router storage capacity")
+		x           = flag.Int64("x", 75, "coordinated slots per router (coordinated policy)")
+		requests    = flag.Int("requests", 60000, "measured requests")
+		warmup      = flag.Int("warmup", 0, "warmup requests (dynamic policies)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		access      = flag.Float64("access", 5, "client access latency, ms one-way")
+		origin      = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
+		gateway     = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
+		adaptive    = flag.Int("adaptive", 0, "run the closed adaptive-provisioning loop for this many epochs instead of a single run")
+		loss        = flag.Float64("loss", 0, "per-transmission drop probability on network links, [0,1)")
+		retx        = flag.Float64("retx", 300, "interest retransmission timeout (ms) when -loss > 0 or faults are injected")
+		mtbf        = flag.Float64("mtbf", 0, "mean time between router failures (ms); 0 disables stochastic faults (requires -mttr)")
+		mttr        = flag.Float64("mttr", 0, "mean time to router recovery (ms) under -mtbf")
+		faultSeed   = flag.Int64("faultseed", 1, "seed of the stochastic fault process")
 		failSpec    = flag.String("fail", "", "scripted router crashes: router@start[-end],... (ms; omit end to crash forever)")
+		chaosSpec   = flag.String("chaos", "", "chaos scenario: a JSON file path or a preset name (see -chaos list)")
+		chaosCkpt   = flag.String("chaos-checkpoint", "", "save a coordinator checkpoint here at each chaos coordinator crash and restore it at the restart")
+		staleness   = flag.Float64("staleness", 0, "staleness bound (ms) before a coordination outage degrades the data plane; 0 selects the default")
 		httpAddr    = flag.String("http", "", "serve run progress, metrics and pprof on this address for the duration of the run")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses; see internal/trace)")
 		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
@@ -86,9 +89,13 @@ func main() {
 		} else {
 			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, obsf)
 		}
+	} else if *chaosSpec == "list" {
+		for _, name := range fault.ChaosPresets() {
+			fmt.Println(name)
+		}
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
-			*mtbf, *mttr, *faultSeed, *failSpec, obsf)
+			*mtbf, *mttr, *faultSeed, *failSpec, chaosOpts{spec: *chaosSpec, checkpoint: *chaosCkpt, staleness: *staleness}, obsf)
 	}
 	if err == nil {
 		err = stopProf()
@@ -268,9 +275,28 @@ func parseFailSpec(spec string, n int) ([]fault.Event, error) {
 	return events, nil
 }
 
+// chaosOpts carries the chaos-scenario flags.
+type chaosOpts struct {
+	spec       string  // -chaos: file path or preset name ("" = off)
+	checkpoint string  // -chaos-checkpoint
+	staleness  float64 // -staleness
+}
+
+// load resolves the -chaos flag: an existing file is parsed as a
+// scenario document, anything else is looked up as a preset name.
+func (c chaosOpts) load() (*fault.ChaosScenario, error) {
+	if c.spec == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(c.spec); err == nil {
+		return fault.LoadChaosFile(c.spec)
+	}
+	return fault.ChaosPreset(c.spec)
+}
+
 func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64,
-	mtbf, mttr float64, faultSeed int64, failSpec string, obs obsFlags) error {
+	mtbf, mttr float64, faultSeed int64, failSpec string, chaosf chaosOpts, obs obsFlags) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -278,6 +304,13 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	pol, err := parsePolicy(policy)
 	if err != nil {
 		return err
+	}
+	chaos, err := chaosf.load()
+	if err != nil {
+		return err
+	}
+	if chaos == nil && (chaosf.checkpoint != "" || chaosf.staleness != 0) {
+		return fmt.Errorf("-chaos-checkpoint and -staleness require -chaos")
 	}
 	switch {
 	case mtbf < 0:
@@ -291,31 +324,34 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	if err != nil {
 		return err
 	}
-	faultsOn := mtbf > 0 || len(script) > 0
+	faultsOn := mtbf > 0 || len(script) > 0 || chaos != nil
 	tr, traceDone, err := obs.openTracer()
 	if err != nil {
 		return err
 	}
 	sc := sim.Scenario{
-		Topology:      g,
-		CatalogSize:   catalog,
-		ZipfS:         s,
-		Capacity:      capacity,
-		Coordinated:   x,
-		Policy:        pol,
-		Requests:      requests,
-		Warmup:        warmup,
-		Seed:          seed,
-		AccessLatency: access,
-		OriginLatency: origin,
-		OriginGateway: topology.NodeID(gateway),
-		LossRate:      loss,
-		FaultScript:   script,
-		MTBF:          mtbf,
-		MTTR:          mttr,
-		FaultSeed:     faultSeed,
-		Tracer:        tr,
-		EmitManifest:  obs.manifestPath != "" || obs.progress != nil,
+		Topology:       g,
+		CatalogSize:    catalog,
+		ZipfS:          s,
+		Capacity:       capacity,
+		Coordinated:    x,
+		Policy:         pol,
+		Requests:       requests,
+		Warmup:         warmup,
+		Seed:           seed,
+		AccessLatency:  access,
+		OriginLatency:  origin,
+		OriginGateway:  topology.NodeID(gateway),
+		LossRate:       loss,
+		FaultScript:    script,
+		MTBF:           mtbf,
+		MTTR:           mttr,
+		FaultSeed:      faultSeed,
+		Chaos:          chaos,
+		StalenessBound: chaosf.staleness,
+		CheckpointPath: chaosf.checkpoint,
+		Tracer:         tr,
+		EmitManifest:   obs.manifestPath != "" || obs.progress != nil,
 	}
 	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
@@ -370,6 +406,17 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 					rep.Router, rep.CrashedAt, rep.DetectedAt, rep.Moved)
 			}
 		}
+	}
+	if chaos != nil {
+		fmt.Fprintf(tw, "chaos scenario\t%s\n", chaos.Name)
+		fmt.Fprintf(tw, "coordinator outages / downtime (ms)\t%d / %.1f\n", res.CoordOutages, res.CoordDowntime)
+		fmt.Fprintf(tw, "degraded time (ms)\t%.1f\n", res.DegradedTime)
+		fmt.Fprintf(tw, "degraded requests / overlay serves\t%d / %d\n", res.DegradedRequests, res.DegradedServes)
+		if res.DegradedRequests > 0 {
+			fmt.Fprintf(tw, "origin load while degraded\t%.4f\n", res.DegradedOriginLoad)
+		}
+		fmt.Fprintf(tw, "stale-placement forwards\t%d\n", res.StalePlacementHits)
+		fmt.Fprintf(tw, "reconverge moves / mean TTR (ms)\t%d / %.1f\n", res.ReconvergeMoves, res.MeanTimeToReconverge)
 	}
 
 	// Analytical prediction for the provisioned policies.

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParsePolicy(t *testing.T) {
 	tests := []struct {
@@ -83,7 +87,7 @@ func TestRunRejectsBadFaultConfig(t *testing.T) {
 	}
 	for _, tc := range cases {
 		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
-			tc.mtbf, tc.mttr, 1, tc.fail, obsFlags{})
+			tc.mtbf, tc.mttr, 1, tc.fail, chaosOpts{}, obsFlags{})
 		if err == nil {
 			t.Errorf("%s: run accepted the config, want error", tc.name)
 		}
@@ -99,5 +103,59 @@ func TestFindTopology(t *testing.T) {
 	}
 	if _, err := findTopology("nope"); err == nil {
 		t.Error("unknown topology should fail")
+	}
+}
+
+func TestChaosOptsLoad(t *testing.T) {
+	// Empty spec: chaos off.
+	if c, err := (chaosOpts{}).load(); err != nil || c != nil {
+		t.Errorf("empty spec: %v, %v; want nil, nil", c, err)
+	}
+	// A preset name resolves.
+	c, err := (chaosOpts{spec: "coord-crash"}).load()
+	if err != nil || c == nil || c.Name != "coord-crash" {
+		t.Errorf("preset: %v, %v", c, err)
+	}
+	// An unknown name fails with the preset list in the message.
+	if _, err := (chaosOpts{spec: "no-such-preset"}).load(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// An existing file is parsed as a scenario document.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "my.json")
+	doc := `{"name": "mine", "coordinator": [{"down": 100, "up": 200}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = (chaosOpts{spec: path}).load()
+	if err != nil || c == nil || c.Name != "mine" {
+		t.Errorf("file: %v, %v", c, err)
+	}
+	// An existing but invalid file fails rather than falling back to
+	// preset lookup.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (chaosOpts{spec: bad}).load(); err == nil {
+		t.Error("invalid scenario file accepted")
+	}
+}
+
+func TestRunRejectsChaosFlagMisuse(t *testing.T) {
+	cases := []struct {
+		name   string
+		chaosf chaosOpts
+	}{
+		{"checkpoint without chaos", chaosOpts{checkpoint: "x.json"}},
+		{"staleness without chaos", chaosOpts{staleness: 100}},
+		{"unknown chaos spec", chaosOpts{spec: "definitely-not-a-preset"}},
+	}
+	for _, tc := range cases {
+		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
+			0, 0, 1, "", tc.chaosf, obsFlags{})
+		if err == nil {
+			t.Errorf("%s: run accepted the config, want error", tc.name)
+		}
 	}
 }

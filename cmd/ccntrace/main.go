@@ -81,6 +81,34 @@ func traceArg(fs *flag.FlagSet) (string, error) {
 	return fs.Arg(0), nil
 }
 
+// loadSet loads a trace file and rejects inputs that decoded no events
+// at all — an empty file, a truncated fragment, or a file that is not a
+// trace would otherwise produce a silently empty report and exit 0.
+func loadSet(path string) (*spans.Set, error) {
+	set, err := spans.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	events := 0
+	for kind, n := range set.Kinds {
+		if kind != "" {
+			events += n
+		}
+	}
+	if events == 0 {
+		return nil, noEventsErr(path, set.Truncated)
+	}
+	return set, nil
+}
+
+// noEventsErr names why a zero-event input was rejected.
+func noEventsErr(path string, truncated bool) error {
+	if truncated {
+		return fmt.Errorf("%s: no trace events decoded: file is truncated or not a JSONL trace", path)
+	}
+	return fmt.Errorf("%s: no trace events decoded: file is empty or not a JSONL trace", path)
+}
+
 // summaryStats is the machine-readable summary document.
 type summaryStats struct {
 	Spans      int   `json:"spans"`
@@ -185,7 +213,7 @@ func summaryCmd(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	set, err := spans.Load(path)
+	set, err := loadSet(path)
 	if err != nil {
 		return err
 	}
@@ -293,7 +321,7 @@ func spansCmd(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	set, err := spans.Load(path)
+	set, err := loadSet(path)
 	if err != nil {
 		return err
 	}
@@ -320,7 +348,7 @@ func slowCmd(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	set, err := spans.Load(path)
+	set, err := loadSet(path)
 	if err != nil {
 		return err
 	}
@@ -360,15 +388,22 @@ func exportCmd(args []string, w io.Writer) error {
 	// set only counts: the export shows both.
 	c := spans.NewCollector()
 	var control []trace.Event
+	events := 0
 	truncated, err := spans.Decode(f, func(ev trace.Event) error {
 		if ev.Req <= 0 {
 			control = append(control, ev)
 		}
 		c.Add(ev)
+		if ev.Kind != "" {
+			events++
+		}
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if events == 0 {
+		return noEventsErr(path, truncated)
 	}
 	set := c.Finish()
 	set.Truncated = truncated

@@ -294,3 +294,70 @@ func TestExportRequiresFormat(t *testing.T) {
 		t.Error("export without -chrome succeeded")
 	}
 }
+
+// TestRejectsNonTraceInput: every subcommand must fail loudly — not
+// print an empty report and exit 0 — when the input decodes no events.
+func TestRejectsNonTraceInput(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, content, wantMsg string
+	}{
+		{"empty", "", "empty"},
+		{"garbage", "this is not a trace\nneither is this\n", "malformed"},
+		{"truncated-fragment", `{"t":1,"kind":"re`, "truncated"},
+		{"wrong-json", "{\"foo\": 1}\n{\"bar\": 2}\n", "no trace events"},
+	}
+	cmds := []struct {
+		name string
+		run  func(args []string, out *bytes.Buffer) error
+	}{
+		{"summary", func(a []string, o *bytes.Buffer) error { return summaryCmd(a, o) }},
+		{"spans", func(a []string, o *bytes.Buffer) error { return spansCmd(a, o) }},
+		{"slow", func(a []string, o *bytes.Buffer) error { return slowCmd(a, o) }},
+		{"export", func(a []string, o *bytes.Buffer) error {
+			return exportCmd(append([]string{"-chrome"}, a...), o)
+		}},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, cmd := range cmds {
+			var out bytes.Buffer
+			err := cmd.run([]string{path}, &out)
+			if err == nil {
+				t.Errorf("%s on %s input: want error, got nil (output %q)", cmd.name, tc.name, out.String())
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("%s on %s input: error %q does not mention %q", cmd.name, tc.name, err, tc.wantMsg)
+			}
+		}
+	}
+}
+
+// A trace cut mid-line after valid events still reports — truncation is
+// flagged, not fatal, as long as something decoded.
+func TestTruncatedTailStillReports(t *testing.T) {
+	path, _ := writeTestTrace(t, t.TempDir(), "t.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.jsonl")
+	if err := os.WriteFile(cut, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := summaryCmd([]string{"-json", cut, "-json"}[:2], &out); err != nil {
+		t.Fatalf("summary on truncated-but-nonempty trace: %v", err)
+	}
+	var st summaryStats
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated {
+		t.Error("truncated trace not flagged as truncated")
+	}
+}

@@ -115,6 +115,14 @@ type Options struct {
 	// Directory, when non-nil, lets routers redirect misses to the
 	// coordinated owner of a content instead of the origin.
 	Directory Directory
+	// DegradedStores, when non-nil, builds the per-router overlay
+	// store used in degraded mode: while the coordination channel is
+	// down (EnterDegraded), routers stop trusting the directory and
+	// cache en route (LCE) into these overlays instead, so the plane
+	// keeps absorbing load autonomously. Overlays are built lazily at
+	// the first EnterDegraded and dropped at ExitDegraded. Required
+	// before EnterDegraded may be called.
+	DegradedStores func(id topology.NodeID) (cache.Store, error)
 
 	// LossRate is the independent per-transmission drop probability on
 	// network links (interests, data, and origin uplink exchanges).
@@ -234,6 +242,11 @@ type node struct {
 	cs  cache.Store
 	pit map[catalog.ID]*pitEntry
 
+	// deg is the degraded-mode overlay store: autonomous en-route
+	// copies cached while coordination is lost. Nil outside degraded
+	// mode (ExitDegraded drops it — the re-convergence flush).
+	deg cache.Store
+
 	// crashed marks a failed router: it neither forwards, serves, nor
 	// accepts packets until recovery.
 	crashed bool
@@ -277,6 +290,17 @@ type Network struct {
 	expiredEntries  int64 // PIT entries whose retry budget ran out
 	failedRequests  int64 // client requests completed as Failed
 	routeRecomputes int64
+
+	// Degraded-mode state: while degraded, routers ignore the
+	// directory and cache en route into per-node overlays; while
+	// placements are merely stale (coordination down but within the
+	// staleness bound), directory forwards are counted as stale hits.
+	// Both flags are off on planes that never degrade, costing the hot
+	// path one predictable branch each.
+	degraded           bool
+	placementsStale    bool
+	stalePlacementHits int64
+	degradedServes     int64
 
 	// rng drives the loss process and retransmission jitter; nil on
 	// lossless, fault-free fabrics.
@@ -442,6 +466,86 @@ func (n *Network) FailedRequests() int64 { return n.failedRequests }
 // RouteRecomputes returns how many times the forwarding tables were
 // rebuilt after a topology change.
 func (n *Network) RouteRecomputes() int64 { return n.routeRecomputes }
+
+// SetPlacementsStale marks the installed directory stale (the
+// coordination channel is down but the staleness bound has not yet
+// expired) or fresh again. While stale, directory-redirected forwards
+// are counted as StalePlacementHits — traffic still routed on
+// placement state that can no longer be refreshed. Idempotent.
+func (n *Network) SetPlacementsStale(stale bool) {
+	n.placementsStale = stale
+}
+
+// PlacementsStale reports whether the directory is currently marked
+// stale.
+func (n *Network) PlacementsStale() bool { return n.placementsStale }
+
+// StalePlacementHits returns how many interests were forwarded toward
+// a coordinated owner while placements were marked stale.
+func (n *Network) StalePlacementHits() int64 { return n.stalePlacementHits }
+
+// Degraded reports whether the data plane is in degraded mode.
+func (n *Network) Degraded() bool { return n.degraded }
+
+// DegradedServes returns how many interests were served from degraded
+// overlay stores.
+func (n *Network) DegradedServes() int64 { return n.degradedServes }
+
+// EnterDegraded switches the plane to autonomous operation: routers
+// stop consulting the (dead) directory and fall back to en-route
+// caching (LCE) into per-node overlay stores built by
+// Options.DegradedStores. Safe to call when already degraded.
+func (n *Network) EnterDegraded() error {
+	if n.opts.DegradedStores == nil {
+		return fmt.Errorf("ccn: degraded mode requires Options.DegradedStores")
+	}
+	if n.degraded {
+		return nil
+	}
+	for _, nd := range n.nodes {
+		if nd.deg != nil {
+			continue
+		}
+		st, err := n.opts.DegradedStores(nd.id)
+		if err != nil {
+			return fmt.Errorf("ccn: building degraded store for router %d: %w", nd.id, err)
+		}
+		if st == nil {
+			return fmt.Errorf("ccn: nil degraded store for router %d", nd.id)
+		}
+		nd.deg = st
+	}
+	n.degraded = true
+	n.placementsStale = false // degraded supersedes stale: the directory is bypassed entirely
+	if n.opts.Tracer != nil {
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindMode, Router: -1, Detail: "degraded-enter"})
+	}
+	return nil
+}
+
+// ExitDegraded returns the plane to coordinated operation and drops
+// every overlay store — the re-convergence step: autonomous en-route
+// copies are discarded and the restored coordinated placement (kept
+// consistent by the consistent-hash repair path) takes over. It
+// returns the number of overlay entries flushed; calling it while not
+// degraded is a no-op.
+func (n *Network) ExitDegraded() int {
+	if !n.degraded {
+		return 0
+	}
+	n.degraded = false
+	flushed := 0
+	for _, nd := range n.nodes {
+		if nd.deg != nil {
+			flushed += nd.deg.Len()
+			nd.deg = nil
+		}
+	}
+	if n.opts.Tracer != nil {
+		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindMode, Router: -1, N: int64(flushed), Detail: "degraded-exit"})
+	}
+	return flushed
+}
 
 // retxActive reports whether retransmission timers arm for new PIT
 // entries: on lossy fabrics (the timers recover drops) and on
@@ -672,6 +776,14 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 		n.respond(nid, id, from, 0, nid)
 		return
 	}
+	if n.degraded && nd.deg != nil && nd.deg.Lookup(id) {
+		// Degraded-mode overlay hit: an autonomous en-route copy cached
+		// while coordination is down serves like any content-store hit.
+		nd.csHits++
+		n.degradedServes++
+		n.respond(nid, id, from, 0, nid)
+		return
+	}
 	nd.csMisses++
 	if entry, ok := nd.pit[id]; ok {
 		// Interest aggregation: the content is already on its way. An
@@ -701,9 +813,15 @@ func (n *Network) handleInterest(nid topology.NodeID, id catalog.ID, from pitFac
 // carry the causal request identity and send qualifier ("", "retx",
 // "fallback") onto the emitted interest events.
 func (n *Network) sendUpstream(nid topology.NodeID, id catalog.ID, forceOrigin bool, req int64, cause string) {
-	if !forceOrigin && n.opts.Directory != nil {
+	// In degraded mode the directory reflects a coordination state that
+	// can no longer be trusted at all: skip it and go straight to the
+	// origin (bounded-staleness forwarding degenerated to autonomy).
+	if !forceOrigin && n.opts.Directory != nil && !n.degraded {
 		if owner, ok := n.opts.Directory.Owner(id); ok && owner != nid {
 			if next := n.lat.Next(nid, owner); next >= 0 {
+				if n.placementsStale {
+					n.stalePlacementHits++
+				}
 				n.forwardInterest(nid, next, id, req, cause)
 				return
 			}
@@ -939,17 +1057,24 @@ func (n *Network) dataArrival(nid topology.NodeID, id catalog.ID, hops int, serv
 		}
 		return
 	}
-	switch n.opts.Mode {
-	case CacheLCE:
-		nd.cs.Insert(id)
-	case CacheLCD:
-		// Only the first router below the serving point admits.
-		if hops == 1 {
+	if n.degraded && nd.deg != nil {
+		// Degraded mode overrides the configured caching decision with
+		// autonomous LCE into the overlay: every router on the return
+		// path keeps a copy, the classic en-route fallback.
+		nd.deg.Insert(id)
+	} else {
+		switch n.opts.Mode {
+		case CacheLCE:
 			nd.cs.Insert(id)
-		}
-	case CacheProb:
-		if n.rng.Float64() < n.opts.CacheProbability {
-			nd.cs.Insert(id)
+		case CacheLCD:
+			// Only the first router below the serving point admits.
+			if hops == 1 {
+				nd.cs.Insert(id)
+			}
+		case CacheProb:
+			if n.rng.Float64() < n.opts.CacheProbability {
+				nd.cs.Insert(id)
+			}
 		}
 	}
 	entry, ok := nd.pit[id]

@@ -1,0 +1,211 @@
+package ccn
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/cache"
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
+)
+
+// degradedNet is lineNet plus overlay stores and a stride-1 tracer.
+// The directory must be consistent with provision (owners hold what
+// the directory advertises), as the coordinated planes the simulator
+// builds always are.
+func degradedNet(t *testing.T, provision map[topology.NodeID][]catalog.ID, dir Directory) (*des.Engine, *Network, func() string) {
+	t.Helper()
+	g := topology.New("line3")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	cat, err := catalog.New(100, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	net, err := NewNetwork(eng, g, cat, Options{
+		AccessLatency: 1,
+		Mode:          CacheNone,
+		Directory:     dir,
+		Tracer:        tr,
+		Stores: func(id topology.NodeID) (cache.Store, error) {
+			return cache.NewStatic(provision[id])
+		},
+		DegradedStores: func(id topology.NodeID) (cache.Store, error) {
+			return cache.NewLRU(2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AttachOriginAt(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	dump := func() string {
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	return eng, net, dump
+}
+
+func TestStalePlacementHitsCounted(t *testing.T) {
+	prov := map[topology.NodeID][]catalog.ID{2: {7}}
+	eng, net, _ := degradedNet(t, prov, staticDir{7: 2})
+	// Fresh placements: a directory redirect is not a stale hit.
+	res := runOne(t, eng, net, 0, 7)
+	if res.ServedBy != ServedPeer {
+		t.Fatalf("redirect served by %v, want peer", res.ServedBy)
+	}
+	if net.StalePlacementHits() != 0 {
+		t.Errorf("stale hits with fresh placements = %d, want 0", net.StalePlacementHits())
+	}
+	net.SetPlacementsStale(true)
+	if !net.PlacementsStale() {
+		t.Error("PlacementsStale() false after SetPlacementsStale(true)")
+	}
+	// Routers 0 and 1 each forward toward the stale owner: two stale
+	// forwards for one request.
+	runOne(t, eng, net, 0, 7)
+	if net.StalePlacementHits() != 2 {
+		t.Errorf("stale hits after one redirected request = %d, want 2 (one per forwarding router)", net.StalePlacementHits())
+	}
+	// Non-directory content forwards to the origin without touching
+	// placement state: not a stale hit.
+	runOne(t, eng, net, 0, 9)
+	if net.StalePlacementHits() != 2 {
+		t.Errorf("origin forward counted as stale hit: %d", net.StalePlacementHits())
+	}
+	net.SetPlacementsStale(false)
+	runOne(t, eng, net, 0, 7)
+	if net.StalePlacementHits() != 2 {
+		t.Errorf("stale hits after marking fresh = %d, want 2", net.StalePlacementHits())
+	}
+}
+
+func TestDegradedOverlayServes(t *testing.T) {
+	// The directory points at the origin gateway, so coordinated
+	// forwarding and origin forwarding take the same path; the overlay
+	// behavior is what distinguishes the modes.
+	eng, net, _ := degradedNet(t, nil, staticDir{7: 0})
+	if net.Degraded() {
+		t.Fatal("network degraded before EnterDegraded")
+	}
+	net.SetPlacementsStale(true)
+	if err := net.EnterDegraded(); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Degraded() {
+		t.Fatal("EnterDegraded did not degrade")
+	}
+	if net.PlacementsStale() {
+		t.Error("degraded mode should supersede the stale flag")
+	}
+	// First request from R2: the directory is bypassed (owner 2 would
+	// be a self-loop anyway), the origin serves, and LCE fills the
+	// overlay at every router on the return path 0-1-2.
+	res := runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedOrigin {
+		t.Fatalf("first degraded request served by %v, want origin", res.ServedBy)
+	}
+	if net.StalePlacementHits() != 0 {
+		t.Errorf("degraded forwards counted as stale hits: %d", net.StalePlacementHits())
+	}
+	// Second request hits R2's own overlay copy.
+	res = runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedLocal || res.Hops != 0 {
+		t.Errorf("second degraded request: served=%v hops=%d, want local overlay hit", res.ServedBy, res.Hops)
+	}
+	if net.DegradedServes() != 1 {
+		t.Errorf("DegradedServes = %d, want 1", net.DegradedServes())
+	}
+	// EnterDegraded is idempotent and keeps existing overlay contents.
+	if err := net.EnterDegraded(); err != nil {
+		t.Fatal(err)
+	}
+	res = runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedLocal {
+		t.Error("re-entering degraded mode dropped the overlays")
+	}
+
+	// Exit flushes every overlay copy: one per router on the path.
+	flushed := net.ExitDegraded()
+	if flushed != 3 {
+		t.Errorf("ExitDegraded flushed %d entries, want 3 (one per on-path router)", flushed)
+	}
+	if net.Degraded() {
+		t.Error("still degraded after ExitDegraded")
+	}
+	if net.ExitDegraded() != 0 {
+		t.Error("second ExitDegraded should be a no-op")
+	}
+	// Back to coordinated operation: the overlay is gone, so the same
+	// request goes to the origin again (static stores are empty).
+	res = runOne(t, eng, net, 2, 7)
+	if res.ServedBy != ServedOrigin {
+		t.Errorf("post-exit request served by %v, want origin (overlay flushed)", res.ServedBy)
+	}
+	if got := net.DegradedServes(); got != 2 {
+		t.Errorf("DegradedServes after exit = %d, want 2 (counter is cumulative)", got)
+	}
+}
+
+func TestEnterDegradedRequiresStores(t *testing.T) {
+	eng, net := lineNet(t, nil, nil, CacheNone)
+	_ = eng
+	if err := net.EnterDegraded(); err == nil {
+		t.Error("EnterDegraded without Options.DegradedStores accepted")
+	}
+	if net.Degraded() {
+		t.Error("failed EnterDegraded left the plane degraded")
+	}
+}
+
+func TestDegradedModeTraceEvents(t *testing.T) {
+	eng, net, dump := degradedNet(t, nil, nil)
+	if err := net.EnterDegraded(); err != nil {
+		t.Fatal(err)
+	}
+	runOne(t, eng, net, 2, 7)
+	net.ExitDegraded()
+	if err := net.Request(2, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	var modes []trace.Event
+	for _, line := range strings.Split(strings.TrimSpace(dump()), "\n") {
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev.Kind == trace.KindMode {
+			modes = append(modes, ev)
+		}
+	}
+	if len(modes) != 2 {
+		t.Fatalf("got %d mode events, want 2 (enter, exit): %+v", len(modes), modes)
+	}
+	if modes[0].Detail != "degraded-enter" || modes[0].Router != -1 {
+		t.Errorf("first mode event %+v, want degraded-enter on router -1", modes[0])
+	}
+	if modes[1].Detail != "degraded-exit" {
+		t.Errorf("second mode event %+v, want degraded-exit", modes[1])
+	}
+	if modes[1].N != 3 {
+		t.Errorf("degraded-exit reports %d flushed entries, want 3", modes[1].N)
+	}
+}

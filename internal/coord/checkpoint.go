@@ -1,0 +1,325 @@
+// Coordinator checkpoint/restore: the coordinator's full state —
+// placement, failure-detector state, and an optional popularity-stats
+// sketch — serialized as one epoch-versioned, checksummed JSON
+// envelope. A checkpoint taken at event T and restored later yields a
+// coordinator byte-identical in behavior to one that never went down,
+// which is what lets the simulator prove crash/restart runs equivalent
+// to uninterrupted ones. Files are written atomically (temp file +
+// rename), and the reader rejects truncated, corrupt, hand-edited, or
+// wrong-version input with descriptive errors instead of restoring
+// partial state.
+package coord
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/topology"
+)
+
+// CheckpointSchema identifies the checkpoint JSON layout. The payload
+// schema is append-only; any field-semantics change bumps the version
+// suffix.
+const CheckpointSchema = "ccncoord/coordinator-checkpoint/v1"
+
+// CheckpointVersion is the envelope version this package writes and
+// the only one it reads.
+const CheckpointVersion = 1
+
+// Checkpoint is the coordinator's restorable state at one epoch.
+type Checkpoint struct {
+	// Epoch is the placement epoch the checkpoint captures; restore
+	// paths use it to refuse stale state when several checkpoints
+	// exist.
+	Epoch int64
+	// Placement is the live provisioning decision (local set plus
+	// striped assignment). Required.
+	Placement *Placement
+	// Detector is the failure detector's state, when one was running.
+	Detector *DetectorState
+	// Stats is the coordinator's popularity sketch (content -> observed
+	// request count), when one was being maintained.
+	Stats map[catalog.ID]int64
+}
+
+// jsonCheckpoint is the envelope: metadata plus the checksummed
+// payload. Checksum is the SHA-256 of the payload's compact JSON
+// encoding, so any bit flip inside the payload is caught before a
+// single field is trusted.
+type jsonCheckpoint struct {
+	Schema   string          `json:"schema"`
+	Version  int             `json:"version"`
+	Epoch    int64           `json:"epoch"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// jsonCheckpointPayload is the checksummed body.
+type jsonCheckpointPayload struct {
+	Placement jsonPlacement      `json:"placement"`
+	Detector  *jsonDetectorState `json:"detector,omitempty"`
+	Stats     map[string]int64   `json:"stats,omitempty"`
+}
+
+// jsonDetectorState is the wire form of DetectorState.
+type jsonDetectorState struct {
+	Heartbeats int64          `json:"heartbeats"`
+	Missed     map[string]int `json:"missed,omitempty"`
+	Declared   []int64        `json:"declared,omitempty"`
+}
+
+// payloadChecksum hashes the canonical (compact) form of the payload
+// bytes, so the indented on-disk form and the in-memory compact form
+// agree.
+func payloadChecksum(payload []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return "", fmt.Errorf("coord: checkpoint payload is not valid JSON: %w", err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// WriteCheckpoint serializes the checkpoint to w as an indented,
+// checksummed JSON envelope followed by a newline. The output is
+// byte-deterministic for a given checkpoint.
+func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
+	if c == nil {
+		return fmt.Errorf("coord: nil checkpoint")
+	}
+	if c.Epoch < 0 {
+		return fmt.Errorf("coord: negative checkpoint epoch %d", c.Epoch)
+	}
+	jp, err := placementWire(c.Placement)
+	if err != nil {
+		return err
+	}
+	payload := jsonCheckpointPayload{Placement: jp}
+	if c.Detector != nil {
+		payload.Detector = c.Detector.wire()
+	}
+	if len(c.Stats) > 0 {
+		payload.Stats = make(map[string]int64, len(c.Stats))
+		for id, count := range c.Stats {
+			if !id.Valid() {
+				return fmt.Errorf("coord: invalid content id %d in checkpoint stats", id)
+			}
+			if count < 0 {
+				return fmt.Errorf("coord: negative stats count %d for content %d", count, id)
+			}
+			payload.Stats[fmt.Sprintf("%d", id)] = count
+		}
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("coord: encoding checkpoint payload: %w", err)
+	}
+	checksum, err := payloadChecksum(body)
+	if err != nil {
+		return err
+	}
+	env := jsonCheckpoint{
+		Schema:   CheckpointSchema,
+		Version:  CheckpointVersion,
+		Epoch:    c.Epoch,
+		Checksum: checksum,
+		Payload:  body,
+	}
+	out, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("coord: encoding checkpoint: %w", err)
+	}
+	out = append(out, '\n')
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("coord: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses a checkpoint written by WriteCheckpoint. It
+// verifies the schema, version, and payload checksum before decoding a
+// single state field, and rejects truncated, corrupt, or trailing-data
+// input with descriptive errors.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var env jsonCheckpoint
+	if err := decodeStrict(r, &env, "checkpoint"); err != nil {
+		return nil, err
+	}
+	if env.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("coord: not a coordinator checkpoint: schema %q (want %q)", env.Schema, CheckpointSchema)
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("coord: unsupported checkpoint version %d (this build reads version %d)", env.Version, CheckpointVersion)
+	}
+	if env.Epoch < 0 {
+		return nil, fmt.Errorf("coord: negative checkpoint epoch %d", env.Epoch)
+	}
+	if len(env.Payload) == 0 {
+		return nil, fmt.Errorf("coord: checkpoint has no payload")
+	}
+	checksum, err := payloadChecksum(env.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if checksum != env.Checksum {
+		return nil, fmt.Errorf("coord: checkpoint checksum mismatch: envelope says %s, payload hashes to %s (corrupt or edited checkpoint)", env.Checksum, checksum)
+	}
+	var payload jsonCheckpointPayload
+	if err := decodeStrict(bytes.NewReader(env.Payload), &payload, "checkpoint payload"); err != nil {
+		return nil, err
+	}
+	p, err := placementFromWire(payload.Placement)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{Epoch: env.Epoch, Placement: p}
+	if payload.Detector != nil {
+		st, err := payload.Detector.state()
+		if err != nil {
+			return nil, err
+		}
+		c.Detector = st
+	}
+	if len(payload.Stats) > 0 {
+		c.Stats = make(map[catalog.ID]int64, len(payload.Stats))
+		for key, count := range payload.Stats {
+			var raw int64
+			if _, err := fmt.Sscanf(key, "%d", &raw); err != nil {
+				return nil, fmt.Errorf("coord: malformed stats content key %q", key)
+			}
+			id := catalog.ID(raw)
+			if !id.Valid() {
+				return nil, fmt.Errorf("coord: invalid content id %d in checkpoint stats", raw)
+			}
+			if count < 0 {
+				return nil, fmt.Errorf("coord: negative stats count %d for content %d", count, raw)
+			}
+			c.Stats[id] = count
+		}
+	}
+	return c, nil
+}
+
+// SaveCheckpoint writes the checkpoint to path atomically: the
+// envelope is written to a temporary sibling file and renamed into
+// place, so a crash mid-write never leaves a torn checkpoint where a
+// restore path would look for one.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("coord: creating checkpoint temp file: %w", err)
+	}
+	if err := WriteCheckpoint(f, c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("coord: closing checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("coord: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("coord: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	c, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("coord: reading checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Adopt replaces a's contents with b's in place. The data plane holds
+// the assignment pointer as its directory, so restoring a checkpoint
+// must mutate the live assignment rather than swap the pointer — after
+// Adopt, every router's directory lookup sees the restored placement.
+func (a *Assignment) Adopt(b *Assignment) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("coord: nil assignment")
+	}
+	owners := make(map[catalog.ID]topology.NodeID, len(b.owners))
+	for id, r := range b.owners {
+		owners[id] = r
+	}
+	perRouter := make(map[topology.NodeID][]catalog.ID, len(b.perRouter))
+	for r, ids := range b.perRouter {
+		perRouter[r] = append([]catalog.ID(nil), ids...)
+	}
+	a.owners, a.perRouter = owners, perRouter
+	return nil
+}
+
+// wire converts the detector state to its JSON form, with deterministic
+// ordering.
+func (s *DetectorState) wire() *jsonDetectorState {
+	out := &jsonDetectorState{Heartbeats: s.Heartbeats}
+	if len(s.Missed) > 0 {
+		out.Missed = make(map[string]int, len(s.Missed))
+		for r, m := range s.Missed {
+			out.Missed[fmt.Sprintf("%d", r)] = m
+		}
+	}
+	if len(s.Declared) > 0 {
+		declared := append([]topology.NodeID(nil), s.Declared...)
+		sort.Slice(declared, func(i, j int) bool { return declared[i] < declared[j] })
+		for _, r := range declared {
+			out.Declared = append(out.Declared, int64(r))
+		}
+	}
+	return out
+}
+
+// state validates and converts the wire form back to DetectorState.
+func (s *jsonDetectorState) state() (*DetectorState, error) {
+	if s.Heartbeats < 0 {
+		return nil, fmt.Errorf("coord: negative heartbeat count %d in checkpoint", s.Heartbeats)
+	}
+	out := &DetectorState{Heartbeats: s.Heartbeats}
+	if len(s.Missed) > 0 {
+		out.Missed = make(map[topology.NodeID]int, len(s.Missed))
+		for key, m := range s.Missed {
+			var r topology.NodeID
+			if _, err := fmt.Sscanf(key, "%d", &r); err != nil {
+				return nil, fmt.Errorf("coord: malformed detector router key %q", key)
+			}
+			if r < 0 {
+				return nil, fmt.Errorf("coord: negative router id %d in detector state", r)
+			}
+			if m < 0 {
+				return nil, fmt.Errorf("coord: negative miss count %d for router %d", m, r)
+			}
+			out.Missed[r] = m
+		}
+	}
+	seen := make(map[topology.NodeID]bool, len(s.Declared))
+	for _, raw := range s.Declared {
+		r := topology.NodeID(raw)
+		if r < 0 {
+			return nil, fmt.Errorf("coord: negative router id %d in detector state", raw)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("coord: duplicate declared router %d in detector state", raw)
+		}
+		seen[r] = true
+		out.Declared = append(out.Declared, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/des"
+	"ccncoord/internal/topology"
+)
+
+// testCheckpoint builds a checkpoint with every section populated.
+func testCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{}}}
+	for rank := int64(1); rank <= 40; rank++ {
+		reports[0].Counts[catalog.ID(rank)] = 100 - rank
+	}
+	p, err := ComputePlacement(reports, routers(4), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Checkpoint{
+		Epoch:     3,
+		Placement: p,
+		Detector: &DetectorState{
+			Heartbeats: 120,
+			Missed:     map[topology.NodeID]int{2: 1},
+			Declared:   []topology.NodeID{3},
+		},
+		Stats: map[catalog.ID]int64{1: 500, 7: 42},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := testCheckpoint(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != c.Epoch {
+		t.Errorf("epoch %d, want %d", back.Epoch, c.Epoch)
+	}
+	if !reflect.DeepEqual(back.Placement.LocalSet, c.Placement.LocalSet) {
+		t.Errorf("local set %v, want %v", back.Placement.LocalSet, c.Placement.LocalSet)
+	}
+	if back.Placement.Assignment.Size() != c.Placement.Assignment.Size() {
+		t.Fatalf("assignment size %d, want %d", back.Placement.Assignment.Size(), c.Placement.Assignment.Size())
+	}
+	for id, owner := range c.Placement.Assignment.owners {
+		got, ok := back.Placement.Assignment.Owner(id)
+		if !ok || got != owner {
+			t.Errorf("owner of %d: %d/%v, want %d", id, got, ok, owner)
+		}
+	}
+	if !reflect.DeepEqual(back.Detector, c.Detector) {
+		t.Errorf("detector state %+v, want %+v", back.Detector, c.Detector)
+	}
+	if !reflect.DeepEqual(back.Stats, c.Stats) {
+		t.Errorf("stats %v, want %v", back.Stats, c.Stats)
+	}
+	// The writer is byte-deterministic.
+	var again bytes.Buffer
+	if err := WriteCheckpoint(&again, c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("writing the same checkpoint twice produced different bytes")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	c := testCheckpoint(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	t.Run("payload bit flip", func(t *testing.T) {
+		// Change a digit inside the payload without touching the JSON
+		// structure: the checksum must catch it.
+		bad := strings.Replace(good, `"heartbeats": 120`, `"heartbeats": 121`, 1)
+		if bad == good {
+			t.Fatal("test setup: heartbeat field not found in envelope")
+		}
+		_, err := ReadCheckpoint(strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("edited payload: err = %v, want checksum mismatch", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		_, err := ReadCheckpoint(strings.NewReader(good[:len(good)/2]))
+		if err == nil {
+			t.Error("truncated checkpoint accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ReadCheckpoint(strings.NewReader("")); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+	t.Run("trailing data", func(t *testing.T) {
+		_, err := ReadCheckpoint(strings.NewReader(good + `{"second": 1}`))
+		if err == nil {
+			t.Error("trailing data accepted")
+		}
+	})
+	t.Run("wrong schema", func(t *testing.T) {
+		bad := strings.Replace(good, CheckpointSchema, "something/else/v1", 1)
+		_, err := ReadCheckpoint(strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "schema") {
+			t.Errorf("wrong schema: err = %v, want schema error", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := strings.Replace(good, `"version": 1`, `"version": 99`, 1)
+		if bad == good {
+			t.Fatal("test setup: version field not found")
+		}
+		_, err := ReadCheckpoint(strings.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("wrong version: err = %v, want version error", err)
+		}
+	})
+	t.Run("unknown envelope field", func(t *testing.T) {
+		bad := strings.Replace(good, `"schema"`, `"extra": 1, "schema"`, 1)
+		if _, err := ReadCheckpoint(strings.NewReader(bad)); err == nil {
+			t.Error("unknown envelope field accepted")
+		}
+	})
+}
+
+func TestWriteCheckpointValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	c := testCheckpoint(t)
+	c.Epoch = -1
+	if err := WriteCheckpoint(&buf, c); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	c = testCheckpoint(t)
+	c.Placement = nil
+	if err := WriteCheckpoint(&buf, c); err == nil {
+		t.Error("checkpoint without placement accepted")
+	}
+	c = testCheckpoint(t)
+	c.Stats = map[catalog.ID]int64{5: -1}
+	if err := WriteCheckpoint(&buf, c); err == nil {
+		t.Error("negative stats count accepted")
+	}
+}
+
+func TestSaveLoadCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	c := testCheckpoint(t)
+	if err := SaveCheckpoint(path, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after a successful save")
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != c.Epoch || !reflect.DeepEqual(back.Detector, c.Detector) {
+		t.Errorf("loaded checkpoint differs: %+v", back)
+	}
+	// Overwriting with a newer epoch replaces the file in place.
+	c.Epoch = 4
+	if err := SaveCheckpoint(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != 4 {
+		t.Errorf("epoch after overwrite %d, want 4", back.Epoch)
+	}
+	// A failed save must not clobber the good file.
+	bad := testCheckpoint(t)
+	bad.Placement = nil
+	if err := SaveCheckpoint(path, bad); err == nil {
+		t.Fatal("invalid checkpoint saved")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after a failed save")
+	}
+	if back, err = LoadCheckpoint(path); err != nil || back.Epoch != 4 {
+		t.Errorf("failed save clobbered the previous checkpoint: %v, %v", back, err)
+	}
+}
+
+func TestCheckpointEnvelopeShape(t *testing.T) {
+	// The envelope must carry schema/version/epoch/checksum at the top
+	// level so external tooling can inspect a checkpoint without
+	// decoding the payload.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, testCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "version", "epoch", "checksum", "payload"} {
+		if _, ok := env[key]; !ok {
+			t.Errorf("envelope missing %q", key)
+		}
+	}
+}
+
+func TestAdoptReplacesLiveAssignment(t *testing.T) {
+	reports := []Report{{Router: 0, Counts: map[catalog.ID]int64{}}}
+	for rank := int64(1); rank <= 40; rank++ {
+		reports[0].Counts[catalog.ID(rank)] = 100 - rank
+	}
+	pa, err := ComputePlacement(reports, routers(4), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ComputePlacement(reports, routers(2), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := pa.Assignment
+	aliasing := live // the data plane's directory pointer
+	if err := live.Adopt(pb.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	// The alias sees the adopted placement without repointing.
+	if aliasing.Size() != pb.Assignment.Size() {
+		t.Fatalf("aliased assignment size %d, want %d", aliasing.Size(), pb.Assignment.Size())
+	}
+	for id, owner := range pb.Assignment.owners {
+		got, ok := aliasing.Owner(id)
+		if !ok || got != owner {
+			t.Errorf("after Adopt, owner of %d = %d/%v, want %d", id, got, ok, owner)
+		}
+	}
+	// Adopt deep-copies: mutating the source afterwards must not leak.
+	var anyID catalog.ID
+	for id := range pb.Assignment.owners {
+		anyID = id
+		break
+	}
+	pb.Assignment.owners[anyID] = topology.NodeID(99)
+	if got, _ := aliasing.Owner(anyID); got == 99 {
+		t.Error("Adopt shared the source's owners map")
+	}
+	if err := live.Adopt(nil); err == nil {
+		t.Error("Adopt(nil) accepted")
+	}
+	var nilAsg *Assignment
+	if err := nilAsg.Adopt(live); err == nil {
+		t.Error("nil.Adopt accepted")
+	}
+}
+
+func TestDetectorStateRoundTripThroughCheckpoint(t *testing.T) {
+	// Run a detector against a crashed router, checkpoint it mid-count,
+	// restore into a fresh detector, and check the declaration fires at
+	// the same round it would have without the restart.
+	runDetector := func(restartAt float64) (declaredAt float64) {
+		eng := &des.Engine{}
+		det, err := NewDetector(routers(3), 10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.Alive = func(r topology.NodeID) bool { return r != 1 }
+		declaredAt = -1
+		det.OnDown = func(dead topology.NodeID, at float64, _ []topology.NodeID) {
+			if dead == 1 {
+				declaredAt = at
+			}
+		}
+		if err := det.Start(eng, 200); err != nil {
+			t.Fatal(err)
+		}
+		if restartAt > 0 {
+			if err := eng.At(restartAt, func() {
+				st := det.State()
+				fresh, err := NewDetector(routers(3), 10, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.RestoreState(st); err != nil {
+					t.Fatal(err)
+				}
+				// The fresh detector must agree with the live one.
+				if fresh.Heartbeats() != det.Heartbeats() {
+					t.Errorf("restored heartbeats %d, want %d", fresh.Heartbeats(), det.Heartbeats())
+				}
+				if err := det.RestoreState(fresh.State()); err != nil {
+					t.Fatal(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return declaredAt
+	}
+	plain := runDetector(0)
+	restarted := runDetector(25) // between the 2nd and 3rd rounds
+	if plain < 0 {
+		t.Fatal("crashed router never declared")
+	}
+	if restarted != plain {
+		t.Errorf("restart moved the declaration: %v, want %v", restarted, plain)
+	}
+}
+
+func TestDetectorDropCountsMisses(t *testing.T) {
+	// All routers healthy, but router 2's heartbeats are dropped in
+	// flight: the detector must declare it dead after Misses rounds
+	// while the others stay undeclared.
+	eng := &des.Engine{}
+	det, err := NewDetector(routers(3), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Alive = func(topology.NodeID) bool { return true }
+	var drops int
+	det.Drop = func(r topology.NodeID, at float64) bool {
+		if r == 2 {
+			drops++
+			return true
+		}
+		return false
+	}
+	var declaredAt float64 = -1
+	det.OnDown = func(dead topology.NodeID, at float64, survivors []topology.NodeID) {
+		if dead != 2 {
+			t.Errorf("declared router %d, want 2", dead)
+		}
+		declaredAt = at
+		if len(survivors) != 2 {
+			t.Errorf("survivors %v, want the two healthy routers", survivors)
+		}
+	}
+	if err := det.Start(eng, 100); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if declaredAt != 30 {
+		t.Errorf("declared at %v, want 30 (3 dropped heartbeats at interval 10)", declaredAt)
+	}
+	if det.Declared(0) || det.Declared(1) {
+		t.Error("healthy routers with delivered heartbeats were declared")
+	}
+	// Dropped heartbeats are not counted as exchanged messages.
+	if got, want := det.Heartbeats(), int64(2*10); got != want {
+		t.Errorf("heartbeats %d, want %d (only delivered ones count)", got, want)
+	}
+	if drops != 3 {
+		t.Errorf("Drop consulted %d times for router 2, want 3 (declaration is sticky)", drops)
+	}
+}

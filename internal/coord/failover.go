@@ -113,6 +113,19 @@ type Detector struct {
 	// simulator wires this to the run tracer; detection behavior is
 	// unaffected.
 	OnProbe func(r topology.NodeID, at float64, alive bool)
+	// Gate, when non-nil, is consulted before every heartbeat round;
+	// a false return skips the round entirely (no probes, no misses).
+	// It models the coordinator itself being down: a dead coordinator
+	// neither collects heartbeats nor declares routers, and detection
+	// resumes where it left off when the gate reopens.
+	Gate func() bool
+	// Drop, when non-nil, is consulted for each heartbeat a live router
+	// sends; a true return loses that heartbeat in flight, so the
+	// coordinator counts a miss against a healthy router. It models
+	// coordination-channel message loss and delay (a heartbeat delayed
+	// past the interval is indistinguishable from a lost one). Dead
+	// routers never reach Drop — their heartbeats were never sent.
+	Drop func(r topology.NodeID, at float64) bool
 
 	routers    []topology.NodeID
 	heartbeats int64
@@ -171,11 +184,17 @@ func (d *Detector) Start(eng *des.Engine, horizon float64) error {
 
 // round runs one heartbeat exchange.
 func (d *Detector) round(now float64) {
+	if d.Gate != nil && !d.Gate() {
+		return
+	}
 	for _, r := range d.routers {
 		if d.declared[r] {
 			continue
 		}
 		alive := d.Alive(r)
+		if alive && d.Drop != nil && d.Drop(r, now) {
+			alive = false
+		}
 		if d.OnProbe != nil {
 			d.OnProbe(r, now, alive)
 		}
@@ -211,3 +230,70 @@ func (d *Detector) Heartbeats() int64 { return d.heartbeats }
 
 // Declared reports whether r has been declared dead.
 func (d *Detector) Declared(r topology.NodeID) bool { return d.declared[r] }
+
+// DetectorState is the serializable state of a Detector: everything a
+// restarted coordinator needs to resume failure detection exactly
+// where the checkpointed one stopped.
+type DetectorState struct {
+	// Heartbeats is the heartbeat-message count so far.
+	Heartbeats int64
+	// Missed maps routers to their current consecutive-miss count
+	// (only routers with a nonzero count appear).
+	Missed map[topology.NodeID]int
+	// Declared lists the routers already declared dead.
+	Declared []topology.NodeID
+}
+
+// State snapshots the detector for checkpointing.
+func (d *Detector) State() DetectorState {
+	st := DetectorState{Heartbeats: d.heartbeats}
+	for _, r := range d.routers {
+		if m := d.missed[r]; m > 0 {
+			if st.Missed == nil {
+				st.Missed = make(map[topology.NodeID]int)
+			}
+			st.Missed[r] = m
+		}
+		if d.declared[r] {
+			st.Declared = append(st.Declared, r)
+		}
+	}
+	return st
+}
+
+// RestoreState replaces the detector's progress with a checkpointed
+// snapshot. Every referenced router must be monitored by this
+// detector; the configuration fields (Interval, Misses, hooks) are
+// untouched.
+func (d *Detector) RestoreState(st DetectorState) error {
+	monitored := make(map[topology.NodeID]bool, len(d.routers))
+	for _, r := range d.routers {
+		monitored[r] = true
+	}
+	for r, m := range st.Missed {
+		if !monitored[r] {
+			return fmt.Errorf("coord: restored state references unmonitored router %d", r)
+		}
+		if m < 0 {
+			return fmt.Errorf("coord: negative miss count %d for router %d", m, r)
+		}
+	}
+	for _, r := range st.Declared {
+		if !monitored[r] {
+			return fmt.Errorf("coord: restored state references unmonitored router %d", r)
+		}
+	}
+	if st.Heartbeats < 0 {
+		return fmt.Errorf("coord: negative heartbeat count %d", st.Heartbeats)
+	}
+	d.heartbeats = st.Heartbeats
+	d.missed = make(map[topology.NodeID]int, len(st.Missed))
+	for r, m := range st.Missed {
+		d.missed[r] = m
+	}
+	d.declared = make(map[topology.NodeID]bool, len(st.Declared))
+	for _, r := range st.Declared {
+		d.declared[r] = true
+	}
+	return nil
+}

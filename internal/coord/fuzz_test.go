@@ -1,0 +1,72 @@
+package coord
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/catalog"
+	"ccncoord/internal/topology"
+)
+
+// FuzzPersistLoad drives the strict placement and checkpoint readers
+// with arbitrary bytes: they must never panic, and anything they do
+// accept must re-serialize and re-read to the same state (no partially
+// restored placements slipping through).
+func FuzzPersistLoad(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "local_set": [1, 2], "striped": {"0": [3, 5], "1": [4]}}`))
+	f.Add([]byte(`{"local_set": [], "striped": {}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version": 99, "local_set": [], "striped": {}}`))
+	f.Add([]byte(`{"local_set": [1], "striped": {"0": [1]}}`))
+
+	var ckpt bytes.Buffer
+	p := &Placement{
+		LocalSet: []catalog.ID{1, 2},
+		Assignment: &Assignment{
+			owners:    map[catalog.ID]topology.NodeID{3: 0, 4: 1},
+			perRouter: map[topology.NodeID][]catalog.ID{0: {3}, 1: {4}},
+		},
+	}
+	if err := WriteCheckpoint(&ckpt, &Checkpoint{
+		Epoch:     1,
+		Placement: p,
+		Detector:  &DetectorState{Heartbeats: 9, Declared: []topology.NodeID{1}},
+		Stats:     map[catalog.ID]int64{3: 7},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ckpt.Bytes())
+	f.Add(bytes.Replace(ckpt.Bytes(), []byte(`"epoch": 1`), []byte(`"epoch": 2`), 1))
+	f.Add(ckpt.Bytes()[:ckpt.Len()/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := ReadPlacement(bytes.NewReader(data)); err == nil {
+			var out strings.Builder
+			if err := p.WriteJSON(&out); err != nil {
+				t.Fatalf("accepted placement does not re-serialize: %v", err)
+			}
+			back, err := ReadPlacement(strings.NewReader(out.String()))
+			if err != nil {
+				t.Fatalf("re-serialized placement rejected: %v", err)
+			}
+			if back.Assignment.Size() != p.Assignment.Size() || len(back.LocalSet) != len(p.LocalSet) {
+				t.Fatal("placement round trip changed shape")
+			}
+		}
+		if c, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+			var out bytes.Buffer
+			if err := WriteCheckpoint(&out, c); err != nil {
+				t.Fatalf("accepted checkpoint does not re-serialize: %v", err)
+			}
+			back, err := ReadCheckpoint(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("re-serialized checkpoint rejected: %v", err)
+			}
+			if back.Epoch != c.Epoch {
+				t.Fatal("checkpoint round trip changed the epoch")
+			}
+		}
+	})
+}

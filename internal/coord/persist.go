@@ -2,6 +2,7 @@ package coord
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -14,18 +15,26 @@ import (
 // provisioning decision once (or receive it from the coordinator),
 // audit it, and install the identical placement across tools and runs.
 
+// PlacementVersion is the placement wire-format version this package
+// writes. Readers accept version 0 (legacy files written before the
+// field existed) and the current version; anything else is rejected so
+// a future format change cannot be silently misread.
+const PlacementVersion = 1
+
 // jsonPlacement is the wire form of a Placement.
 type jsonPlacement struct {
+	Version  int                `json:"version,omitempty"`
 	LocalSet []int64            `json:"local_set"`
 	Striped  map[string][]int64 `json:"striped"` // router id -> ranks
 }
 
-// WriteJSON serializes the placement.
-func (p *Placement) WriteJSON(w io.Writer) error {
+// placementWire converts a Placement to its wire form, with routers
+// serialized in id order so the output is byte-deterministic.
+func placementWire(p *Placement) (jsonPlacement, error) {
 	if p == nil || p.Assignment == nil {
-		return fmt.Errorf("coord: nil placement")
+		return jsonPlacement{}, fmt.Errorf("coord: nil placement")
 	}
-	jp := jsonPlacement{Striped: make(map[string][]int64)}
+	jp := jsonPlacement{Version: PlacementVersion, Striped: make(map[string][]int64)}
 	for _, id := range p.LocalSet {
 		jp.LocalSet = append(jp.LocalSet, int64(id))
 	}
@@ -40,22 +49,15 @@ func (p *Placement) WriteJSON(w io.Writer) error {
 			jp.Striped[key] = append(jp.Striped[key], int64(id))
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(jp); err != nil {
-		return fmt.Errorf("coord: encoding placement: %w", err)
-	}
-	return nil
+	return jp, nil
 }
 
-// ReadPlacement parses a placement written by WriteJSON. Duplicate
-// contents (within or across the local set and stripes) are rejected.
-func ReadPlacement(r io.Reader) (*Placement, error) {
-	var jp jsonPlacement
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&jp); err != nil {
-		return nil, fmt.Errorf("coord: decoding placement: %w", err)
+// placementFromWire validates and rebuilds a Placement from its wire
+// form. Duplicate contents (within or across the local set and
+// stripes) are rejected.
+func placementFromWire(jp jsonPlacement) (*Placement, error) {
+	if jp.Version != 0 && jp.Version != PlacementVersion {
+		return nil, fmt.Errorf("coord: unsupported placement version %d (this build reads up to %d)", jp.Version, PlacementVersion)
 	}
 	seen := make(map[catalog.ID]struct{})
 	addUnique := func(raw int64) (catalog.ID, error) {
@@ -106,4 +108,57 @@ func ReadPlacement(r io.Reader) (*Placement, error) {
 		}
 	}
 	return p, nil
+}
+
+// decodeStrict decodes exactly one JSON document from r into v,
+// rejecting unknown fields, empty input, truncated documents, and
+// trailing data. what names the document in error messages.
+func decodeStrict(r io.Reader, v interface{}, what string) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return fmt.Errorf("coord: %s input is empty", what)
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return fmt.Errorf("coord: %s is truncated (JSON document ends mid-stream): %w", what, err)
+		default:
+			return fmt.Errorf("coord: decoding %s: %w", what, err)
+		}
+	}
+	// A valid document must be the whole input: trailing data means a
+	// corrupt or concatenated file, not a placement/checkpoint.
+	if tok, err := dec.Token(); err != io.EOF {
+		if err != nil {
+			return fmt.Errorf("coord: %s has malformed trailing data: %v", what, err)
+		}
+		return fmt.Errorf("coord: %s has trailing data after the JSON document (starting with %v)", what, tok)
+	}
+	return nil
+}
+
+// WriteJSON serializes the placement.
+func (p *Placement) WriteJSON(w io.Writer) error {
+	jp, err := placementWire(p)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jp); err != nil {
+		return fmt.Errorf("coord: encoding placement: %w", err)
+	}
+	return nil
+}
+
+// ReadPlacement parses a placement written by WriteJSON. Truncated or
+// corrupt input, unknown fields, trailing data, unsupported versions,
+// and duplicate contents (within or across the local set and stripes)
+// are all rejected with descriptive errors.
+func ReadPlacement(r io.Reader) (*Placement, error) {
+	var jp jsonPlacement
+	if err := decodeStrict(r, &jp, "placement"); err != nil {
+		return nil, err
+	}
+	return placementFromWire(jp)
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccncoord/internal/fault"
+	"ccncoord/internal/sim"
+	"ccncoord/internal/topology"
+)
+
+// ChaosResilience runs every built-in chaos preset against the
+// coordinated placement on Abilene and reports how the system survives
+// it: availability, coordinator downtime, time spent degraded, the
+// hit rate while degraded vs overall, stale-placement traffic, overlay
+// serves, and re-convergence cost. Each preset is one deterministic
+// run (fixed seed, private chaos timeline), so the table is
+// byte-identical at every worker-pool width — the chaos counterpart of
+// the validation-spans artifact.
+func ChaosResilience(requests int) (Table, error) {
+	if requests < 5000 {
+		requests = 5000
+	}
+	t := Table{
+		ID:    "chaos",
+		Title: "Chaos resilience: coordinated placement under composed failure scenarios (Abilene)",
+		Headers: []string{"scenario", "avail", "failed", "coord down(ms)", "degraded(ms)",
+			"hit(degraded)", "hit(overall)", "stale fwd", "overlay serves", "reconverge moves", "TTR(ms)"},
+	}
+	presets := fault.ChaosPresets()
+	rows, err := parRows(len(presets), func(i int) ([]string, error) {
+		name := presets[i]
+		chaos, err := fault.ChaosPreset(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos: %w", err)
+		}
+		res, err := runSim(sim.Scenario{
+			Topology:      topology.Abilene(),
+			CatalogSize:   20000,
+			ZipfS:         baseS,
+			Capacity:      150,
+			Coordinated:   75,
+			Policy:        sim.PolicyCoordinated,
+			Requests:      requests,
+			Seed:          42,
+			AccessLatency: 5,
+			OriginLatency: 60,
+			OriginGateway: -1,
+			RetxTimeout:   300,
+			Chaos:         chaos,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos (%s): %w", name, err)
+		}
+		degradedHit := 0.0
+		if res.DegradedRequests > 0 {
+			degradedHit = 1 - res.DegradedOriginLoad
+		}
+		return []string{
+			name,
+			fmt.Sprintf("%.4f", res.Availability),
+			fmt.Sprintf("%d", res.FailedRequests),
+			fmt.Sprintf("%.0f", res.CoordDowntime),
+			fmt.Sprintf("%.0f", res.DegradedTime),
+			fmt.Sprintf("%.4f", degradedHit),
+			fmt.Sprintf("%.4f", 1-res.OriginLoad),
+			fmt.Sprintf("%d", res.StalePlacementHits),
+			fmt.Sprintf("%d", res.DegradedServes),
+			fmt.Sprintf("%d", res.ReconvergeMoves),
+			fmt.Sprintf("%.0f", res.MeanTimeToReconverge),
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"ccncoord/internal/fault"
+)
+
+func TestChaosResilienceTable(t *testing.T) {
+	tab, err := ChaosResilience(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := fault.ChaosPresets()
+	if len(tab.Rows) != len(presets) {
+		t.Fatalf("rows = %d, want one per preset (%d)", len(tab.Rows), len(presets))
+	}
+	for i, row := range tab.Rows {
+		if row[0] != presets[i] {
+			t.Errorf("row %d is %q, want preset %q", i, row[0], presets[i])
+		}
+		if len(row) != len(tab.Headers) {
+			t.Errorf("row %q has %d cells, want %d", row[0], len(row), len(tab.Headers))
+		}
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	// The blip never degrades; the crash does.
+	if blip := byName["coord-blip"]; parseF(t, blip[4]) != 0 {
+		t.Errorf("coord-blip degraded for %s ms, want 0", blip[4])
+	}
+	if crash := byName["coord-crash"]; parseF(t, crash[4]) <= 0 {
+		t.Errorf("coord-crash degraded for %s ms, want > 0", crash[4])
+	}
+	// Every scenario keeps availability in (0, 1].
+	for _, r := range tab.Rows {
+		if avail := parseF(t, r[1]); avail <= 0 || avail > 1 {
+			t.Errorf("%s availability %v out of range", r[0], avail)
+		}
+	}
+}
+
+func TestChaosResilienceDeterministicAcrossWorkers(t *testing.T) {
+	// The chaos artifact must be byte-identical at every worker-pool
+	// width (ISSUE acceptance): each preset's run owns a private chaos
+	// timeline and RNG streams, so parallelism cannot leak in.
+	prev := Workers()
+	defer SetWorkers(prev)
+	SetWorkers(1)
+	serial, err := ChaosResilience(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(4)
+	wide, err := ChaosResilience(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("chaos table differs across worker widths:\n%v\nvs\n%v", serial.Rows, wide.Rows)
+	}
+}

@@ -1,0 +1,490 @@
+// Chaos scenarios: a declarative, JSON-loadable DSL composing the
+// failure modes the simulator can inject — coordinator crash/restart
+// windows, network partitions isolating a router subset,
+// coordination-message loss and delay, correlated link failures,
+// scripted router/link outages, and an optional flash crowd — into one
+// replayable experiment. Every stochastic element (correlated link
+// selection, heartbeat loss) draws from RNG streams derived from the
+// scenario seed, so the same scenario file and seed reproduce the same
+// run bit-for-bit. Compile expands a scenario against a concrete
+// topology into the schedule the injector executes plus the
+// coordination-channel timeline the simulator wires into the failure
+// detector and the degraded-mode data plane.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"ccncoord/internal/topology"
+)
+
+// ChaosScenario is the serializable chaos description. Zero-valued
+// sections are absent; a scenario with no sections is rejected.
+type ChaosScenario struct {
+	// Name labels the scenario in artifacts and logs.
+	Name string `json:"name"`
+	// Seed drives every stochastic element (correlated link selection,
+	// coordination-message loss). Zero selects 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Coordinator lists coordination-channel outages: while one is
+	// active the coordinator neither collects heartbeats nor repairs,
+	// and routers run on stale placements (then degrade past the
+	// staleness bound).
+	Coordinator []CoordOutage `json:"coordinator,omitempty"`
+	// Loss lists coordination-message loss/delay windows applied to
+	// heartbeats while the coordinator is otherwise up.
+	Loss []CoordLossWindow `json:"coord_loss,omitempty"`
+	// Partitions isolate router subsets by cutting every topology link
+	// with exactly one endpoint inside the subset.
+	Partitions []Partition `json:"partitions,omitempty"`
+	// Routers are scripted router crash windows.
+	Routers []RouterOutage `json:"routers,omitempty"`
+	// Links are scripted single-link outage windows.
+	Links []LinkOutage `json:"links,omitempty"`
+	// Correlated are bursts of simultaneous link failures whose victims
+	// are drawn from a seeded stream — the shared-conduit failure mode.
+	Correlated []CorrelatedLinks `json:"correlated_links,omitempty"`
+	// FlashCrowd, when non-nil, composes a demand spike with the
+	// failures: after a per-router request count, a cold content
+	// swaps popularity with rank 1 (see workload.NewFlashCrowd).
+	FlashCrowd *FlashCrowdSpec `json:"flash_crowd,omitempty"`
+}
+
+// CoordOutage is one coordination-channel outage window.
+type CoordOutage struct {
+	// Down is when the coordinator crashes (ms).
+	Down float64 `json:"down"`
+	// Up is when it restarts (ms); 0 means it stays down for the rest
+	// of the run.
+	Up float64 `json:"up,omitempty"`
+}
+
+// CoordLossWindow degrades the coordination channel without killing
+// it: heartbeats within [From, To) are lost with probability Rate, and
+// a DelayMs at or above the heartbeat interval makes every heartbeat
+// arrive too late to count (the delay form of message impairment).
+type CoordLossWindow struct {
+	From    float64 `json:"from"`
+	To      float64 `json:"to"`
+	Rate    float64 `json:"rate,omitempty"`
+	DelayMs float64 `json:"delay_ms,omitempty"`
+}
+
+// Partition isolates Routers from the rest of the network between At
+// and Heal (Heal 0 = never heals).
+type Partition struct {
+	At      float64 `json:"at"`
+	Heal    float64 `json:"heal,omitempty"`
+	Routers []int   `json:"routers"`
+}
+
+// RouterOutage crashes one router between At and Heal (Heal 0 = stays
+// down).
+type RouterOutage struct {
+	At     float64 `json:"at"`
+	Heal   float64 `json:"heal,omitempty"`
+	Router int     `json:"router"`
+}
+
+// LinkOutage takes one undirected link down between At and Heal
+// (Heal 0 = stays down).
+type LinkOutage struct {
+	At   float64 `json:"at"`
+	Heal float64 `json:"heal,omitempty"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+}
+
+// CorrelatedLinks fails Count topology links simultaneously at At,
+// healing them together at Heal (0 = never). The victim links are
+// drawn without replacement from a stream seeded by the scenario seed
+// and the burst's position, so the selection replays exactly.
+type CorrelatedLinks struct {
+	At    float64 `json:"at"`
+	Heal  float64 `json:"heal,omitempty"`
+	Count int     `json:"count"`
+}
+
+// FlashCrowdSpec composes a demand spike with the chaos timeline:
+// after AfterRequests requests per router, content at popularity rank
+// Rank swaps ranks with the catalog's most popular content.
+type FlashCrowdSpec struct {
+	AfterRequests int64 `json:"after_requests"`
+	Rank          int64 `json:"rank"`
+}
+
+// windowOK validates a [start, end) window where end 0 means open.
+func windowOK(start, end float64) error {
+	if start < 0 {
+		return fmt.Errorf("negative start time %v", start)
+	}
+	if end != 0 && end <= start {
+		return fmt.Errorf("end %v not after start %v", end, start)
+	}
+	return nil
+}
+
+// Validate checks the scenario's internal consistency (no topology
+// needed; Compile re-checks element ids against a concrete graph).
+func (c *ChaosScenario) Validate() error {
+	if c == nil {
+		return fmt.Errorf("fault: nil chaos scenario")
+	}
+	if len(c.Coordinator)+len(c.Loss)+len(c.Partitions)+len(c.Routers)+len(c.Links)+len(c.Correlated) == 0 && c.FlashCrowd == nil {
+		return fmt.Errorf("fault: chaos scenario %q has no failure sections", c.Name)
+	}
+	outages := append([]CoordOutage(nil), c.Coordinator...)
+	sort.Slice(outages, func(i, j int) bool { return outages[i].Down < outages[j].Down })
+	for i, w := range outages {
+		if err := windowOK(w.Down, w.Up); err != nil {
+			return fmt.Errorf("fault: coordinator outage %d: %v", i, err)
+		}
+		if i > 0 {
+			prev := outages[i-1]
+			if prev.Up == 0 || w.Down < prev.Up {
+				return fmt.Errorf("fault: coordinator outages overlap (%v-%v and %v-%v)", prev.Down, prev.Up, w.Down, w.Up)
+			}
+		}
+	}
+	for i, w := range c.Loss {
+		if err := windowOK(w.From, w.To); err != nil {
+			return fmt.Errorf("fault: coord-loss window %d: %v", i, err)
+		}
+		if w.To == 0 {
+			return fmt.Errorf("fault: coord-loss window %d needs an end time", i)
+		}
+		if w.Rate < 0 || w.Rate > 1 {
+			return fmt.Errorf("fault: coord-loss window %d: rate %v outside [0, 1]", i, w.Rate)
+		}
+		if w.DelayMs < 0 {
+			return fmt.Errorf("fault: coord-loss window %d: negative delay %v", i, w.DelayMs)
+		}
+		if w.Rate == 0 && w.DelayMs == 0 {
+			return fmt.Errorf("fault: coord-loss window %d impairs nothing (zero rate and delay)", i)
+		}
+	}
+	for i, p := range c.Partitions {
+		if err := windowOK(p.At, p.Heal); err != nil {
+			return fmt.Errorf("fault: partition %d: %v", i, err)
+		}
+		if len(p.Routers) == 0 {
+			return fmt.Errorf("fault: partition %d isolates no routers", i)
+		}
+		seen := make(map[int]bool, len(p.Routers))
+		for _, r := range p.Routers {
+			if r < 0 {
+				return fmt.Errorf("fault: partition %d: negative router id %d", i, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("fault: partition %d lists router %d twice", i, r)
+			}
+			seen[r] = true
+		}
+	}
+	for i, r := range c.Routers {
+		if err := windowOK(r.At, r.Heal); err != nil {
+			return fmt.Errorf("fault: router outage %d: %v", i, err)
+		}
+		if r.Router < 0 {
+			return fmt.Errorf("fault: router outage %d: negative router id %d", i, r.Router)
+		}
+	}
+	for i, l := range c.Links {
+		if err := windowOK(l.At, l.Heal); err != nil {
+			return fmt.Errorf("fault: link outage %d: %v", i, err)
+		}
+		if l.A < 0 || l.B < 0 || l.A == l.B {
+			return fmt.Errorf("fault: link outage %d: bad endpoints (%d,%d)", i, l.A, l.B)
+		}
+	}
+	for i, b := range c.Correlated {
+		if err := windowOK(b.At, b.Heal); err != nil {
+			return fmt.Errorf("fault: correlated burst %d: %v", i, err)
+		}
+		if b.Count < 1 {
+			return fmt.Errorf("fault: correlated burst %d fails %d links", i, b.Count)
+		}
+	}
+	if fc := c.FlashCrowd; fc != nil {
+		if fc.AfterRequests < 0 {
+			return fmt.Errorf("fault: flash crowd: negative request threshold %d", fc.AfterRequests)
+		}
+		if fc.Rank < 2 {
+			return fmt.Errorf("fault: flash crowd: rank %d must be at least 2 (rank 1 is already hottest)", fc.Rank)
+		}
+	}
+	return nil
+}
+
+// ParseChaos decodes one chaos scenario from r, rejecting unknown
+// fields, truncated documents, and trailing data, then validates it.
+func ParseChaos(r io.Reader) (*ChaosScenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c ChaosScenario
+	if err := dec.Decode(&c); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, fmt.Errorf("fault: chaos scenario input is empty")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("fault: chaos scenario is truncated (JSON document ends mid-stream): %w", err)
+		default:
+			return nil, fmt.Errorf("fault: decoding chaos scenario: %w", err)
+		}
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("fault: chaos scenario has malformed trailing data: %v", err)
+		}
+		return nil, fmt.Errorf("fault: chaos scenario has trailing data after the JSON document (starting with %v)", tok)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadChaosFile reads and validates a chaos scenario file.
+func LoadChaosFile(path string) (*ChaosScenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: opening chaos scenario: %w", err)
+	}
+	defer f.Close()
+	c, err := ParseChaos(f)
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading chaos scenario %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteJSON serializes the scenario as indented JSON plus newline —
+// the same form ParseChaos reads.
+func (c *ChaosScenario) WriteJSON(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fault: encoding chaos scenario: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("fault: writing chaos scenario: %w", err)
+	}
+	return nil
+}
+
+// CompiledChaos is a scenario expanded against a concrete topology:
+// the injector schedule plus the coordination-channel timeline the
+// simulator wires directly.
+type CompiledChaos struct {
+	Name string
+	Seed int64
+	// Events is the merged router/link schedule (partitions and
+	// correlated bursts expanded to individual link transitions).
+	Events []Event
+	// Coordinator is the outage timeline, sorted by Down.
+	Coordinator []CoordOutage
+	// Loss is the heartbeat loss/delay timeline.
+	Loss []CoordLossWindow
+	// FlashCrowd passes the demand-spike spec through.
+	FlashCrowd *FlashCrowdSpec
+}
+
+// chaosSeed derives the RNG stream for stochastic element i, matching
+// the per-router derivation quality of Stochastic.
+func chaosSeed(seed, i int64) int64 { return seed ^ (i+3)*0x9E3779B9 }
+
+// Compile validates the scenario against g and expands it into the
+// concrete fault schedule and coordination timeline. The expansion is
+// deterministic: partitions cut the sorted edge list, and correlated
+// bursts draw victims from streams seeded by (Seed, burst index).
+func (c *ChaosScenario) Compile(g *topology.Graph) (*CompiledChaos, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("fault: nil topology")
+	}
+	n := g.N()
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	out := &CompiledChaos{Name: c.Name, Seed: seed, FlashCrowd: c.FlashCrowd}
+	out.Coordinator = append([]CoordOutage(nil), c.Coordinator...)
+	sort.Slice(out.Coordinator, func(i, j int) bool { return out.Coordinator[i].Down < out.Coordinator[j].Down })
+	out.Loss = append([]CoordLossWindow(nil), c.Loss...)
+	sort.Slice(out.Loss, func(i, j int) bool { return out.Loss[i].From < out.Loss[j].From })
+
+	addWindow := func(down, up Event, heal float64) {
+		out.Events = append(out.Events, down)
+		if heal > 0 {
+			out.Events = append(out.Events, up)
+		}
+	}
+	for i, r := range c.Routers {
+		if r.Router >= n {
+			return nil, fmt.Errorf("fault: router outage %d targets unknown router %d (topology has %d)", i, r.Router, n)
+		}
+		node := topology.NodeID(r.Router)
+		addWindow(
+			Event{At: r.At, Kind: RouterDown, Node: node},
+			Event{At: r.Heal, Kind: RouterUp, Node: node},
+			r.Heal)
+	}
+	for i, l := range c.Links {
+		if l.A >= n || l.B >= n {
+			return nil, fmt.Errorf("fault: link outage %d targets unknown endpoint (%d,%d) (topology has %d routers)", i, l.A, l.B, n)
+		}
+		a, b := topology.NodeID(l.A), topology.NodeID(l.B)
+		if !g.HasEdge(a, b) {
+			return nil, fmt.Errorf("fault: link outage %d: topology %s has no link %d-%d", i, g.Name(), l.A, l.B)
+		}
+		addWindow(
+			Event{At: l.At, Kind: LinkDown, A: a, B: b},
+			Event{At: l.Heal, Kind: LinkUp, A: a, B: b},
+			l.Heal)
+	}
+	edges := g.EdgeList()
+	for i, p := range c.Partitions {
+		inside := make(map[topology.NodeID]bool, len(p.Routers))
+		for _, r := range p.Routers {
+			if r >= n {
+				return nil, fmt.Errorf("fault: partition %d isolates unknown router %d (topology has %d)", i, r, n)
+			}
+			inside[topology.NodeID(r)] = true
+		}
+		if len(inside) >= n {
+			return nil, fmt.Errorf("fault: partition %d isolates every router", i)
+		}
+		cut := 0
+		for _, e := range edges {
+			if inside[e.A] == inside[e.B] {
+				continue // both sides of the cut, or neither
+			}
+			cut++
+			addWindow(
+				Event{At: p.At, Kind: LinkDown, A: e.A, B: e.B},
+				Event{At: p.Heal, Kind: LinkUp, A: e.A, B: e.B},
+				p.Heal)
+		}
+		if cut == 0 {
+			return nil, fmt.Errorf("fault: partition %d cuts no links (subset already disconnected?)", i)
+		}
+	}
+	for i, b := range c.Correlated {
+		if b.Count > len(edges) {
+			return nil, fmt.Errorf("fault: correlated burst %d fails %d links but topology %s has %d", i, b.Count, g.Name(), len(edges))
+		}
+		rng := rand.New(rand.NewSource(chaosSeed(seed, int64(i))))
+		for _, idx := range rng.Perm(len(edges))[:b.Count] {
+			e := edges[idx]
+			addWindow(
+				Event{At: b.At, Kind: LinkDown, A: e.A, B: e.B},
+				Event{At: b.Heal, Kind: LinkUp, A: e.A, B: e.B},
+				b.Heal)
+		}
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].At < out.Events[j].At })
+	return out, nil
+}
+
+// HasCoordinationFailures reports whether the scenario impairs the
+// coordination channel (outages or message loss) — the parts that
+// require a coordinated placement to mean anything.
+func (c *ChaosScenario) HasCoordinationFailures() bool {
+	return len(c.Coordinator) > 0 || len(c.Loss) > 0
+}
+
+// ChaosPresets returns the built-in scenario names in deterministic
+// order.
+func ChaosPresets() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosPreset returns a built-in scenario by name. The returned value
+// is a fresh copy; callers may adjust the seed.
+func ChaosPreset(name string) (*ChaosScenario, error) {
+	c, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown chaos preset %q (have %v)", name, ChaosPresets())
+	}
+	copy := c
+	if c.FlashCrowd != nil {
+		fc := *c.FlashCrowd
+		copy.FlashCrowd = &fc
+	}
+	copy.Coordinator = append([]CoordOutage(nil), c.Coordinator...)
+	copy.Loss = append([]CoordLossWindow(nil), c.Loss...)
+	copy.Partitions = append([]Partition(nil), c.Partitions...)
+	copy.Routers = append([]RouterOutage(nil), c.Routers...)
+	copy.Links = append([]LinkOutage(nil), c.Links...)
+	copy.Correlated = append([]CorrelatedLinks(nil), c.Correlated...)
+	return &copy, nil
+}
+
+// The built-in presets. Event times sit in the first ~1000 virtual
+// milliseconds so they land inside the traffic of even small runs;
+// router ids stay low so every embedded topology has them.
+var presets = map[string]ChaosScenario{
+	// A short coordination blip: placements go stale but the channel
+	// returns before the staleness bound expires, so the plane never
+	// degrades — the graceful end of the spectrum.
+	"coord-blip": {
+		Name:        "coord-blip",
+		Seed:        1,
+		Coordinator: []CoordOutage{{Down: 150, Up: 350}},
+	},
+	// A long coordinator crash: the staleness bound expires mid-outage
+	// and the plane falls back to autonomous en-route caching until the
+	// restart re-converges it.
+	"coord-crash": {
+		Name:        "coord-crash",
+		Seed:        1,
+		Coordinator: []CoordOutage{{Down: 150, Up: 900}},
+	},
+	// A network partition isolating two routers while coordination
+	// stays healthy: the data plane reroutes and retries around the cut.
+	"partition": {
+		Name:       "partition",
+		Seed:       1,
+		Partitions: []Partition{{At: 200, Heal: 700, Routers: []int{1, 2}}},
+	},
+	// Heartbeats lost more often than not: the detector sees phantom
+	// failures and the repair path gets exercised against live routers.
+	"lossy-coordination": {
+		Name: "lossy-coordination",
+		Seed: 1,
+		Loss: []CoordLossWindow{{From: 100, To: 900, Rate: 0.6}},
+	},
+	// Correlated link burst, a router crash, and a coordinator outage
+	// overlapping — the compound failure a shared conduit cut causes.
+	"cascade": {
+		Name:        "cascade",
+		Seed:        1,
+		Coordinator: []CoordOutage{{Down: 300, Up: 1000}},
+		Routers:     []RouterOutage{{At: 250, Heal: 800, Router: 1}},
+		Correlated:  []CorrelatedLinks{{At: 150, Heal: 650, Count: 3}},
+	},
+	// A flash crowd arriving while the coordinator is down: the
+	// degraded plane must absorb a popularity inversion autonomously.
+	"flash-crowd": {
+		Name:        "flash-crowd",
+		Seed:        1,
+		Coordinator: []CoordOutage{{Down: 150, Up: 900}},
+		FlashCrowd:  &FlashCrowdSpec{AfterRequests: 200, Rank: 5000},
+	},
+}

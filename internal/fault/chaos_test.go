@@ -1,0 +1,283 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/topology"
+)
+
+// chaosGraph builds a 5-router ring with one chord (0-2): 7 nodes
+// would be overkill; the ring gives partitions real cut edges.
+func chaosGraph() *topology.Graph {
+	g := topology.New("ring5")
+	for i := 0; i < 5; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(topology.NodeID(i), topology.NodeID((i+1)%5), 5)
+	}
+	g.MustAddEdge(0, 2, 5)
+	return g
+}
+
+func TestChaosValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		c    ChaosScenario
+		want string
+	}{
+		{"empty", ChaosScenario{Name: "x"}, "no failure sections"},
+		{"negative start", ChaosScenario{Coordinator: []CoordOutage{{Down: -1, Up: 5}}}, "negative start"},
+		{"end before start", ChaosScenario{Coordinator: []CoordOutage{{Down: 10, Up: 5}}}, "not after start"},
+		{"overlapping outages", ChaosScenario{Coordinator: []CoordOutage{{Down: 0, Up: 100}, {Down: 50, Up: 200}}}, "overlap"},
+		{"open then second outage", ChaosScenario{Coordinator: []CoordOutage{{Down: 0}, {Down: 500, Up: 600}}}, "overlap"},
+		{"loss without end", ChaosScenario{Loss: []CoordLossWindow{{From: 0, Rate: 0.5}}}, "needs an end"},
+		{"loss rate over 1", ChaosScenario{Loss: []CoordLossWindow{{From: 0, To: 10, Rate: 1.5}}}, "outside [0, 1]"},
+		{"loss impairs nothing", ChaosScenario{Loss: []CoordLossWindow{{From: 0, To: 10}}}, "impairs nothing"},
+		{"negative delay", ChaosScenario{Loss: []CoordLossWindow{{From: 0, To: 10, DelayMs: -5}}}, "negative delay"},
+		{"empty partition", ChaosScenario{Partitions: []Partition{{At: 0}}}, "isolates no routers"},
+		{"duplicate partition router", ChaosScenario{Partitions: []Partition{{At: 0, Routers: []int{1, 1}}}}, "twice"},
+		{"negative partition router", ChaosScenario{Partitions: []Partition{{At: 0, Routers: []int{-1}}}}, "negative router"},
+		{"negative router id", ChaosScenario{Routers: []RouterOutage{{At: 0, Router: -2}}}, "negative router"},
+		{"self-link", ChaosScenario{Links: []LinkOutage{{At: 0, A: 3, B: 3}}}, "bad endpoints"},
+		{"zero-count burst", ChaosScenario{Correlated: []CorrelatedLinks{{At: 0, Count: 0}}}, "fails 0 links"},
+		{"flash crowd rank 1", ChaosScenario{FlashCrowd: &FlashCrowdSpec{Rank: 1}}, "at least 2"},
+		{"flash crowd negative after", ChaosScenario{FlashCrowd: &FlashCrowdSpec{AfterRequests: -1, Rank: 5}}, "negative request threshold"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseChaosStrict(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "empty"},
+		{"truncated", `{"name": "x", "coordinator": [{"down": 1`, "truncated"},
+		{"unknown field", `{"name": "x", "coordinator": [{"down": 10, "up": 20}], "bogus": 1}`, "bogus"},
+		{"trailing data", `{"name": "x", "coordinator": [{"down": 10, "up": 20}]} {"more": 1}`, "trailing data"},
+		{"invalid scenario", `{"name": "x"}`, "no failure sections"},
+	}
+	for _, tc := range cases {
+		_, err := ParseChaos(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ParseChaos passed, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestChaosJSONRoundTrip(t *testing.T) {
+	orig, err := ChaosPreset("cascade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.FlashCrowd = &FlashCrowdSpec{AfterRequests: 100, Rank: 50}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseChaos(&buf)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", orig, got)
+	}
+}
+
+func TestCompilePartitionCutsBoundaryLinks(t *testing.T) {
+	g := chaosGraph()
+	c := &ChaosScenario{
+		Name:       "part",
+		Partitions: []Partition{{At: 100, Heal: 400, Routers: []int{1, 2}}},
+	}
+	cc, err := c.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary links of {1,2} in ring5+chord(0-2): 0-1, 2-3, 0-2.
+	// Interior link 1-2 must stay up.
+	wantCut := map[[2]topology.NodeID]bool{{0, 1}: true, {2, 3}: true, {0, 2}: true}
+	downs, ups := 0, 0
+	for _, ev := range cc.Events {
+		key := [2]topology.NodeID{ev.A, ev.B}
+		switch ev.Kind {
+		case LinkDown:
+			downs++
+			if !wantCut[key] {
+				t.Errorf("unexpected link cut %d-%d", ev.A, ev.B)
+			}
+			if ev.At != 100 {
+				t.Errorf("cut of %d-%d at %v, want 100", ev.A, ev.B, ev.At)
+			}
+		case LinkUp:
+			ups++
+			if ev.At != 400 {
+				t.Errorf("heal of %d-%d at %v, want 400", ev.A, ev.B, ev.At)
+			}
+		default:
+			t.Errorf("unexpected event kind %v", ev.Kind)
+		}
+	}
+	if downs != len(wantCut) || ups != len(wantCut) {
+		t.Errorf("got %d downs / %d ups, want %d each", downs, ups, len(wantCut))
+	}
+}
+
+func TestCompileRejectsBadTargets(t *testing.T) {
+	g := chaosGraph()
+	cases := []struct {
+		name string
+		c    ChaosScenario
+		want string
+	}{
+		{"router beyond topology", ChaosScenario{Routers: []RouterOutage{{At: 10, Router: 9}}}, "unknown router"},
+		{"link not in topology", ChaosScenario{Links: []LinkOutage{{At: 10, A: 1, B: 3}}}, "no link"},
+		{"link endpoint beyond topology", ChaosScenario{Links: []LinkOutage{{At: 10, A: 0, B: 11}}}, "unknown endpoint"},
+		{"partition of everything", ChaosScenario{Partitions: []Partition{{At: 10, Routers: []int{0, 1, 2, 3, 4}}}}, "every router"},
+		{"partition router beyond topology", ChaosScenario{Partitions: []Partition{{At: 10, Routers: []int{7}}}}, "unknown router"},
+		{"burst larger than topology", ChaosScenario{Correlated: []CorrelatedLinks{{At: 10, Count: 99}}}, "has 6"},
+	}
+	for _, tc := range cases {
+		_, err := tc.c.Compile(g)
+		if err == nil {
+			t.Errorf("%s: Compile passed, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := (&ChaosScenario{Routers: []RouterOutage{{At: 1, Router: 0}}}).Compile(nil); err == nil {
+		t.Error("Compile(nil topology) passed, want error")
+	}
+}
+
+func TestCompileCorrelatedDeterministic(t *testing.T) {
+	g := chaosGraph()
+	c := &ChaosScenario{
+		Name:       "burst",
+		Seed:       7,
+		Correlated: []CorrelatedLinks{{At: 50, Heal: 250, Count: 3}},
+	}
+	first, err := c.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Events, second.Events) {
+		t.Errorf("same seed compiled different bursts:\n%v\n%v", first.Events, second.Events)
+	}
+	downs := 0
+	for _, ev := range first.Events {
+		if ev.Kind == LinkDown {
+			downs++
+		}
+	}
+	if downs != 3 {
+		t.Errorf("burst cut %d links, want 3", downs)
+	}
+	// A different seed should (for this topology and count) pick a
+	// different victim set at least sometimes; check the streams are
+	// actually seed-dependent.
+	c.Seed = 8
+	third, err := c.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first.Events, third.Events) {
+		t.Log("seeds 7 and 8 chose the same victims (possible but suspicious)")
+	}
+}
+
+func TestCompileEventsSorted(t *testing.T) {
+	g := chaosGraph()
+	c := &ChaosScenario{
+		Name:    "mixed",
+		Routers: []RouterOutage{{At: 500, Heal: 600, Router: 4}, {At: 20, Router: 3}},
+		Links:   []LinkOutage{{At: 100, Heal: 900, A: 0, B: 1}},
+	}
+	cc, err := c.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cc.Events); i++ {
+		if cc.Events[i].At < cc.Events[i-1].At {
+			t.Fatalf("events out of order at %d: %v", i, cc.Events)
+		}
+	}
+	// Open-ended windows (Heal 0) emit no Up event.
+	for _, ev := range cc.Events {
+		if ev.Kind == RouterUp && ev.Node == 3 {
+			t.Error("open-ended router outage emitted an Up event")
+		}
+	}
+}
+
+func TestChaosPresetsCompile(t *testing.T) {
+	// Every preset must validate and compile against every embedded
+	// topology — presets keep ids low for exactly this reason.
+	for _, name := range ChaosPresets() {
+		c, err := ChaosPreset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("preset %s reports name %q", name, c.Name)
+		}
+		for _, g := range topology.All() {
+			if _, err := c.Compile(g); err != nil {
+				t.Errorf("preset %s on %s: %v", name, g.Name(), err)
+			}
+		}
+	}
+	if _, err := ChaosPreset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestChaosPresetReturnsCopy(t *testing.T) {
+	a, err := ChaosPreset("coord-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Coordinator[0].Down = 999
+	a.Seed = 12345
+	b, err := ChaosPreset("coord-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Coordinator[0].Down == 999 || b.Seed == 12345 {
+		t.Error("mutating a preset copy leaked into the shared preset")
+	}
+	fc, err := ChaosPreset("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.FlashCrowd.Rank = 1
+	fc2, err := ChaosPreset("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc2.FlashCrowd.Rank == 1 {
+		t.Error("mutating a preset's flash-crowd spec leaked into the shared preset")
+	}
+}

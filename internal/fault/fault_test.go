@@ -212,3 +212,93 @@ func TestStochasticRouterOrderIndependent(t *testing.T) {
 		t.Error("router-list order changed the generated timeline")
 	}
 }
+
+func TestStochasticZeroAndNegativeMTTR(t *testing.T) {
+	base := StochasticConfig{MTBF: 500, MTTR: 100, Horizon: 5000, Routers: []topology.NodeID{0}}
+	for _, mttr := range []float64{0, -0.001, -100} {
+		cfg := base
+		cfg.MTTR = mttr
+		if _, err := Stochastic(cfg); err == nil {
+			t.Errorf("MTTR=%v should fail", mttr)
+		}
+	}
+}
+
+func TestFaultAtTimeZero(t *testing.T) {
+	// A fault scheduled at t=0 is legal: the router must be down before
+	// the first request fires, not crash "shortly after" it.
+	sched, err := Scripted(
+		Event{At: 0, Kind: RouterDown, Node: 1},
+		Event{At: 10, Kind: RouterUp, Node: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	inj, err := NewInjector(eng, sched, &fakeTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Install(); err != nil {
+		t.Fatalf("installing a t=0 fault: %v", err)
+	}
+	eng.RunUntil(1)
+	if inj.RouterAlive(1) {
+		t.Error("router 1 should already be down at t=1")
+	}
+	if since, down := inj.DownSince(1); !down || since != 0 {
+		t.Errorf("DownSince(1) = %v, %v; want 0, true", since, down)
+	}
+	eng.Run()
+	if !inj.RouterAlive(1) {
+		t.Error("router 1 should have recovered")
+	}
+}
+
+func TestOverlappingScriptedFaultsIdempotent(t *testing.T) {
+	// Two overlapping down-windows on the same router: the second Down
+	// lands on an already-crashed router and the first Up restores it
+	// while the "outer" window is still notionally open. The injector
+	// applies transitions idempotently — DownSince keeps the first crash
+	// time through the redundant Down, and the final state follows the
+	// last applied event.
+	sched, err := Scripted(
+		Event{At: 10, Kind: RouterDown, Node: 3},
+		Event{At: 20, Kind: RouterDown, Node: 3}, // overlaps the first window
+		Event{At: 30, Kind: RouterUp, Node: 3},
+		Event{At: 40, Kind: RouterUp, Node: 3}, // redundant recovery
+		Event{At: 50, Kind: LinkDown, A: 0, B: 1},
+		Event{At: 55, Kind: LinkDown, A: 1, B: 0}, // same link, reversed endpoints
+		Event{At: 60, Kind: LinkUp, A: 0, B: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &des.Engine{}
+	tgt := &fakeTarget{}
+	inj, err := NewInjector(eng, sched, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Install(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(25)
+	if since, down := inj.DownSince(3); !down || since != 10 {
+		t.Errorf("redundant Down moved the crash time: DownSince(3) = %v, %v; want 10, true", since, down)
+	}
+	if inj.ActiveFaults() != 1 {
+		t.Errorf("overlapping windows double-counted: ActiveFaults = %d, want 1", inj.ActiveFaults())
+	}
+	eng.RunUntil(56)
+	if inj.ActiveFaults() != 1 {
+		t.Errorf("reversed-endpoint link fault double-counted: ActiveFaults = %d, want 1", inj.ActiveFaults())
+	}
+	eng.Run()
+	if inj.ActiveFaults() != 0 {
+		t.Errorf("faults left active after all windows closed: %d", inj.ActiveFaults())
+	}
+	if len(inj.Applied()) != 7 {
+		t.Errorf("applied %d events, want all 7 (redundant ones included)", len(inj.Applied()))
+	}
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/coord"
+	"ccncoord/internal/fault"
+	"ccncoord/internal/topology"
+	"ccncoord/internal/trace"
+	"ccncoord/internal/workload"
+)
+
+// chaosScenario is a coordinated run long enough (~1000 virtual ms)
+// to span every preset's chaos timeline.
+func chaosScenario(t *testing.T, preset string) Scenario {
+	t.Helper()
+	chaos, err := fault.ChaosPreset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.FlashCrowd != nil {
+		chaos.FlashCrowd.Rank = 50 // presets target catalog sizes >= 5000
+	}
+	return Scenario{
+		Topology:    mesh4(t),
+		CatalogSize: 100,
+		ZipfS:       0.8,
+		Capacity:    10,
+		Coordinated: 5,
+		Policy:      PolicyCoordinated,
+		Requests:    4000,
+		Seed:        42,
+
+		AccessLatency: 1,
+		OriginLatency: 50,
+		OriginGateway: 0,
+		RetxTimeout:   150,
+
+		Chaos: chaos,
+	}
+}
+
+func TestChaosScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"coordination chaos on non-coordinated policy", func(s *Scenario) {
+			s.Policy = PolicyLRU
+			s.Coordinated = 0
+		}, "coordinated"},
+		{"checkpoint without chaos", func(s *Scenario) {
+			s.Chaos = nil
+			s.CheckpointPath = "x.json"
+		}, "checkpoint"},
+		{"checkpoint without coordinator outages", func(s *Scenario) {
+			chaos, err := fault.ChaosPreset("partition")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Chaos = chaos
+			s.CheckpointPath = "x.json"
+		}, "checkpoint"},
+		{"negative staleness bound", func(s *Scenario) { s.StalenessBound = -1 }, "staleness"},
+		{"flash crowd with workload factory", func(s *Scenario) {
+			chaos, err := fault.ChaosPreset("flash-crowd")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Chaos = chaos
+			s.WorkloadFactory = func(router topology.NodeID) (workload.Generator, error) {
+				return workload.NewZipf(0.8, 100, 1)
+			}
+		}, "flash crowd"},
+		{"chaos targeting unknown router", func(s *Scenario) {
+			s.Chaos = &fault.ChaosScenario{
+				Name:    "bad",
+				Routers: []fault.RouterOutage{{At: 10, Router: 99}},
+			}
+		}, "unknown router"},
+	}
+	for _, tc := range cases {
+		sc := chaosScenario(t, "coord-crash")
+		tc.mutate(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	for _, preset := range []string{"coord-crash", "cascade", "lossy-coordination", "flash-crowd"} {
+		t.Run(preset, func(t *testing.T) {
+			a, err := Run(chaosScenario(t, preset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(chaosScenario(t, preset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("identical chaos scenarios produced different results:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoreEquivalence is the tentpole acceptance check: a
+// run whose coordinator checkpoints at crash and restores at restart
+// must be byte-identical (manifest and all) to the same run carrying
+// its coordinator state through the outage in memory.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	emit := func(checkpoint string) ([]byte, Result) {
+		sc := chaosScenario(t, "coord-crash")
+		sc.CheckpointPath = checkpoint
+		sc.EmitManifest = true
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Manifest.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		res.Manifest = nil // compare manifests as bytes, the rest as values
+		return buf.Bytes(), res
+	}
+	plainBytes, plain := emit("")
+	path := filepath.Join(t.TempDir(), "coordinator.ckpt")
+	ckptBytes, ckpt := emit(path)
+	if !bytes.Equal(plainBytes, ckptBytes) {
+		t.Error("checkpointed run's manifest differs from the uninterrupted run's")
+	}
+	if !reflect.DeepEqual(plain, ckpt) {
+		t.Errorf("checkpointed run's result differs:\n%+v\n%+v", plain, ckpt)
+	}
+	// The checkpoint file itself is a valid epoch-0 checkpoint holding
+	// the live placement.
+	cp, err := coord.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("run left an unreadable checkpoint: %v", err)
+	}
+	if cp.Epoch != 0 {
+		t.Errorf("checkpoint epoch %d, want 0 (first outage)", cp.Epoch)
+	}
+	if cp.Placement == nil || cp.Placement.Assignment.Size() == 0 {
+		t.Error("checkpoint carries no placement")
+	}
+	if cp.Detector == nil {
+		t.Error("checkpoint carries no detector state")
+	}
+}
+
+func TestChaosBlipStaysNonDegraded(t *testing.T) {
+	// coord-blip's outage (150-350) is shorter than the default
+	// staleness bound (300), so the plane runs on stale placements but
+	// never degrades.
+	res, err := Run(chaosScenario(t, "coord-blip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoordOutages != 1 {
+		t.Errorf("CoordOutages = %d, want 1", res.CoordOutages)
+	}
+	if res.CoordDowntime != 200 {
+		t.Errorf("CoordDowntime = %v, want 200", res.CoordDowntime)
+	}
+	if res.DegradedTime != 0 || res.DegradedServes != 0 || res.DegradedRequests != 0 {
+		t.Errorf("blip degraded the plane: time=%v serves=%d requests=%d",
+			res.DegradedTime, res.DegradedServes, res.DegradedRequests)
+	}
+	if res.StalePlacementHits == 0 {
+		t.Error("no stale-placement forwards recorded during the outage")
+	}
+	if res.ReconvergeMoves != 0 {
+		t.Errorf("ReconvergeMoves = %d, want 0 (never degraded, nothing to flush)", res.ReconvergeMoves)
+	}
+	if res.MeanTimeToReconverge != 200 {
+		t.Errorf("MeanTimeToReconverge = %v, want 200 (the outage span)", res.MeanTimeToReconverge)
+	}
+}
+
+func TestChaosCrashDegradesAndReconverges(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := trace.New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := chaosScenario(t, "coord-crash")
+	sc.Tracer = tr
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if res.CoordOutages != 1 || res.CoordDowntime != 750 {
+		t.Errorf("outage accounting: %d outages, %v ms down; want 1, 750", res.CoordOutages, res.CoordDowntime)
+	}
+	// The staleness bound expired at 150+300=450; degraded until 900.
+	if res.DegradedTime != 450 {
+		t.Errorf("DegradedTime = %v, want 450", res.DegradedTime)
+	}
+	if res.DegradedRequests == 0 {
+		t.Error("no requests measured while degraded")
+	}
+	if res.DegradedServes == 0 {
+		t.Error("the degraded overlays never served anything")
+	}
+	if res.ReconvergeMoves == 0 {
+		t.Error("re-convergence flushed no overlay entries")
+	}
+	if res.MeanTimeToReconverge != 750 {
+		t.Errorf("MeanTimeToReconverge = %v, want 750 (no crashed routers pending)", res.MeanTimeToReconverge)
+	}
+	if res.FailedRequests != 0 {
+		t.Errorf("%d requests failed during a coordination-only outage", res.FailedRequests)
+	}
+
+	// The trace narrates the transitions in causal order.
+	var modes []trace.Event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == trace.KindMode {
+			modes = append(modes, ev)
+		}
+	}
+	var details []string
+	for _, ev := range modes {
+		details = append(details, ev.Detail)
+	}
+	want := []string{"coord-down", "degraded-enter", "degraded-exit", "coord-up"}
+	if !reflect.DeepEqual(details, want) {
+		t.Fatalf("mode transitions %v, want %v", details, want)
+	}
+	times := []float64{150, 450, 900, 900}
+	for i, ev := range modes {
+		if ev.T != times[i] {
+			t.Errorf("%s at %v, want %v", ev.Detail, ev.T, times[i])
+		}
+	}
+}
+
+func TestChaosManifestSection(t *testing.T) {
+	sc := chaosScenario(t, "coord-crash")
+	sc.EmitManifest = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m == nil || m.Chaos == nil {
+		t.Fatal("chaos run emitted no manifest chaos section")
+	}
+	c := m.Chaos
+	if c.Scenario != "coord-crash" {
+		t.Errorf("scenario %q, want coord-crash", c.Scenario)
+	}
+	if c.CoordOutages != res.CoordOutages || c.CoordDowntimeMs != res.CoordDowntime ||
+		c.DegradedMs != res.DegradedTime || c.DegradedServes != res.DegradedServes ||
+		c.DegradedRequests != res.DegradedRequests || c.StalePlacementHits != res.StalePlacementHits ||
+		c.ReconvergeMoves != res.ReconvergeMoves || c.MeanTimeToReconvergeMs != res.MeanTimeToReconverge {
+		t.Errorf("manifest chaos section diverges from the result:\n%+v\nvs %+v", c, res)
+	}
+	// Non-chaos runs must not grow the section (manifest compatibility).
+	plain := chaosScenario(t, "coord-crash")
+	plain.Chaos = nil
+	plain.EmitManifest = true
+	base, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Manifest.Chaos != nil {
+		t.Error("non-chaos run emitted a manifest chaos section")
+	}
+	var buf bytes.Buffer
+	if err := base.Manifest.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"chaos"`) {
+		t.Error("non-chaos manifest JSON mentions chaos")
+	}
+}

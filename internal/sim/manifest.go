@@ -57,10 +57,29 @@ type RunManifest struct {
 
 	Engine ManifestEngine `json:"engine"`
 
+	// Chaos holds the chaos scenario's coordination outcomes when the
+	// run executed one; nil otherwise (so non-chaos manifests are
+	// byte-identical to those of earlier versions).
+	Chaos *ManifestChaos `json:"chaos,omitempty"`
+
 	// Trace reports the tracer's sampling accounting when the run was
 	// traced; nil otherwise. Note the counts depend on the tracer's
 	// prior use — a tracer shared across runs accumulates.
 	Trace *ManifestTrace `json:"trace,omitempty"`
+}
+
+// ManifestChaos mirrors the chaos-outcome Result fields.
+type ManifestChaos struct {
+	Scenario               string  `json:"scenario"`
+	CoordOutages           int     `json:"coord_outages"`
+	CoordDowntimeMs        float64 `json:"coord_downtime_ms"`
+	DegradedMs             float64 `json:"degraded_ms"`
+	DegradedServes         int64   `json:"degraded_serves"`
+	DegradedRequests       int64   `json:"degraded_requests"`
+	DegradedOriginLoad     float64 `json:"degraded_origin_load"`
+	StalePlacementHits     int64   `json:"stale_placement_hits"`
+	ReconvergeMoves        int64   `json:"reconverge_moves"`
+	MeanTimeToReconvergeMs float64 `json:"mean_time_to_reconverge_ms"`
 }
 
 // ManifestSummary mirrors the headline Result fields.
@@ -169,6 +188,20 @@ func buildManifest(sc Scenario, res Result, eng *des.Engine, net *ccn.Network, r
 			EventsProcessed: eng.Processed(),
 			PendingPeak:     eng.PendingPeak(),
 		},
+	}
+	if sc.Chaos != nil {
+		m.Chaos = &ManifestChaos{
+			Scenario:               sc.Chaos.Name,
+			CoordOutages:           res.CoordOutages,
+			CoordDowntimeMs:        res.CoordDowntime,
+			DegradedMs:             res.DegradedTime,
+			DegradedServes:         res.DegradedServes,
+			DegradedRequests:       res.DegradedRequests,
+			DegradedOriginLoad:     res.DegradedOriginLoad,
+			StalePlacementHits:     res.StalePlacementHits,
+			ReconvergeMoves:        res.ReconvergeMoves,
+			MeanTimeToReconvergeMs: res.MeanTimeToReconverge,
+		}
 	}
 	if sc.Tracer != nil {
 		m.Trace = &ManifestTrace{

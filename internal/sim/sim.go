@@ -187,6 +187,28 @@ type Scenario struct {
 	HeartbeatInterval float64
 	HeartbeatMisses   int
 
+	// Chaos, when non-nil, runs a composed chaos scenario on top of the
+	// run: coordinator outages, coordination-message loss, partitions,
+	// correlated link failures, and an optional flash crowd (see
+	// internal/fault). Chaos implies fault injection, so RetxTimeout
+	// must be set. Scenarios with coordination failures (coordinator
+	// outages or message loss) require PolicyCoordinated.
+	Chaos *fault.ChaosScenario
+	// StalenessBound is how long (ms) routers keep forwarding on stale
+	// placements after the coordination channel goes down before
+	// falling back to autonomous degraded mode; zero selects
+	// DefaultStalenessBound. Outages shorter than the bound never
+	// degrade the plane — placements merely go stale and refresh on
+	// reconnect.
+	StalenessBound float64
+	// CheckpointPath, when non-empty, makes the coordinator save an
+	// epoch-versioned checkpoint (placement, detector state) to this
+	// path at each chaos coordinator crash and restore from it at the
+	// restart — the crash/restart path that must be behaviorally
+	// equivalent to an uninterrupted run. Requires a chaos scenario
+	// with coordinator outages.
+	CheckpointPath string
+
 	// Observer, when non-nil, receives every measured request
 	// completion in completion order — the hook determinism probes and
 	// custom accounting use.
@@ -213,8 +235,15 @@ const (
 	DefaultHeartbeatMisses   = 3
 )
 
+// DefaultStalenessBound is how long (ms) routers trust stale placements
+// after losing the coordination channel before degrading (see
+// Scenario.StalenessBound).
+const DefaultStalenessBound = 300.0
+
 // faultsEnabled reports whether the scenario injects any faults.
-func (s Scenario) faultsEnabled() bool { return len(s.FaultScript) > 0 || s.MTBF > 0 }
+func (s Scenario) faultsEnabled() bool {
+	return len(s.FaultScript) > 0 || s.MTBF > 0 || s.Chaos != nil
+}
 
 // Validate checks the scenario parameters.
 func (s Scenario) Validate() error {
@@ -265,6 +294,27 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("sim: negative heartbeat interval %v", s.HeartbeatInterval)
 	case s.HeartbeatMisses < 0:
 		return fmt.Errorf("sim: negative heartbeat miss threshold %d", s.HeartbeatMisses)
+	case s.StalenessBound < 0:
+		return fmt.Errorf("sim: negative staleness bound %v", s.StalenessBound)
+	}
+	if s.Chaos != nil {
+		if _, err := s.Chaos.Compile(s.Topology); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if s.Chaos.HasCoordinationFailures() && s.Policy != PolicyCoordinated {
+			return fmt.Errorf("sim: chaos coordination failures require the coordinated policy")
+		}
+		if s.Chaos.FlashCrowd != nil {
+			if s.WorkloadFactory != nil {
+				return fmt.Errorf("sim: chaos flash crowd conflicts with a custom workload factory")
+			}
+			if s.Chaos.FlashCrowd.Rank > s.CatalogSize {
+				return fmt.Errorf("sim: chaos flash crowd rank %d exceeds catalog size %d", s.Chaos.FlashCrowd.Rank, s.CatalogSize)
+			}
+		}
+	}
+	if s.CheckpointPath != "" && (s.Chaos == nil || len(s.Chaos.Coordinator) == 0) {
+		return fmt.Errorf("sim: checkpointing requires a chaos scenario with coordinator outages")
 	}
 	if s.faultsEnabled() {
 		sched, err := fault.Scripted(s.FaultScript...)
@@ -360,6 +410,33 @@ type Result struct {
 	Repairs           []RepairEvent
 	MeanTimeToRepair  float64
 
+	// Chaos outcomes (zero when the scenario runs no chaos).
+
+	// CoordOutages is how many coordinator outage windows began;
+	// CoordDowntime is their total duration (ms, clipped to the run).
+	CoordOutages  int
+	CoordDowntime float64
+	// DegradedTime is the total time (ms) the data plane ran in
+	// autonomous degraded mode; DegradedServes counts interests served
+	// from degraded overlay stores; StalePlacementHits counts interests
+	// forwarded on placements marked stale.
+	DegradedTime       float64
+	DegradedServes     int64
+	StalePlacementHits int64
+	// DegradedRequests counts measured requests completing while the
+	// plane was degraded; DegradedOriginLoad is the origin-served
+	// fraction among them (0 when there were none) — the hit-rate cost
+	// of losing coordination.
+	DegradedRequests   int64
+	DegradedOriginLoad float64
+	// ReconvergeMoves counts overlay entries flushed when degraded mode
+	// exited (the re-convergence churn); MeanTimeToReconverge is the
+	// mean time (ms) from a coordinator crash until the placement was
+	// fully re-converged — the restart instant, or later when routers
+	// crashed undetected during the outage and repair had to catch up.
+	ReconvergeMoves      int64
+	MeanTimeToReconverge float64
+
 	// OutageOriginLoad and SteadyOriginLoad split the origin-served
 	// fraction by whether any fault was active when the request
 	// completed — the excess origin load an outage induces. Each is 0
@@ -411,6 +488,16 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 
+	// Expand the chaos scenario against the topology up front; Validate
+	// already proved it compiles.
+	var chaos *fault.CompiledChaos
+	if sc.Chaos != nil {
+		chaos, err = sc.Chaos.Compile(sc.Topology)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+	}
+
 	res := Result{Policy: sc.Policy}
 
 	// Provision stores and optional directory according to the policy.
@@ -421,8 +508,10 @@ func Run(sc Scenario) (Result, error) {
 	var directory ccn.Directory
 	// coordAsg is the live coordinated assignment (PolicyCoordinated);
 	// the failover repair mutates it in place, which also redirects the
-	// directory.
+	// directory. localSet is the replicated local band, kept for
+	// coordinator checkpoints.
 	var coordAsg *coord.Assignment
+	var localSet []catalog.ID
 	mode := ccn.CacheNone
 	var stores func(topology.NodeID) (cache.Store, error)
 
@@ -457,6 +546,7 @@ func Run(sc Scenario) (Result, error) {
 			p := sc.Placement
 			directory = p.Assignment
 			coordAsg = p.Assignment
+			localSet = p.LocalSet
 			res.CoordMessages = 2 * int64(p.Assignment.Size())
 			stores = func(r topology.NodeID) (cache.Store, error) {
 				local, err := cache.NewStatic(p.LocalSet)
@@ -501,6 +591,9 @@ func Run(sc Scenario) (Result, error) {
 		}
 		directory = asg
 		coordAsg = asg
+		if maxLocal > 0 {
+			localSet = cache.RankRange(1, min64(maxLocal, sc.CatalogSize))
+		}
 		// The placement installation costs one state message up and one
 		// directive down per coordinated content (the protocol's
 		// measured counterpart of W(x) = w*n*x).
@@ -555,11 +648,25 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, fmt.Errorf("sim: unknown policy %d", sc.Policy)
 	}
 
+	// Degraded-mode overlays: plain LRU stores of each router's full
+	// capacity, built lazily only if the plane ever actually degrades.
+	var degradedStores func(topology.NodeID) (cache.Store, error)
+	if chaos != nil {
+		degradedStores = func(r topology.NodeID) (cache.Store, error) {
+			c := int(capOf(r))
+			if c < 1 {
+				c = 1
+			}
+			return cache.NewLRU(c)
+		}
+	}
+
 	net, err := ccn.NewNetwork(eng, sc.Topology, cat, ccn.Options{
 		AccessLatency:    sc.AccessLatency,
 		Stores:           stores,
 		Mode:             mode,
 		Directory:        directory,
+		DegradedStores:   degradedStores,
 		LossRate:         sc.LossRate,
 		RetxTimeout:      sc.RetxTimeout,
 		LossSeed:         sc.Seed + 7,
@@ -652,6 +759,10 @@ func Run(sc Scenario) (Result, error) {
 	var avail metrics.Availability
 	var downtime metrics.Downtime
 	var outageOrigin, outageTotal, steadyOrigin, steadyTotal int64
+	// chaosRT tracks the chaos scenario's coordination timeline; it is
+	// installed with the fault machinery but consulted by the completion
+	// callback, so it is declared here.
+	var chaosRT *chaosRuntime
 
 	// runErr records the first data-plane wiring failure hit inside a
 	// scheduled callback; it stops the arrival streams and fails the run
@@ -690,6 +801,12 @@ func Run(sc Scenario) (Result, error) {
 			})
 		}
 		counts.Inc(result.ServedBy.String())
+		if chaosRT != nil && net.Degraded() {
+			chaosRT.degTotal++
+			if result.ServedBy == ccn.ServedOrigin {
+				chaosRT.degOrigin++
+			}
+		}
 		if inj != nil {
 			if inj.ActiveFaults() > 0 {
 				outageTotal++
@@ -783,6 +900,12 @@ func Run(sc Scenario) (Result, error) {
 		if gen == nil {
 			return Result{}, fmt.Errorf("sim: nil workload generator for router %d", r)
 		}
+		if chaos != nil && chaos.FlashCrowd != nil {
+			gen, err = workload.NewFlashCrowd(gen, chaos.FlashCrowd.AfterRequests, chaos.FlashCrowd.Rank, sc.CatalogSize)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: flash crowd for router %d: %w", r, err)
+			}
+		}
 		nReq, nWarm := reqsOf(i)
 		if nReq == 0 {
 			continue
@@ -828,6 +951,9 @@ func Run(sc Scenario) (Result, error) {
 	if sc.faultsEnabled() {
 		horizon := math.Max(maxArrival, 1)
 		events := append([]fault.Event(nil), sc.FaultScript...)
+		if chaos != nil {
+			events = append(events, chaos.Events...)
+		}
 		if sc.MTBF > 0 {
 			st, err := fault.Stochastic(fault.StochasticConfig{
 				MTBF:    sc.MTBF,
@@ -940,6 +1066,24 @@ func Run(sc Scenario) (Result, error) {
 				return Result{}, fmt.Errorf("sim: %w", err)
 			}
 		}
+
+		if chaos != nil {
+			chaosRT, err = installChaos(chaosEnv{
+				eng:      eng,
+				net:      net,
+				det:      det,
+				inj:      inj,
+				coordAsg: coordAsg,
+				localSet: localSet,
+				routers:  routers,
+				sc:       sc,
+				chaos:    chaos,
+				fail:     fail,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
 	}
 
 	eng.Run()
@@ -1008,6 +1152,28 @@ func Run(sc Scenario) (Result, error) {
 	}
 	if steadyTotal > 0 {
 		res.SteadyOriginLoad = float64(steadyOrigin) / float64(steadyTotal)
+	}
+	if chaosRT != nil {
+		chaosRT.finish(eng.Now(), net)
+		res.CoordOutages = chaosRT.outages
+		res.CoordDowntime = chaosRT.coordDowntime
+		res.DegradedTime = chaosRT.degradedMs
+		res.DegradedServes = net.DegradedServes()
+		res.StalePlacementHits = net.StalePlacementHits()
+		res.DegradedRequests = chaosRT.degTotal
+		if chaosRT.degTotal > 0 {
+			res.DegradedOriginLoad = float64(chaosRT.degOrigin) / float64(chaosRT.degTotal)
+		}
+		res.ReconvergeMoves = chaosRT.moves
+		if chaosRT.ttrN > 0 {
+			res.MeanTimeToReconverge = chaosRT.ttrSum / float64(chaosRT.ttrN)
+		}
+		// Chaos metrics enter the registry (and thus the manifest and
+		// the Prometheus exposition) only on chaos runs, so non-chaos
+		// manifests keep their exact prior byte layout.
+		reg.Mean("degraded_seconds").Observe(res.DegradedTime / 1000)
+		reg.Counter("stale_placement_hits").Add("total", res.StalePlacementHits)
+		reg.Counter("reconverge_moves").Add("total", res.ReconvergeMoves)
 	}
 	if reportCounts != nil {
 		res.Reports = make([]coord.Report, len(routers))

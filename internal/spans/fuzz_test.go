@@ -1,0 +1,51 @@
+package spans
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccncoord/internal/trace"
+)
+
+// FuzzTraceDecode feeds the streaming trace decoder arbitrary bytes.
+// Decode and the span collector behind it must never panic, and the
+// truncated flag must never accompany an error (they are mutually
+// exclusive outcomes by contract).
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"t":1,"kind":"req-issue","req":1,"node":0,"content":7}` + "\n"))
+	f.Add([]byte(`{"t":1,"kind":"req-issue","req":1}` + "\n" +
+		`{"t":3,"kind":"req-done","req":1,"detail":"local","n":2}` + "\n"))
+	f.Add([]byte(`{"t":1,"kind":"re`)) // truncated tail
+	f.Add([]byte("not json\n{\"t\":2,\"kind\":\"hit\"}\n"))
+	f.Add([]byte(`{"foo": 1}` + "\n"))
+	f.Add(bytes.Repeat([]byte(`{"t":9,"kind":"mode","detail":"degraded-enter"}`+"\n"), 50))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCollector()
+		truncated, err := Decode(bytes.NewReader(data), func(ev trace.Event) error {
+			c.Add(ev)
+			return nil
+		})
+		if truncated && err != nil {
+			t.Fatalf("Decode returned both truncated and error %v", err)
+		}
+		if err != nil {
+			if !strings.Contains(err.Error(), "spans:") {
+				t.Fatalf("error %q lost the package prefix", err)
+			}
+			return
+		}
+		// Whatever was accepted must survive span assembly without
+		// panicking; adversarial inputs may yield odd spans, but every
+		// aggregate over them must still be computable.
+		set := c.Finish()
+		if set == nil {
+			t.Fatal("Finish returned nil on decodable input")
+		}
+		_ = set.TierCounts()
+		_ = Buckets(set, []int64{10, 100})
+	})
+}

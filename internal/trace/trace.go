@@ -87,6 +87,13 @@ const (
 	// first-hop Router: Tier names the serving tier, Hops the network
 	// distance, Detail "failed" marks an exhausted retry budget.
 	KindRequest = "request"
+	// KindMode is a data-plane operating-mode transition; Detail names
+	// it: "degraded-enter"/"degraded-exit" bracket autonomous en-route
+	// caching while coordination is lost, "coord-down"/"coord-up"
+	// bracket the coordination channel itself. Router is -1 (the
+	// transition is network-wide); N carries a transition-specific
+	// count (entries flushed on degraded-exit).
+	KindMode = "mode"
 )
 
 // Event is one structured trace record. T is virtual simulation time in

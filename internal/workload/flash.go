@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"ccncoord/internal/catalog"
+)
+
+// FlashCrowd wraps a Generator with a sudden popularity inversion: for
+// the first after requests the inner stream passes through unchanged,
+// and from request after+1 onward the content at popularity rank `rank`
+// swaps identities with rank 1 — yesterday's cold content becomes the
+// hottest item overnight, the canonical flash-crowd demand shock. The
+// transformation is a deterministic relabeling (no RNG of its own), so
+// a FlashCrowd over a seeded generator replays exactly and the marginal
+// popularity distribution is preserved — only which content is popular
+// changes.
+type FlashCrowd struct {
+	inner  Generator
+	after  int64
+	rank   catalog.ID
+	issued int64
+}
+
+// NewFlashCrowd wraps inner with a flash crowd that begins after
+// `after` requests, swapping ranks 1 and rank. n is the catalog size
+// (bounds rank); rank must be at least 2 — rank 1 is already the
+// hottest content, so swapping it with itself would model nothing.
+func NewFlashCrowd(inner Generator, after, rank, n int64) (*FlashCrowd, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: flash crowd needs an inner generator")
+	}
+	if after < 0 {
+		return nil, fmt.Errorf("workload: flash crowd threshold %d is negative", after)
+	}
+	if rank < 2 {
+		return nil, fmt.Errorf("workload: flash crowd rank %d must be at least 2", rank)
+	}
+	if rank > n {
+		return nil, fmt.Errorf("workload: flash crowd rank %d exceeds catalog size %d", rank, n)
+	}
+	return &FlashCrowd{inner: inner, after: after, rank: catalog.ID(rank)}, nil
+}
+
+// Next implements Generator.
+func (f *FlashCrowd) Next() catalog.ID {
+	f.issued++
+	id := f.inner.Next()
+	if f.issued <= f.after {
+		return id
+	}
+	switch id {
+	case 1:
+		return f.rank
+	case f.rank:
+		return 1
+	}
+	return id
+}
+
+// Active reports whether the crowd has arrived (the swap is in effect).
+func (f *FlashCrowd) Active() bool { return f.issued > f.after }
+
+// Interface compliance check.
+var _ Generator = (*FlashCrowd)(nil)

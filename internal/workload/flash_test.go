@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"ccncoord/internal/catalog"
+)
+
+func TestFlashCrowdSwapsAfterThreshold(t *testing.T) {
+	inner, err := NewSequence([]catalog.ID{1, 5, 9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFlashCrowd(inner, 3, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []catalog.ID
+	for i := 0; i < 10; i++ {
+		got = append(got, fc.Next())
+	}
+	// First 3 pass through; from request 4 on, 1<->5 swap and 9 is
+	// untouched. The pattern repeats 1,5,9,1,5.
+	want := []catalog.ID{1, 5, 9, 5, 1, 5, 1, 9, 5, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flash crowd stream %v, want %v", got, want)
+	}
+}
+
+func TestFlashCrowdActive(t *testing.T) {
+	inner, err := NewSequence([]catalog.ID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFlashCrowd(inner, 2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Active() {
+		t.Error("crowd active before any request")
+	}
+	fc.Next()
+	fc.Next()
+	if fc.Active() {
+		t.Error("crowd active at exactly the threshold")
+	}
+	fc.Next()
+	if !fc.Active() {
+		t.Error("crowd not active past the threshold")
+	}
+}
+
+func TestFlashCrowdImmediate(t *testing.T) {
+	// after=0 means the inversion holds from the very first request.
+	inner, err := NewSequence([]catalog.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFlashCrowd(inner, 0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Next(); got != 2 {
+		t.Errorf("first request %d, want 2 (swapped)", got)
+	}
+	if got := fc.Next(); got != 1 {
+		t.Errorf("second request %d, want 1 (swapped)", got)
+	}
+}
+
+func TestFlashCrowdValidation(t *testing.T) {
+	inner, err := NewSequence([]catalog.ID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name           string
+		inner          Generator
+		after, rank, n int64
+	}{
+		{"nil inner", nil, 0, 2, 10},
+		{"negative after", inner, -1, 2, 10},
+		{"rank 1", inner, 0, 1, 10},
+		{"rank 0", inner, 0, 0, 10},
+		{"rank beyond catalog", inner, 0, 11, 10},
+	}
+	for _, tc := range cases {
+		if _, err := NewFlashCrowd(tc.inner, tc.after, tc.rank, tc.n); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFlashCrowdDeterministicOverZipf(t *testing.T) {
+	stream := func() []catalog.ID {
+		z, err := NewZipf(0.8, 1000, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := NewFlashCrowd(z, 50, 500, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]catalog.ID, 200)
+		for i := range out {
+			out[i] = fc.Next()
+		}
+		return out
+	}
+	a, b := stream(), stream()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("flash crowd over a seeded Zipf is not reproducible")
+	}
+	// The swap preserves the marginal distribution: the wrapped stream
+	// is a relabeling of the inner one.
+	z, err := NewZipf(0.8, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range a {
+		raw := z.Next()
+		want := raw
+		if i >= 50 {
+			switch raw {
+			case 1:
+				want = 500
+			case 500:
+				want = 1
+			}
+		}
+		if id != want {
+			t.Fatalf("request %d: got %d, want %d (inner drew %d)", i, id, want, raw)
+		}
+	}
+}
