@@ -44,6 +44,9 @@ func TestBenchBaseline(t *testing.T) {
 		"BenchmarkAPSP/Abilene", "BenchmarkAPSP/CERNET",
 		"BenchmarkAPSP/GEANT", "BenchmarkAPSP/US-A",
 		"BenchmarkTopologyAll",
+		"BenchmarkRoutingScale/Dense/n=100",
+		"BenchmarkRoutingScale/LRU/n=100", "BenchmarkRoutingScale/LRU/n=1000",
+		"BenchmarkRoutingScale/LRU/n=10000", "BenchmarkRoutingScale/LRU/n=100000",
 	}
 	dateRe := regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})\.json$`)
 	for _, path := range matches {

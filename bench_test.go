@@ -3,6 +3,8 @@ package ccncoord
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"ccncoord/internal/experiments"
@@ -345,6 +347,138 @@ func BenchmarkAPSP(b *testing.B) {
 				}
 				benchAPSPSink = g.ShortestPathsLatency()
 			}
+		})
+	}
+}
+
+// benchRoutingSink prevents dead-code elimination of routing queries.
+var benchRoutingSink float64
+
+// BenchmarkRoutingScale is the scalable-routing n-sweep: hierarchical
+// topologies of 10² to 10⁵ routers answering a mixed Dist/PathTree
+// query stream. The dense variant pays one full APSP precompute per op
+// (the O(n²) wall this sweep tracks); the LRU variants warm a bounded
+// working set of shortest-path trees and answer from the cache — no
+// dense matrix is ever materialized, and the op fails if the live heap
+// exceeds the 2 GB budget. One op = backend build + warmup + the full
+// query stream, so ns/op tracks precompute and query cost together;
+// misses/op counts the Dijkstras actually run.
+func BenchmarkRoutingScale(b *testing.B) {
+	// Fanouts expand to exactly 10^k nodes: 10, +90, +900, +9000, +90000.
+	allFanouts := []int{10, 9, 10, 10, 10}
+	latencies := []float64{20, 5, 2, 1, 0.5}
+	build := func(levels int) *topology.Graph {
+		spec := make([]topology.HierLevel, levels)
+		for i := 0; i < levels; i++ {
+			spec[i] = topology.HierLevel{Fanout: allFanouts[i], MeanLatency: latencies[i], Redundancy: 1}
+		}
+		g, err := topology.Hierarchical("", spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	// workingSet draws the seeded source pool the LRU cache is sized
+	// for: client-facing routers concentrate their queries, so sources
+	// come from a bounded set while destinations span the whole graph.
+	workingSet := func(n, size int) []topology.NodeID {
+		if size > n {
+			size = n
+		}
+		rng := rand.New(rand.NewSource(7))
+		seen := make(map[int]bool, size)
+		out := make([]topology.NodeID, 0, size)
+		for len(out) < size {
+			v := rng.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, topology.NodeID(v))
+			}
+		}
+		return out
+	}
+	// queryStream runs the mixed workload: mostly Dist, every 64th a
+	// PathTree (the single-tree path read the LRU is sized for).
+	queryStream := func(b *testing.B, p topology.PathProvider, sources []topology.NodeID, queries int) {
+		b.Helper()
+		rng := rand.New(rand.NewSource(11))
+		n := p.N()
+		var acc float64
+		for q := 0; q < queries; q++ {
+			src := sources[rng.Intn(len(sources))]
+			dst := topology.NodeID(rng.Intn(n))
+			if q%64 == 0 {
+				var path []topology.NodeID
+				var err error
+				if lru, ok := p.(*topology.LRUPaths); ok {
+					path, err = lru.PathTree(src, dst)
+				} else {
+					path, err = p.Path(src, dst)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc += float64(len(path))
+			} else {
+				acc += p.Dist(src, dst)
+			}
+		}
+		benchRoutingSink = acc
+	}
+	// checkHeap enforces the sweep's memory budget: the live heap after
+	// a GC must stay under 2 GB even at 10⁵ routers.
+	checkHeap := func(b *testing.B) float64 {
+		b.Helper()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > 2<<30 {
+			b.Fatalf("live heap %d bytes exceeds the 2 GB routing budget", ms.HeapAlloc)
+		}
+		return float64(ms.HeapAlloc) / (1 << 20)
+	}
+
+	b.Run("Dense/n=100", func(b *testing.B) {
+		g := build(2)
+		sources := workingSet(g.N(), 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// ScaleLatencies(1) bumps the cache generation, so every op
+			// pays the real O(n²) precompute.
+			if err := g.ScaleLatencies(1); err != nil {
+				b.Fatal(err)
+			}
+			queryStream(b, g.ShortestPathsLatency(), sources, 10*g.N())
+		}
+		b.ReportMetric(checkHeap(b), "heapMB")
+	})
+	for levels := 2; levels <= 5; levels++ {
+		g := build(levels)
+		queries := 10 * g.N()
+		b.Run(fmt.Sprintf("LRU/n=%d", g.N()), func(b *testing.B) {
+			sources := workingSet(g.N(), 256)
+			capacity := 320
+			if capacity > g.N() {
+				capacity = g.N()
+			}
+			var misses uint64
+			var lru *topology.LRUPaths
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lru = topology.NewLRUPaths(g, capacity)
+				lru.Warm(sources, 0)
+				queryStream(b, lru, sources, queries)
+				_, misses, _ = lru.Stats()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(misses), "misses/op")
+			b.ReportMetric(float64(queries), "queries/op")
+			// Measure while the cache is still live so heapMB reflects
+			// the resident shortest-path trees, not post-GC garbage.
+			b.ReportMetric(checkHeap(b), "heapMB")
+			runtime.KeepAlive(lru)
 		})
 	}
 }

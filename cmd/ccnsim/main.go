@@ -53,6 +53,7 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", "chaos scenario: a JSON file path or a preset name (see -chaos list)")
 		chaosCkpt   = flag.String("chaos-checkpoint", "", "save a coordinator checkpoint here at each chaos coordinator crash and restore it at the restart")
 		staleness   = flag.Float64("staleness", 0, "staleness bound (ms) before a coordination outage degrades the data plane; 0 selects the default")
+		routing     = flag.String("routing", "auto", "shortest-path backend: auto (dense below the threshold, lru above), dense, lru, or landmark")
 		httpAddr    = flag.String("http", "", "serve run progress, metrics and pprof on this address for the duration of the run")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses; see internal/trace)")
 		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
@@ -62,6 +63,11 @@ func main() {
 	)
 	flag.Parse()
 
+	backend, err := topology.ParseBackend(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnsim:", err)
+		os.Exit(1)
+	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
@@ -87,7 +93,7 @@ func main() {
 		if *manifest != "" {
 			err = fmt.Errorf("-manifest applies to single runs, not -adaptive")
 		} else {
-			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, obsf)
+			err = runAdaptive(*topoName, *catalog, *s, *capacity, *requests, *seed, *access, *origin, *gateway, *adaptive, backend, obsf)
 		}
 	} else if *chaosSpec == "list" {
 		for _, name := range fault.ChaosPresets() {
@@ -95,7 +101,7 @@ func main() {
 		}
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
-			*mtbf, *mttr, *faultSeed, *failSpec, chaosOpts{spec: *chaosSpec, checkpoint: *chaosCkpt, staleness: *staleness}, obsf)
+			*mtbf, *mttr, *faultSeed, *failSpec, chaosOpts{spec: *chaosSpec, checkpoint: *chaosCkpt, staleness: *staleness}, backend, obsf)
 	}
 	if err == nil {
 		err = stopProf()
@@ -169,7 +175,7 @@ func (o obsFlags) writeManifest(m *sim.RunManifest) error {
 // runAdaptive drives the closed adaptive loop and prints one row per
 // epoch.
 func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
-	requests int, seed int64, access, origin float64, gateway, epochs int, obs obsFlags) error {
+	requests int, seed int64, access, origin float64, gateway, epochs int, routing topology.Backend, obs obsFlags) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -188,6 +194,7 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 		AccessLatency: access,
 		OriginLatency: origin,
 		OriginGateway: topology.NodeID(gateway),
+		Routing:       routing,
 		Tracer:        tr,
 	}
 	base := model.Config{
@@ -296,7 +303,7 @@ func (c chaosOpts) load() (*fault.ChaosScenario, error) {
 
 func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64,
-	mtbf, mttr float64, faultSeed int64, failSpec string, chaosf chaosOpts, obs obsFlags) error {
+	mtbf, mttr float64, faultSeed int64, failSpec string, chaosf chaosOpts, routing topology.Backend, obs obsFlags) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -350,6 +357,7 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		Chaos:          chaos,
 		StalenessBound: chaosf.staleness,
 		CheckpointPath: chaosf.checkpoint,
+		Routing:        routing,
 		Tracer:         tr,
 		EmitManifest:   obs.manifestPath != "" || obs.progress != nil,
 	}

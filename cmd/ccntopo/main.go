@@ -1,13 +1,19 @@
 // Command ccntopo inspects the evaluation topologies: it reproduces the
-// paper's Tables II and III from the embedded datasets and can export
-// any topology as Graphviz DOT (the paper's Figure 3 rendering).
+// paper's Tables II and III from the embedded datasets, can export any
+// topology as Graphviz DOT (the paper's Figure 3 rendering), and
+// generates large hierarchical AS×POP graphs for the scalable-routing
+// experiments.
 //
 // Usage:
 //
 //	ccntopo [-dot NAME] [-csv]
+//	ccntopo -gen hier -levels 8x16x25 -lat 20,5,1 [-red 0,1,1] [-seed 1] [-format stats|dot|json]
 //
 // Without flags it prints Tables II and III. With -dot it writes the
-// named topology (Abilene, CERNET, GEANT, US-A) as DOT to stdout.
+// named topology (Abilene, CERNET, GEANT, US-A) as DOT to stdout. With
+// -gen hier it deterministically expands the level spec (per-level
+// fanout × mean latency × redundancy) into a hierarchical topology and
+// prints its stats — or dumps it as DOT/JSON — without running a sim.
 package main
 
 import (
@@ -24,11 +30,56 @@ func main() {
 	jsonName := flag.String("json", "", "write the named topology as JSON to stdout (template for custom networks)")
 	inspect := flag.String("topofile", "", "extract Table III parameters from a custom JSON topology file")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	gen := flag.String("gen", "", "generate a topology instead of inspecting datasets; only \"hier\" is supported")
+	levels := flag.String("levels", "8x16x25", "hier: per-level fanouts, x- or comma-separated (top level is an absolute count)")
+	lat := flag.String("lat", "20,5,1", "hier: per-level mean link latency (ms), comma-separated; one value applies to all levels")
+	red := flag.String("red", "", "hier: per-level redundancy (extra links per node), comma-separated; empty = 0")
+	seed := flag.Int64("seed", 1, "hier: generator seed (same spec + seed => identical graph)")
+	format := flag.String("format", "stats", "hier output: stats, dot, or json")
 	flag.Parse()
 
-	if err := run(*dot, *jsonName, *inspect, *csvOut); err != nil {
+	var err error
+	if *gen != "" {
+		err = runGen(*gen, *levels, *lat, *red, *seed, *format)
+	} else {
+		err = run(*dot, *jsonName, *inspect, *csvOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccntopo:", err)
 		os.Exit(1)
+	}
+}
+
+// runGen handles -gen: build the generated topology and emit it in the
+// requested format.
+func runGen(gen, levels, lat, red string, seed int64, format string) error {
+	if gen != "hier" {
+		return fmt.Errorf("unknown generator %q (only \"hier\" is supported)", gen)
+	}
+	spec, err := topology.ParseHierSpec(levels, lat, red)
+	if err != nil {
+		return err
+	}
+	g, err := topology.Hierarchical("", spec, seed)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "stats":
+		fmt.Printf("name\t%s\n", g.Name())
+		fmt.Printf("levels\t%d\n", len(spec))
+		fmt.Printf("nodes\t%d\n", g.N())
+		fmt.Printf("links\t%d (directed %d)\n", g.Edges(), g.DirectedEdgeCount())
+		fmt.Printf("mean degree\t%.2f\n", float64(g.DirectedEdgeCount())/float64(g.N()))
+		fmt.Printf("connected\t%v\n", g.Connected())
+		fmt.Printf("diameter (double-sweep lower bound, ms)\t%.2f\n", g.DiameterEstimate())
+		return nil
+	case "dot":
+		return g.WriteDOT(os.Stdout)
+	case "json":
+		return g.WriteJSON(os.Stdout)
+	default:
+		return fmt.Errorf("unknown -format %q (want stats, dot, or json)", format)
 	}
 }
 

@@ -2,6 +2,30 @@ package main
 
 import "testing"
 
+func TestRunGen(t *testing.T) {
+	// Valid spec in every output format (stats/dot/json write to
+	// stdout; here we only assert they succeed).
+	for _, format := range []string{"stats", "dot", "json"} {
+		if err := runGen("hier", "4x3", "10,2", "1", 1, format); err != nil {
+			t.Errorf("runGen(%s): %v", format, err)
+		}
+	}
+	bad := []struct {
+		gen, levels, lat, red, format string
+	}{
+		{"ring", "4x3", "10", "", "stats"},  // unknown generator
+		{"hier", "", "10", "", "stats"},     // empty spec
+		{"hier", "4x3", "bad", "", "stats"}, // bad latency
+		{"hier", "4x3", "10", "", "yaml"},   // unknown format
+		{"hier", "1", "10", "", "stats"},    // expands to one node
+	}
+	for _, tc := range bad {
+		if err := runGen(tc.gen, tc.levels, tc.lat, tc.red, 1, tc.format); err == nil {
+			t.Errorf("runGen(%+v) should fail", tc)
+		}
+	}
+}
+
 func TestLookup(t *testing.T) {
 	for _, name := range []string{"Abilene", "CERNET", "GEANT", "US-A"} {
 		g, err := lookup(name)

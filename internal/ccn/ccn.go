@@ -184,6 +184,17 @@ type Options struct {
 	// link; interests are treated as negligibly small, as in CCN.
 	// Zero means infinite capacity (no queueing).
 	LinkRate float64
+
+	// Routing selects the shortest-path backend the data plane forwards
+	// with (see topology.PathProvider). The zero value, BackendAuto,
+	// keeps the dense matrix below topology.DenseAutoThreshold nodes —
+	// bit-identical to all prior behavior on the calibrated datasets —
+	// and switches to the LRU tree cache above it, where a dense matrix
+	// would be quadratic in memory. Fault-aware planes (Options.Faults)
+	// require the dense backend: incremental rerouting (DynAPSP) repairs
+	// a materialized matrix, so NewNetwork rejects Faults combined with
+	// a sparse backend rather than silently misrouting around outages.
+	Routing topology.Backend
 }
 
 // originNeighbor marks the origin uplink in forwarding decisions.
@@ -262,7 +273,7 @@ type node struct {
 type Network struct {
 	eng   *des.Engine
 	graph *topology.Graph
-	lat   *topology.APSP
+	lat   topology.PathProvider
 	nodes []*node
 	cat   *catalog.Catalog
 	opts  Options
@@ -353,6 +364,8 @@ func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts O
 		return nil, fmt.Errorf("ccn: CacheProb mode requires a probability in (0,1], got %v", opts.CacheProbability)
 	case opts.LinkRate < 0:
 		return nil, fmt.Errorf("ccn: negative link rate %v", opts.LinkRate)
+	case opts.Faults && opts.Routing.Resolve(g.N()) != topology.BackendDense:
+		return nil, fmt.Errorf("ccn: fault-aware plane requires the dense routing backend (incremental rerouting repairs a materialized matrix), got %q for %d nodes", opts.Routing.Resolve(g.N()), g.N())
 	}
 	if opts.MaxRetries == 0 {
 		opts.MaxRetries = DefaultMaxRetries
@@ -363,10 +376,14 @@ func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts O
 	if opts.OriginFallbackRetries == 0 {
 		opts.OriginFallbackRetries = DefaultOriginFallbackRetries
 	}
+	routes, err := topology.NewPathProvider(g, opts.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("ccn: %w", err)
+	}
 	n := &Network{
 		eng:          eng,
 		graph:        g,
-		lat:          g.ShortestPathsLatency(),
+		lat:          routes,
 		cat:          cat,
 		opts:         opts,
 		originRouter: -1,
@@ -431,6 +448,12 @@ func (n *Network) Store(id topology.NodeID) (cache.Store, error) {
 	}
 	return n.nodes[id].cs, nil
 }
+
+// Routes returns the routing backend the data plane is forwarding
+// with: the dense matrix by default (possibly a fault-repaired one
+// while outages are active), or the sparse backend Options.Routing
+// selected. Treat the result as read-only shared state.
+func (n *Network) Routes() topology.PathProvider { return n.lat }
 
 // InterestTransmissions returns the total number of interest packet
 // transmissions over network links so far.

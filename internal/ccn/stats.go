@@ -112,7 +112,11 @@ func (n *Network) FailLink(a, b topology.NodeID) error {
 		return fmt.Errorf("ccn: failing link %d-%d would disconnect the domain", a, b)
 	}
 	n.graph = trial
-	n.lat = trial.ShortestPathsLatency()
+	routes, err := topology.NewPathProvider(trial, n.opts.Routing)
+	if err != nil {
+		return fmt.Errorf("ccn: failing link %d-%d: %w", a, b, err)
+	}
+	n.lat = routes
 	// The permanent topology change invalidates any attached incremental
 	// rerouting engine; the next fault event re-attaches one to the new
 	// graph, seeded with whatever down state still exists.

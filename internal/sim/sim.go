@@ -156,6 +156,15 @@ type Scenario struct {
 	// millisecond; zero means infinite (no queueing). See internal/ccn.
 	LinkRate float64
 
+	// Routing selects the shortest-path backend the data plane forwards
+	// with (see topology.PathProvider and ccn.Options.Routing). The
+	// zero value, topology.BackendAuto, keeps the dense matrix below
+	// topology.DenseAutoThreshold nodes — every calibrated-dataset run
+	// stays byte-identical — and switches to the LRU tree cache on
+	// larger generated graphs. Fault scenarios require the dense
+	// backend (incremental rerouting repairs a materialized matrix).
+	Routing topology.Backend
+
 	// WorkloadFactory, when non-nil, supplies each router's request
 	// generator instead of the default stationary Zipf(ZipfS) stream —
 	// e.g. a workload.DriftingZipf for non-stationary demand. The
@@ -290,6 +299,8 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("sim: MTBF and MTTR must be set together")
 	case s.faultsEnabled() && !(s.RetxTimeout > 0):
 		return fmt.Errorf("sim: fault injection requires a positive retransmission timeout")
+	case s.faultsEnabled() && s.Routing.Resolve(s.Topology.N()) != topology.BackendDense:
+		return fmt.Errorf("sim: fault injection requires the dense routing backend, got %q for %d routers (incremental rerouting repairs a materialized matrix)", s.Routing.Resolve(s.Topology.N()), s.Topology.N())
 	case s.HeartbeatInterval < 0:
 		return fmt.Errorf("sim: negative heartbeat interval %v", s.HeartbeatInterval)
 	case s.HeartbeatMisses < 0:
@@ -674,6 +685,7 @@ func Run(sc Scenario) (Result, error) {
 		LinkRate:         sc.LinkRate,
 		Faults:           sc.faultsEnabled(),
 		Tracer:           sc.Tracer,
+		Routing:          sc.Routing,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -733,10 +745,11 @@ func Run(sc Scenario) (Result, error) {
 	// *2 is headroom for retransmission delays. Samples past the headroom
 	// (deep retry backoff) land in the histogram's overflow counter and
 	// saturate quantile estimates at the range edge instead of skewing
-	// them. ShortestPathsLatency here is the same cached matrix the
-	// embedded ccn.Network builds its FIBs from (NewNetwork ran first),
-	// so this line no longer costs an APSP.
-	maxRTT := 2 * (sc.AccessLatency + 2*sc.Topology.ShortestPathsLatency().MaxDist() + sc.OriginLatency) * 2
+	// them. net.Routes() is the routing backend the network forwards
+	// with (NewNetwork ran first): on the dense backend MaxDist reads
+	// the same cached matrix as before, and on sparse backends it
+	// avoids materializing an O(n²) matrix just for this scalar.
+	maxRTT := 2 * (sc.AccessLatency + 2*net.Routes().MaxDist() + sc.OriginLatency) * 2
 	latencyHist, err := reg.Histogram("latency_ms", 0, math.Max(maxRTT, 1), 2048)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)

@@ -1,0 +1,403 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// LandmarkPaths answers approximate distance queries from k landmark
+// shortest-path trees: O(k·n) memory and O(k) per Dist query,
+// independent of graph size. Landmarks are chosen by farthest-point
+// sampling (deterministic: node 0 seeds the sweep), each tree is filled
+// by the shared Dijkstra kernel, and a query estimates
+//
+//	Dist(i, j) = min over landmarks L of d(L,i) + d(L,j)
+//
+// which by the triangle inequality NEVER underestimates the true
+// distance, and is exact whenever i or j is itself a landmark (or lies
+// on the tree path between the other endpoint and some landmark). Path
+// stitches the two tree legs i→L and L→j and trims their common suffix,
+// so it always returns a real walk in the graph whose length is at most
+// the Dist estimate (trimming can only shorten it):
+//
+//	true distance ≤ len(Path) ≤ Dist estimate
+//
+// MeasureError reports the empirical estimation error on a seeded
+// sample; see EXPERIMENTS.md for measured figures on the generated
+// topologies.
+//
+// Like every backend, LandmarkPaths stamps itself against the graph's
+// mutation generation: the first query after any Graph mutator reselects
+// landmarks and rebuilds the trees.
+type LandmarkPaths struct {
+	g *Graph
+
+	mu  sync.Mutex
+	gen uint64
+	k   int
+
+	landmarks []NodeID
+	// landmarkOf[v] is v's index in landmarks, or -1.
+	landmarkOf []int32
+	// Flat k×n tree rows; row l starts at offset l*n.
+	dist   []float64
+	next   []NodeID
+	parent []NodeID
+
+	maxDist float64 // min over L of 2·ecc(L): upper bound on diameter
+	meanEst float64 // mean finite off-diagonal distance over landmark rows
+}
+
+// DefaultLandmarkCount is the landmark count used when NewLandmarkPaths
+// is given a non-positive k (clamped to the node count).
+const DefaultLandmarkCount = 16
+
+// NewLandmarkPaths builds the landmark backend over g's latency metric
+// with k landmark trees; non-positive k selects DefaultLandmarkCount.
+func NewLandmarkPaths(g *Graph, k int) *LandmarkPaths {
+	if k <= 0 {
+		k = DefaultLandmarkCount
+	}
+	l := &LandmarkPaths{g: g, k: k}
+	l.mu.Lock()
+	l.rebuildLocked()
+	l.mu.Unlock()
+	return l
+}
+
+// rebuildLocked (re)selects landmarks by farthest-point sampling and
+// fills their trees. Selection is deterministic: the sweep starts at
+// node 0 and every subsequent landmark is the lowest-numbered node at
+// maximum finite distance from the chosen set.
+func (l *LandmarkPaths) rebuildLocked() {
+	g := l.g
+	n := g.N()
+	l.gen = g.gen
+	k := l.k
+	if k > n {
+		k = n
+	}
+	l.landmarks = make([]NodeID, 0, k)
+	l.landmarkOf = make([]int32, n)
+	for i := range l.landmarkOf {
+		l.landmarkOf[i] = -1
+	}
+	l.dist = make([]float64, k*n)
+	l.next = make([]NodeID, k*n)
+	l.parent = make([]NodeID, k*n)
+	if n == 0 || k == 0 {
+		l.maxDist, l.meanEst = 0, 0
+		return
+	}
+	scratch := newSPScratch(n, g.edges)
+	// minDist[v] is v's distance to the nearest chosen landmark.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	cur := NodeID(0)
+	for li := 0; li < k; li++ {
+		l.landmarkOf[cur] = int32(li)
+		l.landmarks = append(l.landmarks, cur)
+		base := li * n
+		row := l.dist[base : base+n]
+		g.dijkstraRows(cur, false, scratch, row, l.next[base:base+n], l.parent[base:base+n])
+		// Fold this tree into the farthest-point state and pick the next
+		// landmark: lowest-numbered unchosen node at maximum finite
+		// distance from the set.
+		next, best := NodeID(-1), -1.0
+		for v := 0; v < n; v++ {
+			if d := row[v]; d < minDist[v] {
+				minDist[v] = d
+			}
+			if l.landmarkOf[v] < 0 && !math.IsInf(minDist[v], 1) && minDist[v] > best {
+				best, next = minDist[v], NodeID(v)
+			}
+		}
+		if next < 0 {
+			break // every reachable node is already a landmark
+		}
+		cur = next
+	}
+	// Aggregates from the exact landmark rows.
+	maxD := math.Inf(1)
+	var sum float64
+	var cnt int
+	for li := range l.landmarks {
+		base := li * n
+		var ecc float64
+		for v, d := range l.dist[base : base+n] {
+			if NodeID(v) == l.landmarks[li] || math.IsInf(d, 1) {
+				continue
+			}
+			sum += d
+			cnt++
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if 2*ecc < maxD {
+			maxD = 2 * ecc
+		}
+	}
+	if math.IsInf(maxD, 1) {
+		maxD = 0
+	}
+	l.maxDist = maxD
+	l.meanEst = 0
+	if cnt > 0 {
+		l.meanEst = sum / float64(cnt)
+	}
+}
+
+// checkGenLocked rebuilds after a graph mutation.
+func (l *LandmarkPaths) checkGenLocked() {
+	if l.gen != l.g.gen {
+		l.rebuildLocked()
+	}
+}
+
+// N returns the number of nodes covered.
+func (l *LandmarkPaths) N() int { return l.g.N() }
+
+// Landmarks returns the selected landmark nodes in selection order. The
+// returned slice is shared; callers must not modify it.
+func (l *LandmarkPaths) Landmarks() []NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	return l.landmarks
+}
+
+// bestLandmarkLocked returns the landmark index minimizing
+// d(L,i)+d(L,j) and that sum, or (-1, +Inf) when no landmark reaches
+// both endpoints. Ties break toward the earliest-selected landmark, so
+// results are deterministic.
+func (l *LandmarkPaths) bestLandmarkLocked(i, j NodeID) (int, float64) {
+	n := l.g.N()
+	best, bestD := -1, math.Inf(1)
+	for li := range l.landmarks {
+		base := li * n
+		if d := l.dist[base+int(i)] + l.dist[base+int(j)]; d < bestD {
+			best, bestD = li, d
+		}
+	}
+	return best, bestD
+}
+
+// Dist returns the landmark upper-bound estimate of the shortest-path
+// length from i to j: never below the true distance, exact when either
+// endpoint is a landmark, +Inf when no landmark reaches both.
+func (l *LandmarkPaths) Dist(i, j NodeID) float64 {
+	if i == j {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	n := l.g.N()
+	// Exact when one endpoint is a landmark.
+	if li := l.landmarkOf[i]; li >= 0 {
+		return l.dist[int(li)*n+int(j)]
+	}
+	if lj := l.landmarkOf[j]; lj >= 0 {
+		return l.dist[int(lj)*n+int(i)]
+	}
+	_, d := l.bestLandmarkLocked(i, j)
+	return d
+}
+
+// Next returns the first hop out of i on the stitched landmark path
+// toward j, or -1 when i == j or the estimate is unreachable.
+func (l *LandmarkPaths) Next(i, j NodeID) NodeID {
+	if i == j {
+		return -1
+	}
+	p, err := l.Path(i, j)
+	if err != nil || len(p) < 2 {
+		return -1
+	}
+	return p[1]
+}
+
+// legLocked returns the tree path from v up to landmark index li
+// (inclusive), i.e. v, parent(v), …, L.
+func (l *LandmarkPaths) legLocked(li int, v NodeID) ([]NodeID, error) {
+	n := l.g.N()
+	base := li * n
+	leg := []NodeID{v}
+	cur := v
+	for cur != l.landmarks[li] {
+		p := l.parent[base+int(cur)]
+		if p < 0 {
+			return nil, fmt.Errorf("topology: %d unreachable from landmark %d", v, l.landmarks[li])
+		}
+		leg = append(leg, p)
+		cur = p
+		if len(leg) > n+1 {
+			return nil, fmt.Errorf("topology: predecessor chain contains a loop at landmark %d", l.landmarks[li])
+		}
+	}
+	return leg, nil
+}
+
+// Path returns a valid (not necessarily shortest) walk from src to dst:
+// the src→L and L→dst tree legs of the best landmark, trimmed at their
+// last common node. Its length never exceeds the Dist estimate. When
+// either endpoint is a landmark the path is an exact shortest path.
+func (l *LandmarkPaths) Path(src, dst NodeID) ([]NodeID, error) {
+	n := l.g.N()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("topology: path endpoints (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	// Exact tree paths when an endpoint is a landmark.
+	if li := l.landmarkOf[src]; li >= 0 {
+		leg, err := l.legLocked(int(li), dst)
+		if err != nil {
+			return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+		}
+		reverse(leg)
+		return leg, nil
+	}
+	if lj := l.landmarkOf[dst]; lj >= 0 {
+		leg, err := l.legLocked(int(lj), src)
+		if err != nil {
+			return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+		}
+		return leg, nil
+	}
+	li, d := l.bestLandmarkLocked(src, dst)
+	if li < 0 || math.IsInf(d, 1) {
+		return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+	}
+	a, err := l.legLocked(li, src) // src … L
+	if err != nil {
+		return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+	}
+	b, err := l.legLocked(li, dst) // dst … L
+	if err != nil {
+		return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+	}
+	// Both legs end at L; drop their common suffix so the walk turns
+	// around at the last shared node instead of detouring to L.
+	ai, bi := len(a)-1, len(b)-1
+	for ai > 0 && bi > 0 && a[ai-1] == b[bi-1] {
+		ai--
+		bi--
+	}
+	path := append([]NodeID(nil), a[:ai+1]...) // src … meet
+	for x := bi - 1; x >= 0; x-- {             // meet … dst (exclusive of meet)
+		path = append(path, b[x])
+	}
+	return path, nil
+}
+
+// reverse flips a node sequence in place.
+func reverse(p []NodeID) {
+	for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+		p[a], p[b] = p[b], p[a]
+	}
+}
+
+// MaxDist returns an upper bound on the weighted diameter: the minimum
+// over landmarks of twice their eccentricity (every path can be routed
+// through the most central landmark). The true diameter is between half
+// this value and this value.
+func (l *LandmarkPaths) MaxDist() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	return l.maxDist
+}
+
+// MeanDist estimates the mean pairwise distance as the mean finite
+// off-diagonal distance over the exact landmark rows. Farthest-point
+// landmarks sit on the graph periphery, so the estimate skews high;
+// treat it as indicative only. The includeDiagonal convention matches
+// APSP.MeanDist (diagonal zeros folded into the divisor).
+func (l *LandmarkPaths) MeanDist(includeDiagonal bool) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	if includeDiagonal {
+		n := l.g.N()
+		if n == 0 {
+			return 0
+		}
+		return l.meanEst * float64(n-1) / float64(n)
+	}
+	return l.meanEst
+}
+
+// LandmarkErrorStats summarizes the estimation error of Dist against
+// exact shortest paths on a seeded random sample of reachable pairs.
+type LandmarkErrorStats struct {
+	Pairs       int     // sampled reachable pairs
+	ExactPairs  int     // pairs where the estimate equals the exact distance
+	MeanRelErr  float64 // mean of (est-exact)/exact
+	MaxRelErr   float64 // max of (est-exact)/exact
+	MeanStretch float64 // mean est/exact (≥ 1)
+}
+
+// MeasureError samples `sources` random sources (seeded, deterministic),
+// computes their exact distance rows, and compares the landmark estimate
+// for every reachable non-landmark destination. The estimate is an
+// upper bound, so every relative error is ≥ 0.
+func (l *LandmarkPaths) MeasureError(sources int, seed int64) LandmarkErrorStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkGenLocked()
+	g := l.g
+	n := g.N()
+	var st LandmarkErrorStats
+	if n < 2 || sources <= 0 {
+		return st
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scratch := newSPScratch(n, g.edges)
+	dist := make([]float64, n)
+	next := make([]NodeID, n)
+	parent := make([]NodeID, n)
+	var relSum, stretchSum float64
+	for s := 0; s < sources; s++ {
+		src := NodeID(rng.Intn(n))
+		g.dijkstraRows(src, false, scratch, dist, next, parent)
+		for j := 0; j < n; j++ {
+			exact := dist[j]
+			if NodeID(j) == src || math.IsInf(exact, 1) || exact == 0 {
+				continue
+			}
+			var est float64
+			if li := l.landmarkOf[src]; li >= 0 {
+				est = l.dist[int(li)*n+j]
+			} else if lj := l.landmarkOf[j]; lj >= 0 {
+				est = l.dist[int(lj)*n+int(src)]
+			} else {
+				_, est = l.bestLandmarkLocked(src, NodeID(j))
+			}
+			rel := (est - exact) / exact
+			st.Pairs++
+			if rel == 0 {
+				st.ExactPairs++
+			}
+			relSum += rel
+			stretchSum += est / exact
+			if rel > st.MaxRelErr {
+				st.MaxRelErr = rel
+			}
+		}
+	}
+	if st.Pairs > 0 {
+		st.MeanRelErr = relSum / float64(st.Pairs)
+		st.MeanStretch = stretchSum / float64(st.Pairs)
+	}
+	return st
+}

@@ -1,0 +1,441 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ccncoord/internal/par"
+)
+
+// LRUPaths answers shortest-path queries from a bounded cache of
+// per-source shortest-path trees, computed on demand by the same
+// Dijkstra kernel the dense APSP uses. One tree holds source src's full
+// distance, first-hop and predecessor rows (24·n bytes), so the whole
+// backend costs 24·n·capacity bytes instead of the dense matrix's 24·n²
+// — the backend that unlocks 10⁵-router topologies, where one dense
+// matrix would need ~240 GiB.
+//
+// Exactness: a cached tree is produced by Graph.dijkstraRows with the
+// identical adjacency iteration order as a dense APSP row, so Dist and
+// Next are bit-identical to the dense backend on any graph — ties
+// included. Path walks first hops across trees exactly like APSP.Path
+// walks Next rows, so it is bit-identical too; note that a cold Path
+// query can therefore fill up to path-length trees (see PathTree for
+// the single-tree variant that stays within tree(src)).
+//
+// Invalidation: every query stamps itself against the graph's mutation
+// generation; any Graph mutator bumps the generation (see Graph.bump),
+// so the first query after a mutation drops every cached tree and
+// recomputes against the new structure — the same contract as the dense
+// APSP cache.
+//
+// LRUPaths is safe for concurrent readers (one mutex serializes
+// queries); mutating the underlying Graph still requires external
+// synchronization, exactly as with the dense cache.
+type LRUPaths struct {
+	g   *Graph
+	cap int
+
+	mu      sync.Mutex
+	gen     uint64
+	trees   map[NodeID]*lruTree
+	head    *lruTree // most recently used
+	tail    *lruTree // least recently used
+	scratch *spScratch
+
+	hits, misses, evictions uint64
+
+	// Cached whole-graph aggregates (MaxDist / MeanDist sweep), valid
+	// for aggGen only.
+	aggValid bool
+	aggGen   uint64
+	maxDist  float64
+	distSum  float64
+}
+
+// lruTree is one cached single-source shortest-path tree.
+type lruTree struct {
+	src       NodeID
+	dist      []float64
+	next      []NodeID
+	parent    []NodeID
+	prev, nxt *lruTree
+}
+
+// DefaultLRUBudgetBytes is the tree-cache memory budget when
+// NewLRUPaths is given a non-positive capacity: the capacity becomes
+// budget / (24·n) trees, clamped to [minLRUCapacity, n].
+const DefaultLRUBudgetBytes = 256 << 20
+
+// minLRUCapacity keeps a degenerate budget from thrashing on every
+// query.
+const minLRUCapacity = 16
+
+// treeBytes is the memory footprint of one cached tree for an n-node
+// graph: one float64 plus two NodeID entries per node.
+func treeBytes(n int) int { return n * 24 }
+
+// LRUCapacityForBudget returns how many shortest-path trees of an
+// n-node graph fit in budgetBytes, clamped to [minLRUCapacity, n].
+func LRUCapacityForBudget(n, budgetBytes int) int {
+	c := budgetBytes / treeBytes(max(n, 1))
+	if c < minLRUCapacity {
+		c = minLRUCapacity
+	}
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NewLRUPaths builds the LRU backend over g's latency metric with room
+// for capacity cached trees; non-positive capacity selects
+// LRUCapacityForBudget(n, DefaultLRUBudgetBytes).
+func NewLRUPaths(g *Graph, capacity int) *LRUPaths {
+	n := g.N()
+	if capacity <= 0 {
+		capacity = LRUCapacityForBudget(n, DefaultLRUBudgetBytes)
+	}
+	if capacity > n && n > 0 {
+		capacity = n
+	}
+	return &LRUPaths{
+		g:       g,
+		cap:     capacity,
+		gen:     g.gen,
+		trees:   make(map[NodeID]*lruTree, capacity),
+		scratch: newSPScratch(n, g.edges),
+	}
+}
+
+// N returns the number of nodes covered.
+func (l *LRUPaths) N() int { return l.g.N() }
+
+// Capacity returns the maximum number of cached trees.
+func (l *LRUPaths) Capacity() int { return l.cap }
+
+// Stats returns the cumulative query-cache counters: tree hits, misses
+// (each miss is one Dijkstra), and evictions.
+func (l *LRUPaths) Stats() (hits, misses, evictions uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses, l.evictions
+}
+
+// flushLocked drops every cached tree after a graph mutation; the node
+// count may have changed, so scratch and tree buffers are resized by
+// reallocation.
+func (l *LRUPaths) flushLocked() {
+	n := l.g.N()
+	l.gen = l.g.gen
+	l.trees = make(map[NodeID]*lruTree, l.cap)
+	l.head, l.tail = nil, nil
+	l.scratch = newSPScratch(n, l.g.edges)
+	l.aggValid = false
+	if l.cap > n && n > 0 {
+		l.cap = n
+	}
+}
+
+// treeLocked returns src's shortest-path tree, computing and caching it
+// on a miss (evicting the least recently used tree when full). The
+// caller holds l.mu.
+func (l *LRUPaths) treeLocked(src NodeID) *lruTree {
+	if l.gen != l.g.gen {
+		l.flushLocked()
+	}
+	if t := l.trees[src]; t != nil {
+		l.hits++
+		l.touchLocked(t)
+		return t
+	}
+	l.misses++
+	n := l.g.N()
+	var t *lruTree
+	if len(l.trees) >= l.cap && l.tail != nil {
+		// Reuse the evicted tree's buffers: steady state allocates
+		// nothing per miss.
+		t = l.tail
+		l.unlinkLocked(t)
+		delete(l.trees, t.src)
+		l.evictions++
+	} else {
+		t = &lruTree{
+			dist:   make([]float64, n),
+			next:   make([]NodeID, n),
+			parent: make([]NodeID, n),
+		}
+	}
+	t.src = src
+	l.g.dijkstraRows(src, false, l.scratch, t.dist, t.next, t.parent)
+	l.trees[src] = t
+	l.pushFrontLocked(t)
+	return t
+}
+
+// touchLocked moves t to the most-recently-used position.
+func (l *LRUPaths) touchLocked(t *lruTree) {
+	if l.head == t {
+		return
+	}
+	l.unlinkLocked(t)
+	l.pushFrontLocked(t)
+}
+
+// unlinkLocked removes t from the LRU list.
+func (l *LRUPaths) unlinkLocked(t *lruTree) {
+	if t.prev != nil {
+		t.prev.nxt = t.nxt
+	} else {
+		l.head = t.nxt
+	}
+	if t.nxt != nil {
+		t.nxt.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.prev, t.nxt = nil, nil
+}
+
+// pushFrontLocked inserts t at the most-recently-used position.
+func (l *LRUPaths) pushFrontLocked(t *lruTree) {
+	t.prev, t.nxt = nil, l.head
+	if l.head != nil {
+		l.head.prev = t
+	}
+	l.head = t
+	if l.tail == nil {
+		l.tail = t
+	}
+}
+
+// Dist returns the shortest-path length from i to j, bit-identical to
+// the dense backend.
+func (l *LRUPaths) Dist(i, j NodeID) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.treeLocked(i).dist[j]
+}
+
+// Next returns the first hop out of i on a shortest path toward j, or
+// -1 when i == j or j is unreachable; bit-identical to the dense
+// backend.
+func (l *LRUPaths) Next(i, j NodeID) NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.treeLocked(i).next[j]
+}
+
+// Path returns the node sequence from src to dst (inclusive), walking
+// first hops across per-source trees exactly like APSP.Path walks Next
+// rows — so the sequence is bit-identical to the dense backend's, ties
+// included. A cold call can fill up to path-length trees; see PathTree
+// for the single-tree variant.
+func (l *LRUPaths) Path(src, dst NodeID) ([]NodeID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.g.N()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("topology: path endpoints (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	path := []NodeID{src}
+	cur := src
+	for cur != dst {
+		nxt := l.treeLocked(cur).next[dst]
+		if nxt < 0 {
+			return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > n+1 {
+			return nil, fmt.Errorf("topology: first-hop matrix contains a loop between %d and %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// PathTree returns a shortest path from src to dst read entirely out of
+// src's own tree (the predecessor chain), touching exactly one cached
+// tree — the query shape the LRU is sized for. The result is a valid
+// shortest path of the same length as Path's; under exact equal-cost
+// ties the node sequence may differ from the dense walk.
+func (l *LRUPaths) PathTree(src, dst NodeID) ([]NodeID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.g.N()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("topology: path endpoints (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	t := l.treeLocked(src)
+	// Walk predecessors dst -> src, then reverse in place.
+	path := []NodeID{dst}
+	cur := dst
+	for cur != src {
+		p := t.parent[cur]
+		if p < 0 {
+			return nil, fmt.Errorf("topology: %d unreachable from %d", dst, src)
+		}
+		path = append(path, p)
+		cur = p
+		if len(path) > n+1 {
+			return nil, fmt.Errorf("topology: predecessor chain contains a loop between %d and %d", src, dst)
+		}
+	}
+	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+		path[a], path[b] = path[b], path[a]
+	}
+	return path, nil
+}
+
+// Warm precomputes the trees of the given sources, fanning the
+// Dijkstras over the worker pool (non-positive workers selects the
+// default width) and inserting the results in input order, so a warmed
+// cache is deterministic regardless of worker count. Sources beyond the
+// cache capacity evict earlier ones, exactly as queries would.
+func (l *LRUPaths) Warm(sources []NodeID, workers int) {
+	if len(sources) == 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.gen != l.g.gen {
+		l.flushLocked()
+	}
+	// Skip sources that are already cached; compute the rest outside
+	// per-source lock contention (the pool writes disjoint slots).
+	missing := make([]NodeID, 0, len(sources))
+	seen := make(map[NodeID]bool, len(sources))
+	for _, s := range sources {
+		if s < 0 || int(s) >= l.g.N() || seen[s] {
+			continue
+		}
+		seen[s] = true
+		if _, ok := l.trees[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	n := l.g.N()
+	l.mu.Unlock()
+	if len(missing) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	out := make([]*lruTree, len(missing))
+	_ = par.ForEach(workers, workers, func(w int) error {
+		scratch := newSPScratch(n, l.g.edges)
+		for i := w; i < len(missing); i += workers {
+			t := &lruTree{
+				src:    missing[i],
+				dist:   make([]float64, n),
+				next:   make([]NodeID, n),
+				parent: make([]NodeID, n),
+			}
+			l.g.dijkstraRows(missing[i], false, scratch, t.dist, t.next, t.parent)
+			out[i] = t
+		}
+		return nil
+	})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen != l.g.gen {
+		// The graph mutated mid-warm; the computed trees are stale.
+		l.flushLocked()
+		return
+	}
+	for _, t := range out {
+		if _, ok := l.trees[t.src]; ok {
+			continue
+		}
+		l.misses++ // a warm fill is an off-path miss: it ran one Dijkstra
+		if len(l.trees) >= l.cap && l.tail != nil {
+			old := l.tail
+			l.unlinkLocked(old)
+			delete(l.trees, old.src)
+			l.evictions++
+		}
+		l.trees[t.src] = t
+		l.pushFrontLocked(t)
+	}
+}
+
+// sweepLocked computes the whole-graph aggregates (max and sum of
+// finite off-diagonal distances) with one streaming Dijkstra per
+// source, reusing a single row buffer — O(n) memory where the dense
+// MaxDist/MeanDist scan an O(n²) matrix. Rows are visited in the same
+// source order and scanned in the same destination order as the dense
+// scan, so both aggregates are bit-identical to the dense backend's.
+func (l *LRUPaths) sweepLocked() {
+	if l.gen != l.g.gen {
+		l.flushLocked()
+	}
+	if l.aggValid && l.aggGen == l.gen {
+		return
+	}
+	n := l.g.N()
+	dist := make([]float64, n)
+	next := make([]NodeID, n)
+	parent := make([]NodeID, n)
+	var maxD, sum float64
+	for i := 0; i < n; i++ {
+		// Serve from a cached tree when present — identical bits, no
+		// extra Dijkstra.
+		row := dist
+		if t := l.trees[NodeID(i)]; t != nil {
+			row = t.dist
+		} else {
+			l.g.dijkstraRows(NodeID(i), false, l.scratch, dist, next, parent)
+		}
+		for j, d := range row {
+			if i != j && !math.IsInf(d, 1) {
+				sum += d
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+	}
+	l.maxDist, l.distSum = maxD, sum
+	l.aggValid, l.aggGen = true, l.gen
+}
+
+// MaxDist returns the largest finite off-diagonal distance (the
+// weighted diameter), bit-identical to the dense backend. The first
+// call per graph generation runs one Dijkstra per source (O(n) memory);
+// the scalar is then cached.
+func (l *LRUPaths) MaxDist() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked()
+	return l.maxDist
+}
+
+// MeanDist returns the mean off-diagonal pairwise distance (see
+// APSP.MeanDist for the includeDiagonal convention), bit-identical to
+// the dense backend; cached like MaxDist.
+func (l *LRUPaths) MeanDist(includeDiagonal bool) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.g.N()
+	if n < 2 {
+		return 0
+	}
+	l.sweepLocked()
+	if includeDiagonal {
+		return l.distSum / float64(n*n)
+	}
+	return l.distSum / float64(n*(n-1))
+}

@@ -207,9 +207,16 @@ func newSPScratch(n, m int) *spScratch {
 func (g *Graph) dijkstraInto(out *APSP, src NodeID, unitWeights bool, s *spScratch) {
 	n := out.n
 	base := int(src) * n
-	dist := out.dist[base : base+n]
-	next := out.next[base : base+n]
-	parent := out.parent[base : base+n]
+	g.dijkstraRows(src, unitWeights, s,
+		out.dist[base:base+n], out.next[base:base+n], out.parent[base:base+n])
+}
+
+// dijkstraRows is the single-source shortest-path kernel shared by every
+// routing backend: the dense APSP writes matrix rows through it, and the
+// LRU/landmark backends fill their per-source trees with it. Sharing one
+// kernel (same adjacency iteration order, same heap) is what makes the
+// sparse backends' per-source results bit-identical to the dense rows.
+func (g *Graph) dijkstraRows(src NodeID, unitWeights bool, s *spScratch, dist []float64, next, parent []NodeID) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		next[i] = -1
