@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"ccncoord/internal/des"
 	"ccncoord/internal/experiments"
 	"ccncoord/internal/topology"
 )
@@ -364,20 +365,7 @@ var benchRoutingSink float64
 // query stream, so ns/op tracks precompute and query cost together;
 // misses/op counts the Dijkstras actually run.
 func BenchmarkRoutingScale(b *testing.B) {
-	// Fanouts expand to exactly 10^k nodes: 10, +90, +900, +9000, +90000.
-	allFanouts := []int{10, 9, 10, 10, 10}
-	latencies := []float64{20, 5, 2, 1, 0.5}
-	build := func(levels int) *topology.Graph {
-		spec := make([]topology.HierLevel, levels)
-		for i := 0; i < levels; i++ {
-			spec[i] = topology.HierLevel{Fanout: allFanouts[i], MeanLatency: latencies[i], Redundancy: 1}
-		}
-		g, err := topology.Hierarchical("", spec, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		return g
-	}
+	build := func(levels int) *topology.Graph { return buildHierGraph(b, levels) }
 	// workingSet draws the seeded source pool the LRU cache is sized
 	// for: client-facing routers concentrate their queries, so sources
 	// come from a bounded set while destinations span the whole graph.
@@ -482,6 +470,124 @@ func BenchmarkRoutingScale(b *testing.B) {
 		})
 	}
 }
+
+// buildHierGraph expands the scale-sweep hierarchy to exactly 10^levels
+// routers: 10, +90, +900, +9000, +90000, with latencies shrinking from
+// backbone (20 ms) to access (0.5 ms) as the levels descend.
+func buildHierGraph(b *testing.B, levels int) *topology.Graph {
+	b.Helper()
+	allFanouts := []int{10, 9, 10, 10, 10}
+	latencies := []float64{20, 5, 2, 1, 0.5}
+	spec := make([]topology.HierLevel, levels)
+	for i := 0; i < levels; i++ {
+		spec[i] = topology.HierLevel{Fanout: allFanouts[i], MeanLatency: latencies[i], Redundancy: 1}
+	}
+	g, err := topology.Hierarchical("", spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkShardedDES is the parallel-engine scale sweep: hierarchical
+// topologies of 10² to 10⁵ routers, partitioned by PartitionGraph into
+// 1/2/4/8 shards, driven by synthetic packet cascades — every router
+// seeds a 16-hop walk whose each event schedules the next hop at a
+// graph neighbor after that link's real latency, so cross-shard sends
+// ride genuine cut-edge latencies and the conservative window protocol
+// is exercised exactly as the simulator exercises it. It deliberately
+// stays at the des layer: the full simulator funnels routing queries
+// through a mutex, which would measure lock contention, not the engine.
+//
+// Reported columns land in the committed BENCH_<date>.json baseline:
+// events/s (aggregate throughput), speedup (vs the shards=1 run of the
+// same n), xfrac (fraction of events delivered across shard
+// boundaries), and cores (GOMAXPROCS — speedup is wall-clock, so on a
+// single-core runner it hovers near 1 and only the ≥4-core reading is a
+// parallel-scaling claim; TestBenchBaseline gates on it accordingly).
+func BenchmarkShardedDES(b *testing.B) {
+	const hops = 16
+	for levels := 2; levels <= 5; levels++ {
+		g := buildHierGraph(b, levels)
+		n := g.N()
+		// Flatten adjacency once per graph: Neighbors/EdgeLatency
+		// allocate and search, which would dominate the event loop.
+		nbrs := make([][]topology.NodeID, n)
+		lats := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			id := topology.NodeID(r)
+			nbrs[r] = g.Neighbors(id)
+			lats[r] = make([]float64, len(nbrs[r]))
+			for i, w := range nbrs[r] {
+				l, err := g.EdgeLatency(id, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lats[r][i] = l
+			}
+		}
+		var serialNs float64
+		for _, shards := range []int{1, 2, 4, 8} {
+			part, err := topology.PartitionGraph(g, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("n=%d/shards=%d", n, shards), func(b *testing.B) {
+				var processed, cross uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					se, err := des.NewSharded(part.Parts, part.CutLatency)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// step builds the event for one hop of a cascade at
+					// router r: fire, then schedule the next hop on the
+					// neighbor's shard after the connecting link latency.
+					var step func(r topology.NodeID, ttl int) func()
+					step = func(r topology.NodeID, ttl int) func() {
+						sh := se.Shard(int(part.Of[r]))
+						return func() {
+							if ttl == 0 {
+								return
+							}
+							i := (int(r) + ttl) % len(nbrs[r])
+							next := nbrs[r][i]
+							if err := sh.ScheduleTo(int(part.Of[next]), lats[r][i], step(next, ttl-1)); err != nil {
+								panic(err)
+							}
+						}
+					}
+					for r := 0; r < n; r++ {
+						// Stagger starts so the first window is not one
+						// synchronized burst at t=0.
+						if err := se.Shard(int(part.Of[r])).At(float64(r%97)*0.01, step(topology.NodeID(r), hops)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					se.Run()
+					processed, cross = se.Processed(), se.CrossShardEvents()
+					if want := uint64(n) * (hops + 1); processed != want {
+						b.Fatalf("processed %d events, want %d", processed, want)
+					}
+				}
+				b.StopTimer()
+				benchShardSink = processed
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if shards == 1 {
+					serialNs = nsPerOp
+				}
+				b.ReportMetric(float64(processed)/(nsPerOp/1e9), "events/s")
+				b.ReportMetric(serialNs/nsPerOp, "speedup")
+				b.ReportMetric(float64(cross)/float64(processed), "xfrac")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+			})
+		}
+	}
+}
+
+// benchShardSink prevents dead-code elimination of cascade runs.
+var benchShardSink uint64
 
 // benchTopoSink prevents dead-code elimination of dataset construction.
 var benchTopoSink []*topology.Graph

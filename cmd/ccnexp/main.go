@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"ccncoord/internal/experiments"
@@ -118,6 +119,7 @@ func main() {
 		requests    = flag.Int("requests", 40000, "measured requests for the simulation-backed experiments")
 		replicas    = flag.Int("replicas", 5, "seeded replicas for the ablation-replicas artifact")
 		workers     = flag.Int("workers", 0, "worker-pool width for experiment generation; 0 = GOMAXPROCS, 1 = serial")
+		shardsFlag  = flag.String("shards", "auto", "event-loop shards per simulation: auto (each scenario decides), 1 (serial), or N; artifacts are identical at any setting")
 		httpAddr    = flag.String("http", "", "serve live run progress, metrics and pprof on this address (e.g. 127.0.0.1:8080)")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace of every simulation run to this file (.gz compresses)")
 		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
@@ -127,6 +129,12 @@ func main() {
 	)
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
+	experiments.SetShards(shards)
 	traceDone := func() error { return nil }
 	if *tracePath != "" {
 		tr, done, err := trace.OpenFile(*tracePath, *traceSample)
@@ -225,6 +233,20 @@ type artifactDigest struct {
 
 // artifactManifestSchema identifies the artifact-manifest JSON layout.
 const artifactManifestSchema = "ccncoord/artifact-manifest/v1"
+
+// parseShards parses a -shards flag value: "auto" (0 — each scenario's
+// auto rule decides) or an explicit positive shard count applied to
+// every simulation.
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf(`-shards must be "auto" or a positive integer, got %q`, s)
+	}
+	return n, nil
+}
 
 func (m outputMode) String() string {
 	switch m {

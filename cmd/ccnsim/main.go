@@ -54,6 +54,7 @@ func main() {
 		chaosCkpt   = flag.String("chaos-checkpoint", "", "save a coordinator checkpoint here at each chaos coordinator crash and restore it at the restart")
 		staleness   = flag.Float64("staleness", 0, "staleness bound (ms) before a coordination outage degrades the data plane; 0 selects the default")
 		routing     = flag.String("routing", "auto", "shortest-path backend: auto (dense below the threshold, lru above), dense, lru, or landmark")
+		shardsFlag  = flag.String("shards", "auto", "event-loop shards: auto (serial below the dense threshold), 1 (serial), or N; results are identical at any setting")
 		httpAddr    = flag.String("http", "", "serve run progress, metrics and pprof on this address for the duration of the run")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses; see internal/trace)")
 		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
@@ -64,6 +65,11 @@ func main() {
 	flag.Parse()
 
 	backend, err := topology.ParseBackend(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnsim:", err)
+		os.Exit(1)
+	}
+	shards, err := parseShards(*shardsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
 		os.Exit(1)
@@ -101,7 +107,7 @@ func main() {
 		}
 	} else {
 		err = run(*topoName, *policy, *catalog, *s, *capacity, *x, *requests, *warmup, *seed, *access, *origin, *gateway, *loss, *retx,
-			*mtbf, *mttr, *faultSeed, *failSpec, chaosOpts{spec: *chaosSpec, checkpoint: *chaosCkpt, staleness: *staleness}, backend, obsf)
+			*mtbf, *mttr, *faultSeed, *failSpec, chaosOpts{spec: *chaosSpec, checkpoint: *chaosCkpt, staleness: *staleness}, backend, shards, obsf)
 	}
 	if err == nil {
 		err = stopProf()
@@ -303,7 +309,7 @@ func (c chaosOpts) load() (*fault.ChaosScenario, error) {
 
 func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 	requests, warmup int, seed int64, access, origin float64, gateway int, loss, retx float64,
-	mtbf, mttr float64, faultSeed int64, failSpec string, chaosf chaosOpts, routing topology.Backend, obs obsFlags) error {
+	mtbf, mttr float64, faultSeed int64, failSpec string, chaosf chaosOpts, routing topology.Backend, shards int, obs obsFlags) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -360,12 +366,18 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		Routing:        routing,
 		Tracer:         tr,
 		EmitManifest:   obs.manifestPath != "" || obs.progress != nil,
+		Shards:         shards,
 	}
 	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
 	}
 	if pol != sim.PolicyCoordinated {
 		sc.Coordinated = 0
+	}
+	// The shard count goes to stderr only, so stdout stays byte-identical
+	// across shard settings (sharding never changes results).
+	if n := sim.ResolveShards(sc); n > 1 {
+		fmt.Fprintf(os.Stderr, "ccnsim: running on %d event-loop shards\n", n)
 	}
 	obs.simStarted()
 	res, err := sim.Run(sc)
@@ -443,6 +455,19 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		fmt.Fprintf(tw, "model local/peer (rank bands)\t%.4f / %.4f\n", local, peer)
 	}
 	return tw.Flush()
+}
+
+// parseShards parses a -shards flag value: "auto" (0 — the scenario's
+// auto rule decides) or an explicit positive shard count.
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf(`-shards must be "auto" or a positive integer, got %q`, s)
+	}
+	return n, nil
 }
 
 func parsePolicy(s string) (sim.Policy, error) {

@@ -89,7 +89,7 @@ func TestRunRejectsBadFaultConfig(t *testing.T) {
 	}
 	for _, tc := range cases {
 		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
-			tc.mtbf, tc.mttr, 1, tc.fail, chaosOpts{}, topology.BackendAuto, obsFlags{})
+			tc.mtbf, tc.mttr, 1, tc.fail, chaosOpts{}, topology.BackendAuto, 0, obsFlags{})
 		if err == nil {
 			t.Errorf("%s: run accepted the config, want error", tc.name)
 		}
@@ -155,7 +155,7 @@ func TestRunRejectsChaosFlagMisuse(t *testing.T) {
 	}
 	for _, tc := range cases {
 		err := run("Abilene", "coordinated", 1000, 0.8, 50, 25, 10, 0, 1, 5, 60, -1, 0, 300,
-			0, 0, 1, "", tc.chaosf, topology.BackendAuto, obsFlags{})
+			0, 0, 1, "", tc.chaosf, topology.BackendAuto, 0, obsFlags{})
 		if err == nil {
 			t.Errorf("%s: run accepted the config, want error", tc.name)
 		}

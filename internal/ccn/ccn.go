@@ -269,6 +269,16 @@ type node struct {
 	pitPeak    int
 }
 
+// txShard holds the packet-transmission counters written on the hot
+// forwarding path. Serial networks use a single slot; sharded networks
+// give each shard its own cache-line-padded slot (a router's counters
+// are bumped only by its owning shard) and sum the slots on read.
+type txShard struct {
+	interests int64
+	data      int64
+	_         [48]byte // keep adjacent shards off one cache line
+}
+
 // Network is an executable CCN domain over a topology.
 type Network struct {
 	eng   *des.Engine
@@ -278,6 +288,12 @@ type Network struct {
 	cat   *catalog.Catalog
 	opts  Options
 
+	// Sharded execution (NewShardedNetwork): se replaces eng, and
+	// shardOf maps each router to the logical process that owns its
+	// state. Both are nil/empty on serial networks.
+	se      *des.Sharded
+	shardOf []int32
+
 	// Origin attachment: either a gateway router with an uplink, or a
 	// uniform per-router uplink.
 	originRouter  topology.NodeID
@@ -285,12 +301,14 @@ type Network struct {
 	uniformOrigin bool
 	attached      bool
 
-	// Counters over the whole run.
-	interestTransmissions int64
-	dataTransmissions     int64
-	droppedInterests      int64
-	droppedData           int64
-	retransmissions       int64
+	// Counters over the whole run. Interest/data transmissions live in
+	// per-shard slots (one slot on serial networks); the remaining
+	// counters are only reachable on serial-only code paths (loss,
+	// faults, queueing) and stay plain fields.
+	tx               []txShard
+	droppedInterests int64
+	droppedData      int64
+	retransmissions  int64
 
 	// Fault-layer state and counters (Options.Faults only). dyn is the
 	// incremental rerouting engine, attached lazily on the first fault
@@ -335,9 +353,22 @@ type Network struct {
 
 // NewNetwork builds a CCN data plane over the given connected topology.
 func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts Options) (*Network, error) {
-	switch {
-	case eng == nil:
+	if eng == nil {
 		return nil, fmt.Errorf("ccn: nil engine")
+	}
+	n, err := buildNetwork(g, cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	n.eng = eng
+	return n, nil
+}
+
+// buildNetwork validates options and constructs the router state shared
+// by the serial and sharded constructors; the caller attaches the
+// executor (eng or se).
+func buildNetwork(g *topology.Graph, cat *catalog.Catalog, opts Options) (*Network, error) {
+	switch {
 	case g == nil || g.N() == 0:
 		return nil, fmt.Errorf("ccn: empty topology")
 	case !g.Connected():
@@ -381,12 +412,12 @@ func NewNetwork(eng *des.Engine, g *topology.Graph, cat *catalog.Catalog, opts O
 		return nil, fmt.Errorf("ccn: %w", err)
 	}
 	n := &Network{
-		eng:          eng,
 		graph:        g,
 		lat:          routes,
 		cat:          cat,
 		opts:         opts,
 		originRouter: -1,
+		tx:           make([]txShard, 1),
 	}
 	if opts.LossRate > 0 || opts.Faults || opts.Mode == CacheProb {
 		seed := opts.LossSeed
@@ -456,12 +487,55 @@ func (n *Network) Store(id topology.NodeID) (cache.Store, error) {
 func (n *Network) Routes() topology.PathProvider { return n.lat }
 
 // InterestTransmissions returns the total number of interest packet
-// transmissions over network links so far.
-func (n *Network) InterestTransmissions() int64 { return n.interestTransmissions }
+// transmissions over network links so far, summed across shards.
+func (n *Network) InterestTransmissions() int64 {
+	var total int64
+	for i := range n.tx {
+		total += n.tx[i].interests
+	}
+	return total
+}
 
 // DataTransmissions returns the total number of data packet
-// transmissions over network links so far.
-func (n *Network) DataTransmissions() int64 { return n.dataTransmissions }
+// transmissions over network links so far, summed across shards.
+func (n *Network) DataTransmissions() int64 {
+	var total int64
+	for i := range n.tx {
+		total += n.tx[i].data
+	}
+	return total
+}
+
+// txAt returns the transmission-counter slot for events executing at
+// router r: the single serial slot, or r's owning shard's slot.
+func (n *Network) txAt(r topology.NodeID) *txShard {
+	if n.se == nil {
+		return &n.tx[0]
+	}
+	return &n.tx[n.shardOf[r]]
+}
+
+// nowAt returns the virtual clock governing router r: the global
+// engine clock, or r's owning shard's local clock.
+func (n *Network) nowAt(r topology.NodeID) float64 {
+	if n.se == nil {
+		return n.eng.Now()
+	}
+	return n.se.Shard(int(n.shardOf[r])).Now()
+}
+
+// schedFrom schedules fn to run at router to's executor after delay,
+// from the context of an event executing at router from. On serial
+// networks this is a plain engine Schedule; on sharded networks it is
+// a shard-local push or a cross-shard mailbox send. Every cross-shard
+// hand-off in the data plane rides a network link, so the delay is at
+// least the partition's cut latency — the engine's lookahead bound.
+func (n *Network) schedFrom(from, to topology.NodeID, delay float64, fn func()) error {
+	if n.se == nil {
+		return n.eng.Schedule(delay, fn)
+	}
+	return n.se.Shard(int(n.shardOf[from])).ScheduleTo(int(n.shardOf[to]), delay, fn)
+}
 
 // DroppedInterests returns how many interest transmissions the lossy
 // fabric discarded.
@@ -754,23 +828,42 @@ func (n *Network) Request(router topology.NodeID, id catalog.ID, done func(Reque
 // event caused by this request's lifecycle carries the same ID, and the
 // completion's RequestResult.Req echoes it.
 func (n *Network) RequestID(router topology.NodeID, id catalog.ID, done func(RequestResult)) (int64, error) {
+	if n.se != nil {
+		// The shared issue counter would race across shards; sharded
+		// callers precompute globally-ordered IDs and use RequestWithID.
+		return 0, fmt.Errorf("ccn: sharded network requires RequestWithID (precomputed request identity)")
+	}
+	n.nextReq++
+	if err := n.RequestWithID(router, id, n.nextReq, done); err != nil {
+		n.nextReq--
+		return 0, err
+	}
+	return n.nextReq, nil
+}
+
+// RequestWithID is RequestID with a caller-supplied request identity.
+// It is the request entry point for sharded runs, where IDs must be
+// precomputed in global issue order (the shared allocation counter
+// would race across shards); serial callers normally use Request or
+// RequestID instead. The caller owns uniqueness and issue-ordering of
+// the IDs.
+func (n *Network) RequestWithID(router topology.NodeID, id catalog.ID, reqID int64, done func(RequestResult)) error {
 	if !n.attached {
-		return 0, fmt.Errorf("ccn: origin not attached; call AttachOriginAt or AttachOriginUniform")
+		return fmt.Errorf("ccn: origin not attached; call AttachOriginAt or AttachOriginUniform")
 	}
 	if int(router) < 0 || int(router) >= len(n.nodes) {
-		return 0, fmt.Errorf("ccn: unknown router %d", router)
+		return fmt.Errorf("ccn: unknown router %d", router)
 	}
 	if !n.cat.Contains(id) {
-		return 0, fmt.Errorf("ccn: content %d outside catalog", id)
+		return fmt.Errorf("ccn: content %d outside catalog", id)
 	}
 	if done == nil {
 		done = func(RequestResult) {}
 	}
-	n.nextReq++
-	req := &pendingRequest{issuedAt: n.eng.Now(), done: done, req: n.nextReq}
+	req := &pendingRequest{issuedAt: n.nowAt(router), done: done, req: reqID}
 	// The interest reaches the first-hop router after the access
 	// latency.
-	return n.nextReq, n.eng.Schedule(n.opts.AccessLatency, func() {
+	return n.schedFrom(router, router, n.opts.AccessLatency, func() {
 		n.handleInterest(router, id, pitFace{request: req, req: req.req})
 	})
 }
@@ -968,10 +1061,11 @@ func (n *Network) originDataDelay(nid topology.NodeID) float64 {
 // MeanQueueingDelay returns the mean link-queueing wait per data
 // transmission (0 on infinite-capacity fabrics).
 func (n *Network) MeanQueueingDelay() float64 {
-	if n.dataTransmissions == 0 {
+	data := n.DataTransmissions()
+	if data == 0 {
 		return 0
 	}
-	return n.queueingTotal / float64(n.dataTransmissions)
+	return n.queueingTotal / float64(data)
 }
 
 // QueuedPackets returns how many data transmissions had to wait for a
@@ -986,7 +1080,7 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID, req int64,
 		// Uplink directly to the origin, which always has the content.
 		// The uplink interest and the returning data are each subject to
 		// loss.
-		n.interestTransmissions++
+		n.txAt(nid).interests++
 		if n.opts.Tracer != nil {
 			n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: -1, Content: int64(id), Req: req, Cause: cause})
 		}
@@ -998,10 +1092,12 @@ func (n *Network) forwardToOrigin(nid topology.NodeID, id catalog.ID, req int64,
 			return
 		}
 		dataLost := n.lost() // drawn now to keep the sequence deterministic
-		if err := n.eng.Schedule(n.originDataDelay(nid), func() {
+		// The origin round trip starts and ends at nid, so the fetch is
+		// shard-local whatever the partition.
+		if err := n.schedFrom(nid, nid, n.originDataDelay(nid), func() {
 			// Data arrives back at this router after the uplink round
 			// trip; the uplink itself counts as one hop.
-			n.dataTransmissions++
+			n.txAt(nid).data++
 			if n.opts.Tracer != nil {
 				n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: -1, Peer: int(nid), Content: int64(id), Hops: 1, Req: req})
 			}
@@ -1045,7 +1141,7 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID, req 
 		}
 		return
 	}
-	n.interestTransmissions++
+	n.txAt(nid).interests++
 	if n.opts.Tracer != nil {
 		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindInterest, Router: int(nid), Peer: int(next), Content: int64(id), Req: req, Cause: cause})
 	}
@@ -1056,7 +1152,7 @@ func (n *Network) forwardInterest(nid, next topology.NodeID, id catalog.ID, req 
 		}
 		return
 	}
-	if err := n.eng.Schedule(linkLat, func() {
+	if err := n.schedFrom(nid, next, linkLat, func() {
 		n.handleInterest(next, id, pitFace{neighbor: nid, req: req})
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling interest: %v", err))
@@ -1122,10 +1218,10 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 			Hops:        hops,
 			Server:      server,
 			ServedBy:    tierOf(hops, server, nid),
-			CompletedAt: n.eng.Now() + n.opts.AccessLatency,
+			CompletedAt: n.nowAt(nid) + n.opts.AccessLatency,
 			Req:         req.req,
 		}
-		if err := n.eng.Schedule(n.opts.AccessLatency, func() { req.done(result) }); err != nil {
+		if err := n.schedFrom(nid, nid, n.opts.AccessLatency, func() { req.done(result) }); err != nil {
 			panic(fmt.Sprintf("ccn: scheduling completion: %v", err))
 		}
 		return
@@ -1144,7 +1240,7 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 		}
 		return
 	}
-	n.dataTransmissions++
+	n.txAt(nid).data++
 	if n.opts.Tracer != nil {
 		n.opts.Tracer.Emit(trace.Event{T: n.eng.Now(), Kind: trace.KindData, Router: int(nid), Peer: int(next), Content: int64(id), Hops: hops, Req: f.req})
 	}
@@ -1158,7 +1254,7 @@ func (n *Network) respond(nid topology.NodeID, id catalog.ID, f pitFace, hops in
 		return
 	}
 	h := hops + 1
-	if err := n.eng.Schedule(n.dataDelay(nid, next, linkLat), func() {
+	if err := n.schedFrom(nid, next, n.dataDelay(nid, next, linkLat), func() {
 		n.dataArrival(next, id, h, server, f.req)
 	}); err != nil {
 		panic(fmt.Sprintf("ccn: scheduling data: %v", err))

@@ -1,0 +1,332 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sharded is a conservative parallel discrete-event engine: P logical
+// processes ("shards"), each with its own event heap, clock, and
+// sequence counter, synchronized in bulk-synchronous windows. Each
+// window the coordinator computes the global minimum next-event time T
+// and every shard drains, in parallel, exactly the events with
+// timestamp strictly below T + lookahead. The lookahead is the minimum
+// latency of any cross-shard link, so an event sent across a shard
+// boundary at time t ≥ T arrives at t + lookahead ≥ T + lookahead —
+// never inside the window being executed — which makes the window safe
+// without rollback (classic Chandy–Misra–Bryant reasoning).
+//
+// Cross-shard sends are buffered in per-destination outboxes and
+// delivered at the window barrier, sorted by (at, source shard, source
+// send-sequence) before being pushed into the destination heap. Because
+// that order is a pure function of the event content — no wall-clock
+// time, no goroutine scheduling — a Sharded run is deterministic: the
+// same scenario and shard count always produce the same execution.
+//
+// Setup (At/Schedule before Run) and everything after Run returns are
+// single-threaded; during Run each shard's state is touched only by its
+// own worker goroutine, and the barrier establishes the happens-before
+// edges between windows.
+type Sharded struct {
+	lookahead float64
+	shards    []*Shard
+
+	crossEvents uint64 // events delivered across shard boundaries
+	barrierPeak int    // max total pending observed at window barriers
+}
+
+// Shard is one logical process of a Sharded engine. Its methods are
+// safe to call from the shard's own events during Run and from a single
+// goroutine outside Run; they mirror Engine's scheduling API.
+type Shard struct {
+	id  int
+	par *Sharded
+
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+	peak      int
+
+	sendSeq uint64
+	out     [][]remoteEvent // indexed by destination shard
+	inbox   []remoteEvent   // barrier scratch: merged incoming events
+	_       [64]byte        // pad out false sharing between shard structs
+}
+
+// remoteEvent is a cross-shard event in flight: ordered on delivery by
+// (at, src, seq) so execution order is independent of goroutine timing.
+type remoteEvent struct {
+	at  float64
+	src int32
+	seq uint64
+	fn  func()
+}
+
+// NewSharded builds a conservative parallel engine with the given shard
+// count and lookahead. The lookahead must be positive (it is the window
+// width beyond the global minimum next-event time); +Inf is allowed and
+// collapses the run into a single window, which is correct only when no
+// cross-shard sends occur or ordering across shards is immaterial.
+// With shards == 1 the engine degenerates to a serial drain.
+func NewSharded(shards int, lookahead float64) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("des: shard count %d < 1", shards)
+	}
+	if shards > 1 && !(lookahead > 0) {
+		return nil, fmt.Errorf("des: lookahead %v must be positive", lookahead)
+	}
+	s := &Sharded{lookahead: lookahead, shards: make([]*Shard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &Shard{id: i, par: s, out: make([][]remoteEvent, shards)}
+	}
+	return s, nil
+}
+
+// Shards returns the number of logical processes.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard returns the i-th logical process.
+func (s *Sharded) Shard(i int) *Shard { return s.shards[i] }
+
+// Lookahead returns the conservative window width.
+func (s *Sharded) Lookahead() float64 { return s.lookahead }
+
+// Now returns the maximum shard clock — after Run, the virtual time of
+// the last event processed anywhere.
+func (s *Sharded) Now() float64 {
+	max := 0.0
+	for _, sh := range s.shards {
+		if sh.now > max {
+			max = sh.now
+		}
+	}
+	return max
+}
+
+// Processed returns the total number of events fired across all shards.
+// For a given scenario this equals the serial engine's count: sharding
+// changes where and when events execute, not which events exist.
+func (s *Sharded) Processed() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.processed
+	}
+	return total
+}
+
+// Pending returns the total number of scheduled-but-unfired events
+// across all shards (in-flight mailbox events are delivered at barriers
+// and so are always in some heap between windows).
+func (s *Sharded) Pending() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.queue)
+	}
+	return total
+}
+
+// PendingPeak approximates the run's global queue high-water mark: the
+// larger of the biggest aggregate depth observed at a window barrier
+// and the biggest single-shard depth observed anywhere. It is a lower
+// bound on the true instantaneous global peak (which no coordinator
+// observes mid-window), but tracks the same capacity signal the serial
+// engine's gauge does.
+func (s *Sharded) PendingPeak() int {
+	peak := s.barrierPeak
+	for _, sh := range s.shards {
+		if sh.peak > peak {
+			peak = sh.peak
+		}
+	}
+	return peak
+}
+
+// CrossShardEvents returns how many events were delivered across shard
+// boundaries — the numerator of the cross-shard event fraction reported
+// by the scale benchmarks.
+func (s *Sharded) CrossShardEvents() uint64 { return s.crossEvents }
+
+// ID returns the shard's index in [0, Shards()).
+func (sh *Shard) ID() int { return sh.id }
+
+// Now returns the shard's local clock.
+func (sh *Shard) Now() float64 { return sh.now }
+
+// Processed returns how many events this shard has fired.
+func (sh *Shard) Processed() uint64 { return sh.processed }
+
+// Pending returns this shard's queued event count.
+func (sh *Shard) Pending() int { return len(sh.queue) }
+
+// At enqueues fn on this shard at absolute time t, which must not be in
+// the shard's past.
+func (sh *Shard) At(t float64, fn func()) error {
+	if t < sh.now {
+		return fmt.Errorf("des: shard %d cannot schedule at %v, current time is %v", sh.id, t, sh.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: nil event callback")
+	}
+	sh.seq++
+	sh.queue.push(event{at: t, seq: sh.seq, fn: fn})
+	if len(sh.queue) > sh.peak {
+		sh.peak = len(sh.queue)
+	}
+	return nil
+}
+
+// Schedule enqueues fn on this shard after the given non-negative delay.
+func (sh *Shard) Schedule(delay float64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("des: negative delay %v", delay)
+	}
+	return sh.At(sh.now+delay, fn)
+}
+
+// ScheduleTo enqueues fn on shard dst after the given delay. Local
+// sends (dst == this shard) behave exactly like Schedule. Cross-shard
+// sends must respect the conservative contract delay ≥ lookahead —
+// the engine's safety argument depends on it — and are buffered in the
+// sender's outbox for deterministic delivery at the next barrier.
+func (sh *Shard) ScheduleTo(dst int, delay float64, fn func()) error {
+	if dst == sh.id {
+		return sh.Schedule(delay, fn)
+	}
+	if dst < 0 || dst >= len(sh.par.shards) {
+		return fmt.Errorf("des: shard %d out of range [0,%d)", dst, len(sh.par.shards))
+	}
+	if delay < sh.par.lookahead {
+		return fmt.Errorf("des: cross-shard delay %v below lookahead %v violates the conservative contract", delay, sh.par.lookahead)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: nil event callback")
+	}
+	sh.sendSeq++
+	sh.out[dst] = append(sh.out[dst], remoteEvent{at: sh.now + delay, src: int32(sh.id), seq: sh.sendSeq, fn: fn})
+	return nil
+}
+
+// Run fires events until every heap and mailbox drains. With one shard
+// it is a serial drain; otherwise it loops bulk-synchronous windows:
+// pick the global minimum next-event time T, let every shard execute
+// events with at < T+lookahead in parallel, then deliver outboxes in
+// deterministic (at, src, seq) order at the barrier.
+func (s *Sharded) Run() {
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		for len(sh.queue) > 0 {
+			ev := sh.queue.pop()
+			sh.now = ev.at
+			sh.processed++
+			ev.fn()
+		}
+		return
+	}
+
+	s.observeBarrierDepth()
+
+	// Persistent workers: one per shard, woken once per window. The
+	// channel send and WaitGroup wait carry the happens-before edges
+	// between the coordinator and each worker.
+	var wg sync.WaitGroup
+	wake := make([]chan float64, len(s.shards))
+	for i, sh := range s.shards {
+		wake[i] = make(chan float64, 1)
+		go func(sh *Shard, c <-chan float64) {
+			for bound := range c {
+				sh.runWindow(bound)
+				wg.Done()
+			}
+		}(sh, wake[i])
+	}
+	defer func() {
+		for _, c := range wake {
+			close(c)
+		}
+	}()
+
+	for {
+		t := math.Inf(1)
+		for _, sh := range s.shards {
+			if len(sh.queue) > 0 && sh.queue[0].at < t {
+				t = sh.queue[0].at
+			}
+		}
+		if math.IsInf(t, 1) {
+			return
+		}
+		bound := t + s.lookahead
+		wg.Add(len(s.shards))
+		for i := range wake {
+			wake[i] <- bound
+		}
+		wg.Wait()
+		s.deliver()
+		s.observeBarrierDepth()
+	}
+}
+
+// runWindow drains this shard's events strictly below bound. Events the
+// window generates locally (including at times below bound) execute in
+// the same window; cross-shard sends land in outboxes.
+func (sh *Shard) runWindow(bound float64) {
+	for len(sh.queue) > 0 && sh.queue[0].at < bound {
+		ev := sh.queue.pop()
+		sh.now = ev.at
+		sh.processed++
+		ev.fn()
+	}
+}
+
+// deliver moves every outbox event into its destination heap, sorted by
+// (at, source shard, send sequence) so delivery order — and therefore
+// the destination's tie-breaking sequence numbers — is a deterministic
+// function of the event content alone.
+func (s *Sharded) deliver() {
+	for d, dst := range s.shards {
+		dst.inbox = dst.inbox[:0]
+		for _, src := range s.shards {
+			if len(src.out[d]) > 0 {
+				dst.inbox = append(dst.inbox, src.out[d]...)
+				src.out[d] = src.out[d][:0]
+			}
+		}
+		if len(dst.inbox) == 0 {
+			continue
+		}
+		sort.Slice(dst.inbox, func(i, j int) bool {
+			a, b := dst.inbox[i], dst.inbox[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for i := range dst.inbox {
+			re := &dst.inbox[i]
+			if re.at < dst.now {
+				panic(fmt.Sprintf("des: conservative violation: event at %v delivered to shard %d at local time %v", re.at, d, dst.now))
+			}
+			dst.seq++
+			dst.queue.push(event{at: re.at, seq: dst.seq, fn: re.fn})
+			re.fn = nil // release for GC
+		}
+		if len(dst.queue) > dst.peak {
+			dst.peak = len(dst.queue)
+		}
+		s.crossEvents += uint64(len(dst.inbox))
+	}
+}
+
+// observeBarrierDepth samples the aggregate pending depth for the
+// PendingPeak gauge; called at Run start and after every barrier.
+func (s *Sharded) observeBarrierDepth() {
+	if total := s.Pending(); total > s.barrierPeak {
+		s.barrierPeak = total
+	}
+}

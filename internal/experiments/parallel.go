@@ -39,6 +39,27 @@ func Workers() int {
 	return par.DefaultWorkers()
 }
 
+// runShards holds the shard-count override applied to every simulation
+// (cmd/ccnexp's -shards flag); 0 leaves each scenario's own setting.
+var runShards atomic.Int32
+
+// SetShards overrides Scenario.Shards on every simulation the
+// experiment generators run: 1 forces the serial engine, N > 1 requests
+// N event-loop shards, and 0 (the default) keeps each scenario's own
+// setting — normally the auto rule. Sharding never changes results
+// (see sim.Scenario.Shards), so artifacts stay byte-identical across
+// shard counts.
+func SetShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	runShards.Store(int32(n))
+}
+
+// Shards returns the shard-count override set with SetShards (0 = keep
+// each scenario's own setting).
+func Shards() int { return int(runShards.Load()) }
+
 // runTracer holds the optional tracer shared by every simulation the
 // experiment generators run (cmd/ccnexp's -trace flag).
 var runTracer atomic.Pointer[trace.Tracer]
@@ -84,6 +105,9 @@ func SetProgress(p Progress) {
 func runSim(sc sim.Scenario) (sim.Result, error) {
 	if sc.Tracer == nil {
 		sc.Tracer = Tracer()
+	}
+	if sc.Shards == 0 {
+		sc.Shards = Shards()
 	}
 	var prog Progress
 	if b := runProgress.Load(); b != nil {

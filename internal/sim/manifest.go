@@ -15,7 +15,6 @@ import (
 	"io"
 
 	"ccncoord/internal/ccn"
-	"ccncoord/internal/des"
 	"ccncoord/internal/metrics"
 )
 
@@ -122,10 +121,19 @@ type ManifestTransport struct {
 	MeanQueueingDelayMs   float64 `json:"mean_queueing_delay_ms"`
 }
 
-// ManifestEngine holds discrete-event engine gauges.
+// ManifestEngine holds discrete-event engine gauges. EventsProcessed is
+// identical across shard counts (sharding never changes the event set);
+// PendingPeak is exact on serial runs but a lower-bound approximation on
+// sharded ones (sampled at window barriers plus per-shard peaks), so it
+// may differ between shard counts.
 type ManifestEngine struct {
 	EventsProcessed uint64 `json:"events_processed"`
 	PendingPeak     int    `json:"pending_peak"`
+	// Shards is the number of event-loop shards the run executed on
+	// (1 = the serial engine). CrossShardEvents counts events delivered
+	// across a shard boundary (0 on serial runs).
+	Shards           int    `json:"shards"`
+	CrossShardEvents uint64 `json:"cross_shard_events"`
 }
 
 // ManifestTrace is the tracer's sampling accounting.
@@ -136,8 +144,10 @@ type ManifestTrace struct {
 }
 
 // buildManifest assembles the manifest from the run's finished
-// accounting. It copies; it does not re-measure.
-func buildManifest(sc Scenario, res Result, eng *des.Engine, net *ccn.Network, reg *metrics.Registry, avail metrics.AvailabilitySnapshot) *RunManifest {
+// accounting. It copies; it does not re-measure. The caller supplies
+// the engine gauges directly so the serial and sharded engines share
+// this path.
+func buildManifest(sc Scenario, res Result, engine ManifestEngine, net *ccn.Network, reg *metrics.Registry, avail metrics.AvailabilitySnapshot) *RunManifest {
 	nodes := net.AllStats()
 	m := &RunManifest{
 		Schema:     ManifestSchema,
@@ -184,10 +194,7 @@ func buildManifest(sc Scenario, res Result, eng *des.Engine, net *ccn.Network, r
 		},
 		Nodes:      nodes,
 		NodeTotals: ccn.SumStats(nodes),
-		Engine: ManifestEngine{
-			EventsProcessed: eng.Processed(),
-			PendingPeak:     eng.PendingPeak(),
-		},
+		Engine:     engine,
 	}
 	if sc.Chaos != nil {
 		m.Chaos = &ManifestChaos{

@@ -236,6 +236,18 @@ type Scenario struct {
 	// downtime, coordination message counts, and engine gauges — ready
 	// to serialize next to experiment artifacts.
 	EmitManifest bool
+
+	// Shards selects how many event-loop shards drive the run: 1 forces
+	// the serial engine, N > 1 requests a conservative parallel run over
+	// a deterministic topology partition, and 0 (the default) picks
+	// automatically — serial below topology.DenseAutoThreshold routers,
+	// so every calibrated-dataset artifact keeps its exact bytes, and
+	// min(8, GOMAXPROCS) shards above it. Whatever the setting, results
+	// are identical to the serial engine's; scenario features that need
+	// globally ordered shared state (faults, chaos, loss, finite link
+	// rate, tracing, probabilistic caching, custom workload factories)
+	// silently resolve to 1 shard. See ResolveShards.
+	Shards int
 }
 
 // Failure-detector defaults (see Scenario.HeartbeatInterval).
@@ -307,6 +319,8 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("sim: negative heartbeat miss threshold %d", s.HeartbeatMisses)
 	case s.StalenessBound < 0:
 		return fmt.Errorf("sim: negative staleness bound %v", s.StalenessBound)
+	case s.Shards < 0:
+		return fmt.Errorf("sim: negative shard count %d", s.Shards)
 	}
 	if s.Chaos != nil {
 		if _, err := s.Chaos.Compile(s.Topology); err != nil {
@@ -488,11 +502,24 @@ func (t TierLatencies) Gamma() float64 {
 	return (t.Origin - t.Peer) / (t.Peer - t.Local)
 }
 
-// Run executes the scenario and returns the measured result.
+// Run executes the scenario and returns the measured result. Scenarios
+// resolving to more than one shard (see Scenario.Shards and
+// ResolveShards) execute on the conservative parallel engine; everything
+// else runs on the single-threaded engine. Either way the measured
+// Result is identical — sharding changes wall-clock time, not outcomes.
 func Run(sc Scenario) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
+	if p := ResolveShards(sc); p > 1 {
+		return runSharded(sc, p)
+	}
+	return runSerial(sc)
+}
+
+// runSerial executes the (already validated) scenario on the
+// single-threaded engine.
+func runSerial(sc Scenario) (Result, error) {
 	eng := &des.Engine{}
 	cat, err := catalog.New(sc.CatalogSize, "/sim")
 	if err != nil {
@@ -516,148 +543,12 @@ func Run(sc Scenario) (Result, error) {
 	for i := range routers {
 		routers[i] = topology.NodeID(i)
 	}
-	var directory ccn.Directory
-	// coordAsg is the live coordinated assignment (PolicyCoordinated);
-	// the failover repair mutates it in place, which also redirects the
-	// directory. localSet is the replicated local band, kept for
-	// coordinator checkpoints.
-	var coordAsg *coord.Assignment
-	var localSet []catalog.ID
-	mode := ccn.CacheNone
-	var stores func(topology.NodeID) (cache.Store, error)
-
-	// capOf returns router r's storage capacity (heterogeneous override
-	// or the uniform Capacity).
-	capOf := func(r topology.NodeID) int64 {
-		if sc.Capacities != nil {
-			return sc.Capacities[r]
-		}
-		return sc.Capacity
+	prov, err := provisionPolicy(sc, routers, &res)
+	if err != nil {
+		return Result{}, err
 	}
-	// coordOf returns router r's coordinated slots, preserving the
-	// global split ratio under heterogeneous capacities.
-	coordOf := func(r topology.NodeID) int64 {
-		if sc.Capacities == nil || sc.Capacity == 0 {
-			return sc.Coordinated
-		}
-		return sc.Coordinated * capOf(r) / sc.Capacity
-	}
-
-	switch sc.Policy {
-	case PolicyNonCoordinated:
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			// The non-coordinated steady state is the contiguous top-k
-			// band; an interval store avoids materializing it per router.
-			return cache.NewStaticRange(1, min64(capOf(r), sc.CatalogSize))
-		}
-	case PolicyCoordinated:
-		if sc.Placement != nil {
-			// Externally computed provisioning (e.g. the coordination
-			// protocol's estimate): install it verbatim.
-			p := sc.Placement
-			directory = p.Assignment
-			coordAsg = p.Assignment
-			localSet = p.LocalSet
-			res.CoordMessages = 2 * int64(p.Assignment.Size())
-			stores = func(r topology.NodeID) (cache.Store, error) {
-				local, err := cache.NewStatic(p.LocalSet)
-				if err != nil {
-					return nil, err
-				}
-				coordPart, err := cache.NewStatic(p.Assignment.Contents(r))
-				if err != nil {
-					return nil, err
-				}
-				return cache.NewPartitioned(local, coordPart)
-			}
-			break
-		}
-		// The replicated local prefix must be common across routers for
-		// the striped band to start at a well-defined rank; use the
-		// largest local prefix (matching model.HeteroConfig).
-		var maxLocal, totalCoord int64
-		quotas := make([]int64, len(routers))
-		for i, r := range routers {
-			local := capOf(r) - coordOf(r)
-			if local > maxLocal {
-				maxLocal = local
-			}
-			quotas[i] = coordOf(r)
-			totalCoord += quotas[i]
-		}
-		band := cache.RankRange(maxLocal+1, min64(maxLocal+totalCoord, sc.CatalogSize))
-		var asg *coord.Assignment
-		var err error
-		switch sc.Assignment {
-		case AssignHash:
-			if sc.Capacities != nil {
-				return Result{}, fmt.Errorf("sim: hash assignment does not support heterogeneous capacities")
-			}
-			asg, err = coord.HashByContent(routers, band, sc.Coordinated)
-		default:
-			asg, err = coord.StripeWeighted(routers, band, quotas)
-		}
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: assigning coordinated band: %w", err)
-		}
-		directory = asg
-		coordAsg = asg
-		if maxLocal > 0 {
-			localSet = cache.RankRange(1, min64(maxLocal, sc.CatalogSize))
-		}
-		// The placement installation costs one state message up and one
-		// directive down per coordinated content (the protocol's
-		// measured counterpart of W(x) = w*n*x).
-		res.CoordMessages = 2 * totalCoord
-		res.CoordConvergence = 0
-		if m := sc.Topology.MeasuredLatencies(); m != nil {
-			var maxLat float64
-			for i := range m {
-				for j := range m[i] {
-					maxLat = math.Max(maxLat, m[i][j])
-				}
-			}
-			res.CoordConvergence = 2 * maxLat
-		}
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			local, err := cache.NewStaticRange(1, min64(capOf(r)-coordOf(r), sc.CatalogSize))
-			if err != nil {
-				return nil, err
-			}
-			coordPart, err := cache.NewStatic(asg.Contents(r))
-			if err != nil {
-				return nil, err
-			}
-			return cache.NewPartitioned(local, coordPart)
-		}
-	case PolicyLRU:
-		mode = ccn.CacheLCE
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewLRU(int(capOf(r)))
-		}
-	case PolicyLFU:
-		mode = ccn.CacheLCE
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewLFU(int(capOf(r)))
-		}
-	case PolicySLRU:
-		mode = ccn.CacheLCE
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewSLRU(int(capOf(r)), 0.8)
-		}
-	case PolicyTwoQ:
-		mode = ccn.CacheLCE
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewTwoQ(int(capOf(r)), 0.25)
-		}
-	case PolicyProbCache:
-		mode = ccn.CacheProb
-		stores = func(r topology.NodeID) (cache.Store, error) {
-			return cache.NewLRU(int(capOf(r)))
-		}
-	default:
-		return Result{}, fmt.Errorf("sim: unknown policy %d", sc.Policy)
-	}
+	directory, coordAsg, localSet := prov.directory, prov.coordAsg, prov.localSet
+	mode, stores, capOf := prov.mode, prov.stores, prov.capOf
 
 	// Degraded-mode overlays: plain LRU stores of each router's full
 	// capacity, built lazily only if the plane ever actually degrades.
@@ -741,15 +632,15 @@ func Run(sc Scenario) (Result, error) {
 	}
 	// The histogram range covers the worst possible round trip — the
 	// leading 2 converts the one-way sum (access latency + there-and-back
-	// network diameter + origin uplink) to a round trip, and the trailing
-	// *2 is headroom for retransmission delays. Samples past the headroom
+	// network diameter + origin uplink) to a round trip, and rttHeadroom
+	// widens it for retransmission delays. Samples past the headroom
 	// (deep retry backoff) land in the histogram's overflow counter and
 	// saturate quantile estimates at the range edge instead of skewing
 	// them. net.Routes() is the routing backend the network forwards
 	// with (NewNetwork ran first): on the dense backend MaxDist reads
 	// the same cached matrix as before, and on sparse backends it
 	// avoids materializing an O(n²) matrix just for this scalar.
-	maxRTT := 2 * (sc.AccessLatency + 2*net.Routes().MaxDist() + sc.OriginLatency) * 2
+	maxRTT := 2 * (sc.AccessLatency + 2*net.Routes().MaxDist() + sc.OriginLatency) * rttHeadroom
 	latencyHist, err := reg.Histogram("latency_ms", 0, math.Max(maxRTT, 1), 2048)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -1195,7 +1086,11 @@ func Run(sc Scenario) (Result, error) {
 		}
 	}
 	if sc.EmitManifest {
-		res.Manifest = buildManifest(sc, res, eng, net, reg, avail.Snapshot())
+		res.Manifest = buildManifest(sc, res, ManifestEngine{
+			EventsProcessed: eng.Processed(),
+			PendingPeak:     eng.PendingPeak(),
+			Shards:          1,
+		}, net, reg, avail.Snapshot())
 	}
 	return res, nil
 }
@@ -1226,3 +1121,12 @@ func min64(a, b int64) int64 {
 // probCacheAdmission is the per-router admission probability used by
 // PolicyProbCache.
 const probCacheAdmission = 0.3
+
+// rttHeadroom is the safety factor widening the latency histogram's
+// range beyond the worst possible first-try round trip. Retransmission
+// backoff on lossy or faulty fabrics can stretch a request past the
+// geometric worst case; a factor of 2 keeps typical retry tails inside
+// the histogram while anything deeper lands in the overflow counter
+// (counted, and clamped to the range edge in quantile estimates) rather
+// than stretching every bucket.
+const rttHeadroom = 2

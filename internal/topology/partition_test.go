@@ -1,0 +1,264 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func partitionTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	grid, err := Grid(8, 8, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomConnected(60, 120, 1, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := ParseHierSpec("4,4,8", "20,5,1", "1,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := Hierarchical("hier-test", levels, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{"grid": grid, "random": rnd, "hier": hier}
+}
+
+// TestPartitionCovers: every node is assigned exactly once, to a part
+// in range, and parts are balanced to within the ceiling quota.
+func TestPartitionCovers(t *testing.T) {
+	for name, g := range partitionTestGraphs(t) {
+		for _, parts := range []int{1, 2, 3, 4, 8} {
+			p, err := PartitionGraph(g, parts)
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", name, parts, err)
+			}
+			if len(p.Of) != g.N() {
+				t.Fatalf("%s parts=%d: Of covers %d of %d nodes", name, parts, len(p.Of), g.N())
+			}
+			counts := make([]int, p.Parts)
+			for v, part := range p.Of {
+				if part < 0 || int(part) >= p.Parts {
+					t.Fatalf("%s parts=%d: node %d assigned to out-of-range part %d", name, parts, v, part)
+				}
+				counts[part]++
+			}
+			quota := (g.N() + p.Parts - 1) / p.Parts
+			for part, c := range counts {
+				if c == 0 {
+					t.Errorf("%s parts=%d: part %d is empty", name, parts, part)
+				}
+				if c > quota {
+					t.Errorf("%s parts=%d: part %d holds %d nodes, quota is %d", name, parts, part, c, quota)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCutLatency: CutLatency equals the true minimum latency
+// over cut edges (computed independently from the edge list), and
+// CutEdges counts exactly the crossing edges.
+func TestPartitionCutLatency(t *testing.T) {
+	for name, g := range partitionTestGraphs(t) {
+		for _, parts := range []int{2, 4} {
+			p, err := PartitionGraph(g, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			min, cut := math.Inf(1), 0
+			for _, e := range g.EdgeList() {
+				if p.Of[e.A] != p.Of[e.B] {
+					cut++
+					if e.Latency < min {
+						min = e.Latency
+					}
+				}
+			}
+			if p.CutEdges != cut {
+				t.Errorf("%s parts=%d: CutEdges=%d, edge list says %d", name, parts, p.CutEdges, cut)
+			}
+			if p.CutLatency != min {
+				t.Errorf("%s parts=%d: CutLatency=%v, edge list says %v", name, parts, p.CutLatency, min)
+			}
+			if cut == 0 {
+				t.Errorf("%s parts=%d: connected graph split into %d parts must cut at least one edge", name, parts, p.Parts)
+			}
+		}
+	}
+}
+
+// TestPartitionSinglePart: one part cuts nothing and reports an
+// infinite lookahead bound.
+func TestPartitionSinglePart(t *testing.T) {
+	g := partitionTestGraphs(t)["grid"]
+	p, err := PartitionGraph(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, part := range p.Of {
+		if part != 0 {
+			t.Fatalf("node %d in part %d, want 0", v, part)
+		}
+	}
+	if p.CutEdges != 0 || !math.IsInf(p.CutLatency, 1) {
+		t.Errorf("CutEdges=%d CutLatency=%v, want 0 and +Inf", p.CutEdges, p.CutLatency)
+	}
+}
+
+// TestPartitionDeterminism: the partition is a pure function of
+// (graph, parts) — identical across repeated runs and across
+// GOMAXPROCS settings (the partitioner is sequential by construction,
+// but the guarantee is part of its contract, so pin it).
+func TestPartitionDeterminism(t *testing.T) {
+	g := partitionTestGraphs(t)["hier"]
+	base, err := PartitionGraph(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		p, err := PartitionGraph(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, p) {
+			t.Fatalf("run %d: partition differs from first run", run)
+		}
+	}
+	old := runtime.GOMAXPROCS(1)
+	p, err := PartitionGraph(g, 4)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, p) {
+		t.Error("partition differs under GOMAXPROCS=1")
+	}
+}
+
+// TestPartitionDisconnected: a graph with multiple components is still
+// fully assigned; when every component fits inside one part no edge is
+// cut and the lookahead bound is +Inf.
+func TestPartitionDisconnected(t *testing.T) {
+	var g Graph
+	// Two 4-node paths with no edge between them.
+	for i := 0; i < 8; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for _, pair := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}} {
+		g.MustAddEdge(pair[0], pair[1], 3)
+	}
+	p, err := PartitionGraph(&g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for _, part := range p.Of {
+		counts[part]++
+	}
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Errorf("component split = %v, want 4/4", counts)
+	}
+	// Greedy growth from node 0 absorbs the first path, then restarts
+	// on the second: components land in separate parts, nothing is cut.
+	if p.CutEdges != 0 || !math.IsInf(p.CutLatency, 1) {
+		t.Errorf("CutEdges=%d CutLatency=%v, want 0 and +Inf", p.CutEdges, p.CutLatency)
+	}
+
+	// More parts than one component can fill still assigns everything.
+	p3, err := PartitionGraph(&g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, part := range p3.Of {
+		if part < 0 || int(part) >= p3.Parts {
+			t.Fatalf("node %d unassigned or out of range: part %d", v, part)
+		}
+	}
+}
+
+// TestPartitionErrors covers argument validation and degenerate sizes.
+func TestPartitionErrors(t *testing.T) {
+	if _, err := PartitionGraph(nil, 2); err == nil {
+		t.Error("nil graph should fail")
+	}
+	g := partitionTestGraphs(t)["grid"]
+	if _, err := PartitionGraph(g, 0); err == nil {
+		t.Error("zero parts should fail")
+	}
+	// More parts than nodes clamps to one node per part.
+	var tiny Graph
+	tiny.AddNode("", 0, 0)
+	tiny.AddNode("", 0, 0)
+	tiny.MustAddEdge(0, 1, 1)
+	p, err := PartitionGraph(&tiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Parts != 2 {
+		t.Errorf("Parts = %d for a 2-node graph, want clamp to 2", p.Parts)
+	}
+	if p.Of[0] == p.Of[1] {
+		t.Error("2 nodes in 2 parts must separate")
+	}
+	// Empty graph: no assignment, no cut.
+	var empty Graph
+	pe, err := PartitionGraph(&empty, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pe.Of) != 0 || pe.CutEdges != 0 {
+		t.Errorf("empty graph partition: %+v", pe)
+	}
+}
+
+// TestPartitionHierCutQuality: on a hierarchical AS×POP graph the
+// greedy accretion must follow subtrees. With no redundancy the graph
+// is a tree hanging off the core ring, a 4-way split of 4 equal
+// subtrees exists, and the cut must be exactly the core ring; with one
+// redundant uplink per child the random chords make some cut
+// unavoidable, but the tree edges must survive (cut fraction well
+// below the ~3/4 a blind split would pay on the chords alone).
+func TestPartitionHierCutQuality(t *testing.T) {
+	build := func(reds string) *Graph {
+		levels, err := ParseHierSpec("4,8,8", "20,5,1", reds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Hierarchical("hier-cut", levels, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	tree := build("0,0,0")
+	pt, err := PartitionGraph(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CutEdges != 4 {
+		t.Errorf("tree hierarchy: cut %d edges, want exactly the 4 core-ring edges", pt.CutEdges)
+	}
+	// The cut latency must be a core-class latency: jittered 20ms means
+	// at least 10ms, far above the 1ms leaf links.
+	if pt.CutLatency < 10 {
+		t.Errorf("tree hierarchy: CutLatency = %v, want a core-ring latency >= 10", pt.CutLatency)
+	}
+
+	red := build("1,1,1")
+	pr, err := PartitionGraph(red, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(pr.CutEdges) / float64(red.Edges()); frac > 0.45 {
+		t.Errorf("redundant hierarchy: cut fraction %.2f too high (%d of %d edges)", frac, pr.CutEdges, red.Edges())
+	}
+	if pr.CutLatency <= 0 {
+		t.Errorf("redundant hierarchy: CutLatency = %v, want positive", pr.CutLatency)
+	}
+}
