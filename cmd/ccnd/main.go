@@ -1,0 +1,183 @@
+// ccnd hosts a live simulated CCN network as a long-running service:
+// a persistent daemon whose routers run on the discrete-event engine
+// while clients push request batches over an HTTP/JSON plane. The
+// coordinator re-plans the partitioned placement as observed
+// popularity shifts, checkpointing its state so a killed daemon
+// restarts exactly where it stopped.
+//
+// Usage:
+//
+//	ccnd -topology US-A -c 150 -x 75 -http 127.0.0.1:8080 -checkpoint state.json
+//
+// Endpoints (on the observability mux, alongside /healthz, /progress,
+// /metrics and /debug/pprof):
+//
+//	POST /requests  {"count": 1000, "router": 3}   admit a batch (router optional)
+//	GET  /stats                                    live snapshot
+//	POST /workload  {"zipf_s": 1.1, "mean_interarrival_ms": 0.5}
+//	POST /scaling   {"workers": 4}                 resize the prep pool
+//	POST /shutdown                                 drain and stop
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (503 on /healthz),
+// queued batches finish with their PIT state flushed, the final
+// coordinator checkpoint and manifest are written, and the process
+// exits 0. A failed daemon exits 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccncoord/internal/daemon"
+	"ccncoord/internal/obs"
+	"ccncoord/internal/topology"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topology", "US-A", "topology: Abilene, CERNET, GEANT, or US-A")
+		catalogN = flag.Int64("N", 20000, "catalog size (contents)")
+		s        = flag.Float64("s", 0.8, "initial Zipf popularity exponent")
+		capacity = flag.Int64("c", 150, "per-router storage capacity")
+		x        = flag.Int64("x", 75, "coordinated slots per router")
+		access   = flag.Float64("access", 5, "client access latency, ms one-way")
+		origin   = flag.Float64("origin", 60, "origin uplink latency, ms one-way")
+		gateway  = flag.Int("gateway", -1, "origin gateway router id; -1 for a uniform uplink at every router")
+		seed     = flag.Int64("seed", 1, "seed of the per-batch workload and arrival streams")
+		iarr     = flag.Float64("interarrival", 1, "initial mean request inter-arrival time, ms")
+		httpAddr = flag.String("http", "127.0.0.1:0", "serve the control/data plane on this address (port 0 picks one; the bound address is printed)")
+		queue    = flag.Int("queue", 64, "admission queue depth in batches; a full queue answers 429")
+		maxBatch = flag.Int("max-batch", 100000, "largest accepted batch, in requests")
+		workers  = flag.Int("workers", 2, "initial prep worker-pool size (rescale live via POST /scaling)")
+		epoch    = flag.Int64("epoch", 50000, "completed requests between coordinator re-plans; 0 disables re-planning")
+		ckpt     = flag.String("checkpoint", "", "coordinator checkpoint path: written at each re-plan and at drain, restored on start when present")
+		manifest = flag.String("manifest", "", "write the final manifest (JSON) here after a drained shutdown")
+		ratio    = flag.Float64("time-ratio", 0, "pace the engine at this many simulated ms per wall-clock ms; 0 runs as fast as possible")
+		settle   = flag.Float64("settle", 0, "seconds to hold the initializing state before admitting (lets probes observe the transition)")
+		linger   = flag.Float64("linger", 0, "seconds to keep serving /healthz and /stats after the drain completes")
+	)
+	flag.Parse()
+
+	if err := run(*topoName, *catalogN, *s, *capacity, *x, *access, *origin, *gateway,
+		*seed, *iarr, *httpAddr, *queue, *maxBatch, *workers, *epoch, *ckpt, *manifest,
+		*ratio, *settle, *linger); err != nil {
+		fmt.Fprintf(os.Stderr, "ccnd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, catalogN int64, s float64, capacity, x int64, access, origin float64,
+	gateway int, seed int64, iarr float64, httpAddr string, queue, maxBatch, workers int,
+	epoch int64, ckpt, manifest string, ratio, settle, linger float64) error {
+	g, err := findTopology(topoName)
+	if err != nil {
+		return err
+	}
+	epochRequests := epoch
+	if epochRequests == 0 {
+		epochRequests = -1 // the Config zero value selects the default; 0 here means off
+	}
+	health := obs.NewHealth()
+	progress := obs.NewProgress()
+
+	d, err := daemon.New(daemon.Config{
+		Topology:       g,
+		CatalogSize:    catalogN,
+		Capacity:       capacity,
+		Coordinated:    x,
+		AccessLatency:  access,
+		OriginLatency:  origin,
+		OriginGateway:  gateway,
+		Workload:       daemon.WorkloadParams{ZipfS: s, MeanInterarrivalMs: iarr},
+		Seed:           seed,
+		QueueDepth:     queue,
+		MaxBatch:       maxBatch,
+		Workers:        workers,
+		EpochRequests:  epochRequests,
+		CheckpointPath: ckpt,
+		TimeRatio:      ratio,
+	}, health, progress)
+	if err != nil {
+		return err
+	}
+
+	// Bind before Start so probes observe the initializing state.
+	mux := obs.NewMux(progress, health)
+	d.Register(mux)
+	addr, stopHTTP, err := obs.Start(httpAddr, mux)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = stopHTTP(ctx)
+	}()
+	fmt.Fprintf(os.Stderr, "ccnd: serving on http://%s (topology %s, n=%d)\n", addr, g.Name(), g.N())
+	if d.Restored() {
+		fmt.Fprintf(os.Stderr, "ccnd: restored coordinator state from %s (epoch %d)\n", ckpt, d.Epoch())
+	}
+	if settle > 0 {
+		time.Sleep(time.Duration(settle * float64(time.Second)))
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ccnd: ready\n")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ccnd: %s: draining\n", sig)
+		if err := d.Drain(fmt.Sprintf("signal %s", sig)); err != nil {
+			return err
+		}
+	case <-d.Done():
+		// Drained via POST /shutdown, or failed.
+	}
+	<-d.Done()
+
+	state, reason := d.State()
+	snap := d.Snapshot()
+	fmt.Fprintf(os.Stderr, "ccnd: %s: %d batches, %d completed, %d failed, epoch %d\n",
+		state, snap.Totals.BatchesSimulated, snap.Totals.Completed, snap.Totals.Failed,
+		snap.Coordination.Epoch)
+	if manifest != "" && state == daemon.StateStopped {
+		f, err := os.Create(manifest)
+		if err != nil {
+			return fmt.Errorf("creating manifest file: %w", err)
+		}
+		if err := d.Manifest().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing manifest file: %w", err)
+		}
+	}
+	// Keep the plane observable briefly so orchestration can read the
+	// terminal 503 and final stats.
+	if linger > 0 {
+		time.Sleep(time.Duration(linger * float64(time.Second)))
+	}
+	if state == daemon.StateFailed {
+		return fmt.Errorf("daemon failed: %s", reason)
+	}
+	return nil
+}
+
+// findTopology resolves an embedded dataset by name.
+func findTopology(name string) (*topology.Graph, error) {
+	for _, cand := range topology.All() {
+		if cand.Name() == name {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

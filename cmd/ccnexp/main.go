@@ -146,17 +146,28 @@ func main() {
 		traceDone = done
 	}
 	var progress *obs.Progress
+	var health *obs.Health
 	obsDone := func() error { return nil }
+	fail := func(err error) {
+		if health != nil {
+			health.Fail(err.Error())
+		}
+		fmt.Fprintln(os.Stderr, "ccnexp:", err)
+		os.Exit(1)
+	}
 	if *httpAddr != "" {
 		progress = obs.NewProgress()
+		health = obs.NewHealth()
 		experiments.SetProgress(progress)
-		addr, shutdown, err := obs.Start(*httpAddr, obs.NewMux(progress))
+		addr, shutdown, err := obs.Start(*httpAddr, obs.NewMux(progress, health))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccnexp:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ccnexp: serving metrics on http://%s/metrics\n", addr)
+		health.Ready()
 		obsDone = func() error {
+			health.Draining("run complete")
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			return shutdown(ctx)
@@ -186,20 +197,16 @@ func main() {
 		mode = modePlot
 	}
 	if err := runArtifacts(arts, *run, mode, *outDir, *manifest, progress); err != nil {
-		fmt.Fprintln(os.Stderr, "ccnexp:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := traceDone(); err != nil {
-		fmt.Fprintln(os.Stderr, "ccnexp:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := obsDone(); err != nil {
-		fmt.Fprintln(os.Stderr, "ccnexp:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "ccnexp:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 

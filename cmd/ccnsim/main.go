@@ -81,15 +81,19 @@ func main() {
 	}
 	obsf := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest}
 	obsDone := func() error { return nil }
+	var health *obs.Health
 	if *httpAddr != "" {
 		obsf.progress = obs.NewProgress()
-		addr, shutdown, serr := obs.Start(*httpAddr, obs.NewMux(obsf.progress))
+		health = obs.NewHealth()
+		addr, shutdown, serr := obs.Start(*httpAddr, obs.NewMux(obsf.progress, health))
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "ccnsim:", serr)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ccnsim: serving metrics on http://%s/metrics\n", addr)
+		health.Ready()
 		obsDone = func() error {
+			health.Draining("run complete")
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			return shutdown(ctx)
@@ -116,6 +120,9 @@ func main() {
 		err = obsDone()
 	}
 	if err != nil {
+		if health != nil {
+			health.Fail(err.Error())
+		}
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
 		os.Exit(1)
 	}
@@ -375,9 +382,14 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		sc.Coordinated = 0
 	}
 	// The shard count goes to stderr only, so stdout stays byte-identical
-	// across shard settings (sharding never changes results).
-	if n := sim.ResolveShards(sc); n > 1 {
+	// across shard settings (sharding never changes results). An explicit
+	// -shards N the scenario cannot honor is loudly downgraded — the
+	// serial fallback is correct but the operator asked for parallelism
+	// they are not getting.
+	if n, reason := sim.ResolveShardsReason(sc); n > 1 {
 		fmt.Fprintf(os.Stderr, "ccnsim: running on %d event-loop shards\n", n)
+	} else if reason != "" {
+		fmt.Fprintf(os.Stderr, "ccnsim: warning: -shards %d falls back to the serial engine (%s)\n", sc.Shards, reason)
 	}
 	obs.simStarted()
 	res, err := sim.Run(sc)

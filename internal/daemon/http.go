@@ -1,0 +1,128 @@
+// The daemon's HTTP/JSON control and data plane. Handlers mount onto
+// the observability mux (internal/obs), so one listener serves client
+// load, live retuning, scaling, stats, health, metrics and pprof.
+// Admission errors map onto transport semantics: a full queue is 429
+// with Retry-After, a daemon outside Running is 503.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Register mounts the daemon's endpoints on mux:
+//
+//	POST /requests  {"count": N, "router": R?}  -> 202 {"seq", "queued"}
+//	GET  /stats                                 -> 200 Snapshot
+//	POST /workload  WorkloadParams              -> 200 effective params
+//	POST /scaling   {"workers": N}              -> 200 {"target", "active"}
+//	GET  /scaling                               -> 200 {"target", "active"}
+//	POST /shutdown                              -> 202; drains asynchronously
+func (d *Daemon) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /requests", d.handleRequests)
+	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.HandleFunc("POST /workload", d.handleWorkload)
+	mux.HandleFunc("POST /scaling", d.handleScalePost)
+	mux.HandleFunc("GET /scaling", d.handleScaleGet)
+	mux.HandleFunc("POST /shutdown", d.handleShutdown)
+}
+
+// writeJSON emits one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an admission error to its transport status.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotAdmitting):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody parses one JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("daemon: malformed request body: %w", err)
+	}
+	return nil
+}
+
+func (d *Daemon) handleRequests(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Count  int  `json:"count"`
+		Router *int `json:"router"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	router := -1
+	if body.Router != nil {
+		router = *body.Router
+	}
+	seq, queued, err := d.Submit(body.Count, router)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"seq": seq, "queued": queued})
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Snapshot())
+}
+
+func (d *Daemon) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	var p WorkloadParams
+	if err := decodeBody(r, &p); err != nil {
+		writeError(w, err)
+		return
+	}
+	eff, err := d.SetWorkload(p)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eff)
+}
+
+func (d *Daemon) handleScalePost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Workers int `json:"workers"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	target, active, err := d.Scale(body.Workers)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"target": target, "active": active})
+}
+
+func (d *Daemon) handleScaleGet(w http.ResponseWriter, r *http.Request) {
+	target, active := d.PoolStatus()
+	writeJSON(w, http.StatusOK, map[string]int{"target": target, "active": active})
+}
+
+func (d *Daemon) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	// Drain blocks until the engine stops; run it off the handler so the
+	// response reaches the client while queued batches finish.
+	go func() { _ = d.Drain("shutdown requested") }()
+	writeJSON(w, http.StatusAccepted, map[string]string{"state": StateDraining.String()})
+}

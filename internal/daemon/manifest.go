@@ -1,0 +1,179 @@
+// The daemon's observable accounting: the live Snapshot served by
+// GET /stats and the final Manifest a drained shutdown writes. The
+// manifest embeds the closing snapshot verbatim, so its totals match
+// the last /stats response by construction — the manifest is a
+// serialization of the accounting, not a second measurement.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ManifestSchema identifies the daemon manifest JSON layout;
+// append-only, any field-semantics change bumps the suffix.
+const ManifestSchema = "ccncoord/daemon-manifest/v1"
+
+// Totals is the request accounting across the daemon's whole life.
+type Totals struct {
+	BatchesAdmitted  int64 `json:"batches_admitted"`
+	RequestsAdmitted int64 `json:"requests_admitted"`
+	// RequestsRejected counts overload rejections (batches bounced off
+	// the full admission queue; their requests never entered).
+	RequestsRejected int64 `json:"requests_rejected"`
+	BatchesSimulated int64 `json:"batches_simulated"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	LocalHits        int64 `json:"local_hits"`
+	PeerHits         int64 `json:"peer_hits"`
+	OriginServes     int64 `json:"origin_serves"`
+
+	LocalHit      float64 `json:"local_hit"`
+	PeerHit       float64 `json:"peer_hit"`
+	OriginLoad    float64 `json:"origin_load"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	MeanHops      float64 `json:"mean_hops"`
+	SimTimeMs     float64 `json:"sim_time_ms"`
+}
+
+// Coordination is the coordinator's epoch accounting.
+type Coordination struct {
+	Epoch         int64 `json:"epoch"`
+	Replans       int64 `json:"replans"`
+	Messages      int64 `json:"messages"`
+	Checkpoints   int64 `json:"checkpoints"`
+	EpochRequests int64 `json:"epoch_requests"`
+	Restored      bool  `json:"restored"`
+}
+
+// PoolSnapshot is the prep pool's width.
+type PoolSnapshot struct {
+	Target int `json:"target"`
+	Active int `json:"active"`
+}
+
+// Snapshot is one consistent view of the daemon, served by GET /stats.
+type Snapshot struct {
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	// Queued counts batches admitted but not yet fully simulated.
+	Queued       int64          `json:"queued"`
+	QueueDepth   int            `json:"queue_depth"`
+	Workers      PoolSnapshot   `json:"workers"`
+	Workload     WorkloadParams `json:"workload"`
+	Totals       Totals         `json:"totals"`
+	Coordination Coordination   `json:"coordination"`
+}
+
+// Snapshot assembles the current view. Admission and simulation
+// accounting advance on different goroutines, so the two sections are
+// each internally consistent; Queued is clamped non-negative in case
+// a batch lands between the reads.
+func (d *Daemon) Snapshot() Snapshot {
+	d.mu.Lock()
+	state := d.state
+	reason := ""
+	switch state {
+	case StateFailed:
+		reason = d.failReason
+	case StateDraining, StateStopped:
+		reason = d.drainReason
+	}
+	batches := d.admittedBatches
+	requests := d.admittedRequests
+	rejected := d.rejected
+	wl := d.workload
+	d.mu.Unlock()
+
+	target, active := d.PoolStatus()
+
+	d.tot.mu.Lock()
+	t := Totals{
+		BatchesAdmitted:  batches,
+		RequestsAdmitted: requests,
+		RequestsRejected: rejected,
+		BatchesSimulated: d.tot.processedBatches,
+		Completed:        d.tot.completed,
+		Failed:           d.tot.failed,
+		LocalHits:        d.tot.local,
+		PeerHits:         d.tot.peer,
+		OriginServes:     d.tot.origin,
+		SimTimeMs:        d.tot.simTime,
+	}
+	c := Coordination{
+		Epoch:         d.tot.epoch,
+		Replans:       d.tot.replans,
+		Messages:      d.tot.coordMessages,
+		Checkpoints:   d.tot.checkpoints,
+		EpochRequests: d.cfg.EpochRequests,
+		Restored:      d.restored,
+	}
+	latencySum, hopsSum := d.tot.latencySum, d.tot.hopsSum
+	d.tot.mu.Unlock()
+
+	if t.Completed > 0 {
+		n := float64(t.Completed)
+		t.LocalHit = float64(t.LocalHits) / n
+		t.PeerHit = float64(t.PeerHits) / n
+		t.OriginLoad = float64(t.OriginServes) / n
+		t.MeanLatencyMs = latencySum / n
+		t.MeanHops = float64(hopsSum) / n
+	}
+	queued := batches - t.BatchesSimulated
+	if queued < 0 {
+		queued = 0
+	}
+	return Snapshot{
+		State:        state.String(),
+		Reason:       reason,
+		Queued:       queued,
+		QueueDepth:   d.cfg.QueueDepth,
+		Workers:      PoolSnapshot{Target: target, Active: active},
+		Workload:     wl,
+		Totals:       t,
+		Coordination: c,
+	}
+}
+
+// Manifest is the final observability record a drained daemon writes.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Topology    string `json:"topology"`
+	Routers     int    `json:"routers"`
+	CatalogSize int64  `json:"catalog_size"`
+	Capacity    int64  `json:"capacity"`
+	Coordinated int64  `json:"coordinated"`
+	Seed        int64  `json:"seed"`
+	// Final is the closing snapshot; its totals equal the last GET
+	// /stats response.
+	Final Snapshot `json:"final"`
+}
+
+// Manifest builds the final record from the current snapshot.
+func (d *Daemon) Manifest() *Manifest {
+	return &Manifest{
+		Schema:      ManifestSchema,
+		Topology:    d.cfg.Topology.Name(),
+		Routers:     d.cfg.Topology.N(),
+		CatalogSize: d.cfg.CatalogSize,
+		Capacity:    d.cfg.Capacity,
+		Coordinated: d.cfg.Coordinated,
+		Seed:        d.cfg.Seed,
+		Final:       d.Snapshot(),
+	}
+}
+
+// WriteJSON serializes the manifest as indented JSON plus a newline;
+// byte-deterministic for a given manifest.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("daemon: marshaling manifest: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("daemon: writing manifest: %w", err)
+	}
+	return nil
+}

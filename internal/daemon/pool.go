@@ -1,0 +1,123 @@
+// The elastic prep worker pool, modeled on the boss/worker-pool shape
+// of serverless schedulers: a target width the operator moves at
+// runtime, workers tracked individually so scale-down retires exactly
+// the excess, and a barrier that lets the owner drain the pipeline
+// cleanly. Workers only transform batches into arrival schedules —
+// all simulation stays on the engine goroutine — so the pool trades
+// prep throughput for memory, never determinism: schedules are seeded
+// by admission sequence, not by worker identity.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MaxWorkers bounds the prep pool width.
+const MaxWorkers = 64
+
+// Pool is the elastic worker set turning admitted batches into
+// prepared arrival schedules.
+type Pool struct {
+	in   <-chan batch
+	out  chan<- prepared
+	prep func(batch) prepared
+
+	mu     sync.Mutex
+	target int
+	active int
+	nextID int
+	stops  map[int]chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewPool starts n workers consuming in and emitting to out.
+func NewPool(n int, in <-chan batch, out chan<- prepared, prep func(batch) prepared) *Pool {
+	p := &Pool{in: in, out: out, prep: prep, stops: make(map[int]chan struct{})}
+	p.mu.Lock()
+	for p.target < n {
+		p.spawnLocked()
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// Scale moves the pool to n workers in [1, MaxWorkers]: missing
+// workers are spawned immediately, excess workers retire after the
+// batch they are currently preparing. Returns the new target and the
+// live count (retiring workers remain live briefly).
+func (p *Pool) Scale(n int) (target, active int, err error) {
+	if n < 1 || n > MaxWorkers {
+		return 0, 0, fmt.Errorf("daemon: worker count %d outside [1, %d]", n, MaxWorkers)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.target < n {
+		p.spawnLocked()
+	}
+	for p.target > n {
+		p.stopOneLocked()
+	}
+	return p.target, p.active, nil
+}
+
+// Status returns the target and live worker counts.
+func (p *Pool) Status() (target, active int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target, p.active
+}
+
+// Wait blocks until every worker has exited, which happens after the
+// input channel closes and drains (retired workers exit earlier). The
+// owner closes the output channel after Wait returns.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+func (p *Pool) spawnLocked() {
+	id := p.nextID
+	p.nextID++
+	stop := make(chan struct{})
+	p.stops[id] = stop
+	p.target++
+	p.active++
+	p.wg.Add(1)
+	go p.run(id, stop)
+}
+
+// stopOneLocked retires an arbitrary worker; which one is immaterial
+// since workers are interchangeable (no per-worker state).
+func (p *Pool) stopOneLocked() {
+	for id, stop := range p.stops {
+		close(stop)
+		delete(p.stops, id)
+		p.target--
+		return
+	}
+}
+
+func (p *Pool) run(id int, stop chan struct{}) {
+	defer func() {
+		p.mu.Lock()
+		p.active--
+		delete(p.stops, id)
+		p.mu.Unlock()
+		p.wg.Done()
+	}()
+	for {
+		// Prefer retirement over another batch when both are ready.
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		select {
+		case <-stop:
+			return
+		case b, ok := <-p.in:
+			if !ok {
+				return
+			}
+			p.out <- p.prep(b)
+		}
+	}
+}

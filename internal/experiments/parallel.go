@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 	"sync/atomic"
 
 	"ccncoord/internal/par"
@@ -98,6 +100,31 @@ func SetProgress(p Progress) {
 	runProgress.Store(&progressBox{p: p})
 }
 
+// warnedFallbacks dedupes shard-fallback warnings: an artifact sweep
+// runs hundreds of scenarios, and a non-shardable feature would
+// otherwise repeat the same warning for every one of them. One line per
+// distinct reason is enough for the operator to know the explicit
+// -shards N is not being honored everywhere.
+var warnedFallbacks sync.Map
+
+// warnShardFallback logs (once per reason) when an explicitly requested
+// multi-shard run falls back to the serial engine. Warnings go to
+// stderr only, so artifact output stays byte-identical across shard
+// settings.
+func warnShardFallback(sc sim.Scenario) {
+	if sc.Shards < 2 || sc.Topology == nil {
+		return
+	}
+	n, reason := sim.ResolveShardsReason(sc)
+	if n > 1 || reason == "" {
+		return
+	}
+	if _, dup := warnedFallbacks.LoadOrStore(reason, struct{}{}); dup {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ccnexp: warning: -shards %d falls back to the serial engine for some scenarios (%s)\n", sc.Shards, reason)
+}
+
 // runSim executes one scenario with the package tracer attached and
 // the progress tracker ticked. All experiment generators funnel their
 // simulations through here, so one SetTracer call traces every run of
@@ -109,6 +136,7 @@ func runSim(sc sim.Scenario) (sim.Result, error) {
 	if sc.Shards == 0 {
 		sc.Shards = Shards()
 	}
+	warnShardFallback(sc)
 	var prog Progress
 	if b := runProgress.Load(); b != nil {
 		prog = b.p

@@ -17,11 +17,104 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ccncoord/internal/metrics"
 )
+
+// HealthState is the readiness of the process behind the mux, the
+// signal /healthz reports to orchestration probes. It is NOT liveness:
+// the mux answering at all proves the process is alive; the state says
+// whether it is safe to send work.
+type HealthState int
+
+const (
+	// HealthInitializing is the boot state: the mux is up but the
+	// run/daemon behind it has not finished setting up. Probes get 503
+	// so orchestrators do not route work to a half-built process.
+	HealthInitializing HealthState = iota
+	// HealthReady means the process is serving normally.
+	HealthReady
+	// HealthDraining means a graceful shutdown is in progress: no new
+	// work is admitted, in-flight work is finishing.
+	HealthDraining
+	// HealthFailed means the run or daemon hit a terminal error; the
+	// process may still answer probes while it reports and exits.
+	HealthFailed
+)
+
+// String returns the state's probe-body name.
+func (s HealthState) String() string {
+	switch s {
+	case HealthInitializing:
+		return "initializing"
+	case HealthReady:
+		return "ok"
+	case HealthDraining:
+		return "draining"
+	case HealthFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(s))
+	}
+}
+
+// Health is the mutable readiness the /healthz endpoint reports. All
+// methods are safe for concurrent use. The zero value reports
+// HealthInitializing; construct with NewHealth.
+type Health struct {
+	mu     sync.Mutex
+	state  HealthState
+	reason string
+}
+
+// NewHealth returns a health tracker in the initializing state.
+func NewHealth() *Health { return &Health{} }
+
+// Set moves the tracker to the given state with an optional reason
+// (shown in the probe body on non-ready states).
+func (h *Health) Set(state HealthState, reason string) {
+	h.mu.Lock()
+	h.state, h.reason = state, reason
+	h.mu.Unlock()
+}
+
+// Ready marks the process ready to serve.
+func (h *Health) Ready() { h.Set(HealthReady, "") }
+
+// Draining marks a graceful shutdown in progress.
+func (h *Health) Draining(reason string) { h.Set(HealthDraining, reason) }
+
+// Fail marks a terminal run/daemon failure.
+func (h *Health) Fail(reason string) { h.Set(HealthFailed, reason) }
+
+// State returns the current state and reason.
+func (h *Health) State() (HealthState, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.reason
+}
+
+// ServeHTTP implements the /healthz probe: 200 "ok" when ready, 503
+// with "<state>: <reason>" otherwise, so orchestrators and load
+// balancers see initialization, drain, and failure as not-ready
+// instead of the historical unconditional "ok".
+func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	state, reason := h.State()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if state == HealthReady {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	if reason != "" {
+		fmt.Fprintf(w, "%s: %s\n", state, reason)
+		return
+	}
+	fmt.Fprintln(w, state)
+}
 
 // Progress tracks a run's live counters. All methods are safe for
 // concurrent use; the zero value is NOT ready (construct with
@@ -93,14 +186,18 @@ func (p *Progress) writeProgress(w http.ResponseWriter) {
 }
 
 // NewMux builds the observability mux: /metrics (progress gauges plus
-// the latest published registry snapshot), /healthz, and the pprof
-// suite under /debug/pprof/.
-func NewMux(p *Progress) *http.ServeMux {
+// the latest published registry snapshot), /healthz driven by the given
+// health tracker, and the pprof suite under /debug/pprof/. A nil health
+// yields a tracker pre-marked ready, preserving the old always-ok probe
+// for callers with no lifecycle to report — callers that initialize,
+// drain, or fail should pass their own tracker and drive it.
+func NewMux(p *Progress, h *Health) *http.ServeMux {
+	if h == nil {
+		h = NewHealth()
+		h.Ready()
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.Handle("/healthz", h)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		p.writeProgress(w)

@@ -33,7 +33,7 @@ func TestMuxEndpoints(t *testing.T) {
 	p.SimStarted()
 	p.SimFinished(1500)
 
-	srv := httptest.NewServer(NewMux(p))
+	srv := httptest.NewServer(NewMux(p, nil))
 	defer srv.Close()
 
 	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
@@ -75,9 +75,49 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 }
 
+func TestHealthzReadiness(t *testing.T) {
+	h := NewHealth()
+	srv := httptest.NewServer(NewMux(NewProgress(), h))
+	defer srv.Close()
+
+	// Boot: the mux is up but the process behind it is not ready.
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "initializing") {
+		t.Errorf("initializing probe: code %d body %q", code, body)
+	}
+
+	h.Ready()
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("ready probe: code %d body %q", code, body)
+	}
+
+	h.Draining("shutdown requested")
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining: shutdown requested") {
+		t.Errorf("draining probe: code %d body %q", code, body)
+	}
+
+	h.Fail("engine error")
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "failed: engine error") {
+		t.Errorf("failed probe: code %d body %q", code, body)
+	}
+
+	if st, reason := h.State(); st != HealthFailed || reason != "engine error" {
+		t.Errorf("State() = %v, %q", st, reason)
+	}
+}
+
+func TestHealthzNilDefaultsReady(t *testing.T) {
+	// Callers with no lifecycle (nil health) keep the historical
+	// always-ok probe.
+	srv := httptest.NewServer(NewMux(NewProgress(), nil))
+	defer srv.Close()
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("nil-health probe: code %d body %q", code, body)
+	}
+}
+
 func TestStartShutdown(t *testing.T) {
 	p := NewProgress()
-	addr, shutdown, err := Start("127.0.0.1:0", NewMux(p))
+	addr, shutdown, err := Start("127.0.0.1:0", NewMux(p, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

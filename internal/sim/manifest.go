@@ -134,6 +134,13 @@ type ManifestEngine struct {
 	// across a shard boundary (0 on serial runs).
 	Shards           int    `json:"shards"`
 	CrossShardEvents uint64 `json:"cross_shard_events"`
+	// ShardFallbackReason records why an explicitly requested
+	// multi-shard run (Scenario.Shards >= 2) was downgraded to the
+	// serial engine — a non-shardable scenario feature, or a partition
+	// with no lookahead. Empty (and omitted from the JSON, keeping
+	// pre-existing manifests byte-identical) when no fallback happened;
+	// the automatic rule choosing serial is policy, not a fallback.
+	ShardFallbackReason string `json:"shard_fallback_reason,omitempty"`
 }
 
 // ManifestTrace is the tracer's sampling accounting.

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 
 	"ccncoord/internal/catalog"
 	"ccncoord/internal/ccn"
@@ -37,46 +38,82 @@ import (
 const maxAutoShards = 8
 
 // ResolveShards decides how many event-loop shards the scenario runs
-// on. An explicit Shards >= 1 is honored (clamped to the router count);
-// Shards == 0 picks automatically: serial below
+// on. An explicit Shards >= 2 is honored — clamped to the router count —
+// unless the scenario is not shardable (see shardBlockers), in which
+// case the run falls back to the serial engine. Shards == 1 forces the
+// serial engine. Shards == 0 picks automatically: serial below
 // topology.DenseAutoThreshold routers — keeping every calibrated-dataset
 // artifact on the exact code path that produced it — and
-// min(maxAutoShards, GOMAXPROCS) above it. Scenarios that are not
-// shardable (see shardable) always resolve to 1.
+// min(maxAutoShards, GOMAXPROCS) above it.
+//
+// Callers that need to know *why* an explicit request was downgraded
+// should use ResolveShardsReason; this wrapper discards the reason.
 func ResolveShards(sc Scenario) int {
+	p, _ := ResolveShardsReason(sc)
+	return p
+}
+
+// ResolveShardsReason resolves the shard count like ResolveShards and
+// additionally reports why an explicitly requested multi-shard run
+// (Shards >= 2) was downgraded to the serial engine. The reason is
+// empty whenever no downgrade happened: the request was honored, the
+// caller asked for serial, or the automatic rule (Shards == 0) chose
+// serial — auto picking serial is policy, not a fallback.
+func ResolveShardsReason(sc Scenario) (parts int, fallback string) {
 	n := sc.Topology.N()
 	p := sc.Shards
+	explicit := p >= 2
 	if p == 0 {
 		if n < topology.DenseAutoThreshold {
-			return 1
+			return 1, ""
 		}
 		p = runtime.GOMAXPROCS(0)
 		if p > maxAutoShards {
 			p = maxAutoShards
 		}
 	}
-	if p < 2 || !shardable(sc) {
-		return 1
+	if p < 2 {
+		return 1, ""
+	}
+	if blockers := shardBlockers(sc); len(blockers) > 0 {
+		if explicit {
+			return 1, "scenario not shardable: " + strings.Join(blockers, ", ")
+		}
+		return 1, ""
 	}
 	if p > n {
 		p = n
 	}
-	return p
+	return p, ""
 }
 
-// shardable reports whether the scenario can run on the sharded engine.
-// Features that funnel every event through one piece of globally
-// ordered shared state — fault and chaos timelines, the loss and
-// probabilistic-admission RNGs, link-queueing accumulators, the trace
-// stream, and workload factories with unknown internal sharing — run
-// serially instead.
-func shardable(sc Scenario) bool {
-	return !sc.faultsEnabled() &&
-		sc.LossRate == 0 &&
-		sc.LinkRate == 0 &&
-		sc.Tracer == nil &&
-		sc.Policy != PolicyProbCache &&
-		sc.WorkloadFactory == nil
+// shardBlockers lists the scenario features that keep it off the
+// sharded engine. Features that funnel every event through one piece of
+// globally ordered shared state — fault and chaos timelines, the loss
+// and probabilistic-admission RNGs, link-queueing accumulators, the
+// trace stream, and workload factories with unknown internal sharing —
+// run serially instead. An empty list means the scenario is shardable.
+func shardBlockers(sc Scenario) []string {
+	var b []string
+	if sc.faultsEnabled() {
+		b = append(b, "fault injection")
+	}
+	if sc.LossRate != 0 {
+		b = append(b, "loss process")
+	}
+	if sc.LinkRate != 0 {
+		b = append(b, "link queueing")
+	}
+	if sc.Tracer != nil {
+		b = append(b, "event tracing")
+	}
+	if sc.Policy == PolicyProbCache {
+		b = append(b, "probabilistic caching")
+	}
+	if sc.WorkloadFactory != nil {
+		b = append(b, "custom workload factory")
+	}
+	return b
 }
 
 // runSharded executes the (already validated) scenario on parts
@@ -89,7 +126,12 @@ func runSharded(sc Scenario, parts int) (Result, error) {
 	if part.Parts < 2 || !(part.CutLatency > 0) {
 		// A zero-latency cut edge leaves no lookahead to run ahead on;
 		// fall back to the serial engine rather than degenerate into
-		// lock-step windows.
+		// lock-step windows. Record the downgrade when the caller asked
+		// for shards explicitly, so the manifest does not read as a
+		// sharded run that never happened.
+		if sc.Shards >= 2 {
+			sc.shardFallbackReason = "degenerate partition: no positive-latency cut edge for lookahead"
+		}
 		return runSerial(sc)
 	}
 	se, err := des.NewSharded(part.Parts, part.CutLatency)

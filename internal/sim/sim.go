@@ -246,8 +246,18 @@ type Scenario struct {
 	// are identical to the serial engine's; scenario features that need
 	// globally ordered shared state (faults, chaos, loss, finite link
 	// rate, tracing, probabilistic caching, custom workload factories)
-	// silently resolve to 1 shard. See ResolveShards.
+	// resolve to 1 shard, and an explicit Shards >= 2 downgraded this
+	// way is surfaced: ResolveShardsReason reports it, and the run
+	// manifest records it as engine.shard_fallback_reason. See
+	// ResolveShards.
 	Shards int
+
+	// shardFallbackReason records why an explicit multi-shard request
+	// fell back to the serial engine ("" when no fallback happened).
+	// Run populates it from ResolveShardsReason — or from the sharded
+	// path's degenerate-partition bailout — before dispatching to
+	// runSerial, which copies it into the manifest's engine section.
+	shardFallbackReason string
 }
 
 // Failure-detector defaults (see Scenario.HeartbeatInterval).
@@ -511,9 +521,11 @@ func Run(sc Scenario) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
-	if p := ResolveShards(sc); p > 1 {
+	p, fallback := ResolveShardsReason(sc)
+	if p > 1 {
 		return runSharded(sc, p)
 	}
+	sc.shardFallbackReason = fallback
 	return runSerial(sc)
 }
 
@@ -1087,9 +1099,10 @@ func runSerial(sc Scenario) (Result, error) {
 	}
 	if sc.EmitManifest {
 		res.Manifest = buildManifest(sc, res, ManifestEngine{
-			EventsProcessed: eng.Processed(),
-			PendingPeak:     eng.PendingPeak(),
-			Shards:          1,
+			EventsProcessed:     eng.Processed(),
+			PendingPeak:         eng.PendingPeak(),
+			Shards:              1,
+			ShardFallbackReason: sc.shardFallbackReason,
 		}, net, reg, avail.Snapshot())
 	}
 	return res, nil
