@@ -12,8 +12,18 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 )
+
+// isWallClock reports whether a flattened leaf carries wall-clock time.
+// Telemetry manifests store every nondeterministic duration under a key
+// ending in "wall_ms" (timeline wall_ms, shard busy_wall_ms,
+// barrier_wait_wall_ms); those leaves vary run to run by construction,
+// so the diff skips them entirely rather than reporting noise.
+func isWallClock(key string) bool {
+	return strings.HasSuffix(key, "wall_ms")
+}
 
 // flatten walks a decoded JSON value and collects every leaf under a
 // dotted path. Array elements key by position, except arrays of objects
@@ -68,7 +78,8 @@ func loadFlat(path string) (map[string]any, error) {
 // Equal files print a single summary line. tol is the relative
 // tolerance under which two numeric leaves count as equal (0 = exact):
 // noisy benchmark baselines diff cleanly with -tol 0.05 while
-// deterministic manifests keep the exact default.
+// deterministic manifests keep the exact default. Leaves whose key ends
+// in "wall_ms" are wall-clock telemetry and excluded from the diff.
 func runDiff(w io.Writer, oldPath, newPath string, tol float64) error {
 	oldFlat, err := loadFlat(oldPath)
 	if err != nil {
@@ -87,6 +98,9 @@ func runDiff(w io.Writer, oldPath, newPath string, tol float64) error {
 	}
 	sorted := make([]string, 0, len(keys))
 	for k := range keys {
+		if isWallClock(k) {
+			continue
+		}
 		sorted = append(sorted, k)
 	}
 	sort.Strings(sorted)

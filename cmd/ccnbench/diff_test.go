@@ -107,6 +107,51 @@ func TestRunDiffTolerance(t *testing.T) {
 	}
 }
 
+func TestRunDiffIgnoresWallClock(t *testing.T) {
+	dir := t.TempDir()
+	// Two telemetry manifests from the "same" run: every deterministic
+	// leaf matches, only the wall-clock leaves moved. The diff must call
+	// them identical and keep wall_ms keys out of the leaf count.
+	old := writeJSON(t, dir, "old.json", `{
+		"timeline": [{"epoch": 1, "messages": 80, "wall_ms": 3.2}],
+		"engine": {"shard_stats": [
+			{"shard": 0, "processed": 500, "busy_wall_ms": 12.5, "barrier_wait_wall_ms": 1.5}
+		]}
+	}`)
+	new := writeJSON(t, dir, "new.json", `{
+		"timeline": [{"epoch": 1, "messages": 80, "wall_ms": 9.7}],
+		"engine": {"shard_stats": [
+			{"shard": 0, "processed": 500, "busy_wall_ms": 3.1, "barrier_wait_wall_ms": 0.2}
+		]}
+	}`)
+	var buf bytes.Buffer
+	if err := runDiff(&buf, old, new, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "wall_ms") {
+		t.Errorf("wall-clock leaf reported:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "0 of 4 leaves differ") {
+		t.Errorf("runs differing only in wall clock not treated as identical:\n%s", out)
+	}
+
+	// A genuine regression next to wall-clock noise still surfaces.
+	changed := writeJSON(t, dir, "changed.json", `{
+		"timeline": [{"epoch": 1, "messages": 96, "wall_ms": 1.1}],
+		"engine": {"shard_stats": [
+			{"shard": 0, "processed": 500, "busy_wall_ms": 2.0, "barrier_wait_wall_ms": 0.1}
+		]}
+	}`)
+	buf.Reset()
+	if err := runDiff(&buf, old, changed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "messages") || !strings.Contains(buf.String(), "1 of 4 leaves differ") {
+		t.Errorf("real change masked by wall-clock rule:\n%s", buf.String())
+	}
+}
+
 func TestRunDiffRejectsBadInput(t *testing.T) {
 	dir := t.TempDir()
 	bad := writeJSON(t, dir, "bad.json", "{not json")

@@ -14,6 +14,7 @@
 //
 //	POST /requests  {"count": 1000, "router": 3}   admit a batch (router optional)
 //	GET  /stats                                    live snapshot
+//	GET  /timeline                                 per-epoch coordination records (?since=E, ?follow=1)
 //	POST /workload  {"zipf_s": 1.1, "mean_interarrival_ms": 0.5}
 //	POST /scaling   {"workers": 4}                 resize the prep pool
 //	POST /shutdown                                 drain and stop
@@ -58,6 +59,7 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "coordinator checkpoint path: written at each re-plan and at drain, restored on start when present")
 		manifest = flag.String("manifest", "", "write the final manifest (JSON) here after a drained shutdown")
 		ratio    = flag.Float64("time-ratio", 0, "pace the engine at this many simulated ms per wall-clock ms; 0 runs as fast as possible")
+		tlCap    = flag.Int("timeline", 1024, "epoch records retained by GET /timeline (oldest evicted beyond this)")
 		settle   = flag.Float64("settle", 0, "seconds to hold the initializing state before admitting (lets probes observe the transition)")
 		linger   = flag.Float64("linger", 0, "seconds to keep serving /healthz and /stats after the drain completes")
 	)
@@ -65,7 +67,7 @@ func main() {
 
 	if err := run(*topoName, *catalogN, *s, *capacity, *x, *access, *origin, *gateway,
 		*seed, *iarr, *httpAddr, *queue, *maxBatch, *workers, *epoch, *ckpt, *manifest,
-		*ratio, *settle, *linger); err != nil {
+		*ratio, *tlCap, *settle, *linger); err != nil {
 		fmt.Fprintf(os.Stderr, "ccnd: %v\n", err)
 		os.Exit(1)
 	}
@@ -73,7 +75,7 @@ func main() {
 
 func run(topoName string, catalogN int64, s float64, capacity, x int64, access, origin float64,
 	gateway int, seed int64, iarr float64, httpAddr string, queue, maxBatch, workers int,
-	epoch int64, ckpt, manifest string, ratio, settle, linger float64) error {
+	epoch int64, ckpt, manifest string, ratio float64, tlCap int, settle, linger float64) error {
 	g, err := findTopology(topoName)
 	if err != nil {
 		return err
@@ -86,25 +88,29 @@ func run(topoName string, catalogN int64, s float64, capacity, x int64, access, 
 	progress := obs.NewProgress()
 
 	d, err := daemon.New(daemon.Config{
-		Topology:       g,
-		CatalogSize:    catalogN,
-		Capacity:       capacity,
-		Coordinated:    x,
-		AccessLatency:  access,
-		OriginLatency:  origin,
-		OriginGateway:  gateway,
-		Workload:       daemon.WorkloadParams{ZipfS: s, MeanInterarrivalMs: iarr},
-		Seed:           seed,
-		QueueDepth:     queue,
-		MaxBatch:       maxBatch,
-		Workers:        workers,
-		EpochRequests:  epochRequests,
-		CheckpointPath: ckpt,
-		TimeRatio:      ratio,
+		Topology:         g,
+		CatalogSize:      catalogN,
+		Capacity:         capacity,
+		Coordinated:      x,
+		AccessLatency:    access,
+		OriginLatency:    origin,
+		OriginGateway:    gateway,
+		Workload:         daemon.WorkloadParams{ZipfS: s, MeanInterarrivalMs: iarr},
+		Seed:             seed,
+		QueueDepth:       queue,
+		MaxBatch:         maxBatch,
+		Workers:          workers,
+		EpochRequests:    epochRequests,
+		CheckpointPath:   ckpt,
+		TimeRatio:        ratio,
+		TimelineCapacity: tlCap,
 	}, health, progress)
 	if err != nil {
 		return err
 	}
+	// Mirror the epoch timeline into /metrics alongside the progress
+	// gauges.
+	progress.AttachTimeline(d.Timeline())
 
 	// Bind before Start so probes observe the initializing state.
 	mux := obs.NewMux(progress, health)

@@ -25,6 +25,7 @@ import (
 	"ccncoord/internal/obs"
 	"ccncoord/internal/prof"
 	"ccncoord/internal/sim"
+	"ccncoord/internal/timeline"
 	"ccncoord/internal/topology"
 	"ccncoord/internal/trace"
 )
@@ -59,6 +60,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses; see internal/trace)")
 		traceSample = flag.Float64("trace-sample", 1, "trace sample rate in (0,1]: 0.01 keeps every 100th request lifecycle")
 		manifest    = flag.String("manifest", "", "write the run's observability manifest (JSON) to this file")
+		telemetry   = flag.Bool("telemetry", false, "collect the coordination timeline and per-shard engine stats: extra output rows, timeline/engine sections in -manifest, timeline series on -http /metrics")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation heap profile to this file")
 	)
@@ -79,7 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccnsim:", err)
 		os.Exit(1)
 	}
-	obsf := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest}
+	obsf := obsFlags{tracePath: *tracePath, traceSample: *traceSample, manifestPath: *manifest, telemetry: *telemetry}
 	obsDone := func() error { return nil }
 	var health *obs.Health
 	if *httpAddr != "" {
@@ -133,7 +135,22 @@ type obsFlags struct {
 	tracePath    string
 	traceSample  float64
 	manifestPath string
+	telemetry    bool          // -telemetry: timeline ring + engine stats
 	progress     *obs.Progress // nil unless -http is serving
+}
+
+// openTimeline builds the coordination-timeline ring when -telemetry is
+// on (nil otherwise) and attaches it to the live /metrics exporter when
+// one is serving.
+func (o obsFlags) openTimeline() *timeline.Ring {
+	if !o.telemetry {
+		return nil
+	}
+	ring := timeline.NewRing(256)
+	if o.progress != nil {
+		o.progress.AttachTimeline(ring)
+	}
+	return ring
 }
 
 // openTracer builds the tracer from the flags, or returns nils when
@@ -216,6 +233,8 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 		Lat:      model.LatencyFromGamma(1, 2.2842, 5),
 		UnitCost: 26.7, Alpha: 0.95,
 	}
+	ring := obs.openTimeline()
+	sc.Timeline = ring
 	obs.simStarted()
 	records, err := sim.AdaptiveRun(sc, base, epochs)
 	if err != nil {
@@ -228,12 +247,29 @@ func runAdaptive(topoName string, catalog int64, s float64, capacity int64,
 		}
 		obs.progress.SimFinished(reqs)
 	}
+	// With -telemetry the table gains the model's message budget and the
+	// placement churn per epoch; without it, stdout is byte-identical to
+	// earlier releases.
+	var tl []timeline.EpochRecord
+	if ring != nil {
+		tl = ring.Snapshot().Records
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "epoch\tpolicy\testimated s\tlevel l*\torigin load\tcoord msgs")
-	for _, e := range records {
-		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%.4f\t%d\n",
+	hdr := "epoch\tpolicy\testimated s\tlevel l*\torigin load\tcoord msgs"
+	if ring != nil {
+		hdr += "\tinstall msgs / bound\tchurn"
+	}
+	fmt.Fprintln(tw, hdr)
+	for i, e := range records {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%.4f\t%d",
 			e.Epoch, e.Result.Policy, e.EstimatedS, e.Level,
 			e.Result.OriginLoad, e.Result.CoordMessages)
+		if i < len(tl) {
+			fmt.Fprintf(tw, "\t%d / %d\t%d", tl[i].Messages, tl[i].BoundMessages, tl[i].Churn)
+		} else if ring != nil {
+			fmt.Fprint(tw, "\t\t")
+		}
+		fmt.Fprintln(tw)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -372,8 +408,13 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		CheckpointPath: chaosf.checkpoint,
 		Routing:        routing,
 		Tracer:         tr,
-		EmitManifest:   obs.manifestPath != "" || obs.progress != nil,
+		EmitManifest:   obs.manifestPath != "" || obs.progress != nil || obs.telemetry,
 		Shards:         shards,
+	}
+	ring := obs.openTimeline()
+	if ring != nil {
+		sc.Timeline = ring
+		sc.EngineTelemetry = true
 	}
 	if loss > 0 || faultsOn {
 		sc.RetxTimeout = retx
@@ -449,6 +490,17 @@ func run(topoName, policy string, catalog int64, s float64, capacity, x int64,
 		}
 		fmt.Fprintf(tw, "stale-placement forwards\t%d\n", res.StalePlacementHits)
 		fmt.Fprintf(tw, "reconverge moves / mean TTR (ms)\t%d / %.1f\n", res.ReconvergeMoves, res.MeanTimeToReconverge)
+	}
+	if ring != nil {
+		for _, rec := range ring.Snapshot().Records {
+			fmt.Fprintf(tw, "timeline epoch %d\t%d msgs (bound %d), churn %d, level %.3f\n",
+				rec.Epoch, rec.Messages, rec.BoundMessages, rec.Churn, rec.Level)
+		}
+		if res.Manifest != nil && res.Manifest.Engine.Shards > 1 {
+			eng := res.Manifest.Engine
+			fmt.Fprintf(tw, "engine\t%d shards, %d windows, %d cross-shard events\n",
+				eng.Shards, eng.Windows, eng.CrossShardEvents)
+		}
 	}
 
 	// Analytical prediction for the provisioned policies.

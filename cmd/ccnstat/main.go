@@ -1,0 +1,233 @@
+// Command ccnstat is the live console for a running ccnd daemon: it
+// polls GET /stats and GET /timeline and renders a refreshing status
+// table — request throughput, cache behavior, the coordination epoch
+// with its measured message cost against the model's w*n*x budget, and
+// the event-engine gauges.
+//
+// Examples:
+//
+//	ccnstat -addr localhost:8080             # refreshing table, 1s period
+//	ccnstat -addr localhost:8080 -once       # render one table and exit
+//	ccnstat -addr localhost:8080 -json       # one combined JSON document
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"ccncoord/internal/daemon"
+	"ccncoord/internal/timeline"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "ccnd address (host:port or full URL)")
+		interval = flag.Duration("interval", time.Second, "poll period in watch mode")
+		jsonOut  = flag.Bool("json", false, "print one combined JSON document {\"stats\":...,\"timeline\":...} and exit")
+		once     = flag.Bool("once", false, "render one status table and exit")
+	)
+	flag.Parse()
+
+	c := &client{base: normalizeAddr(*addr), hc: &http.Client{Timeout: 10 * time.Second}}
+	var err error
+	switch {
+	case *jsonOut:
+		err = c.oneJSON(os.Stdout)
+	case *once:
+		err = c.oneTable(os.Stdout)
+	default:
+		err = c.watch(os.Stdout, *interval)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnstat:", err)
+		os.Exit(1)
+	}
+}
+
+// normalizeAddr accepts host:port or a full URL and returns a base URL
+// without a trailing slash.
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// client polls one daemon.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// status is one consistent poll: the stats snapshot plus the timeline
+// records appended since the previous poll.
+type status struct {
+	At       time.Time
+	Stats    daemon.Snapshot
+	Timeline []timeline.EpochRecord
+}
+
+// get fetches one endpoint, decoding the body into out. A 503 is
+// surfaced with the daemon's own health reason so `ccnstat` against an
+// initializing or failed daemon explains itself.
+func (c *client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// poll reads /stats and the timeline records after sinceEpoch (-1 for
+// all). The two endpoints are read back to back, not atomically; each
+// is internally consistent.
+func (c *client) poll(sinceEpoch int64) (*status, error) {
+	st := &status{At: time.Now()}
+	if err := c.get("/stats", &st.Stats); err != nil {
+		return nil, err
+	}
+	path := "/timeline"
+	if sinceEpoch >= 0 {
+		path = fmt.Sprintf("/timeline?since=%d", sinceEpoch)
+	}
+	if err := c.get(path, &st.Timeline); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// oneJSON emits the combined machine-readable snapshot: the raw /stats
+// and /timeline documents under one object.
+func (c *client) oneJSON(w io.Writer) error {
+	var stats, tl json.RawMessage
+	if err := c.get("/stats", &stats); err != nil {
+		return err
+	}
+	if err := c.get("/timeline", &tl); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(map[string]json.RawMessage{"stats": stats, "timeline": tl}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(out))
+	return err
+}
+
+// oneTable renders a single status table.
+func (c *client) oneTable(w io.Writer) error {
+	st, err := c.poll(-1)
+	if err != nil {
+		return err
+	}
+	return render(w, st, nil)
+}
+
+// watch polls forever, redrawing the table each period. Throughput is
+// the completed-request delta between consecutive polls.
+func (c *client) watch(w io.Writer, interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", interval)
+	}
+	var prev *status
+	for {
+		since := int64(-1)
+		if prev != nil && len(prev.Timeline) > 0 {
+			// Incremental timeline fetch: only records after the last seen
+			// epoch; the full set came with the first poll.
+			since = prev.Timeline[len(prev.Timeline)-1].Epoch
+		}
+		st, err := c.poll(since)
+		if err != nil {
+			return err
+		}
+		if prev != nil && since >= 0 {
+			// Stitch the incremental records onto what we already have so
+			// "last epoch" never goes backwards between polls.
+			st.Timeline = append(prev.Timeline, st.Timeline...)
+		}
+		fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+		if err := render(w, st, prev); err != nil {
+			return err
+		}
+		prev = st
+		time.Sleep(interval)
+	}
+}
+
+// render writes the status table. prev, when non-nil, supplies the
+// previous poll for rate computation.
+func render(w io.Writer, st, prev *status) error {
+	s := st.Stats
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	state := s.State
+	if s.Reason != "" {
+		state += " (" + s.Reason + ")"
+	}
+	fmt.Fprintf(tw, "state\t%s\n", state)
+	fmt.Fprintf(tw, "workload\tzipf s=%.2f, mean gap %.1f ms\n",
+		s.Workload.ZipfS, s.Workload.MeanInterarrivalMs)
+	fmt.Fprintf(tw, "queued batches\t%d / %d\n", s.Queued, s.QueueDepth)
+	fmt.Fprintf(tw, "workers\t%d of %d\n", s.Workers.Active, s.Workers.Target)
+	if prev != nil {
+		if dt := st.At.Sub(prev.At).Seconds(); dt > 0 {
+			rate := float64(s.Totals.Completed-prev.Stats.Totals.Completed) / dt
+			fmt.Fprintf(tw, "throughput\t%.0f req/s\n", rate)
+		}
+	}
+	fmt.Fprintf(tw, "requests completed / failed\t%d / %d\n", s.Totals.Completed, s.Totals.Failed)
+	fmt.Fprintf(tw, "hit ratios local / peer\t%.4f / %.4f\n", s.Totals.LocalHit, s.Totals.PeerHit)
+	fmt.Fprintf(tw, "origin load\t%.4f\n", s.Totals.OriginLoad)
+	fmt.Fprintf(tw, "mean latency (ms)\t%.2f\n", s.Totals.MeanLatencyMs)
+
+	fmt.Fprintf(tw, "coordination epoch / replans\t%d / %d\n", s.Coordination.Epoch, s.Coordination.Replans)
+	fmt.Fprintf(tw, "coordination messages\t%d\n", s.Coordination.Messages)
+	if last := lastRecord(st.Timeline); last != nil {
+		fmt.Fprintf(tw, "last replan msgs / bound\t%d / %d (%s)\n",
+			last.Messages, last.BoundMessages, boundVerdict(last))
+		fmt.Fprintf(tw, "last replan cost / bound (ms)\t%.1f / %.1f\n",
+			float64(last.Messages)/2*last.UnitCostMs, last.BoundCostMs)
+		fmt.Fprintf(tw, "last replan churn / level\t%d / %.3f\n", last.Churn, last.Level)
+		fmt.Fprintf(tw, "slots local / coordinated\t%d / %d\n", last.LocalSlots, last.CoordSlots)
+	}
+	fmt.Fprintf(tw, "timeline records\t%d kept, %d total, %d evicted\n",
+		s.Timeline.Records, s.Timeline.Total, s.Timeline.Dropped)
+
+	fmt.Fprintf(tw, "engine events / pending peak\t%d / %d\n", s.Engine.EventsProcessed, s.Engine.PendingPeak)
+	if s.Engine.Shards > 1 {
+		fmt.Fprintf(tw, "engine shards / cross-shard\t%d / %d\n", s.Engine.Shards, s.Engine.CrossShardEvents)
+	}
+	return tw.Flush()
+}
+
+// lastRecord returns the newest timeline record, nil when none exist.
+func lastRecord(tl []timeline.EpochRecord) *timeline.EpochRecord {
+	if len(tl) == 0 {
+		return nil
+	}
+	return &tl[len(tl)-1]
+}
+
+// boundVerdict compares a replan's measured message count to the model
+// budget it is provably under.
+func boundVerdict(rec *timeline.EpochRecord) string {
+	if rec.BoundMessages <= 0 {
+		return "no bound"
+	}
+	return fmt.Sprintf("%.0f%% of bound", 100*float64(rec.Messages)/float64(rec.BoundMessages))
+}

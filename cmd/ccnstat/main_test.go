@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ccncoord/internal/daemon"
+	"ccncoord/internal/timeline"
+)
+
+// fakeDaemon serves canned /stats and /timeline documents the way ccnd
+// does.
+func fakeDaemon(t *testing.T, stats daemon.Snapshot, tl []timeline.EpochRecord) *client {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(stats)
+	})
+	mux.HandleFunc("GET /timeline", func(w http.ResponseWriter, r *http.Request) {
+		out := tl
+		if s := r.URL.Query().Get("since"); s != "" {
+			after, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			out = nil
+			for _, rec := range tl {
+				if rec.Epoch > after {
+					out = append(out, rec)
+				}
+			}
+		}
+		if out == nil {
+			out = []timeline.EpochRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &client{base: srv.URL, hc: srv.Client()}
+}
+
+func sampleStats() daemon.Snapshot {
+	var s daemon.Snapshot
+	s.State = "running"
+	s.Queued = 2
+	s.QueueDepth = 64
+	s.Workers.Target = 4
+	s.Workers.Active = 4
+	s.Workload.ZipfS = 0.8
+	s.Workload.MeanInterarrivalMs = 1.5
+	s.Totals.Completed = 1200
+	s.Totals.LocalHit = 0.31
+	s.Totals.OriginLoad = 0.42
+	s.Coordination.Epoch = 3
+	s.Coordination.Replans = 3
+	s.Coordination.Messages = 240
+	s.Engine.EventsProcessed = 9000
+	s.Engine.PendingPeak = 17
+	s.Engine.Shards = 1
+	s.Timeline.Records = 2
+	s.Timeline.Total = 3
+	s.Timeline.Dropped = 1
+	s.Timeline.Capacity = 2
+	return s
+}
+
+func sampleTimeline() []timeline.EpochRecord {
+	return []timeline.EpochRecord{
+		{Epoch: 2, Messages: 80, BoundMessages: 80, UnitCostMs: 12, BoundCostMs: 480, Churn: 12, Level: 0.5, LocalSlots: 10, CoordSlots: 10},
+		{Epoch: 3, Messages: 80, BoundMessages: 100, UnitCostMs: 12, BoundCostMs: 600, Churn: 4, Level: 0.4, LocalSlots: 12, CoordSlots: 8},
+	}
+}
+
+func TestOneTable(t *testing.T) {
+	c := fakeDaemon(t, sampleStats(), sampleTimeline())
+	var buf bytes.Buffer
+	if err := c.oneTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"state",
+		"running",
+		"coordination epoch / replans",
+		"80 / 100 (80% of bound)", // newest record's measured vs bound
+		"last replan churn / level",
+		"2 kept, 3 total, 1 evicted",
+		"engine events / pending peak",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+	// Serial daemon: no shard row, no throughput (single poll has no rate).
+	for _, reject := range []string{"cross-shard", "throughput"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("table unexpectedly shows %q:\n%s", reject, out)
+		}
+	}
+}
+
+func TestRenderThroughput(t *testing.T) {
+	prev := &status{At: time.Unix(100, 0), Stats: sampleStats()}
+	cur := &status{At: time.Unix(102, 0), Stats: sampleStats(), Timeline: sampleTimeline()}
+	cur.Stats.Totals.Completed = prev.Stats.Totals.Completed + 500
+	var buf bytes.Buffer
+	if err := render(&buf, cur, prev); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "250 req/s") {
+		t.Errorf("throughput delta not rendered:\n%s", buf.String())
+	}
+}
+
+func TestOneJSON(t *testing.T) {
+	c := fakeDaemon(t, sampleStats(), sampleTimeline())
+	var buf bytes.Buffer
+	if err := c.oneJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stats    daemon.Snapshot        `json:"stats"`
+		Timeline []timeline.EpochRecord `json:"timeline"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("combined document is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Stats.Coordination.Replans != 3 {
+		t.Errorf("stats section replans = %d, want 3", doc.Stats.Coordination.Replans)
+	}
+	if len(doc.Timeline) != 2 || doc.Timeline[1].Epoch != 3 {
+		t.Errorf("timeline section = %+v, want the 2 canned records", doc.Timeline)
+	}
+}
+
+func TestPollSince(t *testing.T) {
+	c := fakeDaemon(t, sampleStats(), sampleTimeline())
+	st, err := c.poll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Timeline) != 1 || st.Timeline[0].Epoch != 3 {
+		t.Errorf("poll(since=2) returned %+v, want only epoch 3", st.Timeline)
+	}
+}
+
+func TestUnavailableDaemonSurfacesReason(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "initializing: topology load", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := &client{base: srv.URL, hc: srv.Client()}
+	err := c.oneTable(&bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "initializing: topology load") {
+		t.Errorf("503 reason not surfaced, got: %v", err)
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":         "http://localhost:8080",
+		"http://h:1/":            "http://h:1",
+		"https://ccnd.internal/": "https://ccnd.internal",
+	} {
+		if got := normalizeAddr(in); got != want {
+			t.Errorf("normalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -121,6 +121,29 @@ func StripeWeighted(routers []topology.NodeID, ranks []catalog.ID, quotas []int6
 	return a, nil
 }
 
+// Churn counts the placement movement from prev to next: the contents
+// of next that prev did not assign, or assigned to a different router —
+// the number of coordinated contents some router must newly fetch when
+// the placement is installed. A nil prev (first installation) counts
+// every assigned content. Contents prev held that next dropped are not
+// counted: evictions are free, only placements move data.
+func Churn(prev, next *Assignment) int64 {
+	if next == nil {
+		return 0
+	}
+	var moved int64
+	for id, owner := range next.owners {
+		if prev == nil {
+			moved++
+			continue
+		}
+		if prevOwner, ok := prev.owners[id]; !ok || prevOwner != owner {
+			moved++
+		}
+	}
+	return moved
+}
+
 // Report is one router's observed request counts over an epoch.
 type Report struct {
 	Router topology.NodeID
@@ -227,6 +250,9 @@ func NewCentralized(routers []topology.NodeID, unitCost float64) (*Centralized, 
 	return &Centralized{routers: append([]topology.NodeID(nil), routers...), unitCost: unitCost}, nil
 }
 
+// UnitCost returns w, the per-exchange unit coordination cost (ms).
+func (c *Centralized) UnitCost() float64 { return c.unitCost }
+
 // RunEpoch computes the placement for the given reports and capacity
 // split, returning the placement and the measured protocol cost.
 func (c *Centralized) RunEpoch(reports []Report, localSlots, coordSlots int64) (*Placement, Cost, error) {
@@ -266,6 +292,9 @@ func NewDistributed(routers []topology.NodeID, unitCost float64) (*Distributed, 
 	}
 	return &Distributed{routers: append([]topology.NodeID(nil), routers...), unitCost: unitCost}, nil
 }
+
+// UnitCost returns w, the per-exchange unit coordination cost (ms).
+func (d *Distributed) UnitCost() float64 { return d.unitCost }
 
 // RunEpoch computes the placement and the tree-aggregation cost.
 func (d *Distributed) RunEpoch(reports []Report, localSlots, coordSlots int64) (*Placement, Cost, error) {

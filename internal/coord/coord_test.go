@@ -268,3 +268,42 @@ func TestAdaptiveValidation(t *testing.T) {
 		t.Error("no reports should fail")
 	}
 }
+
+func TestChurn(t *testing.T) {
+	prev, err := StripeByRank(routers(3), []catalog.ID{10, 11, 12, 13, 14, 15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ranks, same routers: nothing moves.
+	same, err := StripeByRank(routers(3), []catalog.ID{10, 11, 12, 13, 14, 15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Churn(prev, same); got != 0 {
+		t.Fatalf("Churn(identical) = %d, want 0", got)
+	}
+	// Shifting the band by one rank reassigns every content to the next
+	// router and introduces one new content: all six placements move.
+	shifted, err := StripeByRank(routers(3), []catalog.ID{11, 12, 13, 14, 15, 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Churn(prev, shifted); got != 6 {
+		t.Fatalf("Churn(shifted) = %d, want 6", got)
+	}
+	// First installation: every assigned content is new.
+	if got := Churn(nil, prev); got != 6 {
+		t.Fatalf("Churn(nil, prev) = %d, want 6", got)
+	}
+	if got := Churn(prev, nil); got != 0 {
+		t.Fatalf("Churn(prev, nil) = %d, want 0", got)
+	}
+	// A dropped content (shrunk band) is an eviction, not churn.
+	shrunk, err := StripeByRank(routers(3), []catalog.ID{10, 11, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Churn(prev, shrunk); got != 0 {
+		t.Fatalf("Churn(prev, shrunk) = %d, want 0 (same owners, fewer contents)", got)
+	}
+}

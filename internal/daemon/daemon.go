@@ -32,6 +32,7 @@ import (
 	"ccncoord/internal/des"
 	"ccncoord/internal/obs"
 	"ccncoord/internal/sim"
+	"ccncoord/internal/timeline"
 	"ccncoord/internal/topology"
 	"ccncoord/internal/workload"
 )
@@ -140,6 +141,9 @@ type Config struct {
 	// TimeRatio paces the engine at this many simulated ms per
 	// wall-clock ms; 0 runs as fast as possible.
 	TimeRatio float64
+	// TimelineCapacity bounds the telemetry timeline: the ring retains
+	// this many epoch records, oldest-evicted. Default 1024.
+	TimelineCapacity int
 }
 
 // fill applies defaults and validates.
@@ -219,6 +223,12 @@ func (c *Config) fill() error {
 	if c.TimeRatio < 0 {
 		return fmt.Errorf("daemon: time ratio must be non-negative, got %v", c.TimeRatio)
 	}
+	if c.TimelineCapacity == 0 {
+		c.TimelineCapacity = 1024
+	}
+	if c.TimelineCapacity < 1 {
+		return fmt.Errorf("daemon: timeline capacity must be positive, got %d", c.TimelineCapacity)
+	}
 	return nil
 }
 
@@ -250,6 +260,7 @@ type Daemon struct {
 	cfg      Config
 	health   *obs.Health
 	progress *obs.Progress
+	timeline *timeline.Ring
 
 	// mu guards the lifecycle state and admission bookkeeping.
 	mu               sync.Mutex
@@ -313,6 +324,8 @@ type totals struct {
 	replans          int64
 	coordMessages    int64
 	checkpoints      int64
+	events           uint64
+	pendingPeak      int
 }
 
 // New builds the hosted network in the Initializing state. When
@@ -333,6 +346,7 @@ func New(cfg Config, health *obs.Health, progress *obs.Progress) (*Daemon, error
 		cfg:        cfg,
 		health:     health,
 		progress:   progress,
+		timeline:   timeline.NewRing(cfg.TimelineCapacity),
 		workload:   cfg.Workload,
 		admitq:     make(chan batch, cfg.QueueDepth),
 		readyq:     make(chan prepared, cfg.QueueDepth),
@@ -772,6 +786,11 @@ func (d *Daemon) runBatch(p prepared) {
 	d.tot.latencySum = d.eLatencySum
 	d.tot.hopsSum = d.eHopsSum
 	d.tot.simTime = d.eng.Now()
+	// The engine's own gauges are engine-goroutine state; fold them into
+	// the snapshot-visible accounting here, at batch granularity, so the
+	// HTTP plane never reads the engine directly.
+	d.tot.events = d.eng.Processed()
+	d.tot.pendingPeak = d.eng.PendingPeak()
 	d.tot.mu.Unlock()
 
 	if d.cfg.EpochRequests > 0 && d.sinceReplan >= d.cfg.EpochRequests {
@@ -808,11 +827,21 @@ func (d *Daemon) onComplete(r ccn.RequestResult) {
 
 // replan runs one coordination epoch from the popularity each router
 // observed since the last one, installs the new placement into the
-// live stores and directory, and checkpoints.
+// live stores and directory, checkpoints, and appends the epoch's
+// telemetry record — measured protocol cost next to the model's
+// w*n*x bound — to the timeline.
 func (d *Daemon) replan() {
+	wallStart := time.Now()
+	epochRequests := d.sinceReplan
 	reports := make([]coord.Report, len(d.routers))
+	var reported, maxReport int64
 	for i, r := range d.routers {
 		reports[i] = coord.Report{Router: r, Counts: d.epochCounts[i]}
+		card := int64(len(d.epochCounts[i]))
+		reported += card
+		if card > maxReport {
+			maxReport = card
+		}
 	}
 	localSlots := d.cfg.Capacity - d.cfg.Coordinated
 	placement, cost, err := d.coordinator.RunEpoch(reports, localSlots, d.cfg.Coordinated)
@@ -820,6 +849,9 @@ func (d *Daemon) replan() {
 		d.fail(fmt.Errorf("daemon: re-planning epoch %d: %w", d.epoch+1, err))
 		return
 	}
+	// Churn must be measured before install: Adopt mutates the live
+	// assignment in place (the data plane holds its pointer).
+	churn := coord.Churn(d.coordAsg, placement.Assignment)
 	if err := d.install(placement); err != nil {
 		d.fail(fmt.Errorf("daemon: installing epoch %d placement: %w", d.epoch+1, err))
 		return
@@ -834,12 +866,43 @@ func (d *Daemon) replan() {
 	d.tot.replans++
 	d.tot.coordMessages += cost.Total()
 	d.tot.mu.Unlock()
+
+	// The model budgets one state report up and one directive down per
+	// coordinated slot per router: 2*n*x messages, w*n*x latency-weighted
+	// cost (the paper's W(x) without the fixed term).
+	n := int64(len(d.routers))
+	w := d.coordinator.UnitCost()
+	d.timeline.Append(timeline.EpochRecord{
+		Epoch:            d.epoch,
+		SimTimeMs:        d.eng.Now(),
+		Requests:         epochRequests,
+		Messages:         cost.Total(),
+		MessagesUp:       cost.MessagesUp,
+		MessagesDown:     cost.MessagesDown,
+		BoundMessages:    2 * n * d.cfg.Coordinated,
+		UnitCostMs:       w,
+		BoundCostMs:      w * float64(n) * float64(d.cfg.Coordinated),
+		ConvergenceMs:    cost.Convergence,
+		LocalSlots:       localSlots,
+		CoordSlots:       d.cfg.Coordinated,
+		Level:            float64(d.cfg.Coordinated) / float64(d.cfg.Capacity),
+		Churn:            churn,
+		ReportedContents: reported,
+		MaxReport:        maxReport,
+		WallMs:           float64(time.Since(wallStart)) / float64(time.Millisecond),
+	})
+
 	if d.cfg.CheckpointPath != "" {
 		if err := d.checkpoint(); err != nil {
 			d.fail(err)
 		}
 	}
 }
+
+// Timeline returns the daemon's telemetry timeline ring. Safe for
+// concurrent use; the HTTP plane and Prometheus exposition read it
+// while the engine appends.
+func (d *Daemon) Timeline() *timeline.Ring { return d.timeline }
 
 // install makes a placement live: the directory is mutated in place
 // (the data plane holds the assignment pointer) and every router's

@@ -10,19 +10,27 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"ccncoord/internal/obs"
 )
 
 // Register mounts the daemon's endpoints on mux:
 //
 //	POST /requests  {"count": N, "router": R?}  -> 202 {"seq", "queued"}
 //	GET  /stats                                 -> 200 Snapshot
+//	GET  /timeline                              -> 200 epoch records
 //	POST /workload  WorkloadParams              -> 200 effective params
 //	POST /scaling   {"workers": N}              -> 200 {"target", "active"}
 //	GET  /scaling                               -> 200 {"target", "active"}
 //	POST /shutdown                              -> 202; drains asynchronously
+//
+// /timeline supports ?since=E and ?follow=1 (see obs.TimelineHandler)
+// and shares the daemon's health lifecycle: 503 before Start and after
+// failure, readable while running and draining.
 func (d *Daemon) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /requests", d.handleRequests)
 	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.Handle("GET /timeline", obs.TimelineHandler(d.timeline, d.health))
 	mux.HandleFunc("POST /workload", d.handleWorkload)
 	mux.HandleFunc("POST /scaling", d.handleScalePost)
 	mux.HandleFunc("GET /scaling", d.handleScaleGet)

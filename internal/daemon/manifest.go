@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"ccncoord/internal/timeline"
 )
 
 // ManifestSchema identifies the daemon manifest JSON layout;
@@ -53,17 +55,42 @@ type PoolSnapshot struct {
 	Active int `json:"active"`
 }
 
+// EngineSnapshot is the discrete-event engine's gauges as of the last
+// fully simulated batch (the engine is engine-goroutine state, so the
+// snapshot reads the folded copy, never the engine itself). The daemon
+// hosts the serial engine: Shards is 1 and CrossShardEvents 0, kept so
+// the daemon and batch manifests share an engine-section shape.
+type EngineSnapshot struct {
+	EventsProcessed  uint64 `json:"events_processed"`
+	PendingPeak      int    `json:"pending_peak"`
+	Shards           int    `json:"shards"`
+	CrossShardEvents uint64 `json:"cross_shard_events"`
+}
+
+// TimelineSummary is the timeline ring's accounting: how many epoch
+// records exist, how many the bounded ring evicted, and the retention
+// limit. The records themselves are served by GET /timeline and
+// written into the manifest.
+type TimelineSummary struct {
+	Records  int    `json:"records"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+	Capacity int    `json:"capacity"`
+}
+
 // Snapshot is one consistent view of the daemon, served by GET /stats.
 type Snapshot struct {
 	State  string `json:"state"`
 	Reason string `json:"reason,omitempty"`
 	// Queued counts batches admitted but not yet fully simulated.
-	Queued       int64          `json:"queued"`
-	QueueDepth   int            `json:"queue_depth"`
-	Workers      PoolSnapshot   `json:"workers"`
-	Workload     WorkloadParams `json:"workload"`
-	Totals       Totals         `json:"totals"`
-	Coordination Coordination   `json:"coordination"`
+	Queued       int64           `json:"queued"`
+	QueueDepth   int             `json:"queue_depth"`
+	Workers      PoolSnapshot    `json:"workers"`
+	Workload     WorkloadParams  `json:"workload"`
+	Totals       Totals          `json:"totals"`
+	Coordination Coordination    `json:"coordination"`
+	Engine       EngineSnapshot  `json:"engine"`
+	Timeline     TimelineSummary `json:"timeline"`
 }
 
 // Snapshot assembles the current view. Admission and simulation
@@ -109,8 +136,15 @@ func (d *Daemon) Snapshot() Snapshot {
 		EpochRequests: d.cfg.EpochRequests,
 		Restored:      d.restored,
 	}
+	eng := EngineSnapshot{
+		EventsProcessed: d.tot.events,
+		PendingPeak:     d.tot.pendingPeak,
+		Shards:          1,
+	}
 	latencySum, hopsSum := d.tot.latencySum, d.tot.hopsSum
 	d.tot.mu.Unlock()
+
+	tl := d.timeline.Snapshot()
 
 	if t.Completed > 0 {
 		n := float64(t.Completed)
@@ -133,6 +167,13 @@ func (d *Daemon) Snapshot() Snapshot {
 		Workload:     wl,
 		Totals:       t,
 		Coordination: c,
+		Engine:       eng,
+		Timeline: TimelineSummary{
+			Records:  len(tl.Records),
+			Total:    tl.Total,
+			Dropped:  tl.Dropped,
+			Capacity: tl.Capacity,
+		},
 	}
 }
 
@@ -148,6 +189,9 @@ type Manifest struct {
 	// Final is the closing snapshot; its totals equal the last GET
 	// /stats response.
 	Final Snapshot `json:"final"`
+	// Timeline is the retained epoch records, oldest first — the same
+	// array GET /timeline serves. Empty runs omit the section.
+	Timeline []timeline.EpochRecord `json:"timeline,omitempty"`
 }
 
 // Manifest builds the final record from the current snapshot.
@@ -161,6 +205,7 @@ func (d *Daemon) Manifest() *Manifest {
 		Coordinated: d.cfg.Coordinated,
 		Seed:        d.cfg.Seed,
 		Final:       d.Snapshot(),
+		Timeline:    d.timeline.Snapshot().Records,
 	}
 }
 

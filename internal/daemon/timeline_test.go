@@ -1,0 +1,286 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ccncoord/internal/obs"
+	"ccncoord/internal/timeline"
+)
+
+// TestTimelineRecordsReplans pins the observatory's core claim: every
+// re-plan appends one epoch record, and the measured protocol message
+// count never exceeds the model's 2*n*x budget (nor the measured
+// latency-weighted cost the w*n*x bound).
+func TestTimelineRecordsReplans(t *testing.T) {
+	cfg := testConfig(t) // Ring(4,10), c=20, x=10, EpochRequests=300
+	d := mustStart(t, cfg, nil)
+	submit(t, d, 400, -1)
+	submit(t, d, 400, 2)
+	if err := d.Drain(""); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	snap := d.Snapshot()
+	if snap.Coordination.Replans < 1 {
+		t.Fatalf("replans = %d, want at least one for 800 requests at EpochRequests=300", snap.Coordination.Replans)
+	}
+	tl := d.Timeline().Snapshot()
+	if int64(len(tl.Records)) != snap.Coordination.Replans {
+		t.Fatalf("timeline records = %d, want one per re-plan (%d)", len(tl.Records), snap.Coordination.Replans)
+	}
+	if tl.Messages != snap.Coordination.Messages {
+		t.Errorf("timeline message sum = %d, stats coordination messages = %d", tl.Messages, snap.Coordination.Messages)
+	}
+
+	n := int64(cfg.Topology.N())
+	var requests int64
+	for i, rec := range tl.Records {
+		if rec.Epoch != int64(i)+1 {
+			t.Errorf("record %d epoch = %d, want %d", i, rec.Epoch, i+1)
+		}
+		if rec.Messages <= 0 {
+			t.Errorf("epoch %d measured zero messages", rec.Epoch)
+		}
+		// The pinned model-bound invariant.
+		if rec.Messages > rec.BoundMessages {
+			t.Errorf("epoch %d measured %d messages, above the model bound %d", rec.Epoch, rec.Messages, rec.BoundMessages)
+		}
+		if want := 2 * n * cfg.Coordinated; rec.BoundMessages != want {
+			t.Errorf("epoch %d bound = %d, want 2*n*x = %d", rec.Epoch, rec.BoundMessages, want)
+		}
+		if rec.MessagesUp+rec.MessagesDown != rec.Messages {
+			t.Errorf("epoch %d direction split %d+%d != total %d", rec.Epoch, rec.MessagesUp, rec.MessagesDown, rec.Messages)
+		}
+		if want := rec.UnitCostMs * float64(n) * float64(cfg.Coordinated); rec.BoundCostMs != want {
+			t.Errorf("epoch %d bound cost = %g, want w*n*x = %g", rec.Epoch, rec.BoundCostMs, want)
+		}
+		if measured := rec.UnitCostMs * float64(rec.Messages) / 2; measured > rec.BoundCostMs {
+			t.Errorf("epoch %d measured cost %g above bound %g", rec.Epoch, measured, rec.BoundCostMs)
+		}
+		if rec.LocalSlots != cfg.Capacity-cfg.Coordinated || rec.CoordSlots != cfg.Coordinated {
+			t.Errorf("epoch %d slot split = (%d, %d), want (%d, %d)",
+				rec.Epoch, rec.LocalSlots, rec.CoordSlots, cfg.Capacity-cfg.Coordinated, cfg.Coordinated)
+		}
+		if want := float64(cfg.Coordinated) / float64(cfg.Capacity); rec.Level != want {
+			t.Errorf("epoch %d level = %g, want %g", rec.Epoch, rec.Level, want)
+		}
+		if rec.Requests <= 0 || rec.ReportedContents <= 0 {
+			t.Errorf("epoch %d requests/reported = (%d, %d), want both positive", rec.Epoch, rec.Requests, rec.ReportedContents)
+		}
+		if rec.MaxReport > rec.ReportedContents || rec.MaxReport <= 0 {
+			t.Errorf("epoch %d max report %d outside (0, %d]", rec.Epoch, rec.MaxReport, rec.ReportedContents)
+		}
+		if rec.Churn < 0 || rec.Churn > n*cfg.Coordinated {
+			t.Errorf("epoch %d churn %d outside [0, n*x]", rec.Epoch, rec.Churn)
+		}
+		requests += rec.Requests
+	}
+	if requests > snap.Totals.RequestsAdmitted {
+		t.Errorf("timeline accounts %d epoch requests, more than the %d admitted", requests, snap.Totals.RequestsAdmitted)
+	}
+
+	// The /stats summary and the final manifest describe the same ring.
+	if snap.Timeline.Records != len(tl.Records) || snap.Timeline.Total != tl.Total ||
+		snap.Timeline.Dropped != tl.Dropped || snap.Timeline.Capacity != tl.Capacity {
+		t.Errorf("stats timeline summary %+v diverges from ring %+v", snap.Timeline, tl)
+	}
+	if m := d.Manifest(); !reflect.DeepEqual(m.Timeline, tl.Records) {
+		t.Errorf("manifest timeline diverges from the ring:\nmanifest: %+v\nring:     %+v", m.Timeline, tl.Records)
+	}
+}
+
+// TestTimelineRingEvictsUnderSmallCapacity bounds daemon memory: a
+// capacity-1 timeline retains only the newest epoch but keeps counting.
+func TestTimelineRingEvictsUnderSmallCapacity(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.TimelineCapacity = 1
+	d := mustStart(t, cfg, nil)
+	submit(t, d, 400, -1)
+	submit(t, d, 400, -1)
+	if err := d.Drain(""); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	snap := d.Snapshot()
+	if snap.Coordination.Replans < 2 {
+		t.Skipf("only %d replans; eviction needs at least 2", snap.Coordination.Replans)
+	}
+	tl := d.Timeline().Snapshot()
+	if len(tl.Records) != 1 || tl.Capacity != 1 {
+		t.Fatalf("capacity-1 ring holds %d records (capacity %d)", len(tl.Records), tl.Capacity)
+	}
+	if int64(tl.Total) != snap.Coordination.Replans || int64(tl.Dropped) != snap.Coordination.Replans-1 {
+		t.Errorf("ring counters = (total %d, dropped %d), want (%d, %d)",
+			tl.Total, tl.Dropped, snap.Coordination.Replans, snap.Coordination.Replans-1)
+	}
+	if tl.Records[0].Epoch != snap.Coordination.Epoch {
+		t.Errorf("retained epoch = %d, want the latest (%d)", tl.Records[0].Epoch, snap.Coordination.Epoch)
+	}
+	if tl.Messages != snap.Coordination.Messages {
+		t.Errorf("eviction lost message accounting: ring sum %d, stats %d", tl.Messages, snap.Coordination.Messages)
+	}
+}
+
+// TestEngineGaugesMatchManifest checks the /stats engine section is
+// populated from the folded engine gauges and survives into the
+// manifest unchanged.
+func TestEngineGaugesMatchManifest(t *testing.T) {
+	d := mustStart(t, testConfig(t), nil)
+	submit(t, d, 400, -1)
+	if err := d.Drain(""); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	snap := d.Snapshot()
+	if snap.Engine.EventsProcessed == 0 {
+		t.Error("engine events_processed = 0 after 400 simulated requests")
+	}
+	if snap.Engine.PendingPeak <= 0 {
+		t.Errorf("engine pending_peak = %d, want positive", snap.Engine.PendingPeak)
+	}
+	if snap.Engine.Shards != 1 || snap.Engine.CrossShardEvents != 0 {
+		t.Errorf("daemon hosts the serial engine, got shards=%d cross=%d", snap.Engine.Shards, snap.Engine.CrossShardEvents)
+	}
+	if m := d.Manifest(); !reflect.DeepEqual(m.Final.Engine, snap.Engine) {
+		t.Errorf("manifest engine %+v diverges from stats %+v", m.Final.Engine, snap.Engine)
+	}
+}
+
+// TestTimelineHTTPLifecycle drives GET /timeline through the daemon's
+// health states: 503 with the reason while initializing, serving while
+// running, still readable while draining.
+func TestTimelineHTTPLifecycle(t *testing.T) {
+	cfg := testConfig(t)
+	health := obs.NewHealth()
+	d, err := New(cfg, health, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mux := obs.NewMux(nil, health)
+	d.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/timeline"); code != http.StatusServiceUnavailable || !strings.Contains(body, "initializing") {
+		t.Errorf("pre-Start /timeline = (%d, %q), want 503 initializing", code, body)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if code, body := get("/timeline"); code != http.StatusOK || body != "[]\n" {
+		t.Errorf("idle /timeline = (%d, %q), want 200 empty array", code, body)
+	}
+	submit(t, d, 400, -1)
+	if err := d.Drain("test"); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Drained: health is draining, the timeline must still serve.
+	code, body := get("/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("draining /timeline = %d, want 200", code)
+	}
+	var recs []timeline.EpochRecord
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("decoding /timeline: %v", err)
+	}
+	replans := d.Snapshot().Coordination.Replans
+	if int64(len(recs)) != replans {
+		t.Errorf("/timeline served %d records, stats counted %d replans", len(recs), replans)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records to exercise ?since")
+	}
+	last := recs[len(recs)-1].Epoch
+	if code, body := get("/timeline?since=" + jsonInt(last-1)); code != http.StatusOK || !strings.Contains(body, `"epoch": `+jsonInt(last)) {
+		t.Errorf("/timeline?since=%d = (%d, %q), want only epoch %d", last-1, code, body, last)
+	}
+	if code, body := get("/timeline?since=" + jsonInt(last)); code != http.StatusOK || body != "[]\n" {
+		t.Errorf("/timeline?since=%d = (%d, %q), want empty array", last, code, body)
+	}
+	if code, _ := get("/timeline?since=junk"); code != http.StatusBadRequest {
+		t.Errorf("/timeline?since=junk = %d, want 400", code)
+	}
+	resp, err := http.Post(srv.URL+"/timeline", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("POST /timeline: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /timeline = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestTimelineFollowWakesOnReplan long-polls an idle daemon and then
+// pushes enough load to trigger a re-plan; the poll must return the new
+// record rather than time out.
+func TestTimelineFollowWakesOnReplan(t *testing.T) {
+	cfg := testConfig(t)
+	d := mustStart(t, cfg, nil)
+	mux := http.NewServeMux()
+	d.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	type result struct {
+		recs []timeline.EpochRecord
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/timeline?follow=1")
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		var recs []timeline.EpochRecord
+		err = json.NewDecoder(resp.Body).Decode(&recs)
+		done <- result{recs, err}
+	}()
+
+	// Let the poll park, then drive a re-plan (>= EpochRequests).
+	time.Sleep(50 * time.Millisecond)
+	submit(t, d, 400, -1)
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("follow poll: %v", r.err)
+		}
+		if len(r.recs) == 0 {
+			t.Fatal("follow poll returned before any record was appended")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("follow poll never woke on the re-plan")
+	}
+	if err := d.Drain(""); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// jsonInt renders an int64 the way the handlers' JSON does.
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

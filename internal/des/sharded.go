@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Sharded is a conservative parallel discrete-event engine: P logical
@@ -35,6 +36,18 @@ type Sharded struct {
 
 	crossEvents uint64 // events delivered across shard boundaries
 	barrierPeak int    // max total pending observed at window barriers
+
+	// Telemetry. The virtual-time counters (windows, window span, the
+	// cross-shard traffic matrix) are always on: they are O(1) per
+	// window/delivery and deterministic. Wall-clock timing (per-shard
+	// busy and barrier-wait) is gated behind EnableTelemetry because it
+	// calls time.Now in the window hot path and is inherently
+	// nondeterministic.
+	telemetry bool
+	windows   uint64     // bulk-synchronous windows executed
+	firstT    float64    // virtual start time of the first window
+	lastT     float64    // virtual start time of the latest window
+	matrix    [][]uint64 // cross-shard deliveries, [src][dst]
 }
 
 // Shard is one logical process of a Sharded engine. Its methods are
@@ -53,7 +66,16 @@ type Shard struct {
 	sendSeq uint64
 	out     [][]remoteEvent // indexed by destination shard
 	inbox   []remoteEvent   // barrier scratch: merged incoming events
-	_       [64]byte        // pad out false sharing between shard structs
+
+	// Telemetry, written only by the shard's worker inside runWindow
+	// (the barrier's happens-before lets the coordinator read it).
+	windows    uint64 // active windows: windows in which this shard fired
+	busyNs     int64  // cumulative wall time spent executing events
+	lastBusyNs int64  // wall time of the latest window (barrier-wait math)
+
+	waitNs int64 // cumulative wall time idle at barriers, coordinator-written
+
+	_ [64]byte // pad out false sharing between shard structs
 }
 
 // remoteEvent is a cross-shard event in flight: ordered on delivery by
@@ -79,11 +101,19 @@ func NewSharded(shards int, lookahead float64) (*Sharded, error) {
 		return nil, fmt.Errorf("des: lookahead %v must be positive", lookahead)
 	}
 	s := &Sharded{lookahead: lookahead, shards: make([]*Shard, shards)}
+	s.matrix = make([][]uint64, shards)
 	for i := range s.shards {
 		s.shards[i] = &Shard{id: i, par: s, out: make([][]remoteEvent, shards)}
+		s.matrix[i] = make([]uint64, shards)
 	}
 	return s, nil
 }
+
+// EnableTelemetry turns on wall-clock shard timing (per-shard busy time
+// and barrier-wait time) for the next Run. The deterministic counters —
+// windows, window span, per-shard processed counts, the cross-shard
+// traffic matrix — are collected regardless. Call before Run.
+func (s *Sharded) EnableTelemetry() { s.telemetry = true }
 
 // Shards returns the number of logical processes.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -148,6 +178,84 @@ func (s *Sharded) PendingPeak() int {
 // boundaries — the numerator of the cross-shard event fraction reported
 // by the scale benchmarks.
 func (s *Sharded) CrossShardEvents() uint64 { return s.crossEvents }
+
+// ShardStats is one shard's per-run telemetry.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Processed   uint64 `json:"processed"`
+	PendingPeak int    `json:"pending_peak"`
+	// ActiveWindows counts windows in which this shard fired at least
+	// one event; Windows minus this is how often the shard sat idle.
+	ActiveWindows uint64 `json:"active_windows"`
+	// BusyWallMs and BarrierWaitWallMs are wall-clock (collected only
+	// under EnableTelemetry, nondeterministic; ccnbench -diff ignores
+	// *_wall_ms leaves): time spent executing events vs idling at window
+	// barriers while slower shards finished.
+	BusyWallMs        float64 `json:"busy_wall_ms"`
+	BarrierWaitWallMs float64 `json:"barrier_wait_wall_ms"`
+}
+
+// ShardedStats is the engine's per-run telemetry: window accounting,
+// per-shard load balance, and the cross-shard traffic matrix.
+type ShardedStats struct {
+	Shards int `json:"shards"`
+	// Lookahead is the conservative window width; -1 when infinite
+	// (JSON cannot carry +Inf).
+	Lookahead float64 `json:"lookahead"`
+	// Windows counts bulk-synchronous windows executed (0 for the
+	// serial single-shard drain, which has no windows).
+	Windows uint64 `json:"windows"`
+	// FirstWindowAt/LastWindowAt are the virtual start times of the
+	// first and latest windows; MeanWindowSpanMs is the mean
+	// virtual-time advance between consecutive window starts.
+	FirstWindowAt    float64      `json:"first_window_at"`
+	LastWindowAt     float64      `json:"last_window_at"`
+	MeanWindowSpanMs float64      `json:"mean_window_span_ms"`
+	CrossShardEvents uint64       `json:"cross_shard_events"`
+	PerShard         []ShardStats `json:"per_shard"`
+	// CrossShardMatrix[src][dst] counts events delivered from shard src
+	// to shard dst; omitted when no cross-shard traffic occurred.
+	CrossShardMatrix [][]uint64 `json:"cross_shard_matrix,omitempty"`
+}
+
+// Stats assembles the run's telemetry. Call after Run returns (or
+// before it starts); the engine is single-threaded then. Everything
+// except the two wall-clock fields is deterministic for a given
+// scenario and shard count.
+func (s *Sharded) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:           len(s.shards),
+		Lookahead:        s.lookahead,
+		Windows:          s.windows,
+		FirstWindowAt:    s.firstT,
+		LastWindowAt:     s.lastT,
+		CrossShardEvents: s.crossEvents,
+		PerShard:         make([]ShardStats, len(s.shards)),
+	}
+	if math.IsInf(st.Lookahead, 0) {
+		st.Lookahead = -1
+	}
+	if s.windows > 1 {
+		st.MeanWindowSpanMs = (s.lastT - s.firstT) / float64(s.windows-1)
+	}
+	for i, sh := range s.shards {
+		st.PerShard[i] = ShardStats{
+			Shard:             i,
+			Processed:         sh.processed,
+			PendingPeak:       sh.peak,
+			ActiveWindows:     sh.windows,
+			BusyWallMs:        float64(sh.busyNs) / 1e6,
+			BarrierWaitWallMs: float64(sh.waitNs) / 1e6,
+		}
+	}
+	if s.crossEvents > 0 {
+		st.CrossShardMatrix = make([][]uint64, len(s.matrix))
+		for i, row := range s.matrix {
+			st.CrossShardMatrix[i] = append([]uint64(nil), row...)
+		}
+	}
+	return st
+}
 
 // ID returns the shard's index in [0, Shards()).
 func (sh *Shard) ID() int { return sh.id }
@@ -258,12 +366,34 @@ func (s *Sharded) Run() {
 		if math.IsInf(t, 1) {
 			return
 		}
+		if s.windows == 0 {
+			s.firstT = t
+		}
+		s.windows++
+		s.lastT = t
+		var w0 time.Time
+		if s.telemetry {
+			w0 = time.Now()
+		}
 		bound := t + s.lookahead
 		wg.Add(len(s.shards))
 		for i := range wake {
 			wake[i] <- bound
 		}
 		wg.Wait()
+		if s.telemetry {
+			// The window's wall time is set by its slowest shard; the
+			// rest idled at the barrier for the difference. wg.Wait
+			// established the happens-before edge that makes the
+			// worker-written lastBusyNs visible here.
+			wall := time.Since(w0).Nanoseconds()
+			for _, sh := range s.shards {
+				if d := wall - sh.lastBusyNs; d > 0 {
+					sh.waitNs += d
+				}
+				sh.lastBusyNs = 0
+			}
+		}
 		s.deliver()
 		s.observeBarrierDepth()
 	}
@@ -273,11 +403,26 @@ func (s *Sharded) Run() {
 // window generates locally (including at times below bound) execute in
 // the same window; cross-shard sends land in outboxes.
 func (sh *Shard) runWindow(bound float64) {
+	tel := sh.par.telemetry
+	var t0 time.Time
+	if tel {
+		t0 = time.Now()
+	}
+	fired := false
 	for len(sh.queue) > 0 && sh.queue[0].at < bound {
 		ev := sh.queue.pop()
 		sh.now = ev.at
 		sh.processed++
+		fired = true
 		ev.fn()
+	}
+	if fired {
+		sh.windows++
+	}
+	if tel {
+		busy := time.Since(t0).Nanoseconds()
+		sh.busyNs += busy
+		sh.lastBusyNs = busy
 	}
 }
 
@@ -290,6 +435,7 @@ func (s *Sharded) deliver() {
 		dst.inbox = dst.inbox[:0]
 		for _, src := range s.shards {
 			if len(src.out[d]) > 0 {
+				s.matrix[src.id][d] += uint64(len(src.out[d]))
 				dst.inbox = append(dst.inbox, src.out[d]...)
 				src.out[d] = src.out[d][:0]
 			}

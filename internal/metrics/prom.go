@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ccncoord/internal/timeline"
 )
 
 // PromName sanitizes name into a legal Prometheus metric-name segment:
@@ -142,6 +144,69 @@ func WritePrometheus(w io.Writer, s *RegistrySnapshot, namespace string) error {
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s_samples gauge\n%s_samples %d\n",
 			fam, fam, m.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimelinePrometheus renders a timeline snapshot's derived series
+// in the Prometheus text exposition format: cumulative counters
+// (epochs, evictions, measured coordination messages, the model's
+// message budget, churn, epoch requests) followed by latest-epoch
+// gauges. Counters cover every record ever appended — the ring's sums
+// survive eviction — and are emitted even on an empty timeline (all
+// zero); the latest-epoch gauges appear only once a record exists.
+// Families are written in a fixed alphabetical order, so output is
+// byte-identical for equal snapshots. The latest epoch's wall-clock
+// field is deliberately not exposed: every emitted series is a
+// deterministic function of the simulated run.
+func WriteTimelinePrometheus(w io.Writer, s timeline.Snapshot, namespace string) error {
+	ns := PromName(namespace)
+	if ns != "" {
+		ns += "_"
+	}
+	counters := []struct {
+		name string
+		val  int64
+	}{
+		{"bound_messages", s.BoundMessages},
+		{"churn", s.Churn},
+		{"coord_messages", s.Messages},
+		{"dropped", int64(s.Dropped)},
+		{"epochs", int64(s.Total)},
+		{"requests", s.Requests},
+	}
+	for _, c := range counters {
+		fam := ns + c.name + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", fam, fam, c.val); err != nil {
+			return err
+		}
+	}
+	if len(s.Records) == 0 {
+		return nil
+	}
+	last := s.Records[len(s.Records)-1]
+	gauges := []struct {
+		name string
+		val  string
+	}{
+		{"epoch", fmt.Sprintf("%d", last.Epoch)},
+		{"last_bound_cost_ms", promFloat(last.BoundCostMs)},
+		{"last_bound_messages", fmt.Sprintf("%d", last.BoundMessages)},
+		{"last_churn", fmt.Sprintf("%d", last.Churn)},
+		{"last_convergence_ms", promFloat(last.ConvergenceMs)},
+		{"last_coord_slots", fmt.Sprintf("%d", last.CoordSlots)},
+		{"last_level", promFloat(last.Level)},
+		{"last_local_slots", fmt.Sprintf("%d", last.LocalSlots)},
+		{"last_messages", fmt.Sprintf("%d", last.Messages)},
+		{"last_reported_contents", fmt.Sprintf("%d", last.ReportedContents)},
+		{"last_requests", fmt.Sprintf("%d", last.Requests)},
+		{"last_unit_cost_ms", promFloat(last.UnitCostMs)},
+	}
+	for _, g := range gauges {
+		fam := ns + g.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", fam, fam, g.val); err != nil {
 			return err
 		}
 	}

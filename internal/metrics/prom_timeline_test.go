@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"ccncoord/internal/timeline"
+)
+
+func timelineText(t *testing.T, r *timeline.Ring) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteTimelinePrometheus(&b, r.Snapshot(), "ccncoord_timeline"); err != nil {
+		t.Fatalf("WriteTimelinePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestTimelinePrometheusEmpty(t *testing.T) {
+	out := timelineText(t, timeline.NewRing(8))
+	for _, want := range []string{
+		"ccncoord_timeline_bound_messages_total 0\n",
+		"ccncoord_timeline_churn_total 0\n",
+		"ccncoord_timeline_coord_messages_total 0\n",
+		"ccncoord_timeline_dropped_total 0\n",
+		"ccncoord_timeline_epochs_total 0\n",
+		"ccncoord_timeline_requests_total 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "gauge") {
+		t.Errorf("empty timeline must emit no latest-epoch gauges, got:\n%s", out)
+	}
+}
+
+func TestTimelinePrometheusSingleRecord(t *testing.T) {
+	ring := timeline.NewRing(8)
+	ring.Append(timeline.EpochRecord{
+		Epoch:            3,
+		Requests:         500,
+		Messages:         40,
+		BoundMessages:    48,
+		UnitCostMs:       2.5,
+		BoundCostMs:      60,
+		ConvergenceMs:    5,
+		LocalSlots:       10,
+		CoordSlots:       6,
+		Level:            0.375,
+		Churn:            4,
+		ReportedContents: 77,
+		WallMs:           123.456, // wall clock must never reach the exposition
+	})
+	out := timelineText(t, ring)
+	for _, want := range []string{
+		"ccncoord_timeline_coord_messages_total 40\n",
+		"ccncoord_timeline_bound_messages_total 48\n",
+		"ccncoord_timeline_epochs_total 1\n",
+		"ccncoord_timeline_requests_total 500\n",
+		"ccncoord_timeline_churn_total 4\n",
+		"ccncoord_timeline_dropped_total 0\n",
+		"ccncoord_timeline_epoch 3\n",
+		"ccncoord_timeline_last_messages 40\n",
+		"ccncoord_timeline_last_bound_messages 48\n",
+		"ccncoord_timeline_last_bound_cost_ms 60\n",
+		"ccncoord_timeline_last_unit_cost_ms 2.5\n",
+		"ccncoord_timeline_last_convergence_ms 5\n",
+		"ccncoord_timeline_last_coord_slots 6\n",
+		"ccncoord_timeline_last_local_slots 10\n",
+		"ccncoord_timeline_last_level 0.375\n",
+		"ccncoord_timeline_last_churn 4\n",
+		"ccncoord_timeline_last_reported_contents 77\n",
+		"ccncoord_timeline_last_requests 500\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wall") {
+		t.Errorf("wall-clock series leaked into exposition:\n%s", out)
+	}
+}
+
+// TestTimelinePrometheusWraparound appends past capacity and checks the
+// counters still cover evicted records while the gauges track the
+// latest one.
+func TestTimelinePrometheusWraparound(t *testing.T) {
+	ring := timeline.NewRing(3)
+	for i := int64(1); i <= 7; i++ {
+		ring.Append(timeline.EpochRecord{
+			Epoch:         i,
+			Requests:      100,
+			Messages:      10,
+			BoundMessages: 12,
+			Churn:         2,
+		})
+	}
+	out := timelineText(t, ring)
+	for _, want := range []string{
+		"ccncoord_timeline_epochs_total 7\n",
+		"ccncoord_timeline_dropped_total 4\n",
+		"ccncoord_timeline_coord_messages_total 70\n",
+		"ccncoord_timeline_bound_messages_total 84\n",
+		"ccncoord_timeline_churn_total 14\n",
+		"ccncoord_timeline_requests_total 700\n",
+		"ccncoord_timeline_epoch 7\n",
+		"ccncoord_timeline_last_messages 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wraparound exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTimelinePrometheusDeterministic builds two rings through the same
+// append sequence and requires byte-identical exposition, and a sorted
+// family order within each section.
+func TestTimelinePrometheusDeterministic(t *testing.T) {
+	build := func() *timeline.Ring {
+		ring := timeline.NewRing(4)
+		for i := int64(1); i <= 6; i++ {
+			ring.Append(timeline.EpochRecord{
+				Epoch:         i,
+				Requests:      50 * i,
+				Messages:      8 * i,
+				BoundMessages: 9 * i,
+				UnitCostMs:    1.5,
+				Churn:         i,
+				WallMs:        float64(i) * 7.7, // differs run to run in real life
+			})
+		}
+		return ring
+	}
+	a, b := timelineText(t, build()), timelineText(t, build())
+	if a != b {
+		t.Fatalf("exposition not deterministic:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+
+	var families []string
+	for _, line := range strings.Split(a, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families = append(families, strings.Fields(rest)[0])
+		}
+	}
+	counters, gauges := families[:6], families[6:]
+	for i := 1; i < len(counters); i++ {
+		if counters[i-1] >= counters[i] {
+			t.Errorf("counter families out of order: %q before %q", counters[i-1], counters[i])
+		}
+	}
+	for i := 1; i < len(gauges); i++ {
+		if gauges[i-1] >= gauges[i] {
+			t.Errorf("gauge families out of order: %q before %q", gauges[i-1], gauges[i])
+		}
+	}
+}

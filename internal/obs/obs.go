@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ccncoord/internal/metrics"
+	"ccncoord/internal/timeline"
 )
 
 // HealthState is the readiness of the process behind the mux, the
@@ -129,6 +130,7 @@ type Progress struct {
 	requestsDone   atomic.Int64
 
 	snap atomic.Pointer[metrics.RegistrySnapshot]
+	tl   atomic.Pointer[timeline.Ring]
 }
 
 // NewProgress returns a progress tracker with the rate baseline at
@@ -160,6 +162,14 @@ func (p *Progress) Publish(snap *metrics.RegistrySnapshot) { p.snap.Store(snap) 
 
 // Snapshot returns the last published metrics snapshot, or nil.
 func (p *Progress) Snapshot() *metrics.RegistrySnapshot { return p.snap.Load() }
+
+// AttachTimeline mirrors the telemetry ring's series into /metrics:
+// once attached, every exposition appends the timeline-derived
+// counters and latest-epoch gauges (see metrics.WriteTimelinePrometheus).
+func (p *Progress) AttachTimeline(r *timeline.Ring) { p.tl.Store(r) }
+
+// Timeline returns the attached telemetry ring, or nil.
+func (p *Progress) Timeline() *timeline.Ring { return p.tl.Load() }
 
 // writeProgress renders the progress gauges in Prometheus text form.
 func (p *Progress) writeProgress(w http.ResponseWriter) {
@@ -205,6 +215,9 @@ func NewMux(p *Progress, h *Health) *http.ServeMux {
 			// Render errors here are client-connection failures; the
 			// snapshot itself cannot fail to serialize.
 			_ = metrics.WritePrometheus(w, snap, "ccncoord_sim")
+		}
+		if ring := p.Timeline(); ring != nil {
+			_ = metrics.WriteTimelinePrometheus(w, ring.Snapshot(), "ccncoord_timeline")
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,82 @@
+// The /timeline endpoint: the telemetry ring served as a JSON array,
+// with ?since=E incremental reads and ?follow=1 long-polling. The
+// handler obeys the same lifecycle discipline as /healthz — 503 with
+// the health reason while the process is initializing or failed — but
+// unlike admission it stays readable while draining, so a watcher can
+// observe a shutdown's final epochs complete.
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ccncoord/internal/timeline"
+)
+
+// followTimeout caps one ?follow=1 long-poll; after it, the handler
+// answers with whatever is available (possibly an empty array) so
+// clients on naive HTTP stacks are never parked forever.
+const followTimeout = 25 * time.Second
+
+// TimelineHandler serves ring as GET /timeline. Query parameters:
+//
+//	since=E   only records with epoch > E (default: all retained)
+//	follow=1  when nothing is newer than since, block until the next
+//	          append, the follow timeout, or client disconnect
+//
+// A nil health serves unconditionally; otherwise initializing/failed
+// answer 503 with the probe body, and ready/draining serve.
+func TimelineHandler(ring *timeline.Ring, h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if h != nil {
+			state, reason := h.State()
+			if state == HealthInitializing || state == HealthFailed {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				if reason != "" {
+					fmt.Fprintf(w, "%s: %s\n", state, reason)
+				} else {
+					fmt.Fprintln(w, state)
+				}
+				return
+			}
+		}
+		since := int64(-1)
+		if v := r.URL.Query().Get("since"); v != "" {
+			parsed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad since %q: %v", v, err), http.StatusBadRequest)
+				return
+			}
+			since = parsed
+		}
+		records := ring.Since(since)
+		if len(records) == 0 && r.URL.Query().Get("follow") == "1" {
+			// Arm the wait channel before re-reading: an append between
+			// the first read and the Wait call closes this channel, so
+			// the select below never misses it.
+			wait := ring.Wait()
+			if records = ring.Since(since); len(records) == 0 {
+				timer := time.NewTimer(followTimeout)
+				select {
+				case <-wait:
+					records = ring.Since(since)
+				case <-timer.C:
+				case <-r.Context().Done():
+					timer.Stop()
+					return
+				}
+				timer.Stop()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = timeline.WriteJSON(w, records)
+	})
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccncoord/internal/timeline"
+)
+
+func timelineGet(t *testing.T, h http.Handler, target string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestTimelineHandlerServesRecords(t *testing.T) {
+	ring := timeline.NewRing(4)
+	ring.Append(timeline.EpochRecord{Epoch: 1, Messages: 10})
+	ring.Append(timeline.EpochRecord{Epoch: 2, Messages: 20})
+	h := TimelineHandler(ring, nil)
+
+	code, body := timelineGet(t, h, "/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("GET /timeline = %d, want 200", code)
+	}
+	if !strings.Contains(body, `"epoch": 1`) || !strings.Contains(body, `"epoch": 2`) {
+		t.Errorf("body missing records:\n%s", body)
+	}
+	if code, body := timelineGet(t, h, "/timeline?since=1"); code != http.StatusOK ||
+		strings.Contains(body, `"epoch": 1`) || !strings.Contains(body, `"epoch": 2`) {
+		t.Errorf("?since=1 = (%d, %q), want only epoch 2", code, body)
+	}
+	if code, body := timelineGet(t, h, "/timeline?since=2"); code != http.StatusOK || body != "[]\n" {
+		t.Errorf("?since=2 = (%d, %q), want empty array", code, body)
+	}
+	if code, _ := timelineGet(t, h, "/timeline?since=two"); code != http.StatusBadRequest {
+		t.Errorf("?since=two = %d, want 400", code)
+	}
+}
+
+func TestTimelineHandlerMethodNotAllowed(t *testing.T) {
+	h := TimelineHandler(timeline.NewRing(1), nil)
+	req := httptest.NewRequest(http.MethodPost, "/timeline", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+}
+
+// TestTimelineHandlerHealthGate mirrors the lifecycle contract: 503
+// with the probe body while initializing or failed, serving while
+// ready AND while draining.
+func TestTimelineHandlerHealthGate(t *testing.T) {
+	ring := timeline.NewRing(4)
+	ring.Append(timeline.EpochRecord{Epoch: 1})
+	health := NewHealth()
+	h := TimelineHandler(ring, health)
+
+	if code, body := timelineGet(t, h, "/timeline"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "initializing") {
+		t.Errorf("initializing = (%d, %q), want 503 initializing", code, body)
+	}
+	health.Ready()
+	if code, _ := timelineGet(t, h, "/timeline"); code != http.StatusOK {
+		t.Errorf("ready = %d, want 200", code)
+	}
+	health.Draining("shutdown requested")
+	if code, body := timelineGet(t, h, "/timeline"); code != http.StatusOK ||
+		!strings.Contains(body, `"epoch": 1`) {
+		t.Errorf("draining = (%d, %q), want the timeline to stay readable", code, body)
+	}
+	health.Fail("boom")
+	if code, body := timelineGet(t, h, "/timeline"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "failed: boom") {
+		t.Errorf("failed = (%d, %q), want 503 with the reason", code, body)
+	}
+}
+
+// TestTimelineHandlerFollowWakes parks a ?follow=1 poll and appends;
+// the poll must return the fresh record.
+func TestTimelineHandlerFollowWakes(t *testing.T) {
+	ring := timeline.NewRing(4)
+	srv := httptest.NewServer(TimelineHandler(ring, nil))
+	defer srv.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/timeline?follow=1")
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	ring.Append(timeline.EpochRecord{Epoch: 42, Messages: 7})
+	select {
+	case body := <-done:
+		if !strings.Contains(body, `"epoch": 42`) {
+			t.Errorf("follow poll body = %q, want the appended record", body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow poll never woke on append")
+	}
+}
+
+// TestTimelineHandlerFollowAppendRace covers the armed-wait window: a
+// record appended between the handler's first read and its Wait must
+// still be delivered (the handler re-reads after arming).
+func TestTimelineHandlerFollowAppendRace(t *testing.T) {
+	ring := timeline.NewRing(4)
+	srv := httptest.NewServer(TimelineHandler(ring, nil))
+	defer srv.Close()
+	// Appending before the request makes Since non-empty immediately —
+	// the degenerate case of the race where follow never parks.
+	ring.Append(timeline.EpochRecord{Epoch: 1})
+	resp, err := http.Get(srv.URL + "/timeline?follow=1")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), `"epoch": 1`) {
+		t.Errorf("follow with data = %q, want immediate record", sb.String())
+	}
+}
+
+// TestTimelineHandlerFollowClientDisconnect cancels a parked poll and
+// expects the handler to return without writing.
+func TestTimelineHandlerFollowClientDisconnect(t *testing.T) {
+	ring := timeline.NewRing(4)
+	srv := httptest.NewServer(TimelineHandler(ring, nil))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/timeline?follow=1", nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("canceled poll returned a response, want a context error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled poll never returned")
+	}
+}
+
+// TestMetricsIncludesAttachedTimeline wires a ring into Progress and
+// checks /metrics carries the timeline series alongside the progress
+// gauges.
+func TestMetricsIncludesAttachedTimeline(t *testing.T) {
+	p := NewProgress()
+	ring := timeline.NewRing(4)
+	ring.Append(timeline.EpochRecord{Epoch: 5, Messages: 80, BoundMessages: 80})
+	p.AttachTimeline(ring)
+	mux := NewMux(p, nil)
+	code, body := timelineGet(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", code)
+	}
+	for _, want := range []string{
+		"ccncoord_run_uptime_seconds",
+		"ccncoord_timeline_coord_messages_total 80\n",
+		"ccncoord_timeline_epoch 5\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ccncoord/internal/coord"
 	"ccncoord/internal/model"
+	"ccncoord/internal/timeline"
 	"ccncoord/internal/topology"
 )
 
@@ -53,6 +54,14 @@ func AdaptiveRun(sc Scenario, base model.Config, epochs int) ([]AdaptiveEpoch, e
 	sc.Placement = nil
 	sc.Policy = PolicyNonCoordinated // bootstrap epoch
 
+	// The loop appends its own epoch records — richer than the install
+	// records provisionPolicy would write (measured epoch behavior,
+	// estimate, churn against the previous placement) — so the ring is
+	// detached from the inner runs to avoid double-counting.
+	ring := sc.Timeline
+	sc.Timeline = nil
+	var prevAsg *coord.Assignment
+
 	out := make([]AdaptiveEpoch, 0, epochs)
 	for epoch := 1; epoch <= epochs; epoch++ {
 		sc.Seed += int64(epoch) * 10007 // fresh workload per epoch
@@ -64,6 +73,10 @@ func AdaptiveRun(sc Scenario, base model.Config, epochs int) ([]AdaptiveEpoch, e
 		if err != nil {
 			return nil, fmt.Errorf("sim: adaptive epoch %d: %w", epoch, err)
 		}
+		if ring != nil {
+			ring.Append(adaptiveEpochRecord(ring, base, adaptive, res, cost, placement, prevAsg, sc.Capacity))
+		}
+		prevAsg = placement.Assignment
 		res.Reports = nil // drop bulk data from the record
 		out = append(out, AdaptiveEpoch{
 			Epoch:      epoch,
@@ -77,4 +90,50 @@ func AdaptiveRun(sc Scenario, base model.Config, epochs int) ([]AdaptiveEpoch, e
 		sc.Placement = placement
 	}
 	return out, nil
+}
+
+// adaptiveEpochRecord builds one timeline record for a closed-loop
+// coordination epoch: the measured protocol cost of installing the
+// epoch's estimated placement next to the model's 2*n*ceil(size/n)
+// message budget, the adaptive estimate that drove it, and the
+// placement churn against the previous epoch. WallMs stays zero so
+// adaptive timelines are fully deterministic.
+func adaptiveEpochRecord(ring *timeline.Ring, base model.Config, adaptive *coord.Adaptive,
+	res Result, cost coord.Cost, placement *coord.Placement, prevAsg *coord.Assignment, capacity int64) timeline.EpochRecord {
+	n := int64(base.Routers)
+	size := int64(placement.Assignment.Size())
+	xEff := int64(0)
+	if n > 0 {
+		xEff = (size + n - 1) / n
+	}
+	var reported, maxReport int64
+	for _, rep := range res.Reports {
+		card := int64(len(rep.Counts))
+		reported += card
+		if card > maxReport {
+			maxReport = card
+		}
+	}
+	var localSlots int64
+	if capacity > xEff {
+		localSlots = capacity - xEff
+	}
+	return timeline.EpochRecord{
+		Epoch:            int64(ring.Total()) + 1,
+		Requests:         int64(res.Requests),
+		Messages:         cost.Total(),
+		MessagesUp:       cost.MessagesUp,
+		MessagesDown:     cost.MessagesDown,
+		BoundMessages:    2 * n * xEff,
+		UnitCostMs:       base.UnitCost,
+		BoundCostMs:      base.UnitCost * float64(n) * float64(xEff),
+		ConvergenceMs:    cost.Convergence,
+		LocalSlots:       localSlots,
+		CoordSlots:       xEff,
+		Level:            adaptive.LastLevel(),
+		EstimatedS:       adaptive.LastEstimate(),
+		Churn:            coord.Churn(prevAsg, placement.Assignment),
+		ReportedContents: reported,
+		MaxReport:        maxReport,
+	}
 }

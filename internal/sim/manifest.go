@@ -15,7 +15,9 @@ import (
 	"io"
 
 	"ccncoord/internal/ccn"
+	"ccncoord/internal/des"
 	"ccncoord/internal/metrics"
+	"ccncoord/internal/timeline"
 )
 
 // ManifestSchema identifies the manifest JSON layout. The schema is
@@ -65,6 +67,14 @@ type RunManifest struct {
 	// traced; nil otherwise. Note the counts depend on the tracer's
 	// prior use — a tracer shared across runs accumulates.
 	Trace *ManifestTrace `json:"trace,omitempty"`
+
+	// Timeline carries the coordination-epoch records retained by the
+	// scenario's telemetry ring (Scenario.Timeline) — for single-run
+	// scenarios the placement installation, for adaptive runs one
+	// record per coordination epoch. Nil (and omitted) when the run
+	// recorded no timeline, keeping telemetry-off manifests
+	// byte-identical to earlier versions.
+	Timeline []timeline.EpochRecord `json:"timeline,omitempty"`
 }
 
 // ManifestChaos mirrors the chaos-outcome Result fields.
@@ -141,6 +151,17 @@ type ManifestEngine struct {
 	// pre-existing manifests byte-identical) when no fallback happened;
 	// the automatic rule choosing serial is policy, not a fallback.
 	ShardFallbackReason string `json:"shard_fallback_reason,omitempty"`
+
+	// Extended sharded-engine telemetry, populated only under
+	// Scenario.EngineTelemetry on a sharded run (all omitted otherwise,
+	// preserving earlier manifests byte for byte): window accounting,
+	// per-shard load balance including wall-clock busy/barrier-wait
+	// time (nondeterministic; ccnbench -diff ignores *_wall_ms), and
+	// the cross-shard traffic matrix.
+	Windows          uint64           `json:"windows,omitempty"`
+	MeanWindowSpanMs float64          `json:"mean_window_span_ms,omitempty"`
+	ShardStats       []des.ShardStats `json:"shard_stats,omitempty"`
+	CrossShardMatrix [][]uint64       `json:"cross_shard_matrix,omitempty"`
 }
 
 // ManifestTrace is the tracer's sampling accounting.
@@ -223,6 +244,9 @@ func buildManifest(sc Scenario, res Result, engine ManifestEngine, net *ccn.Netw
 			Seen:    sc.Tracer.Seen(),
 			Emitted: sc.Tracer.Emitted(),
 		}
+	}
+	if sc.Timeline != nil {
+		m.Timeline = sc.Timeline.Snapshot().Records
 	}
 	return m
 }

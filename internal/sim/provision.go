@@ -8,6 +8,7 @@ import (
 	"ccncoord/internal/catalog"
 	"ccncoord/internal/ccn"
 	"ccncoord/internal/coord"
+	"ccncoord/internal/timeline"
 	"ccncoord/internal/topology"
 )
 
@@ -69,6 +70,7 @@ func provisionPolicy(sc Scenario, routers []topology.NodeID, res *Result) (provi
 			prov.coordAsg = p.Assignment
 			prov.localSet = p.LocalSet
 			res.CoordMessages = 2 * int64(p.Assignment.Size())
+			recordInstall(sc, routers, p.Assignment, int64(len(p.LocalSet)), res.CoordMessages)
 			prov.stores = func(r topology.NodeID) (cache.Store, error) {
 				local, err := cache.NewStatic(p.LocalSet)
 				if err != nil {
@@ -121,14 +123,9 @@ func provisionPolicy(sc Scenario, routers []topology.NodeID, res *Result) (provi
 		res.CoordMessages = 2 * totalCoord
 		res.CoordConvergence = 0
 		if m := sc.Topology.MeasuredLatencies(); m != nil {
-			var maxLat float64
-			for i := range m {
-				for j := range m[i] {
-					maxLat = math.Max(maxLat, m[i][j])
-				}
-			}
-			res.CoordConvergence = 2 * maxLat
+			res.CoordConvergence = 2 * maxPairwiseLatency(m)
 		}
+		recordInstall(sc, routers, asg, maxLocal, res.CoordMessages)
 		prov.stores = func(r topology.NodeID) (cache.Store, error) {
 			local, err := cache.NewStaticRange(1, min64(capOf(r)-coordOf(r), sc.CatalogSize))
 			if err != nil {
@@ -169,4 +166,59 @@ func provisionPolicy(sc Scenario, routers []topology.NodeID, res *Result) (provi
 		return provisioned{}, fmt.Errorf("sim: unknown policy %d", sc.Policy)
 	}
 	return prov, nil
+}
+
+// maxPairwiseLatency returns the largest entry of a measured latency
+// matrix — the model's per-exchange unit cost w.
+func maxPairwiseLatency(m [][]float64) float64 {
+	var maxLat float64
+	for i := range m {
+		for j := range m[i] {
+			maxLat = math.Max(maxLat, m[i][j])
+		}
+	}
+	return maxLat
+}
+
+// recordInstall appends one placement-installation record to the
+// scenario's timeline ring; a nil ring records nothing. The epoch
+// number continues the ring's own count so a ring shared across runs
+// accumulates one continuous timeline. The measured message count is
+// compared against the model's 2*n*ceil(size/n) budget for the
+// effective per-router coordinated quota; WallMs stays zero — batch
+// installation is setup, and keeping the record deterministic keeps
+// telemetry-on manifests reproducible outside the explicitly
+// wall-clock engine fields.
+func recordInstall(sc Scenario, routers []topology.NodeID, asg *coord.Assignment, localSlots, messages int64) {
+	ring := sc.Timeline
+	if ring == nil || asg == nil {
+		return
+	}
+	n := int64(len(routers))
+	size := int64(asg.Size())
+	xEff := (size + n - 1) / n // effective per-router coordinated quota
+	var w float64
+	if m := sc.Topology.MeasuredLatencies(); m != nil {
+		w = maxPairwiseLatency(m)
+	}
+	var level float64
+	if sc.Capacity > 0 {
+		level = float64(xEff) / float64(sc.Capacity)
+	}
+	up := messages / 2
+	ring.Append(timeline.EpochRecord{
+		Epoch:         int64(ring.Total()) + 1,
+		Requests:      int64(sc.Requests),
+		Messages:      messages,
+		MessagesUp:    up,
+		MessagesDown:  messages - up,
+		BoundMessages: 2 * n * xEff,
+		UnitCostMs:    w,
+		BoundCostMs:   w * float64(n) * float64(xEff),
+		ConvergenceMs: 2 * w,
+		LocalSlots:    localSlots,
+		CoordSlots:    xEff,
+		Level:         level,
+		Churn:         coord.Churn(nil, asg),
+	})
 }

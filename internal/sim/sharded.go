@@ -138,6 +138,9 @@ func runSharded(sc Scenario, parts int) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
+	if sc.EngineTelemetry {
+		se.EnableTelemetry()
+	}
 	cat, err := catalog.New(sc.CatalogSize, "/sim")
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -390,12 +393,20 @@ func runSharded(sc Scenario, parts int) (Result, error) {
 		}
 	}
 	if sc.EmitManifest {
-		res.Manifest = buildManifest(sc, res, ManifestEngine{
+		me := ManifestEngine{
 			EventsProcessed:  se.Processed(),
 			PendingPeak:      se.PendingPeak(),
 			Shards:           se.Shards(),
 			CrossShardEvents: se.CrossShardEvents(),
-		}, net, reg, avail.Snapshot())
+		}
+		if sc.EngineTelemetry {
+			st := se.Stats()
+			me.Windows = st.Windows
+			me.MeanWindowSpanMs = st.MeanWindowSpanMs
+			me.ShardStats = st.PerShard
+			me.CrossShardMatrix = st.CrossShardMatrix
+		}
+		res.Manifest = buildManifest(sc, res, me, net, reg, avail.Snapshot())
 	}
 	return res, nil
 }

@@ -131,12 +131,17 @@ func TestResolveShards(t *testing.T) {
 
 	// Every non-shardable feature forces serial even when asked.
 	cases := map[string]func(*Scenario){
-		"loss":       func(s *Scenario) { s.LossRate = 0.1; s.RetxTimeout = 300 },
-		"link rate":  func(s *Scenario) { s.LinkRate = 1 },
-		"faults":     func(s *Scenario) { s.RetxTimeout = 300; s.FaultScript = []fault.Event{{At: 10, Kind: fault.RouterDown, Node: 1}} },
-		"tracer":     func(s *Scenario) { s.Tracer = &trace.Tracer{} },
-		"probcache":  func(s *Scenario) { s.Policy = PolicyProbCache },
-		"wl factory": func(s *Scenario) { s.WorkloadFactory = func(topology.NodeID) (workload.Generator, error) { return nil, nil } },
+		"loss":      func(s *Scenario) { s.LossRate = 0.1; s.RetxTimeout = 300 },
+		"link rate": func(s *Scenario) { s.LinkRate = 1 },
+		"faults": func(s *Scenario) {
+			s.RetxTimeout = 300
+			s.FaultScript = []fault.Event{{At: 10, Kind: fault.RouterDown, Node: 1}}
+		},
+		"tracer":    func(s *Scenario) { s.Tracer = &trace.Tracer{} },
+		"probcache": func(s *Scenario) { s.Policy = PolicyProbCache },
+		"wl factory": func(s *Scenario) {
+			s.WorkloadFactory = func(topology.NodeID) (workload.Generator, error) { return nil, nil }
+		},
 	}
 	for name, mutate := range cases {
 		sc := testScenario()

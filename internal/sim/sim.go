@@ -18,6 +18,7 @@ import (
 	"ccncoord/internal/des"
 	"ccncoord/internal/fault"
 	"ccncoord/internal/metrics"
+	"ccncoord/internal/timeline"
 	"ccncoord/internal/topology"
 	"ccncoord/internal/trace"
 	"ccncoord/internal/workload"
@@ -258,6 +259,24 @@ type Scenario struct {
 	// path's degenerate-partition bailout — before dispatching to
 	// runSerial, which copies it into the manifest's engine section.
 	shardFallbackReason string
+
+	// EngineTelemetry opts the run into the sharded engine's extended
+	// telemetry: window accounting, per-shard busy/barrier-wait wall
+	// time, and the cross-shard traffic matrix, recorded into the
+	// manifest's engine section. Off (the default) leaves every
+	// manifest byte-identical to earlier versions — the wall-clock
+	// fields it adds are inherently nondeterministic (ccnbench -diff
+	// ignores *_wall_ms leaves for exactly this reason).
+	EngineTelemetry bool
+
+	// Timeline, when non-nil, receives one coordination epoch record
+	// per placement installation — measured protocol messages next to
+	// the model's 2*n*x budget — and the run manifest carries the
+	// ring's retained records in a "timeline" section. Nil (the
+	// default) records nothing and changes no output bytes. The same
+	// ring may be shared across runs (e.g. by AdaptiveRun's epochs) to
+	// accumulate one continuous timeline.
+	Timeline *timeline.Ring
 }
 
 // Failure-detector defaults (see Scenario.HeartbeatInterval).

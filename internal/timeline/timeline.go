@@ -1,0 +1,235 @@
+// Package timeline is a bounded, allocation-stingy time-series recorder
+// for coordination telemetry: a fixed-capacity ring of typed epoch
+// records, oldest-evicted, with cumulative sums that survive eviction
+// and a broadcast channel long-poll consumers wait on. The daemon's
+// replan loop and the batch coordination-epoch paths append one record
+// per epoch; GET /timeline, the Prometheus exposition, and the run
+// manifests all read consistent snapshots.
+//
+// Concurrency model: a Ring is safe for concurrent use. Append takes
+// the mutex, writes into preallocated storage (no per-record
+// allocation beyond the replaced broadcast channel), and wakes
+// waiters; Snapshot/Since copy records out under the same mutex, so
+// readers never observe a half-written record.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EpochRecord is one coordination epoch's observability record. The
+// daemon and the batch simulator fill the fields that apply to them;
+// fields with no meaning in a context stay zero. JSON encoding is
+// deterministic: encoding/json emits struct fields in declaration
+// order, and every field is a scalar.
+type EpochRecord struct {
+	// Epoch is the placement epoch this record closes (1-based).
+	Epoch int64 `json:"epoch"`
+	// SimTimeMs is the engine's virtual clock at the replan.
+	SimTimeMs float64 `json:"sim_time_ms"`
+	// Requests counts the completed requests observed during the epoch.
+	Requests int64 `json:"requests"`
+
+	// Messages is the measured protocol message total (coord.Cost) the
+	// epoch actually exchanged; MessagesUp/Down split it by direction.
+	Messages     int64 `json:"messages"`
+	MessagesUp   int64 `json:"messages_up"`
+	MessagesDown int64 `json:"messages_down"`
+	// BoundMessages is the model's message budget for the adopted x:
+	// one state report up and one directive down per coordinated slot
+	// per router, 2*n*x. The protocol must never exceed it.
+	BoundMessages int64 `json:"bound_messages"`
+	// UnitCostMs is w, the per-exchange unit cost (max pairwise
+	// latency); BoundCostMs is the paper's W(x) = w*n*x for the adopted
+	// x, and ConvergenceMs the measured epoch convergence time.
+	UnitCostMs    float64 `json:"unit_cost_ms"`
+	BoundCostMs   float64 `json:"bound_cost_ms"`
+	ConvergenceMs float64 `json:"convergence_ms"`
+
+	// LocalSlots/CoordSlots is the adopted capacity split; Level is the
+	// coordination level x/c the split corresponds to.
+	LocalSlots int64   `json:"local_slots"`
+	CoordSlots int64   `json:"coord_slots"`
+	Level      float64 `json:"level"`
+	// EstimatedS is the adaptive coordinator's online Zipf estimate,
+	// when one drove the epoch (0 otherwise).
+	EstimatedS float64 `json:"estimated_s,omitempty"`
+
+	// Churn counts coordinated contents whose owner changed versus the
+	// previous placement (every content on the first installation).
+	Churn int64 `json:"churn"`
+	// ReportedContents sums the per-router report cardinalities (the
+	// distinct contents each router reported); MaxReport is the largest
+	// single router's cardinality.
+	ReportedContents int64 `json:"reported_contents"`
+	MaxReport        int64 `json:"max_report"`
+
+	// WallMs is the replan's wall-clock duration — the one
+	// nondeterministic field, which ccnbench -diff ignores.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Snapshot is one consistent view of a Ring: the retained records
+// (oldest first) plus counters and cumulative sums covering every
+// record ever appended, including evicted ones.
+type Snapshot struct {
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+
+	// Cumulative sums across all appended records (eviction-proof).
+	Messages      int64 `json:"messages"`
+	BoundMessages int64 `json:"bound_messages"`
+	Churn         int64 `json:"churn"`
+	Requests      int64 `json:"requests"`
+
+	Records []EpochRecord `json:"records"`
+}
+
+// Ring is the bounded recorder. Construct with NewRing.
+type Ring struct {
+	mu   sync.Mutex
+	recs []EpochRecord // preallocated backing store, len == capacity
+	head int           // index of the oldest live record
+	n    int           // live record count
+
+	total   uint64
+	dropped uint64
+
+	sumMessages int64
+	sumBound    int64
+	sumChurn    int64
+	sumRequests int64
+
+	waitc chan struct{} // closed and replaced on every Append
+}
+
+// NewRing returns a recorder retaining at most capacity records;
+// capacity below 1 is clamped to 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		recs:  make([]EpochRecord, capacity),
+		waitc: make(chan struct{}),
+	}
+}
+
+// Capacity returns the fixed retention limit.
+func (r *Ring) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Len returns the number of retained records.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns how many records have ever been appended.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Append records one epoch, evicting the oldest record when full, and
+// wakes every Wait-er. It never allocates record storage.
+func (r *Ring) Append(rec EpochRecord) {
+	r.mu.Lock()
+	if r.n == len(r.recs) {
+		r.head = (r.head + 1) % len(r.recs)
+		r.n--
+		r.dropped++
+	}
+	r.recs[(r.head+r.n)%len(r.recs)] = rec
+	r.n++
+	r.total++
+	r.sumMessages += rec.Messages
+	r.sumBound += rec.BoundMessages
+	r.sumChurn += rec.Churn
+	r.sumRequests += rec.Requests
+	close(r.waitc)
+	r.waitc = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// Wait returns a channel closed at the next Append — the long-poll
+// primitive behind GET /timeline?follow=1. Callers select on it
+// together with their own timeout/cancellation.
+func (r *Ring) Wait() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.waitc
+}
+
+// Snapshot copies out the current state, records oldest first.
+func (r *Ring) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Capacity:      len(r.recs),
+		Total:         r.total,
+		Dropped:       r.dropped,
+		Messages:      r.sumMessages,
+		BoundMessages: r.sumBound,
+		Churn:         r.sumChurn,
+		Requests:      r.sumRequests,
+		Records:       make([]EpochRecord, r.n),
+	}
+	for i := 0; i < r.n; i++ {
+		s.Records[i] = r.recs[(r.head+i)%len(r.recs)]
+	}
+	return s
+}
+
+// Since returns the retained records with Epoch strictly greater than
+// epoch, oldest first. Since(-1) returns everything retained.
+func (r *Ring) Since(epoch int64) []EpochRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		rec := r.recs[(r.head+i)%len(r.recs)]
+		if rec.Epoch > epoch {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Latest returns the most recent record, if any.
+func (r *Ring) Latest() (EpochRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return EpochRecord{}, false
+	}
+	return r.recs[(r.head+r.n-1)%len(r.recs)], true
+}
+
+// WriteJSON serializes records as an indented JSON array plus a
+// newline; byte-deterministic for a given slice. A nil slice encodes
+// as the empty array, so "no records yet" and "no records match" read
+// identically.
+func WriteJSON(w io.Writer, records []EpochRecord) error {
+	if records == nil {
+		records = []EpochRecord{}
+	}
+	b, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("timeline: marshaling records: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("timeline: writing records: %w", err)
+	}
+	return nil
+}

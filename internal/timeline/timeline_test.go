@@ -1,0 +1,191 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(epoch int64) EpochRecord {
+	return EpochRecord{
+		Epoch:         epoch,
+		Messages:      epoch * 10,
+		BoundMessages: epoch * 12,
+		Churn:         epoch,
+		Requests:      epoch * 100,
+	}
+}
+
+func TestRingAppendAndSnapshot(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Capacity(); got != 4 {
+		t.Fatalf("Capacity() = %d, want 4", got)
+	}
+	for e := int64(1); e <= 3; e++ {
+		r.Append(rec(e))
+	}
+	s := r.Snapshot()
+	if s.Total != 3 || s.Dropped != 0 || len(s.Records) != 3 {
+		t.Fatalf("snapshot total=%d dropped=%d len=%d, want 3/0/3", s.Total, s.Dropped, len(s.Records))
+	}
+	for i, record := range s.Records {
+		if record.Epoch != int64(i+1) {
+			t.Fatalf("record %d has epoch %d, want %d (oldest first)", i, record.Epoch, i+1)
+		}
+	}
+	if s.Messages != 10+20+30 || s.Churn != 1+2+3 || s.Requests != 600 {
+		t.Fatalf("cumulative sums wrong: %+v", s)
+	}
+}
+
+func TestRingEvictsOldestAndKeepsSums(t *testing.T) {
+	r := NewRing(3)
+	for e := int64(1); e <= 7; e++ {
+		r.Append(rec(e))
+	}
+	s := r.Snapshot()
+	if s.Total != 7 || s.Dropped != 4 {
+		t.Fatalf("total=%d dropped=%d, want 7/4", s.Total, s.Dropped)
+	}
+	if len(s.Records) != 3 {
+		t.Fatalf("retained %d records, want 3", len(s.Records))
+	}
+	for i, record := range s.Records {
+		if record.Epoch != int64(5+i) {
+			t.Fatalf("record %d has epoch %d, want %d", i, record.Epoch, 5+i)
+		}
+	}
+	// Cumulative sums cover evicted records too.
+	var wantMsgs int64
+	for e := int64(1); e <= 7; e++ {
+		wantMsgs += e * 10
+	}
+	if s.Messages != wantMsgs {
+		t.Fatalf("cumulative messages %d survived eviction wrong, want %d", s.Messages, wantMsgs)
+	}
+	if latest, ok := r.Latest(); !ok || latest.Epoch != 7 {
+		t.Fatalf("Latest() = %+v/%v, want epoch 7", latest, ok)
+	}
+}
+
+func TestRingSince(t *testing.T) {
+	r := NewRing(8)
+	for e := int64(1); e <= 5; e++ {
+		r.Append(rec(e))
+	}
+	if got := r.Since(3); len(got) != 2 || got[0].Epoch != 4 || got[1].Epoch != 5 {
+		t.Fatalf("Since(3) = %+v, want epochs 4,5", got)
+	}
+	if got := r.Since(-1); len(got) != 5 {
+		t.Fatalf("Since(-1) returned %d records, want 5", len(got))
+	}
+	if got := r.Since(99); len(got) != 0 {
+		t.Fatalf("Since(99) returned %d records, want 0", len(got))
+	}
+}
+
+func TestRingCapacityClamped(t *testing.T) {
+	r := NewRing(0)
+	if r.Capacity() != 1 {
+		t.Fatalf("Capacity() = %d, want 1 (clamped)", r.Capacity())
+	}
+	r.Append(rec(1))
+	r.Append(rec(2))
+	if r.Len() != 1 || r.Total() != 2 {
+		t.Fatalf("len=%d total=%d, want 1/2", r.Len(), r.Total())
+	}
+}
+
+func TestRingWaitWakesOnAppend(t *testing.T) {
+	r := NewRing(2)
+	c := r.Wait()
+	select {
+	case <-c:
+		t.Fatal("wait channel closed before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-c
+		close(done)
+	}()
+	r.Append(rec(1))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Append did not wake the waiter")
+	}
+	// A fresh Wait channel is armed for the next append.
+	select {
+	case <-r.Wait():
+		t.Fatal("fresh wait channel already closed")
+	default:
+	}
+}
+
+func TestRingConcurrentAppendSnapshot(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := int64(1); e <= 100; e++ {
+				r.Append(rec(e))
+				_ = r.Snapshot()
+				_ = r.Since(50)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 400 {
+		t.Fatalf("total = %d, want 400", r.Total())
+	}
+}
+
+func TestWriteJSONDeterministicAndOrdered(t *testing.T) {
+	r := NewRing(4)
+	r.Append(EpochRecord{Epoch: 1, Messages: 40, BoundMessages: 40, UnitCostMs: 12.5, WallMs: 0.7})
+	r.Append(EpochRecord{Epoch: 2, Messages: 38, BoundMessages: 40, Churn: 11})
+
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, r.Snapshot().Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, r.Snapshot().Records); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same ring differ")
+	}
+
+	var decoded []EpochRecord
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if len(decoded) != 2 || decoded[0].Epoch != 1 || decoded[1].Messages != 38 {
+		t.Fatalf("round trip mangled records: %+v", decoded)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("empty encoding = %q, want \"[]\\n\"", got)
+	}
+}
+
+func BenchmarkRingAppend(b *testing.B) {
+	r := NewRing(1024)
+	record := rec(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		record.Epoch = int64(i)
+		r.Append(record)
+	}
+}
